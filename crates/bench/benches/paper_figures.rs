@@ -1,0 +1,67 @@
+//! Regenerate every table and figure of the paper (run via `cargo bench
+//! -p tea-bench --bench paper_figures`, or through plain `cargo bench`).
+//!
+//! Prints each artefact as an aligned table and writes CSVs under
+//! `results/` at the workspace root. Scale is environment-driven — see
+//! the `tea-bench` crate docs (`TEA_CELLS`, `TEA_STEPS`, `TEA_EPS`,
+//! `TEA_PAPER_SCALE`).
+
+use std::fs;
+use std::path::PathBuf;
+
+use tea_bench::{fig10, fig11, fig12, fig8, fig9, table1, table2, Scale};
+
+fn results_dir() -> PathBuf {
+    let dir = std::env::var("TEA_RESULTS_DIR").unwrap_or_else(|_| {
+        format!("{}/../../results", env!("CARGO_MANIFEST_DIR"))
+    });
+    let path = PathBuf::from(dir);
+    fs::create_dir_all(&path).expect("create results dir");
+    path
+}
+
+fn emit(name: &str, table: &tea_core::tablefmt::Table) {
+    println!("{}", table.render());
+    let path = results_dir().join(format!("{name}.csv"));
+    fs::write(&path, table.to_csv()).expect("write csv");
+    println!("  -> {}\n", path.display());
+}
+
+fn main() {
+    // `cargo bench` passes filter/`--bench` arguments; accept an optional
+    // section filter (e.g. `cargo bench --bench paper_figures -- fig8`).
+    let filter: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let wanted = |name: &str| filter.is_empty() || filter.iter().any(|f| name.contains(f.as_str()));
+
+    let scale = Scale::from_env();
+    println!(
+        "== TeaLeaf paper-figure harness ==\nscale: {}x{} mesh, {} steps, eps {:.0e} (set TEA_PAPER_SCALE=1 for the full 40962 runs)\n",
+        scale.cells, scale.cells, scale.steps, scale.eps
+    );
+
+    if wanted("table1") {
+        emit("table1_support_matrix", &table1());
+    }
+    if wanted("table2") {
+        emit("table2_device_bandwidth", &table2());
+    }
+    if wanted("fig8") {
+        emit("fig8_cpu_runtimes", &fig8(scale));
+    }
+    if wanted("fig9") {
+        emit("fig9_gpu_runtimes", &fig9(scale));
+    }
+    if wanted("fig10") {
+        emit("fig10_knc_runtimes", &fig10(scale));
+    }
+    if wanted("fig11") {
+        let (table, _points) = fig11(scale);
+        emit("fig11_mesh_sweep", &table);
+    }
+    if wanted("fig12") {
+        emit("fig12_stream_fraction", &fig12(scale));
+    }
+}

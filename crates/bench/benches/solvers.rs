@@ -1,0 +1,74 @@
+//! Criterion benchmarks of full solves: wall time of each solver through
+//! the serial reference port, and of one solver through several ports —
+//! measuring the *functional* cost of the port abstractions themselves
+//! (dispatch indirection, views, buffers), independent of simulated
+//! device time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use simdev::devices;
+use tea_core::config::{SolverKind, TeaConfig};
+use tealeaf::{driver, ports::make_port, ModelId, Problem};
+
+fn config(solver: SolverKind) -> TeaConfig {
+    let mut cfg = TeaConfig::paper_problem(96);
+    cfg.solver = solver;
+    cfg.end_step = 1;
+    cfg.tl_eps = 1.0e-10;
+    cfg.tl_ch_cg_presteps = 8;
+    cfg
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_serial_96");
+    group.sample_size(10);
+    for solver in [
+        SolverKind::ConjugateGradient,
+        SolverKind::Chebyshev,
+        SolverKind::Ppcg,
+        SolverKind::Jacobi,
+    ] {
+        let cfg = config(solver);
+        let device = devices::cpu_xeon_e5_2670_x2();
+        let problem = Problem::from_config(&cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(solver.name()), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut port = make_port(ModelId::Serial, device.clone(), &problem, 0).unwrap();
+                black_box(driver::drive(port.as_mut(), &problem, &device, cfg))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_port_abstraction_cost(c: &mut Criterion) {
+    // Same numerics through different port machinery: the wall-time
+    // delta is the Rust-side cost of each model's abstractions.
+    let mut group = c.benchmark_group("port_abstraction_cg_96");
+    group.sample_size(10);
+    let cfg = config(SolverKind::ConjugateGradient);
+    let problem = Problem::from_config(&cfg);
+    let pairs = [
+        (ModelId::Serial, devices::cpu_xeon_e5_2670_x2()),
+        (ModelId::Omp3F90, devices::cpu_xeon_e5_2670_x2()),
+        (ModelId::Raja, devices::cpu_xeon_e5_2670_x2()),
+        (ModelId::OpenCl, devices::cpu_xeon_e5_2670_x2()),
+        (ModelId::Kokkos, devices::gpu_k20x()),
+        (ModelId::Cuda, devices::gpu_k20x()),
+        (ModelId::Omp4, devices::knc_xeon_phi()),
+    ];
+    for (model, device) in pairs {
+        let label = format!("{}_{}", model.label().replace(' ', "_"), device.kind.name());
+        group.bench_with_input(BenchmarkId::from_parameter(label), &model, |b, &model| {
+            b.iter(|| {
+                let mut port = make_port(model, device.clone(), &problem, 0).unwrap();
+                black_box(driver::drive(port.as_mut(), &problem, &device, &cfg))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers, bench_port_abstraction_cost);
+criterion_main!(benches);

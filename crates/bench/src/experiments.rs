@@ -1,0 +1,293 @@
+//! The table/figure drivers.
+
+use simdev::{devices, DeviceKind, DeviceSpec};
+use tea_core::config::SolverKind;
+use tea_core::tablefmt::{fmt_pct, fmt_secs, Table};
+use tealeaf::{run_simulation, ModelId, RunReport};
+
+use crate::scale::Scale;
+
+/// One plotted series: a model on a device.
+#[derive(Debug, Clone)]
+pub struct ModelOnDevice {
+    pub model: ModelId,
+    pub device: DeviceSpec,
+}
+
+/// The model set of each runtime figure, in the paper's presentation
+/// order.
+pub fn figure_models(kind: DeviceKind) -> Vec<ModelId> {
+    match kind {
+        // Figure 8 (§4.1): the CPU-capable models the paper plots.
+        DeviceKind::Cpu => vec![
+            ModelId::Omp3F90,
+            ModelId::Omp3Cpp,
+            ModelId::Kokkos,
+            ModelId::Raja,
+            ModelId::RajaSimd,
+            ModelId::OpenCl,
+        ],
+        // Figure 9 (§4.2): GPU implementations on the K20X.
+        DeviceKind::Gpu => vec![
+            ModelId::Cuda,
+            ModelId::OpenCl,
+            ModelId::OpenAcc,
+            ModelId::Kokkos,
+            ModelId::KokkosHP,
+        ],
+        // Figure 10 (§4.3): the KNC line-up.
+        DeviceKind::Accelerator => vec![
+            ModelId::Omp3F90,
+            ModelId::Omp4,
+            ModelId::OpenCl,
+            ModelId::Raja,
+            ModelId::Kokkos,
+            ModelId::KokkosHP,
+        ],
+    }
+}
+
+/// Run one figure's model set over the paper's three solvers.
+pub fn runtime_figure(device: &DeviceSpec, scale: Scale) -> Vec<(ModelId, Vec<RunReport>)> {
+    // Figures 8-10 report the mesh-convergence point (§4): on reduced
+    // functional meshes the device is rescaled into that regime.
+    let regime = scale.regime_device(device);
+    figure_models(device.kind)
+        .into_iter()
+        .map(|model| {
+            let reports = SolverKind::PAPER
+                .iter()
+                .map(|&solver| {
+                    let report = run_simulation(model, &regime, &scale.config(solver))
+                        .expect("figure models are supported on their figure's device");
+                    assert!(
+                        report.converged,
+                        "{} / {} / {} did not converge — a figure over diverged runs is meaningless",
+                        model.label(),
+                        device.name,
+                        solver
+                    );
+                    report
+                })
+                .collect();
+            (model, reports)
+        })
+        .collect()
+}
+
+fn runtime_table(title: &str, device: &DeviceSpec, scale: Scale) -> Table {
+    let mut table = Table::new(title, &["model", "cg (s)", "chebyshev (s)", "ppcg (s)"]);
+    for (model, reports) in runtime_figure(device, scale) {
+        let mut row = vec![model.label().to_string()];
+        row.extend(reports.iter().map(|r| fmt_secs(r.sim_seconds())));
+        table.row(&row);
+    }
+    table
+}
+
+/// **Table 1** — supported implementations for each model.
+pub fn table1() -> Table {
+    let mut table = Table::new(
+        "Table 1: Supported implementations for each model",
+        &["Model", "CPUs", "NVIDIA GPUs", "KNC"],
+    );
+    let rows = [
+        ModelId::Omp3F90,
+        ModelId::OpenCl,
+        ModelId::Cuda,
+        ModelId::Omp4,
+        ModelId::Kokkos,
+        ModelId::Raja,
+        ModelId::OpenAcc,
+    ];
+    for model in rows {
+        let cell = |kind| model.supports(kind).unwrap_or("").to_string();
+        let label = match model {
+            ModelId::Omp3F90 => "OpenMP 3.0".to_string(),
+            other => other.label().to_string(),
+        };
+        table.row(&[
+            label,
+            cell(DeviceKind::Cpu),
+            cell(DeviceKind::Gpu),
+            cell(DeviceKind::Accelerator),
+        ]);
+    }
+    table
+}
+
+/// **Table 2** — devices and memory bandwidth, with the simulated STREAM
+/// triad alongside the calibration target.
+pub fn table2() -> Table {
+    let mut table = Table::new(
+        "Table 2: Devices and corresponding memory bandwidth (BW)",
+        &["Device", "Peak BW", "STREAM BW", "simulated triad"],
+    );
+    for device in devices::paper_devices() {
+        let triad = stream_rs::sim::triad_gbs(&device, 50_000_000);
+        table.row(&[
+            device.name.clone(),
+            format!("{:.1} GB/s", device.peak_bw_gbs),
+            format!("{:.1} GB/s", device.stream_bw_gbs),
+            format!("{triad:.1} GB/s"),
+        ]);
+    }
+    table
+}
+
+/// **Figure 8** — CPU runtimes (dual Xeon E5-2670), three solvers.
+pub fn fig8(scale: Scale) -> Table {
+    runtime_table(
+        "Figure 8: dual-socket Xeon E5-2670 CPU runtimes (simulated; lower is better)",
+        &devices::cpu_xeon_e5_2670_x2(),
+        scale,
+    )
+}
+
+/// **Figure 9** — GPU runtimes (NVIDIA K20X).
+pub fn fig9(scale: Scale) -> Table {
+    runtime_table(
+        "Figure 9: NVIDIA K20X GPU runtimes (simulated; lower is better)",
+        &devices::gpu_k20x(),
+        scale,
+    )
+}
+
+/// **Figure 10** — KNC runtimes (Xeon Phi).
+pub fn fig10(scale: Scale) -> Table {
+    runtime_table(
+        "Figure 10: Intel Xeon Phi (KNC) runtimes (simulated; lower is better)",
+        &devices::knc_xeon_phi(),
+        scale,
+    )
+}
+
+/// One point of the Figure 11 sweep.
+#[derive(Debug, Clone)]
+pub struct Fig11Point {
+    pub model: ModelId,
+    pub device: String,
+    pub cells_edge: usize,
+    pub sim_seconds: f64,
+}
+
+/// **Figure 11** — runtime versus mesh size in even steps, every
+/// model/device series of Figures 8–10, CG solver, one timestep.
+pub fn fig11(scale: Scale) -> (Table, Vec<Fig11Point>) {
+    let sizes = scale.sweep_sizes();
+    let mut points = Vec::new();
+    let mut header: Vec<String> = vec!["series".into()];
+    header.extend(sizes.iter().map(|s| format!("{s}x{s}")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "Figure 11: runtime vs mesh size, even-step increments (CG, simulated seconds)",
+        &header_refs,
+    );
+    for device in devices::paper_devices() {
+        for model in figure_models(device.kind) {
+            let mut row = vec![format!("{} / {}", model.label(), device.kind.name())];
+            for &edge in &sizes {
+                let mut cfg = Scale { cells: edge, steps: 1, ..scale }.config(
+                    SolverKind::ConjugateGradient,
+                );
+                // single step and a moderate tolerance: the sweep isolates
+                // runtime *growth*, not convergence depth
+                cfg.tl_eps = scale.eps.max(1.0e-10);
+                cfg.tl_max_iters = 20_000;
+                let report = run_simulation(model, &device, &cfg)
+                    .expect("sweep models are supported on their device");
+                row.push(fmt_secs(report.sim_seconds()));
+                points.push(Fig11Point {
+                    model,
+                    device: device.name.clone(),
+                    cells_edge: edge,
+                    sim_seconds: report.sim_seconds(),
+                });
+            }
+            table.row(&row);
+        }
+    }
+    (table, points)
+}
+
+/// **Figure 12** — percentage of STREAM bandwidth achieved by each model,
+/// averaged over the three solvers, per device.
+pub fn fig12(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Figure 12: percentage of STREAM bandwidth achieved, averaged over solvers (higher is better)",
+        &["model", "cpu", "gpu", "knc"],
+    );
+    // collect per-device fractions
+    let mut rows: Vec<(ModelId, [Option<f64>; 3])> = ModelId::ALL
+        .iter()
+        .filter(|m| **m != ModelId::Serial)
+        .map(|&m| (m, [None, None, None]))
+        .collect();
+    for (slot, device) in devices::paper_devices().into_iter().enumerate() {
+        let regime = scale.regime_device(&device);
+        for (model, reports) in runtime_figure(&device, scale) {
+            let avg = reports.iter().map(|r| r.stream_fraction(&regime)).sum::<f64>()
+                / reports.len() as f64;
+            if let Some(entry) = rows.iter_mut().find(|(m, _)| *m == model) {
+                entry.1[slot] = Some(avg);
+            }
+        }
+    }
+    for (model, fractions) in rows {
+        if fractions.iter().all(Option::is_none) {
+            continue;
+        }
+        let cell = |f: Option<f64>| f.map(fmt_pct).unwrap_or_default();
+        table.row(&[
+            model.label().to_string(),
+            cell(fractions[0]),
+            cell(fractions[1]),
+            cell(fractions[2]),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_shape() {
+        let t = table1();
+        assert_eq!(t.len(), 7);
+        let text = t.render();
+        assert!(text.contains("OpenMP 3.0"));
+        assert!(text.contains("Offload"));
+        assert!(text.contains("Native"));
+    }
+
+    #[test]
+    fn table2_reports_three_devices() {
+        let t = table2();
+        assert_eq!(t.len(), 3);
+        let text = t.render();
+        assert!(text.contains("76.2 GB/s"));
+        assert!(text.contains("180.1 GB/s"));
+        assert!(text.contains("159.9 GB/s"));
+    }
+
+    #[test]
+    fn figure_model_sets_match_table1() {
+        for device in devices::paper_devices() {
+            for model in figure_models(device.kind) {
+                assert!(
+                    model.supports(device.kind).is_some(),
+                    "{model:?} plotted on {:?} but unsupported",
+                    device.kind
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig8_runs_at_small_scale() {
+        let t = fig8(Scale::small());
+        assert_eq!(t.len(), 6, "six CPU series as in the paper");
+    }
+}

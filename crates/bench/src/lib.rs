@@ -1,0 +1,32 @@
+//! # tea-bench
+//!
+//! Experiment drivers that regenerate every table and figure of the
+//! paper's evaluation (§4–§6). Each `fig*`/`table*` function returns a
+//! [`tea_core::tablefmt::Table`] whose rows are the series the paper
+//! plots; the `paper_figures` bench target prints them and writes CSVs to
+//! `results/`.
+//!
+//! ## Scale
+//!
+//! The paper's headline mesh is 4096×4096 at `tl_eps = 1e-15` over 10
+//! timesteps — hours of *functional* execution on a laptop host. The
+//! harness therefore defaults to a reduced functional scale and scales up
+//! through environment variables:
+//!
+//! | variable | default | meaning |
+//! |---|---|---|
+//! | `TEA_CELLS` | 256 | square mesh edge for Figures 8–10/12 |
+//! | `TEA_STEPS` | 2 | timesteps |
+//! | `TEA_EPS` | 1e-12 | solver tolerance |
+//! | `TEA_PAPER_SCALE` | unset | set to `1` for the full 4096²/10-step/1e-15 runs |
+//!
+//! Simulated device time is computed from the *actually executed* kernel
+//! stream, so the relative shapes (who wins, by what factor) are
+//! scale-stable; EXPERIMENTS.md records the scale used for the committed
+//! numbers.
+
+pub mod experiments;
+pub mod scale;
+
+pub use experiments::{fig10, fig11, fig12, fig8, fig9, figure_models, runtime_figure, table1, table2, Fig11Point, ModelOnDevice};
+pub use scale::Scale;

@@ -1,0 +1,456 @@
+//! `tea.in`-style problem configuration.
+//!
+//! The reference TeaLeaf reads its problem description from a small
+//! keyword file. This module reproduces that format closely enough that the
+//! upstream benchmark decks (e.g. `tea_bm_5.in`) parse unchanged:
+//!
+//! ```text
+//! *tea
+//! state 1 density=100.0 energy=0.0001
+//! state 2 density=0.1 energy=25.0 geometry=rectangle xmin=0.0 xmax=1.0 ymin=1.0 ymax=2.0
+//! x_cells=4096
+//! y_cells=4096
+//! xmin=0.0
+//! xmax=10.0
+//! ymin=0.0
+//! ymax=10.0
+//! initial_timestep=0.004
+//! end_step=10
+//! tl_max_iters=10000
+//! tl_use_cg
+//! tl_eps=1.0e-15
+//! *endtea
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::state::{Geometry, State};
+
+/// How the conduction coefficient is derived from density (paper §1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coefficient {
+    /// `w = density`
+    Conductivity,
+    /// `w = 1/density` (the TeaLeaf default)
+    RecipConductivity,
+}
+
+/// Which of the iterative solvers drives the implicit solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolverKind {
+    /// Pointwise Jacobi — the simple baseline solver in upstream TeaLeaf.
+    Jacobi,
+    /// Conjugate Gradient (paper's `CG`).
+    ConjugateGradient,
+    /// Chebyshev semi-iteration seeded by CG eigenvalue estimates.
+    Chebyshev,
+    /// Chebyshev Polynomially Preconditioned CG (paper's `PPCG`).
+    Ppcg,
+}
+
+impl SolverKind {
+    /// Short lower-case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverKind::Jacobi => "jacobi",
+            SolverKind::ConjugateGradient => "cg",
+            SolverKind::Chebyshev => "chebyshev",
+            SolverKind::Ppcg => "ppcg",
+        }
+    }
+
+    /// The three solvers evaluated by the paper (§4): CG, Chebyshev, PPCG.
+    pub const PAPER: [SolverKind; 3] =
+        [SolverKind::ConjugateGradient, SolverKind::Chebyshev, SolverKind::Ppcg];
+}
+
+impl fmt::Display for SolverKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parsed problem configuration with TeaLeaf-compatible defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TeaConfig {
+    pub x_cells: usize,
+    pub y_cells: usize,
+    pub xmin: f64,
+    pub xmax: f64,
+    pub ymin: f64,
+    pub ymax: f64,
+    pub initial_timestep: f64,
+    pub end_step: usize,
+    pub solver: SolverKind,
+    pub tl_max_iters: usize,
+    pub tl_eps: f64,
+    /// Use the Jacobi (diagonal) preconditioner inside CG.
+    pub tl_preconditioner: bool,
+    /// CG iterations run before Chebyshev/PPCG to estimate eigenvalues.
+    pub tl_ch_cg_presteps: usize,
+    /// Inner Chebyshev smoothing steps per PPCG outer iteration.
+    pub tl_ppcg_inner_steps: usize,
+    pub coefficient: Coefficient,
+    pub halo_depth: usize,
+    pub states: Vec<State>,
+}
+
+impl Default for TeaConfig {
+    fn default() -> Self {
+        TeaConfig {
+            x_cells: 128,
+            y_cells: 128,
+            xmin: 0.0,
+            xmax: 10.0,
+            ymin: 0.0,
+            ymax: 10.0,
+            initial_timestep: 0.004,
+            end_step: 10,
+            solver: SolverKind::ConjugateGradient,
+            tl_max_iters: 10_000,
+            tl_eps: 1.0e-15,
+            tl_preconditioner: false,
+            tl_ch_cg_presteps: 30,
+            tl_ppcg_inner_steps: 10,
+            coefficient: Coefficient::Conductivity,
+            halo_depth: 2,
+            states: vec![
+                State::background(100.0, 0.0001),
+                State {
+                    density: 0.1,
+                    energy: 25.0,
+                    geometry: Geometry::Rectangle { xmin: 0.0, xmax: 1.0, ymin: 1.0, ymax: 2.0 },
+                },
+                State {
+                    density: 0.1,
+                    energy: 0.1,
+                    geometry: Geometry::Rectangle { xmin: 1.0, xmax: 6.0, ymin: 1.0, ymax: 2.0 },
+                },
+            ],
+        }
+    }
+}
+
+impl TeaConfig {
+    /// The paper's benchmark problem at an arbitrary square mesh size
+    /// (§4 uses 4096×4096, the mesh-convergence point).
+    pub fn paper_problem(cells: usize) -> Self {
+        TeaConfig { x_cells: cells, y_cells: cells, ..TeaConfig::default() }
+    }
+
+    /// Build the [`crate::Mesh2d`] described by this configuration.
+    pub fn mesh(&self) -> crate::mesh::Mesh2d {
+        crate::mesh::Mesh2d::new(
+            self.x_cells,
+            self.y_cells,
+            self.halo_depth,
+            (self.xmin, self.xmax),
+            (self.ymin, self.ymax),
+        )
+    }
+
+    /// Parse a `tea.in`-format deck.
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let mut cfg = TeaConfig { states: Vec::new(), ..TeaConfig::default() };
+        let mut in_block = false;
+        let mut saw_block_marker = false;
+        for (ln, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            let lower = line.to_ascii_lowercase();
+            match lower.as_str() {
+                "*tea" => {
+                    in_block = true;
+                    saw_block_marker = true;
+                    continue;
+                }
+                "*endtea" => {
+                    in_block = false;
+                    continue;
+                }
+                _ => {}
+            }
+            if saw_block_marker && !in_block {
+                continue; // content outside the *tea block is ignored
+            }
+            parse_line(&mut cfg, &lower).map_err(|kind| ConfigError { line: ln + 1, kind })?;
+        }
+        if cfg.states.is_empty() {
+            cfg.states = TeaConfig::default().states;
+        }
+        if !matches!(cfg.states[0].geometry, Geometry::Background) {
+            return Err(ConfigError { line: 0, kind: ErrorKind::MissingBackgroundState });
+        }
+        Ok(cfg)
+    }
+}
+
+/// Error from [`TeaConfig::parse`], carrying the 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigError {
+    pub line: usize,
+    pub kind: ErrorKind,
+}
+
+/// The specific parse failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ErrorKind {
+    UnknownKeyword(String),
+    BadValue { key: String, value: String },
+    BadState(String),
+    MissingBackgroundState,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ErrorKind::UnknownKeyword(k) => write!(f, "line {}: unknown keyword '{k}'", self.line),
+            ErrorKind::BadValue { key, value } => {
+                write!(f, "line {}: bad value '{value}' for '{key}'", self.line)
+            }
+            ErrorKind::BadState(m) => write!(f, "line {}: bad state: {m}", self.line),
+            ErrorKind::MissingBackgroundState => {
+                write!(f, "state 1 must be the background state (no geometry)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find(['!', '#']) {
+        Some(p) => &line[..p],
+        None => line,
+    }
+}
+
+fn parse_num<T: FromStr>(key: &str, value: &str) -> Result<T, ErrorKind> {
+    value
+        .parse::<T>()
+        .map_err(|_| ErrorKind::BadValue { key: key.to_string(), value: value.to_string() })
+}
+
+fn parse_line(cfg: &mut TeaConfig, line: &str) -> Result<(), ErrorKind> {
+    if let Some(rest) = line.strip_prefix("state ") {
+        return parse_state(cfg, rest);
+    }
+    // bare switches
+    match line {
+        "tl_use_jacobi" => {
+            cfg.solver = SolverKind::Jacobi;
+            return Ok(());
+        }
+        "tl_use_cg" => {
+            cfg.solver = SolverKind::ConjugateGradient;
+            return Ok(());
+        }
+        "tl_use_chebyshev" => {
+            cfg.solver = SolverKind::Chebyshev;
+            return Ok(());
+        }
+        "tl_use_ppcg" => {
+            cfg.solver = SolverKind::Ppcg;
+            return Ok(());
+        }
+        "tl_preconditioner_on" => {
+            cfg.tl_preconditioner = true;
+            return Ok(());
+        }
+        "use_c_kernels" | "profiler_on" | "verbose_on" | "tl_check_result" => return Ok(()),
+        _ => {}
+    }
+    let (key, value) = match line.split_once('=') {
+        Some((k, v)) => (k.trim(), v.trim()),
+        None => return Err(ErrorKind::UnknownKeyword(line.to_string())),
+    };
+    match key {
+        "x_cells" => cfg.x_cells = parse_num(key, value)?,
+        "y_cells" => cfg.y_cells = parse_num(key, value)?,
+        "xmin" => cfg.xmin = parse_num(key, value)?,
+        "xmax" => cfg.xmax = parse_num(key, value)?,
+        "ymin" => cfg.ymin = parse_num(key, value)?,
+        "ymax" => cfg.ymax = parse_num(key, value)?,
+        "initial_timestep" => cfg.initial_timestep = parse_num(key, value)?,
+        "end_step" => cfg.end_step = parse_num(key, value)?,
+        "end_time" => {} // accepted for deck compatibility; stepping is by end_step
+        "tl_max_iters" => cfg.tl_max_iters = parse_num(key, value)?,
+        "tl_eps" => cfg.tl_eps = parse_num(key, value)?,
+        "tl_ch_cg_presteps" => cfg.tl_ch_cg_presteps = parse_num(key, value)?,
+        "tl_ppcg_inner_steps" => cfg.tl_ppcg_inner_steps = parse_num(key, value)?,
+        "halo_depth" => cfg.halo_depth = parse_num(key, value)?,
+        "tl_preconditioner_type" => {
+            cfg.tl_preconditioner = matches!(value, "jac_diag" | "jacobi" | "on");
+        }
+        "tl_coefficient" | "coefficient" => {
+            cfg.coefficient = match value {
+                "density" | "conductivity" => Coefficient::Conductivity,
+                "recip_density" | "recip_conductivity" => Coefficient::RecipConductivity,
+                _ => {
+                    return Err(ErrorKind::BadValue {
+                        key: key.to_string(),
+                        value: value.to_string(),
+                    })
+                }
+            };
+        }
+        _ => return Err(ErrorKind::UnknownKeyword(key.to_string())),
+    }
+    Ok(())
+}
+
+fn parse_state(cfg: &mut TeaConfig, rest: &str) -> Result<(), ErrorKind> {
+    let mut parts = rest.split_whitespace();
+    let _index: usize = parts
+        .next()
+        .ok_or_else(|| ErrorKind::BadState("missing state number".into()))?
+        .parse()
+        .map_err(|_| ErrorKind::BadState("state number must be an integer".into()))?;
+
+    let mut density = None;
+    let mut energy = None;
+    let mut geometry_kind: Option<String> = None;
+    let (mut gxmin, mut gxmax, mut gymin, mut gymax) = (0.0, 0.0, 0.0, 0.0);
+    let mut radius = 0.0;
+
+    for tok in parts {
+        let (k, v) = tok
+            .split_once('=')
+            .ok_or_else(|| ErrorKind::BadState(format!("expected key=value, got '{tok}'")))?;
+        match k {
+            "density" => density = Some(parse_num::<f64>(k, v)?),
+            "energy" => energy = Some(parse_num::<f64>(k, v)?),
+            "geometry" => geometry_kind = Some(v.to_string()),
+            "xmin" => gxmin = parse_num(k, v)?,
+            "xmax" => gxmax = parse_num(k, v)?,
+            "ymin" => gymin = parse_num(k, v)?,
+            "ymax" => gymax = parse_num(k, v)?,
+            "radius" => radius = parse_num(k, v)?,
+            _ => return Err(ErrorKind::BadState(format!("unknown state key '{k}'"))),
+        }
+    }
+    let density = density.ok_or_else(|| ErrorKind::BadState("state needs density".into()))?;
+    let energy = energy.ok_or_else(|| ErrorKind::BadState("state needs energy".into()))?;
+    let geometry = match geometry_kind.as_deref() {
+        None => Geometry::Background,
+        Some("rectangle") => {
+            Geometry::Rectangle { xmin: gxmin, xmax: gxmax, ymin: gymin, ymax: gymax }
+        }
+        Some("circle") | Some("circular") => Geometry::Circle { cx: gxmin, cy: gymin, radius },
+        Some("point") => Geometry::Point { x: gxmin, y: gymin },
+        Some(other) => return Err(ErrorKind::BadState(format!("unknown geometry '{other}'"))),
+    };
+    cfg.states.push(State { density, energy, geometry });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DECK: &str = r#"
+*tea
+! the benchmark deck
+state 1 density=100.0 energy=0.0001
+state 2 density=0.1 energy=25.0 geometry=rectangle xmin=0.0 xmax=1.0 ymin=1.0 ymax=2.0
+x_cells=512
+y_cells=256
+xmin=0.0
+xmax=10.0
+ymin=0.0
+ymax=5.0
+initial_timestep=0.004
+end_step=8
+tl_max_iters=5000
+tl_use_ppcg
+tl_eps=1.0e-12
+tl_ppcg_inner_steps=12
+*endtea
+"#;
+
+    #[test]
+    fn parses_full_deck() {
+        let cfg = TeaConfig::parse(DECK).unwrap();
+        assert_eq!(cfg.x_cells, 512);
+        assert_eq!(cfg.y_cells, 256);
+        assert_eq!(cfg.ymax, 5.0);
+        assert_eq!(cfg.end_step, 8);
+        assert_eq!(cfg.solver, SolverKind::Ppcg);
+        assert_eq!(cfg.tl_eps, 1.0e-12);
+        assert_eq!(cfg.tl_ppcg_inner_steps, 12);
+        assert_eq!(cfg.states.len(), 2);
+        assert_eq!(cfg.states[1].density, 0.1);
+    }
+
+    #[test]
+    fn defaults_without_deck_content() {
+        let cfg = TeaConfig::parse("*tea\n*endtea\n").unwrap();
+        assert_eq!(cfg, TeaConfig { ..TeaConfig::default() });
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let cfg = TeaConfig::parse("x_cells=64 ! trailing comment\n# whole line\n").unwrap();
+        assert_eq!(cfg.x_cells, 64);
+    }
+
+    #[test]
+    fn unknown_keyword_reports_line() {
+        let err = TeaConfig::parse("\nbogus_key=1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, ErrorKind::UnknownKeyword(_)));
+    }
+
+    #[test]
+    fn bad_value_reported() {
+        let err = TeaConfig::parse("x_cells=many\n").unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::BadValue { .. }));
+    }
+
+    #[test]
+    fn solver_switches() {
+        for (line, solver) in [
+            ("tl_use_jacobi", SolverKind::Jacobi),
+            ("tl_use_cg", SolverKind::ConjugateGradient),
+            ("tl_use_chebyshev", SolverKind::Chebyshev),
+            ("tl_use_ppcg", SolverKind::Ppcg),
+        ] {
+            assert_eq!(TeaConfig::parse(line).unwrap().solver, solver);
+        }
+    }
+
+    #[test]
+    fn circle_state() {
+        let cfg =
+            TeaConfig::parse("state 1 density=1.0 energy=1.0\nstate 2 density=2.0 energy=2.0 geometry=circle xmin=5.0 ymin=5.0 radius=1.5\n")
+                .unwrap();
+        assert_eq!(
+            cfg.states[1].geometry,
+            Geometry::Circle { cx: 5.0, cy: 5.0, radius: 1.5 }
+        );
+    }
+
+    #[test]
+    fn coefficient_parsing() {
+        let cfg = TeaConfig::parse("tl_coefficient=recip_density\n").unwrap();
+        assert_eq!(cfg.coefficient, Coefficient::RecipConductivity);
+    }
+
+    #[test]
+    fn state_missing_density_fails() {
+        let err = TeaConfig::parse("state 1 energy=1.0\n").unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::BadState(_)));
+    }
+
+    #[test]
+    fn mesh_construction() {
+        let cfg = TeaConfig::parse(DECK).unwrap();
+        let mesh = cfg.mesh();
+        assert_eq!(mesh.x_cells, 512);
+        assert_eq!(mesh.y_cells, 256);
+        assert_eq!(mesh.halo_depth, 2);
+    }
+}

@@ -1,0 +1,184 @@
+//! Dense 2-D field storage.
+//!
+//! A [`Field2d`] is the host-side ground truth for one physical quantity
+//! (density, energy, temperature `u`, CG work vectors, …). Every
+//! programming-model port wraps or mirrors these buffers with its own
+//! container (Kokkos `View`, OpenCL `Buffer`, …) but the layout — row-major
+//! with halo padding — is identical everywhere so results can be compared
+//! bit-for-bit.
+
+use crate::mesh::Mesh2d;
+
+/// A row-major `width × height` array of `f64` including halo padding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field2d {
+    data: Vec<f64>,
+    width: usize,
+    height: usize,
+}
+
+impl Field2d {
+    /// Allocate a zero-filled field shaped for `mesh` (padded extents).
+    pub fn zeros(mesh: &Mesh2d) -> Self {
+        Field2d { data: vec![0.0; mesh.len()], width: mesh.width(), height: mesh.height() }
+    }
+
+    /// Allocate a field with every element set to `value`.
+    pub fn filled(mesh: &Mesh2d, value: f64) -> Self {
+        Field2d { data: vec![value; mesh.len()], width: mesh.width(), height: mesh.height() }
+    }
+
+    /// Build a field from raw data (must match `width*height`).
+    pub fn from_vec(width: usize, height: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), width * height, "data length must match extents");
+        Field2d { data, width, height }
+    }
+
+    /// Padded width (x extent).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Padded height (y extent).
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the field holds no elements (never the case for mesh fields).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element at padded coordinate `(i, j)`.
+    #[inline(always)]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.width && j < self.height);
+        self.data[j * self.width + i]
+    }
+
+    /// Mutable element at padded coordinate `(i, j)`.
+    #[inline(always)]
+    pub fn at_mut(&mut self, i: usize, j: usize) -> &mut f64 {
+        debug_assert!(i < self.width && j < self.height);
+        &mut self.data[j * self.width + i]
+    }
+
+    /// Set element at `(i, j)`.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        *self.at_mut(i, j) = v;
+    }
+
+    /// Borrow the flat storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the flat storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume into the flat storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Overwrite every element with `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
+    /// Copy all elements from `other` (extents must match).
+    pub fn copy_from(&mut self, other: &Field2d) {
+        assert_eq!(self.width, other.width);
+        assert_eq!(self.height, other.height);
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Maximum absolute difference to `other` — used by the cross-port
+    /// consistency tests.
+    pub fn max_abs_diff(&self, other: &Field2d) -> f64 {
+        assert_eq!(self.len(), other.len());
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Sum over the interior cells of `mesh` (halo excluded), accumulated in
+    /// row-major order for cross-port determinism.
+    pub fn interior_sum(&self, mesh: &Mesh2d) -> f64 {
+        let mut total = 0.0;
+        for j in mesh.i0()..mesh.j1() {
+            for i in mesh.i0()..mesh.i1() {
+                total += self.at(i, j);
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh2d {
+        Mesh2d::square(4)
+    }
+
+    #[test]
+    fn zeros_shape() {
+        let f = Field2d::zeros(&mesh());
+        assert_eq!(f.width(), 8);
+        assert_eq!(f.height(), 8);
+        assert_eq!(f.len(), 64);
+        assert!(f.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut f = Field2d::zeros(&mesh());
+        f.set(3, 5, 42.0);
+        assert_eq!(f.at(3, 5), 42.0);
+        assert_eq!(f.as_slice()[5 * 8 + 3], 42.0);
+    }
+
+    #[test]
+    fn copy_and_diff() {
+        let m = mesh();
+        let mut a = Field2d::filled(&m, 1.0);
+        let b = Field2d::filled(&m, 3.5);
+        assert_eq!(a.max_abs_diff(&b), 2.5);
+        a.copy_from(&b);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+    }
+
+    #[test]
+    fn interior_sum_excludes_halo() {
+        let m = mesh();
+        let mut f = Field2d::filled(&m, 1.0);
+        // poison the halo; interior sum must ignore it
+        f.set(0, 0, 1e9);
+        f.set(7, 7, 1e9);
+        assert_eq!(f.interior_sum(&m), 16.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_length_checked() {
+        let _ = Field2d::from_vec(3, 3, vec![0.0; 8]);
+    }
+}

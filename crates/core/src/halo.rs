@@ -1,0 +1,191 @@
+//! Reflective halo updates.
+//!
+//! TeaLeaf's single-chunk boundary condition is reflective: ghost layer `k`
+//! mirrors interior layer `k-1`, which together with the face-centred
+//! conduction coefficients yields a zero-flux (Neumann) boundary, so total
+//! energy is conserved — an invariant the property tests lean on.
+//!
+//! The update is expressed over raw slices so that every programming-model
+//! port (whose containers differ) can reuse the identical ordering: bottom
+//! and top edges first over the full padded width, then left and right over
+//! the full padded height, which also fills the corner ghosts consistently.
+
+use crate::mesh::Mesh2d;
+
+/// Identifier for the exchanged fields, mirroring TeaLeaf's
+/// `CHUNK_FIELD_*` constants. Ports use these to name halo kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FieldId {
+    Density,
+    Energy0,
+    Energy1,
+    U,
+    P,
+    Sd,
+    R,
+    W,
+    Z,
+    Kx,
+    Ky,
+    U0,
+    Mi,
+}
+
+impl FieldId {
+    /// Short lower-case name used in kernel labels and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FieldId::Density => "density",
+            FieldId::Energy0 => "energy0",
+            FieldId::Energy1 => "energy1",
+            FieldId::U => "u",
+            FieldId::P => "p",
+            FieldId::Sd => "sd",
+            FieldId::R => "r",
+            FieldId::W => "w",
+            FieldId::Z => "z",
+            FieldId::Kx => "kx",
+            FieldId::Ky => "ky",
+            FieldId::U0 => "u0",
+            FieldId::Mi => "mi",
+        }
+    }
+
+    /// All field identifiers, used by table-driven tests.
+    pub const ALL: [FieldId; 13] = [
+        FieldId::Density,
+        FieldId::Energy0,
+        FieldId::Energy1,
+        FieldId::U,
+        FieldId::P,
+        FieldId::Sd,
+        FieldId::R,
+        FieldId::W,
+        FieldId::Z,
+        FieldId::Kx,
+        FieldId::Ky,
+        FieldId::U0,
+        FieldId::Mi,
+    ];
+}
+
+/// Apply a reflective halo update of the given `depth` to `data`.
+///
+/// # Panics
+/// Panics if `depth` exceeds the mesh halo or `data` is mis-sized.
+pub fn update_halo(mesh: &Mesh2d, data: &mut [f64], depth: usize) {
+    assert!(depth >= 1 && depth <= mesh.halo_depth, "depth must be in 1..=halo_depth");
+    assert_eq!(data.len(), mesh.len(), "field length must match mesh");
+    let w = mesh.width();
+    let (i0, i1, j0, j1) = (mesh.i0(), mesh.i1(), mesh.i0(), mesh.j1());
+
+    // Bottom and top edges: mirror interior rows outward over interior columns.
+    for k in 1..=depth {
+        for i in i0..i1 {
+            data[(j0 - k) * w + i] = data[(j0 + k - 1) * w + i];
+            data[(j1 + k - 1) * w + i] = data[(j1 - k) * w + i];
+        }
+    }
+    // Left and right edges over the full padded height (fills corners).
+    let h = mesh.height();
+    for k in 1..=depth {
+        for j in 0..h {
+            data[j * w + (i0 - k)] = data[j * w + (i0 + k - 1)];
+            data[j * w + (i1 + k - 1)] = data[j * w + (i1 - k)];
+        }
+    }
+}
+
+/// Number of ghost elements written by [`update_halo`] — used by the cost
+/// model to charge halo kernels accurately.
+pub fn halo_elements(mesh: &Mesh2d, depth: usize) -> u64 {
+    let horiz = depth * mesh.x_cells * 2;
+    let vert = depth * mesh.height() * 2;
+    (horiz + vert) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::Field2d;
+
+    fn filled_interior(mesh: &Mesh2d) -> Field2d {
+        let mut f = Field2d::zeros(mesh);
+        for (i, j) in mesh.interior().collect::<Vec<_>>() {
+            f.set(i, j, (i * 100 + j) as f64);
+        }
+        f
+    }
+
+    #[test]
+    fn depth_one_mirrors_first_interior_layer() {
+        let m = Mesh2d::square(4);
+        let mut f = filled_interior(&m);
+        update_halo(&m, f.as_mut_slice(), 1);
+        for i in m.i0()..m.i1() {
+            assert_eq!(f.at(i, m.i0() - 1), f.at(i, m.i0()));
+            assert_eq!(f.at(i, m.j1()), f.at(i, m.j1() - 1));
+        }
+        for j in m.i0()..m.j1() {
+            assert_eq!(f.at(m.i0() - 1, j), f.at(m.i0(), j));
+            assert_eq!(f.at(m.i1(), j), f.at(m.i1() - 1, j));
+        }
+    }
+
+    #[test]
+    fn depth_two_mirrors_second_layer() {
+        let m = Mesh2d::square(4);
+        let mut f = filled_interior(&m);
+        update_halo(&m, f.as_mut_slice(), 2);
+        // ghost layer 2 mirrors interior layer 1 (one further in)
+        for i in m.i0()..m.i1() {
+            assert_eq!(f.at(i, m.i0() - 2), f.at(i, m.i0() + 1));
+            assert_eq!(f.at(i, m.j1() + 1), f.at(i, m.j1() - 2));
+        }
+    }
+
+    #[test]
+    fn corners_filled() {
+        let m = Mesh2d::square(4);
+        let mut f = filled_interior(&m);
+        update_halo(&m, f.as_mut_slice(), 2);
+        // corner ghost equals double reflection of the corner interior cell
+        assert_eq!(f.at(m.i0() - 1, m.i0() - 1), f.at(m.i0(), m.i0()));
+    }
+
+    #[test]
+    fn idempotent() {
+        let m = Mesh2d::square(5);
+        let mut f = filled_interior(&m);
+        update_halo(&m, f.as_mut_slice(), 2);
+        let once = f.clone();
+        update_halo(&m, f.as_mut_slice(), 2);
+        assert_eq!(f, once, "halo update must be idempotent");
+    }
+
+    #[test]
+    fn interior_untouched() {
+        let m = Mesh2d::square(6);
+        let mut f = filled_interior(&m);
+        let before = f.clone();
+        update_halo(&m, f.as_mut_slice(), 2);
+        for (i, j) in m.interior().collect::<Vec<_>>() {
+            assert_eq!(f.at(i, j), before.at(i, j));
+        }
+    }
+
+    #[test]
+    fn halo_element_count() {
+        let m = Mesh2d::square(4);
+        // depth 1: 2*4 horizontal + 2*8 vertical = 24
+        assert_eq!(halo_elements(&m, 1), 24);
+    }
+
+    #[test]
+    #[should_panic]
+    fn depth_zero_rejected() {
+        let m = Mesh2d::square(4);
+        let mut f = Field2d::zeros(&m);
+        update_halo(&m, f.as_mut_slice(), 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # tea-core
+//!
+//! Core substrate for the TeaLeaf reproduction: the structured 2-D grid, the
+//! field containers every programming-model port operates on, reflective halo
+//! machinery, the `tea.in` problem configuration format, the physics that
+//! turns densities into conduction coefficients, and the field-summary
+//! diagnostics the original mini-app reports.
+//!
+//! Nothing in this crate knows about programming models or devices; it is the
+//! shared numerical ground truth. All eight ports in the `tealeaf` crate
+//! consume these types, which is how the reproduction keeps "core solver
+//! logic and parameters consistent between ports" (paper §3).
+
+pub mod config;
+pub mod field;
+pub mod halo;
+pub mod mesh;
+pub mod physics;
+pub mod state;
+pub mod summary;
+pub mod tablefmt;
+pub mod vtk;
+
+pub use config::{Coefficient, SolverKind, TeaConfig};
+pub use field::Field2d;
+pub use mesh::Mesh2d;
+pub use state::{Geometry, State};
+pub use summary::Summary;

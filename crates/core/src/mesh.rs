@@ -1,0 +1,217 @@
+//! The structured 2-D mesh.
+//!
+//! TeaLeaf discretises the unit of domain `[xmin, xmax] × [ymin, ymax]` into
+//! `x_cells × y_cells` uniform cells, surrounded by a halo of ghost cells
+//! (depth 2 in the reference implementation) used for the 5-point stencil and
+//! the reflective boundary conditions.
+//!
+//! Index convention: `i` runs along x (fastest, row-major), `j` along y.
+//! Interior cells occupy `halo_depth .. halo_depth + x_cells` in each
+//! dimension of the padded array.
+
+/// Geometry and indexing for one rectangular chunk of the problem domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mesh2d {
+    /// Number of interior cells along x.
+    pub x_cells: usize,
+    /// Number of interior cells along y.
+    pub y_cells: usize,
+    /// Ghost-cell border width on every side.
+    pub halo_depth: usize,
+    /// Physical domain extents.
+    pub xmin: f64,
+    pub xmax: f64,
+    pub ymin: f64,
+    pub ymax: f64,
+}
+
+impl Mesh2d {
+    /// Create a mesh over `[xmin,xmax]×[ymin,ymax]` with the given interior
+    /// resolution and halo depth.
+    ///
+    /// # Panics
+    /// Panics if any cell count is zero or an extent is not positive.
+    pub fn new(
+        x_cells: usize,
+        y_cells: usize,
+        halo_depth: usize,
+        (xmin, xmax): (f64, f64),
+        (ymin, ymax): (f64, f64),
+    ) -> Self {
+        assert!(x_cells > 0 && y_cells > 0, "mesh must have interior cells");
+        assert!(xmax > xmin && ymax > ymin, "mesh extents must be positive");
+        Mesh2d { x_cells, y_cells, halo_depth, xmin, xmax, ymin, ymax }
+    }
+
+    /// Square mesh over the TeaLeaf default domain `[0,10]²` with halo 2.
+    pub fn square(cells: usize) -> Self {
+        Mesh2d::new(cells, cells, 2, (0.0, 10.0), (0.0, 10.0))
+    }
+
+    /// Cell width along x.
+    #[inline]
+    pub fn dx(&self) -> f64 {
+        (self.xmax - self.xmin) / self.x_cells as f64
+    }
+
+    /// Cell width along y.
+    #[inline]
+    pub fn dy(&self) -> f64 {
+        (self.ymax - self.ymin) / self.y_cells as f64
+    }
+
+    /// Padded array width (interior plus both halos) along x.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.x_cells + 2 * self.halo_depth
+    }
+
+    /// Padded array height along y.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.y_cells + 2 * self.halo_depth
+    }
+
+    /// Total padded element count; the length of every [`crate::Field2d`]
+    /// allocated for this mesh.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.width() * self.height()
+    }
+
+    /// `true` only for a degenerate mesh, which `new` forbids.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of interior cells.
+    #[inline]
+    pub fn interior_len(&self) -> usize {
+        self.x_cells * self.y_cells
+    }
+
+    /// Linear index of padded coordinate `(i, j)`.
+    #[inline(always)]
+    pub fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.width() && j < self.height());
+        j * self.width() + i
+    }
+
+    /// First interior index along either axis.
+    #[inline]
+    pub fn i0(&self) -> usize {
+        self.halo_depth
+    }
+
+    /// One-past-last interior index along x.
+    #[inline]
+    pub fn i1(&self) -> usize {
+        self.halo_depth + self.x_cells
+    }
+
+    /// One-past-last interior index along y.
+    #[inline]
+    pub fn j1(&self) -> usize {
+        self.halo_depth + self.y_cells
+    }
+
+    /// Physical x-coordinate of the centre of padded column `i`.
+    #[inline]
+    pub fn cell_x(&self, i: usize) -> f64 {
+        self.xmin + self.dx() * ((i as f64 - self.halo_depth as f64) + 0.5)
+    }
+
+    /// Physical y-coordinate of the centre of padded row `j`.
+    #[inline]
+    pub fn cell_y(&self, j: usize) -> f64 {
+        self.ymin + self.dy() * ((j as f64 - self.halo_depth as f64) + 0.5)
+    }
+
+    /// Cell area (uniform over the mesh).
+    #[inline]
+    pub fn cell_volume(&self) -> f64 {
+        self.dx() * self.dy()
+    }
+
+    /// Iterate over interior `(i, j)` pairs in row-major order.
+    pub fn interior(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let (i0, i1, j1) = (self.i0(), self.i1(), self.j1());
+        (i0..j1).flat_map(move |j| (i0..i1).map(move |i| (i, j)))
+    }
+
+    /// The diffusion-number scale factors `rx = dt/dx²`, `ry = dt/dy²` used
+    /// by the implicit operator (paper §1.1).
+    pub fn rx_ry(&self, dt: f64) -> (f64, f64) {
+        (dt / (self.dx() * self.dx()), dt / (self.dy() * self.dy()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_basics() {
+        let m = Mesh2d::new(8, 4, 2, (0.0, 4.0), (0.0, 1.0));
+        assert_eq!(m.dx(), 0.5);
+        assert_eq!(m.dy(), 0.25);
+        assert_eq!(m.width(), 12);
+        assert_eq!(m.height(), 8);
+        assert_eq!(m.len(), 96);
+        assert_eq!(m.interior_len(), 32);
+        assert_eq!(m.cell_volume(), 0.125);
+    }
+
+    #[test]
+    fn idx_row_major() {
+        let m = Mesh2d::square(4);
+        assert_eq!(m.idx(0, 0), 0);
+        assert_eq!(m.idx(1, 0), 1);
+        assert_eq!(m.idx(0, 1), m.width());
+        assert_eq!(m.idx(3, 2), 2 * 8 + 3);
+    }
+
+    #[test]
+    fn interior_bounds() {
+        let m = Mesh2d::square(4);
+        assert_eq!(m.i0(), 2);
+        assert_eq!(m.i1(), 6);
+        assert_eq!(m.j1(), 6);
+        let cells: Vec<_> = m.interior().collect();
+        assert_eq!(cells.len(), 16);
+        assert_eq!(cells[0], (2, 2));
+        assert_eq!(*cells.last().unwrap(), (5, 5));
+    }
+
+    #[test]
+    fn cell_centres() {
+        let m = Mesh2d::new(10, 10, 2, (0.0, 10.0), (0.0, 10.0));
+        // first interior cell centre is at 0.5*dx
+        assert!((m.cell_x(2) - 0.5).abs() < 1e-12);
+        assert!((m.cell_y(11) - 9.5).abs() < 1e-12);
+        // halo cells extend past the physical domain
+        assert!(m.cell_x(0) < 0.0);
+    }
+
+    #[test]
+    fn rx_ry_scaling() {
+        let m = Mesh2d::square(100);
+        let (rx, ry) = m.rx_ry(0.004);
+        let d = 10.0 / 100.0;
+        assert!((rx - 0.004 / (d * d)).abs() < 1e-12);
+        assert_eq!(rx, ry);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cells_rejected() {
+        let _ = Mesh2d::new(0, 4, 2, (0.0, 1.0), (0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_extent_rejected() {
+        let _ = Mesh2d::new(4, 4, 2, (1.0, 0.0), (0.0, 1.0));
+    }
+}

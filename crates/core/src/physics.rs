@@ -1,0 +1,141 @@
+//! The heat-conduction physics shared by every port.
+//!
+//! TeaLeaf solves `∂u/∂t = ∇·(k ∇u)` implicitly. Each timestep assembles a
+//! symmetric positive-definite 5-point operator
+//!
+//! ```text
+//! (A u)[i,j] = (1 + Kx[i+1,j] + Kx[i,j] + Ky[i,j+1] + Ky[i,j]) · u[i,j]
+//!            -  Kx[i+1,j]·u[i+1,j] - Kx[i,j]·u[i-1,j]
+//!            -  Ky[i,j+1]·u[i,j+1] - Ky[i,j]·u[i,j-1]
+//! ```
+//!
+//! where `Kx`/`Ky` are face-centred conduction coefficients, pre-scaled by
+//! `rx = dt/dx²` / `ry = dt/dy²`, derived from cell-average densities by the
+//! harmonic-mean formula of the reference implementation. The right-hand
+//! side is `u0 = energy · density` and the solvers iterate `A u = u0`.
+//!
+//! These free functions are the *scalar* definitions. Ports re-express the
+//! loops in their own model idiom but call into these per-cell formulas, so
+//! a change here changes every port identically.
+
+use crate::config::Coefficient;
+
+/// Per-cell conduction weight `w` from density (paper §1.1: "face centred
+/// diffusion coefficients based on cell average densities").
+#[inline(always)]
+pub fn cell_weight(coefficient: Coefficient, density: f64) -> f64 {
+    match coefficient {
+        Coefficient::Conductivity => density,
+        Coefficient::RecipConductivity => 1.0 / density,
+    }
+}
+
+/// Face coefficient between two neighbouring cell weights, unscaled.
+///
+/// This is the reference `(w_l + w_r) / (2 w_l w_r)` form — the harmonic
+/// mean of the two conductivities up to the factor absorbed into `rx`/`ry`.
+#[inline(always)]
+pub fn face_coefficient(w_lo: f64, w_hi: f64) -> f64 {
+    (w_lo + w_hi) / (2.0 * w_lo * w_hi)
+}
+
+/// Diagonal entry of the operator at a cell given its four scaled face
+/// coefficients.
+#[inline(always)]
+pub fn diagonal(kx_w: f64, kx_e: f64, ky_s: f64, ky_n: f64) -> f64 {
+    1.0 + kx_w + kx_e + ky_s + ky_n
+}
+
+/// Apply the 5-point operator at one cell.
+///
+/// `c` is the centre value; `w`/`e`/`s`/`n` the four neighbours; the `k*`
+/// arguments are the scaled face coefficients on the matching faces
+/// (`kx_w = Kx[i,j]`, `kx_e = Kx[i+1,j]`, `ky_s = Ky[i,j]`,
+/// `ky_n = Ky[i,j+1]`).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // the 5-point stencil has 9 natural inputs
+pub fn apply_stencil(
+    c: f64,
+    w: f64,
+    e: f64,
+    s: f64,
+    n: f64,
+    kx_w: f64,
+    kx_e: f64,
+    ky_s: f64,
+    ky_n: f64,
+) -> f64 {
+    diagonal(kx_w, kx_e, ky_s, ky_n) * c - kx_e * e - kx_w * w - ky_n * n - ky_s * s
+}
+
+/// One Jacobi sweep value: the new centre estimate given the RHS `u0` and
+/// current neighbours.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // as apply_stencil
+pub fn jacobi_update(
+    u0: f64,
+    w: f64,
+    e: f64,
+    s: f64,
+    n: f64,
+    kx_w: f64,
+    kx_e: f64,
+    ky_s: f64,
+    ky_n: f64,
+) -> f64 {
+    (u0 + kx_e * e + kx_w * w + ky_n * n + ky_s * s) / diagonal(kx_w, kx_e, ky_s, ky_n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_modes() {
+        assert_eq!(cell_weight(Coefficient::Conductivity, 4.0), 4.0);
+        assert_eq!(cell_weight(Coefficient::RecipConductivity, 4.0), 0.25);
+    }
+
+    #[test]
+    fn face_coefficient_is_symmetric() {
+        let a = face_coefficient(2.0, 8.0);
+        let b = face_coefficient(8.0, 2.0);
+        assert_eq!(a, b);
+        // (2+8)/(2*16) = 10/32
+        assert!((a - 0.3125).abs() < 1e-15);
+    }
+
+    #[test]
+    fn uniform_weights_give_reciprocal() {
+        // equal conductivity w: coefficient = 2w/(2w²) = 1/w
+        let k = face_coefficient(5.0, 5.0);
+        assert!((k - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn stencil_row_sum_on_constant_field() {
+        // On a constant field the operator reduces to the identity:
+        // A·c = c because the off-diagonal terms exactly cancel the
+        // coefficient part of the diagonal.
+        let v = apply_stencil(3.0, 3.0, 3.0, 3.0, 3.0, 0.4, 0.3, 0.2, 0.1);
+        assert!((v - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn jacobi_fixed_point_is_solution() {
+        // If u satisfies A u = u0 at a cell, the Jacobi update returns u.
+        let (kx_w, kx_e, ky_s, ky_n) = (0.4, 0.3, 0.2, 0.1);
+        let (c, w, e, s, n) = (1.0, 2.0, 3.0, 4.0, 5.0);
+        let u0 = apply_stencil(c, w, e, s, n, kx_w, kx_e, ky_s, ky_n);
+        let next = jacobi_update(u0, w, e, s, n, kx_w, kx_e, ky_s, ky_n);
+        assert!((next - c).abs() < 1e-14);
+    }
+
+    #[test]
+    fn diagonal_dominance() {
+        // diagonal = 1 + sum of off-diagonal magnitudes → strictly dominant
+        let d = diagonal(0.4, 0.3, 0.2, 0.1);
+        assert!((d - (1.0 + 0.4 + 0.3 + 0.2 + 0.1)).abs() < 1e-15);
+        assert!(d > 0.4 + 0.3 + 0.2 + 0.1);
+    }
+}

@@ -1,0 +1,183 @@
+//! Problem states: the initial-condition regions from `tea.in`.
+//!
+//! TeaLeaf problems are described by a background state (state 1, applied
+//! everywhere) plus overlay states with a geometry (rectangle, circle or
+//! point) that set density and energy inside their region. The canonical
+//! benchmark (`tea_bm_5`-style) drops a hot dense rectangle into a cold
+//! low-density background.
+
+use crate::field::Field2d;
+use crate::mesh::Mesh2d;
+
+/// Region shape of an overlay state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Geometry {
+    /// Applied to every cell; only valid for the first (background) state.
+    Background,
+    /// Axis-aligned rectangle `[xmin,xmax) × [ymin,ymax)` in physical space.
+    Rectangle { xmin: f64, xmax: f64, ymin: f64, ymax: f64 },
+    /// Disc of `radius` centred at `(cx, cy)`.
+    Circle { cx: f64, cy: f64, radius: f64 },
+    /// The single cell containing `(x, y)`.
+    Point { x: f64, y: f64 },
+}
+
+/// One initial-condition state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct State {
+    pub density: f64,
+    pub energy: f64,
+    pub geometry: Geometry,
+}
+
+impl State {
+    /// Background state covering the whole domain.
+    pub fn background(density: f64, energy: f64) -> Self {
+        State { density, energy, geometry: Geometry::Background }
+    }
+
+    /// Does this state's region contain the cell centred at `(x, y)` with
+    /// extents `(dx, dy)`?
+    ///
+    /// Matches the reference generator: rectangles test the cell centre,
+    /// circles test the centre radius, points test containment of the point
+    /// in the cell.
+    pub fn contains(&self, x: f64, y: f64, dx: f64, dy: f64) -> bool {
+        match self.geometry {
+            Geometry::Background => true,
+            Geometry::Rectangle { xmin, xmax, ymin, ymax } => {
+                x >= xmin && x < xmax && y >= ymin && y < ymax
+            }
+            Geometry::Circle { cx, cy, radius } => {
+                let (rx, ry) = (x - cx, y - cy);
+                (rx * rx + ry * ry).sqrt() <= radius
+            }
+            Geometry::Point { x: px, y: py } => {
+                px >= x - 0.5 * dx && px < x + 0.5 * dx && py >= y - 0.5 * dy && py < y + 0.5 * dy
+            }
+        }
+    }
+}
+
+/// Generate the initial `density` and `energy0` fields from `states`.
+///
+/// States are applied in order, later states overwriting earlier ones, as in
+/// the reference `generate_chunk` kernel. Halo cells receive the value of the
+/// state that geometrically contains them (background covers everything), so
+/// the first reflective halo update is already consistent.
+pub fn generate_chunk(mesh: &Mesh2d, states: &[State], density: &mut Field2d, energy0: &mut Field2d) {
+    assert!(!states.is_empty(), "at least the background state is required");
+    assert!(
+        matches!(states[0].geometry, Geometry::Background),
+        "first state must be the background"
+    );
+    let (dx, dy) = (mesh.dx(), mesh.dy());
+    for j in 0..mesh.height() {
+        for i in 0..mesh.width() {
+            let (x, y) = (mesh.cell_x(i), mesh.cell_y(j));
+            for s in states {
+                if s.contains(x, y, dx, dy) {
+                    density.set(i, j, s.density);
+                    energy0.set(i, j, s.energy);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh2d {
+        Mesh2d::new(10, 10, 2, (0.0, 10.0), (0.0, 10.0))
+    }
+
+    #[test]
+    fn background_fills_everything() {
+        let m = mesh();
+        let mut d = Field2d::zeros(&m);
+        let mut e = Field2d::zeros(&m);
+        generate_chunk(&m, &[State::background(100.0, 0.0001)], &mut d, &mut e);
+        assert!(d.as_slice().iter().all(|&v| v == 100.0));
+        assert!(e.as_slice().iter().all(|&v| v == 0.0001));
+    }
+
+    #[test]
+    fn rectangle_overlays_background() {
+        let m = mesh();
+        let mut d = Field2d::zeros(&m);
+        let mut e = Field2d::zeros(&m);
+        let states = [
+            State::background(100.0, 0.0001),
+            State {
+                density: 0.1,
+                energy: 25.0,
+                geometry: Geometry::Rectangle { xmin: 0.0, xmax: 5.0, ymin: 0.0, ymax: 2.0 },
+            },
+        ];
+        generate_chunk(&m, &states, &mut d, &mut e);
+        // cell (2,2) centre = (0.5, 0.5) inside rectangle
+        assert_eq!(d.at(2, 2), 0.1);
+        assert_eq!(e.at(2, 2), 25.0);
+        // cell centre (9.5, 9.5) outside
+        assert_eq!(d.at(11, 11), 100.0);
+    }
+
+    #[test]
+    fn circle_geometry() {
+        let s = State {
+            density: 1.0,
+            energy: 1.0,
+            geometry: Geometry::Circle { cx: 5.0, cy: 5.0, radius: 2.0 },
+        };
+        assert!(s.contains(5.0, 6.9, 1.0, 1.0));
+        assert!(!s.contains(5.0, 7.1, 1.0, 1.0));
+        assert!(s.contains(5.0 + 2.0 / 2f64.sqrt() - 1e-9, 5.0 + 2.0 / 2f64.sqrt() - 1e-9, 1.0, 1.0));
+    }
+
+    #[test]
+    fn point_selects_single_cell() {
+        let m = mesh();
+        let mut d = Field2d::zeros(&m);
+        let mut e = Field2d::zeros(&m);
+        let states = [
+            State::background(1.0, 1.0),
+            State { density: 9.0, energy: 9.0, geometry: Geometry::Point { x: 2.5, y: 2.5 } },
+        ];
+        generate_chunk(&m, &states, &mut d, &mut e);
+        let hits = d.as_slice().iter().filter(|&&v| v == 9.0).count();
+        assert_eq!(hits, 1);
+        // cell containing (2.5, 2.5): interior cell index 2 → padded 4
+        assert_eq!(d.at(4, 4), 9.0);
+    }
+
+    #[test]
+    fn later_states_overwrite() {
+        let m = mesh();
+        let mut d = Field2d::zeros(&m);
+        let mut e = Field2d::zeros(&m);
+        let all = Geometry::Rectangle { xmin: -100.0, xmax: 100.0, ymin: -100.0, ymax: 100.0 };
+        let states = [
+            State::background(1.0, 1.0),
+            State { density: 2.0, energy: 2.0, geometry: all },
+            State { density: 3.0, energy: 3.0, geometry: all },
+        ];
+        generate_chunk(&m, &states, &mut d, &mut e);
+        assert!(d.as_slice().iter().all(|&v| v == 3.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn first_state_must_be_background() {
+        let m = mesh();
+        let mut d = Field2d::zeros(&m);
+        let mut e = Field2d::zeros(&m);
+        let s = State {
+            density: 1.0,
+            energy: 1.0,
+            geometry: Geometry::Point { x: 0.0, y: 0.0 },
+        };
+        generate_chunk(&m, &[s], &mut d, &mut e);
+    }
+}

@@ -1,0 +1,166 @@
+//! Tiny table/CSV emitters used by the benchmark harness.
+//!
+//! The paper's artefacts are tables and figure series. Rather than pull in a
+//! serialization stack, this module renders aligned text tables (for the
+//! terminal) and CSV (for re-plotting) from string cells.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a data row; must match the header width.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width must match header");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience for rows of `&str`.
+    pub fn row_str(&mut self, cells: &[&str]) -> &mut Self {
+        let owned: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        self.row(&owned)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for c in 0..cols {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[c];
+                line.push_str(cell);
+                line.extend(std::iter::repeat_n(' ', widths[c] - cell.len()));
+            }
+            line.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Render as CSV with minimal quoting (cells containing commas or quotes
+    /// are quoted; embedded quotes doubled).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| csv_escape(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        emit(&mut out, &self.header);
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+fn csv_escape(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Format seconds with sensible precision for runtime tables.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.1}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{s:.4}")
+    }
+}
+
+/// Format a ratio/percentage like `87.3%`.
+pub fn fmt_pct(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_render() {
+        let mut t = Table::new("demo", &["model", "time"]);
+        t.row_str(&["cuda", "1.0"]).row_str(&["openmp4", "2.25"]);
+        let text = t.render();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("model    time"));
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.row_str(&["x,y", "plain"]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n\"x,y\",plain\n");
+    }
+
+    #[test]
+    fn csv_quote_doubling() {
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_row_rejected() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.row_str(&["only-one"]);
+    }
+
+    #[test]
+    fn second_formatting() {
+        assert_eq!(fmt_secs(123.456), "123.5");
+        assert_eq!(fmt_secs(1.2345), "1.23");
+        assert_eq!(fmt_secs(0.01234), "0.0123");
+        assert_eq!(fmt_pct(0.873), "87.3%");
+    }
+}

@@ -1,0 +1,112 @@
+//! Legacy-VTK output of mesh fields.
+//!
+//! The reference TeaLeaf dumps `.vtk` visualisation files of its fields;
+//! this module writes the same legacy ASCII `STRUCTURED_POINTS` format
+//! (cell data over the interior mesh), loadable by ParaView/VisIt.
+
+use std::fmt::Write as _;
+
+use crate::field::Field2d;
+use crate::mesh::Mesh2d;
+
+/// Render `fields` (name → field) as one legacy VTK dataset over the
+/// interior cells of `mesh`.
+///
+/// # Panics
+/// Panics if a field's extents do not match the mesh.
+pub fn to_vtk(mesh: &Mesh2d, fields: &[(&str, &Field2d)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# vtk DataFile Version 3.0");
+    let _ = writeln!(out, "TeaLeaf reproduction output");
+    let _ = writeln!(out, "ASCII");
+    let _ = writeln!(out, "DATASET STRUCTURED_POINTS");
+    // point dimensions = cells + 1 per axis for cell data
+    let _ = writeln!(out, "DIMENSIONS {} {} 1", mesh.x_cells + 1, mesh.y_cells + 1);
+    let _ = writeln!(out, "ORIGIN {} {} 0.0", mesh.xmin, mesh.ymin);
+    let _ = writeln!(out, "SPACING {} {} 1.0", mesh.dx(), mesh.dy());
+    let _ = writeln!(out, "CELL_DATA {}", mesh.interior_len());
+    for (name, field) in fields {
+        assert_eq!(field.width(), mesh.width(), "field '{name}' width mismatch");
+        assert_eq!(field.height(), mesh.height(), "field '{name}' height mismatch");
+        let _ = writeln!(out, "SCALARS {name} double 1");
+        let _ = writeln!(out, "LOOKUP_TABLE default");
+        for j in mesh.i0()..mesh.j1() {
+            for i in mesh.i0()..mesh.i1() {
+                let _ = writeln!(out, "{:.12e}", field.at(i, j));
+            }
+        }
+    }
+    out
+}
+
+/// Write the dataset to `path`.
+pub fn write_vtk(
+    path: &std::path::Path,
+    mesh: &Mesh2d,
+    fields: &[(&str, &Field2d)],
+) -> std::io::Result<()> {
+    std::fs::write(path, to_vtk(mesh, fields))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_extents() {
+        let mesh = Mesh2d::new(4, 3, 2, (0.0, 4.0), (0.0, 3.0));
+        let f = Field2d::filled(&mesh, 1.5);
+        let text = to_vtk(&mesh, &[("u", &f)]);
+        assert!(text.starts_with("# vtk DataFile Version 3.0"));
+        assert!(text.contains("DIMENSIONS 5 4 1"));
+        assert!(text.contains("SPACING 1 1 1.0"));
+        assert!(text.contains("CELL_DATA 12"));
+        assert!(text.contains("SCALARS u double 1"));
+        // 12 interior values
+        let values = text.lines().filter(|l| l.starts_with("1.5")).count();
+        assert_eq!(values, 12);
+    }
+
+    #[test]
+    fn multiple_fields_emitted_in_order() {
+        let mesh = Mesh2d::square(2);
+        let a = Field2d::filled(&mesh, 1.0);
+        let b = Field2d::filled(&mesh, 2.0);
+        let text = to_vtk(&mesh, &[("density", &a), ("energy", &b)]);
+        let da = text.find("SCALARS density").unwrap();
+        let db = text.find("SCALARS energy").unwrap();
+        assert!(da < db);
+    }
+
+    #[test]
+    fn values_are_interior_row_major() {
+        let mesh = Mesh2d::square(2);
+        let mut f = Field2d::zeros(&mesh);
+        let mut v = 0.0;
+        for j in mesh.i0()..mesh.j1() {
+            for i in mesh.i0()..mesh.i1() {
+                f.set(i, j, v);
+                v += 1.0;
+            }
+        }
+        let text = to_vtk(&mesh, &[("u", &f)]);
+        let tail: Vec<&str> = text
+            .lines()
+            .skip_while(|l| !l.starts_with("LOOKUP_TABLE"))
+            .skip(1)
+            .collect();
+        let parsed: Vec<f64> = tail.iter().map(|l| l.parse().unwrap()).collect();
+        assert_eq!(parsed, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn write_roundtrip(){
+        let dir = std::env::temp_dir().join("tea_vtk_test.vtk");
+        let mesh = Mesh2d::square(2);
+        let f = Field2d::filled(&mesh, 3.0);
+        write_vtk(&dir, &mesh, &[("u", &f)]).unwrap();
+        let back = std::fs::read_to_string(&dir).unwrap();
+        assert_eq!(back, to_vtk(&mesh, &[("u", &f)]));
+        let _ = std::fs::remove_file(&dir);
+    }
+}

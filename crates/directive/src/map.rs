@@ -1,0 +1,57 @@
+//! Map clauses.
+
+/// Transfer direction of a `map` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapDir {
+    /// `map(to: …)` — host→device on region entry.
+    To,
+    /// `map(from: …)` — device→host on region exit.
+    From,
+    /// `map(tofrom: …)` — both.
+    ToFrom,
+    /// `map(alloc: …)` — device allocation only, no transfer.
+    Alloc,
+}
+
+/// One mapped array: a name (for `present` checks and `update`
+/// directives), its size, and the transfer direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapClause {
+    pub name: String,
+    pub bytes: u64,
+    pub dir: MapDir,
+}
+
+impl MapClause {
+    /// Build a clause.
+    pub fn new(name: &str, bytes: u64, dir: MapDir) -> Self {
+        MapClause { name: name.to_string(), bytes, dir }
+    }
+
+    /// Transfers on region entry?
+    pub fn copies_in(&self) -> bool {
+        matches!(self.dir, MapDir::To | MapDir::ToFrom)
+    }
+
+    /// Transfers on region exit?
+    pub fn copies_out(&self) -> bool {
+        matches!(self.dir, MapDir::From | MapDir::ToFrom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directions() {
+        assert!(MapClause::new("a", 8, MapDir::To).copies_in());
+        assert!(!MapClause::new("a", 8, MapDir::To).copies_out());
+        assert!(MapClause::new("a", 8, MapDir::From).copies_out());
+        assert!(!MapClause::new("a", 8, MapDir::From).copies_in());
+        let tf = MapClause::new("a", 8, MapDir::ToFrom);
+        assert!(tf.copies_in() && tf.copies_out());
+        let al = MapClause::new("a", 8, MapDir::Alloc);
+        assert!(!al.copies_in() && !al.copies_out());
+    }
+}

@@ -1,0 +1,243 @@
+//! Kokkos-style `View` containers.
+//!
+//! A `View` is a labelled, shape-aware array bound to a *memory space*
+//! (host or device) with a *layout* (row- or column-major). The paper's
+//! port stores every TeaLeaf field in a device `View` and moves data with
+//! "the Kokkos abstract copy functions" (§3.3) — reproduced here by
+//! [`deep_copy`], which charges simulated transfer time when the copy
+//! crosses spaces.
+
+use simdev::SimContext;
+
+/// Which memory space a view lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemorySpaceKind {
+    Host,
+    Device,
+}
+
+/// Data layout — Kokkos picks `LayoutRight` (row-major) for CPUs and
+/// `LayoutLeft` (column-major, coalesced) for GPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    Right,
+    Left,
+}
+
+/// A 2-D view of `f64` with label, layout and memory space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct View {
+    label: String,
+    data: Vec<f64>,
+    dim0: usize,
+    dim1: usize,
+    layout: Layout,
+    space: MemorySpaceKind,
+}
+
+impl View {
+    /// Allocate a zero-initialised view (Kokkos zero-fills on allocation).
+    pub fn new(label: &str, dim0: usize, dim1: usize, layout: Layout, space: MemorySpaceKind) -> Self {
+        View { label: label.to_string(), data: vec![0.0; dim0 * dim1], dim0, dim1, layout, space }
+    }
+
+    /// Device view with the layout Kokkos would pick for the space.
+    pub fn device(label: &str, dim0: usize, dim1: usize) -> Self {
+        View::new(label, dim0, dim1, Layout::Left, MemorySpaceKind::Device)
+    }
+
+    /// Host mirror with host layout.
+    pub fn host(label: &str, dim0: usize, dim1: usize) -> Self {
+        View::new(label, dim0, dim1, Layout::Right, MemorySpaceKind::Host)
+    }
+
+    /// The view's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Extents `(dim0, dim1)` — `dim0` is the x/fast index by convention.
+    pub fn extents(&self) -> (usize, usize) {
+        (self.dim0, self.dim1)
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the view holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes (for transfer costing).
+    pub fn bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<f64>()) as u64
+    }
+
+    /// Memory space of this view.
+    pub fn space(&self) -> MemorySpaceKind {
+        self.space
+    }
+
+    /// Layout of this view.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Map logical `(i, j)` to the linear storage index per the layout.
+    #[inline(always)]
+    pub fn index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.dim0 && j < self.dim1);
+        match self.layout {
+            Layout::Right => j * self.dim0 + i,
+            Layout::Left => i * self.dim1 + j,
+        }
+    }
+
+    /// Read element `(i, j)`.
+    #[inline(always)]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[self.index(i, j)]
+    }
+
+    /// Write element `(i, j)`.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        let idx = self.index(i, j);
+        self.data[idx] = v;
+    }
+
+    /// Borrow the raw storage (layout order).
+    pub fn raw(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the raw storage.
+    pub fn raw_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Copy out in logical row-major order regardless of layout — used to
+    /// hand results back to layout-agnostic host code.
+    pub fn to_row_major(&self) -> Vec<f64> {
+        match self.layout {
+            Layout::Right => self.data.clone(),
+            Layout::Left => {
+                let mut out = vec![0.0; self.data.len()];
+                for j in 0..self.dim1 {
+                    for i in 0..self.dim0 {
+                        out[j * self.dim0 + i] = self.get(i, j);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Fill from logical row-major data.
+    pub fn fill_from_row_major(&mut self, src: &[f64]) {
+        assert_eq!(src.len(), self.data.len());
+        match self.layout {
+            Layout::Right => self.data.copy_from_slice(src),
+            Layout::Left => {
+                for j in 0..self.dim1 {
+                    for i in 0..self.dim0 {
+                        let v = src[j * self.dim0 + i];
+                        self.set(i, j, v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Kokkos `deep_copy`: copy `src` into `dst`, charging a simulated
+/// transfer when the copy crosses memory spaces on an offload device.
+///
+/// # Panics
+/// Panics if extents differ.
+pub fn deep_copy(ctx: &SimContext, dst: &mut View, src: &View) {
+    assert_eq!(dst.extents(), src.extents(), "deep_copy requires matching extents");
+    if dst.layout == src.layout {
+        dst.data.copy_from_slice(&src.data);
+    } else {
+        let rm = src.to_row_major();
+        dst.fill_from_row_major(&rm);
+    }
+    if dst.space != src.space {
+        ctx.transfer(src.bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdev::{devices, ModelProfile, SimContext};
+
+    fn ctx_gpu() -> SimContext {
+        SimContext::new(devices::gpu_k20x(), ModelProfile::ideal("Kokkos"), vec![], 1)
+    }
+
+    #[test]
+    fn layouts_index_differently() {
+        let r = View::new("r", 4, 3, Layout::Right, MemorySpaceKind::Host);
+        let l = View::new("l", 4, 3, Layout::Left, MemorySpaceKind::Device);
+        assert_eq!(r.index(1, 2), 2 * 4 + 1);
+        assert_eq!(l.index(1, 2), 3 + 2);
+    }
+
+    #[test]
+    fn get_set_respect_layout() {
+        for layout in [Layout::Right, Layout::Left] {
+            let mut v = View::new("v", 5, 4, layout, MemorySpaceKind::Host);
+            v.set(3, 2, 7.5);
+            assert_eq!(v.get(3, 2), 7.5);
+        }
+    }
+
+    #[test]
+    fn row_major_roundtrip_across_layouts() {
+        let src: Vec<f64> = (0..20).map(|x| x as f64).collect();
+        let mut left = View::new("l", 5, 4, Layout::Left, MemorySpaceKind::Device);
+        left.fill_from_row_major(&src);
+        assert_eq!(left.to_row_major(), src);
+        // logical element (i=2, j=3) is row-major index 3*5+2
+        assert_eq!(left.get(2, 3), 17.0);
+    }
+
+    #[test]
+    fn deep_copy_cross_space_charges_transfer() {
+        let ctx = ctx_gpu();
+        let host = {
+            let mut h = View::host("h", 16, 16);
+            h.fill_from_row_major(&vec![2.5; 256]);
+            h
+        };
+        let mut dev = View::device("d", 16, 16);
+        deep_copy(&ctx, &mut dev, &host);
+        assert_eq!(dev.get(3, 3), 2.5);
+        let snap = ctx.clock.snapshot();
+        assert_eq!(snap.transfers, 1);
+        assert_eq!(snap.transfer_bytes, 256 * 8);
+    }
+
+    #[test]
+    fn deep_copy_same_space_is_free() {
+        let ctx = ctx_gpu();
+        let a = View::device("a", 8, 8);
+        let mut b = View::device("b", 8, 8);
+        deep_copy(&ctx, &mut b, &a);
+        assert_eq!(ctx.clock.snapshot().transfers, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn deep_copy_extent_mismatch() {
+        let ctx = ctx_gpu();
+        let a = View::device("a", 8, 8);
+        let mut b = View::device("b", 4, 4);
+        deep_copy(&ctx, &mut b, &a);
+    }
+}

@@ -1,0 +1,60 @@
+//! Property-based tests for Views and dispatch.
+
+use proptest::prelude::*;
+
+use kokkos_rs::{ExecutionSpace, Layout, MemorySpaceKind, RangePolicy, TeamPolicy, View};
+use parpool::SerialExec;
+use simdev::{devices, KernelProfile, ModelProfile, SimContext};
+
+proptest! {
+    #[test]
+    fn layout_roundtrip(
+        dim0 in 1usize..40,
+        dim1 in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let len = dim0 * dim1;
+        let data: Vec<f64> = (0..len).map(|k| ((k as u64 * 2654435761 + seed) % 10007) as f64).collect();
+        for layout in [Layout::Right, Layout::Left] {
+            let mut v = View::new("v", dim0, dim1, layout, MemorySpaceKind::Device);
+            v.fill_from_row_major(&data);
+            prop_assert_eq!(v.to_row_major(), data.clone());
+        }
+    }
+
+    #[test]
+    fn layouts_agree_elementwise(dim0 in 1usize..24, dim1 in 1usize..24) {
+        let len = dim0 * dim1;
+        let data: Vec<f64> = (0..len).map(|k| k as f64 * 0.5).collect();
+        let mut right = View::new("r", dim0, dim1, Layout::Right, MemorySpaceKind::Host);
+        let mut left = View::new("l", dim0, dim1, Layout::Left, MemorySpaceKind::Device);
+        right.fill_from_row_major(&data);
+        left.fill_from_row_major(&data);
+        for j in 0..dim1 {
+            for i in 0..dim0 {
+                prop_assert_eq!(right.get(i, j), left.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn team_reduce_equals_flat_reduce(rows in 1usize..20, cols in 1usize..20) {
+        let ctx = SimContext::new(devices::cpu_xeon_e5_2670_x2(), ModelProfile::ideal("Kokkos"), vec![], 0);
+        let space = ExecutionSpace::new(&ctx, &SerialExec);
+        let profile = KernelProfile::streaming("k", (rows * cols) as u64, 1, 0, 1);
+        let value = |r: usize, c: usize| ((r * 31 + c) as f64).sqrt();
+        let team = space.team_parallel_reduce(
+            &profile,
+            TeamPolicy { league_size: rows, team_size: 4 },
+            &|m| m.team_thread_reduce(cols, |c| value(m.league_rank, c)),
+        );
+        let flat = space.parallel_reduce(&profile, RangePolicy::new(0, rows), &|r| {
+            let mut acc = 0.0;
+            for c in 0..cols {
+                acc += value(r, c);
+            }
+            acc
+        });
+        prop_assert_eq!(team, flat);
+    }
+}

@@ -1,0 +1,39 @@
+//! # mpisim
+//!
+//! An MPI-like message-passing layer over threads.
+//!
+//! The paper observes that all of the evaluated programming models "focus
+//! on node-level parallelism and exclude support for inter-node
+//! communications, which is handled with MPI in TeaLeaf" (§3). This crate
+//! is that missing layer for the reproduction: an SPMD world of ranks
+//! (each a real OS thread), point-to-point `send`/`recv` with tags, and
+//! the deterministic collectives the mini-app needs (`allreduce_sum`,
+//! `barrier`).
+//!
+//! ## Determinism
+//!
+//! `allreduce_sum` gathers contributions and combines them **in rank
+//! order**, so a distributed dot product equals the single-chunk
+//! row-ordered reduction bit-for-bit when ranks own contiguous row
+//! stripes — the property `tealeaf::distributed` relies on to prove the
+//! decomposition exact.
+//!
+//! ## Example
+//!
+//! ```
+//! use mpisim::run_spmd;
+//!
+//! let results = run_spmd(4, |rank| {
+//!     let next = (rank.id() + 1) % rank.size();
+//!     let prev = (rank.id() + rank.size() - 1) % rank.size();
+//!     rank.send(next, 0, vec![rank.id() as f64]);
+//!     let from_prev = rank.recv(prev, 0)[0];
+//!     rank.allreduce_sum(from_prev)
+//! });
+//! assert_eq!(results, vec![6.0; 4]); // 0+1+2+3 on every rank
+//! ```
+
+
+pub mod world;
+
+pub use world::{run_spmd, Rank, Tag};

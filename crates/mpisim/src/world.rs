@@ -1,0 +1,374 @@
+//! The SPMD world: ranks, mailboxes, point-to-point messages and
+//! collectives.
+
+use std::collections::VecDeque;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// Message tag (as in MPI, distinguishes concurrent exchanges).
+pub type Tag = u32;
+
+struct Message {
+    from: usize,
+    tag: Tag,
+    payload: Vec<f64>,
+}
+
+/// One rank's handle on the world: its identity, every peer's mailbox,
+/// and its own inbox.
+pub struct Rank {
+    id: usize,
+    size: usize,
+    senders: Vec<Sender<Message>>,
+    inbox: Receiver<Message>,
+    /// Out-of-order messages parked until a matching `recv`.
+    parked: std::cell::RefCell<VecDeque<Message>>,
+}
+
+impl Rank {
+    /// This rank's id (`MPI_Comm_rank`).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// World size (`MPI_Comm_size`).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Blocking send of `payload` to rank `to` with `tag` (`MPI_Send`;
+    /// buffered, so it never deadlocks against a matching exchange).
+    pub fn send(&self, to: usize, tag: Tag, payload: Vec<f64>) {
+        assert!(to < self.size, "rank {to} out of range");
+        self.senders[to]
+            .send(Message { from: self.id, tag, payload })
+            .expect("receiving rank has hung up");
+    }
+
+    /// Blocking receive of the next message from `from` with `tag`
+    /// (`MPI_Recv`). Messages from other (from, tag) pairs arriving in the
+    /// meantime are parked, preserving per-sender ordering.
+    pub fn recv(&self, from: usize, tag: Tag) -> Vec<f64> {
+        // first scan parked messages
+        {
+            let mut parked = self.parked.borrow_mut();
+            if let Some(pos) = parked.iter().position(|m| m.from == from && m.tag == tag) {
+                return parked.remove(pos).expect("position just found").payload;
+            }
+        }
+        loop {
+            let msg = self.inbox.recv().expect("world torn down while receiving");
+            if msg.from == from && msg.tag == tag {
+                return msg.payload;
+            }
+            self.parked.borrow_mut().push_back(msg);
+        }
+    }
+
+    /// Exchange payloads with a neighbour (send then receive; buffered
+    /// sends make the symmetric call deadlock-free) — the halo-exchange
+    /// primitive.
+    pub fn sendrecv(&self, peer: usize, tag: Tag, payload: Vec<f64>) -> Vec<f64> {
+        self.send(peer, tag, payload);
+        self.recv(peer, tag)
+    }
+
+    /// Deterministic `MPI_Allreduce(…, MPI_SUM)`: rank 0 gathers
+    /// contributions and adds them **in rank order**, then broadcasts the
+    /// result.
+    pub fn allreduce_sum(&self, value: f64) -> f64 {
+        const REDUCE_TAG: Tag = u32::MAX;
+        const BCAST_TAG: Tag = u32::MAX - 1;
+        if self.size == 1 {
+            return value;
+        }
+        if self.id == 0 {
+            let mut acc = value;
+            for from in 1..self.size {
+                let contribution = self.recv(from, REDUCE_TAG);
+                acc += contribution[0];
+            }
+            for to in 1..self.size {
+                self.send(to, BCAST_TAG, vec![acc]);
+            }
+            acc
+        } else {
+            self.send(0, REDUCE_TAG, vec![value]);
+            self.recv(0, BCAST_TAG)[0]
+        }
+    }
+
+    /// Component-wise deterministic allreduce for small fixed-size vectors
+    /// (field summaries).
+    pub fn allreduce_sum_vec(&self, values: &[f64]) -> Vec<f64> {
+        const REDUCE_TAG: Tag = u32::MAX - 2;
+        const BCAST_TAG: Tag = u32::MAX - 3;
+        if self.size == 1 {
+            return values.to_vec();
+        }
+        if self.id == 0 {
+            let mut acc = values.to_vec();
+            for from in 1..self.size {
+                let contribution = self.recv(from, REDUCE_TAG);
+                assert_eq!(contribution.len(), acc.len(), "allreduce length mismatch");
+                for (a, c) in acc.iter_mut().zip(&contribution) {
+                    *a += c;
+                }
+            }
+            for to in 1..self.size {
+                self.send(to, BCAST_TAG, acc.clone());
+            }
+            acc
+        } else {
+            self.send(0, REDUCE_TAG, values.to_vec());
+            self.recv(0, BCAST_TAG)
+        }
+    }
+
+    /// `MPI_Barrier` via an all-to-root/root-to-all round.
+    pub fn barrier(&self) {
+        let _ = self.allreduce_sum(0.0);
+    }
+
+    /// Exactly-ordered allreduce: every rank contributes a *vector of
+    /// partials* (e.g. one per owned mesh row); rank 0 concatenates the
+    /// vectors in rank order and sums the concatenation **sequentially**,
+    /// so the result has the same floating-point association as a single
+    /// process summing all partials in global order. This is the fixed-
+    /// order reduction mode reproducible-MPI implementations offer.
+    pub fn allreduce_ordered(&self, parts: &[f64]) -> f64 {
+        const REDUCE_TAG: Tag = u32::MAX - 4;
+        const BCAST_TAG: Tag = u32::MAX - 5;
+        if self.size == 1 {
+            return parts.iter().sum();
+        }
+        if self.id == 0 {
+            let mut acc = 0.0;
+            for p in parts {
+                acc += p;
+            }
+            for from in 1..self.size {
+                for p in self.recv(from, REDUCE_TAG) {
+                    acc += p;
+                }
+            }
+            for to in 1..self.size {
+                self.send(to, BCAST_TAG, vec![acc]);
+            }
+            acc
+        } else {
+            self.send(0, REDUCE_TAG, parts.to_vec());
+            self.recv(0, BCAST_TAG)[0]
+        }
+    }
+
+    /// Component-wise exactly-ordered allreduce over `K`-tuples of
+    /// partials (the 4-component field summary).
+    pub fn allreduce_ordered_components<const K: usize>(&self, parts: &[[f64; K]]) -> [f64; K] {
+        const REDUCE_TAG: Tag = u32::MAX - 6;
+        const BCAST_TAG: Tag = u32::MAX - 7;
+        let fold = |acc: &mut [f64; K], flat: &[f64]| {
+            for chunk in flat.chunks_exact(K) {
+                for q in 0..K {
+                    acc[q] += chunk[q];
+                }
+            }
+        };
+        let flatten = |parts: &[[f64; K]]| -> Vec<f64> {
+            parts.iter().flat_map(|p| p.iter().copied()).collect()
+        };
+        if self.size == 1 {
+            let mut acc = [0.0; K];
+            fold(&mut acc, &flatten(parts));
+            return acc;
+        }
+        if self.id == 0 {
+            let mut acc = [0.0; K];
+            fold(&mut acc, &flatten(parts));
+            for from in 1..self.size {
+                let flat = self.recv(from, REDUCE_TAG);
+                fold(&mut acc, &flat);
+            }
+            for to in 1..self.size {
+                self.send(to, BCAST_TAG, acc.to_vec());
+            }
+            acc
+        } else {
+            self.send(0, REDUCE_TAG, flatten(parts));
+            let flat = self.recv(0, BCAST_TAG);
+            let mut out = [0.0; K];
+            out.copy_from_slice(&flat);
+            out
+        }
+    }
+}
+
+/// Launch `size` ranks, each running `body` on its own thread, and return
+/// their results in rank order (`mpirun -np size`).
+///
+/// # Panics
+/// Propagates a panic from any rank after the world is torn down.
+pub fn run_spmd<R, F>(size: usize, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&Rank) -> R + Sync,
+{
+    assert!(size > 0, "world needs at least one rank");
+    let mut senders = Vec::with_capacity(size);
+    let mut inboxes = Vec::with_capacity(size);
+    for _ in 0..size {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        inboxes.push(rx);
+    }
+    let body = &body;
+    let mut ranks: Vec<Rank> = inboxes
+        .into_iter()
+        .enumerate()
+        .map(|(id, inbox)| Rank {
+            id,
+            size,
+            senders: senders.clone(),
+            inbox,
+            parked: std::cell::RefCell::new(VecDeque::new()),
+        })
+        .collect();
+    drop(senders);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranks
+            .drain(..)
+            .map(|rank| scope.spawn(move || body(&rank)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("a rank panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_of_one() {
+        let out = run_spmd(1, |rank| {
+            assert_eq!(rank.id(), 0);
+            assert_eq!(rank.size(), 1);
+            rank.allreduce_sum(42.0)
+        });
+        assert_eq!(out, vec![42.0]);
+    }
+
+    #[test]
+    fn ring_pass() {
+        let n = 5;
+        let out = run_spmd(n, |rank| {
+            // each rank sends its id to the next and receives from the
+            // previous
+            let next = (rank.id() + 1) % rank.size();
+            let prev = (rank.id() + rank.size() - 1) % rank.size();
+            rank.send(next, 7, vec![rank.id() as f64]);
+            rank.recv(prev, 7)[0]
+        });
+        assert_eq!(out, vec![4.0, 0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn allreduce_matches_serial_sum_bitwise() {
+        let values = [0.1, 0.7, -3.3, 2.25, 9.125, -0.875];
+        let expect: f64 = values.iter().sum(); // rank order == slice order
+        let out = run_spmd(values.len(), |rank| rank.allreduce_sum(values[rank.id()]));
+        for v in out {
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn vector_allreduce() {
+        let out = run_spmd(3, |rank| {
+            let local = vec![rank.id() as f64, 1.0];
+            rank.allreduce_sum_vec(&local)
+        });
+        for v in out {
+            assert_eq!(v, vec![3.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn sendrecv_is_symmetric_and_deadlock_free() {
+        let out = run_spmd(2, |rank| {
+            let peer = 1 - rank.id();
+            rank.sendrecv(peer, 3, vec![rank.id() as f64 * 10.0])[0]
+        });
+        assert_eq!(out, vec![10.0, 0.0]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_parked() {
+        let out = run_spmd(2, |rank| {
+            if rank.id() == 0 {
+                // send tag 2 first, then tag 1
+                rank.send(1, 2, vec![2.0]);
+                rank.send(1, 1, vec![1.0]);
+                0.0
+            } else {
+                // receive tag 1 first: the tag-2 message must be parked
+                let first = rank.recv(0, 1)[0];
+                let second = rank.recv(0, 2)[0];
+                first * 10.0 + second
+            }
+        });
+        assert_eq!(out[1], 12.0);
+    }
+
+    #[test]
+    fn barrier_completes() {
+        let out = run_spmd(4, |rank| {
+            rank.barrier();
+            rank.id()
+        });
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+}
+
+#[cfg(test)]
+mod ordered_tests {
+    use super::*;
+
+    #[test]
+    fn ordered_allreduce_matches_sequential_association() {
+        // the concatenated per-part sum must be bitwise what one process
+        // summing all parts in order computes
+        let parts: Vec<Vec<f64>> = vec![
+            vec![0.1, 0.2, 0.30000000001],
+            vec![-0.7, 1.0e-18],
+            vec![123456.789, -123456.789, 3.5],
+        ];
+        let mut expect = 0.0;
+        for p in parts.iter().flatten() {
+            expect += p;
+        }
+        let out = run_spmd(parts.len(), |rank| rank.allreduce_ordered(&parts[rank.id()]));
+        for v in out {
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn ordered_components_allreduce() {
+        let parts: Vec<Vec<[f64; 2]>> =
+            vec![vec![[1.0, 10.0], [2.0, 20.0]], vec![[3.0, 30.0]], vec![]];
+        let out = run_spmd(3, |rank| rank.allreduce_ordered_components(&parts[rank.id()]));
+        for v in out {
+            assert_eq!(v, [6.0, 60.0]);
+        }
+    }
+
+    #[test]
+    fn ordered_allreduce_world_of_one() {
+        let out = run_spmd(1, |rank| rank.allreduce_ordered(&[1.5, 2.5]));
+        assert_eq!(out, vec![4.0]);
+    }
+}

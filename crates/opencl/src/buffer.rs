@@ -1,0 +1,85 @@
+//! Device buffers.
+
+use crate::platform::Context;
+
+/// A device-resident memory object (`cl_mem`). The storage lives host-side
+//  because execution is functional, but semantically it belongs to the
+//  device: host code must go through the command queue's explicit
+//  `enqueue_read/write_buffer` operations to touch it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Buffer<T> {
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Buffer<T> {
+    /// `clCreateBuffer`: allocate `len` elements on the context's device.
+    pub fn new(_context: &Context, len: usize) -> Self {
+        Buffer { data: vec![T::default(); len] }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes, for transfer costing.
+    pub fn bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<T>()) as u64
+    }
+
+    /// Kernel-argument view: the device-side contents as read by a kernel
+    /// bound to this buffer. Host code outside a kernel must use the
+    /// queue's `enqueue_read_buffer` instead (that is what gets charged
+    /// as a PCIe transfer).
+    pub fn arg_view(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable kernel-argument view (the buffer as a `__global` output).
+    pub fn arg_view_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    pub(crate) fn device_data(&self) -> &[T] {
+        &self.data
+    }
+
+    pub(crate) fn device_data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+/// Kernel-side access: a launched kernel receives `&[f64]` / mutable
+/// access through [`crate::queue::CommandQueue::enqueue_nd_range`]'s
+/// argument binding, so this module only exposes the raw views crate-
+/// internally.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::{Context, Platform};
+    use simdev::devices;
+
+    fn ctx() -> Context {
+        Context::new(Platform::list()[0].devices(&[devices::gpu_k20x()]).remove(0))
+    }
+
+    #[test]
+    fn allocation_is_zeroed() {
+        let buf: Buffer<f64> = Buffer::new(&ctx(), 128);
+        assert_eq!(buf.len(), 128);
+        assert_eq!(buf.bytes(), 1024);
+        assert!(buf.device_data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn device_mutation_visible() {
+        let mut buf: Buffer<f64> = Buffer::new(&ctx(), 4);
+        buf.device_data_mut()[2] = 5.0;
+        assert_eq!(buf.device_data()[2], 5.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Platform, device and context objects — the OpenCL host boilerplate.
+
+use simdev::DeviceSpec;
+
+/// An OpenCL platform (one vendor implementation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    pub name: String,
+    pub vendor: String,
+    pub version: String,
+}
+
+impl Platform {
+    /// Enumerate available platforms. The simulated environment exposes a
+    /// single platform wrapping the calibrated device models.
+    pub fn list() -> Vec<Platform> {
+        vec![Platform {
+            name: "TeaLeaf Simulated Platform".into(),
+            vendor: "tealeaf-repro".into(),
+            version: "OpenCL 1.2 (simulated)".into(),
+        }]
+    }
+
+    /// Enumerate the devices this platform can target, given the device
+    /// models available to the process.
+    pub fn devices(&self, specs: &[DeviceSpec]) -> Vec<ClDevice> {
+        specs.iter().cloned().map(|spec| ClDevice { spec }).collect()
+    }
+}
+
+/// One OpenCL device: a handle over a simulated [`DeviceSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClDevice {
+    pub spec: DeviceSpec,
+}
+
+impl ClDevice {
+    /// `CL_DEVICE_NAME`.
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// `CL_DEVICE_MAX_COMPUTE_UNITS`.
+    pub fn max_compute_units(&self) -> usize {
+        self.spec.cores
+    }
+}
+
+/// An OpenCL context binding devices, kernels, programs and buffers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Context {
+    device: ClDevice,
+}
+
+impl Context {
+    /// Create a context for one device.
+    pub fn new(device: ClDevice) -> Self {
+        Context { device }
+    }
+
+    /// The context's device.
+    pub fn device(&self) -> &ClDevice {
+        &self.device
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdev::devices;
+
+    #[test]
+    fn platform_enumeration() {
+        let platforms = Platform::list();
+        assert_eq!(platforms.len(), 1);
+        let devs = platforms[0].devices(&devices::paper_devices());
+        assert_eq!(devs.len(), 3);
+        assert_eq!(devs[1].name(), "NVIDIA K20X GPU");
+        assert_eq!(devs[2].max_compute_units(), 60);
+    }
+
+    #[test]
+    fn context_wraps_device() {
+        let dev = Platform::list()[0].devices(&[devices::gpu_k20x()]).remove(0);
+        let ctx = Context::new(dev);
+        assert_eq!(ctx.device().name(), "NVIDIA K20X GPU");
+    }
+}

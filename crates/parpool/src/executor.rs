@@ -1,0 +1,113 @@
+//! The [`Executor`] abstraction and the serial reference implementation.
+
+/// A parallel-for runtime over an index space `0..n`.
+///
+/// The programming-model crates (Kokkos/RAJA/directive/OpenCL/CUDA
+//  analogues) all lower their dispatch onto an `Executor`.
+pub trait Executor: Send + Sync {
+    /// Number of worker threads that may execute items concurrently.
+    fn threads(&self) -> usize;
+
+    /// Execute `f(i)` for every `i in 0..n`. Blocks until all items ran.
+    ///
+    /// Items may run concurrently and in any order; callers must ensure
+    /// writes are disjoint per item (TeaLeaf kernels write disjoint rows).
+    fn run(&self, n: usize, f: &(dyn Fn(usize) + Sync));
+
+    /// Deterministic parallel sum: computes `f(i)` for every index into a
+    /// per-index partial buffer and sums the partials **in index order**.
+    ///
+    /// The result is bit-identical across executors and thread counts.
+    fn run_sum(&self, n: usize, f: &(dyn Fn(usize) -> f64 + Sync)) -> f64 {
+        let mut partials = vec![0.0f64; n];
+        {
+            let slot = crate::shared::UnsafeSlice::new(&mut partials);
+            self.run(n, &|i| {
+                // SAFETY: each index `i` is visited exactly once, so every
+                // write targets a distinct element.
+                unsafe { slot.set(i, f(i)) };
+            });
+        }
+        partials.iter().sum()
+    }
+
+}
+
+/// Deterministic multi-component sum (e.g. a 4-way field summary): one
+/// `[f64; K]` partial per index, combined in index order. Free function
+/// (rather than a trait method) so [`Executor`] stays object-safe.
+pub fn run_sum_many<const K: usize>(
+    exec: &(impl Executor + ?Sized),
+    n: usize,
+    f: &(dyn Fn(usize) -> [f64; K] + Sync),
+) -> [f64; K] {
+    let mut partials = vec![[0.0f64; K]; n];
+    {
+        let slot = crate::shared::UnsafeSlice::new(&mut partials);
+        exec.run(n, &|i| {
+            // SAFETY: disjoint per-index writes as in `run_sum`.
+            unsafe { slot.set(i, f(i)) };
+        });
+    }
+    let mut acc = [0.0f64; K];
+    for p in &partials {
+        for k in 0..K {
+            acc[k] += p[k];
+        }
+    }
+    acc
+}
+
+/// Inline, single-threaded executor: the behavioural reference every pool
+/// must agree with exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialExec;
+
+impl Executor for SerialExec {
+    fn threads(&self) -> usize {
+        1
+    }
+
+    fn run(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        for i in 0..n {
+            f(i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn serial_visits_all_in_order() {
+        let seen = std::sync::Mutex::new(Vec::new());
+        SerialExec.run(5, &|i| seen.lock().unwrap().push(i));
+        assert_eq!(*seen.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn serial_sum_matches_direct() {
+        let s = SerialExec.run_sum(100, &|i| (i as f64).sqrt());
+        let direct: f64 = (0..100).map(|i| (i as f64).sqrt()).sum();
+        assert_eq!(s, direct);
+    }
+
+    #[test]
+    fn sum_many_components() {
+        let [a, b] = run_sum_many(&SerialExec, 10, &|i| [i as f64, 2.0 * i as f64]);
+        assert_eq!(a, 45.0);
+        assert_eq!(b, 90.0);
+    }
+
+    #[test]
+    fn zero_items_is_noop() {
+        let count = AtomicUsize::new(0);
+        SerialExec.run(0, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 0);
+        assert_eq!(SerialExec.run_sum(0, &|_| 1.0), 0.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! # parpool
+//!
+//! Host-side parallel execution substrate for the TeaLeaf reproduction.
+//!
+//! The paper's CPU results are produced by two very different runtimes:
+//! OpenMP's fork-join pool with *static* chunk scheduling, and Intel's
+//! OpenCL CPU implementation built on TBB's *work-stealing* scheduler
+//! (§4.1 — the source of the OpenCL CPU variance). This crate provides
+//! faithful Rust counterparts of both:
+//!
+//! * [`StaticPool`] — persistent workers, contiguous per-worker index
+//!   ranges, barrier per parallel region. Models OpenMP
+//!   `schedule(static)` with pinned threads.
+//! * [`StealPool`] — persistent workers over a [`crossbeam_deque`] injector
+//!   with random stealing, fine-grained blocks, and a steal counter so the
+//!   scheduling noise can be observed. Models TBB.
+//! * [`SerialExec`] — inline execution, the determinism reference.
+//!
+//! All three implement [`Executor`]. Reductions are **deterministic by
+//! construction**: every executor computes one partial per index and the
+//! partials are summed in index order, so any thread count, any scheduler
+//! and any executor produce bit-identical results — the property the
+//! cross-port consistency tests rely on.
+//!
+//! ## Example
+//!
+//! ```
+//! use parpool::{Executor, SerialExec, StaticPool};
+//!
+//! let pool = StaticPool::new(4);
+//! let f = |i: usize| (i as f64).sqrt();
+//! // ordered per-index partials make the parallel sum bit-identical to serial
+//! assert_eq!(pool.run_sum(1000, &f), SerialExec.run_sum(1000, &f));
+//! ```
+
+
+pub mod executor;
+pub mod shared;
+pub mod static_pool;
+pub mod steal_pool;
+
+pub use executor::{run_sum_many, Executor, SerialExec};
+pub use shared::UnsafeSlice;
+pub use static_pool::StaticPool;
+pub use steal_pool::StealPool;
+
+use std::sync::OnceLock;
+
+/// Default worker count: the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// Shared process-wide static pool (created on first use).
+pub fn global_static() -> &'static StaticPool {
+    static POOL: OnceLock<StaticPool> = OnceLock::new();
+    POOL.get_or_init(|| StaticPool::new(default_threads()))
+}
+
+/// Shared process-wide work-stealing pool (created on first use).
+pub fn global_steal() -> &'static StealPool {
+    static POOL: OnceLock<StealPool> = OnceLock::new();
+    POOL.get_or_init(|| StealPool::new(default_threads()))
+}

@@ -1,0 +1,257 @@
+//! A persistent fork-join pool with OpenMP-style static scheduling.
+//!
+//! Workers are spawned once and parked on a condvar. Each parallel region
+//! (`run`) assigns worker `w` the contiguous index block
+//! `[w·n/W, (w+1)·n/W)` — the analogue of `#pragma omp parallel for
+//! schedule(static)` with `OMP_PROC_BIND=close`, which is how the paper ran
+//! its CPU and KNC experiments (§4.1, §4.3: "thread affinity set to
+//! compact").
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::executor::Executor;
+
+/// Type-erased pointer to the parallel-region body.
+///
+/// The body is a `&dyn Fn(usize)` borrowed from the caller's stack; `run`
+/// blocks until every worker finished with it, which is what makes the
+/// lifetime erasure sound.
+#[derive(Clone, Copy)]
+struct JobFn {
+    ptr: *const (dyn Fn(usize) + Sync),
+}
+// SAFETY: the pointee is `Sync` and outlives the job (the posting thread
+// blocks in `run` until all workers signalled completion).
+unsafe impl Send for JobFn {}
+unsafe impl Sync for JobFn {}
+
+struct Slot {
+    /// Monotonic job counter; workers run the job whose generation they
+    /// have not yet executed.
+    generation: u64,
+    job: Option<(JobFn, usize)>,
+    workers_done: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    slot: Mutex<Slot>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    panicked: AtomicBool,
+}
+
+/// Persistent static-scheduling thread pool. See module docs.
+pub struct StaticPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    n_threads: usize,
+}
+
+impl StaticPool {
+    /// Spawn a pool with `n_threads` workers.
+    ///
+    /// # Panics
+    /// Panics if `n_threads == 0`.
+    pub fn new(n_threads: usize) -> Self {
+        assert!(n_threads > 0, "pool needs at least one worker");
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(Slot { generation: 0, job: None, workers_done: 0, shutdown: false }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+        let workers = (0..n_threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("parpool-static-{w}"))
+                    .spawn(move || worker_loop(w, n_threads, shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        StaticPool { shared, workers, n_threads }
+    }
+
+    fn post_and_wait(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        // Erase the caller lifetime. SAFETY: we do not return until every
+        // worker has finished executing the job, so the borrow stays live
+        // for the whole time any worker can dereference it.
+        let job = JobFn { ptr: unsafe { std::mem::transmute::<_, *const (dyn Fn(usize) + Sync)>(f) } };
+        let mut slot = self.shared.slot.lock();
+        slot.generation += 1;
+        slot.job = Some((job, n));
+        slot.workers_done = 0;
+        self.shared.work_cv.notify_all();
+        while slot.workers_done < self.n_threads {
+            self.shared.done_cv.wait(&mut slot);
+        }
+        slot.job = None;
+        drop(slot);
+        if self.shared.panicked.swap(false, Ordering::SeqCst) {
+            panic!("a parpool worker panicked while executing a parallel region");
+        }
+    }
+}
+
+fn worker_loop(worker: usize, n_threads: usize, shared: Arc<Shared>) {
+    let mut seen_generation = 0u64;
+    loop {
+        let (job, n, generation) = {
+            let mut slot = shared.slot.lock();
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.generation > seen_generation {
+                    if let Some((job, n)) = slot.job {
+                        break (job, n, slot.generation);
+                    }
+                }
+                shared.work_cv.wait(&mut slot);
+            }
+        };
+        seen_generation = generation;
+        // Static contiguous block for this worker.
+        let start = worker * n / n_threads;
+        let end = (worker + 1) * n / n_threads;
+        if start < end {
+            // SAFETY: the posting thread keeps the closure alive until all
+            // workers report done (see `post_and_wait`).
+            let f = unsafe { &*job.ptr };
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                for i in start..end {
+                    f(i);
+                }
+            }));
+            if result.is_err() {
+                shared.panicked.store(true, Ordering::SeqCst);
+            }
+        }
+        let mut slot = shared.slot.lock();
+        slot.workers_done += 1;
+        if slot.workers_done == n_threads {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+impl Executor for StaticPool {
+    fn threads(&self) -> usize {
+        self.n_threads
+    }
+
+    fn run(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        // Tiny trip counts aren't worth a barrier.
+        if n == 1 || self.n_threads == 1 {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        self.post_and_wait(n, f);
+    }
+}
+
+impl Drop for StaticPool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.slot.lock();
+            slot.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn visits_every_index_once() {
+        let pool = StaticPool::new(4);
+        let n = 100_000;
+        let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(n, &|i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn sum_matches_serial_bitwise() {
+        let pool = StaticPool::new(7);
+        let f = |i: usize| ((i as f64) * 0.1).sin() / (i as f64 + 1.0);
+        let par = pool.run_sum(50_000, &f);
+        let ser = crate::SerialExec.run_sum(50_000, &f);
+        assert_eq!(par, ser, "ordered reduction must be bit-identical");
+    }
+
+    #[test]
+    fn many_regions_back_to_back() {
+        let pool = StaticPool::new(3);
+        let total = AtomicUsize::new(0);
+        for _ in 0..500 {
+            pool.run(64, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 500 * 64);
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let pool = StaticPool::new(4);
+        let hit = AtomicUsize::new(0);
+        pool.run(1, &|i| {
+            assert_eq!(i, 0);
+            hit.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn n_smaller_than_threads() {
+        let pool = StaticPool::new(8);
+        let counters: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(3, &|i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let pool = StaticPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, &|i| {
+                if i == 5 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // pool must still be usable afterwards
+        let s = pool.run_sum(10, &|i| i as f64);
+        assert_eq!(s, 45.0);
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly() {
+        let pool = StaticPool::new(2);
+        pool.run(4, &|_| {});
+        drop(pool); // must not hang
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests of the executors' core guarantees: full index
+//! coverage and bit-deterministic reductions under every scheduler.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+
+use parpool::{run_sum_many, Executor, SerialExec, StaticPool, StealPool};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn static_pool_visits_each_index_once(n in 0usize..5000, threads in 1usize..9) {
+        let pool = StaticPool::new(threads);
+        let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(n, &|i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
+        prop_assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn steal_pool_visits_each_index_once(n in 0usize..5000, threads in 1usize..9) {
+        let pool = StealPool::new(threads);
+        let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(n, &|i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
+        prop_assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn reductions_bit_identical_across_executors(
+        values in proptest::collection::vec(-1.0e9..1.0e9f64, 0..3000),
+        threads in 2usize..8,
+    ) {
+        let f = |i: usize| values[i] * 1.000001 + (i as f64).sin();
+        let reference = SerialExec.run_sum(values.len(), &f);
+        let static_pool = StaticPool::new(threads);
+        let steal_pool = StealPool::new(threads);
+        prop_assert_eq!(static_pool.run_sum(values.len(), &f), reference);
+        prop_assert_eq!(steal_pool.run_sum(values.len(), &f), reference);
+    }
+
+    #[test]
+    fn multi_component_reduction_matches_scalar(
+        values in proptest::collection::vec(-1.0e6..1.0e6f64, 1..2000),
+        threads in 1usize..6,
+    ) {
+        let pool = StaticPool::new(threads);
+        let n = values.len();
+        let [sum, sum_sq] = run_sum_many(&pool, n, &|i| [values[i], values[i] * values[i]]);
+        let s = pool.run_sum(n, &|i| values[i]);
+        let q = pool.run_sum(n, &|i| values[i] * values[i]);
+        prop_assert_eq!(sum, s);
+        prop_assert_eq!(sum_sq, q);
+    }
+
+    #[test]
+    fn repeated_regions_stay_deterministic(
+        n in 1usize..800,
+        regions in 1usize..20,
+    ) {
+        let pool = StealPool::new(4);
+        let f = |i: usize| 1.0 / (i as f64 + 1.0);
+        let first = pool.run_sum(n, &f);
+        for _ in 0..regions {
+            prop_assert_eq!(pool.run_sum(n, &f), first);
+        }
+    }
+}

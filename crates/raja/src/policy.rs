@@ -1,0 +1,59 @@
+//! Execution policies.
+//!
+//! RAJA recouples a loop body to a traversal by choosing a policy type.
+//! Policies here carry two facts the runtime needs: whether dispatch is
+//! parallel, and whether the generated loop is (asserted) vectorizable —
+//! `SimdExec` models the paper's proof-of-concept `RAJA SIMD` variant that
+//! wrapped loop bodies in `omp simd` (§4.1).
+
+/// A RAJA execution policy.
+pub trait ExecPolicy {
+    /// Policy name, for kernel labelling.
+    const NAME: &'static str;
+    /// Dispatch across the host executor's threads?
+    const PARALLEL: bool;
+    /// Does this policy force vectorization of range-segment loops?
+    const FORCES_SIMD: bool;
+}
+
+/// Sequential execution (`RAJA::seq_exec`).
+pub struct SeqExec;
+
+impl ExecPolicy for SeqExec {
+    const NAME: &'static str = "seq_exec";
+    const PARALLEL: bool = false;
+    const FORCES_SIMD: bool = false;
+}
+
+/// OpenMP-style parallel-for (`RAJA::omp_parallel_for_exec`).
+pub struct OmpParallelForExec;
+
+impl ExecPolicy for OmpParallelForExec {
+    const NAME: &'static str = "omp_parallel_for_exec";
+    const PARALLEL: bool = true;
+    const FORCES_SIMD: bool = false;
+}
+
+/// Parallel-for with forced vectorization (`omp parallel for simd`) — the
+/// paper's `RAJA SIMD` variant.
+pub struct SimdExec;
+
+impl ExecPolicy for SimdExec {
+    const NAME: &'static str = "simd_exec";
+    const PARALLEL: bool = true;
+    const FORCES_SIMD: bool = true;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_constants() {
+        const { assert!(!SeqExec::PARALLEL) };
+        const { assert!(OmpParallelForExec::PARALLEL) };
+        const { assert!(!OmpParallelForExec::FORCES_SIMD) };
+        const { assert!(SimdExec::FORCES_SIMD) };
+        assert_eq!(SeqExec::NAME, "seq_exec");
+    }
+}

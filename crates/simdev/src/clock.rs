@@ -1,0 +1,195 @@
+//! The simulated clock and its counters.
+//!
+//! Each port owns one [`SimClock`]. Kernel launches, transfers and halo
+//! exchanges add seconds and bump counters; the benchmark harness reads a
+//! [`ClockSnapshot`] per run to derive runtimes (Figures 8–11) and achieved
+//! bandwidth (Figure 12).
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+/// Accumulated simulated time and traffic for one port instance.
+///
+/// Interior-mutable (`Cell`) because the orchestrating solver holds shared
+/// references to the context while kernels charge time; all charging
+/// happens on the orchestrator thread.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    seconds: Cell<f64>,
+    kernels: Cell<u64>,
+    /// Per-kernel-name (count, seconds) profile, like the mini-app's
+    /// built-in profiler.
+    by_kernel: RefCell<HashMap<&'static str, (u64, f64)>>,
+    /// Application bytes moved by kernels (model overheads excluded) —
+    /// the numerator of Figure 12's achieved bandwidth.
+    app_bytes: Cell<u64>,
+    transfers: Cell<u64>,
+    transfer_bytes: Cell<u64>,
+    flops: Cell<u64>,
+}
+
+/// A copy of the clock's state at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClockSnapshot {
+    pub seconds: f64,
+    pub kernels: u64,
+    pub app_bytes: u64,
+    pub transfers: u64,
+    pub transfer_bytes: u64,
+    pub flops: u64,
+}
+
+impl ClockSnapshot {
+    /// Achieved application bandwidth in GB/s over the recorded interval.
+    pub fn achieved_bw_gbs(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            return 0.0;
+        }
+        self.app_bytes as f64 / self.seconds / 1e9
+    }
+
+    /// Difference `self - earlier`, for measuring a sub-interval.
+    pub fn since(&self, earlier: &ClockSnapshot) -> ClockSnapshot {
+        ClockSnapshot {
+            seconds: self.seconds - earlier.seconds,
+            kernels: self.kernels - earlier.kernels,
+            app_bytes: self.app_bytes - earlier.app_bytes,
+            transfers: self.transfers - earlier.transfers,
+            transfer_bytes: self.transfer_bytes - earlier.transfer_bytes,
+            flops: self.flops - earlier.flops,
+        }
+    }
+}
+
+impl SimClock {
+    /// A zeroed clock.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Record one kernel execution.
+    pub fn charge_kernel_named(&self, name: &'static str, seconds: f64, app_bytes: u64, flops: u64) {
+        let mut map = self.by_kernel.borrow_mut();
+        let entry = map.entry(name).or_insert((0, 0.0));
+        entry.0 += 1;
+        entry.1 += seconds;
+        drop(map);
+        self.charge_kernel(seconds, app_bytes, flops);
+    }
+
+    /// Per-kernel profile, sorted by descending time.
+    pub fn kernel_profile(&self) -> Vec<(&'static str, u64, f64)> {
+        let mut rows: Vec<(&'static str, u64, f64)> = self
+            .by_kernel
+            .borrow()
+            .iter()
+            .map(|(k, (c, t))| (*k, *c, *t))
+            .collect();
+        rows.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite times"));
+        rows
+    }
+
+    /// Record one kernel execution (unnamed).
+    pub fn charge_kernel(&self, seconds: f64, app_bytes: u64, flops: u64) {
+        debug_assert!(seconds >= 0.0 && seconds.is_finite());
+        self.seconds.set(self.seconds.get() + seconds);
+        self.kernels.set(self.kernels.get() + 1);
+        self.app_bytes.set(self.app_bytes.get() + app_bytes);
+        self.flops.set(self.flops.get() + flops);
+    }
+
+    /// Record one host↔device transfer.
+    pub fn charge_transfer(&self, seconds: f64, bytes: u64) {
+        debug_assert!(seconds >= 0.0 && seconds.is_finite());
+        self.seconds.set(self.seconds.get() + seconds);
+        self.transfers.set(self.transfers.get() + 1);
+        self.transfer_bytes.set(self.transfer_bytes.get() + bytes);
+    }
+
+    /// Add raw seconds (solver-side bookkeeping such as host maths).
+    pub fn charge_host(&self, seconds: f64) {
+        debug_assert!(seconds >= 0.0 && seconds.is_finite());
+        self.seconds.set(self.seconds.get() + seconds);
+    }
+
+    /// Simulated seconds elapsed.
+    pub fn seconds(&self) -> f64 {
+        self.seconds.get()
+    }
+
+    /// Copy out all counters.
+    pub fn snapshot(&self) -> ClockSnapshot {
+        ClockSnapshot {
+            seconds: self.seconds.get(),
+            kernels: self.kernels.get(),
+            app_bytes: self.app_bytes.get(),
+            transfers: self.transfers.get(),
+            transfer_bytes: self.transfer_bytes.get(),
+            flops: self.flops.get(),
+        }
+    }
+
+    /// Zero everything.
+    pub fn reset(&self) {
+        self.by_kernel.borrow_mut().clear();
+        self.seconds.set(0.0);
+        self.kernels.set(0);
+        self.app_bytes.set(0);
+        self.transfers.set(0);
+        self.transfer_bytes.set(0);
+        self.flops.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation() {
+        let c = SimClock::new();
+        c.charge_kernel(0.5, 1000, 10);
+        c.charge_kernel(0.25, 500, 5);
+        c.charge_transfer(0.1, 64);
+        c.charge_host(0.05);
+        let s = c.snapshot();
+        assert!((s.seconds - 0.9).abs() < 1e-12);
+        assert_eq!(s.kernels, 2);
+        assert_eq!(s.app_bytes, 1500);
+        assert_eq!(s.transfers, 1);
+        assert_eq!(s.transfer_bytes, 64);
+        assert_eq!(s.flops, 15);
+    }
+
+    #[test]
+    fn achieved_bandwidth() {
+        let c = SimClock::new();
+        c.charge_kernel(2.0, 30_000_000_000, 0);
+        assert!((c.snapshot().achieved_bw_gbs() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_clock_bandwidth_is_zero() {
+        assert_eq!(ClockSnapshot::default().achieved_bw_gbs(), 0.0);
+    }
+
+    #[test]
+    fn interval_measurement() {
+        let c = SimClock::new();
+        c.charge_kernel(1.0, 100, 1);
+        let t0 = c.snapshot();
+        c.charge_kernel(0.5, 50, 1);
+        let d = c.snapshot().since(&t0);
+        assert!((d.seconds - 0.5).abs() < 1e-12);
+        assert_eq!(d.kernels, 1);
+        assert_eq!(d.app_bytes, 50);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let c = SimClock::new();
+        c.charge_kernel(1.0, 1, 1);
+        c.reset();
+        assert_eq!(c.snapshot(), ClockSnapshot::default());
+    }
+}

@@ -1,0 +1,256 @@
+//! Device specifications.
+//!
+//! A [`DeviceSpec`] captures the handful of architectural parameters the
+//! cost model needs. The three constructors in [`devices`] are the paper's
+//! evaluation platforms with Table 2's measured bandwidths.
+
+/// Broad device class; model efficiency factors are keyed on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Host shared-memory CPU (no offload).
+    Cpu,
+    /// Discrete GPU behind a PCIe link.
+    Gpu,
+    /// Many-core accelerator card (Knights Corner): in-order cores, wide
+    /// vectors, offload or native execution.
+    Accelerator,
+}
+
+impl DeviceKind {
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceKind::Cpu => "cpu",
+            DeviceKind::Gpu => "gpu",
+            DeviceKind::Accelerator => "knc",
+        }
+    }
+}
+
+/// Architectural parameters of one simulated device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Human-readable device name (appears in every report).
+    pub name: String,
+    pub kind: DeviceKind,
+    /// Theoretical peak memory bandwidth, GB/s (Table 2 "Peak BW").
+    pub peak_bw_gbs: f64,
+    /// Sustained STREAM bandwidth, GB/s (Table 2 "STREAM BW") — the
+    /// denominator of Figure 12.
+    pub stream_bw_gbs: f64,
+    /// Last-level cache capacity in bytes; working sets below this see
+    /// `cache_bw_gbs` instead of stream bandwidth (the Figure 11 CPU knee).
+    pub llc_bytes: u64,
+    /// Effective bandwidth for cache-resident working sets, GB/s.
+    pub cache_bw_gbs: f64,
+    /// Hardware cores / multiprocessors.
+    pub cores: usize,
+    /// SIMD lanes per core (doubles per element for f64 irrelevant; this is
+    /// the *relative* width that makes vectorization matter).
+    pub simd_width: usize,
+    /// Device-side cost of dispatching one kernel, microseconds.
+    pub launch_overhead_us: f64,
+    /// Host→device command latency for offloaded execution, microseconds
+    /// (zero for the CPU, PCIe-ish for GPU/KNC).
+    pub offload_latency_us: f64,
+    /// Host↔device transfer bandwidth, GB/s (PCIe gen2 x16 ≈ 6 GB/s).
+    pub pcie_bw_gbs: f64,
+    /// Time for a device-wide reduction/synchronisation, microseconds.
+    pub reduction_cost_us: f64,
+    /// Slowdown multiplier for kernels with a data-dependent branch in the
+    /// body (the KNC halo-guard problem, paper §3.3/§4.3).
+    pub branch_penalty: f64,
+    /// Slowdown multiplier for streaming kernels that fail to vectorize
+    /// (the RAJA indirection problem, paper §4.1).
+    pub novec_penalty: f64,
+    /// Scale applied to every *fixed* per-operation cost (device and model
+    /// launch overheads, offload latency, reduction sync). 1.0 for real
+    /// devices; the benchmark harness lowers it on reduced functional
+    /// meshes to emulate the paper's convergence-mesh regime, where those
+    /// overheads are amortised (§5).
+    pub overhead_scale: f64,
+}
+
+impl DeviceSpec {
+    /// Effective raw bandwidth (bytes/second) for a kernel whose working
+    /// set is `ws` bytes: cache bandwidth when resident, STREAM bandwidth
+    /// when far larger, smoothly interpolated in between.
+    pub fn bw_for_working_set(&self, ws: u64) -> f64 {
+        let stream = self.stream_bw_gbs * 1e9;
+        let cache = self.cache_bw_gbs * 1e9;
+        if self.llc_bytes == 0 || cache <= stream {
+            return stream;
+        }
+        let llc = self.llc_bytes as f64;
+        let ws = ws as f64;
+        if ws <= llc {
+            cache
+        } else if ws >= 4.0 * llc {
+            stream
+        } else {
+            // linear blend over [llc, 4·llc]
+            let t = (ws - llc) / (3.0 * llc);
+            cache + (stream - cache) * t
+        }
+    }
+
+    /// Does running on this device require explicit host↔device transfers?
+    pub fn is_offload(&self) -> bool {
+        !matches!(self.kind, DeviceKind::Cpu)
+    }
+}
+
+/// The paper's evaluation devices (Table 2) plus a builder for custom ones.
+pub mod devices {
+    use super::*;
+
+    /// Dual-socket Intel Xeon E5-2670 (2× 8-core Sandy Bridge, 16 threads,
+    /// affinity compact). Peak 102.4 GB/s, STREAM 76.2 GB/s.
+    pub fn cpu_xeon_e5_2670_x2() -> DeviceSpec {
+        DeviceSpec {
+            name: "Xeon E5-2670 CPU x 2".into(),
+            kind: DeviceKind::Cpu,
+            peak_bw_gbs: 102.4,
+            stream_bw_gbs: 76.2,
+            llc_bytes: 40 * 1024 * 1024, // 2 × 20 MB L3
+            cache_bw_gbs: 160.0,
+            cores: 16,
+            simd_width: 4, // AVX, 4 × f64
+            launch_overhead_us: 0.8, // omp parallel-region fork/join
+            offload_latency_us: 0.0,
+            pcie_bw_gbs: f64::INFINITY,
+            reduction_cost_us: 1.2,
+            branch_penalty: 1.05,
+            novec_penalty: 1.2, // AVX vs scalar on streaming loops
+            overhead_scale: 1.0,
+        }
+    }
+
+    /// NVIDIA Tesla K20X (Kepler GK110, 14 SMX). Peak 250 GB/s, STREAM
+    /// (GPU-STREAM triad) 180.1 GB/s.
+    pub fn gpu_k20x() -> DeviceSpec {
+        DeviceSpec {
+            name: "NVIDIA K20X GPU".into(),
+            kind: DeviceKind::Gpu,
+            peak_bw_gbs: 250.0,
+            stream_bw_gbs: 180.1,
+            llc_bytes: 1536 * 1024, // 1.5 MB L2 — too small to matter
+            cache_bw_gbs: 180.1,    // no cache plateau modelled
+            cores: 14,
+            simd_width: 32, // warp
+            launch_overhead_us: 7.0,
+            offload_latency_us: 6.0,
+            pcie_bw_gbs: 6.0,
+            reduction_cost_us: 18.0, // device-wide tree + result readback
+            branch_penalty: 1.03,    // a uniform halo guard barely diverges
+            novec_penalty: 1.0,      // SIMT: no scalar fallback cliff
+            overhead_scale: 1.0,
+        }
+    }
+
+    /// Intel Xeon Phi 5110P / SE10P Knights Corner (60–61 in-order cores,
+    /// 4 hw threads each, 512-bit vectors). Peak 320 GB/s, STREAM 159.9.
+    pub fn knc_xeon_phi() -> DeviceSpec {
+        DeviceSpec {
+            name: "Xeon Phi 5110P KNC".into(),
+            kind: DeviceKind::Accelerator,
+            peak_bw_gbs: 320.0,
+            stream_bw_gbs: 159.9,
+            llc_bytes: 30 * 1024 * 1024, // 60 × 512 kB L2
+            cache_bw_gbs: 220.0,
+            cores: 60,
+            simd_width: 8, // 512-bit, 8 × f64
+            launch_overhead_us: 14.0, // slow cores run the runtime too
+            offload_latency_us: 9.0,
+            pcie_bw_gbs: 6.0,
+            reduction_cost_us: 40.0, // 240 threads to synchronise
+            branch_penalty: 2.1,     // in-order, masked-vector conditionals
+            novec_penalty: 2.4,      // scalar code wastes 8-wide vectors
+            overhead_scale: 1.0,
+        }
+    }
+
+    /// All three paper devices in presentation order.
+    pub fn paper_devices() -> Vec<DeviceSpec> {
+        vec![cpu_xeon_e5_2670_x2(), gpu_k20x(), knc_xeon_phi()]
+    }
+
+    /// Start from a named kind with neutral parameters; intended for the
+    /// `custom_device` example and for exploring hypothetical hardware.
+    pub fn custom(name: &str, kind: DeviceKind, stream_bw_gbs: f64) -> DeviceSpec {
+        DeviceSpec {
+            name: name.into(),
+            kind,
+            peak_bw_gbs: stream_bw_gbs * 1.3,
+            stream_bw_gbs,
+            llc_bytes: 0,
+            cache_bw_gbs: stream_bw_gbs,
+            cores: 16,
+            simd_width: 4,
+            launch_overhead_us: 1.0,
+            offload_latency_us: if matches!(kind, DeviceKind::Cpu) { 0.0 } else { 6.0 },
+            pcie_bw_gbs: if matches!(kind, DeviceKind::Cpu) { f64::INFINITY } else { 12.0 },
+            reduction_cost_us: 2.0,
+            branch_penalty: 1.1,
+            novec_penalty: 1.2,
+            overhead_scale: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values() {
+        let cpu = devices::cpu_xeon_e5_2670_x2();
+        assert_eq!(cpu.peak_bw_gbs, 102.4);
+        assert_eq!(cpu.stream_bw_gbs, 76.2);
+        let gpu = devices::gpu_k20x();
+        assert_eq!(gpu.peak_bw_gbs, 250.0);
+        assert_eq!(gpu.stream_bw_gbs, 180.1);
+        let knc = devices::knc_xeon_phi();
+        assert_eq!(knc.peak_bw_gbs, 320.0);
+        assert_eq!(knc.stream_bw_gbs, 159.9);
+    }
+
+    #[test]
+    fn stream_below_peak() {
+        for d in devices::paper_devices() {
+            assert!(d.stream_bw_gbs < d.peak_bw_gbs, "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn cache_knee_monotonic() {
+        let cpu = devices::cpu_xeon_e5_2670_x2();
+        let small = cpu.bw_for_working_set(1024);
+        let knee = cpu.bw_for_working_set(cpu.llc_bytes * 2);
+        let big = cpu.bw_for_working_set(cpu.llc_bytes * 10);
+        assert!(small > knee, "cache-resident must be faster");
+        assert!(knee > big, "transition region between cache and DRAM");
+        assert!((big - cpu.stream_bw_gbs * 1e9).abs() < 1.0);
+        assert!((small - cpu.cache_bw_gbs * 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn gpu_has_no_cache_plateau() {
+        let gpu = devices::gpu_k20x();
+        assert_eq!(gpu.bw_for_working_set(1), gpu.bw_for_working_set(u64::MAX));
+    }
+
+    #[test]
+    fn offload_classification() {
+        assert!(!devices::cpu_xeon_e5_2670_x2().is_offload());
+        assert!(devices::gpu_k20x().is_offload());
+        assert!(devices::knc_xeon_phi().is_offload());
+    }
+
+    #[test]
+    fn custom_builder() {
+        let d = devices::custom("hbm-thing", DeviceKind::Accelerator, 400.0);
+        assert_eq!(d.stream_bw_gbs, 400.0);
+        assert!(d.is_offload());
+    }
+}

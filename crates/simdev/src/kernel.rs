@@ -1,0 +1,169 @@
+//! Kernel profiles: what the cost model needs to know about one launch.
+//!
+//! Every programming-model port describes each kernel launch with a
+//! [`KernelProfile`] — the bytes it streams, the elements it covers and the
+//! structural traits that interact with the device (stencil vs streaming,
+//! reduction, interior branch, indirection). The numbers are computed from
+//! the *actual* mesh being solved, so simulated time tracks the real
+//! executed workload.
+
+/// Structural properties of a kernel that the cost model reacts to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelTraits {
+    /// Pure data-streaming kernel (axpy-like): bandwidth-bound, benefits
+    /// maximally from vectorization.
+    pub streaming: bool,
+    /// 5-point stencil kernel: neighbour reads, still bandwidth-bound.
+    pub stencil: bool,
+    /// Performs a global reduction (dot product / norm).
+    pub reduction: bool,
+    /// Has a data-dependent conditional in the loop body (the flat-index
+    /// halo guard of the paper's Kokkos port, §3.3).
+    pub interior_branch: bool,
+    /// Iterates through an indirection list (RAJA `ListSegment`, §3.4):
+    /// adds index traffic and defeats vectorization.
+    pub indirection: bool,
+}
+
+/// A description of one kernel launch for costing purposes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelProfile {
+    /// Kernel name, e.g. `"cg_calc_w"`. Quirk rules match on prefixes.
+    pub name: &'static str,
+    /// Elements (cells) processed.
+    pub elems: u64,
+    /// Application bytes read (excluding model-added traffic).
+    pub bytes_read: u64,
+    /// Application bytes written.
+    pub bytes_written: u64,
+    /// Floating-point operations (informational; TeaLeaf is BW-bound).
+    pub flops: u64,
+    /// Bytes the kernel's arrays occupy — drives the cache-knee model.
+    /// Defaults to `bytes_read + bytes_written` via [`KernelProfile::new`].
+    pub working_set: u64,
+    pub traits: KernelTraits,
+}
+
+impl KernelProfile {
+    /// Build a profile over `elems` cells that reads `reads` arrays and
+    /// writes `writes` arrays of f64, with `flops_per_elem` flops each.
+    pub fn new(
+        name: &'static str,
+        elems: u64,
+        reads: u64,
+        writes: u64,
+        flops_per_elem: u64,
+        traits: KernelTraits,
+    ) -> Self {
+        let bytes_read = elems * reads * 8;
+        let bytes_written = elems * writes * 8;
+        KernelProfile {
+            name,
+            elems,
+            bytes_read,
+            bytes_written,
+            flops: elems * flops_per_elem,
+            working_set: bytes_read + bytes_written,
+            traits,
+        }
+    }
+
+    /// Total application bytes moved.
+    pub fn bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// A streaming (axpy-like) kernel.
+    pub fn streaming(name: &'static str, elems: u64, reads: u64, writes: u64, flops: u64) -> Self {
+        KernelProfile::new(
+            name,
+            elems,
+            reads,
+            writes,
+            flops,
+            KernelTraits { streaming: true, ..KernelTraits::default() },
+        )
+    }
+
+    /// A 5-point stencil kernel (`reads` counts arrays touched; neighbour
+    /// reuse means each array still streams once through DRAM).
+    pub fn stencil(name: &'static str, elems: u64, reads: u64, writes: u64, flops: u64) -> Self {
+        KernelProfile::new(
+            name,
+            elems,
+            reads,
+            writes,
+            flops,
+            KernelTraits { stencil: true, ..KernelTraits::default() },
+        )
+    }
+
+    /// A reduction kernel (dot product / norm).
+    pub fn reduction(name: &'static str, elems: u64, reads: u64, flops: u64) -> Self {
+        KernelProfile::new(
+            name,
+            elems,
+            reads,
+            // partials written once per element slot in the deterministic
+            // scheme, but devices write only per-block results; charge one
+            // result array of negligible size as zero writes.
+            0,
+            flops,
+            KernelTraits { streaming: true, reduction: true, ..KernelTraits::default() },
+        )
+    }
+
+    /// Mark this kernel as carrying a halo-guard branch in its body.
+    pub fn with_interior_branch(mut self) -> Self {
+        self.traits.interior_branch = true;
+        self
+    }
+
+    /// Mark this kernel as traversing an indirection list.
+    pub fn with_indirection(mut self) -> Self {
+        self.traits.indirection = true;
+        self
+    }
+
+    /// Override the working-set estimate (e.g. the whole solver state
+    /// rather than only this kernel's arrays).
+    pub fn with_working_set(mut self, bytes: u64) -> Self {
+        self.working_set = bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_accounting() {
+        let p = KernelProfile::new("k", 1000, 3, 1, 5, KernelTraits::default());
+        assert_eq!(p.bytes_read, 24_000);
+        assert_eq!(p.bytes_written, 8_000);
+        assert_eq!(p.bytes(), 32_000);
+        assert_eq!(p.flops, 5_000);
+        assert_eq!(p.working_set, 32_000);
+    }
+
+    #[test]
+    fn builders_set_traits() {
+        assert!(KernelProfile::streaming("s", 10, 2, 1, 2).traits.streaming);
+        assert!(KernelProfile::stencil("t", 10, 4, 1, 9).traits.stencil);
+        let r = KernelProfile::reduction("d", 10, 2, 2);
+        assert!(r.traits.reduction && r.traits.streaming);
+        assert_eq!(r.bytes_written, 0);
+    }
+
+    #[test]
+    fn modifiers_chain() {
+        let p = KernelProfile::streaming("s", 10, 1, 1, 1)
+            .with_interior_branch()
+            .with_indirection()
+            .with_working_set(1 << 20);
+        assert!(p.traits.interior_branch);
+        assert!(p.traits.indirection);
+        assert_eq!(p.working_set, 1 << 20);
+    }
+}

@@ -1,0 +1,55 @@
+//! # simdev
+//!
+//! Calibrated device performance models for the TeaLeaf reproduction.
+//!
+//! The paper measured real hardware: a dual-socket Xeon E5-2670, an NVIDIA
+//! K20X and an Intel Xeon Phi Knights Corner (Table 2). None of those are
+//! available here, so every port executes its kernels *functionally* on the
+//! host while this crate charges a **simulated clock** from a mechanistic
+//! cost model:
+//!
+//! ```text
+//! t(kernel) = bytes / (BW(working set) · eff(model, device, kernel traits))
+//!           + launch overhead(device) + launch overhead(model, device)
+//!           + reduction cost(device) · reduction factor(model, device)
+//!           × quirk factors(model, device, kernel)
+//! ```
+//!
+//! TeaLeaf is memory-bandwidth bound (paper §6), which is what makes this
+//! substitution sound: runtime is dominated by bytes moved over sustained
+//! bandwidth, both of which are computed from the *actually executed*
+//! kernel stream, not estimated offline.
+//!
+//! The knobs — per-device bandwidths, launch overheads, branch and
+//! vectorization penalties, per-model efficiency factors and the named
+//! [`quirks`](crate::quirk::Quirk) — are calibrated against the paper's
+//! measurements; the *mechanism* generalises to new devices and models
+//! (see `examples/custom_device.rs`).
+//!
+//! ## Example
+//!
+//! ```
+//! use simdev::{devices, KernelProfile, ModelProfile, SimContext};
+//!
+//! let ctx = SimContext::new(devices::gpu_k20x(), ModelProfile::ideal("CUDA"), vec![], 0);
+//! // a 1-GB streaming kernel runs at ~STREAM bandwidth
+//! let p = KernelProfile::streaming("triad", 62_500_000, 1, 1, 2);
+//! let t = ctx.launch(&p);
+//! assert!((t - 1e9 / 180.1e9).abs() < 2e-4);
+//! assert_eq!(ctx.clock.snapshot().kernels, 1);
+//! ```
+
+
+pub mod clock;
+pub mod cost;
+pub mod device;
+pub mod kernel;
+pub mod model;
+pub mod quirk;
+
+pub use clock::{ClockSnapshot, SimClock};
+pub use cost::{CostModel, SimContext};
+pub use device::{devices, DeviceKind, DeviceSpec};
+pub use kernel::{KernelProfile, KernelTraits};
+pub use model::{ModelProfile, PerKind, Scheduler};
+pub use quirk::Quirk;

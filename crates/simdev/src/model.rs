@@ -1,0 +1,122 @@
+//! Programming-model efficiency profiles.
+//!
+//! A [`ModelProfile`] captures how a programming model's *runtime* behaves
+//! on each device class: how close it gets to STREAM bandwidth, what it
+//! adds to every kernel launch, how expensive its reduction strategy is,
+//! whether its generated code vectorizes, and what scheduler runs its CPU
+//! kernels. The per-port constructors live next to each port in the
+//! `tealeaf` crate, where the paper's observations justify each number.
+
+use crate::device::DeviceKind;
+
+/// Which host scheduler executes this model's CPU kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduler {
+    /// OpenMP-style static chunking (deterministic timing).
+    Static,
+    /// TBB-style work stealing (the Intel OpenCL CPU runtime, §4.1) —
+    /// enables the run-level jitter term.
+    WorkStealing,
+    /// Single device-side scheduler (GPU hardware scheduling).
+    Device,
+}
+
+/// Per-device-kind triple of values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerKind {
+    pub cpu: f64,
+    pub gpu: f64,
+    pub acc: f64,
+}
+
+impl PerKind {
+    /// The same value on every device kind.
+    pub const fn uniform(v: f64) -> Self {
+        PerKind { cpu: v, gpu: v, acc: v }
+    }
+
+    /// Select the value for `kind`.
+    pub fn get(&self, kind: DeviceKind) -> f64 {
+        match kind {
+            DeviceKind::Cpu => self.cpu,
+            DeviceKind::Gpu => self.gpu,
+            DeviceKind::Accelerator => self.acc,
+        }
+    }
+}
+
+/// Efficiency profile of one programming model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelProfile {
+    /// Model name as it appears in the figures (e.g. `"OpenMP 4.0"`).
+    pub name: String,
+    /// Fraction of the device's raw bandwidth the model's generated code
+    /// sustains on bulk kernels (≤ 1).
+    pub bw_efficiency: PerKind,
+    /// Extra launch overhead the model adds per kernel, µs (target-region
+    /// setup, enqueue bookkeeping, functor dispatch…).
+    pub launch_overhead_us: PerKind,
+    /// Effective-bandwidth divisor for *reduction* kernels — the model's
+    /// reduction strategy (device-tuned tree = 1, portable two-pass or
+    /// offload-synchronised > 1). Scaling the kernel's streaming time (not
+    /// a fixed overhead) is what makes the reduction-heavy CG solver
+    /// diverge from Chebyshev/PPCG at the convergence mesh, as observed on
+    /// the paper's offload devices.
+    pub reduction_factor: PerKind,
+    /// Fraction of PCIe bandwidth achieved on host↔device transfers.
+    pub transfer_efficiency: f64,
+    /// Does the model's generated code vectorize streaming loops?
+    pub vectorizes: bool,
+    /// Host scheduler (CPU execution only).
+    pub scheduler: Scheduler,
+    /// On the KNC, does this model run in *offload* mode (paying the
+    /// host→device command latency per kernel) rather than natively?
+    /// Table 1: OpenMP 4.0 and OpenCL offload; OpenMP 3.0, Kokkos and
+    /// RAJA compile natively.
+    pub offload_on_acc: bool,
+    /// Maximum run-level multiplicative jitter (0 = deterministic). Only
+    /// meaningful with [`Scheduler::WorkStealing`]; reproduces the OpenCL
+    /// CPU variance of §4.1.
+    pub run_jitter: f64,
+}
+
+impl ModelProfile {
+    /// A neutral profile: full bandwidth, no overheads, vectorizing,
+    /// static scheduling. Ports start from this and dial in their costs.
+    pub fn ideal(name: &str) -> Self {
+        ModelProfile {
+            name: name.to_string(),
+            bw_efficiency: PerKind::uniform(1.0),
+            launch_overhead_us: PerKind::uniform(0.0),
+            reduction_factor: PerKind::uniform(1.0),
+            transfer_efficiency: 1.0,
+            vectorizes: true,
+            scheduler: Scheduler::Static,
+            offload_on_acc: false,
+            run_jitter: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_kind_selection() {
+        let p = PerKind { cpu: 1.0, gpu: 2.0, acc: 3.0 };
+        assert_eq!(p.get(DeviceKind::Cpu), 1.0);
+        assert_eq!(p.get(DeviceKind::Gpu), 2.0);
+        assert_eq!(p.get(DeviceKind::Accelerator), 3.0);
+        assert_eq!(PerKind::uniform(0.5).get(DeviceKind::Gpu), 0.5);
+    }
+
+    #[test]
+    fn ideal_profile_is_neutral() {
+        let p = ModelProfile::ideal("x");
+        assert_eq!(p.bw_efficiency.get(DeviceKind::Cpu), 1.0);
+        assert_eq!(p.launch_overhead_us.get(DeviceKind::Gpu), 0.0);
+        assert!(p.vectorizes);
+        assert_eq!(p.run_jitter, 0.0);
+    }
+}

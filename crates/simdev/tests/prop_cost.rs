@@ -1,0 +1,134 @@
+//! Property-based tests of the cost model and clock: monotonicity,
+//! additivity and the quirk algebra.
+
+use proptest::prelude::*;
+
+use simdev::{
+    devices, CostModel, DeviceKind, KernelProfile, ModelProfile, Quirk, SimClock,
+};
+
+fn arb_device() -> impl Strategy<Value = simdev::DeviceSpec> {
+    prop_oneof![
+        Just(devices::cpu_xeon_e5_2670_x2()),
+        Just(devices::gpu_k20x()),
+        Just(devices::knc_xeon_phi()),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn kernel_time_monotone_in_traffic(
+        device in arb_device(),
+        elems in 1u64..100_000_000,
+        reads in 1u64..8,
+    ) {
+        let model = ModelProfile::ideal("m");
+        let cost = CostModel::new(device, model, vec![], 0);
+        let small = KernelProfile::streaming("k", elems, reads, 1, 1);
+        let big = KernelProfile::streaming("k", elems, reads + 1, 1, 1);
+        prop_assert!(cost.kernel_seconds(&big) > cost.kernel_seconds(&small));
+    }
+
+    #[test]
+    fn kernel_time_positive_and_finite(
+        device in arb_device(),
+        elems in 1u64..1_000_000_000,
+        reads in 1u64..12,
+        writes in 0u64..6,
+    ) {
+        let cost = CostModel::new(device, ModelProfile::ideal("m"), vec![], 0);
+        let t = cost.kernel_seconds(&KernelProfile::streaming("k", elems, reads, writes, 1));
+        prop_assert!(t.is_finite() && t > 0.0);
+    }
+
+    #[test]
+    fn efficiency_scales_time_inversely(
+        device in arb_device(),
+        eff in 0.05..1.0f64,
+    ) {
+        let elems = 50_000_000u64;
+        let ideal = CostModel::new(device.clone(), ModelProfile::ideal("a"), vec![], 0);
+        let mut slower = ModelProfile::ideal("b");
+        slower.bw_efficiency = simdev::PerKind::uniform(eff);
+        let scaled = CostModel::new(device, slower, vec![], 0);
+        let p = KernelProfile::streaming("k", elems, 2, 1, 1);
+        // bandwidth term dominates at this size; ratio ≈ 1/eff
+        let ratio = scaled.kernel_seconds(&p) / ideal.kernel_seconds(&p);
+        prop_assert!((ratio - 1.0 / eff).abs() < 0.1 / eff, "ratio {ratio} vs {}", 1.0 / eff);
+    }
+
+    #[test]
+    fn bandwidth_never_increases_with_working_set(
+        device in arb_device(),
+        ws1 in 1u64..1_000_000_000,
+        ws2 in 1u64..1_000_000_000,
+    ) {
+        let (lo, hi) = if ws1 <= ws2 { (ws1, ws2) } else { (ws2, ws1) };
+        prop_assert!(device.bw_for_working_set(lo) >= device.bw_for_working_set(hi));
+    }
+
+    #[test]
+    fn clock_additivity(charges in proptest::collection::vec((0.0..1.0f64, 0u64..1_000_000), 0..64)) {
+        let clock = SimClock::new();
+        let mut total_t = 0.0;
+        let mut total_b = 0u64;
+        for &(t, b) in &charges {
+            clock.charge_kernel(t, b, 0);
+            total_t += t;
+            total_b += b;
+        }
+        let snap = clock.snapshot();
+        prop_assert!((snap.seconds - total_t).abs() < 1e-9 * total_t.max(1.0));
+        prop_assert_eq!(snap.app_bytes, total_b);
+        prop_assert_eq!(snap.kernels, charges.len() as u64);
+    }
+
+    #[test]
+    fn quirks_compose_multiplicatively(
+        f1 in 1.0..3.0f64,
+        f2 in 1.0..3.0f64,
+        elems in 1_000u64..50_000_000,
+    ) {
+        let mk = |factors: &[f64]| {
+            let quirks: Vec<Quirk> = factors
+                .iter()
+                .map(|&factor| Quirk {
+                    model: "m",
+                    device: DeviceKind::Gpu,
+                    kernel_prefix: "k",
+                    factor,
+                    note: "prop",
+                })
+                .collect();
+            CostModel::new(devices::gpu_k20x(), ModelProfile::ideal("m"), quirks, 0)
+        };
+        let p = KernelProfile::streaming("k", elems, 2, 1, 1);
+        let none = mk(&[]).kernel_seconds(&p);
+        let both = mk(&[f1, f2]).kernel_seconds(&p);
+        prop_assert!((both / none - f1 * f2).abs() < 1e-9 * f1 * f2);
+    }
+
+    #[test]
+    fn transfers_linear_in_bytes_beyond_latency(
+        bytes in 1_000_000u64..1_000_000_000,
+    ) {
+        let cost = CostModel::new(devices::gpu_k20x(), ModelProfile::ideal("m"), vec![], 0);
+        let t1 = cost.transfer_seconds(bytes);
+        let t2 = cost.transfer_seconds(2 * bytes);
+        let latency = cost.transfer_seconds(0);
+        let slope1 = t1 - latency;
+        let slope2 = t2 - latency;
+        prop_assert!((slope2 / slope1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_bounded_by_profile(seed in 0u64..10_000) {
+        let mut m = ModelProfile::ideal("OpenCL");
+        m.run_jitter = 0.72;
+        m.scheduler = simdev::Scheduler::WorkStealing;
+        let cpu = CostModel::new(devices::cpu_xeon_e5_2670_x2(), m.clone(), vec![], seed);
+        prop_assert!(cpu.run_factor >= 1.0 && cpu.run_factor <= 1.72);
+        let gpu = CostModel::new(devices::gpu_k20x(), m, vec![], seed);
+        prop_assert_eq!(gpu.run_factor, 1.0, "jitter is a CPU-runtime effect");
+    }
+}

@@ -1,0 +1,140 @@
+//! Chebyshev iteration coefficients and convergence estimates.
+//!
+//! Given eigenvalue bounds `[λmin, λmax]` the Chebyshev semi-iteration
+//! uses `θ = (λmax+λmin)/2`, `δ = (λmax−λmin)/2`, `σ = θ/δ` and the
+//! recurrence `ρ₀ = 1/σ`, `ρₖ = 1/(2σ − ρₖ₋₁)`, from which each
+//! iteration's update is `p ← αₖ·p + βₖ·r` with `αₖ = ρₖρₖ₋₁` and
+//! `βₖ = 2ρₖ/δ` (TeaLeaf's `ch_alphas`/`ch_betas`).
+
+/// Scalar parameters of one Chebyshev setup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChebyShift {
+    pub theta: f64,
+    pub delta: f64,
+    pub sigma: f64,
+}
+
+impl ChebyShift {
+    /// From eigenvalue bounds.
+    ///
+    /// # Panics
+    /// Panics unless `0 < eigmin < eigmax`.
+    pub fn from_bounds(eigmin: f64, eigmax: f64) -> Self {
+        assert!(eigmin > 0.0 && eigmax > eigmin, "need 0 < eigmin < eigmax");
+        let theta = (eigmax + eigmin) / 2.0;
+        let delta = (eigmax - eigmin) / 2.0;
+        ChebyShift { theta, delta, sigma: theta / delta }
+    }
+
+    /// Condition-number estimate `λmax/λmin` implied by the bounds.
+    pub fn condition_number(&self) -> f64 {
+        (self.theta + self.delta) / (self.theta - self.delta)
+    }
+}
+
+/// Streaming generator of the `(αₖ, βₖ)` coefficient sequence.
+#[derive(Debug, Clone)]
+pub struct ChebyCoeffs {
+    shift: ChebyShift,
+    rho_old: f64,
+}
+
+impl ChebyCoeffs {
+    /// Start the recurrence (`ρ₀ = 1/σ`).
+    pub fn new(shift: ChebyShift) -> Self {
+        ChebyCoeffs { shift, rho_old: 1.0 / shift.sigma }
+    }
+
+    /// The shift parameters.
+    pub fn shift(&self) -> ChebyShift {
+        self.shift
+    }
+
+    /// Next `(αₖ, βₖ)` pair.
+    pub fn next_pair(&mut self) -> (f64, f64) {
+        let rho_new = 1.0 / (2.0 * self.shift.sigma - self.rho_old);
+        let alpha = rho_new * self.rho_old;
+        let beta = 2.0 * rho_new / self.shift.delta;
+        self.rho_old = rho_new;
+        (alpha, beta)
+    }
+
+    /// Materialise the first `n` coefficient pairs (TeaLeaf precomputes
+    /// them before the iteration loop).
+    pub fn take_pairs(shift: ChebyShift, n: usize) -> Vec<(f64, f64)> {
+        let mut gen = ChebyCoeffs::new(shift);
+        (0..n).map(|_| gen.next_pair()).collect()
+    }
+}
+
+/// TeaLeaf's a-priori iteration estimate: the Chebyshev error bound
+/// contracts per iteration by `(√κ − 1)/(√κ + 1)`; the estimated count to
+/// reduce the (squared-norm) error by `eps_ratio` is the smallest `n` with
+/// `contraction^n ≤ √eps_ratio`.
+pub fn estimated_iterations(shift: ChebyShift, eps_ratio: f64) -> usize {
+    assert!(eps_ratio > 0.0 && eps_ratio < 1.0);
+    let cn = shift.condition_number();
+    let contraction = (cn.sqrt() - 1.0) / (cn.sqrt() + 1.0);
+    if contraction <= 0.0 {
+        return 1;
+    }
+    let n = (0.5 * eps_ratio.ln()) / contraction.ln();
+    n.ceil().max(1.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_parameters() {
+        let s = ChebyShift::from_bounds(1.0, 9.0);
+        assert_eq!(s.theta, 5.0);
+        assert_eq!(s.delta, 4.0);
+        assert_eq!(s.sigma, 1.25);
+        assert!((s.condition_number() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recurrence_first_terms() {
+        let s = ChebyShift::from_bounds(1.0, 9.0);
+        let mut g = ChebyCoeffs::new(s);
+        let rho0 = 1.0 / 1.25;
+        let rho1 = 1.0 / (2.0 * 1.25 - rho0);
+        let (a1, b1) = g.next_pair();
+        assert!((a1 - rho1 * rho0).abs() < 1e-15);
+        assert!((b1 - 2.0 * rho1 / 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn coefficients_converge() {
+        // ρₖ converges to the fixed point of ρ = 1/(2σ−ρ).
+        let s = ChebyShift::from_bounds(0.1, 4.0);
+        let pairs = ChebyCoeffs::take_pairs(s, 200);
+        let (a_last, _) = pairs[199];
+        let (a_prev, _) = pairs[198];
+        assert!((a_last - a_prev).abs() < 1e-12, "α must converge");
+        // fixed point: ρ* = σ − √(σ²−1), α* = ρ*²
+        let rho_star = s.sigma - (s.sigma * s.sigma - 1.0).sqrt();
+        assert!((a_last - rho_star * rho_star).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iteration_estimate_scales_with_conditioning() {
+        let well = estimated_iterations(ChebyShift::from_bounds(1.0, 4.0), 1e-10);
+        let ill = estimated_iterations(ChebyShift::from_bounds(0.001, 4.0), 1e-10);
+        assert!(ill > 10 * well, "well={well} ill={ill}");
+    }
+
+    #[test]
+    fn tighter_tolerance_needs_more_iterations() {
+        let s = ChebyShift::from_bounds(0.01, 4.0);
+        assert!(estimated_iterations(s, 1e-14) > estimated_iterations(s, 1e-6));
+    }
+
+    #[test]
+    #[should_panic]
+    fn bounds_must_be_ordered() {
+        let _ = ChebyShift::from_bounds(2.0, 1.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Distributed (multi-chunk) TeaLeaf over the MPI-like layer.
+//!
+//! The paper's models are node-level; "inter-node communications … is
+//! handled with MPI in TeaLeaf" (§3). This module supplies that layer for
+//! the reproduction: the global mesh is decomposed into horizontal
+//! row-stripes, one per [`mpisim`] rank; each rank solves its stripe with
+//! the shared row kernels, exchanging boundary rows with its neighbours
+//! every iteration and combining dot products with deterministic
+//! rank-ordered allreduces.
+//!
+//! Because ranks own *contiguous* row stripes and the allreduce combines
+//! partials in rank order, every reduction has exactly the same
+//! floating-point association as the single-chunk row-ordered reduction —
+//! so a distributed run is **bit-identical** to the serial reference for
+//! any rank count (asserted by the integration tests).
+
+use mpisim::{run_spmd, Rank, Tag};
+use tea_core::config::TeaConfig;
+use tea_core::field::Field2d;
+use tea_core::halo::update_halo;
+use tea_core::mesh::Mesh2d;
+use tea_core::state::generate_chunk;
+use tea_core::summary::Summary;
+
+use crate::ports::common::{self, Us};
+
+/// Result of a distributed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedReport {
+    pub ranks: usize,
+    pub total_iterations: usize,
+    pub converged: bool,
+    pub summary: Summary,
+}
+
+/// Row range (global interior rows) owned by `rank` of `size`.
+pub fn stripe_rows(y_cells: usize, rank: usize, size: usize) -> (usize, usize) {
+    (rank * y_cells / size, (rank + 1) * y_cells / size)
+}
+
+/// One rank's stripe of the global problem.
+struct Stripe {
+    mesh: Mesh2d,
+    density: Vec<f64>,
+    energy: Vec<f64>,
+    u: Vec<f64>,
+    u0: Vec<f64>,
+    p: Vec<f64>,
+    r: Vec<f64>,
+    w: Vec<f64>,
+    z: Vec<f64>,
+    kx: Vec<f64>,
+    ky: Vec<f64>,
+}
+
+impl Stripe {
+    fn build(config: &TeaConfig, rank: usize, size: usize) -> Stripe {
+        let (r0, r1) = stripe_rows(config.y_cells, rank, size);
+        let rows = r1 - r0;
+        assert!(
+            rows >= config.halo_depth,
+            "stripe of {rows} rows cannot carry a depth-{} halo; use fewer ranks",
+            config.halo_depth
+        );
+        let dy = (config.ymax - config.ymin) / config.y_cells as f64;
+        let mesh = Mesh2d::new(
+            config.x_cells,
+            rows,
+            config.halo_depth,
+            (config.xmin, config.xmax),
+            (config.ymin + dy * r0 as f64, config.ymin + dy * r1 as f64),
+        );
+        let mut density = Field2d::zeros(&mesh);
+        let mut energy = Field2d::zeros(&mesh);
+        generate_chunk(&mesh, &config.states, &mut density, &mut energy);
+        let len = mesh.len();
+        Stripe {
+            mesh,
+            density: density.into_vec(),
+            energy: energy.into_vec(),
+            u: vec![0.0; len],
+            u0: vec![0.0; len],
+            p: vec![0.0; len],
+            r: vec![0.0; len],
+            w: vec![0.0; len],
+            z: vec![0.0; len],
+            kx: vec![0.0; len],
+            ky: vec![0.0; len],
+        }
+    }
+
+    /// Reflective update plus neighbour exchange of `depth` ghost rows.
+    ///
+    /// The local reflective pass fills the x-edges and whichever y-edges
+    /// are physical boundaries; the exchange then overwrites the interior
+    /// (inter-rank) ghost rows with the neighbour's boundary rows.
+    fn halo_exchange(field: &mut [f64], mesh: &Mesh2d, rank: &Rank, tag: Tag, depth: usize) {
+        update_halo(mesh, field, depth);
+        let width = mesh.width();
+        let row = |j: usize| j * width..(j + 1) * width;
+        // downward neighbour (owns smaller y)
+        if rank.id() > 0 {
+            let mut payload = Vec::with_capacity(depth * width);
+            for k in 0..depth {
+                payload.extend_from_slice(&field[row(mesh.i0() + k)]);
+            }
+            let incoming = rank.sendrecv(rank.id() - 1, tag, payload);
+            // ghost row i0-1-k mirrors the neighbour's top interior row k
+            for k in 0..depth {
+                field[row(mesh.i0() - 1 - k)]
+                    .clone_from_slice(&incoming[k * width..(k + 1) * width]);
+            }
+        }
+        // upward neighbour (owns larger y)
+        if rank.id() + 1 < rank.size() {
+            let mut payload = Vec::with_capacity(depth * width);
+            for k in 0..depth {
+                payload.extend_from_slice(&field[row(mesh.j1() - 1 - k)]);
+            }
+            let incoming = rank.sendrecv(rank.id() + 1, tag, payload);
+            for k in 0..depth {
+                field[row(mesh.j1() + k)].clone_from_slice(&incoming[k * width..(k + 1) * width]);
+            }
+        }
+    }
+}
+
+/// Solve the configured problem with CG across `ranks` stripes; returns
+/// the global report (identical on every rank).
+pub fn run_distributed_cg(ranks: usize, config: &TeaConfig) -> DistributedReport {
+    let reports = run_spmd(ranks, |rank| spmd_body(rank, config));
+    let first = reports[0].clone();
+    for r in &reports {
+        assert_eq!(*r, first, "ranks must agree on the global result");
+    }
+    first
+}
+
+fn spmd_body(rank: &Rank, config: &TeaConfig) -> DistributedReport {
+    const TAG_DENSITY: Tag = 1;
+    const TAG_ENERGY: Tag = 2;
+    const TAG_U: Tag = 3;
+    const TAG_P: Tag = 4;
+
+    let mut s = Stripe::build(config, rank.id(), rank.size());
+    let mesh = s.mesh.clone();
+    let (rx, ry) = mesh.rx_ry(config.initial_timestep);
+    let rows = mesh.i0()..mesh.j1();
+
+    Stripe::halo_exchange(&mut s.density, &mesh, rank, TAG_DENSITY, config.halo_depth);
+    Stripe::halo_exchange(&mut s.energy, &mesh, rank, TAG_ENERGY, config.halo_depth);
+
+    let mut total_iterations = 0;
+    let mut converged_all = true;
+    for _step in 1..=config.end_step {
+        // init fields
+        {
+            let (u0, u) = (Us::new(&mut s.u0), Us::new(&mut s.u));
+            for j in rows.clone() {
+                // SAFETY: single-threaded within the rank.
+                unsafe { common::row_init_u0(&mesh, j, &s.density, &s.energy, &u0, &u) };
+            }
+        }
+        {
+            let (kx, ky) = (Us::new(&mut s.kx), Us::new(&mut s.ky));
+            for j in mesh.i0()..=mesh.j1() {
+                // SAFETY: single-threaded within the rank.
+                unsafe {
+                    common::row_init_coeffs(&mesh, j, config.coefficient, rx, ry, &s.density, &kx, &ky)
+                };
+            }
+        }
+        Stripe::halo_exchange(&mut s.u, &mesh, rank, TAG_U, 1);
+
+        // CG init (per-row partials; exactly-ordered global reduction)
+        let mut rro = {
+            let (w, r, p, z) =
+                (Us::new(&mut s.w), Us::new(&mut s.r), Us::new(&mut s.p), Us::new(&mut s.z));
+            let partials: Vec<f64> = rows
+                .clone()
+                .map(|j| {
+                    // SAFETY: single-threaded within the rank.
+                    unsafe {
+                        common::row_cg_init(&mesh, j, false, &s.u, &s.u0, &s.kx, &s.ky, &w, &r, &p, &z)
+                    }
+                })
+                .collect();
+            rank.allreduce_ordered(&partials)
+        };
+        let initial = rro;
+        let mut iterations = 0;
+        let mut converged = initial.abs() <= f64::MIN_POSITIVE;
+        while !converged && iterations < config.tl_max_iters {
+            Stripe::halo_exchange(&mut s.p, &mesh, rank, TAG_P, 1);
+            let pw = {
+                let w = Us::new(&mut s.w);
+                let partials: Vec<f64> = rows
+                    .clone()
+                    // SAFETY: single-threaded within the rank.
+                    .map(|j| unsafe { common::row_cg_calc_w(&mesh, j, &s.p, &s.kx, &s.ky, &w) })
+                    .collect();
+                rank.allreduce_ordered(&partials)
+            };
+            let alpha = rro / pw;
+            let rrn = {
+                let (u, r, z) = (Us::new(&mut s.u), Us::new(&mut s.r), Us::new(&mut s.z));
+                let partials: Vec<f64> = rows
+                    .clone()
+                    .map(|j| {
+                        // SAFETY: single-threaded within the rank.
+                        unsafe {
+                            common::row_cg_calc_ur(&mesh, j, alpha, false, &s.p, &s.w, &s.kx, &s.ky, &u, &r, &z)
+                        }
+                    })
+                    .collect();
+                rank.allreduce_ordered(&partials)
+            };
+            let beta = rrn / rro;
+            {
+                let p = Us::new(&mut s.p);
+                for j in rows.clone() {
+                    // SAFETY: single-threaded within the rank.
+                    unsafe { common::row_cg_calc_p(&mesh, j, beta, false, &s.r, &s.z, &p) };
+                }
+            }
+            rro = rrn;
+            iterations += 1;
+            if rrn.abs() <= config.tl_eps * initial.abs() {
+                converged = true;
+            }
+        }
+        total_iterations += iterations;
+        converged_all &= converged;
+
+        // finalise
+        {
+            let energy = Us::new(&mut s.energy);
+            for j in rows.clone() {
+                // SAFETY: single-threaded within the rank.
+                unsafe { common::row_finalise(&mesh, j, &s.u, &s.density, &energy) };
+            }
+        }
+        Stripe::halo_exchange(&mut s.energy, &mesh, rank, TAG_ENERGY, 1);
+    }
+
+    // global field summary (per-row partials; exactly-ordered)
+    let vol = mesh.cell_volume();
+    let partials: Vec<[f64; 4]> = rows
+        .map(|j| common::row_summary(&mesh, j, &s.density, &s.energy, &s.u, vol))
+        .collect();
+    let global = rank.allreduce_ordered_components(&partials);
+    DistributedReport {
+        ranks: rank.size(),
+        total_iterations,
+        converged: converged_all,
+        summary: Summary {
+            volume: global[0],
+            mass: global[1],
+            internal_energy: global[2],
+            temperature: global[3],
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripe_partition_covers_all_rows() {
+        for y in [7usize, 16, 33] {
+            for size in 1..=4 {
+                let mut covered = 0;
+                for rank in 0..size {
+                    let (r0, r1) = stripe_rows(y, rank, size);
+                    assert!(r0 <= r1);
+                    covered += r1 - r0;
+                    if rank > 0 {
+                        assert_eq!(r0, stripe_rows(y, rank - 1, size).1, "contiguous stripes");
+                    }
+                }
+                assert_eq!(covered, y);
+            }
+        }
+    }
+
+    #[test]
+    fn one_rank_runs() {
+        let mut cfg = TeaConfig::paper_problem(16);
+        cfg.end_step = 1;
+        cfg.tl_eps = 1.0e-10;
+        let report = run_distributed_cg(1, &cfg);
+        assert!(report.converged);
+        assert_eq!(report.ranks, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_ranks_rejected() {
+        // 8 rows across 8 ranks → 1-row stripes < halo depth 2
+        let mut cfg = TeaConfig::paper_problem(8);
+        cfg.end_step = 1;
+        let _ = run_distributed_cg(8, &cfg);
+    }
+}

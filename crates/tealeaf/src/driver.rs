@@ -1,0 +1,167 @@
+//! The timestep driver: the `tea_leaf` main loop.
+
+use std::time::Instant;
+
+use simdev::DeviceSpec;
+use tea_core::config::TeaConfig;
+use tea_core::halo::FieldId;
+
+use crate::kernels::TeaLeafPort;
+use crate::model_id::ModelId;
+use crate::ports::{make_port, PortError};
+use crate::problem::Problem;
+use crate::report::RunReport;
+use crate::solver;
+
+/// Run the full simulation for `config` with `model` on `device`,
+/// seeding any stochastic cost terms (the OpenCL CPU jitter) from `seed`.
+pub fn run_simulation_seeded(
+    model: ModelId,
+    device: &DeviceSpec,
+    config: &TeaConfig,
+    seed: u64,
+) -> Result<RunReport, PortError> {
+    let problem = Problem::from_config(config);
+    let mut port = make_port(model, device.clone(), &problem, seed)?;
+    let report = drive(port.as_mut(), &problem, device, config);
+    Ok(report)
+}
+
+/// Default seed for reproducible runs.
+pub const TEA_DEFAULT_SEED: u64 = 0x7EA1EAF;
+
+/// [`run_simulation_seeded`] with a fixed default seed.
+pub fn run_simulation(
+    model: ModelId,
+    device: &DeviceSpec,
+    config: &TeaConfig,
+) -> Result<RunReport, PortError> {
+    run_simulation_seeded(model, device, config, TEA_DEFAULT_SEED)
+}
+
+/// Run one already-constructed port through the timestep loop. Exposed so
+/// benchmarks can reuse a port or inspect it mid-run.
+pub fn drive(
+    port: &mut dyn TeaLeafPort,
+    problem: &Problem,
+    device: &DeviceSpec,
+    config: &TeaConfig,
+) -> RunReport {
+    let start = Instant::now();
+    let (rx, ry) = problem.rx_ry();
+    // Initial halo fill for the generated fields (depth 2, as TeaLeaf's
+    // start-of-run `update_halo`).
+    port.halo_update(&[FieldId::Density, FieldId::Energy0], 2);
+
+    let mut total_iterations = 0;
+    let mut converged = true;
+    let mut eigenvalues = None;
+    for _step in 1..=config.end_step {
+        port.init_fields(config.coefficient, rx, ry);
+        port.halo_update(&[FieldId::U], 1);
+        let outcome = solver::solve(port, config);
+        total_iterations += outcome.iterations;
+        converged &= outcome.converged;
+        if outcome.eigenvalues.is_some() {
+            eigenvalues = outcome.eigenvalues;
+        }
+        port.finalise();
+        port.halo_update(&[FieldId::Energy1], 1);
+    }
+    let summary = port.field_summary();
+    RunReport {
+        model: port.model(),
+        device: device.name.clone(),
+        solver: config.solver,
+        x_cells: config.x_cells,
+        y_cells: config.y_cells,
+        steps: config.end_step,
+        total_iterations,
+        converged,
+        summary,
+        sim: port.context().clock.snapshot(),
+        wall_seconds: start.elapsed().as_secs_f64(),
+        eigenvalues,
+    }
+}
+
+/// Back-compat alias used by examples: run one solve only (single step).
+pub fn run_solve(
+    model: ModelId,
+    device: &DeviceSpec,
+    config: &TeaConfig,
+) -> Result<RunReport, PortError> {
+    let mut single = config.clone();
+    single.end_step = 1;
+    run_simulation(model, device, &single)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdev::devices;
+    use tea_core::config::SolverKind;
+
+    fn config() -> TeaConfig {
+        let mut cfg = TeaConfig::paper_problem(24);
+        cfg.solver = SolverKind::ConjugateGradient;
+        cfg.end_step = 2;
+        cfg.tl_eps = 1.0e-10;
+        cfg
+    }
+
+    #[test]
+    fn unsupported_pair_is_an_error() {
+        let err = run_simulation(ModelId::Cuda, &devices::cpu_xeon_e5_2670_x2(), &config());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn run_solve_is_single_step() {
+        let report =
+            run_solve(ModelId::Serial, &devices::cpu_xeon_e5_2670_x2(), &config()).unwrap();
+        assert_eq!(report.steps, 1);
+        assert!(report.converged);
+    }
+
+    #[test]
+    fn report_carries_run_metadata() {
+        let device = devices::gpu_k20x();
+        let report = run_simulation(ModelId::Cuda, &device, &config()).unwrap();
+        assert_eq!(report.model, ModelId::Cuda);
+        assert_eq!(report.device, device.name);
+        assert_eq!(report.solver, SolverKind::ConjugateGradient);
+        assert_eq!(report.x_cells, 24);
+        assert!(report.sim.kernels > 0);
+        assert!(report.sim.transfers >= 2, "install memcpys recorded");
+        assert!(report.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn same_seed_reproduces_jittered_runs_exactly() {
+        let device = devices::cpu_xeon_e5_2670_x2();
+        let a = run_simulation_seeded(ModelId::OpenCl, &device, &config(), 99).unwrap();
+        let b = run_simulation_seeded(ModelId::OpenCl, &device, &config(), 99).unwrap();
+        assert_eq!(a.sim.seconds, b.sim.seconds);
+        assert_eq!(a.summary, b.summary);
+        let c = run_simulation_seeded(ModelId::OpenCl, &device, &config(), 100).unwrap();
+        assert_ne!(a.sim.seconds, c.sim.seconds, "different seed, different jitter");
+        assert_eq!(a.summary, c.summary, "numerics independent of jitter");
+    }
+
+    #[test]
+    fn eigenvalues_reported_only_for_chebyshev_family() {
+        let device = devices::cpu_xeon_e5_2670_x2();
+        let mut cfg = config();
+        let cg = run_simulation(ModelId::Serial, &device, &cfg).unwrap();
+        assert!(cg.eigenvalues.is_none());
+        cfg.solver = SolverKind::Chebyshev;
+        cfg.x_cells = 48;
+        cfg.y_cells = 48;
+        cfg.tl_eps = 1.0e-13; // hard enough that CG does not finish in the presteps
+        cfg.tl_ch_cg_presteps = 8;
+        let cheby = run_simulation(ModelId::Serial, &device, &cfg).unwrap();
+        let (lo, hi) = cheby.eigenvalues.expect("chebyshev estimates eigenvalues");
+        assert!(lo > 0.0 && hi > lo);
+    }
+}

@@ -1,0 +1,202 @@
+//! Eigenvalue estimation for Chebyshev and PPCG.
+//!
+//! TeaLeaf estimates the operator's extremal eigenvalues from the Lanczos
+//! tridiagonal matrix implied by the CG coefficients: after `k` CG
+//! iterations with step sizes `α` and update ratios `β`,
+//!
+//! ```text
+//! T[0,0]   = 1/α₀
+//! T[i,i]   = 1/αᵢ + βᵢ₋₁/αᵢ₋₁
+//! T[i,i-1] = √βᵢ₋₁ / αᵢ₋₁
+//! ```
+//!
+//! whose eigenvalues approximate the spectrum of `A`. The tridiagonal
+//! eigenproblem is solved with the classic QL algorithm with implicit
+//! shifts (`tqli`), reimplemented here without eigenvectors.
+
+/// Eigenvalues of a symmetric tridiagonal matrix, ascending.
+///
+/// `diag` holds the diagonal, `off` the sub-diagonal with `off[0]` unused
+/// (one-based offset as in the classic routine).
+///
+/// Returns `None` if the iteration fails to converge (more than 30 QL
+/// sweeps for some eigenvalue — essentially impossible for well-formed
+/// input).
+pub fn tqli(diag: &[f64], off: &[f64]) -> Option<Vec<f64>> {
+    let n = diag.len();
+    assert_eq!(off.len(), n, "off-diagonal must have the same length (index 0 unused)");
+    let mut d = diag.to_vec();
+    // shift the sub-diagonal down one slot: e[i] couples i and i+1
+    let mut e: Vec<f64> = (0..n).map(|i| if i + 1 < n { off[i + 1] } else { 0.0 }).collect();
+
+    for l in 0..n {
+        let mut iterations = 0;
+        loop {
+            // find a negligible off-diagonal element
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iterations += 1;
+            if iterations > 30 {
+                return None;
+            }
+            // implicit shift from the 2×2 trailing block
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + r.copysign(g));
+            let (mut s, mut c) = (1.0f64, 1.0f64);
+            let mut p = 0.0f64;
+            let mut underflow = false;
+            for i in (l..m).rev() {
+                let f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    // rotation annihilated early: recover and restart sweep
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    underflow = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+            }
+            if underflow {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    d.sort_by(|a, b| a.partial_cmp(b).expect("eigenvalues are finite"));
+    Some(d)
+}
+
+/// Estimated extremal eigenvalues from recorded CG coefficients, with
+/// TeaLeaf's safety margins applied (bounds are widened so the Chebyshev
+/// interval is guaranteed to contain the true spectrum).
+///
+/// Returns `None` when fewer than 2 iterations were recorded or the QL
+/// iteration failed.
+pub fn eigenvalue_estimate(alphas: &[f64], betas: &[f64]) -> Option<(f64, f64)> {
+    let k = alphas.len().min(betas.len());
+    if k < 2 {
+        return None;
+    }
+    let mut diag = vec![0.0; k];
+    let mut off = vec![0.0; k];
+    for i in 0..k {
+        diag[i] = 1.0 / alphas[i];
+        if i > 0 {
+            diag[i] += betas[i - 1] / alphas[i - 1];
+            off[i] = betas[i - 1].sqrt() / alphas[i - 1];
+        }
+    }
+    let eigs = tqli(&diag, &off)?;
+    let (min, max) = (eigs[0], eigs[k - 1]);
+    if !(min.is_finite() && max.is_finite()) || min <= 0.0 {
+        return None;
+    }
+    // TeaLeaf widens the estimated interval for safety.
+    Some((min * 0.95, max * 1.05))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let d = [3.0, 1.0, 2.0];
+        let e = [0.0, 0.0, 0.0];
+        let eig = tqli(&d, &e).unwrap();
+        assert_close(eig[0], 1.0, 1e-12);
+        assert_close(eig[1], 2.0, 1e-12);
+        assert_close(eig[2], 3.0, 1e-12);
+    }
+
+    #[test]
+    fn two_by_two_known() {
+        // [[2,1],[1,2]] → eigenvalues 1, 3
+        let eig = tqli(&[2.0, 2.0], &[0.0, 1.0]).unwrap();
+        assert_close(eig[0], 1.0, 1e-12);
+        assert_close(eig[1], 3.0, 1e-12);
+    }
+
+    #[test]
+    fn laplacian_tridiagonal() {
+        // 1-D Laplacian: diag 2, off -1, size n → eigs 2 - 2cos(kπ/(n+1))
+        let n = 16;
+        let d = vec![2.0; n];
+        let mut e = vec![-1.0; n];
+        e[0] = 0.0;
+        let eig = tqli(&d, &e).unwrap();
+        for (k, ev) in eig.iter().enumerate() {
+            let expect = 2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+            assert_close(*ev, expect, 1e-10);
+        }
+    }
+
+    #[test]
+    fn single_element() {
+        let eig = tqli(&[5.0], &[0.0]).unwrap();
+        assert_eq!(eig, vec![5.0]);
+    }
+
+    #[test]
+    fn estimate_needs_two_iterations() {
+        assert!(eigenvalue_estimate(&[0.5], &[0.1]).is_none());
+        assert!(eigenvalue_estimate(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn estimate_brackets_identity_like_operator() {
+        // For A = I, CG converges with α = 1, β = 0 immediately; a slightly
+        // perturbed sequence should give eigenvalues near 1.
+        let alphas = [1.0, 0.99, 1.01];
+        let betas = [0.001, 0.001, 0.001];
+        let (lo, hi) = eigenvalue_estimate(&alphas, &betas).unwrap();
+        assert!(lo > 0.5 && hi < 2.0, "({lo}, {hi})");
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn margins_widen_interval() {
+        let alphas = [0.5, 0.4, 0.45, 0.42];
+        let betas = [0.2, 0.3, 0.25, 0.28];
+        let (lo, hi) = eigenvalue_estimate(&alphas, &betas).unwrap();
+        // recompute the raw extremes
+        let k = 4;
+        let mut diag = vec![0.0; k];
+        let mut off = vec![0.0; k];
+        for i in 0..k {
+            diag[i] = 1.0 / alphas[i];
+            if i > 0 {
+                diag[i] += betas[i - 1] / alphas[i - 1];
+                off[i] = betas[i - 1].sqrt() / alphas[i - 1];
+            }
+        }
+        let eig = tqli(&diag, &off).unwrap();
+        assert_close(lo, eig[0] * 0.95, 1e-12);
+        assert_close(hi, eig[3] * 1.05, 1e-12);
+    }
+}

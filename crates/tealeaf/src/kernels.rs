@@ -1,0 +1,112 @@
+//! The kernel set every programming-model port implements.
+//!
+//! The trait's methods are the kernels of the reference TeaLeaf,
+//! one-for-one (`tea_leaf_cg_*`, `tea_leaf_cheby_*`, `tea_leaf_ppcg_*`,
+//! `tea_leaf_jacobi_*`, `update_halo`, `field_summary`, …). The solver
+//! drivers in [`crate::solver`] are written once against this trait; ports
+//! differ only in *how* each kernel iterates, dispatches, transfers and is
+//! charged — which is precisely the axis the paper evaluates.
+//!
+//! ## Determinism contract
+//!
+//! Every port must perform identical per-cell arithmetic (use the shared
+//! helpers in [`crate::ports::common`]) and reduce with per-interior-row
+//! partials combined in row order. Under that contract all ports produce
+//! **bit-identical** fields and reductions, which the cross-port
+//! integration tests assert. (The devices' real reduction strategies
+//! differ, of course — that difference lives in the *cost model*, not in
+//! the arithmetic.)
+
+use simdev::SimContext;
+use tea_core::config::Coefficient;
+use tea_core::halo::FieldId;
+use tea_core::summary::Summary;
+
+use crate::model_id::ModelId;
+
+/// Which field a 2-norm is taken over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormField {
+    /// `‖u0‖²` — the right-hand side (initial) norm.
+    U0,
+    /// `‖r‖²` — the current residual.
+    R,
+}
+
+/// One programming-model port of TeaLeaf.
+pub trait TeaLeafPort {
+    /// Which model this is.
+    fn model(&self) -> ModelId;
+
+    /// The simulated-device context the port charges.
+    fn context(&self) -> &SimContext;
+
+    /// Set `u0 = energy·density`, `u = u0`, and build the scaled face
+    /// coefficients `Kx`, `Ky` from the density field
+    /// (`tea_leaf_common_init`).
+    fn init_fields(&mut self, coefficient: Coefficient, rx: f64, ry: f64);
+
+    /// Reflective halo update of `depth` ghost layers for each listed
+    /// field (`update_halo`).
+    fn halo_update(&mut self, fields: &[FieldId], depth: usize);
+
+    // --- CG (tea_leaf_cg) ---
+
+    /// `w = A·u`, `r = u0 − w`, `p = M⁻¹r` (or `r`); returns
+    /// `rro = r·p`.
+    fn cg_init(&mut self, preconditioner: bool) -> f64;
+
+    /// `w = A·p`; returns `pw = p·w`.
+    fn cg_calc_w(&mut self) -> f64;
+
+    /// `u += α·p`, `r −= α·w`, optionally `z = M⁻¹r`; returns
+    /// `rrn = r·r` (or `r·z`).
+    fn cg_calc_ur(&mut self, alpha: f64, preconditioner: bool) -> f64;
+
+    /// `p = (z|r) + β·p`.
+    fn cg_calc_p(&mut self, beta: f64, preconditioner: bool);
+
+    // --- Chebyshev (tea_leaf_cheby) ---
+
+    /// First Chebyshev step: `w = A·u`, `r = u0 − w`, `p = r/θ`,
+    /// `u += p`.
+    fn cheby_init(&mut self, theta: f64);
+
+    /// One Chebyshev iteration: `w = A·u`, `r = u0 − w`,
+    /// `p = α·p + β·r`, `u += p`.
+    fn cheby_iterate(&mut self, alpha: f64, beta: f64);
+
+    // --- PPCG (tea_leaf_ppcg) ---
+
+    /// `sd = r/θ` — start the inner smoothing sweep.
+    fn ppcg_init_sd(&mut self, theta: f64);
+
+    /// One inner step: `w = A·sd`, `r −= w`, `u += sd`,
+    /// `sd = α·sd + β·r`.
+    fn ppcg_inner(&mut self, alpha: f64, beta: f64);
+
+    // --- Jacobi (tea_leaf_jacobi) ---
+
+    /// One Jacobi sweep: save `u` (into `r` as scratch), recompute `u`
+    /// from the neighbours; returns `Σ|Δu|`.
+    fn jacobi_iterate(&mut self) -> f64;
+
+    // --- shared ---
+
+    /// `r = u0 − A·u` (`tea_leaf_calc_residual`).
+    fn residual(&mut self);
+
+    /// `Σ field²` over the interior (`tea_leaf_calc_2norm`).
+    fn calc_2norm(&mut self, field: NormField) -> f64;
+
+    /// `energy = u / density` (`tea_leaf_finalise`).
+    fn finalise(&mut self);
+
+    /// Volume/mass/internal-energy/temperature integrals
+    /// (`field_summary`) — a 4-component reduction.
+    fn field_summary(&mut self) -> Summary;
+
+    /// Copy the temperature field back to the host (charged as a
+    /// transfer on offload devices); padded row-major layout.
+    fn read_u(&mut self) -> Vec<f64>;
+}

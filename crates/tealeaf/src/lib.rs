@@ -1,0 +1,38 @@
+//! # tealeaf
+//!
+//! The TeaLeaf heat-conduction mini-app (paper §1.1) ported to Rust
+//! analogues of the seven programming models the paper evaluates, plus a
+//! serial reference. The crate is organised exactly like the study:
+//!
+//! * [`kernels::TeaLeafPort`] — the kernel set every port implements. The
+//!   solver drivers are written **once** against this trait, which is how
+//!   "TeaLeaf's core solver logic and parameters were kept consistent
+//!   between ports" (§3).
+//! * [`solver`] — the three iterative solvers of the paper (CG, Chebyshev,
+//!   PPCG) plus upstream TeaLeaf's Jacobi, with the CG-Lanczos eigenvalue
+//!   estimation ([`eigen`]) Chebyshev and PPCG need.
+//! * [`ports`] — the eight ports: `serial`, OpenMP 3.0 (Fortran-90- and
+//!   C++-flavoured), OpenMP 4.0, OpenACC, Kokkos (flat and hierarchical-
+//!   parallelism), RAJA (list-segment and SIMD), OpenCL and CUDA.
+//! * [`profiles`] — each model's calibrated [`simdev::ModelProfile`] and
+//!   named quirks, with the paper observation justifying every number.
+//! * [`driver`] — the timestep loop: [`run_simulation`] takes a model, a
+//!   device and a [`tea_core::TeaConfig`] and returns a [`RunReport`].
+
+pub mod cheby;
+pub mod distributed;
+pub mod driver;
+pub mod eigen;
+pub mod kernels;
+pub mod model_id;
+pub mod ports;
+pub mod problem;
+pub mod profiles;
+pub mod report;
+pub mod solver;
+
+pub use driver::{run_simulation, run_simulation_seeded, run_solve};
+pub use kernels::{NormField, TeaLeafPort};
+pub use model_id::ModelId;
+pub use problem::Problem;
+pub use report::RunReport;

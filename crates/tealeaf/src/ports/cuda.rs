@@ -1,0 +1,476 @@
+//! The CUDA port — the device-tuned GPU baseline.
+//!
+//! Following §2.6/§3.5: every loop becomes a kernel over a 1-D grid of
+//! 1-D thread blocks ("assuming a 1D grid of 1D blocks of threads, you
+//! also need to calculate a block size and corresponding number of
+//! blocks, as well as checking for iteration overspill from within the
+//! kernels"); data moves with explicit `cudaMemcpy` calls; reductions are
+//! the custom two-pass block scheme ("it was necessary to create a custom
+//! GPU-specific reduction, including reduction code inside all of the
+//! individual reduction-based kernels").
+
+use cuda_rs::buffer::{memcpy_dtoh, memcpy_htod};
+use cuda_rs::{launch, launch_reduce, CudaStream, DeviceBuffer, LaunchConfig};
+use parpool::{Executor, StaticPool};
+use simdev::{DeviceSpec, SimContext};
+use tea_core::config::Coefficient;
+use tea_core::halo::{update_halo, FieldId};
+use tea_core::mesh::Mesh2d;
+use tea_core::summary::Summary;
+
+use crate::kernels::{NormField, TeaLeafPort};
+use crate::model_id::ModelId;
+use crate::ports::common::{self, profiles, Us};
+use crate::problem::Problem;
+use crate::profiles::{model_profile, model_quirks};
+
+/// Threads per block, as a typical K20X-tuned TeaLeaf port would pick.
+const BLOCK: usize = 256;
+
+/// CUDA TeaLeaf.
+pub struct CudaPort {
+    ctx: SimContext,
+    mesh: Mesh2d,
+    density: DeviceBuffer<f64>,
+    energy: DeviceBuffer<f64>,
+    u: DeviceBuffer<f64>,
+    u0: DeviceBuffer<f64>,
+    p: DeviceBuffer<f64>,
+    r: DeviceBuffer<f64>,
+    w: DeviceBuffer<f64>,
+    z: DeviceBuffer<f64>,
+    kx: DeviceBuffer<f64>,
+    ky: DeviceBuffer<f64>,
+    sd: DeviceBuffer<f64>,
+}
+
+/// In-kernel guard: overspill check plus interior test.
+#[inline(always)]
+fn guard(mesh: &Mesh2d, tid: usize) -> bool {
+    if tid >= mesh.len() {
+        return false; // grid overspill
+    }
+    let width = mesh.width();
+    let (i, j) = (tid % width, tid / width);
+    i >= mesh.i0() && i < mesh.i1() && j >= mesh.i0() && j < mesh.j1()
+}
+
+impl CudaPort {
+    /// Build the port: `cudaMalloc` all fields and `memcpy` the inputs.
+    pub fn new(device: DeviceSpec, problem: &Problem, seed: u64) -> Self {
+        let ctx = SimContext::new(
+            device,
+            model_profile(ModelId::Cuda),
+            model_quirks(ModelId::Cuda),
+            seed,
+        );
+        let mesh = problem.mesh.clone();
+        let len = mesh.len();
+        let mut port = CudaPort {
+            ctx,
+            mesh,
+            density: DeviceBuffer::alloc(len),
+            energy: DeviceBuffer::alloc(len),
+            u: DeviceBuffer::alloc(len),
+            u0: DeviceBuffer::alloc(len),
+            p: DeviceBuffer::alloc(len),
+            r: DeviceBuffer::alloc(len),
+            w: DeviceBuffer::alloc(len),
+            z: DeviceBuffer::alloc(len),
+            kx: DeviceBuffer::alloc(len),
+            ky: DeviceBuffer::alloc(len),
+            sd: DeviceBuffer::alloc(len),
+        };
+        memcpy_htod(&port.ctx, &mut port.density, problem.density.as_slice());
+        memcpy_htod(&port.ctx, &mut port.energy, problem.energy.as_slice());
+        port
+    }
+
+    fn pool(&self) -> &'static StaticPool {
+        parpool::global_static()
+    }
+
+    fn n(&self) -> u64 {
+        profiles::cells(&self.mesh)
+    }
+
+    /// Grid/block decomposition over the padded flat range.
+    fn cfg(&self) -> LaunchConfig {
+        LaunchConfig::for_n(self.mesh.len(), BLOCK)
+    }
+
+    /// Row-block decomposition for the custom reductions: one block per
+    /// interior row, partials combined in block order.
+    fn reduce_cfg(&self) -> LaunchConfig {
+        LaunchConfig { grid: self.mesh.y_cells, block: self.mesh.x_cells }
+    }
+
+    fn buffer_mut(&mut self, id: FieldId) -> &mut DeviceBuffer<f64> {
+        match id {
+            FieldId::Density => &mut self.density,
+            FieldId::Energy0 | FieldId::Energy1 => &mut self.energy,
+            FieldId::U => &mut self.u,
+            FieldId::U0 => &mut self.u0,
+            FieldId::P => &mut self.p,
+            FieldId::R => &mut self.r,
+            FieldId::W => &mut self.w,
+            FieldId::Z | FieldId::Mi => &mut self.z,
+            FieldId::Kx => &mut self.kx,
+            FieldId::Ky => &mut self.ky,
+            FieldId::Sd => &mut self.sd,
+        }
+    }
+}
+
+impl TeaLeafPort for CudaPort {
+    fn model(&self) -> ModelId {
+        ModelId::Cuda
+    }
+
+    fn context(&self) -> &SimContext {
+        &self.ctx
+    }
+
+    fn init_fields(&mut self, coefficient: Coefficient, rx: f64, ry: f64) {
+        let mesh = self.mesh.clone();
+        let cfg = self.cfg();
+        let n = self.n();
+        let pool = self.pool();
+        {
+            let stream = CudaStream::new(&self.ctx, pool);
+            let (density, energy) = (self.density.device(), self.energy.device());
+            let u0 = Us::new(self.u0.device_mut());
+            let u = Us::new(self.u.device_mut());
+            launch(&stream, cfg, &profiles::init_u0(n), &|tid| {
+                if guard(&mesh, tid) {
+                    // SAFETY: cells disjoint.
+                    unsafe { common::cell_init_u0(tid, density, energy, &u0, &u) };
+                }
+            });
+        }
+        let stream = CudaStream::new(&self.ctx, pool);
+        let width = mesh.width();
+        let (lo, i1, j1) = (mesh.i0(), mesh.i1(), mesh.j1());
+        let len = mesh.len();
+        let density = self.density.device();
+        let kx = Us::new(self.kx.device_mut());
+        let ky = Us::new(self.ky.device_mut());
+        launch(&stream, cfg, &profiles::init_coeffs(n), &|tid| {
+            if tid >= len {
+                return;
+            }
+            let (i, j) = (tid % width, tid / width);
+            if i >= lo && i <= i1 && j >= lo && j <= j1 {
+                // SAFETY: cells disjoint.
+                unsafe { common::cell_init_coeffs(width, tid, coefficient, rx, ry, density, &kx, &ky) };
+            }
+        });
+    }
+
+    fn halo_update(&mut self, fields: &[FieldId], depth: usize) {
+        let mesh = self.mesh.clone();
+        for &id in fields {
+            self.ctx.launch(&profiles::halo(&mesh, depth));
+            let buf = self.buffer_mut(id);
+            update_halo(&mesh, buf.device_mut(), depth);
+        }
+    }
+
+    fn cg_init(&mut self, preconditioner: bool) -> f64 {
+        let mesh = self.mesh.clone();
+        let cfg = self.reduce_cfg();
+        let profile = profiles::cg_init(self.n(), preconditioner);
+        let stream = CudaStream::new(&self.ctx, parpool::global_static());
+        let width = mesh.width();
+        let (i0, i1) = (mesh.i0(), mesh.i1());
+        let (u, u0, kx, ky) =
+            (self.u.device(), self.u0.device(), self.kx.device(), self.ky.device());
+        let w = Us::new(self.w.device_mut());
+        let r = Us::new(self.r.device_mut());
+        let p = Us::new(self.p.device_mut());
+        let z = Us::new(self.z.device_mut());
+        launch_reduce(&stream, cfg, &profile, &|block| {
+            let j = i0 + block;
+            let mut acc = 0.0;
+            for i in i0..i1 {
+                // SAFETY: blocks own disjoint rows.
+                acc += unsafe {
+                    common::cell_cg_init(width, common::idx(width, i, j), preconditioner, u, u0, kx, ky, &w, &r, &p, &z)
+                };
+            }
+            acc
+        })
+    }
+
+    fn cg_calc_w(&mut self) -> f64 {
+        let mesh = self.mesh.clone();
+        let cfg = self.reduce_cfg();
+        let profile = profiles::cg_calc_w(self.n());
+        let stream = CudaStream::new(&self.ctx, parpool::global_static());
+        let width = mesh.width();
+        let (i0, i1) = (mesh.i0(), mesh.i1());
+        let (p, kx, ky) = (self.p.device(), self.kx.device(), self.ky.device());
+        let w = Us::new(self.w.device_mut());
+        launch_reduce(&stream, cfg, &profile, &|block| {
+            let j = i0 + block;
+            let mut acc = 0.0;
+            for i in i0..i1 {
+                // SAFETY: blocks own disjoint rows.
+                acc += unsafe { common::cell_cg_calc_w(width, common::idx(width, i, j), p, kx, ky, &w) };
+            }
+            acc
+        })
+    }
+
+    fn cg_calc_ur(&mut self, alpha: f64, preconditioner: bool) -> f64 {
+        let mesh = self.mesh.clone();
+        let cfg = self.reduce_cfg();
+        let profile = profiles::cg_calc_ur(self.n(), preconditioner);
+        let stream = CudaStream::new(&self.ctx, parpool::global_static());
+        let width = mesh.width();
+        let (i0, i1) = (mesh.i0(), mesh.i1());
+        let (p, w, kx, ky) =
+            (self.p.device(), self.w.device(), self.kx.device(), self.ky.device());
+        let u = Us::new(self.u.device_mut());
+        let r = Us::new(self.r.device_mut());
+        let z = Us::new(self.z.device_mut());
+        launch_reduce(&stream, cfg, &profile, &|block| {
+            let j = i0 + block;
+            let mut acc = 0.0;
+            for i in i0..i1 {
+                // SAFETY: blocks own disjoint rows.
+                acc += unsafe {
+                    common::cell_cg_calc_ur(width, common::idx(width, i, j), alpha, preconditioner, p, w, kx, ky, &u, &r, &z)
+                };
+            }
+            acc
+        })
+    }
+
+    fn cg_calc_p(&mut self, beta: f64, preconditioner: bool) {
+        let mesh = self.mesh.clone();
+        let cfg = self.cfg();
+        let profile = profiles::cg_calc_p(self.n());
+        let stream = CudaStream::new(&self.ctx, parpool::global_static());
+        let (r, z) = (self.r.device(), self.z.device());
+        let p = Us::new(self.p.device_mut());
+        launch(&stream, cfg, &profile, &|tid| {
+            if guard(&mesh, tid) {
+                // SAFETY: cells disjoint.
+                unsafe { common::cell_cg_calc_p(tid, beta, preconditioner, r, z, &p) };
+            }
+        });
+    }
+
+    fn cheby_init(&mut self, theta: f64) {
+        self.cheby_step(true, theta, 0.0, 0.0);
+    }
+
+    fn cheby_iterate(&mut self, alpha: f64, beta: f64) {
+        self.cheby_step(false, 0.0, alpha, beta);
+    }
+
+    fn ppcg_init_sd(&mut self, theta: f64) {
+        let mesh = self.mesh.clone();
+        let cfg = self.cfg();
+        let profile = profiles::ppcg_init_sd(self.n());
+        let stream = CudaStream::new(&self.ctx, parpool::global_static());
+        let r = self.r.device();
+        let sd = Us::new(self.sd.device_mut());
+        launch(&stream, cfg, &profile, &|tid| {
+            if guard(&mesh, tid) {
+                // SAFETY: cells disjoint.
+                unsafe { common::cell_sd_init(tid, theta, r, &sd) };
+            }
+        });
+    }
+
+    fn ppcg_inner(&mut self, alpha: f64, beta: f64) {
+        let mesh = self.mesh.clone();
+        let cfg = self.cfg();
+        let width = mesh.width();
+        let pool = self.pool();
+        {
+            let profile = profiles::ppcg_calc_w(self.n());
+            let stream = CudaStream::new(&self.ctx, pool);
+            let (sd, kx, ky) = (self.sd.device(), self.kx.device(), self.ky.device());
+            let w = Us::new(self.w.device_mut());
+            launch(&stream, cfg, &profile, &|tid| {
+                if guard(&mesh, tid) {
+                    // SAFETY: cells disjoint.
+                    unsafe { common::cell_ppcg_w(width, tid, sd, kx, ky, &w) };
+                }
+            });
+        }
+        let profile = profiles::ppcg_update(self.n());
+        let stream = CudaStream::new(&self.ctx, pool);
+        let w = self.w.device();
+        let u = Us::new(self.u.device_mut());
+        let r = Us::new(self.r.device_mut());
+        let sd = Us::new(self.sd.device_mut());
+        launch(&stream, cfg, &profile, &|tid| {
+            if guard(&mesh, tid) {
+                // SAFETY: cells disjoint.
+                unsafe { common::cell_ppcg_update(tid, alpha, beta, w, &u, &r, &sd) };
+            }
+        });
+    }
+
+    fn jacobi_iterate(&mut self) -> f64 {
+        let mesh = self.mesh.clone();
+        let cfg = self.cfg();
+        let width = mesh.width();
+        let pool = self.pool();
+        {
+            let profile = profiles::jacobi_copy(self.n());
+            let stream = CudaStream::new(&self.ctx, pool);
+            let u = self.u.device();
+            let r = Us::new(self.r.device_mut());
+            launch(&stream, cfg, &profile, &|tid| {
+                if guard(&mesh, tid) {
+                    // SAFETY: cells disjoint.
+                    unsafe { r.set(tid, u[tid]) };
+                }
+            });
+        }
+        let profile = profiles::jacobi_iterate(self.n());
+        let rcfg = self.reduce_cfg();
+        let stream = CudaStream::new(&self.ctx, pool);
+        let (i0, i1) = (mesh.i0(), mesh.i1());
+        let (u0, r, kx, ky) =
+            (self.u0.device(), self.r.device(), self.kx.device(), self.ky.device());
+        let u = Us::new(self.u.device_mut());
+        launch_reduce(&stream, rcfg, &profile, &|block| {
+            let j = i0 + block;
+            let mut acc = 0.0;
+            for i in i0..i1 {
+                // SAFETY: blocks own disjoint rows.
+                acc += unsafe { common::cell_jacobi_iterate(width, common::idx(width, i, j), u0, r, kx, ky, &u) };
+            }
+            acc
+        })
+    }
+
+    fn residual(&mut self) {
+        let mesh = self.mesh.clone();
+        let cfg = self.cfg();
+        let width = mesh.width();
+        let profile = profiles::residual(self.n());
+        let stream = CudaStream::new(&self.ctx, parpool::global_static());
+        let (u, u0, kx, ky) =
+            (self.u.device(), self.u0.device(), self.kx.device(), self.ky.device());
+        let r = Us::new(self.r.device_mut());
+        launch(&stream, cfg, &profile, &|tid| {
+            if guard(&mesh, tid) {
+                // SAFETY: cells disjoint.
+                unsafe { common::cell_residual(width, tid, u, u0, kx, ky, &r) };
+            }
+        });
+    }
+
+    fn calc_2norm(&mut self, field: NormField) -> f64 {
+        let mesh = self.mesh.clone();
+        let cfg = self.reduce_cfg();
+        let profile = profiles::norm(self.n());
+        let stream = CudaStream::new(&self.ctx, parpool::global_static());
+        let width = mesh.width();
+        let (i0, i1) = (mesh.i0(), mesh.i1());
+        let x = match field {
+            NormField::U0 => self.u0.device(),
+            NormField::R => self.r.device(),
+        };
+        launch_reduce(&stream, cfg, &profile, &|block| {
+            let j = i0 + block;
+            let mut acc = 0.0;
+            for i in i0..i1 {
+                acc += common::cell_norm(common::idx(width, i, j), x);
+            }
+            acc
+        })
+    }
+
+    fn finalise(&mut self) {
+        let mesh = self.mesh.clone();
+        let cfg = self.cfg();
+        let profile = profiles::finalise(self.n());
+        let stream = CudaStream::new(&self.ctx, parpool::global_static());
+        let (u, density) = (self.u.device(), self.density.device());
+        let energy = Us::new(self.energy.device_mut());
+        launch(&stream, cfg, &profile, &|tid| {
+            if guard(&mesh, tid) {
+                // SAFETY: cells disjoint.
+                unsafe { common::cell_finalise(tid, u, density, &energy) };
+            }
+        });
+    }
+
+    fn field_summary(&mut self) -> Summary {
+        // Four block-reductions, one per component (the CUDA port packs
+        // them into one kernel with four partial buffers; cost-wise one
+        // fused launch plus the final pass dominates identically).
+        let mesh = self.mesh.clone();
+        let cfg = self.reduce_cfg();
+        let profile = profiles::field_summary(self.n());
+        let stream = CudaStream::new(&self.ctx, parpool::global_static());
+        let width = mesh.width();
+        let (i0, i1) = (mesh.i0(), mesh.i1());
+        let vol = mesh.cell_volume();
+        let (density, energy, u) = (self.density.device(), self.energy.device(), self.u.device());
+        // one launch computing all four components' block partials
+        stream.ctx().launch(&profile);
+        let mut acc = [0.0; 4];
+        for (comp, slot) in acc.iter_mut().enumerate() {
+            *slot = parpool::global_static().run_sum(cfg.grid, &|block| {
+                let j = i0 + block;
+                let mut row = 0.0;
+                for i in i0..i1 {
+                    row += common::cell_summary(common::idx(width, i, j), density, energy, u, vol)[comp];
+                }
+                row
+            });
+        }
+        Summary { volume: acc[0], mass: acc[1], internal_energy: acc[2], temperature: acc[3] }
+    }
+
+    fn read_u(&mut self) -> Vec<f64> {
+        let mut out = vec![0.0; self.mesh.len()];
+        memcpy_dtoh(&self.ctx, &mut out, &self.u);
+        out
+    }
+}
+
+impl CudaPort {
+    fn cheby_step(&mut self, first: bool, theta: f64, alpha: f64, beta: f64) {
+        let mesh = self.mesh.clone();
+        let cfg = self.cfg();
+        let width = mesh.width();
+        let pool = self.pool();
+        {
+            let profile = profiles::cheby_calc_p(self.n());
+            let stream = CudaStream::new(&self.ctx, pool);
+            let (u, u0, kx, ky) =
+                (self.u.device(), self.u0.device(), self.kx.device(), self.ky.device());
+            let w = Us::new(self.w.device_mut());
+            let r = Us::new(self.r.device_mut());
+            let p = Us::new(self.p.device_mut());
+            launch(&stream, cfg, &profile, &|tid| {
+                if guard(&mesh, tid) {
+                    // SAFETY: cells disjoint.
+                    unsafe {
+                        common::cell_cheby_calc_p(width, tid, first, theta, alpha, beta, u, u0, kx, ky, &w, &r, &p)
+                    };
+                }
+            });
+        }
+        let profile = profiles::add_to_u(self.n());
+        let stream = CudaStream::new(&self.ctx, pool);
+        let p = self.p.device();
+        let u = Us::new(self.u.device_mut());
+        launch(&stream, cfg, &profile, &|tid| {
+            if guard(&mesh, tid) {
+                // SAFETY: cells disjoint.
+                unsafe { common::cell_add_p_to_u(tid, p, &u) };
+            }
+        });
+    }
+}

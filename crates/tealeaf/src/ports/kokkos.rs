@@ -1,0 +1,521 @@
+//! The Kokkos port (flat-range) and the `Kokkos HP` variant.
+//!
+//! Following §3.3: every field lives in a 1-D device `View` over the
+//! flattened padded grid ("each functor in Kokkos flattens the iteration
+//! space and provides a single index parameter"); grid kernels iterate the
+//! *whole* padded range and re-derive `(i, j)` with a div/mod, skipping
+//! halo cells with a **conditional in the functor body** — the pattern
+//! Intel's native KNC compilation handles badly, charged via the
+//! `interior_branch` kernel trait.
+//!
+//! The `Kokkos HP` variant is Sandia's fix (Figure 7): hierarchical
+//! parallelism with a league of teams over interior rows and
+//! `team_thread_range` over columns, which re-encodes the halo exclusion
+//! into the iteration space (no branch) at the price of per-team dispatch
+//! overhead — hurting the GPU Chebyshev/PPCG results by >20 % while
+//! roughly halving KNC CG/PPCG time (§4.2, §4.3).
+
+use kokkos_rs::{deep_copy, ExecutionSpace, Functor, RangePolicy, TeamPolicy, View};
+use parpool::StaticPool;
+use simdev::{DeviceSpec, KernelProfile, SimContext};
+use tea_core::config::Coefficient;
+use tea_core::halo::{update_halo, FieldId};
+use tea_core::mesh::Mesh2d;
+use tea_core::summary::Summary;
+
+use crate::kernels::{NormField, TeaLeafPort};
+use crate::model_id::ModelId;
+use crate::ports::common::{self, profiles, Us};
+use crate::problem::Problem;
+use crate::profiles::{model_profile, model_quirks};
+
+/// Kokkos TeaLeaf (flat or hierarchical-parallelism).
+pub struct KokkosPort {
+    model: ModelId,
+    hp: bool,
+    ctx: SimContext,
+    mesh: Mesh2d,
+    density: View,
+    energy: View,
+    u: View,
+    u0: View,
+    p: View,
+    r: View,
+    w: View,
+    z: View,
+    kx: View,
+    ky: View,
+    sd: View,
+}
+
+/// True when flat index `k` is an interior cell — the loop-body halo
+/// guard of the flat port.
+#[inline(always)]
+fn in_interior(mesh: &Mesh2d, k: usize) -> bool {
+    let width = mesh.width();
+    let (i, j) = (k % width, k / width);
+    i >= mesh.i0() && i < mesh.i1() && j >= mesh.i0() && j < mesh.j1()
+}
+
+/// Dispatch a non-reduction grid kernel: flat range plus body guard
+/// (`hp == false`) or a league of row teams (`hp == true`).
+fn grid_for(
+    hp: bool,
+    mesh: &Mesh2d,
+    space: &ExecutionSpace<'_>,
+    profile: &KernelProfile,
+    f: &(dyn Fn(usize) + Sync),
+) {
+    if hp {
+        let (i0, i1) = (mesh.i0(), mesh.i1());
+        let width = mesh.width();
+        let cols = i1 - i0;
+        space.team_parallel_for(
+            profile,
+            TeamPolicy { league_size: mesh.y_cells, team_size: 8 },
+            &|member| {
+                let j = i0 + member.league_rank;
+                member.team_thread_range(cols, |ii| f(common::idx(width, i0 + ii, j)));
+            },
+        );
+    } else {
+        space.parallel_for(profile, RangePolicy::new(0, mesh.len()), &|k| {
+            if in_interior(mesh, k) {
+                f(k);
+            }
+        });
+    }
+}
+
+/// Dispatch a fused reduction kernel: per-row partials in row order for
+/// both variants, so results match every other port bit-for-bit.
+fn grid_reduce(
+    hp: bool,
+    mesh: &Mesh2d,
+    space: &ExecutionSpace<'_>,
+    profile: &KernelProfile,
+    f: &(dyn Fn(usize) -> f64 + Sync),
+) -> f64 {
+    let (i0, i1) = (mesh.i0(), mesh.i1());
+    let width = mesh.width();
+    let cols = i1 - i0;
+    if hp {
+        space.team_parallel_reduce(
+            profile,
+            TeamPolicy { league_size: mesh.y_cells, team_size: 8 },
+            &|member| {
+                let j = i0 + member.league_rank;
+                member.team_thread_reduce(cols, |ii| f(common::idx(width, i0 + ii, j)))
+            },
+        )
+    } else {
+        space.parallel_reduce(profile, RangePolicy::new(0, mesh.y_cells), &|jj| {
+            let j = i0 + jj;
+            let mut acc = 0.0;
+            for ii in 0..cols {
+                acc += f(common::idx(width, i0 + ii, j));
+            }
+            acc
+        })
+    }
+}
+
+/// The paper-era functor form of the `init_u0` kernel (§2.4: "the
+/// function operator is overloaded and encapsulates the core functional
+/// logic … Views are declared as local variables inside the class") —
+/// including the §3.3 halo-exclusion conditional in the functor body that
+/// the flat port is charged for. The other kernels use the succinct
+/// lambda style the paper could not (CUDA 7.0); keeping one functor
+/// exhibits the verbosity difference the paper discusses.
+struct InitU0Functor<'a> {
+    mesh: Mesh2d,
+    density: &'a [f64],
+    energy: &'a [f64],
+    u0: Us<'a>,
+    u: Us<'a>,
+}
+
+impl Functor for InitU0Functor<'_> {
+    fn operator(&self, k: usize) {
+        if in_interior(&self.mesh, k) {
+            // SAFETY: cells disjoint.
+            unsafe { common::cell_init_u0(k, self.density, self.energy, &self.u0, &self.u) };
+        }
+    }
+}
+
+impl KokkosPort {
+    /// Build the port; `model` must be `Kokkos` or `KokkosHP`.
+    pub fn new(model: ModelId, device: DeviceSpec, problem: &Problem, seed: u64) -> Self {
+        let hp = match model {
+            ModelId::Kokkos => false,
+            ModelId::KokkosHP => true,
+            other => panic!("KokkosPort cannot implement {other:?}"),
+        };
+        let ctx = SimContext::new(device, model_profile(model), model_quirks(model), seed);
+        let mesh = problem.mesh.clone();
+        let len = mesh.len();
+        let dev = |label: &str| View::device(label, len, 1);
+        let mut port = KokkosPort {
+            model,
+            hp,
+            ctx,
+            mesh,
+            density: dev("density"),
+            energy: dev("energy"),
+            u: dev("u"),
+            u0: dev("u0"),
+            p: dev("p"),
+            r: dev("r"),
+            w: dev("w"),
+            z: dev("z"),
+            kx: dev("kx"),
+            ky: dev("ky"),
+            sd: dev("sd"),
+        };
+        // create_mirror_view + deep_copy: host → device for the inputs.
+        let mut h = View::host("h_mirror", len, 1);
+        h.raw_mut().copy_from_slice(problem.density.as_slice());
+        deep_copy(&port.ctx, &mut port.density, &h);
+        h.raw_mut().copy_from_slice(problem.energy.as_slice());
+        deep_copy(&port.ctx, &mut port.energy, &h);
+        port
+    }
+
+    fn pool(&self) -> &'static StaticPool {
+        parpool::global_static()
+    }
+
+    fn n(&self) -> u64 {
+        profiles::cells(&self.mesh)
+    }
+
+    /// Finalise a grid-kernel profile: the flat port's halo guard is a
+    /// loop-body branch; HP has none.
+    fn grid_profile(&self, p: KernelProfile) -> KernelProfile {
+        if self.hp {
+            p
+        } else {
+            p.with_interior_branch()
+        }
+    }
+
+    fn view_mut(&mut self, id: FieldId) -> &mut View {
+        match id {
+            FieldId::Density => &mut self.density,
+            FieldId::Energy0 | FieldId::Energy1 => &mut self.energy,
+            FieldId::U => &mut self.u,
+            FieldId::U0 => &mut self.u0,
+            FieldId::P => &mut self.p,
+            FieldId::R => &mut self.r,
+            FieldId::W => &mut self.w,
+            FieldId::Z | FieldId::Mi => &mut self.z,
+            FieldId::Kx => &mut self.kx,
+            FieldId::Ky => &mut self.ky,
+            FieldId::Sd => &mut self.sd,
+        }
+    }
+}
+
+impl TeaLeafPort for KokkosPort {
+    fn model(&self) -> ModelId {
+        self.model
+    }
+
+    fn context(&self) -> &SimContext {
+        &self.ctx
+    }
+
+    fn init_fields(&mut self, coefficient: Coefficient, rx: f64, ry: f64) {
+        let mesh = self.mesh.clone();
+        let hp = self.hp;
+        let p_u0 = self.grid_profile(profiles::init_u0(self.n()));
+        let p_k = self.grid_profile(profiles::init_coeffs(self.n()));
+        let pool = self.pool();
+        {
+            let space = ExecutionSpace::new(&self.ctx, pool);
+            let (density, energy) = (self.density.raw(), self.energy.raw());
+            let u0 = Us::new(self.u0.raw_mut());
+            let u = Us::new(self.u.raw_mut());
+            if hp {
+                grid_for(hp, &mesh, &space, &p_u0, &|k| {
+                    // SAFETY: cells disjoint.
+                    unsafe { common::cell_init_u0(k, density, energy, &u0, &u) };
+                });
+            } else {
+                // functor style over the flat padded range, guard inside
+                let functor = InitU0Functor { mesh: mesh.clone(), density, energy, u0, u };
+                space.parallel_for_functor(&p_u0, RangePolicy::new(0, mesh.len()), &functor);
+            }
+        }
+        // Coefficients cover i0..=i1 / i0..=j1 — one cell beyond the
+        // interior on the high sides, expressed as an extended-range
+        // functor.
+        let space = ExecutionSpace::new(&self.ctx, pool);
+        let width = mesh.width();
+        let (lo, i1, j1) = (mesh.i0(), mesh.i1(), mesh.j1());
+        let density = self.density.raw();
+        let kx = Us::new(self.kx.raw_mut());
+        let ky = Us::new(self.ky.raw_mut());
+        space.parallel_for(&p_k, RangePolicy::new(0, mesh.len()), &|k| {
+            let (i, j) = (k % width, k / width);
+            if i >= lo && i <= i1 && j >= lo && j <= j1 {
+                // SAFETY: cells disjoint.
+                unsafe { common::cell_init_coeffs(width, k, coefficient, rx, ry, density, &kx, &ky) };
+            }
+        });
+    }
+
+    fn halo_update(&mut self, fields: &[FieldId], depth: usize) {
+        let mesh = self.mesh.clone();
+        for &id in fields {
+            self.ctx.launch(&profiles::halo(&mesh, depth));
+            let view = self.view_mut(id);
+            update_halo(&mesh, view.raw_mut(), depth);
+        }
+    }
+
+    fn cg_init(&mut self, preconditioner: bool) -> f64 {
+        let mesh = self.mesh.clone();
+        let hp = self.hp;
+        let profile = self.grid_profile(profiles::cg_init(self.n(), preconditioner));
+        let pool = self.pool();
+        let space = ExecutionSpace::new(&self.ctx, pool);
+        let width = mesh.width();
+        let (u, u0, kx, ky) = (self.u.raw(), self.u0.raw(), self.kx.raw(), self.ky.raw());
+        let w = Us::new(self.w.raw_mut());
+        let r = Us::new(self.r.raw_mut());
+        let p = Us::new(self.p.raw_mut());
+        let z = Us::new(self.z.raw_mut());
+        grid_reduce(hp, &mesh, &space, &profile, &|k| {
+            // SAFETY: cells disjoint.
+            unsafe { common::cell_cg_init(width, k, preconditioner, u, u0, kx, ky, &w, &r, &p, &z) }
+        })
+    }
+
+    fn cg_calc_w(&mut self) -> f64 {
+        let mesh = self.mesh.clone();
+        let hp = self.hp;
+        let profile = self.grid_profile(profiles::cg_calc_w(self.n()));
+        let space = ExecutionSpace::new(&self.ctx, self.pool());
+        let width = mesh.width();
+        let (p, kx, ky) = (self.p.raw(), self.kx.raw(), self.ky.raw());
+        let w = Us::new(self.w.raw_mut());
+        grid_reduce(hp, &mesh, &space, &profile, &|k| {
+            // SAFETY: cells disjoint.
+            unsafe { common::cell_cg_calc_w(width, k, p, kx, ky, &w) }
+        })
+    }
+
+    fn cg_calc_ur(&mut self, alpha: f64, preconditioner: bool) -> f64 {
+        let mesh = self.mesh.clone();
+        let hp = self.hp;
+        let profile = self.grid_profile(profiles::cg_calc_ur(self.n(), preconditioner));
+        let space = ExecutionSpace::new(&self.ctx, self.pool());
+        let width = mesh.width();
+        let (p, w, kx, ky) = (self.p.raw(), self.w.raw(), self.kx.raw(), self.ky.raw());
+        let u = Us::new(self.u.raw_mut());
+        let r = Us::new(self.r.raw_mut());
+        let z = Us::new(self.z.raw_mut());
+        grid_reduce(hp, &mesh, &space, &profile, &|k| {
+            // SAFETY: cells disjoint.
+            unsafe {
+                common::cell_cg_calc_ur(width, k, alpha, preconditioner, p, w, kx, ky, &u, &r, &z)
+            }
+        })
+    }
+
+    fn cg_calc_p(&mut self, beta: f64, preconditioner: bool) {
+        let mesh = self.mesh.clone();
+        let hp = self.hp;
+        let profile = self.grid_profile(profiles::cg_calc_p(self.n()));
+        let space = ExecutionSpace::new(&self.ctx, self.pool());
+        let (r, z) = (self.r.raw(), self.z.raw());
+        let p = Us::new(self.p.raw_mut());
+        grid_for(hp, &mesh, &space, &profile, &|k| {
+            // SAFETY: cells disjoint.
+            unsafe { common::cell_cg_calc_p(k, beta, preconditioner, r, z, &p) };
+        });
+    }
+
+    fn cheby_init(&mut self, theta: f64) {
+        self.cheby_step(true, theta, 0.0, 0.0);
+    }
+
+    fn cheby_iterate(&mut self, alpha: f64, beta: f64) {
+        self.cheby_step(false, 0.0, alpha, beta);
+    }
+
+    fn ppcg_init_sd(&mut self, theta: f64) {
+        let mesh = self.mesh.clone();
+        let hp = self.hp;
+        let profile = self.grid_profile(profiles::ppcg_init_sd(self.n()));
+        let space = ExecutionSpace::new(&self.ctx, self.pool());
+        let r = self.r.raw();
+        let sd = Us::new(self.sd.raw_mut());
+        grid_for(hp, &mesh, &space, &profile, &|k| {
+            // SAFETY: cells disjoint.
+            unsafe { common::cell_sd_init(k, theta, r, &sd) };
+        });
+    }
+
+    fn ppcg_inner(&mut self, alpha: f64, beta: f64) {
+        let mesh = self.mesh.clone();
+        let hp = self.hp;
+        let p_w = self.grid_profile(profiles::ppcg_calc_w(self.n()));
+        let p_up = self.grid_profile(profiles::ppcg_update(self.n()));
+        let pool = self.pool();
+        let width = mesh.width();
+        {
+            let space = ExecutionSpace::new(&self.ctx, pool);
+            let (sd, kx, ky) = (self.sd.raw(), self.kx.raw(), self.ky.raw());
+            let w = Us::new(self.w.raw_mut());
+            grid_for(hp, &mesh, &space, &p_w, &|k| {
+                // SAFETY: cells disjoint.
+                unsafe { common::cell_ppcg_w(width, k, sd, kx, ky, &w) };
+            });
+        }
+        let space = ExecutionSpace::new(&self.ctx, pool);
+        let w = self.w.raw();
+        let u = Us::new(self.u.raw_mut());
+        let r = Us::new(self.r.raw_mut());
+        let sd = Us::new(self.sd.raw_mut());
+        grid_for(hp, &mesh, &space, &p_up, &|k| {
+            // SAFETY: cells disjoint.
+            unsafe { common::cell_ppcg_update(k, alpha, beta, w, &u, &r, &sd) };
+        });
+    }
+
+    fn jacobi_iterate(&mut self) -> f64 {
+        let mesh = self.mesh.clone();
+        let hp = self.hp;
+        let p_copy = self.grid_profile(profiles::jacobi_copy(self.n()));
+        let p_it = self.grid_profile(profiles::jacobi_iterate(self.n()));
+        let pool = self.pool();
+        let width = mesh.width();
+        {
+            let space = ExecutionSpace::new(&self.ctx, pool);
+            let u = self.u.raw();
+            let r = Us::new(self.r.raw_mut());
+            grid_for(hp, &mesh, &space, &p_copy, &|k| {
+                // SAFETY: cells disjoint.
+                unsafe { r.set(k, u[k]) };
+            });
+        }
+        let space = ExecutionSpace::new(&self.ctx, pool);
+        let (u0, r, kx, ky) = (self.u0.raw(), self.r.raw(), self.kx.raw(), self.ky.raw());
+        let u = Us::new(self.u.raw_mut());
+        grid_reduce(hp, &mesh, &space, &p_it, &|k| {
+            // SAFETY: cells disjoint.
+            unsafe { common::cell_jacobi_iterate(width, k, u0, r, kx, ky, &u) }
+        })
+    }
+
+    fn residual(&mut self) {
+        let mesh = self.mesh.clone();
+        let hp = self.hp;
+        let profile = self.grid_profile(profiles::residual(self.n()));
+        let space = ExecutionSpace::new(&self.ctx, self.pool());
+        let width = mesh.width();
+        let (u, u0, kx, ky) = (self.u.raw(), self.u0.raw(), self.kx.raw(), self.ky.raw());
+        let r = Us::new(self.r.raw_mut());
+        grid_for(hp, &mesh, &space, &profile, &|k| {
+            // SAFETY: cells disjoint.
+            unsafe { common::cell_residual(width, k, u, u0, kx, ky, &r) };
+        });
+    }
+
+    fn calc_2norm(&mut self, field: NormField) -> f64 {
+        let mesh = self.mesh.clone();
+        let hp = self.hp;
+        let profile = self.grid_profile(profiles::norm(self.n()));
+        let space = ExecutionSpace::new(&self.ctx, self.pool());
+        let x = match field {
+            NormField::U0 => self.u0.raw(),
+            NormField::R => self.r.raw(),
+        };
+        grid_reduce(hp, &mesh, &space, &profile, &|k| common::cell_norm(k, x))
+    }
+
+    fn finalise(&mut self) {
+        let mesh = self.mesh.clone();
+        let hp = self.hp;
+        let profile = self.grid_profile(profiles::finalise(self.n()));
+        let space = ExecutionSpace::new(&self.ctx, self.pool());
+        let (u, density) = (self.u.raw(), self.density.raw());
+        let energy = Us::new(self.energy.raw_mut());
+        grid_for(hp, &mesh, &space, &profile, &|k| {
+            // SAFETY: cells disjoint.
+            unsafe { common::cell_finalise(k, u, density, &energy) };
+        });
+    }
+
+    fn field_summary(&mut self) -> Summary {
+        // The multi-variable reduction that needed a custom reducer in the
+        // paper's port (§3.3) — here via Kokkos' custom-reducer dispatch,
+        // one component at a time would lose fusion, so use the array
+        // reducer over rows.
+        let mesh = self.mesh.clone();
+        let profile = self.grid_profile(profiles::field_summary(self.n()));
+        let space = ExecutionSpace::new(&self.ctx, self.pool());
+        let (i0, i1) = (mesh.i0(), mesh.i1());
+        let width = mesh.width();
+        let cols = i1 - i0;
+        let vol = mesh.cell_volume();
+        let (density, energy, u) = (self.density.raw(), self.energy.raw(), self.u.raw());
+        let acc = space.parallel_reduce_custom(
+            &profile,
+            RangePolicy::new(0, mesh.y_cells),
+            &kokkos_rs::reducer::ArraySumReducer::<4>,
+            &|jj| {
+                let j = i0 + jj;
+                let mut row = [0.0; 4];
+                for ii in 0..cols {
+                    let c = common::cell_summary(common::idx(width, i0 + ii, j), density, energy, u, vol);
+                    for q in 0..4 {
+                        row[q] += c[q];
+                    }
+                }
+                row
+            },
+        );
+        Summary { volume: acc[0], mass: acc[1], internal_energy: acc[2], temperature: acc[3] }
+    }
+
+    fn read_u(&mut self) -> Vec<f64> {
+        let mut h = View::host("h_u", self.mesh.len(), 1);
+        deep_copy(&self.ctx, &mut h, &self.u);
+        h.raw().to_vec()
+    }
+}
+
+impl KokkosPort {
+    fn cheby_step(&mut self, first: bool, theta: f64, alpha: f64, beta: f64) {
+        let mesh = self.mesh.clone();
+        let hp = self.hp;
+        let p_p = self.grid_profile(profiles::cheby_calc_p(self.n()));
+        let p_u = self.grid_profile(profiles::add_to_u(self.n()));
+        let pool = self.pool();
+        let width = mesh.width();
+        {
+            let space = ExecutionSpace::new(&self.ctx, pool);
+            let (u, u0, kx, ky) = (self.u.raw(), self.u0.raw(), self.kx.raw(), self.ky.raw());
+            let w = Us::new(self.w.raw_mut());
+            let r = Us::new(self.r.raw_mut());
+            let p = Us::new(self.p.raw_mut());
+            grid_for(hp, &mesh, &space, &p_p, &|k| {
+                // SAFETY: cells disjoint.
+                unsafe {
+                    common::cell_cheby_calc_p(width, k, first, theta, alpha, beta, u, u0, kx, ky, &w, &r, &p)
+                };
+            });
+        }
+        let space = ExecutionSpace::new(&self.ctx, pool);
+        let p = self.p.raw();
+        let u = Us::new(self.u.raw_mut());
+        grid_for(hp, &mesh, &space, &p_u, &|k| {
+            // SAFETY: cells disjoint.
+            unsafe { common::cell_add_p_to_u(k, p, &u) };
+        });
+    }
+}

@@ -1,0 +1,333 @@
+//! The OpenMP 3.0 port.
+//!
+//! Each kernel is an `#pragma omp parallel for schedule(static)` over the
+//! interior rows, executed on the process-wide [`parpool::StaticPool`]
+//! (workers pinned, contiguous row blocks — "thread affinity set to
+//! compact", §4.1). Reductions are `reduction(+:…)` clauses: per-row
+//! partials combined in row order.
+//!
+//! Two language flavours are modelled, as in Figure 8: the original
+//! Fortran 90 codebase ([`ModelId::Omp3F90`]) and the functionally
+//! identical C/C++ port ([`ModelId::Omp3Cpp`]), which the Intel 15.0.3
+//! compilers penalise on the Chebyshev solver (§4.1) — that difference is
+//! a named quirk in [`crate::profiles`].
+
+use parpool::{Executor, StaticPool};
+use simdev::{DeviceSpec, SimContext};
+use tea_core::config::Coefficient;
+use tea_core::halo::{update_halo, FieldId};
+use tea_core::summary::Summary;
+
+use crate::kernels::{NormField, TeaLeafPort};
+use crate::model_id::ModelId;
+use crate::ports::common::{self, profiles, PortFields, Us};
+use crate::problem::Problem;
+use crate::profiles::{model_profile, model_quirks};
+
+/// OpenMP 3.0 TeaLeaf (F90 or C++ flavour).
+pub struct Omp3Port {
+    model: ModelId,
+    ctx: SimContext,
+    f: PortFields,
+}
+
+impl Omp3Port {
+    /// Build the port; `model` must be one of the two OpenMP 3.0 ids.
+    pub fn new(model: ModelId, device: DeviceSpec, problem: &Problem, seed: u64) -> Self {
+        assert!(matches!(model, ModelId::Omp3F90 | ModelId::Omp3Cpp));
+        let ctx = SimContext::new(device, model_profile(model), model_quirks(model), seed);
+        let f = PortFields::new(&problem.mesh, &problem.density, &problem.energy);
+        Omp3Port { model, ctx, f }
+    }
+
+    fn pool(&self) -> &'static StaticPool {
+        parpool::global_static()
+    }
+
+    fn n(&self) -> u64 {
+        profiles::cells(&self.f.mesh)
+    }
+}
+
+impl TeaLeafPort for Omp3Port {
+    fn model(&self) -> ModelId {
+        self.model
+    }
+
+    fn context(&self) -> &SimContext {
+        &self.ctx
+    }
+
+    fn init_fields(&mut self, coefficient: Coefficient, rx: f64, ry: f64) {
+        let mesh = self.f.mesh.clone();
+        let pool = self.pool();
+        let rows = mesh.y_cells;
+        let j0 = mesh.i0();
+        self.ctx.launch(&profiles::init_u0(self.n()));
+        {
+            let (density, energy) = (&self.f.density, &self.f.energy);
+            let (u0, u) = (Us::new(&mut self.f.u0), Us::new(&mut self.f.u));
+            // omp parallel for over rows
+            pool.run(rows, &|jj| {
+                // SAFETY: rows are disjoint across iterations.
+                unsafe { common::row_init_u0(&mesh, j0 + jj, density, energy, &u0, &u) };
+            });
+        }
+        self.ctx.launch(&profiles::init_coeffs(self.n()));
+        {
+            let density = &self.f.density;
+            let (kx, ky) = (Us::new(&mut self.f.kx), Us::new(&mut self.f.ky));
+            pool.run(mesh.y_cells + 1, &|jj| {
+                // SAFETY: rows disjoint; covers j0..=j1 inclusive.
+                unsafe {
+                    common::row_init_coeffs(&mesh, j0 + jj, coefficient, rx, ry, density, &kx, &ky)
+                };
+            });
+        }
+    }
+
+    fn halo_update(&mut self, fields: &[FieldId], depth: usize) {
+        let mesh = self.f.mesh.clone();
+        for &id in fields {
+            self.ctx.launch(&profiles::halo(&mesh, depth));
+            update_halo(&mesh, self.f.field_mut(id), depth);
+        }
+    }
+
+    fn cg_init(&mut self, preconditioner: bool) -> f64 {
+        let mesh = self.f.mesh.clone();
+        let pool = self.pool();
+        let rows = mesh.y_cells;
+        let j0 = mesh.i0();
+        self.ctx.launch(&profiles::cg_init(self.n(), preconditioner));
+        let (u, u0, kx, ky) = (&self.f.u, &self.f.u0, &self.f.kx, &self.f.ky);
+        let (w, r, p, z) = (
+            Us::new(&mut self.f.w),
+            Us::new(&mut self.f.r),
+            Us::new(&mut self.f.p),
+            Us::new(&mut self.f.z),
+        );
+        pool.run_sum(rows, &|jj| {
+            // SAFETY: rows disjoint.
+            unsafe {
+                common::row_cg_init(&mesh, j0 + jj, preconditioner, u, u0, kx, ky, &w, &r, &p, &z)
+            }
+        })
+    }
+
+    fn cg_calc_w(&mut self) -> f64 {
+        let mesh = self.f.mesh.clone();
+        let pool = self.pool();
+        let rows = mesh.y_cells;
+        let j0 = mesh.i0();
+        self.ctx.launch(&profiles::cg_calc_w(self.n()));
+        let (p, kx, ky) = (&self.f.p, &self.f.kx, &self.f.ky);
+        let w = Us::new(&mut self.f.w);
+        pool.run_sum(rows, &|jj| {
+            // SAFETY: rows disjoint.
+            unsafe { common::row_cg_calc_w(&mesh, j0 + jj, p, kx, ky, &w) }
+        })
+    }
+
+    fn cg_calc_ur(&mut self, alpha: f64, preconditioner: bool) -> f64 {
+        let mesh = self.f.mesh.clone();
+        let pool = self.pool();
+        let rows = mesh.y_cells;
+        let j0 = mesh.i0();
+        self.ctx.launch(&profiles::cg_calc_ur(self.n(), preconditioner));
+        let (p, w, kx, ky) = (&self.f.p, &self.f.w, &self.f.kx, &self.f.ky);
+        let (u, r, z) =
+            (Us::new(&mut self.f.u), Us::new(&mut self.f.r), Us::new(&mut self.f.z));
+        pool.run_sum(rows, &|jj| {
+            // SAFETY: rows disjoint.
+            unsafe {
+                common::row_cg_calc_ur(&mesh, j0 + jj, alpha, preconditioner, p, w, kx, ky, &u, &r, &z)
+            }
+        })
+    }
+
+    fn cg_calc_p(&mut self, beta: f64, preconditioner: bool) {
+        let mesh = self.f.mesh.clone();
+        let pool = self.pool();
+        let rows = mesh.y_cells;
+        let j0 = mesh.i0();
+        self.ctx.launch(&profiles::cg_calc_p(self.n()));
+        let (r, z) = (&self.f.r, &self.f.z);
+        let p = Us::new(&mut self.f.p);
+        pool.run(rows, &|jj| {
+            // SAFETY: rows disjoint.
+            unsafe { common::row_cg_calc_p(&mesh, j0 + jj, beta, preconditioner, r, z, &p) };
+        });
+    }
+
+    fn cheby_init(&mut self, theta: f64) {
+        self.cheby_step(true, theta, 0.0, 0.0);
+    }
+
+    fn cheby_iterate(&mut self, alpha: f64, beta: f64) {
+        self.cheby_step(false, 0.0, alpha, beta);
+    }
+
+    fn ppcg_init_sd(&mut self, theta: f64) {
+        let mesh = self.f.mesh.clone();
+        let pool = self.pool();
+        let rows = mesh.y_cells;
+        let j0 = mesh.i0();
+        self.ctx.launch(&profiles::ppcg_init_sd(self.n()));
+        let r = &self.f.r;
+        let sd = Us::new(&mut self.f.sd);
+        pool.run(rows, &|jj| {
+            // SAFETY: rows disjoint.
+            unsafe { common::row_sd_init(&mesh, j0 + jj, theta, r, &sd) };
+        });
+    }
+
+    fn ppcg_inner(&mut self, alpha: f64, beta: f64) {
+        let mesh = self.f.mesh.clone();
+        let pool = self.pool();
+        let rows = mesh.y_cells;
+        let j0 = mesh.i0();
+        self.ctx.launch(&profiles::ppcg_calc_w(self.n()));
+        {
+            let (sd, kx, ky) = (&self.f.sd, &self.f.kx, &self.f.ky);
+            let w = Us::new(&mut self.f.w);
+            pool.run(rows, &|jj| {
+                // SAFETY: rows disjoint.
+                unsafe { common::row_ppcg_w(&mesh, j0 + jj, sd, kx, ky, &w) };
+            });
+        }
+        self.ctx.launch(&profiles::ppcg_update(self.n()));
+        let w = &self.f.w;
+        let (u, r, sd) =
+            (Us::new(&mut self.f.u), Us::new(&mut self.f.r), Us::new(&mut self.f.sd));
+        pool.run(rows, &|jj| {
+            // SAFETY: rows disjoint.
+            unsafe { common::row_ppcg_update(&mesh, j0 + jj, alpha, beta, w, &u, &r, &sd) };
+        });
+    }
+
+    fn jacobi_iterate(&mut self) -> f64 {
+        let mesh = self.f.mesh.clone();
+        let pool = self.pool();
+        let rows = mesh.y_cells;
+        let j0 = mesh.i0();
+        self.ctx.launch(&profiles::jacobi_copy(self.n()));
+        {
+            let u = &self.f.u;
+            let r = Us::new(&mut self.f.r);
+            pool.run(rows, &|jj| {
+                // SAFETY: rows disjoint.
+                unsafe { common::row_jacobi_copy(&mesh, j0 + jj, u, &r) };
+            });
+        }
+        self.ctx.launch(&profiles::jacobi_iterate(self.n()));
+        let (u0, r, kx, ky) = (&self.f.u0, &self.f.r, &self.f.kx, &self.f.ky);
+        let u = Us::new(&mut self.f.u);
+        pool.run_sum(rows, &|jj| {
+            // SAFETY: rows disjoint.
+            unsafe { common::row_jacobi_iterate(&mesh, j0 + jj, u0, r, kx, ky, &u) }
+        })
+    }
+
+    fn residual(&mut self) {
+        let mesh = self.f.mesh.clone();
+        let pool = self.pool();
+        let rows = mesh.y_cells;
+        let j0 = mesh.i0();
+        self.ctx.launch(&profiles::residual(self.n()));
+        let (u, u0, kx, ky) = (&self.f.u, &self.f.u0, &self.f.kx, &self.f.ky);
+        let r = Us::new(&mut self.f.r);
+        pool.run(rows, &|jj| {
+            // SAFETY: rows disjoint.
+            unsafe { common::row_residual(&mesh, j0 + jj, u, u0, kx, ky, &r) };
+        });
+    }
+
+    fn calc_2norm(&mut self, field: NormField) -> f64 {
+        let mesh = self.f.mesh.clone();
+        let pool = self.pool();
+        let rows = mesh.y_cells;
+        let j0 = mesh.i0();
+        self.ctx.launch(&profiles::norm(self.n()));
+        let x = match field {
+            NormField::U0 => &self.f.u0,
+            NormField::R => &self.f.r,
+        };
+        pool.run_sum(rows, &|jj| common::row_norm(&mesh, j0 + jj, x))
+    }
+
+    fn finalise(&mut self) {
+        let mesh = self.f.mesh.clone();
+        let pool = self.pool();
+        let rows = mesh.y_cells;
+        let j0 = mesh.i0();
+        self.ctx.launch(&profiles::finalise(self.n()));
+        let (u, density) = (&self.f.u, &self.f.density);
+        let energy = Us::new(&mut self.f.energy);
+        pool.run(rows, &|jj| {
+            // SAFETY: rows disjoint.
+            unsafe { common::row_finalise(&mesh, j0 + jj, u, density, &energy) };
+        });
+    }
+
+    fn field_summary(&mut self) -> Summary {
+        let mesh = self.f.mesh.clone();
+        let pool = self.pool();
+        let rows = mesh.y_cells;
+        let j0 = mesh.i0();
+        self.ctx.launch(&profiles::field_summary(self.n()));
+        let vol = mesh.cell_volume();
+        let (density, energy, u) = (&self.f.density, &self.f.energy, &self.f.u);
+        let acc = parpool::run_sum_many(pool, rows, &|jj| {
+            common::row_summary(&mesh, j0 + jj, density, energy, u, vol)
+        });
+        Summary { volume: acc[0], mass: acc[1], internal_energy: acc[2], temperature: acc[3] }
+    }
+
+    fn read_u(&mut self) -> Vec<f64> {
+        self.ctx.transfer((self.f.u.len() * 8) as u64);
+        self.f.u.clone()
+    }
+}
+
+impl Omp3Port {
+    fn cheby_step(&mut self, first: bool, theta: f64, alpha: f64, beta: f64) {
+        let mesh = self.f.mesh.clone();
+        let pool = self.pool();
+        let rows = mesh.y_cells;
+        let j0 = mesh.i0();
+        self.ctx.launch(&profiles::cheby_calc_p(self.n()));
+        {
+            let (u, u0, kx, ky) = (&self.f.u, &self.f.u0, &self.f.kx, &self.f.ky);
+            let (w, r, p) =
+                (Us::new(&mut self.f.w), Us::new(&mut self.f.r), Us::new(&mut self.f.p));
+            pool.run(rows, &|jj| {
+                // SAFETY: rows disjoint.
+                unsafe {
+                    common::row_cheby_calc_p(
+                        &mesh,
+                        j0 + jj,
+                        first,
+                        theta,
+                        alpha,
+                        beta,
+                        u,
+                        u0,
+                        kx,
+                        ky,
+                        &w,
+                        &r,
+                        &p,
+                    )
+                };
+            });
+        }
+        self.ctx.launch(&profiles::add_to_u(self.n()));
+        let p = &self.f.p;
+        let u = Us::new(&mut self.f.u);
+        pool.run(rows, &|jj| {
+            // SAFETY: rows disjoint.
+            unsafe { common::row_add_p_to_u(&mesh, j0 + jj, p, &u) };
+        });
+    }
+}

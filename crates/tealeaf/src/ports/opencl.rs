@@ -1,0 +1,573 @@
+//! The OpenCL port.
+//!
+//! Following §2.5/§3.6: full host boilerplate (platform query, context,
+//! command queue, buffer allocation, kernel creation with declared
+//! argument counts), explicit `enqueue_write/read_buffer` for every
+//! host↔device movement, flat NDRange launches with a work-group size and
+//! an in-kernel guard, and **manually written two-pass reductions**
+//! (`enqueue_reduce`).
+//!
+//! On the CPU the kernels execute on the process-wide work-stealing pool
+//! — the Intel OpenCL implementation "uniquely doesn't use OpenMP …
+//! instead using Intel Thread Building Blocks", whose non-deterministic
+//! scheduler is the suspected source of the large run-to-run variance
+//! (§4.1); the matching run-level jitter lives in this model's profile.
+
+use opencl_rs::{Buffer, ClDevice, CommandQueue, Context, Kernel, NdRange, Platform};
+use parpool::Executor;
+use simdev::{DeviceKind, DeviceSpec, SimContext};
+use tea_core::config::Coefficient;
+use tea_core::halo::{update_halo, FieldId};
+use tea_core::mesh::Mesh2d;
+use tea_core::summary::Summary;
+
+use crate::kernels::{NormField, TeaLeafPort};
+use crate::model_id::ModelId;
+use crate::ports::common::{self, profiles, Us};
+use crate::problem::Problem;
+use crate::profiles::{model_profile, model_quirks};
+
+/// Work-group size for the flat launches.
+const WG: usize = 128;
+
+/// The kernel objects, created once from the "program" at port setup —
+/// the boilerplate §3.6 counts against OpenCL.
+struct ClKernels {
+    init_u0: Kernel,
+    init_coeffs: Kernel,
+    cg_init: Kernel,
+    cg_calc_w: Kernel,
+    cg_calc_ur: Kernel,
+    cg_calc_p: Kernel,
+    cheby_calc_p: Kernel,
+    cheby_calc_u: Kernel,
+    ppcg_init_sd: Kernel,
+    ppcg_calc_w: Kernel,
+    ppcg_update: Kernel,
+    jacobi_copy: Kernel,
+    jacobi_solve: Kernel,
+    residual: Kernel,
+    norm: Kernel,
+    finalise: Kernel,
+    summary: Kernel,
+    halo: Kernel,
+}
+
+impl ClKernels {
+    fn create() -> Self {
+        let mk = |name: &'static str, nargs: usize| {
+            let k = Kernel::create(name, nargs);
+            k.set_all_args();
+            k
+        };
+        ClKernels {
+            init_u0: mk("init_u0", 4),
+            init_coeffs: mk("init_coeffs", 5),
+            cg_init: mk("cg_init", 8),
+            cg_calc_w: mk("cg_calc_w", 5),
+            cg_calc_ur: mk("cg_calc_ur", 8),
+            cg_calc_p: mk("cg_calc_p", 4),
+            cheby_calc_p: mk("cheby_calc_p", 10),
+            cheby_calc_u: mk("cheby_calc_u", 2),
+            ppcg_init_sd: mk("ppcg_init_sd", 3),
+            ppcg_calc_w: mk("ppcg_calc_w", 4),
+            ppcg_update: mk("ppcg_update", 6),
+            jacobi_copy: mk("jacobi_copy_u", 2),
+            jacobi_solve: mk("jacobi_solve", 6),
+            residual: mk("calc_residual", 5),
+            norm: mk("calc_2norm", 2),
+            finalise: mk("finalise", 3),
+            summary: mk("field_summary", 5),
+            halo: mk("update_halo", 3),
+        }
+    }
+}
+
+/// OpenCL TeaLeaf.
+pub struct OpenClPort {
+    ctx: SimContext,
+    cl_context: Context,
+    mesh: Mesh2d,
+    kernels: ClKernels,
+    density: Buffer<f64>,
+    energy: Buffer<f64>,
+    u: Buffer<f64>,
+    u0: Buffer<f64>,
+    p: Buffer<f64>,
+    r: Buffer<f64>,
+    w: Buffer<f64>,
+    z: Buffer<f64>,
+    kx: Buffer<f64>,
+    ky: Buffer<f64>,
+    sd: Buffer<f64>,
+}
+
+impl OpenClPort {
+    /// Build the port: enumerate the platform, pick the device, create
+    /// the context, queue, buffers and kernels, and write the inputs.
+    pub fn new(device: DeviceSpec, problem: &Problem, seed: u64) -> Self {
+        let ctx = SimContext::new(
+            device.clone(),
+            model_profile(ModelId::OpenCl),
+            model_quirks(ModelId::OpenCl),
+            seed,
+        );
+        // clGetPlatformIDs / clGetDeviceIDs / clCreateContext
+        let platform = Platform::list().remove(0);
+        let cl_device: ClDevice = platform
+            .devices(&[device])
+            .into_iter()
+            .next()
+            .expect("simulated platform always exposes the requested device");
+        let cl_context = Context::new(cl_device);
+        let mesh = problem.mesh.clone();
+        let len = mesh.len();
+        let mut port = OpenClPort {
+            ctx,
+            mesh,
+            kernels: ClKernels::create(),
+            density: Buffer::new(&cl_context, len),
+            energy: Buffer::new(&cl_context, len),
+            u: Buffer::new(&cl_context, len),
+            u0: Buffer::new(&cl_context, len),
+            p: Buffer::new(&cl_context, len),
+            r: Buffer::new(&cl_context, len),
+            w: Buffer::new(&cl_context, len),
+            z: Buffer::new(&cl_context, len),
+            kx: Buffer::new(&cl_context, len),
+            ky: Buffer::new(&cl_context, len),
+            sd: Buffer::new(&cl_context, len),
+            cl_context,
+        };
+        // blocking writes of the generated fields
+        let exec = port.exec();
+        let queue = CommandQueue::new(&port.cl_context, &port.ctx, exec);
+        queue.enqueue_write_buffer(&mut port.density, problem.density.as_slice());
+        queue.enqueue_write_buffer(&mut port.energy, problem.energy.as_slice());
+        queue.finish();
+        port
+    }
+
+    /// The Intel CPU runtime schedules with TBB work stealing; device
+    /// targets use their own hardware scheduler (static pool stands in).
+    fn exec(&self) -> &'static dyn Executor {
+        match self.ctx.cost.device.kind {
+            DeviceKind::Cpu => parpool::global_steal(),
+            _ => parpool::global_static(),
+        }
+    }
+
+    fn n(&self) -> u64 {
+        profiles::cells(&self.mesh)
+    }
+
+    /// Flat NDRange covering the padded grid, rounded up to the
+    /// work-group size (kernels guard the overspill).
+    fn nd_range(&self) -> NdRange {
+        let len = self.mesh.len();
+        NdRange::d1_local(len.div_ceil(WG) * WG, WG)
+    }
+
+    fn buffer_mut(&mut self, id: FieldId) -> &mut Buffer<f64> {
+        match id {
+            FieldId::Density => &mut self.density,
+            FieldId::Energy0 | FieldId::Energy1 => &mut self.energy,
+            FieldId::U => &mut self.u,
+            FieldId::U0 => &mut self.u0,
+            FieldId::P => &mut self.p,
+            FieldId::R => &mut self.r,
+            FieldId::W => &mut self.w,
+            FieldId::Z | FieldId::Mi => &mut self.z,
+            FieldId::Kx => &mut self.kx,
+            FieldId::Ky => &mut self.ky,
+            FieldId::Sd => &mut self.sd,
+        }
+    }
+
+}
+
+/// True when flat index `k` is interior — the in-kernel guard.
+#[inline(always)]
+fn guard(mesh: &Mesh2d, k: usize) -> bool {
+    if k >= mesh.len() {
+        return false; // NDRange overspill
+    }
+    let width = mesh.width();
+    let (i, j) = (k % width, k / width);
+    i >= mesh.i0() && i < mesh.i1() && j >= mesh.i0() && j < mesh.j1()
+}
+
+impl TeaLeafPort for OpenClPort {
+    fn model(&self) -> ModelId {
+        ModelId::OpenCl
+    }
+
+    fn context(&self) -> &SimContext {
+        &self.ctx
+    }
+
+    fn init_fields(&mut self, coefficient: Coefficient, rx: f64, ry: f64) {
+        let mesh = self.mesh.clone();
+        let exec = self.exec_static_or_steal();
+        let range = self.nd_range();
+        let n = self.n();
+        {
+            let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
+            let (density, energy) = (self.density.arg_view(), self.energy.arg_view());
+            let u0 = Us::new(self.u0.arg_view_mut());
+            let u = Us::new(self.u.arg_view_mut());
+            queue.enqueue_nd_range(&self.kernels.init_u0, &profiles::init_u0(n), range, &|k| {
+                if guard(&mesh, k) {
+                    // SAFETY: cells disjoint.
+                    unsafe { common::cell_init_u0(k, density, energy, &u0, &u) };
+                }
+            });
+        }
+        let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
+        let width = mesh.width();
+        let (lo, i1, j1) = (mesh.i0(), mesh.i1(), mesh.j1());
+        let len = mesh.len();
+        let density = self.density.arg_view();
+        let kx = Us::new(self.kx.arg_view_mut());
+        let ky = Us::new(self.ky.arg_view_mut());
+        queue.enqueue_nd_range(&self.kernels.init_coeffs, &profiles::init_coeffs(n), range, &|k| {
+            if k >= len {
+                return;
+            }
+            let (i, j) = (k % width, k / width);
+            if i >= lo && i <= i1 && j >= lo && j <= j1 {
+                // SAFETY: cells disjoint.
+                unsafe { common::cell_init_coeffs(width, k, coefficient, rx, ry, density, &kx, &ky) };
+            }
+        });
+    }
+
+    fn halo_update(&mut self, fields: &[FieldId], depth: usize) {
+        let mesh = self.mesh.clone();
+        let _exec = self.exec_static_or_steal();
+        for &id in fields {
+            // each field's exchange is one enqueue of the halo kernel
+            self.kernels.halo.set_all_args();
+            self.ctx.launch(&profiles::halo(&mesh, depth));
+            let buf = self.buffer_mut(id);
+            update_halo(&mesh, buf.arg_view_mut(), depth);
+        }
+    }
+
+    fn cg_init(&mut self, preconditioner: bool) -> f64 {
+        let mesh = self.mesh.clone();
+        let exec = self.exec_static_or_steal();
+        let width = mesh.width();
+        let profile = profiles::cg_init(self.n(), preconditioner);
+        let (i0, i1) = (mesh.i0(), mesh.i1());
+        let (u, u0, kx, ky) =
+            (self.u.arg_view(), self.u0.arg_view(), self.kx.arg_view(), self.ky.arg_view());
+        let w = Us::new(self.w.arg_view_mut());
+        let r = Us::new(self.r.arg_view_mut());
+        let p = Us::new(self.p.arg_view_mut());
+        let z = Us::new(self.z.arg_view_mut());
+        let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
+        let (value, _e) = queue.enqueue_reduce(&self.kernels.cg_init, &profile, mesh.y_cells, &|jj| {
+            let j = i0 + jj;
+            let mut acc = 0.0;
+            for i in i0..i1 {
+                // SAFETY: rows disjoint.
+                acc += unsafe {
+                    common::cell_cg_init(width, common::idx(width, i, j), preconditioner, u, u0, kx, ky, &w, &r, &p, &z)
+                };
+            }
+            acc
+        });
+        value
+    }
+
+    fn cg_calc_w(&mut self) -> f64 {
+        let mesh = self.mesh.clone();
+        let exec = self.exec_static_or_steal();
+        let width = mesh.width();
+        let profile = profiles::cg_calc_w(self.n());
+        let (i0, i1) = (mesh.i0(), mesh.i1());
+        let (p, kx, ky) = (self.p.arg_view(), self.kx.arg_view(), self.ky.arg_view());
+        let w = Us::new(self.w.arg_view_mut());
+        let kernel = &self.kernels.cg_calc_w;
+        let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
+        let (value, _e) = queue.enqueue_reduce(kernel, &profile, mesh.y_cells, &|jj| {
+            let j = i0 + jj;
+            let mut acc = 0.0;
+            for i in i0..i1 {
+                // SAFETY: rows disjoint.
+                acc += unsafe { common::cell_cg_calc_w(width, common::idx(width, i, j), p, kx, ky, &w) };
+            }
+            acc
+        });
+        value
+    }
+
+    fn cg_calc_ur(&mut self, alpha: f64, preconditioner: bool) -> f64 {
+        let mesh = self.mesh.clone();
+        let exec = self.exec_static_or_steal();
+        let width = mesh.width();
+        let profile = profiles::cg_calc_ur(self.n(), preconditioner);
+        let (i0, i1) = (mesh.i0(), mesh.i1());
+        let (p, w, kx, ky) =
+            (self.p.arg_view(), self.w.arg_view(), self.kx.arg_view(), self.ky.arg_view());
+        let u = Us::new(self.u.arg_view_mut());
+        let r = Us::new(self.r.arg_view_mut());
+        let z = Us::new(self.z.arg_view_mut());
+        let kernel = &self.kernels.cg_calc_ur;
+        let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
+        let (value, _e) = queue.enqueue_reduce(kernel, &profile, mesh.y_cells, &|jj| {
+            let j = i0 + jj;
+            let mut acc = 0.0;
+            for i in i0..i1 {
+                // SAFETY: rows disjoint.
+                acc += unsafe {
+                    common::cell_cg_calc_ur(width, common::idx(width, i, j), alpha, preconditioner, p, w, kx, ky, &u, &r, &z)
+                };
+            }
+            acc
+        });
+        value
+    }
+
+    fn cg_calc_p(&mut self, beta: f64, preconditioner: bool) {
+        let mesh = self.mesh.clone();
+        let exec = self.exec_static_or_steal();
+        let range = self.nd_range();
+        let profile = profiles::cg_calc_p(self.n());
+        let (r, z) = (self.r.arg_view(), self.z.arg_view());
+        let p = Us::new(self.p.arg_view_mut());
+        let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
+        queue.enqueue_nd_range(&self.kernels.cg_calc_p, &profile, range, &|k| {
+            if guard(&mesh, k) {
+                // SAFETY: cells disjoint.
+                unsafe { common::cell_cg_calc_p(k, beta, preconditioner, r, z, &p) };
+            }
+        });
+    }
+
+    fn cheby_init(&mut self, theta: f64) {
+        self.cheby_step(true, theta, 0.0, 0.0);
+    }
+
+    fn cheby_iterate(&mut self, alpha: f64, beta: f64) {
+        self.cheby_step(false, 0.0, alpha, beta);
+    }
+
+    fn ppcg_init_sd(&mut self, theta: f64) {
+        let mesh = self.mesh.clone();
+        let exec = self.exec_static_or_steal();
+        let range = self.nd_range();
+        let profile = profiles::ppcg_init_sd(self.n());
+        let r = self.r.arg_view();
+        let sd = Us::new(self.sd.arg_view_mut());
+        let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
+        queue.enqueue_nd_range(&self.kernels.ppcg_init_sd, &profile, range, &|k| {
+            if guard(&mesh, k) {
+                // SAFETY: cells disjoint.
+                unsafe { common::cell_sd_init(k, theta, r, &sd) };
+            }
+        });
+    }
+
+    fn ppcg_inner(&mut self, alpha: f64, beta: f64) {
+        let mesh = self.mesh.clone();
+        let exec = self.exec_static_or_steal();
+        let range = self.nd_range();
+        let width = mesh.width();
+        {
+            let profile = profiles::ppcg_calc_w(self.n());
+            let (sd, kx, ky) = (self.sd.arg_view(), self.kx.arg_view(), self.ky.arg_view());
+            let w = Us::new(self.w.arg_view_mut());
+            let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
+            queue.enqueue_nd_range(&self.kernels.ppcg_calc_w, &profile, range, &|k| {
+                if guard(&mesh, k) {
+                    // SAFETY: cells disjoint.
+                    unsafe { common::cell_ppcg_w(width, k, sd, kx, ky, &w) };
+                }
+            });
+        }
+        let profile = profiles::ppcg_update(self.n());
+        let w = self.w.arg_view();
+        let u = Us::new(self.u.arg_view_mut());
+        let r = Us::new(self.r.arg_view_mut());
+        let sd = Us::new(self.sd.arg_view_mut());
+        let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
+        queue.enqueue_nd_range(&self.kernels.ppcg_update, &profile, range, &|k| {
+            if guard(&mesh, k) {
+                // SAFETY: cells disjoint.
+                unsafe { common::cell_ppcg_update(k, alpha, beta, w, &u, &r, &sd) };
+            }
+        });
+    }
+
+    fn jacobi_iterate(&mut self) -> f64 {
+        let mesh = self.mesh.clone();
+        let exec = self.exec_static_or_steal();
+        let range = self.nd_range();
+        let width = mesh.width();
+        {
+            let profile = profiles::jacobi_copy(self.n());
+            let u = self.u.arg_view();
+            let r = Us::new(self.r.arg_view_mut());
+            let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
+            queue.enqueue_nd_range(&self.kernels.jacobi_copy, &profile, range, &|k| {
+                if guard(&mesh, k) {
+                    // SAFETY: cells disjoint.
+                    unsafe { r.set(k, u[k]) };
+                }
+            });
+        }
+        let profile = profiles::jacobi_iterate(self.n());
+        let (i0, i1) = (mesh.i0(), mesh.i1());
+        let (u0, r, kx, ky) =
+            (self.u0.arg_view(), self.r.arg_view(), self.kx.arg_view(), self.ky.arg_view());
+        let u = Us::new(self.u.arg_view_mut());
+        let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
+        let (value, _e) = queue.enqueue_reduce(&self.kernels.jacobi_solve, &profile, mesh.y_cells, &|jj| {
+            let j = i0 + jj;
+            let mut acc = 0.0;
+            for i in i0..i1 {
+                // SAFETY: rows disjoint.
+                acc += unsafe { common::cell_jacobi_iterate(width, common::idx(width, i, j), u0, r, kx, ky, &u) };
+            }
+            acc
+        });
+        value
+    }
+
+    fn residual(&mut self) {
+        let mesh = self.mesh.clone();
+        let exec = self.exec_static_or_steal();
+        let range = self.nd_range();
+        let width = mesh.width();
+        let profile = profiles::residual(self.n());
+        let (u, u0, kx, ky) =
+            (self.u.arg_view(), self.u0.arg_view(), self.kx.arg_view(), self.ky.arg_view());
+        let r = Us::new(self.r.arg_view_mut());
+        let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
+        queue.enqueue_nd_range(&self.kernels.residual, &profile, range, &|k| {
+            if guard(&mesh, k) {
+                // SAFETY: cells disjoint.
+                unsafe { common::cell_residual(width, k, u, u0, kx, ky, &r) };
+            }
+        });
+    }
+
+    fn calc_2norm(&mut self, field: NormField) -> f64 {
+        let mesh = self.mesh.clone();
+        let exec = self.exec_static_or_steal();
+        let profile = profiles::norm(self.n());
+        let (i0, i1) = (mesh.i0(), mesh.i1());
+        let width = mesh.width();
+        let x = match field {
+            NormField::U0 => self.u0.arg_view(),
+            NormField::R => self.r.arg_view(),
+        };
+        let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
+        let (value, _e) = queue.enqueue_reduce(&self.kernels.norm, &profile, mesh.y_cells, &|jj| {
+            let j = i0 + jj;
+            let mut acc = 0.0;
+            for i in i0..i1 {
+                acc += common::cell_norm(common::idx(width, i, j), x);
+            }
+            acc
+        });
+        value
+    }
+
+    fn finalise(&mut self) {
+        let mesh = self.mesh.clone();
+        let exec = self.exec_static_or_steal();
+        let range = self.nd_range();
+        let profile = profiles::finalise(self.n());
+        let (u, density) = (self.u.arg_view(), self.density.arg_view());
+        let energy = Us::new(self.energy.arg_view_mut());
+        let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
+        queue.enqueue_nd_range(&self.kernels.finalise, &profile, range, &|k| {
+            if guard(&mesh, k) {
+                // SAFETY: cells disjoint.
+                unsafe { common::cell_finalise(k, u, density, &energy) };
+            }
+        });
+    }
+
+    fn field_summary(&mut self) -> Summary {
+        // Four scalars from one pass: the port runs the two-pass reduction
+        // once per component pair as real OpenCL TeaLeaf does with its
+        // packed reduction buffers; here the packed form.
+        let mesh = self.mesh.clone();
+        let exec = self.exec_static_or_steal();
+        let profile = profiles::field_summary(self.n());
+        let (i0, i1) = (mesh.i0(), mesh.i1());
+        let width = mesh.width();
+        let vol = mesh.cell_volume();
+        let (density, energy, u) = (self.density.arg_view(), self.energy.arg_view(), self.u.arg_view());
+        // pack the 4 components into sequential reduce passes over rows
+        let mut acc = [0.0; 4];
+        for (comp, slot) in acc.iter_mut().enumerate() {
+            let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
+            let (value, _e) = queue.enqueue_reduce(&self.kernels.summary, &profile, mesh.y_cells, &|jj| {
+                let j = i0 + jj;
+                let mut row = 0.0;
+                for i in i0..i1 {
+                    row += common::cell_summary(common::idx(width, i, j), density, energy, u, vol)[comp];
+                }
+                row
+            });
+            *slot = value;
+        }
+        Summary { volume: acc[0], mass: acc[1], internal_energy: acc[2], temperature: acc[3] }
+    }
+
+    fn read_u(&mut self) -> Vec<f64> {
+        let exec = self.exec_static_or_steal();
+        let mut out = vec![0.0; self.mesh.len()];
+        let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
+        queue.enqueue_read_buffer(&self.u, &mut out);
+        out
+    }
+}
+
+impl OpenClPort {
+    fn exec_static_or_steal(&self) -> &'static dyn Executor {
+        match self.ctx.cost.device.kind {
+            DeviceKind::Cpu => parpool::global_steal(),
+            _ => parpool::global_static(),
+        }
+    }
+
+    fn cheby_step(&mut self, first: bool, theta: f64, alpha: f64, beta: f64) {
+        let mesh = self.mesh.clone();
+        let exec = self.exec_static_or_steal();
+        let range = self.nd_range();
+        let width = mesh.width();
+        {
+            let profile = profiles::cheby_calc_p(self.n());
+            let (u, u0, kx, ky) =
+                (self.u.arg_view(), self.u0.arg_view(), self.kx.arg_view(), self.ky.arg_view());
+            let w = Us::new(self.w.arg_view_mut());
+            let r = Us::new(self.r.arg_view_mut());
+            let p = Us::new(self.p.arg_view_mut());
+            let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
+            queue.enqueue_nd_range(&self.kernels.cheby_calc_p, &profile, range, &|k| {
+                if guard(&mesh, k) {
+                    // SAFETY: cells disjoint.
+                    unsafe {
+                        common::cell_cheby_calc_p(width, k, first, theta, alpha, beta, u, u0, kx, ky, &w, &r, &p)
+                    };
+                }
+            });
+        }
+        let profile = profiles::add_to_u(self.n());
+        let p = self.p.arg_view();
+        let u = Us::new(self.u.arg_view_mut());
+        let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
+        queue.enqueue_nd_range(&self.kernels.cheby_calc_u, &profile, range, &|k| {
+            if guard(&mesh, k) {
+                // SAFETY: cells disjoint.
+                unsafe { common::cell_add_p_to_u(k, p, &u) };
+            }
+        });
+    }
+}

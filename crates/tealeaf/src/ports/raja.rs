@@ -1,0 +1,380 @@
+//! The RAJA port and the `RAJA SIMD` proof-of-concept variant.
+//!
+//! Following §3.4: the interior iteration space is pre-computed once into
+//! a halo-excluding `ListSegment` ("RAJA wraps each function's iteration
+//! space into an indirection array, \[making\] it possible to exclude the
+//! halo boundaries without any explicit conditions or index calculations
+//! in the loop body") — so the lambdas here are the most succinct of all
+//! the ports. The price, observed in §4.1, is that the indirection
+//! "precludes vectorisation": list-segment dispatch carries the
+//! `indirection` kernel trait.
+//!
+//! Reductions and multi-index kernels use *custom dispatch functions*
+//! over per-row ranges, exactly as the paper's port had to ("we did find
+//! that it was necessary to create our own implementations of the
+//! dispatch functions, to handle situations where we had multiple
+//! reduction variables, and for multiple indexing").
+//!
+//! The `RAJA SIMD` variant replaces the list segments with row ranges
+//! whose bodies are `omp simd` loops (the paper's proof of concept that
+//! recovered ~20 % on the Chebyshev solver).
+
+use parpool::StaticPool;
+use raja_rs::{forall, forall_sum, ListSegment, OmpParallelForExec, RajaRuntime, RangeSegment, Segment};
+use simdev::{DeviceSpec, KernelProfile, SimContext};
+use tea_core::config::Coefficient;
+use tea_core::halo::{update_halo, FieldId};
+use tea_core::summary::Summary;
+
+use crate::kernels::{NormField, TeaLeafPort};
+use crate::model_id::ModelId;
+use crate::ports::common::{self, profiles, PortFields, Us};
+use crate::problem::Problem;
+use crate::profiles::{model_profile, model_quirks};
+
+/// RAJA TeaLeaf (list-segment or SIMD row-range flavour).
+pub struct RajaPort {
+    model: ModelId,
+    simd: bool,
+    ctx: SimContext,
+    f: PortFields,
+    /// The pre-computed halo-excluding indirection list (base flavour).
+    interior: Segment,
+    /// Row index range `0..y_cells` for the custom row dispatches.
+    row_range: Segment,
+}
+
+impl RajaPort {
+    /// Build the port; `model` must be `Raja` or `RajaSimd`.
+    pub fn new(model: ModelId, device: DeviceSpec, problem: &Problem, seed: u64) -> Self {
+        let simd = match model {
+            ModelId::Raja => false,
+            ModelId::RajaSimd => true,
+            other => panic!("RajaPort cannot implement {other:?}"),
+        };
+        let ctx = SimContext::new(device, model_profile(model), model_quirks(model), seed);
+        let f = PortFields::new(&problem.mesh, &problem.density, &problem.energy);
+        let mesh = &problem.mesh;
+        let interior = Segment::List(ListSegment::interior_2d(
+            mesh.width(),
+            mesh.height(),
+            mesh.halo_depth,
+        ));
+        let row_range = Segment::Range(RangeSegment::new(0, mesh.y_cells));
+        RajaPort { model, simd, ctx, f, interior, row_range }
+    }
+
+    fn pool(&self) -> &'static StaticPool {
+        parpool::global_static()
+    }
+
+    fn n(&self) -> u64 {
+        profiles::cells(&self.f.mesh)
+    }
+
+    /// Profile for a reduction/row dispatch: the base flavour still walks
+    /// the indirection list inside its custom dispatch, the SIMD flavour
+    /// streams ranges.
+    fn row_profile(&self, p: KernelProfile) -> KernelProfile {
+        if self.simd {
+            p
+        } else {
+            p.with_indirection()
+        }
+    }
+}
+
+/// Run a per-cell kernel in the port's flavour: `forall` over the
+/// interior list (base) or a row-range custom dispatch with an inner simd
+/// loop (SIMD variant).
+fn dispatch_cells(
+    port_simd: bool,
+    rt: &RajaRuntime<'_>,
+    interior: &Segment,
+    rows: &Segment,
+    mesh: &tea_core::mesh::Mesh2d,
+    profile: &KernelProfile,
+    f: &(dyn Fn(usize) + Sync),
+) {
+    if port_simd {
+        let (i0, i1, width) = (mesh.i0(), mesh.i1(), mesh.width());
+        forall::<raja_rs::SimdExec>(rt, rows, profile, &|jj| {
+            let j = i0 + jj;
+            for i in i0..i1 {
+                f(common::idx(width, i, j));
+            }
+        });
+    } else {
+        forall::<OmpParallelForExec>(rt, interior, profile, f);
+    }
+}
+
+impl TeaLeafPort for RajaPort {
+    fn model(&self) -> ModelId {
+        self.model
+    }
+
+    fn context(&self) -> &SimContext {
+        &self.ctx
+    }
+
+    fn init_fields(&mut self, coefficient: Coefficient, rx: f64, ry: f64) {
+        let mesh = self.f.mesh.clone();
+        let j0 = mesh.i0();
+        let simd = self.simd;
+        let p_u0 = self.row_profile(profiles::init_u0(self.n()));
+        let p_k = self.row_profile(profiles::init_coeffs(self.n()));
+        let pool = self.pool();
+        {
+            let rt = RajaRuntime::new(&self.ctx, pool);
+            let (density, energy) = (&self.f.density, &self.f.energy);
+            let (u0, u) = (Us::new(&mut self.f.u0), Us::new(&mut self.f.u));
+            dispatch_cells(simd, &rt, &self.interior, &self.row_range, &mesh, &p_u0, &|k| {
+                // SAFETY: cells disjoint.
+                unsafe { common::cell_init_u0(k, density, energy, &u0, &u) };
+            });
+        }
+        // Coefficients need the extended range: a custom row dispatch
+        // (multiple indexing, as §3.4 describes).
+        let rt = RajaRuntime::new(&self.ctx, pool);
+        let rows_inclusive = Segment::Range(RangeSegment::new(0, mesh.y_cells + 1));
+        let density = &self.f.density;
+        let (kx, ky) = (Us::new(&mut self.f.kx), Us::new(&mut self.f.ky));
+        forall::<OmpParallelForExec>(&rt, &rows_inclusive, &p_k, &|jj| {
+            // SAFETY: rows disjoint.
+            unsafe { common::row_init_coeffs(&mesh, j0 + jj, coefficient, rx, ry, density, &kx, &ky) };
+        });
+    }
+
+    fn halo_update(&mut self, fields: &[FieldId], depth: usize) {
+        let mesh = self.f.mesh.clone();
+        for &id in fields {
+            self.ctx.launch(&profiles::halo(&mesh, depth));
+            update_halo(&mesh, self.f.field_mut(id), depth);
+        }
+    }
+
+    fn cg_init(&mut self, preconditioner: bool) -> f64 {
+        let mesh = self.f.mesh.clone();
+        let j0 = mesh.i0();
+        let profile = self.row_profile(profiles::cg_init(self.n(), preconditioner));
+        let rt = RajaRuntime::new(&self.ctx, self.pool());
+        let (u, u0, kx, ky) = (&self.f.u, &self.f.u0, &self.f.kx, &self.f.ky);
+        let (w, r, p, z) = (
+            Us::new(&mut self.f.w),
+            Us::new(&mut self.f.r),
+            Us::new(&mut self.f.p),
+            Us::new(&mut self.f.z),
+        );
+        forall_sum::<OmpParallelForExec>(&rt, &self.row_range, &profile, &|jj| {
+            // SAFETY: rows disjoint.
+            unsafe { common::row_cg_init(&mesh, j0 + jj, preconditioner, u, u0, kx, ky, &w, &r, &p, &z) }
+        })
+    }
+
+    fn cg_calc_w(&mut self) -> f64 {
+        let mesh = self.f.mesh.clone();
+        let j0 = mesh.i0();
+        let profile = self.row_profile(profiles::cg_calc_w(self.n()));
+        let rt = RajaRuntime::new(&self.ctx, self.pool());
+        let (p, kx, ky) = (&self.f.p, &self.f.kx, &self.f.ky);
+        let w = Us::new(&mut self.f.w);
+        forall_sum::<OmpParallelForExec>(&rt, &self.row_range, &profile, &|jj| {
+            // SAFETY: rows disjoint.
+            unsafe { common::row_cg_calc_w(&mesh, j0 + jj, p, kx, ky, &w) }
+        })
+    }
+
+    fn cg_calc_ur(&mut self, alpha: f64, preconditioner: bool) -> f64 {
+        let mesh = self.f.mesh.clone();
+        let j0 = mesh.i0();
+        let profile = self.row_profile(profiles::cg_calc_ur(self.n(), preconditioner));
+        let rt = RajaRuntime::new(&self.ctx, self.pool());
+        let (p, w, kx, ky) = (&self.f.p, &self.f.w, &self.f.kx, &self.f.ky);
+        let (u, r, z) =
+            (Us::new(&mut self.f.u), Us::new(&mut self.f.r), Us::new(&mut self.f.z));
+        forall_sum::<OmpParallelForExec>(&rt, &self.row_range, &profile, &|jj| {
+            // SAFETY: rows disjoint.
+            unsafe {
+                common::row_cg_calc_ur(&mesh, j0 + jj, alpha, preconditioner, p, w, kx, ky, &u, &r, &z)
+            }
+        })
+    }
+
+    fn cg_calc_p(&mut self, beta: f64, preconditioner: bool) {
+        let mesh = self.f.mesh.clone();
+        let simd = self.simd;
+        let profile = self.row_profile(profiles::cg_calc_p(self.n()));
+        let rt = RajaRuntime::new(&self.ctx, self.pool());
+        let (r, z) = (&self.f.r, &self.f.z);
+        let p = Us::new(&mut self.f.p);
+        dispatch_cells(simd, &rt, &self.interior, &self.row_range, &mesh, &profile, &|k| {
+            // SAFETY: cells disjoint.
+            unsafe { common::cell_cg_calc_p(k, beta, preconditioner, r, z, &p) };
+        });
+    }
+
+    fn cheby_init(&mut self, theta: f64) {
+        self.cheby_step(true, theta, 0.0, 0.0);
+    }
+
+    fn cheby_iterate(&mut self, alpha: f64, beta: f64) {
+        self.cheby_step(false, 0.0, alpha, beta);
+    }
+
+    fn ppcg_init_sd(&mut self, theta: f64) {
+        let mesh = self.f.mesh.clone();
+        let simd = self.simd;
+        let profile = self.row_profile(profiles::ppcg_init_sd(self.n()));
+        let rt = RajaRuntime::new(&self.ctx, self.pool());
+        let r = &self.f.r;
+        let sd = Us::new(&mut self.f.sd);
+        dispatch_cells(simd, &rt, &self.interior, &self.row_range, &mesh, &profile, &|k| {
+            // SAFETY: cells disjoint.
+            unsafe { common::cell_sd_init(k, theta, r, &sd) };
+        });
+    }
+
+    fn ppcg_inner(&mut self, alpha: f64, beta: f64) {
+        let mesh = self.f.mesh.clone();
+        let simd = self.simd;
+        let width = mesh.width();
+        let p_w = self.row_profile(profiles::ppcg_calc_w(self.n()));
+        let p_up = self.row_profile(profiles::ppcg_update(self.n()));
+        let pool = self.pool();
+        {
+            let rt = RajaRuntime::new(&self.ctx, pool);
+            let (sd, kx, ky) = (&self.f.sd, &self.f.kx, &self.f.ky);
+            let w = Us::new(&mut self.f.w);
+            dispatch_cells(simd, &rt, &self.interior, &self.row_range, &mesh, &p_w, &|k| {
+                // SAFETY: cells disjoint.
+                unsafe { common::cell_ppcg_w(width, k, sd, kx, ky, &w) };
+            });
+        }
+        let rt = RajaRuntime::new(&self.ctx, pool);
+        let w = &self.f.w;
+        let (u, r, sd) =
+            (Us::new(&mut self.f.u), Us::new(&mut self.f.r), Us::new(&mut self.f.sd));
+        dispatch_cells(simd, &rt, &self.interior, &self.row_range, &mesh, &p_up, &|k| {
+            // SAFETY: cells disjoint.
+            unsafe { common::cell_ppcg_update(k, alpha, beta, w, &u, &r, &sd) };
+        });
+    }
+
+    fn jacobi_iterate(&mut self) -> f64 {
+        let mesh = self.f.mesh.clone();
+        let j0 = mesh.i0();
+        let simd = self.simd;
+        let p_copy = self.row_profile(profiles::jacobi_copy(self.n()));
+        let p_it = self.row_profile(profiles::jacobi_iterate(self.n()));
+        let pool = self.pool();
+        {
+            let rt = RajaRuntime::new(&self.ctx, pool);
+            let u = &self.f.u;
+            let r = Us::new(&mut self.f.r);
+            dispatch_cells(simd, &rt, &self.interior, &self.row_range, &mesh, &p_copy, &|k| {
+                // SAFETY: cells disjoint.
+                unsafe { r.set(k, u[k]) };
+            });
+        }
+        let rt = RajaRuntime::new(&self.ctx, pool);
+        let (u0, r, kx, ky) = (&self.f.u0, &self.f.r, &self.f.kx, &self.f.ky);
+        let u = Us::new(&mut self.f.u);
+        forall_sum::<OmpParallelForExec>(&rt, &self.row_range, &p_it, &|jj| {
+            // SAFETY: rows disjoint.
+            unsafe { common::row_jacobi_iterate(&mesh, j0 + jj, u0, r, kx, ky, &u) }
+        })
+    }
+
+    fn residual(&mut self) {
+        let mesh = self.f.mesh.clone();
+        let simd = self.simd;
+        let width = mesh.width();
+        let profile = self.row_profile(profiles::residual(self.n()));
+        let rt = RajaRuntime::new(&self.ctx, self.pool());
+        let (u, u0, kx, ky) = (&self.f.u, &self.f.u0, &self.f.kx, &self.f.ky);
+        let r = Us::new(&mut self.f.r);
+        dispatch_cells(simd, &rt, &self.interior, &self.row_range, &mesh, &profile, &|k| {
+            // SAFETY: cells disjoint.
+            unsafe { common::cell_residual(width, k, u, u0, kx, ky, &r) };
+        });
+    }
+
+    fn calc_2norm(&mut self, field: NormField) -> f64 {
+        let mesh = self.f.mesh.clone();
+        let j0 = mesh.i0();
+        let profile = self.row_profile(profiles::norm(self.n()));
+        let rt = RajaRuntime::new(&self.ctx, self.pool());
+        let x = match field {
+            NormField::U0 => &self.f.u0,
+            NormField::R => &self.f.r,
+        };
+        forall_sum::<OmpParallelForExec>(&rt, &self.row_range, &profile, &|jj| {
+            common::row_norm(&mesh, j0 + jj, x)
+        })
+    }
+
+    fn finalise(&mut self) {
+        let mesh = self.f.mesh.clone();
+        let simd = self.simd;
+        let profile = self.row_profile(profiles::finalise(self.n()));
+        let rt = RajaRuntime::new(&self.ctx, self.pool());
+        let (u, density) = (&self.f.u, &self.f.density);
+        let energy = Us::new(&mut self.f.energy);
+        dispatch_cells(simd, &rt, &self.interior, &self.row_range, &mesh, &profile, &|k| {
+            // SAFETY: cells disjoint.
+            unsafe { common::cell_finalise(k, u, density, &energy) };
+        });
+    }
+
+    fn field_summary(&mut self) -> Summary {
+        let mesh = self.f.mesh.clone();
+        let j0 = mesh.i0();
+        let profile = self.row_profile(profiles::field_summary(self.n()));
+        let rt = RajaRuntime::new(&self.ctx, self.pool());
+        let vol = mesh.cell_volume();
+        let (density, energy, u) = (&self.f.density, &self.f.energy, &self.f.u);
+        let acc = raja_rs::forall::forall_sum_many::<OmpParallelForExec, 4>(
+            &rt,
+            &self.row_range,
+            &profile,
+            &|jj| common::row_summary(&mesh, j0 + jj, density, energy, u, vol),
+        );
+        Summary { volume: acc[0], mass: acc[1], internal_energy: acc[2], temperature: acc[3] }
+    }
+
+    fn read_u(&mut self) -> Vec<f64> {
+        self.ctx.transfer((self.f.u.len() * 8) as u64);
+        self.f.u.clone()
+    }
+}
+
+impl RajaPort {
+    fn cheby_step(&mut self, first: bool, theta: f64, alpha: f64, beta: f64) {
+        let mesh = self.f.mesh.clone();
+        let simd = self.simd;
+        let width = mesh.width();
+        let p_p = self.row_profile(profiles::cheby_calc_p(self.n()));
+        let p_u = self.row_profile(profiles::add_to_u(self.n()));
+        let pool = self.pool();
+        {
+            let rt = RajaRuntime::new(&self.ctx, pool);
+            let (u, u0, kx, ky) = (&self.f.u, &self.f.u0, &self.f.kx, &self.f.ky);
+            let (w, r, p) =
+                (Us::new(&mut self.f.w), Us::new(&mut self.f.r), Us::new(&mut self.f.p));
+            dispatch_cells(simd, &rt, &self.interior, &self.row_range, &mesh, &p_p, &|k| {
+                // SAFETY: cells disjoint.
+                unsafe {
+                    common::cell_cheby_calc_p(width, k, first, theta, alpha, beta, u, u0, kx, ky, &w, &r, &p)
+                };
+            });
+        }
+        let rt = RajaRuntime::new(&self.ctx, pool);
+        let p = &self.f.p;
+        let u = Us::new(&mut self.f.u);
+        dispatch_cells(simd, &rt, &self.interior, &self.row_range, &mesh, &p_u, &|k| {
+            // SAFETY: cells disjoint.
+            unsafe { common::cell_add_p_to_u(k, p, &u) };
+        });
+    }
+}

@@ -1,0 +1,57 @@
+//! Problem assembly: mesh plus generated initial fields.
+
+use tea_core::config::TeaConfig;
+use tea_core::field::Field2d;
+use tea_core::mesh::Mesh2d;
+use tea_core::state::generate_chunk;
+
+/// A fully initialised problem instance ready to hand to a port.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    pub mesh: Mesh2d,
+    pub density: Field2d,
+    pub energy: Field2d,
+    pub config: TeaConfig,
+}
+
+impl Problem {
+    /// Generate the initial chunk for `config` (states applied in order).
+    pub fn from_config(config: &TeaConfig) -> Self {
+        let mesh = config.mesh();
+        let mut density = Field2d::zeros(&mesh);
+        let mut energy = Field2d::zeros(&mesh);
+        generate_chunk(&mesh, &config.states, &mut density, &mut energy);
+        Problem { mesh, density, energy, config: config.clone() }
+    }
+
+    /// `rx`/`ry` diffusion numbers for this problem's timestep.
+    pub fn rx_ry(&self) -> (f64, f64) {
+        self.mesh.rx_ry(self.config.initial_timestep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_problem_generates_states() {
+        let cfg = TeaConfig::paper_problem(32);
+        let p = Problem::from_config(&cfg);
+        assert_eq!(p.mesh.x_cells, 32);
+        // background density is 100, overlay rectangles 0.1
+        let d = p.density.as_slice();
+        assert!(d.contains(&100.0));
+        assert!(d.contains(&0.1));
+    }
+
+    #[test]
+    fn rx_ry_consistent_with_mesh() {
+        let cfg = TeaConfig::paper_problem(64);
+        let p = Problem::from_config(&cfg);
+        let (rx, ry) = p.rx_ry();
+        let d = 10.0 / 64.0;
+        assert!((rx - cfg.initial_timestep / (d * d)).abs() < 1e-12);
+        assert_eq!(rx, ry);
+    }
+}

@@ -1,0 +1,213 @@
+//! Calibrated efficiency profiles and named quirks for each model.
+//!
+//! Every number here is a *calibration* against a specific observation in
+//! the paper, cited inline. The cost-model mechanics (what the number
+//! multiplies) live in [`simdev::cost`]; this module is the table of
+//! fitted constants, collected in one place so they are auditable.
+//!
+//! Rough reading guide for `bw_efficiency`: the fraction of the device's
+//! sustained STREAM bandwidth the model's generated code reaches on bulk
+//! kernels. `reduction_factor` divides the bandwidth of *reduction*
+//! kernels only — the lever behind the paper's CG-specific anomalies.
+
+use simdev::{DeviceKind, ModelProfile, PerKind, Quirk, Scheduler};
+
+use crate::model_id::ModelId;
+
+/// The calibrated profile for one model.
+pub fn model_profile(model: ModelId) -> ModelProfile {
+    let mut p = ModelProfile::ideal(model.label());
+    match model {
+        // The serial reference is only used for correctness testing; give
+        // it the OpenMP C profile so its simulated times are meaningful.
+        ModelId::Serial | ModelId::Omp3Cpp => {
+            p.bw_efficiency = PerKind { cpu: 0.92, gpu: 0.0, acc: 0.80 };
+            p.launch_overhead_us = PerKind { cpu: 0.3, gpu: 0.0, acc: 2.0 };
+            p.reduction_factor = PerKind::uniform(1.0);
+        }
+        // §4.1/§4.3: the tuned native baseline on CPU and KNC.
+        ModelId::Omp3F90 => {
+            p.bw_efficiency = PerKind { cpu: 0.92, gpu: 0.0, acc: 0.86 };
+            p.launch_overhead_us = PerKind { cpu: 0.3, gpu: 0.0, acc: 2.0 };
+        }
+        // §3.1/§4.3: portable target offloading; per-target overhead on
+        // every kernel ("a performance overhead dependent upon the number
+        // of target invocations"), offload-synchronised reductions on KNC
+        // (CG +45 %, Chebyshev/PPCG within 10 %).
+        ModelId::Omp4 => {
+            p.bw_efficiency = PerKind { cpu: 0.90, gpu: 0.85, acc: 0.84 };
+            p.launch_overhead_us = PerKind { cpu: 3.0, gpu: 18.0, acc: 30.0 };
+            p.reduction_factor = PerKind { cpu: 1.05, gpu: 1.8, acc: 1.5 };
+            p.offload_on_acc = true;
+            p.transfer_efficiency = 0.9;
+        }
+        // §3.2/§4.2: easiest GPU port; `kernels` regions carry similar
+        // launch overheads; CG ≈ +30 %, Chebyshev/PPCG ≈ +10 % on K20X.
+        ModelId::OpenAcc => {
+            p.bw_efficiency = PerKind { cpu: 0.88, gpu: 0.92, acc: 0.0 };
+            p.launch_overhead_us = PerKind { cpu: 3.0, gpu: 16.0, acc: 0.0 };
+            p.reduction_factor = PerKind { cpu: 1.05, gpu: 1.35, acc: 1.0 };
+            p.transfer_efficiency = 0.9;
+        }
+        // §4.1: "at most a 10 % penalty compared to the C++
+        // implementation" on CPU; §4.2: within 5 % of CUDA for
+        // Chebyshev/PPCG on K20X. The CG anomaly is a quirk (below); the
+        // KNC pain comes from the flat-index halo branch the *port* emits
+        // (interior_branch trait), not from this profile.
+        ModelId::Kokkos => {
+            p.bw_efficiency = PerKind { cpu: 0.88, gpu: 0.97, acc: 0.82 };
+            p.launch_overhead_us = PerKind { cpu: 1.5, gpu: 10.0, acc: 12.0 };
+            p.reduction_factor = PerKind { cpu: 1.0, gpu: 1.0, acc: 1.15 };
+        }
+        // §3.3/§4.2/§4.3: hierarchical parallelism removes the halo branch
+        // but adds per-team dispatch; "to the detriment of the PPCG and
+        // Chebyshev solver [on GPU], which experienced a more than 20 %
+        // overhead"; on KNC it roughly halves CG/PPCG time.
+        ModelId::KokkosHP => {
+            p.bw_efficiency = PerKind { cpu: 0.88, gpu: 0.79, acc: 0.80 };
+            p.launch_overhead_us = PerKind { cpu: 2.5, gpu: 14.0, acc: 16.0 };
+            p.reduction_factor = PerKind { cpu: 1.05, gpu: 1.0, acc: 1.15 };
+        }
+        // §3.4/§4.1: pre-release RAJA; ListSegment indirection (a *kernel*
+        // trait set by the port) precludes vectorization and adds index
+        // traffic; base efficiency close to OpenMP.
+        ModelId::Raja | ModelId::RajaSimd => {
+            p.bw_efficiency = PerKind { cpu: 0.89, gpu: 0.0, acc: 0.72 };
+            p.launch_overhead_us = PerKind { cpu: 1.0, gpu: 0.0, acc: 4.0 };
+            p.reduction_factor = PerKind { cpu: 1.05, gpu: 1.0, acc: 1.2 };
+        }
+        // §3.6/§4.1/§4.2/§4.3: matches CUDA on the GPU; on the CPU the
+        // Intel runtime schedules via TBB work stealing with large
+        // run-to-run variance (1631 s … 2813 s over 15 runs ⇒ jitter
+        // ≈ 72 % of the minimum); on KNC the manual two-pass reduction
+        // collapses for CG (≈ 3×, "a performance problem … caused by an
+        // issue with the architecture or software").
+        ModelId::OpenCl => {
+            p.bw_efficiency = PerKind { cpu: 0.86, gpu: 0.97, acc: 0.78 };
+            p.launch_overhead_us = PerKind { cpu: 4.0, gpu: 9.0, acc: 22.0 };
+            p.reduction_factor = PerKind { cpu: 1.1, gpu: 1.0, acc: 3.2 };
+            p.scheduler = Scheduler::WorkStealing;
+            p.offload_on_acc = true;
+            p.run_jitter = 0.72;
+            p.transfer_efficiency = 0.95;
+        }
+        // §2.6/§4.2: "CUDA applications can provide a lower bound for
+        // performance on supported devices".
+        ModelId::Cuda => {
+            p.bw_efficiency = PerKind { cpu: 0.0, gpu: 0.98, acc: 0.0 };
+            p.launch_overhead_us = PerKind { cpu: 0.0, gpu: 7.0, acc: 0.0 };
+            p.scheduler = Scheduler::Device;
+        }
+    }
+    p
+}
+
+/// Named, paper-cited anomaly factors for one model.
+pub fn model_quirks(model: ModelId) -> Vec<Quirk> {
+    match model {
+        // §4.1: "identical TeaLeaf code … compiled as C or C++, with Intel
+        // compilers (15.0.3)" costs the Chebyshev solver ~15 %.
+        ModelId::Omp3Cpp | ModelId::Serial => vec![Quirk {
+            model: if model == ModelId::Serial { "Serial" } else { "OpenMP C++" },
+            device: DeviceKind::Cpu,
+            kernel_prefix: "cheby_",
+            factor: 1.16,
+            note: "§4.1 C vs C++ compilation penalty on the Chebyshev solver (Intel 15.0.3)",
+        }],
+        // §4.2: "the CG solver demonstrates an unexplained performance
+        // problem, requiring roughly 50 % additional solve time" —
+        // reproduced on CUDA 6.5 and 7.0, so modelled as a Kokkos-GPU
+        // CG-kernel quirk rather than generic inefficiency.
+        ModelId::Kokkos => vec![Quirk {
+            model: "Kokkos",
+            device: DeviceKind::Gpu,
+            kernel_prefix: "cg_",
+            factor: 1.48,
+            note: "§4.2 unexplained Kokkos GPU CG problem (persists across CUDA 6.5/7.0)",
+        }],
+        // §4.2: hierarchical parallelism "was able to improve the
+        // performance by around 10 % for the CG solver" — i.e. the CG
+        // quirk shrinks but does not vanish.
+        ModelId::KokkosHP => vec![Quirk {
+            model: "Kokkos HP",
+            device: DeviceKind::Gpu,
+            kernel_prefix: "cg_",
+            factor: 1.10,
+            note: "§4.2 Kokkos HP reduces (not removes) the GPU CG problem",
+        }],
+        // §4.1: the RAJA Chebyshev penalty beyond what indirection traffic
+        // explains — the solver "consistently requires an additional 40 %
+        // solve time" while CG/PPCG sit near +20 %.
+        ModelId::Raja => vec![Quirk {
+            model: "RAJA",
+            device: DeviceKind::Cpu,
+            kernel_prefix: "cheby_",
+            factor: 1.18,
+            note: "§4.1 vectorisation loss hits the streaming-dominated Chebyshev solver hardest",
+        }],
+        _ => vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_model_has_a_profile() {
+        for m in ModelId::ALL {
+            let p = model_profile(m);
+            assert_eq!(p.name, m.label());
+            assert!(p.transfer_efficiency > 0.0 && p.transfer_efficiency <= 1.0);
+        }
+    }
+
+    #[test]
+    fn unsupported_devices_have_zero_efficiency() {
+        // CUDA is GPU-only (Table 1).
+        let cuda = model_profile(ModelId::Cuda);
+        assert_eq!(cuda.bw_efficiency.get(DeviceKind::Cpu), 0.0);
+        assert!(cuda.bw_efficiency.get(DeviceKind::Gpu) > 0.9);
+        // RAJA has no GPU implementation (§3).
+        assert_eq!(model_profile(ModelId::Raja).bw_efficiency.get(DeviceKind::Gpu), 0.0);
+    }
+
+    #[test]
+    fn tuned_models_have_no_reduction_penalty_on_their_device() {
+        assert_eq!(model_profile(ModelId::Cuda).reduction_factor.get(DeviceKind::Gpu), 1.0);
+        assert_eq!(model_profile(ModelId::Omp3F90).reduction_factor.get(DeviceKind::Cpu), 1.0);
+    }
+
+    #[test]
+    fn offload_models_marked() {
+        assert!(model_profile(ModelId::Omp4).offload_on_acc);
+        assert!(model_profile(ModelId::OpenCl).offload_on_acc);
+        assert!(!model_profile(ModelId::Kokkos).offload_on_acc, "Kokkos compiles natively on KNC");
+        assert!(!model_profile(ModelId::Raja).offload_on_acc);
+    }
+
+    #[test]
+    fn opencl_is_the_only_jittery_model() {
+        for m in ModelId::ALL {
+            let p = model_profile(m);
+            if m == ModelId::OpenCl {
+                assert!(p.run_jitter > 0.5);
+                assert_eq!(p.scheduler, Scheduler::WorkStealing);
+            } else {
+                assert_eq!(p.run_jitter, 0.0, "{m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn quirk_tables_reference_own_model() {
+        for m in ModelId::ALL {
+            let profile = model_profile(m);
+            for q in model_quirks(m) {
+                assert_eq!(q.model, profile.name, "{m:?} quirk must match its profile name");
+                assert!(q.factor > 1.0);
+                assert!(!q.note.is_empty());
+            }
+        }
+    }
+}

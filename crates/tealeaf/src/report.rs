@@ -1,0 +1,88 @@
+//! Run reports: what one (model, device, solver, mesh) execution produced.
+
+use simdev::{ClockSnapshot, DeviceSpec};
+use tea_core::config::SolverKind;
+use tea_core::summary::Summary;
+
+use crate::model_id::ModelId;
+
+/// The result of one full simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    pub model: ModelId,
+    pub device: String,
+    pub solver: SolverKind,
+    /// Interior mesh extent (square meshes: the side length).
+    pub x_cells: usize,
+    pub y_cells: usize,
+    pub steps: usize,
+    /// Sum of solver iterations over all steps.
+    pub total_iterations: usize,
+    /// Did every step's solve converge?
+    pub converged: bool,
+    /// Final field summary (the cross-port correctness fingerprint).
+    pub summary: Summary,
+    /// Simulated device-time counters.
+    pub sim: ClockSnapshot,
+    /// Host wall-clock seconds for the functional execution.
+    pub wall_seconds: f64,
+    /// Eigenvalue estimate from the last step (Chebyshev/PPCG).
+    pub eigenvalues: Option<(f64, f64)>,
+}
+
+impl RunReport {
+    /// Simulated runtime in seconds — the quantity Figures 8–11 plot.
+    pub fn sim_seconds(&self) -> f64 {
+        self.sim.seconds
+    }
+
+    /// Fraction of the device's STREAM bandwidth achieved (Figure 12).
+    pub fn stream_fraction(&self, device: &DeviceSpec) -> f64 {
+        self.sim.achieved_bw_gbs() / device.stream_bw_gbs
+    }
+
+    /// Interior cell count.
+    pub fn cells(&self) -> usize {
+        self.x_cells * self.y_cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            model: ModelId::Cuda,
+            device: "NVIDIA K20X GPU".into(),
+            solver: SolverKind::ConjugateGradient,
+            x_cells: 128,
+            y_cells: 128,
+            steps: 2,
+            total_iterations: 100,
+            converged: true,
+            summary: Summary::default(),
+            sim: ClockSnapshot {
+                seconds: 2.0,
+                kernels: 400,
+                app_bytes: 300_000_000_000,
+                transfers: 4,
+                transfer_bytes: 1 << 20,
+                flops: 1 << 30,
+            },
+            wall_seconds: 0.5,
+            eigenvalues: None,
+        }
+    }
+
+    #[test]
+    fn stream_fraction() {
+        let r = report();
+        let device = simdev::devices::gpu_k20x();
+        // 150 GB/s achieved over 180.1 GB/s STREAM
+        let f = r.stream_fraction(&device);
+        assert!((f - 150.0 / 180.1).abs() < 1e-9);
+        assert_eq!(r.cells(), 128 * 128);
+        assert_eq!(r.sim_seconds(), 2.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Conjugate Gradient (`tea_leaf_cg`).
+
+use tea_core::config::TeaConfig;
+use tea_core::halo::FieldId;
+
+use crate::kernels::TeaLeafPort;
+use crate::solver::SolveOutcome;
+
+/// The coefficient history a CG phase produces — the Lanczos data
+/// Chebyshev and PPCG estimate eigenvalues from.
+#[derive(Debug, Clone, Default)]
+pub struct CgHistory {
+    pub alphas: Vec<f64>,
+    pub betas: Vec<f64>,
+}
+
+/// Run plain CG to convergence.
+pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
+    let mut history = CgHistory::default();
+    let (outcome, _) = run_phase(
+        port,
+        config.tl_preconditioner,
+        config.tl_eps,
+        config.tl_max_iters,
+        &mut history,
+    );
+    outcome
+}
+
+/// Run a CG phase for at most `max_iters` iterations, recording the α/β
+/// history. Returns the outcome and `rro` after the last iteration (the
+/// live residual measure, used when another solver continues from here).
+pub fn run_phase(
+    port: &mut dyn TeaLeafPort,
+    preconditioner: bool,
+    eps: f64,
+    max_iters: usize,
+    history: &mut CgHistory,
+) -> (SolveOutcome, f64) {
+    let mut rro = port.cg_init(preconditioner);
+    let initial = rro;
+    let mut iterations = 0;
+    let mut converged = initial.abs() <= f64::MIN_POSITIVE; // trivially solved
+    while !converged && iterations < max_iters {
+        port.halo_update(&[FieldId::P], 1);
+        let pw = port.cg_calc_w();
+        let alpha = rro / pw;
+        let rrn = port.cg_calc_ur(alpha, preconditioner);
+        let beta = rrn / rro;
+        history.alphas.push(alpha);
+        history.betas.push(beta);
+        port.cg_calc_p(beta, preconditioner);
+        rro = rrn;
+        iterations += 1;
+        if rrn.abs() <= eps * initial.abs() {
+            converged = true;
+        }
+    }
+    (
+        SolveOutcome {
+            iterations,
+            converged,
+            final_rrn: rro,
+            initial,
+            eigenvalues: None,
+        },
+        rro,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    // CG behaviour is exercised end-to-end through the ports in the
+    // integration tests; here we only check the trivial-guard logic needs
+    // a port, so unit coverage lives at the driver level.
+}

@@ -1,0 +1,34 @@
+//! Jacobi iteration (`tea_leaf_jacobi`).
+//!
+//! Upstream TeaLeaf's simplest solver: not part of the paper's evaluation
+//! (which uses CG, Chebyshev and PPCG) but kept here as the extension
+//! solver, useful as a slow-but-simple correctness oracle.
+
+use tea_core::config::TeaConfig;
+use tea_core::halo::FieldId;
+
+use crate::kernels::TeaLeafPort;
+use crate::solver::SolveOutcome;
+
+/// Run Jacobi sweeps until the iterate change `Σ|Δu|` drops below
+/// `tl_eps` relative to the first sweep's change.
+pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut initial = 0.0;
+    let mut err = f64::INFINITY;
+    while !converged && iterations < config.tl_max_iters {
+        port.halo_update(&[FieldId::U], 1);
+        err = port.jacobi_iterate();
+        iterations += 1;
+        if iterations == 1 {
+            initial = err;
+            if initial == 0.0 {
+                converged = true; // already the exact solution
+            }
+        } else if err <= config.tl_eps * initial {
+            converged = true;
+        }
+    }
+    SolveOutcome { iterations, converged, final_rrn: err, initial, eigenvalues: None }
+}

@@ -1,0 +1,47 @@
+//! The iterative solvers (paper §1.1): CG, Chebyshev, PPCG and Jacobi.
+//!
+//! Each solver is written once against [`crate::kernels::TeaLeafPort`] —
+//! ports supply kernels, solvers supply the logic, "to ensure that each of
+//! the programming models were objectively compared" (§3).
+//!
+//! ## Convergence criterion
+//!
+//! Following the reference implementation, convergence is tested on the
+//! *squared* residual norm relative to its initial value:
+//! `rrn ≤ tl_eps · rro₀`. All solvers share the same `tl_eps` and
+//! `tl_max_iters` parameters from the deck.
+
+pub mod cg;
+pub mod chebyshev;
+pub mod jacobi;
+pub mod ppcg;
+
+use tea_core::config::{SolverKind, TeaConfig};
+
+use crate::kernels::TeaLeafPort;
+
+/// Result of one solve (one timestep's implicit solve).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveOutcome {
+    /// Total solver iterations (for Chebyshev/PPCG this includes the CG
+    /// eigenvalue-estimation presteps; for PPCG inner smoothing steps are
+    /// *not* counted as iterations, matching how TeaLeaf reports).
+    pub iterations: usize,
+    pub converged: bool,
+    /// Final squared residual measure.
+    pub final_rrn: f64,
+    /// Initial squared residual measure the tolerance was relative to.
+    pub initial: f64,
+    /// Eigenvalue bounds estimated during the solve (Chebyshev/PPCG).
+    pub eigenvalues: Option<(f64, f64)>,
+}
+
+/// Dispatch to the configured solver.
+pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
+    match config.solver {
+        SolverKind::Jacobi => jacobi::solve(port, config),
+        SolverKind::ConjugateGradient => cg::solve(port, config),
+        SolverKind::Chebyshev => chebyshev::solve(port, config),
+        SolverKind::Ppcg => ppcg::solve(port, config),
+    }
+}

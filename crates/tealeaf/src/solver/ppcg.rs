@@ -1,0 +1,80 @@
+//! Chebyshev Polynomially Preconditioned CG (`tea_leaf_ppcg`).
+//!
+//! PPCG wraps each CG iteration with `tl_ppcg_inner_steps` Chebyshev
+//! smoothing steps on the residual (Boulton & McIntosh-Smith, ref \[2\]). The
+//! inner steps are reduction-free stencil sweeps, so PPCG trades CG's
+//! reduction traffic for extra bandwidth — fewer outer iterations, fewer
+//! global synchronisations.
+
+use tea_core::config::TeaConfig;
+use tea_core::halo::FieldId;
+
+use crate::cheby::{ChebyCoeffs, ChebyShift};
+use crate::eigen::eigenvalue_estimate;
+use crate::kernels::{NormField, TeaLeafPort};
+use crate::solver::cg::{self, CgHistory};
+use crate::solver::SolveOutcome;
+
+/// Run the PPCG solver.
+pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
+    let mut history = CgHistory::default();
+    let presteps = config.tl_ch_cg_presteps.min(config.tl_max_iters);
+    let (pre_outcome, mut rro) =
+        cg::run_phase(port, false, config.tl_eps, presteps, &mut history);
+    if pre_outcome.converged {
+        return pre_outcome;
+    }
+    let initial = pre_outcome.initial;
+
+    let Some((eigmin, eigmax)) = eigenvalue_estimate(&history.alphas, &history.betas) else {
+        let (outcome, _) = cg::run_phase(
+            port,
+            false,
+            config.tl_eps,
+            config.tl_max_iters.saturating_sub(presteps),
+            &mut history,
+        );
+        return SolveOutcome { iterations: outcome.iterations + pre_outcome.iterations, ..outcome };
+    };
+    let shift = ChebyShift::from_bounds(eigmin, eigmax);
+    let inner = ChebyCoeffs::take_pairs(shift, config.tl_ppcg_inner_steps);
+
+    let mut iterations = pre_outcome.iterations;
+    let mut converged = false;
+    let max_outer = config.tl_max_iters.saturating_sub(presteps);
+    let mut outer = 0;
+    while !converged && outer < max_outer {
+        port.halo_update(&[FieldId::P], 1);
+        let pw = port.cg_calc_w();
+        let alpha = rro / pw;
+        let _ = port.cg_calc_ur(alpha, false);
+        // Inner polynomial smoothing: sd = r/θ, then inner_steps sweeps of
+        // w = A·sd; r -= w; u += sd; sd = αₖ·sd + βₖ·r.
+        port.ppcg_init_sd(shift.theta);
+        for &(a, b) in &inner {
+            port.halo_update(&[FieldId::Sd], 1);
+            port.ppcg_inner(a, b);
+        }
+        let rrn = port.calc_2norm(NormField::R);
+        let beta = rrn / rro;
+        port.cg_calc_p(beta, false);
+        rro = rrn;
+        outer += 1;
+        iterations += 1;
+        if rrn.abs() <= config.tl_eps * initial.abs() {
+            converged = true;
+        } else if !rrn.is_finite() || rrn.abs() > 1.0e12 * initial.abs() {
+            // Inner Chebyshev smoothing diverges when the eigenvalue
+            // bounds miss the top of the spectrum (too few presteps);
+            // bail out instead of looping to tl_max_iters.
+            break;
+        }
+    }
+    SolveOutcome {
+        iterations,
+        converged,
+        final_rrn: rro,
+        initial,
+        eigenvalues: Some((eigmin, eigmax)),
+    }
+}

@@ -1,0 +1,54 @@
+//! The distributed (multi-chunk, MPI-style) solve must be bit-identical
+//! to the single-chunk serial reference for any rank count — the property
+//! that makes the decomposition a pure implementation detail, as MPI is
+//! in the reference TeaLeaf (§3).
+
+use simdev::devices;
+use tea_core::config::{SolverKind, TeaConfig};
+use tealeaf::distributed::run_distributed_cg;
+use tealeaf::{run_simulation, ModelId};
+
+fn config(cells: usize) -> TeaConfig {
+    let mut cfg = TeaConfig::paper_problem(cells);
+    cfg.solver = SolverKind::ConjugateGradient;
+    cfg.end_step = 2;
+    cfg.tl_eps = 1.0e-12;
+    cfg.tl_max_iters = 2000;
+    cfg
+}
+
+#[test]
+fn distributed_cg_bit_identical_to_serial() {
+    let cfg = config(48);
+    let serial = run_simulation(ModelId::Serial, &devices::cpu_xeon_e5_2670_x2(), &cfg).unwrap();
+    assert!(serial.converged);
+    for ranks in [1, 2, 3, 4] {
+        let dist = run_distributed_cg(ranks, &cfg);
+        assert!(dist.converged, "{ranks} ranks must converge");
+        assert_eq!(
+            dist.total_iterations, serial.total_iterations,
+            "{ranks} ranks: iteration count drifted"
+        );
+        let diff = dist.summary.max_abs_diff(&serial.summary);
+        assert_eq!(diff, 0.0, "{ranks} ranks: summary differs by {diff:e}");
+    }
+}
+
+#[test]
+fn uneven_stripes_still_exact() {
+    // 50 rows across 3 ranks → stripes of 16/17/17
+    let cfg = config(50);
+    let serial = run_simulation(ModelId::Serial, &devices::cpu_xeon_e5_2670_x2(), &cfg).unwrap();
+    let dist = run_distributed_cg(3, &cfg);
+    assert_eq!(dist.summary.max_abs_diff(&serial.summary), 0.0);
+    assert_eq!(dist.total_iterations, serial.total_iterations);
+}
+
+#[test]
+fn rank_scaling_changes_nothing_numerically() {
+    let cfg = config(40);
+    let two = run_distributed_cg(2, &cfg);
+    let five = run_distributed_cg(5, &cfg);
+    assert_eq!(two.summary, five.summary);
+    assert_eq!(two.total_iterations, five.total_iterations);
+}
