@@ -1,0 +1,326 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build container has no crates.io access, so this crate ships the
+//! `criterion` API subset the workspace's benches use: `Criterion`,
+//! `benchmark_group` with `sample_size`/`throughput`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter`, `black_box`, and
+//! the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is auto-calibrated so one sample
+//! takes at least ~2 ms of wall clock, then `sample_size` samples are
+//! taken and the **median ns/iter** is reported on stdout (one line per
+//! benchmark). There is no statistical analysis, plotting, or baseline
+//! storage — `cargo bench` output is meant to be read or scraped by the
+//! workspace's own harness.
+//!
+//! `cargo test`/`cargo bench -- --test` smoke-run each benchmark with a
+//! single iteration so the benches stay compiled-and-exercised without
+//! taking benchmark-scale time.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimum wall-clock per sample after calibration.
+const TARGET_SAMPLE: Duration = Duration::from_millis(2);
+
+/// Default number of samples per benchmark (upstream defaults to 100).
+const DEFAULT_SAMPLES: usize = 30;
+
+/// How the run was invoked (bench vs. `--test` smoke mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Bench,
+    Test,
+}
+
+fn mode_from_args() -> Mode {
+    if std::env::args().any(|a| a == "--test") {
+        Mode::Test
+    } else {
+        Mode::Bench
+    }
+}
+
+/// Per-iteration work declared for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's display identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form (the group name provides the function part).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times the body the benchmark closure hands to [`Bencher::iter`].
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    /// Median ns/iter, filled in by `iter`.
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record the median wall-clock time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.mode == Mode::Test {
+            black_box(f());
+            return;
+        }
+        // Calibrate: grow iters-per-sample until a sample costs ~2 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= TARGET_SAMPLE || iters >= 1 << 30 {
+                break;
+            }
+            let grow = if elapsed.as_nanos() == 0 {
+                16
+            } else {
+                (TARGET_SAMPLE.as_nanos() / elapsed.as_nanos()).clamp(2, 16) as u64
+            };
+            iters = iters.saturating_mul(grow);
+        }
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t0.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+fn run_one(
+    mode: Mode,
+    sample_size: usize,
+    label: &str,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        mode,
+        sample_size,
+        median_ns: 0.0,
+    };
+    f(&mut b);
+    match mode {
+        Mode::Test => println!("test {label} ... ok (smoke)"),
+        Mode::Bench => {
+            let rate = throughput
+                .map(|t| {
+                    let (n, unit) = match t {
+                        Throughput::Elements(n) => (n, "elem"),
+                        Throughput::Bytes(n) => (n, "B"),
+                    };
+                    if b.median_ns > 0.0 {
+                        format!("  ({:.3} M{unit}/s)", n as f64 * 1e3 / b.median_ns)
+                    } else {
+                        String::new()
+                    }
+                })
+                .unwrap_or_default();
+            println!(
+                "bench: {label:<48} median {:>12.1} ns/iter{rate}",
+                b.median_ns
+            );
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timing samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declare per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure under `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(
+            self.criterion.mode,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            &label,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Benchmark a closure that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(
+            self.criterion.mode,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            &label,
+            self.throughput,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group (kept for API parity; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to `criterion_group!` target functions.
+pub struct Criterion {
+    mode: Mode,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: mode_from_args(),
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a standalone closure.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.mode, self.sample_size, name, None, &mut f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_in_test_mode_without_timing() {
+        let mut b = Bencher {
+            mode: Mode::Test,
+            sample_size: 5,
+            median_ns: 0.0,
+        };
+        let mut calls = 0;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert_eq!(b.median_ns, 0.0);
+    }
+
+    #[test]
+    fn bencher_produces_positive_median_in_bench_mode() {
+        let mut b = Bencher {
+            mode: Mode::Bench,
+            sample_size: 3,
+            median_ns: 0.0,
+        };
+        b.iter(|| black_box((0..100u64).sum::<u64>()));
+        assert!(b.median_ns > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 42).id, "f/42");
+        assert_eq!(BenchmarkId::from_parameter("512").id, "512");
+    }
+}

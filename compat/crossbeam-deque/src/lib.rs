@@ -1,0 +1,240 @@
+//! Offline stand-in for `crossbeam-deque`.
+//!
+//! Provides `Injector`, `Worker`, `Stealer` and `Steal` with the same
+//! shapes the real crate exposes, implemented with mutex-protected
+//! `VecDeque`s instead of lock-free Chase-Lev deques. Semantics (LIFO
+//! worker pops, FIFO steals, batched injector refills) match; only the
+//! synchronisation cost differs, which is acceptable for the
+//! work-stealing *schedule modelling* this workspace uses the crate for.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// How many tasks `steal_batch_and_pop` moves to the local queue at once
+/// (the real crate takes roughly half, capped; a small fixed batch keeps
+/// the schedule comparably fine-grained).
+const BATCH: usize = 8;
+
+/// Outcome of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// A task was stolen.
+    Success(T),
+    /// A race was lost; try again. (Never produced by this stand-in, but
+    /// callers match on it.)
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// True when the steal yielded a task.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    /// Extract the task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+fn locked<T>(q: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    q.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A global FIFO task queue shared by all workers.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Create an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Push a task onto the global queue.
+    pub fn push(&self, task: T) {
+        locked(&self.queue).push_back(task);
+    }
+
+    /// Pop one task from the global queue.
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Move a batch of tasks into `dest`'s local queue and pop one.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut global = locked(&self.queue);
+        let Some(first) = global.pop_front() else {
+            return Steal::Empty;
+        };
+        let mut local = locked(&dest.queue);
+        for _ in 0..BATCH.min(global.len()) {
+            if let Some(t) = global.pop_front() {
+                local.push_back(t);
+            }
+        }
+        Steal::Success(first)
+    }
+
+    /// True when no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+}
+
+/// A worker's local queue. The owning worker pushes/pops LIFO; thieves
+/// steal FIFO from the other end via [`Stealer`].
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Create a LIFO worker queue (the TBB-like configuration).
+    pub fn new_lifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Push a task onto the owner's end.
+    pub fn push(&self, task: T) {
+        locked(&self.queue).push_back(task);
+    }
+
+    /// Pop from the owner's end (most recently pushed first).
+    pub fn pop(&self) -> Option<T> {
+        locked(&self.queue).pop_back()
+    }
+
+    /// Create a handle other threads can steal through.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+
+    /// True when the local queue is empty.
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+}
+
+/// A handle for stealing from another worker's queue.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal from the cold end (least recently pushed first).
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// True when the victim's queue is empty.
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_is_lifo_stealer_is_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_batch_refills_local() {
+        let inj = Injector::new();
+        for i in 0..20 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        let first = inj.steal_batch_and_pop(&w);
+        assert_eq!(first, Steal::Success(0));
+        assert!(!w.is_empty());
+        // Everything is eventually drained exactly once.
+        let mut seen = vec![0];
+        while let Some(t) = w.pop() {
+            seen.push(t);
+        }
+        while let Steal::Success(t) = inj.steal() {
+            seen.push(t);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_stealing_loses_nothing() {
+        let inj = Arc::new(Injector::new());
+        let n = 10_000;
+        for i in 0..n {
+            inj.push(i);
+        }
+        let total: usize = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let inj = Arc::clone(&inj);
+                    scope.spawn(move || {
+                        let w = Worker::new_lifo();
+                        let mut count = 0;
+                        loop {
+                            let task = w.pop().or_else(|| match inj.steal_batch_and_pop(&w) {
+                                Steal::Success(t) => Some(t),
+                                _ => None,
+                            });
+                            if task.is_none() {
+                                break count;
+                            }
+                            count += 1;
+                        }
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(total, n);
+    }
+}

@@ -14,13 +14,18 @@
 //! | LLC bandwidth plateau | Figure 11's CPU cache knee (§5) |
 
 use simdev::{devices, DeviceSpec};
+use tea_bench::Scale;
 use tea_core::config::SolverKind;
 use tea_core::tablefmt::Table;
-use tea_bench::Scale;
 use tealeaf::{run_simulation_seeded, ModelId};
 
 fn scale() -> Scale {
-    Scale { cells: 192, steps: 1, eps: 1.0e-12, sweep_max: 0 }
+    Scale {
+        cells: 192,
+        steps: 1,
+        eps: 1.0e-12,
+        sweep_max: 0,
+    }
 }
 
 fn run(model: ModelId, device: &DeviceSpec, solver: SolverKind) -> f64 {
@@ -37,8 +42,18 @@ fn ablate_branch_penalty(table: &mut Table) {
     let knc = scale().regime_device(&devices::knc_xeon_phi());
     let mut no_branch = knc.clone();
     no_branch.branch_penalty = 1.0;
-    let with = ratio(ModelId::Kokkos, ModelId::KokkosHP, &knc, SolverKind::ConjugateGradient);
-    let without = ratio(ModelId::Kokkos, ModelId::KokkosHP, &no_branch, SolverKind::ConjugateGradient);
+    let with = ratio(
+        ModelId::Kokkos,
+        ModelId::KokkosHP,
+        &knc,
+        SolverKind::ConjugateGradient,
+    );
+    let without = ratio(
+        ModelId::Kokkos,
+        ModelId::KokkosHP,
+        &no_branch,
+        SolverKind::ConjugateGradient,
+    );
     table.row(&[
         "KNC branch penalty".into(),
         "Kokkos flat / Kokkos HP, KNC CG".into(),
@@ -74,7 +89,10 @@ fn ablate_launch_overheads(table: &mut Table) {
     let gpu = devices::gpu_k20x();
     let mut free_launch = gpu.clone();
     free_launch.overhead_scale = 0.0;
-    let tiny = Scale { cells: 64, ..scale() };
+    let tiny = Scale {
+        cells: 64,
+        ..scale()
+    };
     let sweep = |device: &DeviceSpec| {
         let mut cfg = tiny.config(SolverKind::ConjugateGradient);
         cfg.tl_eps = 1.0e-10;
@@ -135,7 +153,13 @@ fn assess(effect_present: bool, effect_gone: bool) -> String {
 fn main() {
     let mut table = Table::new(
         "Ablations: each cost-model mechanism vs the paper effect it produces",
-        &["mechanism ablated", "observable", "with", "without", "verdict"],
+        &[
+            "mechanism ablated",
+            "observable",
+            "with",
+            "without",
+            "verdict",
+        ],
     );
     ablate_branch_penalty(&mut table);
     ablate_novec_penalty(&mut table);

@@ -9,13 +9,18 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 
 use parpool::{Executor, SerialExec, StaticPool, StealPool, UnsafeSlice};
-use tea_core::halo::update_halo;
+use tea_bench::baseline::BaselinePool;
+use tea_core::halo::{update_halo, update_halo_batch};
 use tea_core::mesh::Mesh2d;
 use tealeaf::ports::common::{self, Us};
 
 fn fields(mesh: &Mesh2d) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
     let len = mesh.len();
-    let gen = |s: f64| (0..len).map(|k| 1.0 + s * ((k % 13) as f64)).collect::<Vec<f64>>();
+    let gen = |s: f64| {
+        (0..len)
+            .map(|k| 1.0 + s * ((k % 13) as f64))
+            .collect::<Vec<f64>>()
+    };
     (gen(0.01), gen(0.002), gen(0.003), vec![0.0; len])
 }
 
@@ -29,8 +34,11 @@ fn bench_matvec(c: &mut Criterion) {
     let serial = SerialExec;
     let static_pool = StaticPool::new(parpool::default_threads());
     let steal_pool = StealPool::new(parpool::default_threads());
-    let execs: [(&str, &dyn Executor); 3] =
-        [("serial", &serial), ("static_pool", &static_pool), ("steal_pool", &steal_pool)];
+    let execs: [(&str, &dyn Executor); 3] = [
+        ("serial", &serial),
+        ("static_pool", &static_pool),
+        ("steal_pool", &steal_pool),
+    ];
 
     for (name, exec) in execs {
         group.bench_with_input(BenchmarkId::from_parameter(name), &exec, |b, exec| {
@@ -129,9 +137,80 @@ fn bench_reduction_determinism_cost(c: &mut Criterion) {
     group.bench_function("row_ordered_pool", |b| {
         let j0 = mesh.i0();
         b.iter(|| {
-            black_box(
-                static_pool.run_sum(mesh.y_cells, &|jj| common::row_norm(&mesh, j0 + jj, &x)),
-            )
+            black_box(static_pool.run_sum(mesh.y_cells, &|jj| common::row_norm(&mesh, j0 + jj, &x)))
+        });
+    });
+    group.finish();
+}
+
+fn bench_seed_vs_current(c: &mut Criterion) {
+    // Before/after the fork-join rework: the vendored seed substrate
+    // (`BaselinePool`: mutex+condvar wake per region, allocating
+    // reductions) against the reworked `StaticPool` (inline fast path for
+    // `n < n_threads`, spin-then-park barrier, persistent reduction
+    // scratch). The `dispatch_3` pair uses ≥ 4 workers so the seed's wake
+    // round-trip is actually exercised; the mesh pairs run at the
+    // production thread count.
+    let mut group = c.benchmark_group("seed_vs_current");
+    group.sample_size(20);
+
+    let n_dispatch = parpool::default_threads().max(4);
+    {
+        let seed = BaselinePool::new(n_dispatch);
+        let current = StaticPool::new(n_dispatch);
+        group.bench_function("dispatch_3/seed", |b| {
+            b.iter(|| {
+                seed.run(3, &|i| {
+                    black_box(i);
+                })
+            });
+        });
+        group.bench_function("dispatch_3/current", |b| {
+            b.iter(|| {
+                current.run(3, &|i| {
+                    black_box(i);
+                })
+            });
+        });
+    }
+
+    let mesh = Mesh2d::square(256);
+    let (p, kx, ky, mut w) = fields(&mesh);
+    let j0 = mesh.i0();
+    let seed = BaselinePool::new(parpool::default_threads());
+    let current = StaticPool::new(parpool::default_threads());
+
+    group.bench_function("matvec_256/seed", |b| {
+        b.iter(|| {
+            let wv: Us = UnsafeSlice::new(&mut w);
+            black_box(seed.run_sum(mesh.y_cells, &|jj| {
+                // SAFETY: rows disjoint.
+                unsafe { common::row_cg_calc_w(&mesh, j0 + jj, &p, &kx, &ky, &wv) }
+            }))
+        });
+    });
+    group.bench_function("matvec_256/current", |b| {
+        b.iter(|| {
+            let wv: Us = UnsafeSlice::new(&mut w);
+            black_box(current.run_sum(mesh.y_cells, &|jj| {
+                // SAFETY: rows disjoint.
+                unsafe { common::row_cg_calc_w(&mesh, j0 + jj, &p, &kx, &ky, &wv) }
+            }))
+        });
+    });
+
+    let mut h: Vec<Vec<f64>> = (0..4).map(|_| vec![1.0; mesh.len()]).collect();
+    group.bench_function("halo_x4_256/seed", |b| {
+        b.iter(|| {
+            for f in h.iter_mut() {
+                update_halo(&mesh, f, 2);
+            }
+        });
+    });
+    group.bench_function("halo_x4_256/current", |b| {
+        b.iter(|| {
+            let mut views: Vec<&mut [f64]> = h.iter_mut().map(|f| f.as_mut_slice()).collect();
+            update_halo_batch(&mesh, &mut views, 2, &current);
         });
     });
     group.finish();
@@ -143,6 +222,7 @@ criterion_group!(
     bench_streaming_update,
     bench_halo,
     bench_dispatch_overhead,
-    bench_reduction_determinism_cost
+    bench_reduction_determinism_cost,
+    bench_seed_vs_current
 );
 criterion_main!(benches);

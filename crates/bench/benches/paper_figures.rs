@@ -12,9 +12,8 @@ use std::path::PathBuf;
 use tea_bench::{fig10, fig11, fig12, fig8, fig9, table1, table2, Scale};
 
 fn results_dir() -> PathBuf {
-    let dir = std::env::var("TEA_RESULTS_DIR").unwrap_or_else(|_| {
-        format!("{}/../../results", env!("CARGO_MANIFEST_DIR"))
-    });
+    let dir = std::env::var("TEA_RESULTS_DIR")
+        .unwrap_or_else(|_| format!("{}/../../results", env!("CARGO_MANIFEST_DIR")));
     let path = PathBuf::from(dir);
     fs::create_dir_all(&path).expect("create results dir");
     path

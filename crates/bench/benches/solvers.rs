@@ -32,12 +32,16 @@ fn bench_solvers(c: &mut Criterion) {
         let cfg = config(solver);
         let device = devices::cpu_xeon_e5_2670_x2();
         let problem = Problem::from_config(&cfg);
-        group.bench_with_input(BenchmarkId::from_parameter(solver.name()), &cfg, |b, cfg| {
-            b.iter(|| {
-                let mut port = make_port(ModelId::Serial, device.clone(), &problem, 0).unwrap();
-                black_box(driver::drive(port.as_mut(), &problem, &device, cfg))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(solver.name()),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    let mut port = make_port(ModelId::Serial, device.clone(), &problem, 0).unwrap();
+                    black_box(driver::drive(port.as_mut(), &problem, &device, cfg))
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,270 @@
+//! `--save-baseline`-style kernel timing harness.
+//!
+//! Times the six hottest host-execution kernels against the vendored seed
+//! substrate ([`tea_bench::baseline::BaselinePool`]) and writes the
+//! medians to `BENCH_kernels.json` so future PRs can track the perf
+//! trajectory:
+//!
+//! ```sh
+//! cargo run --release -p tea-bench --bin bench_kernels
+//! ```
+//!
+//! Measurements are wall-clock ns/iter (median over samples), not
+//! simulated device time. Two pool configurations are used:
+//!
+//! * the mesh-sweep kernels run at the production thread count
+//!   (`parpool::default_threads()`), because oversubscribing a small host
+//!   measures scheduler thrash, not the dispatch path;
+//! * the `dispatch_small_*` entries force ≥ 4 workers so the seed's
+//!   wake-everyone round-trip is actually on the clock against the
+//!   reworked pool's inline fast path (`n < n_threads`). That fast path
+//!   is synchronization-free, so the ratio is meaningful on any host —
+//!   it is what paper-scale halo-column and reduction-tail regions hit.
+
+use std::time::Instant;
+
+use parpool::{Executor, StaticPool, UnsafeSlice};
+use tea_bench::baseline::BaselinePool;
+use tea_core::halo::{update_halo, update_halo_batch};
+use tea_core::mesh::Mesh2d;
+use tealeaf::ports::common::{self, Us};
+
+/// Median wall-clock ns per iteration: calibrate the batch size so one
+/// sample takes ≥ 1 ms, then take `samples` samples.
+fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut iters = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if t.elapsed().as_micros() >= 1000 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut meds: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    meds.sort_by(|a, b| a.total_cmp(b));
+    meds[meds.len() / 2]
+}
+
+struct Entry {
+    kernel: &'static str,
+    cells: usize,
+    baseline_ns: f64,
+    current_ns: f64,
+}
+
+fn field(mesh: &Mesh2d, s: f64) -> Vec<f64> {
+    (0..mesh.len())
+        .map(|k| 1.0 + s * ((k % 13) as f64))
+        .collect()
+}
+
+fn bench_mesh(
+    cells: usize,
+    samples: usize,
+    baseline: &BaselinePool,
+    pool: &StaticPool,
+    out: &mut Vec<Entry>,
+) {
+    let mesh = Mesh2d::square(cells);
+    let j0 = mesh.i0();
+    let rows = mesh.y_cells;
+    let (p, kx, ky) = (field(&mesh, 0.01), field(&mesh, 0.002), field(&mesh, 0.003));
+    let mut w = vec![0.0; mesh.len()];
+    let mut scratch = vec![0.0; mesh.len()];
+
+    // 1. cg_calc_w: the 5-point matvec + dot product, the hottest CG kernel.
+    out.push(Entry {
+        kernel: "cg_calc_w",
+        cells,
+        baseline_ns: median_ns(samples, || {
+            let wv: Us = UnsafeSlice::new(&mut w);
+            std::hint::black_box(baseline.run_sum(rows, &|jj| {
+                // SAFETY: rows disjoint.
+                unsafe { common::row_cg_calc_w(&mesh, j0 + jj, &p, &kx, &ky, &wv) }
+            }));
+        }),
+        current_ns: median_ns(samples, || {
+            let wv: Us = UnsafeSlice::new(&mut w);
+            std::hint::black_box(pool.run_sum(rows, &|jj| {
+                // SAFETY: rows disjoint.
+                unsafe { common::row_cg_calc_w(&mesh, j0 + jj, &p, &kx, &ky, &wv) }
+            }));
+        }),
+    });
+
+    // 2. cg_calc_ur: the fused path's reduction sweep.
+    out.push(Entry {
+        kernel: "cg_calc_ur",
+        cells,
+        baseline_ns: median_ns(samples, || {
+            let u = UnsafeSlice::new(&mut scratch);
+            std::hint::black_box(baseline.run_sum(rows, &|jj| {
+                let j = j0 + jj;
+                let mut acc = 0.0;
+                for i in j0..mesh.i1() {
+                    let k = common::idx(mesh.width(), i, j);
+                    // SAFETY: rows disjoint.
+                    unsafe { u.set(k, p[k] * 0.5 + kx[k]) };
+                    acc += ky[k] * p[k];
+                }
+                acc
+            }));
+        }),
+        current_ns: median_ns(samples, || {
+            let u = UnsafeSlice::new(&mut scratch);
+            std::hint::black_box(pool.run_sum(rows, &|jj| {
+                let j = j0 + jj;
+                let mut acc = 0.0;
+                for i in j0..mesh.i1() {
+                    let k = common::idx(mesh.width(), i, j);
+                    // SAFETY: rows disjoint.
+                    unsafe { u.set(k, p[k] * 0.5 + kx[k]) };
+                    acc += ky[k] * p[k];
+                }
+                acc
+            }));
+        }),
+    });
+
+    // 3. cg_calc_p: the streaming β·p update (non-reduction region).
+    out.push(Entry {
+        kernel: "cg_calc_p",
+        cells,
+        baseline_ns: median_ns(samples, || {
+            let pv = UnsafeSlice::new(&mut scratch);
+            baseline.run(rows, &|jj| {
+                // SAFETY: rows disjoint.
+                unsafe { common::row_cg_calc_p(&mesh, j0 + jj, 0.3, false, &p, &kx, &pv) };
+            });
+        }),
+        current_ns: median_ns(samples, || {
+            let pv = UnsafeSlice::new(&mut scratch);
+            pool.run(rows, &|jj| {
+                // SAFETY: rows disjoint.
+                unsafe { common::row_cg_calc_p(&mesh, j0 + jj, 0.3, false, &p, &kx, &pv) };
+            });
+        }),
+    });
+
+    // 4. halo_x4: a 4-field depth-2 exchange — per-field serial updates
+    //    (seed) vs one batched parallel region (current).
+    let mut h = [
+        field(&mesh, 0.1),
+        field(&mesh, 0.2),
+        field(&mesh, 0.3),
+        field(&mesh, 0.4),
+    ];
+    out.push(Entry {
+        kernel: "halo_x4",
+        cells,
+        baseline_ns: median_ns(samples, || {
+            for f in h.iter_mut() {
+                update_halo(&mesh, f, 2);
+            }
+        }),
+        current_ns: median_ns(samples, || {
+            let [a, b, c, d] = &mut h;
+            let mut fields: Vec<&mut [f64]> = vec![a, b, c, d];
+            update_halo_batch(&mesh, &mut fields, 2, pool);
+        }),
+    });
+
+    // 5. field_summary: the 4-component reduction — allocating per-call
+    //    partials (seed) vs the pool's persistent 4-wide scratch.
+    let vol = mesh.cell_volume();
+    out.push(Entry {
+        kernel: "field_summary",
+        cells,
+        baseline_ns: median_ns(samples, || {
+            std::hint::black_box(baseline.run_sum4(rows, &|jj| {
+                common::row_summary(&mesh, j0 + jj, &p, &kx, &ky, vol)
+            }));
+        }),
+        current_ns: median_ns(samples, || {
+            std::hint::black_box(pool.run_sum4(rows, &|jj| {
+                common::row_summary(&mesh, j0 + jj, &p, &kx, &ky, vol)
+            }));
+        }),
+    });
+}
+
+fn main() {
+    let kernel_threads = parpool::default_threads();
+    let dispatch_threads = kernel_threads.max(4);
+    let mut entries = Vec::new();
+
+    // 6. dispatch_small: tiny parallel regions — the paper-scale halo
+    //    columns and reduction tails. The seed woke every worker through a
+    //    mutex+condvar round-trip; the reworked pool runs `n < n_threads`
+    //    inline on the posting thread with no synchronization at all.
+    {
+        let baseline = BaselinePool::new(dispatch_threads);
+        let pool = StaticPool::new(dispatch_threads);
+        for n in [2usize, 3] {
+            entries.push(Entry {
+                kernel: if n == 2 {
+                    "dispatch_small_2"
+                } else {
+                    "dispatch_small_3"
+                },
+                cells: 0,
+                baseline_ns: median_ns(21, || {
+                    baseline.run(n, &|i| {
+                        std::hint::black_box(i);
+                    });
+                }),
+                current_ns: median_ns(21, || {
+                    pool.run(n, &|i| {
+                        std::hint::black_box(i);
+                    });
+                }),
+            });
+        }
+    }
+
+    let baseline = BaselinePool::new(kernel_threads);
+    let pool = StaticPool::new(kernel_threads);
+    bench_mesh(256, 15, &baseline, &pool, &mut entries);
+    bench_mesh(4096, 7, &baseline, &pool, &mut entries);
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"harness\": \"cargo run --release -p tea-bench --bin bench_kernels\",\n");
+    json.push_str("  \"unit\": \"median wall-clock ns per iteration\",\n");
+    json.push_str(&format!("  \"kernel_threads\": {kernel_threads},\n"));
+    json.push_str(&format!("  \"dispatch_threads\": {dispatch_threads},\n"));
+    json.push_str(
+        "  \"note\": \"dispatch_small_* = per-region launch+join cost (seed condvar wake vs inline fast path); mesh kernels run at the production thread count, so on a single-core host they measure the sweep itself and demonstrate no regression\",\n",
+    );
+    json.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let speedup = e.baseline_ns / e.current_ns;
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"cells\": {}, \"baseline_ns\": {:.1}, \"current_ns\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            e.kernel,
+            e.cells,
+            e.baseline_ns,
+            e.current_ns,
+            speedup,
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+        println!(
+            "{:>16} {:>5}  baseline {:>12.0} ns  current {:>12.0} ns  speedup {:>5.2}x",
+            e.kernel, e.cells, e.baseline_ns, e.current_ns, speedup
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_kernels.json", json).expect("cannot write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json");
+}

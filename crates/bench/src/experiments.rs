@@ -187,9 +187,12 @@ pub fn fig11(scale: Scale) -> (Table, Vec<Fig11Point>) {
         for model in figure_models(device.kind) {
             let mut row = vec![format!("{} / {}", model.label(), device.kind.name())];
             for &edge in &sizes {
-                let mut cfg = Scale { cells: edge, steps: 1, ..scale }.config(
-                    SolverKind::ConjugateGradient,
-                );
+                let mut cfg = Scale {
+                    cells: edge,
+                    steps: 1,
+                    ..scale
+                }
+                .config(SolverKind::ConjugateGradient);
                 // single step and a moderate tolerance: the sweep isolates
                 // runtime *growth*, not convergence depth
                 cfg.tl_eps = scale.eps.max(1.0e-10);
@@ -226,7 +229,10 @@ pub fn fig12(scale: Scale) -> Table {
     for (slot, device) in devices::paper_devices().into_iter().enumerate() {
         let regime = scale.regime_device(&device);
         for (model, reports) in runtime_figure(&device, scale) {
-            let avg = reports.iter().map(|r| r.stream_fraction(&regime)).sum::<f64>()
+            let avg = reports
+                .iter()
+                .map(|r| r.stream_fraction(&regime))
+                .sum::<f64>()
                 / reports.len() as f64;
             if let Some(entry) = rows.iter_mut().find(|(m, _)| *m == model) {
                 entry.1[slot] = Some(avg);

@@ -25,8 +25,12 @@
 //! scale-stable; EXPERIMENTS.md records the scale used for the committed
 //! numbers.
 
+pub mod baseline;
 pub mod experiments;
 pub mod scale;
 
-pub use experiments::{fig10, fig11, fig12, fig8, fig9, figure_models, runtime_figure, table1, table2, Fig11Point, ModelOnDevice};
+pub use experiments::{
+    fig10, fig11, fig12, fig8, fig9, figure_models, runtime_figure, table1, table2, Fig11Point,
+    ModelOnDevice,
+};
 pub use scale::Scale;

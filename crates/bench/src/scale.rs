@@ -19,7 +19,10 @@ impl Scale {
             return Scale::paper();
         }
         let get = |k: &str, d: f64| {
-            std::env::var(k).ok().and_then(|v| v.parse::<f64>().ok()).unwrap_or(d)
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or(d)
         };
         Scale {
             cells: get("TEA_CELLS", 256.0) as usize,
@@ -31,12 +34,22 @@ impl Scale {
 
     /// The paper's full scale (§4: 4096² mesh-convergence point).
     pub fn paper() -> Self {
-        Scale { cells: 4096, steps: 10, eps: 1.0e-15, sweep_max: 1225 }
+        Scale {
+            cells: 4096,
+            steps: 10,
+            eps: 1.0e-15,
+            sweep_max: 1225,
+        }
     }
 
     /// Reduced scale for fast CI runs and tests.
     pub fn small() -> Self {
-        Scale { cells: 96, steps: 1, eps: 1.0e-10, sweep_max: 250 }
+        Scale {
+            cells: 96,
+            steps: 1,
+            eps: 1.0e-10,
+            sweep_max: 250,
+        }
     }
 
     /// Problem configuration for one solver at this scale.
@@ -108,7 +121,12 @@ mod tests {
 
     #[test]
     fn sweep_ends_at_cap() {
-        let s = Scale { cells: 0, steps: 0, eps: 1.0, sweep_max: 625 };
+        let s = Scale {
+            cells: 0,
+            steps: 0,
+            eps: 1.0,
+            sweep_max: 625,
+        };
         assert_eq!(s.sweep_sizes(), vec![125, 250, 375, 500, 625]);
         let p = Scale::paper();
         let sizes = p.sweep_sizes();
@@ -133,7 +151,12 @@ mod regime_tests {
 
     #[test]
     fn regime_scales_fixed_costs_by_cell_ratio() {
-        let s = Scale { cells: 256, steps: 2, eps: 1e-12, sweep_max: 0 };
+        let s = Scale {
+            cells: 256,
+            steps: 2,
+            eps: 1e-12,
+            sweep_max: 0,
+        };
         let gpu = devices::gpu_k20x();
         let regime = s.regime_device(&gpu);
         let factor = (256.0f64 / 4096.0).powi(2);

@@ -61,8 +61,11 @@ impl SolverKind {
     }
 
     /// The three solvers evaluated by the paper (§4): CG, Chebyshev, PPCG.
-    pub const PAPER: [SolverKind; 3] =
-        [SolverKind::ConjugateGradient, SolverKind::Chebyshev, SolverKind::Ppcg];
+    pub const PAPER: [SolverKind; 3] = [
+        SolverKind::ConjugateGradient,
+        SolverKind::Chebyshev,
+        SolverKind::Ppcg,
+    ];
 }
 
 impl fmt::Display for SolverKind {
@@ -120,12 +123,22 @@ impl Default for TeaConfig {
                 State {
                     density: 0.1,
                     energy: 25.0,
-                    geometry: Geometry::Rectangle { xmin: 0.0, xmax: 1.0, ymin: 1.0, ymax: 2.0 },
+                    geometry: Geometry::Rectangle {
+                        xmin: 0.0,
+                        xmax: 1.0,
+                        ymin: 1.0,
+                        ymax: 2.0,
+                    },
                 },
                 State {
                     density: 0.1,
                     energy: 0.1,
-                    geometry: Geometry::Rectangle { xmin: 1.0, xmax: 6.0, ymin: 1.0, ymax: 2.0 },
+                    geometry: Geometry::Rectangle {
+                        xmin: 1.0,
+                        xmax: 6.0,
+                        ymin: 1.0,
+                        ymax: 2.0,
+                    },
                 },
             ],
         }
@@ -136,7 +149,11 @@ impl TeaConfig {
     /// The paper's benchmark problem at an arbitrary square mesh size
     /// (§4 uses 4096×4096, the mesh-convergence point).
     pub fn paper_problem(cells: usize) -> Self {
-        TeaConfig { x_cells: cells, y_cells: cells, ..TeaConfig::default() }
+        TeaConfig {
+            x_cells: cells,
+            y_cells: cells,
+            ..TeaConfig::default()
+        }
     }
 
     /// Build the [`crate::Mesh2d`] described by this configuration.
@@ -152,7 +169,10 @@ impl TeaConfig {
 
     /// Parse a `tea.in`-format deck.
     pub fn parse(text: &str) -> Result<Self, ConfigError> {
-        let mut cfg = TeaConfig { states: Vec::new(), ..TeaConfig::default() };
+        let mut cfg = TeaConfig {
+            states: Vec::new(),
+            ..TeaConfig::default()
+        };
         let mut in_block = false;
         let mut saw_block_marker = false;
         for (ln, raw) in text.lines().enumerate() {
@@ -182,7 +202,10 @@ impl TeaConfig {
             cfg.states = TeaConfig::default().states;
         }
         if !matches!(cfg.states[0].geometry, Geometry::Background) {
-            return Err(ConfigError { line: 0, kind: ErrorKind::MissingBackgroundState });
+            return Err(ConfigError {
+                line: 0,
+                kind: ErrorKind::MissingBackgroundState,
+            });
         }
         Ok(cfg)
     }
@@ -229,9 +252,10 @@ fn strip_comment(line: &str) -> &str {
 }
 
 fn parse_num<T: FromStr>(key: &str, value: &str) -> Result<T, ErrorKind> {
-    value
-        .parse::<T>()
-        .map_err(|_| ErrorKind::BadValue { key: key.to_string(), value: value.to_string() })
+    value.parse::<T>().map_err(|_| ErrorKind::BadValue {
+        key: key.to_string(),
+        value: value.to_string(),
+    })
 }
 
 fn parse_line(cfg: &mut TeaConfig, line: &str) -> Result<(), ErrorKind> {
@@ -336,14 +360,25 @@ fn parse_state(cfg: &mut TeaConfig, rest: &str) -> Result<(), ErrorKind> {
     let energy = energy.ok_or_else(|| ErrorKind::BadState("state needs energy".into()))?;
     let geometry = match geometry_kind.as_deref() {
         None => Geometry::Background,
-        Some("rectangle") => {
-            Geometry::Rectangle { xmin: gxmin, xmax: gxmax, ymin: gymin, ymax: gymax }
-        }
-        Some("circle") | Some("circular") => Geometry::Circle { cx: gxmin, cy: gymin, radius },
+        Some("rectangle") => Geometry::Rectangle {
+            xmin: gxmin,
+            xmax: gxmax,
+            ymin: gymin,
+            ymax: gymax,
+        },
+        Some("circle") | Some("circular") => Geometry::Circle {
+            cx: gxmin,
+            cy: gymin,
+            radius,
+        },
         Some("point") => Geometry::Point { x: gxmin, y: gymin },
         Some(other) => return Err(ErrorKind::BadState(format!("unknown geometry '{other}'"))),
     };
-    cfg.states.push(State { density, energy, geometry });
+    cfg.states.push(State {
+        density,
+        energy,
+        geometry,
+    });
     Ok(())
 }
 
@@ -388,7 +423,12 @@ tl_ppcg_inner_steps=12
     #[test]
     fn defaults_without_deck_content() {
         let cfg = TeaConfig::parse("*tea\n*endtea\n").unwrap();
-        assert_eq!(cfg, TeaConfig { ..TeaConfig::default() });
+        assert_eq!(
+            cfg,
+            TeaConfig {
+                ..TeaConfig::default()
+            }
+        );
     }
 
     #[test]
@@ -429,7 +469,11 @@ tl_ppcg_inner_steps=12
                 .unwrap();
         assert_eq!(
             cfg.states[1].geometry,
-            Geometry::Circle { cx: 5.0, cy: 5.0, radius: 1.5 }
+            Geometry::Circle {
+                cx: 5.0,
+                cy: 5.0,
+                radius: 1.5
+            }
         );
     }
 

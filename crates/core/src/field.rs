@@ -20,18 +20,30 @@ pub struct Field2d {
 impl Field2d {
     /// Allocate a zero-filled field shaped for `mesh` (padded extents).
     pub fn zeros(mesh: &Mesh2d) -> Self {
-        Field2d { data: vec![0.0; mesh.len()], width: mesh.width(), height: mesh.height() }
+        Field2d {
+            data: vec![0.0; mesh.len()],
+            width: mesh.width(),
+            height: mesh.height(),
+        }
     }
 
     /// Allocate a field with every element set to `value`.
     pub fn filled(mesh: &Mesh2d, value: f64) -> Self {
-        Field2d { data: vec![value; mesh.len()], width: mesh.width(), height: mesh.height() }
+        Field2d {
+            data: vec![value; mesh.len()],
+            width: mesh.width(),
+            height: mesh.height(),
+        }
     }
 
     /// Build a field from raw data (must match `width*height`).
     pub fn from_vec(width: usize, height: usize, data: Vec<f64>) -> Self {
         assert_eq!(data.len(), width * height, "data length must match extents");
-        Field2d { data, width, height }
+        Field2d {
+            data,
+            width,
+            height,
+        }
     }
 
     /// Padded width (x extent).

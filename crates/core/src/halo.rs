@@ -71,29 +71,96 @@ impl FieldId {
 
 /// Apply a reflective halo update of the given `depth` to `data`.
 ///
+/// Serial convenience wrapper over [`update_halo_batch`].
+///
 /// # Panics
 /// Panics if `depth` exceeds the mesh halo or `data` is mis-sized.
 pub fn update_halo(mesh: &Mesh2d, data: &mut [f64], depth: usize) {
-    assert!(depth >= 1 && depth <= mesh.halo_depth, "depth must be in 1..=halo_depth");
-    assert_eq!(data.len(), mesh.len(), "field length must match mesh");
-    let w = mesh.width();
-    let (i0, i1, j0, j1) = (mesh.i0(), mesh.i1(), mesh.i0(), mesh.j1());
+    update_halo_batch(mesh, &mut [data], depth, &parpool::SerialExec);
+}
 
-    // Bottom and top edges: mirror interior rows outward over interior columns.
-    for k in 1..=depth {
-        for i in i0..i1 {
-            data[(j0 - k) * w + i] = data[(j0 + k - 1) * w + i];
-            data[(j1 + k - 1) * w + i] = data[(j1 - k) * w + i];
-        }
+/// Apply a reflective halo update of `depth` to `data`, with the two edge
+/// sweeps dispatched as parallel regions on `exec`.
+pub fn update_halo_exec(
+    mesh: &Mesh2d,
+    data: &mut [f64],
+    depth: usize,
+    exec: &dyn parpool::Executor,
+) {
+    update_halo_batch(mesh, &mut [data], depth, exec);
+}
+
+/// Apply a reflective halo update of `depth` to several fields at once, as
+/// **two** parallel regions on `exec` (instead of two per field).
+///
+/// Phase 1 writes the bottom/top ghost rows (one item per field-column
+/// pair); phase 2 writes the left/right ghost columns over the full padded
+/// height, filling corners (one item per field-row pair). The phases must
+/// stay sequenced — phase 2 reads the ghost rows phase 1 wrote — and `run`
+/// blocking until the region completes provides exactly that barrier.
+/// Within a phase every item writes a disjoint set of elements, so the
+/// result is independent of scheduling and bit-identical to the serial
+/// ordering for any executor.
+///
+/// # Panics
+/// Panics if `depth` exceeds the mesh halo, any field is mis-sized, or the
+/// same field slice appears twice (the borrow system already rules that
+/// out for callers that did not construct aliasing slices unsafely).
+pub fn update_halo_batch(
+    mesh: &Mesh2d,
+    fields: &mut [&mut [f64]],
+    depth: usize,
+    exec: &dyn parpool::Executor,
+) {
+    assert!(
+        depth >= 1 && depth <= mesh.halo_depth,
+        "depth must be in 1..=halo_depth"
+    );
+    for data in fields.iter() {
+        assert_eq!(data.len(), mesh.len(), "field length must match mesh");
     }
-    // Left and right edges over the full padded height (fills corners).
+    if fields.is_empty() {
+        return;
+    }
+    let w = mesh.width();
     let h = mesh.height();
-    for k in 1..=depth {
-        for j in 0..h {
-            data[j * w + (i0 - k)] = data[j * w + (i0 + k - 1)];
-            data[j * w + (i1 + k - 1)] = data[j * w + (i1 - k)];
+    let (i0, i1, j0, j1) = (mesh.i0(), mesh.i1(), mesh.i0(), mesh.j1());
+    let slices: Vec<parpool::UnsafeSlice<'_, f64>> = fields
+        .iter_mut()
+        .map(|d| parpool::UnsafeSlice::new(d))
+        .collect();
+
+    // Phase 1 — bottom and top edges: mirror interior rows outward over
+    // interior columns. Item = (field, interior column).
+    let cols = i1 - i0;
+    exec.run(slices.len() * cols, &|item| {
+        let f = &slices[item / cols];
+        let i = i0 + item % cols;
+        for k in 1..=depth {
+            // SAFETY: this item writes only ghost rows (j0-k and j1+k-1)
+            // in its own column `i` of its own field, and reads only
+            // interior rows, which no item writes in this phase.
+            unsafe {
+                f.set((j0 - k) * w + i, f.get((j0 + k - 1) * w + i));
+                f.set((j1 + k - 1) * w + i, f.get((j1 - k) * w + i));
+            }
         }
-    }
+    });
+    // Phase 2 — left and right edges over the full padded height (fills
+    // corners using the ghost rows written in phase 1). Item = (field, row).
+    exec.run(slices.len() * h, &|item| {
+        let f = &slices[item / h];
+        let j = item % h;
+        for k in 1..=depth {
+            // SAFETY: this item writes only ghost columns (i0-k and
+            // i1+k-1) in its own row `j` of its own field, and reads only
+            // interior columns, which no item writes in this phase.
+            unsafe {
+                f.set(j * w + (i0 - k), f.get(j * w + (i0 + k - 1)));
+                f.set(j * w + (i1 + k - 1), f.get(j * w + (i1 - k)));
+            }
+        }
+    });
 }
 
 /// Number of ghost elements written by [`update_halo`] — used by the cost
@@ -187,5 +254,52 @@ mod tests {
         let m = Mesh2d::square(4);
         let mut f = Field2d::zeros(&m);
         update_halo(&m, f.as_mut_slice(), 0);
+    }
+
+    #[test]
+    fn batch_matches_per_field_serial() {
+        let m = Mesh2d::square(7);
+        let mk = |s: usize| {
+            let mut f = Field2d::zeros(&m);
+            for (i, j) in m.interior().collect::<Vec<_>>() {
+                f.set(i, j, (i * 100 + j + s * 7) as f64 * 0.125);
+            }
+            f
+        };
+        for depth in 1..=2 {
+            let (mut a, mut b, mut c) = (mk(1), mk(2), mk(3));
+            let (mut a2, mut b2, mut c2) = (a.clone(), b.clone(), c.clone());
+            update_halo(&m, a.as_mut_slice(), depth);
+            update_halo(&m, b.as_mut_slice(), depth);
+            update_halo(&m, c.as_mut_slice(), depth);
+            update_halo_batch(
+                &m,
+                &mut [a2.as_mut_slice(), b2.as_mut_slice(), c2.as_mut_slice()],
+                depth,
+                &parpool::SerialExec,
+            );
+            assert_eq!(a, a2, "depth {depth}");
+            assert_eq!(b, b2, "depth {depth}");
+            assert_eq!(c, c2, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn parallel_exec_matches_serial_bitwise() {
+        let m = Mesh2d::square(9);
+        let pool = parpool::StaticPool::new(4);
+        let mut f = filled_interior(&m);
+        let mut g = f.clone();
+        for depth in 1..=2 {
+            update_halo(&m, f.as_mut_slice(), depth);
+            update_halo_exec(&m, g.as_mut_slice(), depth, &pool);
+            assert_eq!(f, g, "depth {depth}: pooled halo diverged from serial");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let m = Mesh2d::square(4);
+        update_halo_batch(&m, &mut [], 1, &parpool::SerialExec);
     }
 }

@@ -40,7 +40,15 @@ impl Mesh2d {
     ) -> Self {
         assert!(x_cells > 0 && y_cells > 0, "mesh must have interior cells");
         assert!(xmax > xmin && ymax > ymin, "mesh extents must be positive");
-        Mesh2d { x_cells, y_cells, halo_depth, xmin, xmax, ymin, ymax }
+        Mesh2d {
+            x_cells,
+            y_cells,
+            halo_depth,
+            xmin,
+            xmax,
+            ymin,
+            ymax,
+        }
     }
 
     /// Square mesh over the TeaLeaf default domain `[0,10]²` with halo 2.

@@ -15,7 +15,12 @@ pub enum Geometry {
     /// Applied to every cell; only valid for the first (background) state.
     Background,
     /// Axis-aligned rectangle `[xmin,xmax) × [ymin,ymax)` in physical space.
-    Rectangle { xmin: f64, xmax: f64, ymin: f64, ymax: f64 },
+    Rectangle {
+        xmin: f64,
+        xmax: f64,
+        ymin: f64,
+        ymax: f64,
+    },
     /// Disc of `radius` centred at `(cx, cy)`.
     Circle { cx: f64, cy: f64, radius: f64 },
     /// The single cell containing `(x, y)`.
@@ -33,7 +38,11 @@ pub struct State {
 impl State {
     /// Background state covering the whole domain.
     pub fn background(density: f64, energy: f64) -> Self {
-        State { density, energy, geometry: Geometry::Background }
+        State {
+            density,
+            energy,
+            geometry: Geometry::Background,
+        }
     }
 
     /// Does this state's region contain the cell centred at `(x, y)` with
@@ -45,9 +54,12 @@ impl State {
     pub fn contains(&self, x: f64, y: f64, dx: f64, dy: f64) -> bool {
         match self.geometry {
             Geometry::Background => true,
-            Geometry::Rectangle { xmin, xmax, ymin, ymax } => {
-                x >= xmin && x < xmax && y >= ymin && y < ymax
-            }
+            Geometry::Rectangle {
+                xmin,
+                xmax,
+                ymin,
+                ymax,
+            } => x >= xmin && x < xmax && y >= ymin && y < ymax,
             Geometry::Circle { cx, cy, radius } => {
                 let (rx, ry) = (x - cx, y - cy);
                 (rx * rx + ry * ry).sqrt() <= radius
@@ -65,8 +77,16 @@ impl State {
 /// the reference `generate_chunk` kernel. Halo cells receive the value of the
 /// state that geometrically contains them (background covers everything), so
 /// the first reflective halo update is already consistent.
-pub fn generate_chunk(mesh: &Mesh2d, states: &[State], density: &mut Field2d, energy0: &mut Field2d) {
-    assert!(!states.is_empty(), "at least the background state is required");
+pub fn generate_chunk(
+    mesh: &Mesh2d,
+    states: &[State],
+    density: &mut Field2d,
+    energy0: &mut Field2d,
+) {
+    assert!(
+        !states.is_empty(),
+        "at least the background state is required"
+    );
     assert!(
         matches!(states[0].geometry, Geometry::Background),
         "first state must be the background"
@@ -113,7 +133,12 @@ mod tests {
             State {
                 density: 0.1,
                 energy: 25.0,
-                geometry: Geometry::Rectangle { xmin: 0.0, xmax: 5.0, ymin: 0.0, ymax: 2.0 },
+                geometry: Geometry::Rectangle {
+                    xmin: 0.0,
+                    xmax: 5.0,
+                    ymin: 0.0,
+                    ymax: 2.0,
+                },
             },
         ];
         generate_chunk(&m, &states, &mut d, &mut e);
@@ -129,11 +154,20 @@ mod tests {
         let s = State {
             density: 1.0,
             energy: 1.0,
-            geometry: Geometry::Circle { cx: 5.0, cy: 5.0, radius: 2.0 },
+            geometry: Geometry::Circle {
+                cx: 5.0,
+                cy: 5.0,
+                radius: 2.0,
+            },
         };
         assert!(s.contains(5.0, 6.9, 1.0, 1.0));
         assert!(!s.contains(5.0, 7.1, 1.0, 1.0));
-        assert!(s.contains(5.0 + 2.0 / 2f64.sqrt() - 1e-9, 5.0 + 2.0 / 2f64.sqrt() - 1e-9, 1.0, 1.0));
+        assert!(s.contains(
+            5.0 + 2.0 / 2f64.sqrt() - 1e-9,
+            5.0 + 2.0 / 2f64.sqrt() - 1e-9,
+            1.0,
+            1.0
+        ));
     }
 
     #[test]
@@ -143,7 +177,11 @@ mod tests {
         let mut e = Field2d::zeros(&m);
         let states = [
             State::background(1.0, 1.0),
-            State { density: 9.0, energy: 9.0, geometry: Geometry::Point { x: 2.5, y: 2.5 } },
+            State {
+                density: 9.0,
+                energy: 9.0,
+                geometry: Geometry::Point { x: 2.5, y: 2.5 },
+            },
         ];
         generate_chunk(&m, &states, &mut d, &mut e);
         let hits = d.as_slice().iter().filter(|&&v| v == 9.0).count();
@@ -157,11 +195,24 @@ mod tests {
         let m = mesh();
         let mut d = Field2d::zeros(&m);
         let mut e = Field2d::zeros(&m);
-        let all = Geometry::Rectangle { xmin: -100.0, xmax: 100.0, ymin: -100.0, ymax: 100.0 };
+        let all = Geometry::Rectangle {
+            xmin: -100.0,
+            xmax: 100.0,
+            ymin: -100.0,
+            ymax: 100.0,
+        };
         let states = [
             State::background(1.0, 1.0),
-            State { density: 2.0, energy: 2.0, geometry: all },
-            State { density: 3.0, energy: 3.0, geometry: all },
+            State {
+                density: 2.0,
+                energy: 2.0,
+                geometry: all,
+            },
+            State {
+                density: 3.0,
+                energy: 3.0,
+                geometry: all,
+            },
         ];
         generate_chunk(&m, &states, &mut d, &mut e);
         assert!(d.as_slice().iter().all(|&v| v == 3.0));

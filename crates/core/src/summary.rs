@@ -90,8 +90,18 @@ mod tests {
 
     #[test]
     fn diff_metric() {
-        let a = Summary { volume: 1.0, mass: 2.0, internal_energy: 3.0, temperature: 4.0 };
-        let b = Summary { volume: 1.0, mass: 2.5, internal_energy: 3.0, temperature: 3.0 };
+        let a = Summary {
+            volume: 1.0,
+            mass: 2.0,
+            internal_energy: 3.0,
+            temperature: 4.0,
+        };
+        let b = Summary {
+            volume: 1.0,
+            mass: 2.5,
+            internal_energy: 3.0,
+            temperature: 3.0,
+        };
         assert_eq!(a.max_abs_diff(&b), 1.0);
     }
 }

@@ -26,7 +26,11 @@ impl Table {
 
     /// Append a data row; must match the header width.
     pub fn row(&mut self, cells: &[String]) -> &mut Self {
-        assert_eq!(cells.len(), self.header.len(), "row width must match header");
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
         self.rows.push(cells.to_vec());
         self
     }

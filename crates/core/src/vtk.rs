@@ -21,13 +21,22 @@ pub fn to_vtk(mesh: &Mesh2d, fields: &[(&str, &Field2d)]) -> String {
     let _ = writeln!(out, "ASCII");
     let _ = writeln!(out, "DATASET STRUCTURED_POINTS");
     // point dimensions = cells + 1 per axis for cell data
-    let _ = writeln!(out, "DIMENSIONS {} {} 1", mesh.x_cells + 1, mesh.y_cells + 1);
+    let _ = writeln!(
+        out,
+        "DIMENSIONS {} {} 1",
+        mesh.x_cells + 1,
+        mesh.y_cells + 1
+    );
     let _ = writeln!(out, "ORIGIN {} {} 0.0", mesh.xmin, mesh.ymin);
     let _ = writeln!(out, "SPACING {} {} 1.0", mesh.dx(), mesh.dy());
     let _ = writeln!(out, "CELL_DATA {}", mesh.interior_len());
     for (name, field) in fields {
         assert_eq!(field.width(), mesh.width(), "field '{name}' width mismatch");
-        assert_eq!(field.height(), mesh.height(), "field '{name}' height mismatch");
+        assert_eq!(
+            field.height(),
+            mesh.height(),
+            "field '{name}' height mismatch"
+        );
         let _ = writeln!(out, "SCALARS {name} double 1");
         let _ = writeln!(out, "LOOKUP_TABLE default");
         for j in mesh.i0()..mesh.j1() {
@@ -100,7 +109,7 @@ mod tests {
     }
 
     #[test]
-    fn write_roundtrip(){
+    fn write_roundtrip() {
         let dir = std::env::temp_dir().join("tea_vtk_test.vtk");
         let mesh = Mesh2d::square(2);
         let f = Field2d::filled(&mesh, 3.0);

@@ -11,7 +11,9 @@ pub struct DeviceBuffer<T> {
 impl<T: Copy + Default> DeviceBuffer<T> {
     /// `cudaMalloc` + `cudaMemset(0)`: allocate `len` zeroed elements.
     pub fn alloc(len: usize) -> Self {
-        DeviceBuffer { data: vec![T::default(); len] }
+        DeviceBuffer {
+            data: vec![T::default(); len],
+        }
     }
 
     /// Element count.

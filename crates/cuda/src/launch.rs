@@ -15,7 +15,10 @@ impl LaunchConfig {
     /// grid up — the overspill threads must be guarded in the kernel.
     pub fn for_n(n: usize, block: usize) -> Self {
         assert!(block > 0);
-        LaunchConfig { grid: n.div_ceil(block), block }
+        LaunchConfig {
+            grid: n.div_ceil(block),
+            block,
+        }
     }
 
     /// Total threads launched (≥ the covered work items).
@@ -73,7 +76,11 @@ pub fn launch_reduce(
         1,
         0,
         1,
-        KernelTraits { streaming: true, reduction: true, ..KernelTraits::default() },
+        KernelTraits {
+            streaming: true,
+            reduction: true,
+            ..KernelTraits::default()
+        },
     );
     stream.ctx.launch(&final_profile);
     value
@@ -107,15 +114,24 @@ mod tests {
         let cfg = LaunchConfig::for_n(n, 256);
         let executed = AtomicUsize::new(0);
         let guarded = AtomicUsize::new(0);
-        launch(&stream, cfg, &KernelProfile::streaming("k", n as u64, 1, 1, 1), &|tid| {
-            executed.fetch_add(1, Ordering::Relaxed);
-            if tid >= n {
-                return; // the overspill guard
-            }
-            guarded.fetch_add(1, Ordering::Relaxed);
-        });
+        launch(
+            &stream,
+            cfg,
+            &KernelProfile::streaming("k", n as u64, 1, 1, 1),
+            &|tid| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                if tid >= n {
+                    return; // the overspill guard
+                }
+                guarded.fetch_add(1, Ordering::Relaxed);
+            },
+        );
         assert_eq!(executed.load(Ordering::Relaxed), 1024, "all threads run");
-        assert_eq!(guarded.load(Ordering::Relaxed), 1000, "guard trims overspill");
+        assert_eq!(
+            guarded.load(Ordering::Relaxed),
+            1000,
+            "guard trims overspill"
+        );
     }
 
     #[test]

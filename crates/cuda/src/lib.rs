@@ -37,7 +37,6 @@
 //! assert_eq!(x.device()[999], 4.0);
 //! ```
 
-
 pub mod buffer;
 pub mod launch;
 

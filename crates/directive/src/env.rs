@@ -203,7 +203,12 @@ mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn gpu_ctx() -> SimContext {
-        SimContext::new(devices::gpu_k20x(), ModelProfile::ideal("OpenMP 4.0"), vec![], 1)
+        SimContext::new(
+            devices::gpu_k20x(),
+            ModelProfile::ideal("OpenMP 4.0"),
+            vec![],
+            1,
+        )
     }
 
     fn profile() -> KernelProfile {
@@ -306,6 +311,10 @@ mod tests {
         );
         let env = DeviceEnv::new(&ctx, &SerialExec, Flavor::OpenAcc);
         let _data = env.target_data(vec![MapClause::new("u", 1 << 30, MapDir::ToFrom)]);
-        assert_eq!(ctx.clock.snapshot().seconds, 0.0, "x86 OpenACC: no PCIe to cross");
+        assert_eq!(
+            ctx.clock.snapshot().seconds,
+            0.0,
+            "x86 OpenACC: no PCIe to cross"
+        );
     }
 }

@@ -41,7 +41,6 @@
 //! assert_eq!(ctx.clock.snapshot().transfers, 2);
 //! ```
 
-
 pub mod env;
 pub mod map;
 

@@ -25,7 +25,11 @@ pub struct MapClause {
 impl MapClause {
     /// Build a clause.
     pub fn new(name: &str, bytes: u64, dir: MapDir) -> Self {
-        MapClause { name: name.to_string(), bytes, dir }
+        MapClause {
+            name: name.to_string(),
+            bytes,
+            dir,
+        }
     }
 
     /// Transfers on region entry?

@@ -179,7 +179,10 @@ impl<'a> ExecutionSpace<'a> {
         self.ctx.launch(profile);
         let team_size = policy.team_size;
         self.exec.run(policy.league_size, &|league_rank| {
-            f(TeamMember { league_rank, team_size });
+            f(TeamMember {
+                league_rank,
+                team_size,
+            });
         });
     }
 
@@ -194,7 +197,10 @@ impl<'a> ExecutionSpace<'a> {
         self.ctx.launch(profile);
         let team_size = policy.team_size;
         self.exec.run_sum(policy.league_size, &|league_rank| {
-            f(TeamMember { league_rank, team_size })
+            f(TeamMember {
+                league_rank,
+                team_size,
+            })
         })
     }
 }
@@ -207,7 +213,12 @@ mod tests {
     use simdev::{devices, ModelProfile, SimContext};
 
     fn ctx() -> SimContext {
-        SimContext::new(devices::cpu_xeon_e5_2670_x2(), ModelProfile::ideal("Kokkos"), vec![], 1)
+        SimContext::new(
+            devices::cpu_xeon_e5_2670_x2(),
+            ModelProfile::ideal("Kokkos"),
+            vec![],
+            1,
+        )
     }
 
     fn profile(n: u64) -> KernelProfile {
@@ -261,7 +272,10 @@ mod tests {
             let slot = parpool::UnsafeSlice::new(&mut grid);
             space.team_parallel_for(
                 &profile((rows * cols) as u64),
-                TeamPolicy { league_size: rows, team_size: 4 },
+                TeamPolicy {
+                    league_size: rows,
+                    team_size: 4,
+                },
                 &|member| {
                     member.team_thread_range(cols, |c| {
                         // SAFETY: league ranks are distinct rows.
@@ -281,7 +295,10 @@ mod tests {
         let value = |r: usize, c: usize| ((r * cols + c) as f64).sqrt();
         let team = space.team_parallel_reduce(
             &profile((rows * cols) as u64),
-            TeamPolicy { league_size: rows, team_size: 4 },
+            TeamPolicy {
+                league_size: rows,
+                team_size: 4,
+            },
             &|m| m.team_thread_reduce(cols, |c| value(m.league_rank, c)),
         );
         // serial row-ordered reference
@@ -315,7 +332,11 @@ mod tests {
         let mut y_functor = vec![1.0; 32];
         let mut y_lambda = vec![1.0; 32];
         {
-            let functor = Axpy { alpha: 0.5, x: &x, y: parpool::UnsafeSlice::new(&mut y_functor) };
+            let functor = Axpy {
+                alpha: 0.5,
+                x: &x,
+                y: parpool::UnsafeSlice::new(&mut y_functor),
+            };
             space.parallel_for_functor(&profile(32), RangePolicy::new(0, 32), &functor);
         }
         {

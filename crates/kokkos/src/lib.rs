@@ -32,7 +32,6 @@
 //! assert_eq!(total, 512.0);
 //! ```
 
-
 pub mod exec;
 pub mod reducer;
 pub mod view;

@@ -37,8 +37,21 @@ pub struct View {
 
 impl View {
     /// Allocate a zero-initialised view (Kokkos zero-fills on allocation).
-    pub fn new(label: &str, dim0: usize, dim1: usize, layout: Layout, space: MemorySpaceKind) -> Self {
-        View { label: label.to_string(), data: vec![0.0; dim0 * dim1], dim0, dim1, layout, space }
+    pub fn new(
+        label: &str,
+        dim0: usize,
+        dim1: usize,
+        layout: Layout,
+        space: MemorySpaceKind,
+    ) -> Self {
+        View {
+            label: label.to_string(),
+            data: vec![0.0; dim0 * dim1],
+            dim0,
+            dim1,
+            layout,
+            space,
+        }
     }
 
     /// Device view with the layout Kokkos would pick for the space.
@@ -159,7 +172,11 @@ impl View {
 /// # Panics
 /// Panics if extents differ.
 pub fn deep_copy(ctx: &SimContext, dst: &mut View, src: &View) {
-    assert_eq!(dst.extents(), src.extents(), "deep_copy requires matching extents");
+    assert_eq!(
+        dst.extents(),
+        src.extents(),
+        "deep_copy requires matching extents"
+    );
     if dst.layout == src.layout {
         dst.data.copy_from_slice(&src.data);
     } else {
@@ -177,7 +194,12 @@ mod tests {
     use simdev::{devices, ModelProfile, SimContext};
 
     fn ctx_gpu() -> SimContext {
-        SimContext::new(devices::gpu_k20x(), ModelProfile::ideal("Kokkos"), vec![], 1)
+        SimContext::new(
+            devices::gpu_k20x(),
+            ModelProfile::ideal("Kokkos"),
+            vec![],
+            1,
+        )
     }
 
     #[test]

@@ -33,7 +33,6 @@
 //! assert_eq!(results, vec![6.0; 4]); // 0+1+2+3 on every rank
 //! ```
 
-
 pub mod world;
 
 pub use world::{run_spmd, Rank, Tag};

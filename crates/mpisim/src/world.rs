@@ -41,7 +41,11 @@ impl Rank {
     pub fn send(&self, to: usize, tag: Tag, payload: Vec<f64>) {
         assert!(to < self.size, "rank {to} out of range");
         self.senders[to]
-            .send(Message { from: self.id, tag, payload })
+            .send(Message {
+                from: self.id,
+                tag,
+                payload,
+            })
             .expect("receiving rank has hung up");
     }
 
@@ -350,7 +354,9 @@ mod ordered_tests {
         for p in parts.iter().flatten() {
             expect += p;
         }
-        let out = run_spmd(parts.len(), |rank| rank.allreduce_ordered(&parts[rank.id()]));
+        let out = run_spmd(parts.len(), |rank| {
+            rank.allreduce_ordered(&parts[rank.id()])
+        });
         for v in out {
             assert_eq!(v, expect);
         }
@@ -360,7 +366,9 @@ mod ordered_tests {
     fn ordered_components_allreduce() {
         let parts: Vec<Vec<[f64; 2]>> =
             vec![vec![[1.0, 10.0], [2.0, 20.0]], vec![[3.0, 30.0]], vec![]];
-        let out = run_spmd(3, |rank| rank.allreduce_ordered_components(&parts[rank.id()]));
+        let out = run_spmd(3, |rank| {
+            rank.allreduce_ordered_components(&parts[rank.id()])
+        });
         for v in out {
             assert_eq!(v, [6.0, 60.0]);
         }

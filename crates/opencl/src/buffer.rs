@@ -14,7 +14,9 @@ pub struct Buffer<T> {
 impl<T: Copy + Default> Buffer<T> {
     /// `clCreateBuffer`: allocate `len` elements on the context's device.
     pub fn new(_context: &Context, len: usize) -> Self {
-        Buffer { data: vec![T::default(); len] }
+        Buffer {
+            data: vec![T::default(); len],
+        }
     }
 
     /// Element count.
@@ -65,7 +67,11 @@ mod tests {
     use simdev::devices;
 
     fn ctx() -> Context {
-        Context::new(Platform::list()[0].devices(&[devices::gpu_k20x()]).remove(0))
+        Context::new(
+            Platform::list()[0]
+                .devices(&[devices::gpu_k20x()])
+                .remove(0),
+        )
     }
 
     #[test]

@@ -39,7 +39,6 @@
 //! assert_eq!(sum, 192.0);
 //! ```
 
-
 pub mod buffer;
 pub mod platform;
 pub mod queue;

@@ -24,7 +24,11 @@ impl Platform {
     /// Enumerate the devices this platform can target, given the device
     /// models available to the process.
     pub fn devices(&self, specs: &[DeviceSpec]) -> Vec<ClDevice> {
-        specs.iter().cloned().map(|spec| ClDevice { spec }).collect()
+        specs
+            .iter()
+            .cloned()
+            .map(|spec| ClDevice { spec })
+            .collect()
     }
 }
 
@@ -81,7 +85,9 @@ mod tests {
 
     #[test]
     fn context_wraps_device() {
-        let dev = Platform::list()[0].devices(&[devices::gpu_k20x()]).remove(0);
+        let dev = Platform::list()[0]
+            .devices(&[devices::gpu_k20x()])
+            .remove(0);
         let ctx = Context::new(dev);
         assert_eq!(ctx.device().name(), "NVIDIA K20X GPU");
     }

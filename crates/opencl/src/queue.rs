@@ -20,12 +20,18 @@ pub struct NdRange {
 impl NdRange {
     /// A 1-D range of `global` work items.
     pub fn d1(global: usize) -> Self {
-        NdRange { global, local: None }
+        NdRange {
+            global,
+            local: None,
+        }
     }
 
     /// A 1-D range with an explicit work-group size.
     pub fn d1_local(global: usize, local: usize) -> Self {
-        NdRange { global, local: Some(local) }
+        NdRange {
+            global,
+            local: Some(local),
+        }
     }
 }
 
@@ -44,7 +50,11 @@ pub struct Kernel {
 impl Kernel {
     /// `clCreateKernel`: declare a kernel with `num_args` arguments.
     pub fn create(name: &'static str, num_args: usize) -> Self {
-        Kernel { name, num_args, args_set: RefCell::new(HashSet::new()) }
+        Kernel {
+            name,
+            num_args,
+            args_set: RefCell::new(HashSet::new()),
+        }
     }
 
     /// Kernel name.
@@ -57,7 +67,12 @@ impl Kernel {
     /// # Panics
     /// Panics if `index` is out of range for the declared argument count.
     pub fn set_arg(&self, index: usize) {
-        assert!(index < self.num_args, "kernel '{}' has {} args", self.name, self.num_args);
+        assert!(
+            index < self.num_args,
+            "kernel '{}' has {} args",
+            self.name,
+            self.num_args
+        );
         self.args_set.borrow_mut().insert(index);
     }
 
@@ -72,7 +87,12 @@ impl Kernel {
     fn assert_ready(&self) {
         let set = self.args_set.borrow();
         for i in 0..self.num_args {
-            assert!(set.contains(&i), "kernel '{}': argument {} not set", self.name, i);
+            assert!(
+                set.contains(&i),
+                "kernel '{}': argument {} not set",
+                self.name,
+                i
+            );
         }
     }
 }
@@ -144,7 +164,10 @@ impl<'a> CommandQueue<'a> {
     ) -> Event {
         kernel.assert_ready();
         if let Some(local) = range.local {
-            assert!(local > 0 && range.global.is_multiple_of(local), "global size must be a multiple of local size");
+            assert!(
+                local > 0 && range.global.is_multiple_of(local),
+                "global size must be a multiple of local size"
+            );
         }
         let start = self.sim.clock.seconds();
         let duration = self.sim.launch(profile);
@@ -174,10 +197,20 @@ impl<'a> CommandQueue<'a> {
             1,
             0,
             1,
-            KernelTraits { streaming: true, reduction: true, ..KernelTraits::default() },
+            KernelTraits {
+                streaming: true,
+                reduction: true,
+                ..KernelTraits::default()
+            },
         );
         let d2 = self.sim.launch(&final_profile);
-        (value, Event { start, duration: d1 + d2 })
+        (
+            value,
+            Event {
+                start,
+                duration: d1 + d2,
+            },
+        )
     }
 
     /// The OpenCL 2.0 built-in work-group reduction
@@ -217,8 +250,17 @@ mod tests {
     use simdev::{devices, ModelProfile};
 
     fn setup() -> (Context, SimContext) {
-        let cl_ctx = Context::new(Platform::list()[0].devices(&[devices::gpu_k20x()]).remove(0));
-        let sim = SimContext::new(devices::gpu_k20x(), ModelProfile::ideal("OpenCL"), vec![], 1);
+        let cl_ctx = Context::new(
+            Platform::list()[0]
+                .devices(&[devices::gpu_k20x()])
+                .remove(0),
+        );
+        let sim = SimContext::new(
+            devices::gpu_k20x(),
+            ModelProfile::ideal("OpenCL"),
+            vec![],
+            1,
+        );
         (cl_ctx, sim)
     }
 

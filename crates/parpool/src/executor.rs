@@ -31,6 +31,31 @@ pub trait Executor: Send + Sync {
         partials.iter().sum()
     }
 
+    /// Deterministic 4-component sum (the TeaLeaf field summary computes
+    /// volume/mass/internal-energy/temperature in one sweep): one
+    /// `[f64; 4]` partial per index, combined in index order. A concrete
+    /// arity (rather than `const K`) keeps the trait object-safe, letting
+    /// pools override it with an allocation-free implementation.
+    fn run_sum4(&self, n: usize, f: &(dyn Fn(usize) -> [f64; 4] + Sync)) -> [f64; 4] {
+        // Not expressed via `run_sum_many` — that helper routes K == 4
+        // calls back here so pools get their scratch fast path, and the
+        // default must therefore be self-contained.
+        let mut partials = vec![[0.0f64; 4]; n];
+        {
+            let slot = crate::shared::UnsafeSlice::new(&mut partials);
+            self.run(n, &|i| {
+                // SAFETY: disjoint per-index writes as in `run_sum`.
+                unsafe { slot.set(i, f(i)) };
+            });
+        }
+        let mut acc = [0.0f64; 4];
+        for p in &partials {
+            for k in 0..4 {
+                acc[k] += p[k];
+            }
+        }
+        acc
+    }
 }
 
 /// Deterministic multi-component sum (e.g. a 4-way field summary): one
@@ -41,6 +66,18 @@ pub fn run_sum_many<const K: usize>(
     n: usize,
     f: &(dyn Fn(usize) -> [f64; K] + Sync),
 ) -> [f64; K] {
+    if K == 4 {
+        // Route through the object-safe fixed-arity hook so pools can use
+        // their allocation-free scratch; the fold order (per-index, per
+        // component) is identical, so the result is bit-identical.
+        let out = exec.run_sum4(n, &|i| {
+            let v = f(i);
+            [v[0], v[1], v[2], v[3]]
+        });
+        let mut acc = [0.0f64; K];
+        acc.copy_from_slice(&out);
+        return acc;
+    }
     let mut partials = vec![[0.0f64; K]; n];
     {
         let slot = crate::shared::UnsafeSlice::new(&mut partials);

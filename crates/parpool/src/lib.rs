@@ -33,7 +33,6 @@
 //! assert_eq!(pool.run_sum(1000, &f), SerialExec.run_sum(1000, &f));
 //! ```
 
-
 pub mod executor;
 pub mod shared;
 pub mod static_pool;
@@ -48,7 +47,9 @@ use std::sync::OnceLock;
 
 /// Default worker count: the machine's available parallelism.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 /// Shared process-wide static pool (created on first use).

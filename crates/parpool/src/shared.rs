@@ -30,7 +30,11 @@ impl<'a, T> UnsafeSlice<'a, T> {
     /// underlying storage cannot be touched through any other path while
     /// the `UnsafeSlice` is alive.
     pub fn new(slice: &'a mut [T]) -> Self {
-        UnsafeSlice { ptr: slice.as_mut_ptr(), len: slice.len(), _marker: PhantomData }
+        UnsafeSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
     }
 
     /// Element count.
@@ -82,9 +86,48 @@ impl<'a, T> UnsafeSlice<'a, T> {
     }
 }
 
+/// Pads and aligns a value to a 64-byte cache line so hot atomics owned by
+/// different threads never share a line (the classic false-sharing fix;
+/// mirrors `crossbeam_utils::CachePadded`).
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wrap `value` in its own cache line.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    #[inline(always)]
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    #[inline(always)]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cache_padded_is_line_aligned() {
+        let x = CachePadded::new(7u8);
+        assert_eq!(std::mem::align_of_val(&x), 64);
+        assert!(std::mem::size_of_val(&x) >= 64);
+        assert_eq!(*x, 7);
+    }
 
     #[test]
     fn single_thread_roundtrip() {

@@ -1,20 +1,42 @@
 //! A persistent fork-join pool with OpenMP-style static scheduling.
 //!
-//! Workers are spawned once and parked on a condvar. Each parallel region
-//! (`run`) assigns worker `w` the contiguous index block
-//! `[w·n/W, (w+1)·n/W)` — the analogue of `#pragma omp parallel for
+//! Workers are spawned once and wait for work on a **generation barrier**:
+//! the poster publishes a job, then bumps an atomic generation counter;
+//! workers spin on the counter for a few microseconds (the common case in a
+//! solver inner loop, where the next region arrives almost immediately) and
+//! only park on a condvar when no work shows up. This replaces the earlier
+//! mutex+condvar handshake, which paid two lock round-trips per worker per
+//! region and dominated the cost of dispatch-bound kernels on small meshes.
+//!
+//! Each parallel region (`run`) assigns worker `w` the contiguous index
+//! block `[w·n/W, (w+1)·n/W)` — the analogue of `#pragma omp parallel for
 //! schedule(static)` with `OMP_PROC_BIND=close`, which is how the paper ran
 //! its CPU and KNC experiments (§4.1, §4.3: "thread affinity set to
 //! compact").
+//!
+//! ## Determinism of reductions
+//!
+//! [`StaticPool::run_sum`] (and `run_sum4`) keep the crate-wide contract:
+//! one partial **per index**, folded sequentially in index order. Per-worker
+//! block pre-summation would be cheaper but regroups the floating-point
+//! additions — `(a₀+a₁)+(a₂+a₃)` is not `((a₀+a₁)+a₂)+a₃` — and so would
+//! break bit-identity with [`SerialExec`](crate::SerialExec) and with other
+//! thread counts. What the rework removes instead is the *allocation*: the
+//! pool owns grow-only scratch buffers behind the poster lock, so
+//! steady-state reductions never touch the heap. Writes to the scratch are
+//! per-index and thus disjoint; only the handful of indices at block
+//! boundaries ever share a cache line.
 
+use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::executor::Executor;
+use crate::shared::{CachePadded, UnsafeSlice};
 
 /// Type-erased pointer to the parallel-region body.
 ///
@@ -30,25 +52,63 @@ struct JobFn {
 unsafe impl Send for JobFn {}
 unsafe impl Sync for JobFn {}
 
-struct Slot {
-    /// Monotonic job counter; workers run the job whose generation they
-    /// have not yet executed.
-    generation: u64,
-    job: Option<(JobFn, usize)>,
-    workers_done: usize,
-    shutdown: bool,
+/// Spin iterations before a waiter parks (workers) or blocks (poster).
+/// Roughly a few microseconds on current hardware — comparable to OpenMP's
+/// default `OMP_WAIT_POLICY=passive` grace spin, and far longer than the
+/// gap between back-to-back regions in a solver inner loop.
+const SPIN_ITERS: u32 = 4096;
+
+/// Barrier state shared between the poster and the workers.
+///
+/// The handshake per region is:
+/// 1. poster writes `job` and resets `done`, then bumps `generation`
+///    (Release) — the bump *publishes* the job;
+/// 2. workers observe the bump (Acquire), read `job`, execute their static
+///    block, then increment `done` (AcqRel);
+/// 3. the last worker to finish notifies `done_cv` in case the poster gave
+///    up spinning; the poster returns once `done == n_threads`.
+///
+/// `generation` and `done` live on separate cache lines: workers hammer
+/// `generation` while spinning and `done` while finishing, and the poster
+/// does the reverse; sharing a line would bounce it on every transition.
+struct Barrier {
+    /// Monotonic epoch counter. Odd/even sense is not needed — workers
+    /// remember the last generation they executed and react to any change.
+    generation: CachePadded<AtomicU64>,
+    /// Workers that have finished the current region.
+    done: CachePadded<AtomicUsize>,
+    /// Job published before the `generation` bump. Only valid for workers
+    /// that observed a generation they have not yet executed.
+    job: UnsafeCell<Option<(JobFn, usize)>>,
+    shutdown: AtomicBool,
+    panicked: AtomicBool,
+    /// Count of parked workers, guarded by the mutex `idle_cv` waits on.
+    idle: Mutex<usize>,
+    idle_cv: Condvar,
+    /// Poster parking for long regions (taken only after the spin budget).
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
 }
 
-struct Shared {
-    slot: Mutex<Slot>,
-    work_cv: Condvar,
-    done_cv: Condvar,
-    panicked: AtomicBool,
+// SAFETY: `job` is written only by the poster before the Release bump of
+// `generation` and read only by workers after the matching Acquire load, so
+// accesses are ordered; there is exactly one poster at a time (guarded by
+// the pool's poster lock).
+unsafe impl Sync for Barrier {}
+
+/// Reduction scratch owned by the pool, reused across regions so
+/// `run_sum`/`run_sum4` are allocation-free once warmed up.
+struct Scratch {
+    partials: Vec<f64>,
+    partials4: Vec<[f64; 4]>,
 }
 
 /// Persistent static-scheduling thread pool. See module docs.
 pub struct StaticPool {
-    shared: Arc<Shared>,
+    barrier: Arc<Barrier>,
+    /// Serialises parallel regions (the generation protocol is single-
+    /// poster) and owns the reduction scratch.
+    poster: Mutex<Scratch>,
     workers: Vec<JoinHandle<()>>,
     n_threads: usize,
 }
@@ -60,63 +120,121 @@ impl StaticPool {
     /// Panics if `n_threads == 0`.
     pub fn new(n_threads: usize) -> Self {
         assert!(n_threads > 0, "pool needs at least one worker");
-        let shared = Arc::new(Shared {
-            slot: Mutex::new(Slot { generation: 0, job: None, workers_done: 0, shutdown: false }),
-            work_cv: Condvar::new(),
-            done_cv: Condvar::new(),
+        let barrier = Arc::new(Barrier {
+            generation: CachePadded::new(AtomicU64::new(0)),
+            done: CachePadded::new(AtomicUsize::new(0)),
+            job: UnsafeCell::new(None),
+            shutdown: AtomicBool::new(false),
             panicked: AtomicBool::new(false),
+            idle: Mutex::new(0),
+            idle_cv: Condvar::new(),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
         });
         let workers = (0..n_threads)
             .map(|w| {
-                let shared = Arc::clone(&shared);
+                let barrier = Arc::clone(&barrier);
                 std::thread::Builder::new()
                     .name(format!("parpool-static-{w}"))
-                    .spawn(move || worker_loop(w, n_threads, shared))
+                    .spawn(move || worker_loop(w, n_threads, barrier))
                     .expect("failed to spawn pool worker")
             })
             .collect();
-        StaticPool { shared, workers, n_threads }
+        StaticPool {
+            barrier,
+            poster: Mutex::new(Scratch {
+                partials: Vec::new(),
+                partials4: Vec::new(),
+            }),
+            workers,
+            n_threads,
+        }
     }
 
+    /// Publish a region and block until every worker has executed its
+    /// block. Caller must hold the poster lock (single-poster protocol).
     fn post_and_wait(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
         // Erase the caller lifetime. SAFETY: we do not return until every
         // worker has finished executing the job, so the borrow stays live
         // for the whole time any worker can dereference it.
-        let job = JobFn { ptr: unsafe { std::mem::transmute::<_, *const (dyn Fn(usize) + Sync)>(f) } };
-        let mut slot = self.shared.slot.lock();
-        slot.generation += 1;
-        slot.job = Some((job, n));
-        slot.workers_done = 0;
-        self.shared.work_cv.notify_all();
-        while slot.workers_done < self.n_threads {
-            self.shared.done_cv.wait(&mut slot);
+        let job = JobFn {
+            ptr: unsafe { std::mem::transmute::<_, *const (dyn Fn(usize) + Sync)>(f) },
+        };
+        let b = &*self.barrier;
+        b.done.store(0, Ordering::Relaxed);
+        // SAFETY: single poster; workers read `job` only after observing
+        // the generation bump below, which orders this write before them.
+        unsafe { *b.job.get() = Some((job, n)) };
+        b.generation.fetch_add(1, Ordering::Release);
+        // Wake anyone who parked. Taking the lock (not just reading the
+        // counter) closes the race with a worker that is between its final
+        // generation check and the condvar wait.
+        {
+            let idle = b.idle.lock();
+            if *idle > 0 {
+                b.idle_cv.notify_all();
+            }
         }
-        slot.job = None;
-        drop(slot);
-        if self.shared.panicked.swap(false, Ordering::SeqCst) {
+        // Wait for completion: spin first (regions are usually short),
+        // then park on `done_cv`.
+        let mut spins = 0u32;
+        while b.done.load(Ordering::Acquire) < self.n_threads {
+            if spins < SPIN_ITERS {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                let mut guard = b.done_lock.lock();
+                while b.done.load(Ordering::Acquire) < self.n_threads {
+                    b.done_cv.wait(&mut guard);
+                }
+                break;
+            }
+        }
+        if b.panicked.swap(false, Ordering::SeqCst) {
             panic!("a parpool worker panicked while executing a parallel region");
         }
     }
 }
 
-fn worker_loop(worker: usize, n_threads: usize, shared: Arc<Shared>) {
-    let mut seen_generation = 0u64;
+/// Wait until `generation` moves past `seen`; spin briefly, then park.
+fn wait_for_generation(b: &Barrier, seen: u64) -> u64 {
+    let mut spins = 0u32;
     loop {
-        let (job, n, generation) = {
-            let mut slot = shared.slot.lock();
-            loop {
-                if slot.shutdown {
-                    return;
-                }
-                if slot.generation > seen_generation {
-                    if let Some((job, n)) = slot.job {
-                        break (job, n, slot.generation);
-                    }
-                }
-                shared.work_cv.wait(&mut slot);
+        let g = b.generation.load(Ordering::Acquire);
+        if g != seen {
+            return g;
+        }
+        if spins < SPIN_ITERS {
+            spins += 1;
+            std::hint::spin_loop();
+        } else {
+            let mut idle = b.idle.lock();
+            // Re-check under the lock: the poster bumps the generation
+            // *before* taking this lock to notify, so either we see the
+            // bump here or the poster's notify can only happen after we
+            // are registered as a sleeper and inside `wait`.
+            let g = b.generation.load(Ordering::Acquire);
+            if g != seen {
+                return g;
             }
-        };
-        seen_generation = generation;
+            *idle += 1;
+            b.idle_cv.wait(&mut idle);
+            *idle -= 1;
+            spins = 0;
+        }
+    }
+}
+
+fn worker_loop(worker: usize, n_threads: usize, barrier: Arc<Barrier>) {
+    let mut seen = 0u64;
+    loop {
+        seen = wait_for_generation(&barrier, seen);
+        if barrier.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // SAFETY: the generation bump (Acquire-observed above) was
+        // published after the poster wrote `job`.
+        let (job, n) = unsafe { (*barrier.job.get()).expect("job published with generation") };
         // Static contiguous block for this worker.
         let start = worker * n / n_threads;
         let end = (worker + 1) * n / n_threads;
@@ -130,13 +248,13 @@ fn worker_loop(worker: usize, n_threads: usize, shared: Arc<Shared>) {
                 }
             }));
             if result.is_err() {
-                shared.panicked.store(true, Ordering::SeqCst);
+                barrier.panicked.store(true, Ordering::SeqCst);
             }
         }
-        let mut slot = shared.slot.lock();
-        slot.workers_done += 1;
-        if slot.workers_done == n_threads {
-            shared.done_cv.notify_all();
+        // Signal completion; the last worker wakes the poster if it parked.
+        if barrier.done.fetch_add(1, Ordering::AcqRel) + 1 == n_threads {
+            let _guard = barrier.done_lock.lock();
+            barrier.done_cv.notify_one();
         }
     }
 }
@@ -150,23 +268,89 @@ impl Executor for StaticPool {
         if n == 0 {
             return;
         }
-        // Tiny trip counts aren't worth a barrier.
-        if n == 1 || self.n_threads == 1 {
+        // Inline fast path: when there are fewer items than workers the
+        // barrier round-trip costs more than the work; run on the posting
+        // thread in index order (which also keeps reductions built on
+        // `run` bit-identical — see `run_sum`).
+        if n < self.n_threads || self.n_threads == 1 {
             for i in 0..n {
                 f(i);
             }
             return;
         }
+        let _poster = self.poster.lock();
         self.post_and_wait(n, f);
+    }
+
+    fn run_sum(&self, n: usize, f: &(dyn Fn(usize) -> f64 + Sync)) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        if n < self.n_threads || self.n_threads == 1 {
+            // Left fold from 0.0 in index order — exactly the fold the
+            // partial-buffer path below performs, so the inline shortcut
+            // cannot change the result.
+            let mut acc = 0.0f64;
+            for i in 0..n {
+                acc += f(i);
+            }
+            return acc;
+        }
+        let mut scratch = self.poster.lock();
+        if scratch.partials.len() < n {
+            scratch.partials.resize(n, 0.0);
+        }
+        {
+            let slot = UnsafeSlice::new(&mut scratch.partials[..n]);
+            // SAFETY: each index is visited exactly once → disjoint writes.
+            self.post_and_wait(n, &|i| unsafe { slot.set(i, f(i)) });
+        }
+        scratch.partials[..n].iter().sum()
+    }
+
+    fn run_sum4(&self, n: usize, f: &(dyn Fn(usize) -> [f64; 4] + Sync)) -> [f64; 4] {
+        if n == 0 {
+            return [0.0; 4];
+        }
+        if n < self.n_threads || self.n_threads == 1 {
+            let mut acc = [0.0f64; 4];
+            for i in 0..n {
+                let v = f(i);
+                for k in 0..4 {
+                    acc[k] += v[k];
+                }
+            }
+            return acc;
+        }
+        let mut scratch = self.poster.lock();
+        if scratch.partials4.len() < n {
+            scratch.partials4.resize(n, [0.0; 4]);
+        }
+        {
+            let slot = UnsafeSlice::new(&mut scratch.partials4[..n]);
+            // SAFETY: disjoint per-index writes as in `run_sum`.
+            self.post_and_wait(n, &|i| unsafe { slot.set(i, f(i)) });
+        }
+        let mut acc = [0.0f64; 4];
+        for p in &scratch.partials4[..n] {
+            for k in 0..4 {
+                acc[k] += p[k];
+            }
+        }
+        acc
     }
 }
 
 impl Drop for StaticPool {
     fn drop(&mut self) {
+        let b = &*self.barrier;
+        b.shutdown.store(true, Ordering::Release);
+        // The bump wakes spinners; the notify wakes parked workers. The
+        // Release bump also publishes the shutdown flag to Acquire readers.
+        b.generation.fetch_add(1, Ordering::Release);
         {
-            let mut slot = self.shared.slot.lock();
-            slot.shutdown = true;
-            self.shared.work_cv.notify_all();
+            let _idle = b.idle.lock();
+            b.idle_cv.notify_all();
         }
         for handle in self.workers.drain(..) {
             let _ = handle.join();
@@ -197,6 +381,36 @@ mod tests {
         let par = pool.run_sum(50_000, &f);
         let ser = crate::SerialExec.run_sum(50_000, &f);
         assert_eq!(par, ser, "ordered reduction must be bit-identical");
+    }
+
+    #[test]
+    fn sum_bit_identical_across_inline_and_pool_paths() {
+        // Pin the inline shortcut (n < n_threads) to the exact same fold
+        // as the pooled partial-buffer path and as SerialExec, for trip
+        // counts straddling every dispatch-path boundary.
+        let t = 6;
+        let pool = StaticPool::new(t);
+        let f = |i: usize| ((i as f64) * 0.37).cos() / ((i % 13) as f64 + 0.5);
+        for n in [0, 1, t - 1, t, 10 * t] {
+            let par = pool.run_sum(n, &f);
+            let ser = crate::SerialExec.run_sum(n, &f);
+            assert_eq!(par, ser, "n = {n}: inline/pool path changed the reduction");
+            let par4 = pool.run_sum4(n, &|i| [f(i), 2.0 * f(i), -f(i), 0.0]);
+            let ser4 = crate::SerialExec.run_sum4(n, &|i| [f(i), 2.0 * f(i), -f(i), 0.0]);
+            assert_eq!(par4, ser4, "n = {n}: run_sum4 diverged");
+        }
+    }
+
+    #[test]
+    fn run_sum_is_reusable_and_scratch_grows() {
+        let pool = StaticPool::new(4);
+        // Descending sizes exercise the grow-only scratch with stale tail
+        // contents; ascending re-grow after shrink.
+        for n in [10_000, 100, 10_000, 64, 4, 1] {
+            let par = pool.run_sum(n, &|i| 1.0 / (i as f64 + 1.0));
+            let ser = crate::SerialExec.run_sum(n, &|i| 1.0 / (i as f64 + 1.0));
+            assert_eq!(par, ser, "n = {n}");
+        }
     }
 
     #[test]
@@ -233,6 +447,36 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_posters_serialise() {
+        // Two threads race `run` on the same pool; the poster lock must
+        // serialise regions without lost updates or deadlock.
+        let pool = StaticPool::new(4);
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    for _ in 0..200 {
+                        pool.run(32, &|_| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 2 * 200 * 32);
+    }
+
+    #[test]
+    fn parked_workers_wake_after_idle_gap() {
+        let pool = StaticPool::new(4);
+        pool.run(64, &|_| {});
+        // Long enough for every worker to blow its spin budget and park.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let s = pool.run_sum(1000, &|i| i as f64);
+        assert_eq!(s, 499_500.0);
+    }
+
+    #[test]
     fn worker_panic_propagates() {
         let pool = StaticPool::new(2);
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
@@ -253,5 +497,13 @@ mod tests {
         let pool = StaticPool::new(2);
         pool.run(4, &|_| {});
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn drop_wakes_parked_workers() {
+        let pool = StaticPool::new(2);
+        pool.run(4, &|_| {});
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        drop(pool); // workers are parked; drop must still not hang
     }
 }

@@ -76,7 +76,12 @@ impl StealPool {
         assert!(n_threads > 0, "pool needs at least one worker");
         let shared = Arc::new(Shared {
             injector: Injector::new(),
-            slot: Mutex::new(Slot { generation: 0, job: None, active: 0, shutdown: false }),
+            slot: Mutex::new(Slot {
+                generation: 0,
+                job: None,
+                active: 0,
+                shutdown: false,
+            }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             remaining: AtomicUsize::new(0),
@@ -97,7 +102,12 @@ impl StealPool {
                     .expect("failed to spawn steal-pool worker")
             })
             .collect();
-        StealPool { shared, stealers, workers, n_threads }
+        StealPool {
+            shared,
+            stealers,
+            workers,
+            n_threads,
+        }
     }
 
     /// Steals recorded since pool creation — a visible imbalance signal.
@@ -106,7 +116,12 @@ impl StealPool {
     }
 }
 
-fn worker_loop(worker: usize, local: Worker<Task>, victims: Vec<Stealer<Task>>, shared: Arc<Shared>) {
+fn worker_loop(
+    worker: usize,
+    local: Worker<Task>,
+    victims: Vec<Stealer<Task>>,
+    shared: Arc<Shared>,
+) {
     let mut seen_generation = 0u64;
     loop {
         // Wait for a new region (or shutdown).
@@ -218,8 +233,9 @@ impl Executor for StealPool {
         // Erase the caller lifetime. SAFETY: `run` blocks until `remaining`
         // is zero *and* no worker is active, so the borrow outlives every
         // dereference (see the worker loop).
-        let job =
-            JobFn { ptr: unsafe { std::mem::transmute::<_, *const (dyn Fn(usize) + Sync)>(f) } };
+        let job = JobFn {
+            ptr: unsafe { std::mem::transmute::<_, *const (dyn Fn(usize) + Sync)>(f) },
+        };
         let mut slot = self.shared.slot.lock();
         slot.generation += 1;
         slot.job = Some(job);
@@ -271,7 +287,10 @@ mod tests {
         let f = |i: usize| ((i as f64) * 0.37).cos() * (i as f64 + 0.5);
         let par = pool.run_sum(30_000, &f);
         let ser = crate::SerialExec.run_sum(30_000, &f);
-        assert_eq!(par, ser, "ordered reduction must be bit-identical even with stealing");
+        assert_eq!(
+            par, ser,
+            "ordered reduction must be bit-identical even with stealing"
+        );
     }
 
     #[test]

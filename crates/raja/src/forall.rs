@@ -121,7 +121,12 @@ mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn ctx() -> SimContext {
-        SimContext::new(devices::cpu_xeon_e5_2670_x2(), ModelProfile::ideal("RAJA"), vec![], 1)
+        SimContext::new(
+            devices::cpu_xeon_e5_2670_x2(),
+            ModelProfile::ideal("RAJA"),
+            vec![],
+            1,
+        )
     }
 
     fn profile() -> KernelProfile {
@@ -164,7 +169,10 @@ mod tests {
         let t_range = ctx.clock.snapshot().seconds;
         forall::<SeqExec>(&rt, &list, &p, &|_| {});
         let t_list = ctx.clock.snapshot().seconds - t_range;
-        assert!(t_list > 1.25 * t_range, "indirection must cost: {t_list} vs {t_range}");
+        assert!(
+            t_list > 1.25 * t_range,
+            "indirection must cost: {t_list} vs {t_range}"
+        );
     }
 
     #[test]
@@ -185,9 +193,8 @@ mod tests {
         let ctx = ctx();
         let rt = RajaRuntime::new(&ctx, &SerialExec);
         let seg = Segment::Range(RangeSegment::new(0, 4));
-        let [s, q] = forall_sum_many::<SeqExec, 2>(&rt, &seg, &profile(), &|i| {
-            [i as f64, (i * i) as f64]
-        });
+        let [s, q] =
+            forall_sum_many::<SeqExec, 2>(&rt, &seg, &profile(), &|i| [i as f64, (i * i) as f64]);
         assert_eq!(s, 6.0);
         assert_eq!(q, 14.0);
     }

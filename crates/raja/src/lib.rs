@@ -35,7 +35,6 @@
 //! assert_eq!(total, 16.0 * 1.5);
 //! ```
 
-
 pub mod forall;
 pub mod indexset;
 pub mod policy;

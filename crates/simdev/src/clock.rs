@@ -68,7 +68,13 @@ impl SimClock {
     }
 
     /// Record one kernel execution.
-    pub fn charge_kernel_named(&self, name: &'static str, seconds: f64, app_bytes: u64, flops: u64) {
+    pub fn charge_kernel_named(
+        &self,
+        name: &'static str,
+        seconds: f64,
+        app_bytes: u64,
+        flops: u64,
+    ) {
         let mut map = self.by_kernel.borrow_mut();
         let entry = map.entry(name).or_insert((0, 0.0));
         entry.0 += 1;

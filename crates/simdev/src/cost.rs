@@ -33,7 +33,12 @@ impl CostModel {
         } else {
             1.0
         };
-        CostModel { device, model, quirks, run_factor }
+        CostModel {
+            device,
+            model,
+            quirks,
+            run_factor,
+        }
     }
 
     /// Does a kernel launch cross the host→device command path?
@@ -58,8 +63,8 @@ impl CostModel {
             // indirection array").
             bytes += (p.elems * 4) as f64;
         }
-        let mut bw = self.device.bw_for_working_set(p.working_set)
-            * self.model.bw_efficiency.get(kind);
+        let mut bw =
+            self.device.bw_for_working_set(p.working_set) * self.model.bw_efficiency.get(kind);
         // Vectorization matters most for *pure streaming* loops: stencil
         // gathers vectorize poorly even in the tuned baselines, and
         // reduction loops are recognised by the compiler's reduction
@@ -85,16 +90,18 @@ impl CostModel {
             bw /= self.model.reduction_factor.get(kind);
         }
         let mut t = bytes / bw;
-        let mut overhead_us =
-            self.device.launch_overhead_us + self.model.launch_overhead_us.get(kind);
-        if self.pays_offload_latency() {
-            overhead_us += self.device.offload_latency_us;
+        if !p.traits.fused_tail {
+            let mut overhead_us =
+                self.device.launch_overhead_us + self.model.launch_overhead_us.get(kind);
+            if self.pays_offload_latency() {
+                overhead_us += self.device.offload_latency_us;
+            }
+            if p.traits.reduction {
+                // Fixed device-wide synchronisation/readback cost.
+                overhead_us += self.device.reduction_cost_us;
+            }
+            t += overhead_us * self.device.overhead_scale * 1e-6;
         }
-        if p.traits.reduction {
-            // Fixed device-wide synchronisation/readback cost.
-            overhead_us += self.device.reduction_cost_us;
-        }
-        t += overhead_us * self.device.overhead_scale * 1e-6;
         t *= combined_factor(&self.quirks, &self.model.name, kind, p.name);
         t * self.run_factor
     }
@@ -119,13 +126,17 @@ pub struct SimContext {
 impl SimContext {
     /// Create a context for one run.
     pub fn new(device: DeviceSpec, model: ModelProfile, quirks: Vec<Quirk>, seed: u64) -> Self {
-        SimContext { cost: CostModel::new(device, model, quirks, seed), clock: SimClock::new() }
+        SimContext {
+            cost: CostModel::new(device, model, quirks, seed),
+            clock: SimClock::new(),
+        }
     }
 
     /// Charge one kernel launch and return its simulated duration.
     pub fn launch(&self, profile: &KernelProfile) -> f64 {
         let t = self.cost.kernel_seconds(profile);
-        self.clock.charge_kernel_named(profile.name, t, profile.bytes(), profile.flops);
+        self.clock
+            .charge_kernel_named(profile.name, t, profile.bytes(), profile.flops);
         t
     }
 
@@ -173,7 +184,12 @@ mod tests {
 
     #[test]
     fn cpu_pays_no_offload_latency() {
-        let ctx = SimContext::new(devices::cpu_xeon_e5_2670_x2(), ModelProfile::ideal("OpenMP"), vec![], 1);
+        let ctx = SimContext::new(
+            devices::cpu_xeon_e5_2670_x2(),
+            ModelProfile::ideal("OpenMP"),
+            vec![],
+            1,
+        );
         let p = KernelProfile::streaming("tiny", 64, 1, 1, 1);
         let t = ctx.cost.kernel_seconds(&p);
         assert!(t < 2e-6, "only the 0.8 µs fork/join: t={t}");
@@ -190,28 +206,49 @@ mod tests {
 
     #[test]
     fn indirection_slows_streaming() {
-        let ctx = SimContext::new(devices::cpu_xeon_e5_2670_x2(), ModelProfile::ideal("RAJA"), vec![], 1);
+        let ctx = SimContext::new(
+            devices::cpu_xeon_e5_2670_x2(),
+            ModelProfile::ideal("RAJA"),
+            vec![],
+            1,
+        );
         let n = 10_000_000;
         let plain = KernelProfile::streaming("k", n, 3, 1, 3);
         let ind = KernelProfile::streaming("k", n, 3, 1, 3).with_indirection();
-        let (tp, ti) = (ctx.cost.kernel_seconds(&plain), ctx.cost.kernel_seconds(&ind));
+        let (tp, ti) = (
+            ctx.cost.kernel_seconds(&plain),
+            ctx.cost.kernel_seconds(&ind),
+        );
         // +12.5% index traffic and the lost-vectorization penalty
         assert!(ti > tp * 1.25, "tp={tp} ti={ti}");
     }
 
     #[test]
     fn branch_penalty_on_knc_is_large() {
-        let knc = SimContext::new(devices::knc_xeon_phi(), ModelProfile::ideal("Kokkos"), vec![], 1);
+        let knc = SimContext::new(
+            devices::knc_xeon_phi(),
+            ModelProfile::ideal("Kokkos"),
+            vec![],
+            1,
+        );
         let n = 10_000_000;
         let clean = KernelProfile::stencil("w", n, 6, 1, 10);
         let branchy = KernelProfile::stencil("w", n, 6, 1, 10).with_interior_branch();
         let ratio = knc.cost.kernel_seconds(&branchy) / knc.cost.kernel_seconds(&clean);
-        assert!(ratio > 1.8, "KNC halo-guard branch should ~halve throughput, ratio={ratio}");
+        assert!(
+            ratio > 1.8,
+            "KNC halo-guard branch should ~halve throughput, ratio={ratio}"
+        );
     }
 
     #[test]
     fn transfers_only_on_offload_devices() {
-        let cpu = SimContext::new(devices::cpu_xeon_e5_2670_x2(), ModelProfile::ideal("m"), vec![], 1);
+        let cpu = SimContext::new(
+            devices::cpu_xeon_e5_2670_x2(),
+            ModelProfile::ideal("m"),
+            vec![],
+            1,
+        );
         assert_eq!(cpu.cost.transfer_seconds(1 << 30), 0.0);
         let gpu = gpu_ctx(ModelProfile::ideal("m"));
         // 1 GiB over 6 GB/s ≈ 0.18 s
@@ -240,7 +277,12 @@ mod tests {
             factor: 2.0,
             note: "test",
         }];
-        let ctx = SimContext::new(devices::gpu_k20x(), ModelProfile::ideal("Kokkos"), quirks, 1);
+        let ctx = SimContext::new(
+            devices::gpu_k20x(),
+            ModelProfile::ideal("Kokkos"),
+            quirks,
+            1,
+        );
         let cg = KernelProfile::stencil("cg_calc_w", 1_000_000, 6, 1, 10);
         let ch = KernelProfile::stencil("cheby_iterate", 1_000_000, 6, 1, 10);
         let r = ctx.cost.kernel_seconds(&cg) / ctx.cost.kernel_seconds(&ch);
@@ -266,15 +308,21 @@ mod tests {
         profile.vectorizes = false;
         let n = 10_000_000;
         let p = KernelProfile::streaming("k", n, 3, 1, 3);
-        let cpu_novec =
-            CostModel::new(devices::cpu_xeon_e5_2670_x2(), profile.clone(), vec![], 1);
-        let cpu_vec =
-            CostModel::new(devices::cpu_xeon_e5_2670_x2(), ModelProfile::ideal("x"), vec![], 1);
+        let cpu_novec = CostModel::new(devices::cpu_xeon_e5_2670_x2(), profile.clone(), vec![], 1);
+        let cpu_vec = CostModel::new(
+            devices::cpu_xeon_e5_2670_x2(),
+            ModelProfile::ideal("x"),
+            vec![],
+            1,
+        );
         assert!(cpu_novec.kernel_seconds(&p) > 1.15 * cpu_vec.kernel_seconds(&p));
         let gpu_novec = CostModel::new(devices::gpu_k20x(), profile, vec![], 1);
         let gpu_vec = CostModel::new(devices::gpu_k20x(), ModelProfile::ideal("x"), vec![], 1);
         let ratio = gpu_novec.kernel_seconds(&p) / gpu_vec.kernel_seconds(&p);
-        assert!((ratio - 1.0).abs() < 1e-9, "SIMT devices don't punish scalar codegen");
+        assert!(
+            (ratio - 1.0).abs() < 1e-9,
+            "SIMT devices don't punish scalar codegen"
+        );
     }
 }
 
@@ -296,7 +344,10 @@ mod overhead_scale_tests {
         let scaled = CostModel::new(device, model, vec![], 0);
         // the bandwidth term is unchanged…
         let bw_ratio = scaled.kernel_seconds(&big) / base.kernel_seconds(&big);
-        assert!(bw_ratio > 0.99, "large kernels are bandwidth-bound: {bw_ratio}");
+        assert!(
+            bw_ratio > 0.99,
+            "large kernels are bandwidth-bound: {bw_ratio}"
+        );
         // …while the overhead-dominated tiny kernel collapses
         assert!(scaled.kernel_seconds(&tiny) < 0.01 * base.kernel_seconds(&tiny));
     }

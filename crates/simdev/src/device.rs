@@ -115,7 +115,7 @@ pub mod devices {
             llc_bytes: 40 * 1024 * 1024, // 2 × 20 MB L3
             cache_bw_gbs: 160.0,
             cores: 16,
-            simd_width: 4, // AVX, 4 × f64
+            simd_width: 4,           // AVX, 4 × f64
             launch_overhead_us: 0.8, // omp parallel-region fork/join
             offload_latency_us: 0.0,
             pcie_bw_gbs: f64::INFINITY,
@@ -159,7 +159,7 @@ pub mod devices {
             llc_bytes: 30 * 1024 * 1024, // 60 × 512 kB L2
             cache_bw_gbs: 220.0,
             cores: 60,
-            simd_width: 8, // 512-bit, 8 × f64
+            simd_width: 8,            // 512-bit, 8 × f64
             launch_overhead_us: 14.0, // slow cores run the runtime too
             offload_latency_us: 9.0,
             pcie_bw_gbs: 6.0,
@@ -188,8 +188,16 @@ pub mod devices {
             cores: 16,
             simd_width: 4,
             launch_overhead_us: 1.0,
-            offload_latency_us: if matches!(kind, DeviceKind::Cpu) { 0.0 } else { 6.0 },
-            pcie_bw_gbs: if matches!(kind, DeviceKind::Cpu) { f64::INFINITY } else { 12.0 },
+            offload_latency_us: if matches!(kind, DeviceKind::Cpu) {
+                0.0
+            } else {
+                6.0
+            },
+            pcie_bw_gbs: if matches!(kind, DeviceKind::Cpu) {
+                f64::INFINITY
+            } else {
+                12.0
+            },
             reduction_cost_us: 2.0,
             branch_penalty: 1.1,
             novec_penalty: 1.2,

@@ -23,6 +23,10 @@ pub struct KernelTraits {
     /// Iterates through an indirection list (RAJA `ListSegment`, §3.4):
     /// adds index traffic and defeats vectorization.
     pub indirection: bool,
+    /// Rides the previous launch instead of being dispatched on its own
+    /// (the second sweep of a fused kernel): charged for its data traffic
+    /// but pays no launch overhead, offload latency or reduction sync.
+    pub fused_tail: bool,
 }
 
 /// A description of one kernel launch for costing purposes.
@@ -81,7 +85,10 @@ impl KernelProfile {
             reads,
             writes,
             flops,
-            KernelTraits { streaming: true, ..KernelTraits::default() },
+            KernelTraits {
+                streaming: true,
+                ..KernelTraits::default()
+            },
         )
     }
 
@@ -94,7 +101,10 @@ impl KernelProfile {
             reads,
             writes,
             flops,
-            KernelTraits { stencil: true, ..KernelTraits::default() },
+            KernelTraits {
+                stencil: true,
+                ..KernelTraits::default()
+            },
         )
     }
 
@@ -109,7 +119,11 @@ impl KernelProfile {
             // result array of negligible size as zero writes.
             0,
             flops,
-            KernelTraits { streaming: true, reduction: true, ..KernelTraits::default() },
+            KernelTraits {
+                streaming: true,
+                reduction: true,
+                ..KernelTraits::default()
+            },
         )
     }
 
@@ -122,6 +136,13 @@ impl KernelProfile {
     /// Mark this kernel as traversing an indirection list.
     pub fn with_indirection(mut self) -> Self {
         self.traits.indirection = true;
+        self
+    }
+
+    /// Mark this kernel as the tail sweep of a fused launch: it pays for
+    /// its data traffic but not for a dispatch of its own.
+    pub fn with_fused_tail(mut self) -> Self {
+        self.traits.fused_tail = true;
         self
     }
 

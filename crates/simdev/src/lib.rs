@@ -39,7 +39,6 @@
 //! assert_eq!(ctx.clock.snapshot().kernels, 1);
 //! ```
 
-
 pub mod clock;
 pub mod cost;
 pub mod device;

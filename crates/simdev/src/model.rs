@@ -32,7 +32,11 @@ pub struct PerKind {
 impl PerKind {
     /// The same value on every device kind.
     pub const fn uniform(v: f64) -> Self {
-        PerKind { cpu: v, gpu: v, acc: v }
+        PerKind {
+            cpu: v,
+            gpu: v,
+            acc: v,
+        }
     }
 
     /// Select the value for `kind`.
@@ -104,7 +108,11 @@ mod tests {
 
     #[test]
     fn per_kind_selection() {
-        let p = PerKind { cpu: 1.0, gpu: 2.0, acc: 3.0 };
+        let p = PerKind {
+            cpu: 1.0,
+            gpu: 2.0,
+            acc: 3.0,
+        };
         assert_eq!(p.get(DeviceKind::Cpu), 1.0);
         assert_eq!(p.get(DeviceKind::Gpu), 2.0);
         assert_eq!(p.get(DeviceKind::Accelerator), 3.0);

@@ -80,6 +80,9 @@ mod tests {
         assert!((f - 1.5 * 1.02).abs() < 1e-12);
         let g = combined_factor(&quirks, "Kokkos", DeviceKind::Gpu, "other");
         assert!((g - 1.02).abs() < 1e-12);
-        assert_eq!(combined_factor(&quirks, "CUDA", DeviceKind::Gpu, "cg_init"), 1.0);
+        assert_eq!(
+            combined_factor(&quirks, "CUDA", DeviceKind::Gpu, "cg_init"),
+            1.0
+        );
     }
 }

@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 
-use simdev::{
-    devices, CostModel, DeviceKind, KernelProfile, ModelProfile, Quirk, SimClock,
-};
+use simdev::{devices, CostModel, DeviceKind, KernelProfile, ModelProfile, Quirk, SimClock};
 
 fn arb_device() -> impl Strategy<Value = simdev::DeviceSpec> {
     prop_oneof![

@@ -23,7 +23,6 @@
 //! assert!((triad - 180.1).abs() < 2.0);
 //! ```
 
-
 use parpool::{Executor, UnsafeSlice};
 use simdev::{DeviceSpec, KernelProfile, ModelProfile, SimContext};
 
@@ -38,8 +37,12 @@ pub enum StreamKernel {
 
 impl StreamKernel {
     /// All four kernels in canonical order.
-    pub const ALL: [StreamKernel; 4] =
-        [StreamKernel::Copy, StreamKernel::Scale, StreamKernel::Add, StreamKernel::Triad];
+    pub const ALL: [StreamKernel; 4] = [
+        StreamKernel::Copy,
+        StreamKernel::Scale,
+        StreamKernel::Add,
+        StreamKernel::Triad,
+    ];
 
     /// Kernel name.
     pub fn name(self) -> &'static str {
@@ -183,7 +186,11 @@ pub mod sim {
                     .with_working_set(u64::MAX); // STREAM defeats caches by design
                 let seconds = ctx.cost.kernel_seconds(&profile);
                 let bytes = kernel.bytes_per_elem() * n as u64;
-                StreamResult { kernel, best_gbs: bytes as f64 / seconds / 1e9, best_seconds: seconds }
+                StreamResult {
+                    kernel,
+                    best_gbs: bytes as f64 / seconds / 1e9,
+                    best_seconds: seconds,
+                }
             })
             .collect()
     }
@@ -262,6 +269,9 @@ mod tests {
         let device = devices::gpu_k20x();
         let small = sim::triad_gbs(&device, 1_000);
         let large = sim::triad_gbs(&device, 50_000_000);
-        assert!(small < large * 0.2, "launch overhead must dominate small kernels");
+        assert!(
+            small < large * 0.2,
+            "launch overhead must dominate small kernels"
+        );
     }
 }

@@ -23,7 +23,11 @@ impl ChebyShift {
         assert!(eigmin > 0.0 && eigmax > eigmin, "need 0 < eigmin < eigmax");
         let theta = (eigmax + eigmin) / 2.0;
         let delta = (eigmax - eigmin) / 2.0;
-        ChebyShift { theta, delta, sigma: theta / delta }
+        ChebyShift {
+            theta,
+            delta,
+            sigma: theta / delta,
+        }
     }
 
     /// Condition-number estimate `λmax/λmin` implied by the bounds.
@@ -42,7 +46,10 @@ pub struct ChebyCoeffs {
 impl ChebyCoeffs {
     /// Start the recurrence (`ρ₀ = 1/σ`).
     pub fn new(shift: ChebyShift) -> Self {
-        ChebyCoeffs { shift, rho_old: 1.0 / shift.sigma }
+        ChebyCoeffs {
+            shift,
+            rho_old: 1.0 / shift.sigma,
+        }
     }
 
     /// The shift parameters.

@@ -166,7 +166,16 @@ fn spmd_body(rank: &Rank, config: &TeaConfig) -> DistributedReport {
             for j in mesh.i0()..=mesh.j1() {
                 // SAFETY: single-threaded within the rank.
                 unsafe {
-                    common::row_init_coeffs(&mesh, j, config.coefficient, rx, ry, &s.density, &kx, &ky)
+                    common::row_init_coeffs(
+                        &mesh,
+                        j,
+                        config.coefficient,
+                        rx,
+                        ry,
+                        &s.density,
+                        &kx,
+                        &ky,
+                    )
                 };
             }
         }
@@ -174,14 +183,20 @@ fn spmd_body(rank: &Rank, config: &TeaConfig) -> DistributedReport {
 
         // CG init (per-row partials; exactly-ordered global reduction)
         let mut rro = {
-            let (w, r, p, z) =
-                (Us::new(&mut s.w), Us::new(&mut s.r), Us::new(&mut s.p), Us::new(&mut s.z));
+            let (w, r, p, z) = (
+                Us::new(&mut s.w),
+                Us::new(&mut s.r),
+                Us::new(&mut s.p),
+                Us::new(&mut s.z),
+            );
             let partials: Vec<f64> = rows
                 .clone()
                 .map(|j| {
                     // SAFETY: single-threaded within the rank.
                     unsafe {
-                        common::row_cg_init(&mesh, j, false, &s.u, &s.u0, &s.kx, &s.ky, &w, &r, &p, &z)
+                        common::row_cg_init(
+                            &mesh, j, false, &s.u, &s.u0, &s.kx, &s.ky, &w, &r, &p, &z,
+                        )
                     }
                 })
                 .collect();
@@ -209,7 +224,9 @@ fn spmd_body(rank: &Rank, config: &TeaConfig) -> DistributedReport {
                     .map(|j| {
                         // SAFETY: single-threaded within the rank.
                         unsafe {
-                            common::row_cg_calc_ur(&mesh, j, alpha, false, &s.p, &s.w, &s.kx, &s.ky, &u, &r, &z)
+                            common::row_cg_calc_ur(
+                                &mesh, j, alpha, false, &s.p, &s.w, &s.kx, &s.ky, &u, &r, &z,
+                            )
                         }
                     })
                     .collect();

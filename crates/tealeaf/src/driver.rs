@@ -145,7 +145,10 @@ mod tests {
         assert_eq!(a.sim.seconds, b.sim.seconds);
         assert_eq!(a.summary, b.summary);
         let c = run_simulation_seeded(ModelId::OpenCl, &device, &config(), 100).unwrap();
-        assert_ne!(a.sim.seconds, c.sim.seconds, "different seed, different jitter");
+        assert_ne!(
+            a.sim.seconds, c.sim.seconds,
+            "different seed, different jitter"
+        );
         assert_eq!(a.summary, c.summary, "numerics independent of jitter");
     }
 

@@ -24,10 +24,16 @@
 /// input).
 pub fn tqli(diag: &[f64], off: &[f64]) -> Option<Vec<f64>> {
     let n = diag.len();
-    assert_eq!(off.len(), n, "off-diagonal must have the same length (index 0 unused)");
+    assert_eq!(
+        off.len(),
+        n,
+        "off-diagonal must have the same length (index 0 unused)"
+    );
     let mut d = diag.to_vec();
     // shift the sub-diagonal down one slot: e[i] couples i and i+1
-    let mut e: Vec<f64> = (0..n).map(|i| if i + 1 < n { off[i + 1] } else { 0.0 }).collect();
+    let mut e: Vec<f64> = (0..n)
+        .map(|i| if i + 1 < n { off[i + 1] } else { 0.0 })
+        .collect();
 
     for l in 0..n {
         let mut iterations = 0;
@@ -151,7 +157,8 @@ mod tests {
         e[0] = 0.0;
         let eig = tqli(&d, &e).unwrap();
         for (k, ev) in eig.iter().enumerate() {
-            let expect = 2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+            let expect =
+                2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
             assert_close(*ev, expect, 1e-10);
         }
     }

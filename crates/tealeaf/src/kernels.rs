@@ -66,6 +66,31 @@ pub trait TeaLeafPort {
     /// `p = (z|r) + β·p`.
     fn cg_calc_p(&mut self, beta: f64, preconditioner: bool);
 
+    /// True when the port implements
+    /// [`cg_fused_ur_p`](TeaLeafPort::cg_fused_ur_p) as a genuinely fused
+    /// launch. The CG driver consults this flag; ports that leave it
+    /// `false` keep the two-launch schedule (and its two cost charges).
+    fn supports_fused_cg(&self) -> bool {
+        false
+    }
+
+    /// Fused CG tail: `cg_calc_ur` (yielding `rrn`), then `β = rrn/rro`,
+    /// then `cg_calc_p` — dispatched as **one** kernel launch on ports
+    /// that support it. Returns `(rrn, β)`.
+    ///
+    /// A single data sweep is impossible (β depends on the completed
+    /// reduction), so "fused" means one launch charge covering both
+    /// sweeps, with the p-update running cache-hot right after the
+    /// reduction. The per-cell arithmetic and the row-ordered reduction
+    /// are exactly those of the unfused kernels, so the result is
+    /// bit-identical either way; the default is the unfused fallback.
+    fn cg_fused_ur_p(&mut self, alpha: f64, rro: f64, preconditioner: bool) -> (f64, f64) {
+        let rrn = self.cg_calc_ur(alpha, preconditioner);
+        let beta = rrn / rro;
+        self.cg_calc_p(beta, preconditioner);
+        (rrn, beta)
+    }
+
     // --- Chebyshev (tea_leaf_cheby) ---
 
     /// First Chebyshev step: `w = A·u`, `r = u0 − w`, `p = r/θ`,

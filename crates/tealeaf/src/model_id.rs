@@ -123,9 +123,18 @@ mod tests {
         // Spot checks against Table 1.
         assert_eq!(ModelId::Cuda.supports(DeviceKind::Gpu), Some("Yes"));
         assert_eq!(ModelId::Cuda.supports(DeviceKind::Cpu), None);
-        assert_eq!(ModelId::Omp3F90.supports(DeviceKind::Accelerator), Some("Native"));
-        assert_eq!(ModelId::Omp4.supports(DeviceKind::Accelerator), Some("Offload"));
-        assert_eq!(ModelId::OpenCl.supports(DeviceKind::Accelerator), Some("Offload"));
+        assert_eq!(
+            ModelId::Omp3F90.supports(DeviceKind::Accelerator),
+            Some("Native")
+        );
+        assert_eq!(
+            ModelId::Omp4.supports(DeviceKind::Accelerator),
+            Some("Offload")
+        );
+        assert_eq!(
+            ModelId::OpenCl.supports(DeviceKind::Accelerator),
+            Some("Offload")
+        );
         assert_eq!(ModelId::Raja.supports(DeviceKind::Gpu), None);
         assert_eq!(ModelId::Kokkos.supports(DeviceKind::Gpu), Some("Yes"));
     }

@@ -330,7 +330,12 @@ pub fn cell_summary(
     u: &[f64],
     cell_vol: f64,
 ) -> [f64; 4] {
-    [cell_vol, density[k] * cell_vol, density[k] * energy[k] * cell_vol, u[k] * cell_vol]
+    [
+        cell_vol,
+        density[k] * cell_vol,
+        density[k] * energy[k] * cell_vol,
+        u[k] * cell_vol,
+    ]
 }
 
 /// `r[k] = u0[k] − A·u` (residual).
@@ -373,7 +378,14 @@ pub fn row_bounds(mesh: &Mesh2d) -> (usize, usize, usize) {
 ///
 /// # Safety
 /// Row `j` must be written by exactly one concurrent caller.
-pub unsafe fn row_init_u0(mesh: &Mesh2d, j: usize, density: &[f64], energy: &[f64], u0: &Us, u: &Us) {
+pub unsafe fn row_init_u0(
+    mesh: &Mesh2d,
+    j: usize,
+    density: &[f64],
+    energy: &[f64],
+    u0: &Us,
+    u: &Us,
+) {
     let (i0, i1, width) = row_bounds(mesh);
     for i in i0..i1 {
         unsafe { cell_init_u0(idx(width, i, j), density, energy, u0, u) };
@@ -398,7 +410,18 @@ pub unsafe fn row_init_coeffs(
 ) {
     let (i0, i1, width) = row_bounds(mesh);
     for i in i0..=i1 {
-        unsafe { cell_init_coeffs(width, idx(width, i, j), coefficient, rx, ry, density, kx, ky) };
+        unsafe {
+            cell_init_coeffs(
+                width,
+                idx(width, i, j),
+                coefficient,
+                rx,
+                ry,
+                density,
+                kx,
+                ky,
+            )
+        };
     }
 }
 
@@ -471,8 +494,21 @@ pub unsafe fn row_cg_calc_ur(
     let (i0, i1, width) = row_bounds(mesh);
     let mut rrn = 0.0;
     for i in i0..i1 {
-        rrn +=
-            unsafe { cell_cg_calc_ur(width, idx(width, i, j), alpha, precond, p, w, kx, ky, u, r, z) };
+        rrn += unsafe {
+            cell_cg_calc_ur(
+                width,
+                idx(width, i, j),
+                alpha,
+                precond,
+                p,
+                w,
+                kx,
+                ky,
+                u,
+                r,
+                z,
+            )
+        };
     }
     rrn
 }
@@ -519,7 +555,21 @@ pub unsafe fn row_cheby_calc_p(
     let (i0, i1, width) = row_bounds(mesh);
     for i in i0..i1 {
         unsafe {
-            cell_cheby_calc_p(width, idx(width, i, j), first, theta, alpha, beta, u, u0, kx, ky, w, r, p)
+            cell_cheby_calc_p(
+                width,
+                idx(width, i, j),
+                first,
+                theta,
+                alpha,
+                beta,
+                u,
+                u0,
+                kx,
+                ky,
+                w,
+                r,
+                p,
+            )
         };
     }
 }
@@ -734,6 +784,18 @@ pub mod profiles {
         KernelProfile::streaming("cg_calc_p", n, 2, 1, 2).with_working_set(ws(n))
     }
 
+    /// The β·p sweep when it rides the fused ur launch: the same data
+    /// traffic as [`cg_calc_p`], but no dispatch of its own. Fused ports
+    /// charge `cg_calc_ur` (the reduction sweep, costed exactly as
+    /// unfused) followed by this tail — the net saving is precisely one
+    /// launch overhead per CG iteration, without leaking the model's
+    /// reduction penalty onto the streaming p-update's bytes.
+    pub fn cg_fused_p_tail(n: u64) -> KernelProfile {
+        let mut p = cg_calc_p(n).with_fused_tail();
+        p.name = "cg_fused_p_tail";
+        p
+    }
+
     /// `cheby_calc_p` (both first and iterate forms): stencil on u; read
     /// u0, kx, ky, p; write w, r, p.
     pub fn cheby_calc_p(n: u64) -> KernelProfile {
@@ -796,8 +858,7 @@ pub mod profiles {
     /// One halo-exchange kernel for a single field at `depth`.
     pub fn halo(mesh: &Mesh2d, depth: usize) -> KernelProfile {
         let elems = tea_core::halo::halo_elements(mesh, depth);
-        KernelProfile::streaming("halo_update", elems, 1, 1, 0)
-            .with_working_set(ws(cells(mesh)))
+        KernelProfile::streaming("halo_update", elems, 1, 1, 0).with_working_set(ws(cells(mesh)))
     }
 }
 
@@ -866,6 +927,72 @@ impl PortFields {
     pub fn resident_bytes(&self) -> u64 {
         (self.mesh.len() * 8 * 11) as u64
     }
+
+    /// Reflective halo update of several fields as **one** batched pair of
+    /// parallel regions on `exec` (instead of two regions per field). The
+    /// cost-model charges stay per-field and live with the caller.
+    ///
+    /// # Panics
+    /// Panics if two ids alias the same storage (`Energy0`/`Energy1`, or
+    /// `Z`/`Mi`) in one batch — the batched update needs disjoint slices.
+    pub fn halo_batch(
+        &mut self,
+        ids: &[tea_core::halo::FieldId],
+        depth: usize,
+        exec: &dyn parpool::Executor,
+    ) {
+        use tea_core::halo::FieldId::*;
+        let PortFields {
+            mesh,
+            density,
+            energy,
+            u,
+            u0,
+            p,
+            r,
+            w,
+            z,
+            kx,
+            ky,
+            sd,
+        } = self;
+        let mut slots = [
+            Some(density),
+            Some(energy),
+            Some(u),
+            Some(u0),
+            Some(p),
+            Some(r),
+            Some(w),
+            Some(z),
+            Some(kx),
+            Some(ky),
+            Some(sd),
+        ];
+        let mut fields: Vec<&mut [f64]> = ids
+            .iter()
+            .map(|&id| {
+                let slot = match id {
+                    Density => 0,
+                    Energy0 | Energy1 => 1,
+                    U => 2,
+                    U0 => 3,
+                    P => 4,
+                    R => 5,
+                    W => 6,
+                    Z | Mi => 7,
+                    Kx => 8,
+                    Ky => 9,
+                    Sd => 10,
+                };
+                slots[slot]
+                    .take()
+                    .unwrap_or_else(|| panic!("{} batched twice in one halo update", id.name()))
+                    .as_mut_slice()
+            })
+            .collect();
+        tea_core::halo::update_halo_batch(mesh, &mut fields, depth, exec);
+    }
 }
 
 #[cfg(test)]
@@ -877,7 +1004,9 @@ mod tests {
     }
 
     fn seq(mesh: &Mesh2d, scale: f64) -> Vec<f64> {
-        (0..mesh.len()).map(|k| 1.0 + scale * (k as f64 % 7.0)).collect()
+        (0..mesh.len())
+            .map(|k| 1.0 + scale * (k as f64 % 7.0))
+            .collect()
     }
 
     #[test]

@@ -14,7 +14,7 @@ use cuda_rs::{launch, launch_reduce, CudaStream, DeviceBuffer, LaunchConfig};
 use parpool::{Executor, StaticPool};
 use simdev::{DeviceSpec, SimContext};
 use tea_core::config::Coefficient;
-use tea_core::halo::{update_halo, FieldId};
+use tea_core::halo::{update_halo_batch, FieldId};
 use tea_core::mesh::Mesh2d;
 use tea_core::summary::Summary;
 
@@ -102,23 +102,67 @@ impl CudaPort {
     /// Row-block decomposition for the custom reductions: one block per
     /// interior row, partials combined in block order.
     fn reduce_cfg(&self) -> LaunchConfig {
-        LaunchConfig { grid: self.mesh.y_cells, block: self.mesh.x_cells }
+        LaunchConfig {
+            grid: self.mesh.y_cells,
+            block: self.mesh.x_cells,
+        }
     }
 
-    fn buffer_mut(&mut self, id: FieldId) -> &mut DeviceBuffer<f64> {
-        match id {
-            FieldId::Density => &mut self.density,
-            FieldId::Energy0 | FieldId::Energy1 => &mut self.energy,
-            FieldId::U => &mut self.u,
-            FieldId::U0 => &mut self.u0,
-            FieldId::P => &mut self.p,
-            FieldId::R => &mut self.r,
-            FieldId::W => &mut self.w,
-            FieldId::Z | FieldId::Mi => &mut self.z,
-            FieldId::Kx => &mut self.kx,
-            FieldId::Ky => &mut self.ky,
-            FieldId::Sd => &mut self.sd,
-        }
+    /// Borrow the mesh alongside the device storage of each listed
+    /// field, for the batched halo update. Panics if a buffer is listed
+    /// twice.
+    fn halo_buffers(&mut self, ids: &[FieldId]) -> (&Mesh2d, Vec<&mut [f64]>) {
+        let CudaPort {
+            mesh,
+            density,
+            energy,
+            u,
+            u0,
+            p,
+            r,
+            w,
+            z,
+            kx,
+            ky,
+            sd,
+            ..
+        } = self;
+        let mut slots = [
+            Some(density),
+            Some(energy),
+            Some(u),
+            Some(u0),
+            Some(p),
+            Some(r),
+            Some(w),
+            Some(z),
+            Some(kx),
+            Some(ky),
+            Some(sd),
+        ];
+        let bufs = ids
+            .iter()
+            .map(|&id| {
+                let slot = match id {
+                    FieldId::Density => 0,
+                    FieldId::Energy0 | FieldId::Energy1 => 1,
+                    FieldId::U => 2,
+                    FieldId::U0 => 3,
+                    FieldId::P => 4,
+                    FieldId::R => 5,
+                    FieldId::W => 6,
+                    FieldId::Z | FieldId::Mi => 7,
+                    FieldId::Kx => 8,
+                    FieldId::Ky => 9,
+                    FieldId::Sd => 10,
+                };
+                slots[slot]
+                    .take()
+                    .unwrap_or_else(|| panic!("{} batched twice in one halo update", id.name()))
+                    .device_mut()
+            })
+            .collect();
+        (&*mesh, bufs)
     }
 }
 
@@ -132,7 +176,7 @@ impl TeaLeafPort for CudaPort {
     }
 
     fn init_fields(&mut self, coefficient: Coefficient, rx: f64, ry: f64) {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let cfg = self.cfg();
         let n = self.n();
         let pool = self.pool();
@@ -142,7 +186,7 @@ impl TeaLeafPort for CudaPort {
             let u0 = Us::new(self.u0.device_mut());
             let u = Us::new(self.u.device_mut());
             launch(&stream, cfg, &profiles::init_u0(n), &|tid| {
-                if guard(&mesh, tid) {
+                if guard(mesh, tid) {
                     // SAFETY: cells disjoint.
                     unsafe { common::cell_init_u0(tid, density, energy, &u0, &u) };
                 }
@@ -162,29 +206,38 @@ impl TeaLeafPort for CudaPort {
             let (i, j) = (tid % width, tid / width);
             if i >= lo && i <= i1 && j >= lo && j <= j1 {
                 // SAFETY: cells disjoint.
-                unsafe { common::cell_init_coeffs(width, tid, coefficient, rx, ry, density, &kx, &ky) };
+                unsafe {
+                    common::cell_init_coeffs(width, tid, coefficient, rx, ry, density, &kx, &ky)
+                };
             }
         });
     }
 
     fn halo_update(&mut self, fields: &[FieldId], depth: usize) {
-        let mesh = self.mesh.clone();
-        for &id in fields {
-            self.ctx.launch(&profiles::halo(&mesh, depth));
-            let buf = self.buffer_mut(id);
-            update_halo(&mesh, buf.device_mut(), depth);
+        // One kernel launch charge per field (unchanged), ghost writes
+        // batched into a single two-phase device-wide dispatch.
+        let profile = profiles::halo(&self.mesh, depth);
+        for _ in fields {
+            self.ctx.launch(&profile);
         }
+        let pool = self.pool();
+        let (mesh, mut bufs) = self.halo_buffers(fields);
+        update_halo_batch(mesh, &mut bufs, depth, pool);
     }
 
     fn cg_init(&mut self, preconditioner: bool) -> f64 {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let cfg = self.reduce_cfg();
         let profile = profiles::cg_init(self.n(), preconditioner);
         let stream = CudaStream::new(&self.ctx, parpool::global_static());
         let width = mesh.width();
         let (i0, i1) = (mesh.i0(), mesh.i1());
-        let (u, u0, kx, ky) =
-            (self.u.device(), self.u0.device(), self.kx.device(), self.ky.device());
+        let (u, u0, kx, ky) = (
+            self.u.device(),
+            self.u0.device(),
+            self.kx.device(),
+            self.ky.device(),
+        );
         let w = Us::new(self.w.device_mut());
         let r = Us::new(self.r.device_mut());
         let p = Us::new(self.p.device_mut());
@@ -195,7 +248,19 @@ impl TeaLeafPort for CudaPort {
             for i in i0..i1 {
                 // SAFETY: blocks own disjoint rows.
                 acc += unsafe {
-                    common::cell_cg_init(width, common::idx(width, i, j), preconditioner, u, u0, kx, ky, &w, &r, &p, &z)
+                    common::cell_cg_init(
+                        width,
+                        common::idx(width, i, j),
+                        preconditioner,
+                        u,
+                        u0,
+                        kx,
+                        ky,
+                        &w,
+                        &r,
+                        &p,
+                        &z,
+                    )
                 };
             }
             acc
@@ -203,7 +268,7 @@ impl TeaLeafPort for CudaPort {
     }
 
     fn cg_calc_w(&mut self) -> f64 {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let cfg = self.reduce_cfg();
         let profile = profiles::cg_calc_w(self.n());
         let stream = CudaStream::new(&self.ctx, parpool::global_static());
@@ -216,21 +281,27 @@ impl TeaLeafPort for CudaPort {
             let mut acc = 0.0;
             for i in i0..i1 {
                 // SAFETY: blocks own disjoint rows.
-                acc += unsafe { common::cell_cg_calc_w(width, common::idx(width, i, j), p, kx, ky, &w) };
+                acc += unsafe {
+                    common::cell_cg_calc_w(width, common::idx(width, i, j), p, kx, ky, &w)
+                };
             }
             acc
         })
     }
 
     fn cg_calc_ur(&mut self, alpha: f64, preconditioner: bool) -> f64 {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let cfg = self.reduce_cfg();
         let profile = profiles::cg_calc_ur(self.n(), preconditioner);
         let stream = CudaStream::new(&self.ctx, parpool::global_static());
         let width = mesh.width();
         let (i0, i1) = (mesh.i0(), mesh.i1());
-        let (p, w, kx, ky) =
-            (self.p.device(), self.w.device(), self.kx.device(), self.ky.device());
+        let (p, w, kx, ky) = (
+            self.p.device(),
+            self.w.device(),
+            self.kx.device(),
+            self.ky.device(),
+        );
         let u = Us::new(self.u.device_mut());
         let r = Us::new(self.r.device_mut());
         let z = Us::new(self.z.device_mut());
@@ -240,7 +311,19 @@ impl TeaLeafPort for CudaPort {
             for i in i0..i1 {
                 // SAFETY: blocks own disjoint rows.
                 acc += unsafe {
-                    common::cell_cg_calc_ur(width, common::idx(width, i, j), alpha, preconditioner, p, w, kx, ky, &u, &r, &z)
+                    common::cell_cg_calc_ur(
+                        width,
+                        common::idx(width, i, j),
+                        alpha,
+                        preconditioner,
+                        p,
+                        w,
+                        kx,
+                        ky,
+                        &u,
+                        &r,
+                        &z,
+                    )
                 };
             }
             acc
@@ -248,18 +331,84 @@ impl TeaLeafPort for CudaPort {
     }
 
     fn cg_calc_p(&mut self, beta: f64, preconditioner: bool) {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let cfg = self.cfg();
         let profile = profiles::cg_calc_p(self.n());
         let stream = CudaStream::new(&self.ctx, parpool::global_static());
         let (r, z) = (self.r.device(), self.z.device());
         let p = Us::new(self.p.device_mut());
         launch(&stream, cfg, &profile, &|tid| {
-            if guard(&mesh, tid) {
+            if guard(mesh, tid) {
                 // SAFETY: cells disjoint.
                 unsafe { common::cell_cg_calc_p(tid, beta, preconditioner, r, z, &p) };
             }
         });
+    }
+
+    fn supports_fused_cg(&self) -> bool {
+        true
+    }
+
+    fn cg_fused_ur_p(&mut self, alpha: f64, rro: f64, preconditioner: bool) -> (f64, f64) {
+        let mesh = &self.mesh;
+        let cfg = self.reduce_cfg();
+        let pool = self.pool();
+        // One launch charge covers the reduction sweep and the β·p update
+        // that rides behind it as a zero-overhead tail; per-block row
+        // partials are folded in block order, exactly as `launch_reduce`
+        // does, so the result is bit-identical to the unfused pair.
+        self.ctx
+            .launch(&profiles::cg_calc_ur(self.n(), preconditioner));
+        self.ctx.launch(&profiles::cg_fused_p_tail(self.n()));
+        let width = mesh.width();
+        let (i0, i1) = (mesh.i0(), mesh.i1());
+        let rrn = {
+            let (p, w, kx, ky) = (
+                self.p.device(),
+                self.w.device(),
+                self.kx.device(),
+                self.ky.device(),
+            );
+            let u = Us::new(self.u.device_mut());
+            let r = Us::new(self.r.device_mut());
+            let z = Us::new(self.z.device_mut());
+            pool.run_sum(cfg.grid, &|block| {
+                let j = i0 + block;
+                let mut acc = 0.0;
+                for i in i0..i1 {
+                    // SAFETY: blocks own disjoint rows.
+                    acc += unsafe {
+                        common::cell_cg_calc_ur(
+                            width,
+                            common::idx(width, i, j),
+                            alpha,
+                            preconditioner,
+                            p,
+                            w,
+                            kx,
+                            ky,
+                            &u,
+                            &r,
+                            &z,
+                        )
+                    };
+                }
+                acc
+            })
+        };
+        let beta = rrn / rro;
+        let (r, z) = (self.r.device(), self.z.device());
+        let p = Us::new(self.p.device_mut());
+        pool.run(cfg.grid, &|block| {
+            let j = i0 + block;
+            for i in i0..i1 {
+                // SAFETY: cells disjoint.
+                unsafe {
+                    common::cell_cg_calc_p(common::idx(width, i, j), beta, preconditioner, r, z, &p)
+                };
+            }
+        });
+        (rrn, beta)
     }
 
     fn cheby_init(&mut self, theta: f64) {
@@ -271,14 +420,14 @@ impl TeaLeafPort for CudaPort {
     }
 
     fn ppcg_init_sd(&mut self, theta: f64) {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let cfg = self.cfg();
         let profile = profiles::ppcg_init_sd(self.n());
         let stream = CudaStream::new(&self.ctx, parpool::global_static());
         let r = self.r.device();
         let sd = Us::new(self.sd.device_mut());
         launch(&stream, cfg, &profile, &|tid| {
-            if guard(&mesh, tid) {
+            if guard(mesh, tid) {
                 // SAFETY: cells disjoint.
                 unsafe { common::cell_sd_init(tid, theta, r, &sd) };
             }
@@ -286,7 +435,7 @@ impl TeaLeafPort for CudaPort {
     }
 
     fn ppcg_inner(&mut self, alpha: f64, beta: f64) {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let cfg = self.cfg();
         let width = mesh.width();
         let pool = self.pool();
@@ -296,7 +445,7 @@ impl TeaLeafPort for CudaPort {
             let (sd, kx, ky) = (self.sd.device(), self.kx.device(), self.ky.device());
             let w = Us::new(self.w.device_mut());
             launch(&stream, cfg, &profile, &|tid| {
-                if guard(&mesh, tid) {
+                if guard(mesh, tid) {
                     // SAFETY: cells disjoint.
                     unsafe { common::cell_ppcg_w(width, tid, sd, kx, ky, &w) };
                 }
@@ -309,7 +458,7 @@ impl TeaLeafPort for CudaPort {
         let r = Us::new(self.r.device_mut());
         let sd = Us::new(self.sd.device_mut());
         launch(&stream, cfg, &profile, &|tid| {
-            if guard(&mesh, tid) {
+            if guard(mesh, tid) {
                 // SAFETY: cells disjoint.
                 unsafe { common::cell_ppcg_update(tid, alpha, beta, w, &u, &r, &sd) };
             }
@@ -317,7 +466,7 @@ impl TeaLeafPort for CudaPort {
     }
 
     fn jacobi_iterate(&mut self) -> f64 {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let cfg = self.cfg();
         let width = mesh.width();
         let pool = self.pool();
@@ -327,7 +476,7 @@ impl TeaLeafPort for CudaPort {
             let u = self.u.device();
             let r = Us::new(self.r.device_mut());
             launch(&stream, cfg, &profile, &|tid| {
-                if guard(&mesh, tid) {
+                if guard(mesh, tid) {
                     // SAFETY: cells disjoint.
                     unsafe { r.set(tid, u[tid]) };
                 }
@@ -337,31 +486,41 @@ impl TeaLeafPort for CudaPort {
         let rcfg = self.reduce_cfg();
         let stream = CudaStream::new(&self.ctx, pool);
         let (i0, i1) = (mesh.i0(), mesh.i1());
-        let (u0, r, kx, ky) =
-            (self.u0.device(), self.r.device(), self.kx.device(), self.ky.device());
+        let (u0, r, kx, ky) = (
+            self.u0.device(),
+            self.r.device(),
+            self.kx.device(),
+            self.ky.device(),
+        );
         let u = Us::new(self.u.device_mut());
         launch_reduce(&stream, rcfg, &profile, &|block| {
             let j = i0 + block;
             let mut acc = 0.0;
             for i in i0..i1 {
                 // SAFETY: blocks own disjoint rows.
-                acc += unsafe { common::cell_jacobi_iterate(width, common::idx(width, i, j), u0, r, kx, ky, &u) };
+                acc += unsafe {
+                    common::cell_jacobi_iterate(width, common::idx(width, i, j), u0, r, kx, ky, &u)
+                };
             }
             acc
         })
     }
 
     fn residual(&mut self) {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let cfg = self.cfg();
         let width = mesh.width();
         let profile = profiles::residual(self.n());
         let stream = CudaStream::new(&self.ctx, parpool::global_static());
-        let (u, u0, kx, ky) =
-            (self.u.device(), self.u0.device(), self.kx.device(), self.ky.device());
+        let (u, u0, kx, ky) = (
+            self.u.device(),
+            self.u0.device(),
+            self.kx.device(),
+            self.ky.device(),
+        );
         let r = Us::new(self.r.device_mut());
         launch(&stream, cfg, &profile, &|tid| {
-            if guard(&mesh, tid) {
+            if guard(mesh, tid) {
                 // SAFETY: cells disjoint.
                 unsafe { common::cell_residual(width, tid, u, u0, kx, ky, &r) };
             }
@@ -369,7 +528,7 @@ impl TeaLeafPort for CudaPort {
     }
 
     fn calc_2norm(&mut self, field: NormField) -> f64 {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let cfg = self.reduce_cfg();
         let profile = profiles::norm(self.n());
         let stream = CudaStream::new(&self.ctx, parpool::global_static());
@@ -390,14 +549,14 @@ impl TeaLeafPort for CudaPort {
     }
 
     fn finalise(&mut self) {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let cfg = self.cfg();
         let profile = profiles::finalise(self.n());
         let stream = CudaStream::new(&self.ctx, parpool::global_static());
         let (u, density) = (self.u.device(), self.density.device());
         let energy = Us::new(self.energy.device_mut());
         launch(&stream, cfg, &profile, &|tid| {
-            if guard(&mesh, tid) {
+            if guard(mesh, tid) {
                 // SAFETY: cells disjoint.
                 unsafe { common::cell_finalise(tid, u, density, &energy) };
             }
@@ -405,31 +564,37 @@ impl TeaLeafPort for CudaPort {
     }
 
     fn field_summary(&mut self) -> Summary {
-        // Four block-reductions, one per component (the CUDA port packs
-        // them into one kernel with four partial buffers; cost-wise one
-        // fused launch plus the final pass dominates identically).
-        let mesh = self.mesh.clone();
+        // One kernel computes all four components' block partials (the
+        // CUDA port packs them into four partial buffers); the host fold
+        // runs once over the blocks with the pool's 4-wide scratch. Each
+        // component's per-row partial and block-order fold are unchanged,
+        // so the result is bit-identical to four separate passes.
+        let mesh = &self.mesh;
         let cfg = self.reduce_cfg();
         let profile = profiles::field_summary(self.n());
-        let stream = CudaStream::new(&self.ctx, parpool::global_static());
+        let pool = self.pool();
         let width = mesh.width();
         let (i0, i1) = (mesh.i0(), mesh.i1());
         let vol = mesh.cell_volume();
         let (density, energy, u) = (self.density.device(), self.energy.device(), self.u.device());
-        // one launch computing all four components' block partials
-        stream.ctx().launch(&profile);
-        let mut acc = [0.0; 4];
-        for (comp, slot) in acc.iter_mut().enumerate() {
-            *slot = parpool::global_static().run_sum(cfg.grid, &|block| {
-                let j = i0 + block;
-                let mut row = 0.0;
-                for i in i0..i1 {
-                    row += common::cell_summary(common::idx(width, i, j), density, energy, u, vol)[comp];
+        self.ctx.launch(&profile);
+        let acc = pool.run_sum4(cfg.grid, &|block| {
+            let j = i0 + block;
+            let mut row = [0.0; 4];
+            for i in i0..i1 {
+                let c = common::cell_summary(common::idx(width, i, j), density, energy, u, vol);
+                for q in 0..4 {
+                    row[q] += c[q];
                 }
-                row
-            });
+            }
+            row
+        });
+        Summary {
+            volume: acc[0],
+            mass: acc[1],
+            internal_energy: acc[2],
+            temperature: acc[3],
         }
-        Summary { volume: acc[0], mass: acc[1], internal_energy: acc[2], temperature: acc[3] }
     }
 
     fn read_u(&mut self) -> Vec<f64> {
@@ -441,23 +606,29 @@ impl TeaLeafPort for CudaPort {
 
 impl CudaPort {
     fn cheby_step(&mut self, first: bool, theta: f64, alpha: f64, beta: f64) {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let cfg = self.cfg();
         let width = mesh.width();
         let pool = self.pool();
         {
             let profile = profiles::cheby_calc_p(self.n());
             let stream = CudaStream::new(&self.ctx, pool);
-            let (u, u0, kx, ky) =
-                (self.u.device(), self.u0.device(), self.kx.device(), self.ky.device());
+            let (u, u0, kx, ky) = (
+                self.u.device(),
+                self.u0.device(),
+                self.kx.device(),
+                self.ky.device(),
+            );
             let w = Us::new(self.w.device_mut());
             let r = Us::new(self.r.device_mut());
             let p = Us::new(self.p.device_mut());
             launch(&stream, cfg, &profile, &|tid| {
-                if guard(&mesh, tid) {
+                if guard(mesh, tid) {
                     // SAFETY: cells disjoint.
                     unsafe {
-                        common::cell_cheby_calc_p(width, tid, first, theta, alpha, beta, u, u0, kx, ky, &w, &r, &p)
+                        common::cell_cheby_calc_p(
+                            width, tid, first, theta, alpha, beta, u, u0, kx, ky, &w, &r, &p,
+                        )
                     };
                 }
             });
@@ -467,7 +638,7 @@ impl CudaPort {
         let p = self.p.device();
         let u = Us::new(self.u.device_mut());
         launch(&stream, cfg, &profile, &|tid| {
-            if guard(&mesh, tid) {
+            if guard(mesh, tid) {
                 // SAFETY: cells disjoint.
                 unsafe { common::cell_add_p_to_u(tid, p, &u) };
             }

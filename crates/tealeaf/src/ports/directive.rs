@@ -17,7 +17,7 @@ use directive_rs::{DeviceEnv, Flavor, MapClause, MapDir};
 use parpool::StaticPool;
 use simdev::{DeviceSpec, SimContext};
 use tea_core::config::Coefficient;
-use tea_core::halo::{update_halo, FieldId};
+use tea_core::halo::FieldId;
 use tea_core::summary::Summary;
 
 use crate::kernels::{NormField, TeaLeafPort};
@@ -44,7 +44,12 @@ impl DirectivePort {
         };
         let ctx = SimContext::new(device, model_profile(model), model_quirks(model), seed);
         let f = PortFields::new(&problem.mesh, &problem.density, &problem.energy);
-        let port = DirectivePort { model, flavor, ctx, f };
+        let port = DirectivePort {
+            model,
+            flavor,
+            ctx,
+            f,
+        };
         // Highest-scope data region: density and energy move to the
         // device, the work arrays are device-allocated only.
         let bytes = (port.f.mesh.len() * 8) as u64;
@@ -74,7 +79,6 @@ impl DirectivePort {
         let env = DeviceEnv::new(&self.ctx, self.pool(), self.flavor);
         body(&env)
     }
-
 }
 
 impl TeaLeafPort for DirectivePort {
@@ -87,39 +91,51 @@ impl TeaLeafPort for DirectivePort {
     }
 
     fn init_fields(&mut self, coefficient: Coefficient, rx: f64, ry: f64) {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let j0 = mesh.i0();
         let pool = self.pool();
         {
             let env = DeviceEnv::new(&self.ctx, pool, self.flavor);
             let (density, energy) = (&self.f.density, &self.f.energy);
             let (u0, u) = (Us::new(&mut self.f.u0), Us::new(&mut self.f.u));
-            env.target_parallel_for(&profiles::init_u0(profiles::cells(&mesh)), mesh.y_cells, &|jj| {
-                // SAFETY: rows disjoint.
-                unsafe { common::row_init_u0(&mesh, j0 + jj, density, energy, &u0, &u) };
-            });
+            env.target_parallel_for(
+                &profiles::init_u0(profiles::cells(mesh)),
+                mesh.y_cells,
+                &|jj| {
+                    // SAFETY: rows disjoint.
+                    unsafe { common::row_init_u0(mesh, j0 + jj, density, energy, &u0, &u) };
+                },
+            );
         }
         let env = DeviceEnv::new(&self.ctx, pool, self.flavor);
         let density = &self.f.density;
         let (kx, ky) = (Us::new(&mut self.f.kx), Us::new(&mut self.f.ky));
-        env.target_parallel_for(&profiles::init_coeffs(profiles::cells(&mesh)), mesh.y_cells + 1, &|jj| {
-            // SAFETY: rows disjoint.
-            unsafe { common::row_init_coeffs(&mesh, j0 + jj, coefficient, rx, ry, density, &kx, &ky) };
-        });
+        env.target_parallel_for(
+            &profiles::init_coeffs(profiles::cells(mesh)),
+            mesh.y_cells + 1,
+            &|jj| {
+                // SAFETY: rows disjoint.
+                unsafe {
+                    common::row_init_coeffs(mesh, j0 + jj, coefficient, rx, ry, density, &kx, &ky)
+                };
+            },
+        );
     }
 
     fn halo_update(&mut self, fields: &[FieldId], depth: usize) {
-        let mesh = self.f.mesh.clone();
-        for &id in fields {
-            // Each halo pass is its own small target region — the paper's
-            // per-target overhead applies here too.
-            self.ctx.launch(&profiles::halo(&mesh, depth));
-            update_halo(&mesh, self.f.field_mut(id), depth);
+        // Each halo pass is still charged as its own small target region —
+        // the paper's per-target overhead applies per field — but the ghost
+        // writes execute as one batched pair of parallel regions.
+        let profile = profiles::halo(&self.f.mesh, depth);
+        for _ in fields {
+            self.ctx.launch(&profile);
         }
+        let pool = self.pool();
+        self.f.halo_batch(fields, depth, pool);
     }
 
     fn cg_init(&mut self, preconditioner: bool) -> f64 {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let j0 = mesh.i0();
         let env = DeviceEnv::new(&self.ctx, self.pool(), self.flavor);
         let (u, u0, kx, ky) = (&self.f.u, &self.f.u0, &self.f.kx, &self.f.ky);
@@ -129,53 +145,94 @@ impl TeaLeafPort for DirectivePort {
             Us::new(&mut self.f.p),
             Us::new(&mut self.f.z),
         );
-        env.target_reduce(&profiles::cg_init(profiles::cells(&mesh), preconditioner), mesh.y_cells, &|jj| {
-            // SAFETY: rows disjoint.
-            unsafe { common::row_cg_init(&mesh, j0 + jj, preconditioner, u, u0, kx, ky, &w, &r, &p, &z) }
-        })
-    }
-
-    fn cg_calc_w(&mut self) -> f64 {
-        let mesh = self.f.mesh.clone();
-        let j0 = mesh.i0();
-        let env = DeviceEnv::new(&self.ctx, self.pool(), self.flavor);
-        let (p, kx, ky) = (&self.f.p, &self.f.kx, &self.f.ky);
-        let w = Us::new(&mut self.f.w);
-        env.target_reduce(&profiles::cg_calc_w(profiles::cells(&mesh)), mesh.y_cells, &|jj| {
-            // SAFETY: rows disjoint.
-            unsafe { common::row_cg_calc_w(&mesh, j0 + jj, p, kx, ky, &w) }
-        })
-    }
-
-    fn cg_calc_ur(&mut self, alpha: f64, preconditioner: bool) -> f64 {
-        let mesh = self.f.mesh.clone();
-        let j0 = mesh.i0();
-        let env = DeviceEnv::new(&self.ctx, self.pool(), self.flavor);
-        let (p, w, kx, ky) = (&self.f.p, &self.f.w, &self.f.kx, &self.f.ky);
-        let (u, r, z) =
-            (Us::new(&mut self.f.u), Us::new(&mut self.f.r), Us::new(&mut self.f.z));
         env.target_reduce(
-            &profiles::cg_calc_ur(profiles::cells(&mesh), preconditioner),
+            &profiles::cg_init(profiles::cells(mesh), preconditioner),
             mesh.y_cells,
             &|jj| {
                 // SAFETY: rows disjoint.
                 unsafe {
-                    common::row_cg_calc_ur(&mesh, j0 + jj, alpha, preconditioner, p, w, kx, ky, &u, &r, &z)
+                    common::row_cg_init(
+                        mesh,
+                        j0 + jj,
+                        preconditioner,
+                        u,
+                        u0,
+                        kx,
+                        ky,
+                        &w,
+                        &r,
+                        &p,
+                        &z,
+                    )
+                }
+            },
+        )
+    }
+
+    fn cg_calc_w(&mut self) -> f64 {
+        let mesh = &self.f.mesh;
+        let j0 = mesh.i0();
+        let env = DeviceEnv::new(&self.ctx, self.pool(), self.flavor);
+        let (p, kx, ky) = (&self.f.p, &self.f.kx, &self.f.ky);
+        let w = Us::new(&mut self.f.w);
+        env.target_reduce(
+            &profiles::cg_calc_w(profiles::cells(mesh)),
+            mesh.y_cells,
+            &|jj| {
+                // SAFETY: rows disjoint.
+                unsafe { common::row_cg_calc_w(mesh, j0 + jj, p, kx, ky, &w) }
+            },
+        )
+    }
+
+    fn cg_calc_ur(&mut self, alpha: f64, preconditioner: bool) -> f64 {
+        let mesh = &self.f.mesh;
+        let j0 = mesh.i0();
+        let env = DeviceEnv::new(&self.ctx, self.pool(), self.flavor);
+        let (p, w, kx, ky) = (&self.f.p, &self.f.w, &self.f.kx, &self.f.ky);
+        let (u, r, z) = (
+            Us::new(&mut self.f.u),
+            Us::new(&mut self.f.r),
+            Us::new(&mut self.f.z),
+        );
+        env.target_reduce(
+            &profiles::cg_calc_ur(profiles::cells(mesh), preconditioner),
+            mesh.y_cells,
+            &|jj| {
+                // SAFETY: rows disjoint.
+                unsafe {
+                    common::row_cg_calc_ur(
+                        mesh,
+                        j0 + jj,
+                        alpha,
+                        preconditioner,
+                        p,
+                        w,
+                        kx,
+                        ky,
+                        &u,
+                        &r,
+                        &z,
+                    )
                 }
             },
         )
     }
 
     fn cg_calc_p(&mut self, beta: f64, preconditioner: bool) {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let j0 = mesh.i0();
         let env = DeviceEnv::new(&self.ctx, self.pool(), self.flavor);
         let (r, z) = (&self.f.r, &self.f.z);
         let p = Us::new(&mut self.f.p);
-        env.target_parallel_for(&profiles::cg_calc_p(profiles::cells(&mesh)), mesh.y_cells, &|jj| {
-            // SAFETY: rows disjoint.
-            unsafe { common::row_cg_calc_p(&mesh, j0 + jj, beta, preconditioner, r, z, &p) };
-        });
+        env.target_parallel_for(
+            &profiles::cg_calc_p(profiles::cells(mesh)),
+            mesh.y_cells,
+            &|jj| {
+                // SAFETY: rows disjoint.
+                unsafe { common::row_cg_calc_p(mesh, j0 + jj, beta, preconditioner, r, z, &p) };
+            },
+        );
     }
 
     fn cheby_init(&mut self, theta: f64) {
@@ -187,111 +244,151 @@ impl TeaLeafPort for DirectivePort {
     }
 
     fn ppcg_init_sd(&mut self, theta: f64) {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let j0 = mesh.i0();
         let env = DeviceEnv::new(&self.ctx, self.pool(), self.flavor);
         let r = &self.f.r;
         let sd = Us::new(&mut self.f.sd);
-        env.target_parallel_for(&profiles::ppcg_init_sd(profiles::cells(&mesh)), mesh.y_cells, &|jj| {
-            // SAFETY: rows disjoint.
-            unsafe { common::row_sd_init(&mesh, j0 + jj, theta, r, &sd) };
-        });
+        env.target_parallel_for(
+            &profiles::ppcg_init_sd(profiles::cells(mesh)),
+            mesh.y_cells,
+            &|jj| {
+                // SAFETY: rows disjoint.
+                unsafe { common::row_sd_init(mesh, j0 + jj, theta, r, &sd) };
+            },
+        );
     }
 
     fn ppcg_inner(&mut self, alpha: f64, beta: f64) {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let j0 = mesh.i0();
         let pool = self.pool();
         {
             let env = DeviceEnv::new(&self.ctx, pool, self.flavor);
             let (sd, kx, ky) = (&self.f.sd, &self.f.kx, &self.f.ky);
             let w = Us::new(&mut self.f.w);
-            env.target_parallel_for(&profiles::ppcg_calc_w(profiles::cells(&mesh)), mesh.y_cells, &|jj| {
-                // SAFETY: rows disjoint.
-                unsafe { common::row_ppcg_w(&mesh, j0 + jj, sd, kx, ky, &w) };
-            });
+            env.target_parallel_for(
+                &profiles::ppcg_calc_w(profiles::cells(mesh)),
+                mesh.y_cells,
+                &|jj| {
+                    // SAFETY: rows disjoint.
+                    unsafe { common::row_ppcg_w(mesh, j0 + jj, sd, kx, ky, &w) };
+                },
+            );
         }
         let env = DeviceEnv::new(&self.ctx, pool, self.flavor);
         let w = &self.f.w;
-        let (u, r, sd) =
-            (Us::new(&mut self.f.u), Us::new(&mut self.f.r), Us::new(&mut self.f.sd));
-        env.target_parallel_for(&profiles::ppcg_update(profiles::cells(&mesh)), mesh.y_cells, &|jj| {
-            // SAFETY: rows disjoint.
-            unsafe { common::row_ppcg_update(&mesh, j0 + jj, alpha, beta, w, &u, &r, &sd) };
-        });
+        let (u, r, sd) = (
+            Us::new(&mut self.f.u),
+            Us::new(&mut self.f.r),
+            Us::new(&mut self.f.sd),
+        );
+        env.target_parallel_for(
+            &profiles::ppcg_update(profiles::cells(mesh)),
+            mesh.y_cells,
+            &|jj| {
+                // SAFETY: rows disjoint.
+                unsafe { common::row_ppcg_update(mesh, j0 + jj, alpha, beta, w, &u, &r, &sd) };
+            },
+        );
     }
 
     fn jacobi_iterate(&mut self) -> f64 {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let j0 = mesh.i0();
         let pool = self.pool();
         {
             let env = DeviceEnv::new(&self.ctx, pool, self.flavor);
             let u = &self.f.u;
             let r = Us::new(&mut self.f.r);
-            env.target_parallel_for(&profiles::jacobi_copy(profiles::cells(&mesh)), mesh.y_cells, &|jj| {
-                // SAFETY: rows disjoint.
-                unsafe { common::row_jacobi_copy(&mesh, j0 + jj, u, &r) };
-            });
+            env.target_parallel_for(
+                &profiles::jacobi_copy(profiles::cells(mesh)),
+                mesh.y_cells,
+                &|jj| {
+                    // SAFETY: rows disjoint.
+                    unsafe { common::row_jacobi_copy(mesh, j0 + jj, u, &r) };
+                },
+            );
         }
         let env = DeviceEnv::new(&self.ctx, pool, self.flavor);
         let (u0, r, kx, ky) = (&self.f.u0, &self.f.r, &self.f.kx, &self.f.ky);
         let u = Us::new(&mut self.f.u);
-        env.target_reduce(&profiles::jacobi_iterate(profiles::cells(&mesh)), mesh.y_cells, &|jj| {
-            // SAFETY: rows disjoint.
-            unsafe { common::row_jacobi_iterate(&mesh, j0 + jj, u0, r, kx, ky, &u) }
-        })
+        env.target_reduce(
+            &profiles::jacobi_iterate(profiles::cells(mesh)),
+            mesh.y_cells,
+            &|jj| {
+                // SAFETY: rows disjoint.
+                unsafe { common::row_jacobi_iterate(mesh, j0 + jj, u0, r, kx, ky, &u) }
+            },
+        )
     }
 
     fn residual(&mut self) {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let j0 = mesh.i0();
         let env = DeviceEnv::new(&self.ctx, self.pool(), self.flavor);
         let (u, u0, kx, ky) = (&self.f.u, &self.f.u0, &self.f.kx, &self.f.ky);
         let r = Us::new(&mut self.f.r);
-        env.target_parallel_for(&profiles::residual(profiles::cells(&mesh)), mesh.y_cells, &|jj| {
-            // SAFETY: rows disjoint.
-            unsafe { common::row_residual(&mesh, j0 + jj, u, u0, kx, ky, &r) };
-        });
+        env.target_parallel_for(
+            &profiles::residual(profiles::cells(mesh)),
+            mesh.y_cells,
+            &|jj| {
+                // SAFETY: rows disjoint.
+                unsafe { common::row_residual(mesh, j0 + jj, u, u0, kx, ky, &r) };
+            },
+        );
     }
 
     fn calc_2norm(&mut self, field: NormField) -> f64 {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let j0 = mesh.i0();
         let env = DeviceEnv::new(&self.ctx, self.pool(), self.flavor);
         let x = match field {
             NormField::U0 => &self.f.u0,
             NormField::R => &self.f.r,
         };
-        env.target_reduce(&profiles::norm(profiles::cells(&mesh)), mesh.y_cells, &|jj| {
-            common::row_norm(&mesh, j0 + jj, x)
-        })
+        env.target_reduce(
+            &profiles::norm(profiles::cells(mesh)),
+            mesh.y_cells,
+            &|jj| common::row_norm(mesh, j0 + jj, x),
+        )
     }
 
     fn finalise(&mut self) {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let j0 = mesh.i0();
         let env = DeviceEnv::new(&self.ctx, self.pool(), self.flavor);
         let (u, density) = (&self.f.u, &self.f.density);
         let energy = Us::new(&mut self.f.energy);
-        env.target_parallel_for(&profiles::finalise(profiles::cells(&mesh)), mesh.y_cells, &|jj| {
-            // SAFETY: rows disjoint.
-            unsafe { common::row_finalise(&mesh, j0 + jj, u, density, &energy) };
-        });
+        env.target_parallel_for(
+            &profiles::finalise(profiles::cells(mesh)),
+            mesh.y_cells,
+            &|jj| {
+                // SAFETY: rows disjoint.
+                unsafe { common::row_finalise(mesh, j0 + jj, u, density, &energy) };
+            },
+        );
         // energy stays resident: the field summary reduces on the device
         // and only scalars come back, as in the reference ports.
     }
 
     fn field_summary(&mut self) -> Summary {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let j0 = mesh.i0();
         let env = DeviceEnv::new(&self.ctx, self.pool(), self.flavor);
         let vol = mesh.cell_volume();
         let (density, energy, u) = (&self.f.density, &self.f.energy, &self.f.u);
-        let acc = env.target_reduce_many(&profiles::field_summary(profiles::cells(&mesh)), mesh.y_cells, &|jj| {
-            common::row_summary(&mesh, j0 + jj, density, energy, u, vol)
-        });
-        Summary { volume: acc[0], mass: acc[1], internal_energy: acc[2], temperature: acc[3] }
+        let acc = env.target_reduce_many(
+            &profiles::field_summary(profiles::cells(mesh)),
+            mesh.y_cells,
+            &|jj| common::row_summary(mesh, j0 + jj, density, energy, u, vol),
+        );
+        Summary {
+            volume: acc[0],
+            mass: acc[1],
+            internal_energy: acc[2],
+            temperature: acc[3],
+        }
     }
 
     fn read_u(&mut self) -> Vec<f64> {
@@ -303,27 +400,52 @@ impl TeaLeafPort for DirectivePort {
 
 impl DirectivePort {
     fn cheby_step(&mut self, first: bool, theta: f64, alpha: f64, beta: f64) {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let j0 = mesh.i0();
         let pool = self.pool();
         {
             let env = DeviceEnv::new(&self.ctx, pool, self.flavor);
             let (u, u0, kx, ky) = (&self.f.u, &self.f.u0, &self.f.kx, &self.f.ky);
-            let (w, r, p) =
-                (Us::new(&mut self.f.w), Us::new(&mut self.f.r), Us::new(&mut self.f.p));
-            env.target_parallel_for(&profiles::cheby_calc_p(profiles::cells(&mesh)), mesh.y_cells, &|jj| {
-                // SAFETY: rows disjoint.
-                unsafe {
-                    common::row_cheby_calc_p(&mesh, j0 + jj, first, theta, alpha, beta, u, u0, kx, ky, &w, &r, &p)
-                };
-            });
+            let (w, r, p) = (
+                Us::new(&mut self.f.w),
+                Us::new(&mut self.f.r),
+                Us::new(&mut self.f.p),
+            );
+            env.target_parallel_for(
+                &profiles::cheby_calc_p(profiles::cells(mesh)),
+                mesh.y_cells,
+                &|jj| {
+                    // SAFETY: rows disjoint.
+                    unsafe {
+                        common::row_cheby_calc_p(
+                            mesh,
+                            j0 + jj,
+                            first,
+                            theta,
+                            alpha,
+                            beta,
+                            u,
+                            u0,
+                            kx,
+                            ky,
+                            &w,
+                            &r,
+                            &p,
+                        )
+                    };
+                },
+            );
         }
         let env = DeviceEnv::new(&self.ctx, pool, self.flavor);
         let p = &self.f.p;
         let u = Us::new(&mut self.f.u);
-        env.target_parallel_for(&profiles::add_to_u(profiles::cells(&mesh)), mesh.y_cells, &|jj| {
-            // SAFETY: rows disjoint.
-            unsafe { common::row_add_p_to_u(&mesh, j0 + jj, p, &u) };
-        });
+        env.target_parallel_for(
+            &profiles::add_to_u(profiles::cells(mesh)),
+            mesh.y_cells,
+            &|jj| {
+                // SAFETY: rows disjoint.
+                unsafe { common::row_add_p_to_u(mesh, j0 + jj, p, &u) };
+            },
+        );
     }
 }

@@ -16,10 +16,10 @@
 //! roughly halving KNC CG/PPCG time (§4.2, §4.3).
 
 use kokkos_rs::{deep_copy, ExecutionSpace, Functor, RangePolicy, TeamPolicy, View};
-use parpool::StaticPool;
+use parpool::{Executor, StaticPool};
 use simdev::{DeviceSpec, KernelProfile, SimContext};
 use tea_core::config::Coefficient;
-use tea_core::halo::{update_halo, FieldId};
+use tea_core::halo::{update_halo_batch, FieldId};
 use tea_core::mesh::Mesh2d;
 use tea_core::summary::Summary;
 
@@ -72,7 +72,10 @@ fn grid_for(
         let cols = i1 - i0;
         space.team_parallel_for(
             profile,
-            TeamPolicy { league_size: mesh.y_cells, team_size: 8 },
+            TeamPolicy {
+                league_size: mesh.y_cells,
+                team_size: 8,
+            },
             &|member| {
                 let j = i0 + member.league_rank;
                 member.team_thread_range(cols, |ii| f(common::idx(width, i0 + ii, j)));
@@ -102,7 +105,10 @@ fn grid_reduce(
     if hp {
         space.team_parallel_reduce(
             profile,
-            TeamPolicy { league_size: mesh.y_cells, team_size: 8 },
+            TeamPolicy {
+                league_size: mesh.y_cells,
+                team_size: 8,
+            },
             &|member| {
                 let j = i0 + member.league_rank;
                 member.team_thread_reduce(cols, |ii| f(common::idx(width, i0 + ii, j)))
@@ -128,7 +134,7 @@ fn grid_reduce(
 /// lambda style the paper could not (CUDA 7.0); keeping one functor
 /// exhibits the verbosity difference the paper discusses.
 struct InitU0Functor<'a> {
-    mesh: Mesh2d,
+    mesh: &'a Mesh2d,
     density: &'a [f64],
     energy: &'a [f64],
     u0: Us<'a>,
@@ -137,7 +143,7 @@ struct InitU0Functor<'a> {
 
 impl Functor for InitU0Functor<'_> {
     fn operator(&self, k: usize) {
-        if in_interior(&self.mesh, k) {
+        if in_interior(self.mesh, k) {
             // SAFETY: cells disjoint.
             unsafe { common::cell_init_u0(k, self.density, self.energy, &self.u0, &self.u) };
         }
@@ -200,20 +206,60 @@ impl KokkosPort {
         }
     }
 
-    fn view_mut(&mut self, id: FieldId) -> &mut View {
-        match id {
-            FieldId::Density => &mut self.density,
-            FieldId::Energy0 | FieldId::Energy1 => &mut self.energy,
-            FieldId::U => &mut self.u,
-            FieldId::U0 => &mut self.u0,
-            FieldId::P => &mut self.p,
-            FieldId::R => &mut self.r,
-            FieldId::W => &mut self.w,
-            FieldId::Z | FieldId::Mi => &mut self.z,
-            FieldId::Kx => &mut self.kx,
-            FieldId::Ky => &mut self.ky,
-            FieldId::Sd => &mut self.sd,
-        }
+    /// Borrow the mesh alongside the raw storage of each listed field,
+    /// for the batched halo update. Panics if a `View` is listed twice.
+    fn halo_views(&mut self, ids: &[FieldId]) -> (&Mesh2d, Vec<&mut [f64]>) {
+        let KokkosPort {
+            mesh,
+            density,
+            energy,
+            u,
+            u0,
+            p,
+            r,
+            w,
+            z,
+            kx,
+            ky,
+            sd,
+            ..
+        } = self;
+        let mut slots = [
+            Some(density),
+            Some(energy),
+            Some(u),
+            Some(u0),
+            Some(p),
+            Some(r),
+            Some(w),
+            Some(z),
+            Some(kx),
+            Some(ky),
+            Some(sd),
+        ];
+        let views = ids
+            .iter()
+            .map(|&id| {
+                let slot = match id {
+                    FieldId::Density => 0,
+                    FieldId::Energy0 | FieldId::Energy1 => 1,
+                    FieldId::U => 2,
+                    FieldId::U0 => 3,
+                    FieldId::P => 4,
+                    FieldId::R => 5,
+                    FieldId::W => 6,
+                    FieldId::Z | FieldId::Mi => 7,
+                    FieldId::Kx => 8,
+                    FieldId::Ky => 9,
+                    FieldId::Sd => 10,
+                };
+                slots[slot]
+                    .take()
+                    .unwrap_or_else(|| panic!("{} batched twice in one halo update", id.name()))
+                    .raw_mut()
+            })
+            .collect();
+        (&*mesh, views)
     }
 }
 
@@ -227,7 +273,7 @@ impl TeaLeafPort for KokkosPort {
     }
 
     fn init_fields(&mut self, coefficient: Coefficient, rx: f64, ry: f64) {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let hp = self.hp;
         let p_u0 = self.grid_profile(profiles::init_u0(self.n()));
         let p_k = self.grid_profile(profiles::init_coeffs(self.n()));
@@ -238,13 +284,19 @@ impl TeaLeafPort for KokkosPort {
             let u0 = Us::new(self.u0.raw_mut());
             let u = Us::new(self.u.raw_mut());
             if hp {
-                grid_for(hp, &mesh, &space, &p_u0, &|k| {
+                grid_for(hp, mesh, &space, &p_u0, &|k| {
                     // SAFETY: cells disjoint.
                     unsafe { common::cell_init_u0(k, density, energy, &u0, &u) };
                 });
             } else {
                 // functor style over the flat padded range, guard inside
-                let functor = InitU0Functor { mesh: mesh.clone(), density, energy, u0, u };
+                let functor = InitU0Functor {
+                    mesh,
+                    density,
+                    energy,
+                    u0,
+                    u,
+                };
                 space.parallel_for_functor(&p_u0, RangePolicy::new(0, mesh.len()), &functor);
             }
         }
@@ -261,22 +313,27 @@ impl TeaLeafPort for KokkosPort {
             let (i, j) = (k % width, k / width);
             if i >= lo && i <= i1 && j >= lo && j <= j1 {
                 // SAFETY: cells disjoint.
-                unsafe { common::cell_init_coeffs(width, k, coefficient, rx, ry, density, &kx, &ky) };
+                unsafe {
+                    common::cell_init_coeffs(width, k, coefficient, rx, ry, density, &kx, &ky)
+                };
             }
         });
     }
 
     fn halo_update(&mut self, fields: &[FieldId], depth: usize) {
-        let mesh = self.mesh.clone();
-        for &id in fields {
-            self.ctx.launch(&profiles::halo(&mesh, depth));
-            let view = self.view_mut(id);
-            update_halo(&mesh, view.raw_mut(), depth);
+        // One launch charge per field (unchanged), all ghost writes as one
+        // batched dispatch on the execution space's pool.
+        let profile = profiles::halo(&self.mesh, depth);
+        for _ in fields {
+            self.ctx.launch(&profile);
         }
+        let pool = self.pool();
+        let (mesh, mut slices) = self.halo_views(fields);
+        update_halo_batch(mesh, &mut slices, depth, pool);
     }
 
     fn cg_init(&mut self, preconditioner: bool) -> f64 {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let hp = self.hp;
         let profile = self.grid_profile(profiles::cg_init(self.n(), preconditioner));
         let pool = self.pool();
@@ -287,28 +344,28 @@ impl TeaLeafPort for KokkosPort {
         let r = Us::new(self.r.raw_mut());
         let p = Us::new(self.p.raw_mut());
         let z = Us::new(self.z.raw_mut());
-        grid_reduce(hp, &mesh, &space, &profile, &|k| {
+        grid_reduce(hp, mesh, &space, &profile, &|k| {
             // SAFETY: cells disjoint.
             unsafe { common::cell_cg_init(width, k, preconditioner, u, u0, kx, ky, &w, &r, &p, &z) }
         })
     }
 
     fn cg_calc_w(&mut self) -> f64 {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let hp = self.hp;
         let profile = self.grid_profile(profiles::cg_calc_w(self.n()));
         let space = ExecutionSpace::new(&self.ctx, self.pool());
         let width = mesh.width();
         let (p, kx, ky) = (self.p.raw(), self.kx.raw(), self.ky.raw());
         let w = Us::new(self.w.raw_mut());
-        grid_reduce(hp, &mesh, &space, &profile, &|k| {
+        grid_reduce(hp, mesh, &space, &profile, &|k| {
             // SAFETY: cells disjoint.
             unsafe { common::cell_cg_calc_w(width, k, p, kx, ky, &w) }
         })
     }
 
     fn cg_calc_ur(&mut self, alpha: f64, preconditioner: bool) -> f64 {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let hp = self.hp;
         let profile = self.grid_profile(profiles::cg_calc_ur(self.n(), preconditioner));
         let space = ExecutionSpace::new(&self.ctx, self.pool());
@@ -317,7 +374,7 @@ impl TeaLeafPort for KokkosPort {
         let u = Us::new(self.u.raw_mut());
         let r = Us::new(self.r.raw_mut());
         let z = Us::new(self.z.raw_mut());
-        grid_reduce(hp, &mesh, &space, &profile, &|k| {
+        grid_reduce(hp, mesh, &space, &profile, &|k| {
             // SAFETY: cells disjoint.
             unsafe {
                 common::cell_cg_calc_ur(width, k, alpha, preconditioner, p, w, kx, ky, &u, &r, &z)
@@ -326,16 +383,78 @@ impl TeaLeafPort for KokkosPort {
     }
 
     fn cg_calc_p(&mut self, beta: f64, preconditioner: bool) {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let hp = self.hp;
         let profile = self.grid_profile(profiles::cg_calc_p(self.n()));
         let space = ExecutionSpace::new(&self.ctx, self.pool());
         let (r, z) = (self.r.raw(), self.z.raw());
         let p = Us::new(self.p.raw_mut());
-        grid_for(hp, &mesh, &space, &profile, &|k| {
+        grid_for(hp, mesh, &space, &profile, &|k| {
             // SAFETY: cells disjoint.
             unsafe { common::cell_cg_calc_p(k, beta, preconditioner, r, z, &p) };
         });
+    }
+
+    fn supports_fused_cg(&self) -> bool {
+        true
+    }
+
+    fn cg_fused_ur_p(&mut self, alpha: f64, rro: f64, preconditioner: bool) -> (f64, f64) {
+        let mesh = &self.mesh;
+        let p_ur = self.grid_profile(profiles::cg_calc_ur(self.n(), preconditioner));
+        let p_tail = self.grid_profile(profiles::cg_fused_p_tail(self.n()));
+        let pool = self.pool();
+        // One launch covers both sweeps (the p-update is a zero-overhead
+        // tail); they run directly on the execution space's pool with the
+        // same row-ordered arithmetic as the unfused
+        // `grid_reduce`/`grid_for` pair (both variants of which fold
+        // per-row partials in row order).
+        self.ctx.launch(&p_ur);
+        self.ctx.launch(&p_tail);
+        let width = mesh.width();
+        let (i0, i1) = (mesh.i0(), mesh.i1());
+        let rrn = {
+            let (p, w, kx, ky) = (self.p.raw(), self.w.raw(), self.kx.raw(), self.ky.raw());
+            let u = Us::new(self.u.raw_mut());
+            let r = Us::new(self.r.raw_mut());
+            let z = Us::new(self.z.raw_mut());
+            pool.run_sum(mesh.y_cells, &|jj| {
+                let j = i0 + jj;
+                let mut acc = 0.0;
+                for i in i0..i1 {
+                    // SAFETY: cells disjoint.
+                    acc += unsafe {
+                        common::cell_cg_calc_ur(
+                            width,
+                            common::idx(width, i, j),
+                            alpha,
+                            preconditioner,
+                            p,
+                            w,
+                            kx,
+                            ky,
+                            &u,
+                            &r,
+                            &z,
+                        )
+                    };
+                }
+                acc
+            })
+        };
+        let beta = rrn / rro;
+        let (r, z) = (self.r.raw(), self.z.raw());
+        let p = Us::new(self.p.raw_mut());
+        pool.run(mesh.y_cells, &|jj| {
+            let j = i0 + jj;
+            for i in i0..i1 {
+                // SAFETY: cells disjoint.
+                unsafe {
+                    common::cell_cg_calc_p(common::idx(width, i, j), beta, preconditioner, r, z, &p)
+                };
+            }
+        });
+        (rrn, beta)
     }
 
     fn cheby_init(&mut self, theta: f64) {
@@ -347,20 +466,20 @@ impl TeaLeafPort for KokkosPort {
     }
 
     fn ppcg_init_sd(&mut self, theta: f64) {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let hp = self.hp;
         let profile = self.grid_profile(profiles::ppcg_init_sd(self.n()));
         let space = ExecutionSpace::new(&self.ctx, self.pool());
         let r = self.r.raw();
         let sd = Us::new(self.sd.raw_mut());
-        grid_for(hp, &mesh, &space, &profile, &|k| {
+        grid_for(hp, mesh, &space, &profile, &|k| {
             // SAFETY: cells disjoint.
             unsafe { common::cell_sd_init(k, theta, r, &sd) };
         });
     }
 
     fn ppcg_inner(&mut self, alpha: f64, beta: f64) {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let hp = self.hp;
         let p_w = self.grid_profile(profiles::ppcg_calc_w(self.n()));
         let p_up = self.grid_profile(profiles::ppcg_update(self.n()));
@@ -370,7 +489,7 @@ impl TeaLeafPort for KokkosPort {
             let space = ExecutionSpace::new(&self.ctx, pool);
             let (sd, kx, ky) = (self.sd.raw(), self.kx.raw(), self.ky.raw());
             let w = Us::new(self.w.raw_mut());
-            grid_for(hp, &mesh, &space, &p_w, &|k| {
+            grid_for(hp, mesh, &space, &p_w, &|k| {
                 // SAFETY: cells disjoint.
                 unsafe { common::cell_ppcg_w(width, k, sd, kx, ky, &w) };
             });
@@ -380,14 +499,14 @@ impl TeaLeafPort for KokkosPort {
         let u = Us::new(self.u.raw_mut());
         let r = Us::new(self.r.raw_mut());
         let sd = Us::new(self.sd.raw_mut());
-        grid_for(hp, &mesh, &space, &p_up, &|k| {
+        grid_for(hp, mesh, &space, &p_up, &|k| {
             // SAFETY: cells disjoint.
             unsafe { common::cell_ppcg_update(k, alpha, beta, w, &u, &r, &sd) };
         });
     }
 
     fn jacobi_iterate(&mut self) -> f64 {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let hp = self.hp;
         let p_copy = self.grid_profile(profiles::jacobi_copy(self.n()));
         let p_it = self.grid_profile(profiles::jacobi_iterate(self.n()));
@@ -397,7 +516,7 @@ impl TeaLeafPort for KokkosPort {
             let space = ExecutionSpace::new(&self.ctx, pool);
             let u = self.u.raw();
             let r = Us::new(self.r.raw_mut());
-            grid_for(hp, &mesh, &space, &p_copy, &|k| {
+            grid_for(hp, mesh, &space, &p_copy, &|k| {
                 // SAFETY: cells disjoint.
                 unsafe { r.set(k, u[k]) };
             });
@@ -405,28 +524,28 @@ impl TeaLeafPort for KokkosPort {
         let space = ExecutionSpace::new(&self.ctx, pool);
         let (u0, r, kx, ky) = (self.u0.raw(), self.r.raw(), self.kx.raw(), self.ky.raw());
         let u = Us::new(self.u.raw_mut());
-        grid_reduce(hp, &mesh, &space, &p_it, &|k| {
+        grid_reduce(hp, mesh, &space, &p_it, &|k| {
             // SAFETY: cells disjoint.
             unsafe { common::cell_jacobi_iterate(width, k, u0, r, kx, ky, &u) }
         })
     }
 
     fn residual(&mut self) {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let hp = self.hp;
         let profile = self.grid_profile(profiles::residual(self.n()));
         let space = ExecutionSpace::new(&self.ctx, self.pool());
         let width = mesh.width();
         let (u, u0, kx, ky) = (self.u.raw(), self.u0.raw(), self.kx.raw(), self.ky.raw());
         let r = Us::new(self.r.raw_mut());
-        grid_for(hp, &mesh, &space, &profile, &|k| {
+        grid_for(hp, mesh, &space, &profile, &|k| {
             // SAFETY: cells disjoint.
             unsafe { common::cell_residual(width, k, u, u0, kx, ky, &r) };
         });
     }
 
     fn calc_2norm(&mut self, field: NormField) -> f64 {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let hp = self.hp;
         let profile = self.grid_profile(profiles::norm(self.n()));
         let space = ExecutionSpace::new(&self.ctx, self.pool());
@@ -434,17 +553,17 @@ impl TeaLeafPort for KokkosPort {
             NormField::U0 => self.u0.raw(),
             NormField::R => self.r.raw(),
         };
-        grid_reduce(hp, &mesh, &space, &profile, &|k| common::cell_norm(k, x))
+        grid_reduce(hp, mesh, &space, &profile, &|k| common::cell_norm(k, x))
     }
 
     fn finalise(&mut self) {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let hp = self.hp;
         let profile = self.grid_profile(profiles::finalise(self.n()));
         let space = ExecutionSpace::new(&self.ctx, self.pool());
         let (u, density) = (self.u.raw(), self.density.raw());
         let energy = Us::new(self.energy.raw_mut());
-        grid_for(hp, &mesh, &space, &profile, &|k| {
+        grid_for(hp, mesh, &space, &profile, &|k| {
             // SAFETY: cells disjoint.
             unsafe { common::cell_finalise(k, u, density, &energy) };
         });
@@ -455,7 +574,7 @@ impl TeaLeafPort for KokkosPort {
         // paper's port (§3.3) — here via Kokkos' custom-reducer dispatch,
         // one component at a time would lose fusion, so use the array
         // reducer over rows.
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let profile = self.grid_profile(profiles::field_summary(self.n()));
         let space = ExecutionSpace::new(&self.ctx, self.pool());
         let (i0, i1) = (mesh.i0(), mesh.i1());
@@ -471,7 +590,13 @@ impl TeaLeafPort for KokkosPort {
                 let j = i0 + jj;
                 let mut row = [0.0; 4];
                 for ii in 0..cols {
-                    let c = common::cell_summary(common::idx(width, i0 + ii, j), density, energy, u, vol);
+                    let c = common::cell_summary(
+                        common::idx(width, i0 + ii, j),
+                        density,
+                        energy,
+                        u,
+                        vol,
+                    );
                     for q in 0..4 {
                         row[q] += c[q];
                     }
@@ -479,7 +604,12 @@ impl TeaLeafPort for KokkosPort {
                 row
             },
         );
-        Summary { volume: acc[0], mass: acc[1], internal_energy: acc[2], temperature: acc[3] }
+        Summary {
+            volume: acc[0],
+            mass: acc[1],
+            internal_energy: acc[2],
+            temperature: acc[3],
+        }
     }
 
     fn read_u(&mut self) -> Vec<f64> {
@@ -491,7 +621,7 @@ impl TeaLeafPort for KokkosPort {
 
 impl KokkosPort {
     fn cheby_step(&mut self, first: bool, theta: f64, alpha: f64, beta: f64) {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let hp = self.hp;
         let p_p = self.grid_profile(profiles::cheby_calc_p(self.n()));
         let p_u = self.grid_profile(profiles::add_to_u(self.n()));
@@ -503,17 +633,19 @@ impl KokkosPort {
             let w = Us::new(self.w.raw_mut());
             let r = Us::new(self.r.raw_mut());
             let p = Us::new(self.p.raw_mut());
-            grid_for(hp, &mesh, &space, &p_p, &|k| {
+            grid_for(hp, mesh, &space, &p_p, &|k| {
                 // SAFETY: cells disjoint.
                 unsafe {
-                    common::cell_cheby_calc_p(width, k, first, theta, alpha, beta, u, u0, kx, ky, &w, &r, &p)
+                    common::cell_cheby_calc_p(
+                        width, k, first, theta, alpha, beta, u, u0, kx, ky, &w, &r, &p,
+                    )
                 };
             });
         }
         let space = ExecutionSpace::new(&self.ctx, pool);
         let p = self.p.raw();
         let u = Us::new(self.u.raw_mut());
-        grid_for(hp, &mesh, &space, &p_u, &|k| {
+        grid_for(hp, mesh, &space, &p_u, &|k| {
             // SAFETY: cells disjoint.
             unsafe { common::cell_add_p_to_u(k, p, &u) };
         });

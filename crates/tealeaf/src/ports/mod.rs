@@ -26,14 +26,22 @@ use crate::problem::Problem;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PortError {
     /// Table 1: the model has no implementation for this device.
-    Unsupported { model: ModelId, device: &'static str },
+    Unsupported {
+        model: ModelId,
+        device: &'static str,
+    },
 }
 
 impl fmt::Display for PortError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PortError::Unsupported { model, device } => {
-                write!(f, "{} has no implementation for the {} (paper Table 1)", model.label(), device)
+                write!(
+                    f,
+                    "{} has no implementation for the {} (paper Table 1)",
+                    model.label(),
+                    device
+                )
             }
         }
     }
@@ -51,7 +59,10 @@ pub fn make_port(
     seed: u64,
 ) -> Result<Box<dyn TeaLeafPort>, PortError> {
     if model.supports(device.kind).is_none() {
-        return Err(PortError::Unsupported { model, device: device.kind.name() });
+        return Err(PortError::Unsupported {
+            model,
+            device: device.kind.name(),
+        });
     }
     Ok(match model {
         ModelId::Serial => Box::new(serial::SerialPort::new(device, problem, seed)),
@@ -84,7 +95,9 @@ mod tests {
         let err = make_port(ModelId::Cuda, devices::cpu_xeon_e5_2670_x2(), &problem, 1);
         assert!(err.is_err());
         let err = make_port(ModelId::Raja, devices::gpu_k20x(), &problem, 1);
-        let Err(e) = err else { panic!("RAJA on GPU must be unsupported") };
+        let Err(e) = err else {
+            panic!("RAJA on GPU must be unsupported")
+        };
         let msg = format!("{e}");
         assert!(msg.contains("RAJA") && msg.contains("gpu"));
     }

@@ -15,7 +15,7 @@
 use parpool::{Executor, StaticPool};
 use simdev::{DeviceSpec, SimContext};
 use tea_core::config::Coefficient;
-use tea_core::halo::{update_halo, FieldId};
+use tea_core::halo::FieldId;
 use tea_core::summary::Summary;
 
 use crate::kernels::{NormField, TeaLeafPort};
@@ -59,7 +59,7 @@ impl TeaLeafPort for Omp3Port {
     }
 
     fn init_fields(&mut self, coefficient: Coefficient, rx: f64, ry: f64) {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let pool = self.pool();
         let rows = mesh.y_cells;
         let j0 = mesh.i0();
@@ -70,7 +70,7 @@ impl TeaLeafPort for Omp3Port {
             // omp parallel for over rows
             pool.run(rows, &|jj| {
                 // SAFETY: rows are disjoint across iterations.
-                unsafe { common::row_init_u0(&mesh, j0 + jj, density, energy, &u0, &u) };
+                unsafe { common::row_init_u0(mesh, j0 + jj, density, energy, &u0, &u) };
             });
         }
         self.ctx.launch(&profiles::init_coeffs(self.n()));
@@ -80,26 +80,30 @@ impl TeaLeafPort for Omp3Port {
             pool.run(mesh.y_cells + 1, &|jj| {
                 // SAFETY: rows disjoint; covers j0..=j1 inclusive.
                 unsafe {
-                    common::row_init_coeffs(&mesh, j0 + jj, coefficient, rx, ry, density, &kx, &ky)
+                    common::row_init_coeffs(mesh, j0 + jj, coefficient, rx, ry, density, &kx, &ky)
                 };
             });
         }
     }
 
     fn halo_update(&mut self, fields: &[FieldId], depth: usize) {
-        let mesh = self.f.mesh.clone();
-        for &id in fields {
-            self.ctx.launch(&profiles::halo(&mesh, depth));
-            update_halo(&mesh, self.f.field_mut(id), depth);
+        // One launch charge per field (the modelled schedule is unchanged),
+        // but all ghost writes run as a single batched parallel region.
+        let profile = profiles::halo(&self.f.mesh, depth);
+        for _ in fields {
+            self.ctx.launch(&profile);
         }
+        let pool = self.pool();
+        self.f.halo_batch(fields, depth, pool);
     }
 
     fn cg_init(&mut self, preconditioner: bool) -> f64 {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let pool = self.pool();
         let rows = mesh.y_cells;
         let j0 = mesh.i0();
-        self.ctx.launch(&profiles::cg_init(self.n(), preconditioner));
+        self.ctx
+            .launch(&profiles::cg_init(self.n(), preconditioner));
         let (u, u0, kx, ky) = (&self.f.u, &self.f.u0, &self.f.kx, &self.f.ky);
         let (w, r, p, z) = (
             Us::new(&mut self.f.w),
@@ -110,13 +114,13 @@ impl TeaLeafPort for Omp3Port {
         pool.run_sum(rows, &|jj| {
             // SAFETY: rows disjoint.
             unsafe {
-                common::row_cg_init(&mesh, j0 + jj, preconditioner, u, u0, kx, ky, &w, &r, &p, &z)
+                common::row_cg_init(mesh, j0 + jj, preconditioner, u, u0, kx, ky, &w, &r, &p, &z)
             }
         })
     }
 
     fn cg_calc_w(&mut self) -> f64 {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let pool = self.pool();
         let rows = mesh.y_cells;
         let j0 = mesh.i0();
@@ -125,29 +129,45 @@ impl TeaLeafPort for Omp3Port {
         let w = Us::new(&mut self.f.w);
         pool.run_sum(rows, &|jj| {
             // SAFETY: rows disjoint.
-            unsafe { common::row_cg_calc_w(&mesh, j0 + jj, p, kx, ky, &w) }
+            unsafe { common::row_cg_calc_w(mesh, j0 + jj, p, kx, ky, &w) }
         })
     }
 
     fn cg_calc_ur(&mut self, alpha: f64, preconditioner: bool) -> f64 {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let pool = self.pool();
         let rows = mesh.y_cells;
         let j0 = mesh.i0();
-        self.ctx.launch(&profiles::cg_calc_ur(self.n(), preconditioner));
+        self.ctx
+            .launch(&profiles::cg_calc_ur(self.n(), preconditioner));
         let (p, w, kx, ky) = (&self.f.p, &self.f.w, &self.f.kx, &self.f.ky);
-        let (u, r, z) =
-            (Us::new(&mut self.f.u), Us::new(&mut self.f.r), Us::new(&mut self.f.z));
+        let (u, r, z) = (
+            Us::new(&mut self.f.u),
+            Us::new(&mut self.f.r),
+            Us::new(&mut self.f.z),
+        );
         pool.run_sum(rows, &|jj| {
             // SAFETY: rows disjoint.
             unsafe {
-                common::row_cg_calc_ur(&mesh, j0 + jj, alpha, preconditioner, p, w, kx, ky, &u, &r, &z)
+                common::row_cg_calc_ur(
+                    mesh,
+                    j0 + jj,
+                    alpha,
+                    preconditioner,
+                    p,
+                    w,
+                    kx,
+                    ky,
+                    &u,
+                    &r,
+                    &z,
+                )
             }
         })
     }
 
     fn cg_calc_p(&mut self, beta: f64, preconditioner: bool) {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let pool = self.pool();
         let rows = mesh.y_cells;
         let j0 = mesh.i0();
@@ -156,8 +176,60 @@ impl TeaLeafPort for Omp3Port {
         let p = Us::new(&mut self.f.p);
         pool.run(rows, &|jj| {
             // SAFETY: rows disjoint.
-            unsafe { common::row_cg_calc_p(&mesh, j0 + jj, beta, preconditioner, r, z, &p) };
+            unsafe { common::row_cg_calc_p(mesh, j0 + jj, beta, preconditioner, r, z, &p) };
         });
+    }
+
+    fn supports_fused_cg(&self) -> bool {
+        true
+    }
+
+    fn cg_fused_ur_p(&mut self, alpha: f64, rro: f64, preconditioner: bool) -> (f64, f64) {
+        let mesh = &self.f.mesh;
+        let pool = self.pool();
+        let rows = mesh.y_cells;
+        let j0 = mesh.i0();
+        // One parallel region covers both sweeps: the ur reduction is
+        // charged as usual, the p-update rides the same region (no second
+        // dispatch). The arithmetic and the row-ordered reduction are
+        // exactly the unfused kernels'.
+        self.ctx
+            .launch(&profiles::cg_calc_ur(self.n(), preconditioner));
+        self.ctx.launch(&profiles::cg_fused_p_tail(self.n()));
+        let rrn = {
+            let (p, w, kx, ky) = (&self.f.p, &self.f.w, &self.f.kx, &self.f.ky);
+            let (u, r, z) = (
+                Us::new(&mut self.f.u),
+                Us::new(&mut self.f.r),
+                Us::new(&mut self.f.z),
+            );
+            pool.run_sum(rows, &|jj| {
+                // SAFETY: rows disjoint.
+                unsafe {
+                    common::row_cg_calc_ur(
+                        mesh,
+                        j0 + jj,
+                        alpha,
+                        preconditioner,
+                        p,
+                        w,
+                        kx,
+                        ky,
+                        &u,
+                        &r,
+                        &z,
+                    )
+                }
+            })
+        };
+        let beta = rrn / rro;
+        let (r, z) = (&self.f.r, &self.f.z);
+        let p = Us::new(&mut self.f.p);
+        pool.run(rows, &|jj| {
+            // SAFETY: rows disjoint.
+            unsafe { common::row_cg_calc_p(mesh, j0 + jj, beta, preconditioner, r, z, &p) };
+        });
+        (rrn, beta)
     }
 
     fn cheby_init(&mut self, theta: f64) {
@@ -169,7 +241,7 @@ impl TeaLeafPort for Omp3Port {
     }
 
     fn ppcg_init_sd(&mut self, theta: f64) {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let pool = self.pool();
         let rows = mesh.y_cells;
         let j0 = mesh.i0();
@@ -178,12 +250,12 @@ impl TeaLeafPort for Omp3Port {
         let sd = Us::new(&mut self.f.sd);
         pool.run(rows, &|jj| {
             // SAFETY: rows disjoint.
-            unsafe { common::row_sd_init(&mesh, j0 + jj, theta, r, &sd) };
+            unsafe { common::row_sd_init(mesh, j0 + jj, theta, r, &sd) };
         });
     }
 
     fn ppcg_inner(&mut self, alpha: f64, beta: f64) {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let pool = self.pool();
         let rows = mesh.y_cells;
         let j0 = mesh.i0();
@@ -193,21 +265,24 @@ impl TeaLeafPort for Omp3Port {
             let w = Us::new(&mut self.f.w);
             pool.run(rows, &|jj| {
                 // SAFETY: rows disjoint.
-                unsafe { common::row_ppcg_w(&mesh, j0 + jj, sd, kx, ky, &w) };
+                unsafe { common::row_ppcg_w(mesh, j0 + jj, sd, kx, ky, &w) };
             });
         }
         self.ctx.launch(&profiles::ppcg_update(self.n()));
         let w = &self.f.w;
-        let (u, r, sd) =
-            (Us::new(&mut self.f.u), Us::new(&mut self.f.r), Us::new(&mut self.f.sd));
+        let (u, r, sd) = (
+            Us::new(&mut self.f.u),
+            Us::new(&mut self.f.r),
+            Us::new(&mut self.f.sd),
+        );
         pool.run(rows, &|jj| {
             // SAFETY: rows disjoint.
-            unsafe { common::row_ppcg_update(&mesh, j0 + jj, alpha, beta, w, &u, &r, &sd) };
+            unsafe { common::row_ppcg_update(mesh, j0 + jj, alpha, beta, w, &u, &r, &sd) };
         });
     }
 
     fn jacobi_iterate(&mut self) -> f64 {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let pool = self.pool();
         let rows = mesh.y_cells;
         let j0 = mesh.i0();
@@ -217,7 +292,7 @@ impl TeaLeafPort for Omp3Port {
             let r = Us::new(&mut self.f.r);
             pool.run(rows, &|jj| {
                 // SAFETY: rows disjoint.
-                unsafe { common::row_jacobi_copy(&mesh, j0 + jj, u, &r) };
+                unsafe { common::row_jacobi_copy(mesh, j0 + jj, u, &r) };
             });
         }
         self.ctx.launch(&profiles::jacobi_iterate(self.n()));
@@ -225,12 +300,12 @@ impl TeaLeafPort for Omp3Port {
         let u = Us::new(&mut self.f.u);
         pool.run_sum(rows, &|jj| {
             // SAFETY: rows disjoint.
-            unsafe { common::row_jacobi_iterate(&mesh, j0 + jj, u0, r, kx, ky, &u) }
+            unsafe { common::row_jacobi_iterate(mesh, j0 + jj, u0, r, kx, ky, &u) }
         })
     }
 
     fn residual(&mut self) {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let pool = self.pool();
         let rows = mesh.y_cells;
         let j0 = mesh.i0();
@@ -239,12 +314,12 @@ impl TeaLeafPort for Omp3Port {
         let r = Us::new(&mut self.f.r);
         pool.run(rows, &|jj| {
             // SAFETY: rows disjoint.
-            unsafe { common::row_residual(&mesh, j0 + jj, u, u0, kx, ky, &r) };
+            unsafe { common::row_residual(mesh, j0 + jj, u, u0, kx, ky, &r) };
         });
     }
 
     fn calc_2norm(&mut self, field: NormField) -> f64 {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let pool = self.pool();
         let rows = mesh.y_cells;
         let j0 = mesh.i0();
@@ -253,11 +328,11 @@ impl TeaLeafPort for Omp3Port {
             NormField::U0 => &self.f.u0,
             NormField::R => &self.f.r,
         };
-        pool.run_sum(rows, &|jj| common::row_norm(&mesh, j0 + jj, x))
+        pool.run_sum(rows, &|jj| common::row_norm(mesh, j0 + jj, x))
     }
 
     fn finalise(&mut self) {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let pool = self.pool();
         let rows = mesh.y_cells;
         let j0 = mesh.i0();
@@ -266,22 +341,29 @@ impl TeaLeafPort for Omp3Port {
         let energy = Us::new(&mut self.f.energy);
         pool.run(rows, &|jj| {
             // SAFETY: rows disjoint.
-            unsafe { common::row_finalise(&mesh, j0 + jj, u, density, &energy) };
+            unsafe { common::row_finalise(mesh, j0 + jj, u, density, &energy) };
         });
     }
 
     fn field_summary(&mut self) -> Summary {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let pool = self.pool();
         let rows = mesh.y_cells;
         let j0 = mesh.i0();
         self.ctx.launch(&profiles::field_summary(self.n()));
         let vol = mesh.cell_volume();
         let (density, energy, u) = (&self.f.density, &self.f.energy, &self.f.u);
-        let acc = parpool::run_sum_many(pool, rows, &|jj| {
-            common::row_summary(&mesh, j0 + jj, density, energy, u, vol)
+        // reduction(+:vol,mass,ie,temp) — the pool's allocation-free
+        // 4-wide scratch, per-row partials folded in row order.
+        let acc = pool.run_sum4(rows, &|jj| {
+            common::row_summary(mesh, j0 + jj, density, energy, u, vol)
         });
-        Summary { volume: acc[0], mass: acc[1], internal_energy: acc[2], temperature: acc[3] }
+        Summary {
+            volume: acc[0],
+            mass: acc[1],
+            internal_energy: acc[2],
+            temperature: acc[3],
+        }
     }
 
     fn read_u(&mut self) -> Vec<f64> {
@@ -292,20 +374,23 @@ impl TeaLeafPort for Omp3Port {
 
 impl Omp3Port {
     fn cheby_step(&mut self, first: bool, theta: f64, alpha: f64, beta: f64) {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let pool = self.pool();
         let rows = mesh.y_cells;
         let j0 = mesh.i0();
         self.ctx.launch(&profiles::cheby_calc_p(self.n()));
         {
             let (u, u0, kx, ky) = (&self.f.u, &self.f.u0, &self.f.kx, &self.f.ky);
-            let (w, r, p) =
-                (Us::new(&mut self.f.w), Us::new(&mut self.f.r), Us::new(&mut self.f.p));
+            let (w, r, p) = (
+                Us::new(&mut self.f.w),
+                Us::new(&mut self.f.r),
+                Us::new(&mut self.f.p),
+            );
             pool.run(rows, &|jj| {
                 // SAFETY: rows disjoint.
                 unsafe {
                     common::row_cheby_calc_p(
-                        &mesh,
+                        mesh,
                         j0 + jj,
                         first,
                         theta,
@@ -327,7 +412,7 @@ impl Omp3Port {
         let u = Us::new(&mut self.f.u);
         pool.run(rows, &|jj| {
             // SAFETY: rows disjoint.
-            unsafe { common::row_add_p_to_u(&mesh, j0 + jj, p, &u) };
+            unsafe { common::row_add_p_to_u(mesh, j0 + jj, p, &u) };
         });
     }
 }

@@ -17,7 +17,7 @@ use opencl_rs::{Buffer, ClDevice, CommandQueue, Context, Kernel, NdRange, Platfo
 use parpool::Executor;
 use simdev::{DeviceKind, DeviceSpec, SimContext};
 use tea_core::config::Coefficient;
-use tea_core::halo::{update_halo, FieldId};
+use tea_core::halo::{update_halo_batch, FieldId};
 use tea_core::mesh::Mesh2d;
 use tea_core::summary::Summary;
 
@@ -140,21 +140,12 @@ impl OpenClPort {
             cl_context,
         };
         // blocking writes of the generated fields
-        let exec = port.exec();
+        let exec = port.exec_static_or_steal();
         let queue = CommandQueue::new(&port.cl_context, &port.ctx, exec);
         queue.enqueue_write_buffer(&mut port.density, problem.density.as_slice());
         queue.enqueue_write_buffer(&mut port.energy, problem.energy.as_slice());
         queue.finish();
         port
-    }
-
-    /// The Intel CPU runtime schedules with TBB work stealing; device
-    /// targets use their own hardware scheduler (static pool stands in).
-    fn exec(&self) -> &'static dyn Executor {
-        match self.ctx.cost.device.kind {
-            DeviceKind::Cpu => parpool::global_steal(),
-            _ => parpool::global_static(),
-        }
     }
 
     fn n(&self) -> u64 {
@@ -168,22 +159,62 @@ impl OpenClPort {
         NdRange::d1_local(len.div_ceil(WG) * WG, WG)
     }
 
-    fn buffer_mut(&mut self, id: FieldId) -> &mut Buffer<f64> {
-        match id {
-            FieldId::Density => &mut self.density,
-            FieldId::Energy0 | FieldId::Energy1 => &mut self.energy,
-            FieldId::U => &mut self.u,
-            FieldId::U0 => &mut self.u0,
-            FieldId::P => &mut self.p,
-            FieldId::R => &mut self.r,
-            FieldId::W => &mut self.w,
-            FieldId::Z | FieldId::Mi => &mut self.z,
-            FieldId::Kx => &mut self.kx,
-            FieldId::Ky => &mut self.ky,
-            FieldId::Sd => &mut self.sd,
-        }
+    /// Borrow the mesh alongside the device storage of each listed
+    /// field, for the batched halo update. Panics if a buffer is listed
+    /// twice.
+    fn halo_buffers(&mut self, ids: &[FieldId]) -> (&Mesh2d, Vec<&mut [f64]>) {
+        let OpenClPort {
+            mesh,
+            density,
+            energy,
+            u,
+            u0,
+            p,
+            r,
+            w,
+            z,
+            kx,
+            ky,
+            sd,
+            ..
+        } = self;
+        let mut slots = [
+            Some(density),
+            Some(energy),
+            Some(u),
+            Some(u0),
+            Some(p),
+            Some(r),
+            Some(w),
+            Some(z),
+            Some(kx),
+            Some(ky),
+            Some(sd),
+        ];
+        let bufs = ids
+            .iter()
+            .map(|&id| {
+                let slot = match id {
+                    FieldId::Density => 0,
+                    FieldId::Energy0 | FieldId::Energy1 => 1,
+                    FieldId::U => 2,
+                    FieldId::U0 => 3,
+                    FieldId::P => 4,
+                    FieldId::R => 5,
+                    FieldId::W => 6,
+                    FieldId::Z | FieldId::Mi => 7,
+                    FieldId::Kx => 8,
+                    FieldId::Ky => 9,
+                    FieldId::Sd => 10,
+                };
+                slots[slot]
+                    .take()
+                    .unwrap_or_else(|| panic!("{} batched twice in one halo update", id.name()))
+                    .arg_view_mut()
+            })
+            .collect();
+        (&*mesh, bufs)
     }
-
 }
 
 /// True when flat index `k` is interior — the in-kernel guard.
@@ -207,7 +238,7 @@ impl TeaLeafPort for OpenClPort {
     }
 
     fn init_fields(&mut self, coefficient: Coefficient, rx: f64, ry: f64) {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let exec = self.exec_static_or_steal();
         let range = self.nd_range();
         let n = self.n();
@@ -217,7 +248,7 @@ impl TeaLeafPort for OpenClPort {
             let u0 = Us::new(self.u0.arg_view_mut());
             let u = Us::new(self.u.arg_view_mut());
             queue.enqueue_nd_range(&self.kernels.init_u0, &profiles::init_u0(n), range, &|k| {
-                if guard(&mesh, k) {
+                if guard(mesh, k) {
                     // SAFETY: cells disjoint.
                     unsafe { common::cell_init_u0(k, density, energy, &u0, &u) };
                 }
@@ -230,59 +261,85 @@ impl TeaLeafPort for OpenClPort {
         let density = self.density.arg_view();
         let kx = Us::new(self.kx.arg_view_mut());
         let ky = Us::new(self.ky.arg_view_mut());
-        queue.enqueue_nd_range(&self.kernels.init_coeffs, &profiles::init_coeffs(n), range, &|k| {
-            if k >= len {
-                return;
-            }
-            let (i, j) = (k % width, k / width);
-            if i >= lo && i <= i1 && j >= lo && j <= j1 {
-                // SAFETY: cells disjoint.
-                unsafe { common::cell_init_coeffs(width, k, coefficient, rx, ry, density, &kx, &ky) };
-            }
-        });
+        queue.enqueue_nd_range(
+            &self.kernels.init_coeffs,
+            &profiles::init_coeffs(n),
+            range,
+            &|k| {
+                if k >= len {
+                    return;
+                }
+                let (i, j) = (k % width, k / width);
+                if i >= lo && i <= i1 && j >= lo && j <= j1 {
+                    // SAFETY: cells disjoint.
+                    unsafe {
+                        common::cell_init_coeffs(width, k, coefficient, rx, ry, density, &kx, &ky)
+                    };
+                }
+            },
+        );
     }
 
     fn halo_update(&mut self, fields: &[FieldId], depth: usize) {
-        let mesh = self.mesh.clone();
-        let _exec = self.exec_static_or_steal();
-        for &id in fields {
-            // each field's exchange is one enqueue of the halo kernel
+        // Each field's exchange is still one enqueue of the halo kernel
+        // (arg rebind + launch charge per field); the ghost writes run as
+        // one batched dispatch on the runtime's scheduler.
+        let profile = profiles::halo(&self.mesh, depth);
+        for _ in fields {
             self.kernels.halo.set_all_args();
-            self.ctx.launch(&profiles::halo(&mesh, depth));
-            let buf = self.buffer_mut(id);
-            update_halo(&mesh, buf.arg_view_mut(), depth);
+            self.ctx.launch(&profile);
         }
+        let exec = self.exec_static_or_steal();
+        let (mesh, mut bufs) = self.halo_buffers(fields);
+        update_halo_batch(mesh, &mut bufs, depth, exec);
     }
 
     fn cg_init(&mut self, preconditioner: bool) -> f64 {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let exec = self.exec_static_or_steal();
         let width = mesh.width();
         let profile = profiles::cg_init(self.n(), preconditioner);
         let (i0, i1) = (mesh.i0(), mesh.i1());
-        let (u, u0, kx, ky) =
-            (self.u.arg_view(), self.u0.arg_view(), self.kx.arg_view(), self.ky.arg_view());
+        let (u, u0, kx, ky) = (
+            self.u.arg_view(),
+            self.u0.arg_view(),
+            self.kx.arg_view(),
+            self.ky.arg_view(),
+        );
         let w = Us::new(self.w.arg_view_mut());
         let r = Us::new(self.r.arg_view_mut());
         let p = Us::new(self.p.arg_view_mut());
         let z = Us::new(self.z.arg_view_mut());
         let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
-        let (value, _e) = queue.enqueue_reduce(&self.kernels.cg_init, &profile, mesh.y_cells, &|jj| {
-            let j = i0 + jj;
-            let mut acc = 0.0;
-            for i in i0..i1 {
-                // SAFETY: rows disjoint.
-                acc += unsafe {
-                    common::cell_cg_init(width, common::idx(width, i, j), preconditioner, u, u0, kx, ky, &w, &r, &p, &z)
-                };
-            }
-            acc
-        });
+        let (value, _e) =
+            queue.enqueue_reduce(&self.kernels.cg_init, &profile, mesh.y_cells, &|jj| {
+                let j = i0 + jj;
+                let mut acc = 0.0;
+                for i in i0..i1 {
+                    // SAFETY: rows disjoint.
+                    acc += unsafe {
+                        common::cell_cg_init(
+                            width,
+                            common::idx(width, i, j),
+                            preconditioner,
+                            u,
+                            u0,
+                            kx,
+                            ky,
+                            &w,
+                            &r,
+                            &p,
+                            &z,
+                        )
+                    };
+                }
+                acc
+            });
         value
     }
 
     fn cg_calc_w(&mut self) -> f64 {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let exec = self.exec_static_or_steal();
         let width = mesh.width();
         let profile = profiles::cg_calc_w(self.n());
@@ -296,7 +353,9 @@ impl TeaLeafPort for OpenClPort {
             let mut acc = 0.0;
             for i in i0..i1 {
                 // SAFETY: rows disjoint.
-                acc += unsafe { common::cell_cg_calc_w(width, common::idx(width, i, j), p, kx, ky, &w) };
+                acc += unsafe {
+                    common::cell_cg_calc_w(width, common::idx(width, i, j), p, kx, ky, &w)
+                };
             }
             acc
         });
@@ -304,13 +363,17 @@ impl TeaLeafPort for OpenClPort {
     }
 
     fn cg_calc_ur(&mut self, alpha: f64, preconditioner: bool) -> f64 {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let exec = self.exec_static_or_steal();
         let width = mesh.width();
         let profile = profiles::cg_calc_ur(self.n(), preconditioner);
         let (i0, i1) = (mesh.i0(), mesh.i1());
-        let (p, w, kx, ky) =
-            (self.p.arg_view(), self.w.arg_view(), self.kx.arg_view(), self.ky.arg_view());
+        let (p, w, kx, ky) = (
+            self.p.arg_view(),
+            self.w.arg_view(),
+            self.kx.arg_view(),
+            self.ky.arg_view(),
+        );
         let u = Us::new(self.u.arg_view_mut());
         let r = Us::new(self.r.arg_view_mut());
         let z = Us::new(self.z.arg_view_mut());
@@ -322,7 +385,19 @@ impl TeaLeafPort for OpenClPort {
             for i in i0..i1 {
                 // SAFETY: rows disjoint.
                 acc += unsafe {
-                    common::cell_cg_calc_ur(width, common::idx(width, i, j), alpha, preconditioner, p, w, kx, ky, &u, &r, &z)
+                    common::cell_cg_calc_ur(
+                        width,
+                        common::idx(width, i, j),
+                        alpha,
+                        preconditioner,
+                        p,
+                        w,
+                        kx,
+                        ky,
+                        &u,
+                        &r,
+                        &z,
+                    )
                 };
             }
             acc
@@ -331,7 +406,7 @@ impl TeaLeafPort for OpenClPort {
     }
 
     fn cg_calc_p(&mut self, beta: f64, preconditioner: bool) {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let exec = self.exec_static_or_steal();
         let range = self.nd_range();
         let profile = profiles::cg_calc_p(self.n());
@@ -339,11 +414,77 @@ impl TeaLeafPort for OpenClPort {
         let p = Us::new(self.p.arg_view_mut());
         let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
         queue.enqueue_nd_range(&self.kernels.cg_calc_p, &profile, range, &|k| {
-            if guard(&mesh, k) {
+            if guard(mesh, k) {
                 // SAFETY: cells disjoint.
                 unsafe { common::cell_cg_calc_p(k, beta, preconditioner, r, z, &p) };
             }
         });
+    }
+
+    fn supports_fused_cg(&self) -> bool {
+        true
+    }
+
+    fn cg_fused_ur_p(&mut self, alpha: f64, rro: f64, preconditioner: bool) -> (f64, f64) {
+        let mesh = &self.mesh;
+        let exec = self.exec_static_or_steal();
+        let width = mesh.width();
+        let (i0, i1) = (mesh.i0(), mesh.i1());
+        // One enqueue charge covers the two-pass reduction and the β·p
+        // update chained behind it as a zero-overhead tail; per-row
+        // partials fold in row order on the same scheduler
+        // `enqueue_reduce` uses, so the result is bit-identical to the
+        // unfused pair.
+        self.ctx
+            .launch(&profiles::cg_calc_ur(self.n(), preconditioner));
+        self.ctx.launch(&profiles::cg_fused_p_tail(self.n()));
+        let rrn = {
+            let (p, w, kx, ky) = (
+                self.p.arg_view(),
+                self.w.arg_view(),
+                self.kx.arg_view(),
+                self.ky.arg_view(),
+            );
+            let u = Us::new(self.u.arg_view_mut());
+            let r = Us::new(self.r.arg_view_mut());
+            let z = Us::new(self.z.arg_view_mut());
+            exec.run_sum(mesh.y_cells, &|jj| {
+                let j = i0 + jj;
+                let mut acc = 0.0;
+                for i in i0..i1 {
+                    // SAFETY: rows disjoint.
+                    acc += unsafe {
+                        common::cell_cg_calc_ur(
+                            width,
+                            common::idx(width, i, j),
+                            alpha,
+                            preconditioner,
+                            p,
+                            w,
+                            kx,
+                            ky,
+                            &u,
+                            &r,
+                            &z,
+                        )
+                    };
+                }
+                acc
+            })
+        };
+        let beta = rrn / rro;
+        let (r, z) = (self.r.arg_view(), self.z.arg_view());
+        let p = Us::new(self.p.arg_view_mut());
+        exec.run(mesh.y_cells, &|jj| {
+            let j = i0 + jj;
+            for i in i0..i1 {
+                // SAFETY: cells disjoint.
+                unsafe {
+                    common::cell_cg_calc_p(common::idx(width, i, j), beta, preconditioner, r, z, &p)
+                };
+            }
+        });
+        (rrn, beta)
     }
 
     fn cheby_init(&mut self, theta: f64) {
@@ -355,7 +496,7 @@ impl TeaLeafPort for OpenClPort {
     }
 
     fn ppcg_init_sd(&mut self, theta: f64) {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let exec = self.exec_static_or_steal();
         let range = self.nd_range();
         let profile = profiles::ppcg_init_sd(self.n());
@@ -363,7 +504,7 @@ impl TeaLeafPort for OpenClPort {
         let sd = Us::new(self.sd.arg_view_mut());
         let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
         queue.enqueue_nd_range(&self.kernels.ppcg_init_sd, &profile, range, &|k| {
-            if guard(&mesh, k) {
+            if guard(mesh, k) {
                 // SAFETY: cells disjoint.
                 unsafe { common::cell_sd_init(k, theta, r, &sd) };
             }
@@ -371,7 +512,7 @@ impl TeaLeafPort for OpenClPort {
     }
 
     fn ppcg_inner(&mut self, alpha: f64, beta: f64) {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let exec = self.exec_static_or_steal();
         let range = self.nd_range();
         let width = mesh.width();
@@ -381,7 +522,7 @@ impl TeaLeafPort for OpenClPort {
             let w = Us::new(self.w.arg_view_mut());
             let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
             queue.enqueue_nd_range(&self.kernels.ppcg_calc_w, &profile, range, &|k| {
-                if guard(&mesh, k) {
+                if guard(mesh, k) {
                     // SAFETY: cells disjoint.
                     unsafe { common::cell_ppcg_w(width, k, sd, kx, ky, &w) };
                 }
@@ -394,7 +535,7 @@ impl TeaLeafPort for OpenClPort {
         let sd = Us::new(self.sd.arg_view_mut());
         let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
         queue.enqueue_nd_range(&self.kernels.ppcg_update, &profile, range, &|k| {
-            if guard(&mesh, k) {
+            if guard(mesh, k) {
                 // SAFETY: cells disjoint.
                 unsafe { common::cell_ppcg_update(k, alpha, beta, w, &u, &r, &sd) };
             }
@@ -402,7 +543,7 @@ impl TeaLeafPort for OpenClPort {
     }
 
     fn jacobi_iterate(&mut self) -> f64 {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let exec = self.exec_static_or_steal();
         let range = self.nd_range();
         let width = mesh.width();
@@ -412,7 +553,7 @@ impl TeaLeafPort for OpenClPort {
             let r = Us::new(self.r.arg_view_mut());
             let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
             queue.enqueue_nd_range(&self.kernels.jacobi_copy, &profile, range, &|k| {
-                if guard(&mesh, k) {
+                if guard(mesh, k) {
                     // SAFETY: cells disjoint.
                     unsafe { r.set(k, u[k]) };
                 }
@@ -420,34 +561,53 @@ impl TeaLeafPort for OpenClPort {
         }
         let profile = profiles::jacobi_iterate(self.n());
         let (i0, i1) = (mesh.i0(), mesh.i1());
-        let (u0, r, kx, ky) =
-            (self.u0.arg_view(), self.r.arg_view(), self.kx.arg_view(), self.ky.arg_view());
+        let (u0, r, kx, ky) = (
+            self.u0.arg_view(),
+            self.r.arg_view(),
+            self.kx.arg_view(),
+            self.ky.arg_view(),
+        );
         let u = Us::new(self.u.arg_view_mut());
         let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
-        let (value, _e) = queue.enqueue_reduce(&self.kernels.jacobi_solve, &profile, mesh.y_cells, &|jj| {
-            let j = i0 + jj;
-            let mut acc = 0.0;
-            for i in i0..i1 {
-                // SAFETY: rows disjoint.
-                acc += unsafe { common::cell_jacobi_iterate(width, common::idx(width, i, j), u0, r, kx, ky, &u) };
-            }
-            acc
-        });
+        let (value, _e) =
+            queue.enqueue_reduce(&self.kernels.jacobi_solve, &profile, mesh.y_cells, &|jj| {
+                let j = i0 + jj;
+                let mut acc = 0.0;
+                for i in i0..i1 {
+                    // SAFETY: rows disjoint.
+                    acc += unsafe {
+                        common::cell_jacobi_iterate(
+                            width,
+                            common::idx(width, i, j),
+                            u0,
+                            r,
+                            kx,
+                            ky,
+                            &u,
+                        )
+                    };
+                }
+                acc
+            });
         value
     }
 
     fn residual(&mut self) {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let exec = self.exec_static_or_steal();
         let range = self.nd_range();
         let width = mesh.width();
         let profile = profiles::residual(self.n());
-        let (u, u0, kx, ky) =
-            (self.u.arg_view(), self.u0.arg_view(), self.kx.arg_view(), self.ky.arg_view());
+        let (u, u0, kx, ky) = (
+            self.u.arg_view(),
+            self.u0.arg_view(),
+            self.kx.arg_view(),
+            self.ky.arg_view(),
+        );
         let r = Us::new(self.r.arg_view_mut());
         let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
         queue.enqueue_nd_range(&self.kernels.residual, &profile, range, &|k| {
-            if guard(&mesh, k) {
+            if guard(mesh, k) {
                 // SAFETY: cells disjoint.
                 unsafe { common::cell_residual(width, k, u, u0, kx, ky, &r) };
             }
@@ -455,7 +615,7 @@ impl TeaLeafPort for OpenClPort {
     }
 
     fn calc_2norm(&mut self, field: NormField) -> f64 {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let exec = self.exec_static_or_steal();
         let profile = profiles::norm(self.n());
         let (i0, i1) = (mesh.i0(), mesh.i1());
@@ -477,7 +637,7 @@ impl TeaLeafPort for OpenClPort {
     }
 
     fn finalise(&mut self) {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let exec = self.exec_static_or_steal();
         let range = self.nd_range();
         let profile = profiles::finalise(self.n());
@@ -485,7 +645,7 @@ impl TeaLeafPort for OpenClPort {
         let energy = Us::new(self.energy.arg_view_mut());
         let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
         queue.enqueue_nd_range(&self.kernels.finalise, &profile, range, &|k| {
-            if guard(&mesh, k) {
+            if guard(mesh, k) {
                 // SAFETY: cells disjoint.
                 unsafe { common::cell_finalise(k, u, density, &energy) };
             }
@@ -496,28 +656,40 @@ impl TeaLeafPort for OpenClPort {
         // Four scalars from one pass: the port runs the two-pass reduction
         // once per component pair as real OpenCL TeaLeaf does with its
         // packed reduction buffers; here the packed form.
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let exec = self.exec_static_or_steal();
         let profile = profiles::field_summary(self.n());
         let (i0, i1) = (mesh.i0(), mesh.i1());
         let width = mesh.width();
         let vol = mesh.cell_volume();
-        let (density, energy, u) = (self.density.arg_view(), self.energy.arg_view(), self.u.arg_view());
+        let (density, energy, u) = (
+            self.density.arg_view(),
+            self.energy.arg_view(),
+            self.u.arg_view(),
+        );
         // pack the 4 components into sequential reduce passes over rows
         let mut acc = [0.0; 4];
         for (comp, slot) in acc.iter_mut().enumerate() {
             let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
-            let (value, _e) = queue.enqueue_reduce(&self.kernels.summary, &profile, mesh.y_cells, &|jj| {
-                let j = i0 + jj;
-                let mut row = 0.0;
-                for i in i0..i1 {
-                    row += common::cell_summary(common::idx(width, i, j), density, energy, u, vol)[comp];
-                }
-                row
-            });
+            let (value, _e) =
+                queue.enqueue_reduce(&self.kernels.summary, &profile, mesh.y_cells, &|jj| {
+                    let j = i0 + jj;
+                    let mut row = 0.0;
+                    for i in i0..i1 {
+                        row +=
+                            common::cell_summary(common::idx(width, i, j), density, energy, u, vol)
+                                [comp];
+                    }
+                    row
+                });
             *slot = value;
         }
-        Summary { volume: acc[0], mass: acc[1], internal_energy: acc[2], temperature: acc[3] }
+        Summary {
+            volume: acc[0],
+            mass: acc[1],
+            internal_energy: acc[2],
+            temperature: acc[3],
+        }
     }
 
     fn read_u(&mut self) -> Vec<f64> {
@@ -530,6 +702,8 @@ impl TeaLeafPort for OpenClPort {
 }
 
 impl OpenClPort {
+    /// The Intel CPU runtime schedules with TBB work stealing; device
+    /// targets use their own hardware scheduler (static pool stands in).
     fn exec_static_or_steal(&self) -> &'static dyn Executor {
         match self.ctx.cost.device.kind {
             DeviceKind::Cpu => parpool::global_steal(),
@@ -538,23 +712,29 @@ impl OpenClPort {
     }
 
     fn cheby_step(&mut self, first: bool, theta: f64, alpha: f64, beta: f64) {
-        let mesh = self.mesh.clone();
+        let mesh = &self.mesh;
         let exec = self.exec_static_or_steal();
         let range = self.nd_range();
         let width = mesh.width();
         {
             let profile = profiles::cheby_calc_p(self.n());
-            let (u, u0, kx, ky) =
-                (self.u.arg_view(), self.u0.arg_view(), self.kx.arg_view(), self.ky.arg_view());
+            let (u, u0, kx, ky) = (
+                self.u.arg_view(),
+                self.u0.arg_view(),
+                self.kx.arg_view(),
+                self.ky.arg_view(),
+            );
             let w = Us::new(self.w.arg_view_mut());
             let r = Us::new(self.r.arg_view_mut());
             let p = Us::new(self.p.arg_view_mut());
             let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
             queue.enqueue_nd_range(&self.kernels.cheby_calc_p, &profile, range, &|k| {
-                if guard(&mesh, k) {
+                if guard(mesh, k) {
                     // SAFETY: cells disjoint.
                     unsafe {
-                        common::cell_cheby_calc_p(width, k, first, theta, alpha, beta, u, u0, kx, ky, &w, &r, &p)
+                        common::cell_cheby_calc_p(
+                            width, k, first, theta, alpha, beta, u, u0, kx, ky, &w, &r, &p,
+                        )
                     };
                 }
             });
@@ -564,7 +744,7 @@ impl OpenClPort {
         let u = Us::new(self.u.arg_view_mut());
         let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
         queue.enqueue_nd_range(&self.kernels.cheby_calc_u, &profile, range, &|k| {
-            if guard(&mesh, k) {
+            if guard(mesh, k) {
                 // SAFETY: cells disjoint.
                 unsafe { common::cell_add_p_to_u(k, p, &u) };
             }

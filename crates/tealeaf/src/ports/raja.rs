@@ -20,10 +20,12 @@
 //! recovered ~20 % on the Chebyshev solver).
 
 use parpool::StaticPool;
-use raja_rs::{forall, forall_sum, ListSegment, OmpParallelForExec, RajaRuntime, RangeSegment, Segment};
+use raja_rs::{
+    forall, forall_sum, ListSegment, OmpParallelForExec, RajaRuntime, RangeSegment, Segment,
+};
 use simdev::{DeviceSpec, KernelProfile, SimContext};
 use tea_core::config::Coefficient;
-use tea_core::halo::{update_halo, FieldId};
+use tea_core::halo::FieldId;
 use tea_core::summary::Summary;
 
 use crate::kernels::{NormField, TeaLeafPort};
@@ -61,7 +63,14 @@ impl RajaPort {
             mesh.halo_depth,
         ));
         let row_range = Segment::Range(RangeSegment::new(0, mesh.y_cells));
-        RajaPort { model, simd, ctx, f, interior, row_range }
+        RajaPort {
+            model,
+            simd,
+            ctx,
+            f,
+            interior,
+            row_range,
+        }
     }
 
     fn pool(&self) -> &'static StaticPool {
@@ -119,7 +128,7 @@ impl TeaLeafPort for RajaPort {
     }
 
     fn init_fields(&mut self, coefficient: Coefficient, rx: f64, ry: f64) {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let j0 = mesh.i0();
         let simd = self.simd;
         let p_u0 = self.row_profile(profiles::init_u0(self.n()));
@@ -129,10 +138,18 @@ impl TeaLeafPort for RajaPort {
             let rt = RajaRuntime::new(&self.ctx, pool);
             let (density, energy) = (&self.f.density, &self.f.energy);
             let (u0, u) = (Us::new(&mut self.f.u0), Us::new(&mut self.f.u));
-            dispatch_cells(simd, &rt, &self.interior, &self.row_range, &mesh, &p_u0, &|k| {
-                // SAFETY: cells disjoint.
-                unsafe { common::cell_init_u0(k, density, energy, &u0, &u) };
-            });
+            dispatch_cells(
+                simd,
+                &rt,
+                &self.interior,
+                &self.row_range,
+                mesh,
+                &p_u0,
+                &|k| {
+                    // SAFETY: cells disjoint.
+                    unsafe { common::cell_init_u0(k, density, energy, &u0, &u) };
+                },
+            );
         }
         // Coefficients need the extended range: a custom row dispatch
         // (multiple indexing, as §3.4 describes).
@@ -142,20 +159,24 @@ impl TeaLeafPort for RajaPort {
         let (kx, ky) = (Us::new(&mut self.f.kx), Us::new(&mut self.f.ky));
         forall::<OmpParallelForExec>(&rt, &rows_inclusive, &p_k, &|jj| {
             // SAFETY: rows disjoint.
-            unsafe { common::row_init_coeffs(&mesh, j0 + jj, coefficient, rx, ry, density, &kx, &ky) };
+            unsafe {
+                common::row_init_coeffs(mesh, j0 + jj, coefficient, rx, ry, density, &kx, &ky)
+            };
         });
     }
 
     fn halo_update(&mut self, fields: &[FieldId], depth: usize) {
-        let mesh = self.f.mesh.clone();
-        for &id in fields {
-            self.ctx.launch(&profiles::halo(&mesh, depth));
-            update_halo(&mesh, self.f.field_mut(id), depth);
+        // One launch charge per field, one batched forall over the ghosts.
+        let profile = profiles::halo(&self.f.mesh, depth);
+        for _ in fields {
+            self.ctx.launch(&profile);
         }
+        let pool = self.pool();
+        self.f.halo_batch(fields, depth, pool);
     }
 
     fn cg_init(&mut self, preconditioner: bool) -> f64 {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let j0 = mesh.i0();
         let profile = self.row_profile(profiles::cg_init(self.n(), preconditioner));
         let rt = RajaRuntime::new(&self.ctx, self.pool());
@@ -168,12 +189,14 @@ impl TeaLeafPort for RajaPort {
         );
         forall_sum::<OmpParallelForExec>(&rt, &self.row_range, &profile, &|jj| {
             // SAFETY: rows disjoint.
-            unsafe { common::row_cg_init(&mesh, j0 + jj, preconditioner, u, u0, kx, ky, &w, &r, &p, &z) }
+            unsafe {
+                common::row_cg_init(mesh, j0 + jj, preconditioner, u, u0, kx, ky, &w, &r, &p, &z)
+            }
         })
     }
 
     fn cg_calc_w(&mut self) -> f64 {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let j0 = mesh.i0();
         let profile = self.row_profile(profiles::cg_calc_w(self.n()));
         let rt = RajaRuntime::new(&self.ctx, self.pool());
@@ -181,37 +204,60 @@ impl TeaLeafPort for RajaPort {
         let w = Us::new(&mut self.f.w);
         forall_sum::<OmpParallelForExec>(&rt, &self.row_range, &profile, &|jj| {
             // SAFETY: rows disjoint.
-            unsafe { common::row_cg_calc_w(&mesh, j0 + jj, p, kx, ky, &w) }
+            unsafe { common::row_cg_calc_w(mesh, j0 + jj, p, kx, ky, &w) }
         })
     }
 
     fn cg_calc_ur(&mut self, alpha: f64, preconditioner: bool) -> f64 {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let j0 = mesh.i0();
         let profile = self.row_profile(profiles::cg_calc_ur(self.n(), preconditioner));
         let rt = RajaRuntime::new(&self.ctx, self.pool());
         let (p, w, kx, ky) = (&self.f.p, &self.f.w, &self.f.kx, &self.f.ky);
-        let (u, r, z) =
-            (Us::new(&mut self.f.u), Us::new(&mut self.f.r), Us::new(&mut self.f.z));
+        let (u, r, z) = (
+            Us::new(&mut self.f.u),
+            Us::new(&mut self.f.r),
+            Us::new(&mut self.f.z),
+        );
         forall_sum::<OmpParallelForExec>(&rt, &self.row_range, &profile, &|jj| {
             // SAFETY: rows disjoint.
             unsafe {
-                common::row_cg_calc_ur(&mesh, j0 + jj, alpha, preconditioner, p, w, kx, ky, &u, &r, &z)
+                common::row_cg_calc_ur(
+                    mesh,
+                    j0 + jj,
+                    alpha,
+                    preconditioner,
+                    p,
+                    w,
+                    kx,
+                    ky,
+                    &u,
+                    &r,
+                    &z,
+                )
             }
         })
     }
 
     fn cg_calc_p(&mut self, beta: f64, preconditioner: bool) {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let simd = self.simd;
         let profile = self.row_profile(profiles::cg_calc_p(self.n()));
         let rt = RajaRuntime::new(&self.ctx, self.pool());
         let (r, z) = (&self.f.r, &self.f.z);
         let p = Us::new(&mut self.f.p);
-        dispatch_cells(simd, &rt, &self.interior, &self.row_range, &mesh, &profile, &|k| {
-            // SAFETY: cells disjoint.
-            unsafe { common::cell_cg_calc_p(k, beta, preconditioner, r, z, &p) };
-        });
+        dispatch_cells(
+            simd,
+            &rt,
+            &self.interior,
+            &self.row_range,
+            mesh,
+            &profile,
+            &|k| {
+                // SAFETY: cells disjoint.
+                unsafe { common::cell_cg_calc_p(k, beta, preconditioner, r, z, &p) };
+            },
+        );
     }
 
     fn cheby_init(&mut self, theta: f64) {
@@ -223,20 +269,28 @@ impl TeaLeafPort for RajaPort {
     }
 
     fn ppcg_init_sd(&mut self, theta: f64) {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let simd = self.simd;
         let profile = self.row_profile(profiles::ppcg_init_sd(self.n()));
         let rt = RajaRuntime::new(&self.ctx, self.pool());
         let r = &self.f.r;
         let sd = Us::new(&mut self.f.sd);
-        dispatch_cells(simd, &rt, &self.interior, &self.row_range, &mesh, &profile, &|k| {
-            // SAFETY: cells disjoint.
-            unsafe { common::cell_sd_init(k, theta, r, &sd) };
-        });
+        dispatch_cells(
+            simd,
+            &rt,
+            &self.interior,
+            &self.row_range,
+            mesh,
+            &profile,
+            &|k| {
+                // SAFETY: cells disjoint.
+                unsafe { common::cell_sd_init(k, theta, r, &sd) };
+            },
+        );
     }
 
     fn ppcg_inner(&mut self, alpha: f64, beta: f64) {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let simd = self.simd;
         let width = mesh.width();
         let p_w = self.row_profile(profiles::ppcg_calc_w(self.n()));
@@ -246,23 +300,42 @@ impl TeaLeafPort for RajaPort {
             let rt = RajaRuntime::new(&self.ctx, pool);
             let (sd, kx, ky) = (&self.f.sd, &self.f.kx, &self.f.ky);
             let w = Us::new(&mut self.f.w);
-            dispatch_cells(simd, &rt, &self.interior, &self.row_range, &mesh, &p_w, &|k| {
-                // SAFETY: cells disjoint.
-                unsafe { common::cell_ppcg_w(width, k, sd, kx, ky, &w) };
-            });
+            dispatch_cells(
+                simd,
+                &rt,
+                &self.interior,
+                &self.row_range,
+                mesh,
+                &p_w,
+                &|k| {
+                    // SAFETY: cells disjoint.
+                    unsafe { common::cell_ppcg_w(width, k, sd, kx, ky, &w) };
+                },
+            );
         }
         let rt = RajaRuntime::new(&self.ctx, pool);
         let w = &self.f.w;
-        let (u, r, sd) =
-            (Us::new(&mut self.f.u), Us::new(&mut self.f.r), Us::new(&mut self.f.sd));
-        dispatch_cells(simd, &rt, &self.interior, &self.row_range, &mesh, &p_up, &|k| {
-            // SAFETY: cells disjoint.
-            unsafe { common::cell_ppcg_update(k, alpha, beta, w, &u, &r, &sd) };
-        });
+        let (u, r, sd) = (
+            Us::new(&mut self.f.u),
+            Us::new(&mut self.f.r),
+            Us::new(&mut self.f.sd),
+        );
+        dispatch_cells(
+            simd,
+            &rt,
+            &self.interior,
+            &self.row_range,
+            mesh,
+            &p_up,
+            &|k| {
+                // SAFETY: cells disjoint.
+                unsafe { common::cell_ppcg_update(k, alpha, beta, w, &u, &r, &sd) };
+            },
+        );
     }
 
     fn jacobi_iterate(&mut self) -> f64 {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let j0 = mesh.i0();
         let simd = self.simd;
         let p_copy = self.row_profile(profiles::jacobi_copy(self.n()));
@@ -272,36 +345,52 @@ impl TeaLeafPort for RajaPort {
             let rt = RajaRuntime::new(&self.ctx, pool);
             let u = &self.f.u;
             let r = Us::new(&mut self.f.r);
-            dispatch_cells(simd, &rt, &self.interior, &self.row_range, &mesh, &p_copy, &|k| {
-                // SAFETY: cells disjoint.
-                unsafe { r.set(k, u[k]) };
-            });
+            dispatch_cells(
+                simd,
+                &rt,
+                &self.interior,
+                &self.row_range,
+                mesh,
+                &p_copy,
+                &|k| {
+                    // SAFETY: cells disjoint.
+                    unsafe { r.set(k, u[k]) };
+                },
+            );
         }
         let rt = RajaRuntime::new(&self.ctx, pool);
         let (u0, r, kx, ky) = (&self.f.u0, &self.f.r, &self.f.kx, &self.f.ky);
         let u = Us::new(&mut self.f.u);
         forall_sum::<OmpParallelForExec>(&rt, &self.row_range, &p_it, &|jj| {
             // SAFETY: rows disjoint.
-            unsafe { common::row_jacobi_iterate(&mesh, j0 + jj, u0, r, kx, ky, &u) }
+            unsafe { common::row_jacobi_iterate(mesh, j0 + jj, u0, r, kx, ky, &u) }
         })
     }
 
     fn residual(&mut self) {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let simd = self.simd;
         let width = mesh.width();
         let profile = self.row_profile(profiles::residual(self.n()));
         let rt = RajaRuntime::new(&self.ctx, self.pool());
         let (u, u0, kx, ky) = (&self.f.u, &self.f.u0, &self.f.kx, &self.f.ky);
         let r = Us::new(&mut self.f.r);
-        dispatch_cells(simd, &rt, &self.interior, &self.row_range, &mesh, &profile, &|k| {
-            // SAFETY: cells disjoint.
-            unsafe { common::cell_residual(width, k, u, u0, kx, ky, &r) };
-        });
+        dispatch_cells(
+            simd,
+            &rt,
+            &self.interior,
+            &self.row_range,
+            mesh,
+            &profile,
+            &|k| {
+                // SAFETY: cells disjoint.
+                unsafe { common::cell_residual(width, k, u, u0, kx, ky, &r) };
+            },
+        );
     }
 
     fn calc_2norm(&mut self, field: NormField) -> f64 {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let j0 = mesh.i0();
         let profile = self.row_profile(profiles::norm(self.n()));
         let rt = RajaRuntime::new(&self.ctx, self.pool());
@@ -310,25 +399,33 @@ impl TeaLeafPort for RajaPort {
             NormField::R => &self.f.r,
         };
         forall_sum::<OmpParallelForExec>(&rt, &self.row_range, &profile, &|jj| {
-            common::row_norm(&mesh, j0 + jj, x)
+            common::row_norm(mesh, j0 + jj, x)
         })
     }
 
     fn finalise(&mut self) {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let simd = self.simd;
         let profile = self.row_profile(profiles::finalise(self.n()));
         let rt = RajaRuntime::new(&self.ctx, self.pool());
         let (u, density) = (&self.f.u, &self.f.density);
         let energy = Us::new(&mut self.f.energy);
-        dispatch_cells(simd, &rt, &self.interior, &self.row_range, &mesh, &profile, &|k| {
-            // SAFETY: cells disjoint.
-            unsafe { common::cell_finalise(k, u, density, &energy) };
-        });
+        dispatch_cells(
+            simd,
+            &rt,
+            &self.interior,
+            &self.row_range,
+            mesh,
+            &profile,
+            &|k| {
+                // SAFETY: cells disjoint.
+                unsafe { common::cell_finalise(k, u, density, &energy) };
+            },
+        );
     }
 
     fn field_summary(&mut self) -> Summary {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let j0 = mesh.i0();
         let profile = self.row_profile(profiles::field_summary(self.n()));
         let rt = RajaRuntime::new(&self.ctx, self.pool());
@@ -338,9 +435,14 @@ impl TeaLeafPort for RajaPort {
             &rt,
             &self.row_range,
             &profile,
-            &|jj| common::row_summary(&mesh, j0 + jj, density, energy, u, vol),
+            &|jj| common::row_summary(mesh, j0 + jj, density, energy, u, vol),
         );
-        Summary { volume: acc[0], mass: acc[1], internal_energy: acc[2], temperature: acc[3] }
+        Summary {
+            volume: acc[0],
+            mass: acc[1],
+            internal_energy: acc[2],
+            temperature: acc[3],
+        }
     }
 
     fn read_u(&mut self) -> Vec<f64> {
@@ -351,7 +453,7 @@ impl TeaLeafPort for RajaPort {
 
 impl RajaPort {
     fn cheby_step(&mut self, first: bool, theta: f64, alpha: f64, beta: f64) {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         let simd = self.simd;
         let width = mesh.width();
         let p_p = self.row_profile(profiles::cheby_calc_p(self.n()));
@@ -360,21 +462,42 @@ impl RajaPort {
         {
             let rt = RajaRuntime::new(&self.ctx, pool);
             let (u, u0, kx, ky) = (&self.f.u, &self.f.u0, &self.f.kx, &self.f.ky);
-            let (w, r, p) =
-                (Us::new(&mut self.f.w), Us::new(&mut self.f.r), Us::new(&mut self.f.p));
-            dispatch_cells(simd, &rt, &self.interior, &self.row_range, &mesh, &p_p, &|k| {
-                // SAFETY: cells disjoint.
-                unsafe {
-                    common::cell_cheby_calc_p(width, k, first, theta, alpha, beta, u, u0, kx, ky, &w, &r, &p)
-                };
-            });
+            let (w, r, p) = (
+                Us::new(&mut self.f.w),
+                Us::new(&mut self.f.r),
+                Us::new(&mut self.f.p),
+            );
+            dispatch_cells(
+                simd,
+                &rt,
+                &self.interior,
+                &self.row_range,
+                mesh,
+                &p_p,
+                &|k| {
+                    // SAFETY: cells disjoint.
+                    unsafe {
+                        common::cell_cheby_calc_p(
+                            width, k, first, theta, alpha, beta, u, u0, kx, ky, &w, &r, &p,
+                        )
+                    };
+                },
+            );
         }
         let rt = RajaRuntime::new(&self.ctx, pool);
         let p = &self.f.p;
         let u = Us::new(&mut self.f.u);
-        dispatch_cells(simd, &rt, &self.interior, &self.row_range, &mesh, &p_u, &|k| {
-            // SAFETY: cells disjoint.
-            unsafe { common::cell_add_p_to_u(k, p, &u) };
-        });
+        dispatch_cells(
+            simd,
+            &rt,
+            &self.interior,
+            &self.row_range,
+            mesh,
+            &p_u,
+            &|k| {
+                // SAFETY: cells disjoint.
+                unsafe { common::cell_add_p_to_u(k, p, &u) };
+            },
+        );
     }
 }

@@ -8,7 +8,7 @@
 
 use simdev::{DeviceSpec, SimContext};
 use tea_core::config::Coefficient;
-use tea_core::halo::{update_halo, FieldId};
+use tea_core::halo::FieldId;
 use tea_core::summary::Summary;
 
 use crate::kernels::{NormField, TeaLeafPort};
@@ -51,13 +51,13 @@ impl TeaLeafPort for SerialPort {
     }
 
     fn init_fields(&mut self, coefficient: Coefficient, rx: f64, ry: f64) {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         self.ctx.launch(&profiles::init_u0(self.n()));
         {
             let (u0, u) = (Us::new(&mut self.f.u0), Us::new(&mut self.f.u));
             for j in mesh.i0()..mesh.j1() {
                 // SAFETY: single-threaded; rows written once.
-                unsafe { common::row_init_u0(&mesh, j, &self.f.density, &self.f.energy, &u0, &u) };
+                unsafe { common::row_init_u0(mesh, j, &self.f.density, &self.f.energy, &u0, &u) };
             }
         }
         self.ctx.launch(&profiles::init_coeffs(self.n()));
@@ -66,23 +66,25 @@ impl TeaLeafPort for SerialPort {
             for j in mesh.i0()..=mesh.j1() {
                 // SAFETY: single-threaded.
                 unsafe {
-                    common::row_init_coeffs(&mesh, j, coefficient, rx, ry, &self.f.density, &kx, &ky)
+                    common::row_init_coeffs(mesh, j, coefficient, rx, ry, &self.f.density, &kx, &ky)
                 };
             }
         }
     }
 
     fn halo_update(&mut self, fields: &[FieldId], depth: usize) {
-        let mesh = self.f.mesh.clone();
-        for &id in fields {
-            self.ctx.launch(&profiles::halo(&mesh, depth));
-            update_halo(&mesh, self.f.field_mut(id), depth);
+        // One launch charge per field (unchanged), one batched update.
+        let profile = profiles::halo(&self.f.mesh, depth);
+        for _ in fields {
+            self.ctx.launch(&profile);
         }
+        self.f.halo_batch(fields, depth, &parpool::SerialExec);
     }
 
     fn cg_init(&mut self, preconditioner: bool) -> f64 {
-        let mesh = self.f.mesh.clone();
-        self.ctx.launch(&profiles::cg_init(self.n(), preconditioner));
+        let mesh = &self.f.mesh;
+        self.ctx
+            .launch(&profiles::cg_init(self.n(), preconditioner));
         let (w, r, p, z) = (
             Us::new(&mut self.f.w),
             Us::new(&mut self.f.r),
@@ -94,7 +96,7 @@ impl TeaLeafPort for SerialPort {
             // SAFETY: single-threaded.
             rro += unsafe {
                 common::row_cg_init(
-                    &mesh,
+                    mesh,
                     j,
                     preconditioner,
                     &self.f.u,
@@ -112,28 +114,32 @@ impl TeaLeafPort for SerialPort {
     }
 
     fn cg_calc_w(&mut self) -> f64 {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         self.ctx.launch(&profiles::cg_calc_w(self.n()));
         let w = Us::new(&mut self.f.w);
         let mut pw = 0.0;
         for j in mesh.i0()..mesh.j1() {
             // SAFETY: single-threaded.
-            pw += unsafe { common::row_cg_calc_w(&mesh, j, &self.f.p, &self.f.kx, &self.f.ky, &w) };
+            pw += unsafe { common::row_cg_calc_w(mesh, j, &self.f.p, &self.f.kx, &self.f.ky, &w) };
         }
         pw
     }
 
     fn cg_calc_ur(&mut self, alpha: f64, preconditioner: bool) -> f64 {
-        let mesh = self.f.mesh.clone();
-        self.ctx.launch(&profiles::cg_calc_ur(self.n(), preconditioner));
-        let (u, r, z) =
-            (Us::new(&mut self.f.u), Us::new(&mut self.f.r), Us::new(&mut self.f.z));
+        let mesh = &self.f.mesh;
+        self.ctx
+            .launch(&profiles::cg_calc_ur(self.n(), preconditioner));
+        let (u, r, z) = (
+            Us::new(&mut self.f.u),
+            Us::new(&mut self.f.r),
+            Us::new(&mut self.f.z),
+        );
         let mut rrn = 0.0;
         for j in mesh.i0()..mesh.j1() {
             // SAFETY: single-threaded.
             rrn += unsafe {
                 common::row_cg_calc_ur(
-                    &mesh,
+                    mesh,
                     j,
                     alpha,
                     preconditioner,
@@ -151,12 +157,14 @@ impl TeaLeafPort for SerialPort {
     }
 
     fn cg_calc_p(&mut self, beta: f64, preconditioner: bool) {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         self.ctx.launch(&profiles::cg_calc_p(self.n()));
         let p = Us::new(&mut self.f.p);
         for j in mesh.i0()..mesh.j1() {
             // SAFETY: single-threaded.
-            unsafe { common::row_cg_calc_p(&mesh, j, beta, preconditioner, &self.f.r, &self.f.z, &p) };
+            unsafe {
+                common::row_cg_calc_p(mesh, j, beta, preconditioner, &self.f.r, &self.f.z, &p)
+            };
         }
     }
 
@@ -169,42 +177,45 @@ impl TeaLeafPort for SerialPort {
     }
 
     fn ppcg_init_sd(&mut self, theta: f64) {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         self.ctx.launch(&profiles::ppcg_init_sd(self.n()));
         let sd = Us::new(&mut self.f.sd);
         for j in mesh.i0()..mesh.j1() {
             // SAFETY: single-threaded.
-            unsafe { common::row_sd_init(&mesh, j, theta, &self.f.r, &sd) };
+            unsafe { common::row_sd_init(mesh, j, theta, &self.f.r, &sd) };
         }
     }
 
     fn ppcg_inner(&mut self, alpha: f64, beta: f64) {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         self.ctx.launch(&profiles::ppcg_calc_w(self.n()));
         {
             let w = Us::new(&mut self.f.w);
             for j in mesh.i0()..mesh.j1() {
                 // SAFETY: single-threaded.
-                unsafe { common::row_ppcg_w(&mesh, j, &self.f.sd, &self.f.kx, &self.f.ky, &w) };
+                unsafe { common::row_ppcg_w(mesh, j, &self.f.sd, &self.f.kx, &self.f.ky, &w) };
             }
         }
         self.ctx.launch(&profiles::ppcg_update(self.n()));
-        let (u, r, sd) =
-            (Us::new(&mut self.f.u), Us::new(&mut self.f.r), Us::new(&mut self.f.sd));
+        let (u, r, sd) = (
+            Us::new(&mut self.f.u),
+            Us::new(&mut self.f.r),
+            Us::new(&mut self.f.sd),
+        );
         for j in mesh.i0()..mesh.j1() {
             // SAFETY: single-threaded.
-            unsafe { common::row_ppcg_update(&mesh, j, alpha, beta, &self.f.w, &u, &r, &sd) };
+            unsafe { common::row_ppcg_update(mesh, j, alpha, beta, &self.f.w, &u, &r, &sd) };
         }
     }
 
     fn jacobi_iterate(&mut self) -> f64 {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         self.ctx.launch(&profiles::jacobi_copy(self.n()));
         {
             let r = Us::new(&mut self.f.r);
             for j in mesh.i0()..mesh.j1() {
                 // SAFETY: single-threaded.
-                unsafe { common::row_jacobi_copy(&mesh, j, &self.f.u, &r) };
+                unsafe { common::row_jacobi_copy(mesh, j, &self.f.u, &r) };
             }
         }
         self.ctx.launch(&profiles::jacobi_iterate(self.n()));
@@ -213,26 +224,28 @@ impl TeaLeafPort for SerialPort {
         for j in mesh.i0()..mesh.j1() {
             // SAFETY: single-threaded.
             err += unsafe {
-                common::row_jacobi_iterate(&mesh, j, &self.f.u0, &self.f.r, &self.f.kx, &self.f.ky, &u)
+                common::row_jacobi_iterate(
+                    mesh, j, &self.f.u0, &self.f.r, &self.f.kx, &self.f.ky, &u,
+                )
             };
         }
         err
     }
 
     fn residual(&mut self) {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         self.ctx.launch(&profiles::residual(self.n()));
         let r = Us::new(&mut self.f.r);
         for j in mesh.i0()..mesh.j1() {
             // SAFETY: single-threaded.
             unsafe {
-                common::row_residual(&mesh, j, &self.f.u, &self.f.u0, &self.f.kx, &self.f.ky, &r)
+                common::row_residual(mesh, j, &self.f.u, &self.f.u0, &self.f.kx, &self.f.ky, &r)
             };
         }
     }
 
     fn calc_2norm(&mut self, field: NormField) -> f64 {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         self.ctx.launch(&profiles::norm(self.n()));
         let x = match field {
             NormField::U0 => &self.f.u0,
@@ -240,33 +253,38 @@ impl TeaLeafPort for SerialPort {
         };
         let mut norm = 0.0;
         for j in mesh.i0()..mesh.j1() {
-            norm += common::row_norm(&mesh, j, x);
+            norm += common::row_norm(mesh, j, x);
         }
         norm
     }
 
     fn finalise(&mut self) {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         self.ctx.launch(&profiles::finalise(self.n()));
         let energy = Us::new(&mut self.f.energy);
         for j in mesh.i0()..mesh.j1() {
             // SAFETY: single-threaded.
-            unsafe { common::row_finalise(&mesh, j, &self.f.u, &self.f.density, &energy) };
+            unsafe { common::row_finalise(mesh, j, &self.f.u, &self.f.density, &energy) };
         }
     }
 
     fn field_summary(&mut self) -> Summary {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         self.ctx.launch(&profiles::field_summary(self.n()));
         let vol = mesh.cell_volume();
         let mut acc = [0.0; 4];
         for j in mesh.i0()..mesh.j1() {
-            let row = common::row_summary(&mesh, j, &self.f.density, &self.f.energy, &self.f.u, vol);
+            let row = common::row_summary(mesh, j, &self.f.density, &self.f.energy, &self.f.u, vol);
             for k in 0..4 {
                 acc[k] += row[k];
             }
         }
-        Summary { volume: acc[0], mass: acc[1], internal_energy: acc[2], temperature: acc[3] }
+        Summary {
+            volume: acc[0],
+            mass: acc[1],
+            internal_energy: acc[2],
+            temperature: acc[3],
+        }
     }
 
     fn read_u(&mut self) -> Vec<f64> {
@@ -277,28 +295,20 @@ impl TeaLeafPort for SerialPort {
 
 impl SerialPort {
     fn cheby_step(&mut self, first: bool, theta: f64, alpha: f64, beta: f64) {
-        let mesh = self.f.mesh.clone();
+        let mesh = &self.f.mesh;
         self.ctx.launch(&profiles::cheby_calc_p(self.n()));
         {
-            let (w, r, p) =
-                (Us::new(&mut self.f.w), Us::new(&mut self.f.r), Us::new(&mut self.f.p));
+            let (w, r, p) = (
+                Us::new(&mut self.f.w),
+                Us::new(&mut self.f.r),
+                Us::new(&mut self.f.p),
+            );
             for j in mesh.i0()..mesh.j1() {
                 // SAFETY: single-threaded.
                 unsafe {
                     common::row_cheby_calc_p(
-                        &mesh,
-                        j,
-                        first,
-                        theta,
-                        alpha,
-                        beta,
-                        &self.f.u,
-                        &self.f.u0,
-                        &self.f.kx,
-                        &self.f.ky,
-                        &w,
-                        &r,
-                        &p,
+                        mesh, j, first, theta, alpha, beta, &self.f.u, &self.f.u0, &self.f.kx,
+                        &self.f.ky, &w, &r, &p,
                     )
                 };
             }
@@ -307,7 +317,7 @@ impl SerialPort {
         let u = Us::new(&mut self.f.u);
         for j in mesh.i0()..mesh.j1() {
             // SAFETY: single-threaded.
-            unsafe { common::row_add_p_to_u(&mesh, j, &self.f.p, &u) };
+            unsafe { common::row_add_p_to_u(mesh, j, &self.f.p, &u) };
         }
     }
 }

@@ -21,7 +21,12 @@ impl Problem {
         let mut density = Field2d::zeros(&mesh);
         let mut energy = Field2d::zeros(&mesh);
         generate_chunk(&mesh, &config.states, &mut density, &mut energy);
-        Problem { mesh, density, energy, config: config.clone() }
+        Problem {
+            mesh,
+            density,
+            energy,
+            config: config.clone(),
+        }
     }
 
     /// `rx`/`ry` diffusion numbers for this problem's timestep.

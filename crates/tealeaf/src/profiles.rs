@@ -21,32 +21,72 @@ pub fn model_profile(model: ModelId) -> ModelProfile {
         // The serial reference is only used for correctness testing; give
         // it the OpenMP C profile so its simulated times are meaningful.
         ModelId::Serial | ModelId::Omp3Cpp => {
-            p.bw_efficiency = PerKind { cpu: 0.92, gpu: 0.0, acc: 0.80 };
-            p.launch_overhead_us = PerKind { cpu: 0.3, gpu: 0.0, acc: 2.0 };
+            p.bw_efficiency = PerKind {
+                cpu: 0.92,
+                gpu: 0.0,
+                acc: 0.80,
+            };
+            p.launch_overhead_us = PerKind {
+                cpu: 0.3,
+                gpu: 0.0,
+                acc: 2.0,
+            };
             p.reduction_factor = PerKind::uniform(1.0);
         }
         // §4.1/§4.3: the tuned native baseline on CPU and KNC.
         ModelId::Omp3F90 => {
-            p.bw_efficiency = PerKind { cpu: 0.92, gpu: 0.0, acc: 0.86 };
-            p.launch_overhead_us = PerKind { cpu: 0.3, gpu: 0.0, acc: 2.0 };
+            p.bw_efficiency = PerKind {
+                cpu: 0.92,
+                gpu: 0.0,
+                acc: 0.86,
+            };
+            p.launch_overhead_us = PerKind {
+                cpu: 0.3,
+                gpu: 0.0,
+                acc: 2.0,
+            };
         }
         // §3.1/§4.3: portable target offloading; per-target overhead on
         // every kernel ("a performance overhead dependent upon the number
         // of target invocations"), offload-synchronised reductions on KNC
         // (CG +45 %, Chebyshev/PPCG within 10 %).
         ModelId::Omp4 => {
-            p.bw_efficiency = PerKind { cpu: 0.90, gpu: 0.85, acc: 0.84 };
-            p.launch_overhead_us = PerKind { cpu: 3.0, gpu: 18.0, acc: 30.0 };
-            p.reduction_factor = PerKind { cpu: 1.05, gpu: 1.8, acc: 1.5 };
+            p.bw_efficiency = PerKind {
+                cpu: 0.90,
+                gpu: 0.85,
+                acc: 0.84,
+            };
+            p.launch_overhead_us = PerKind {
+                cpu: 3.0,
+                gpu: 18.0,
+                acc: 30.0,
+            };
+            p.reduction_factor = PerKind {
+                cpu: 1.05,
+                gpu: 1.8,
+                acc: 1.5,
+            };
             p.offload_on_acc = true;
             p.transfer_efficiency = 0.9;
         }
         // §3.2/§4.2: easiest GPU port; `kernels` regions carry similar
         // launch overheads; CG ≈ +30 %, Chebyshev/PPCG ≈ +10 % on K20X.
         ModelId::OpenAcc => {
-            p.bw_efficiency = PerKind { cpu: 0.88, gpu: 0.92, acc: 0.0 };
-            p.launch_overhead_us = PerKind { cpu: 3.0, gpu: 16.0, acc: 0.0 };
-            p.reduction_factor = PerKind { cpu: 1.05, gpu: 1.35, acc: 1.0 };
+            p.bw_efficiency = PerKind {
+                cpu: 0.88,
+                gpu: 0.92,
+                acc: 0.0,
+            };
+            p.launch_overhead_us = PerKind {
+                cpu: 3.0,
+                gpu: 16.0,
+                acc: 0.0,
+            };
+            p.reduction_factor = PerKind {
+                cpu: 1.05,
+                gpu: 1.35,
+                acc: 1.0,
+            };
             p.transfer_efficiency = 0.9;
         }
         // §4.1: "at most a 10 % penalty compared to the C++
@@ -55,26 +95,62 @@ pub fn model_profile(model: ModelId) -> ModelProfile {
         // KNC pain comes from the flat-index halo branch the *port* emits
         // (interior_branch trait), not from this profile.
         ModelId::Kokkos => {
-            p.bw_efficiency = PerKind { cpu: 0.88, gpu: 0.97, acc: 0.82 };
-            p.launch_overhead_us = PerKind { cpu: 1.5, gpu: 10.0, acc: 12.0 };
-            p.reduction_factor = PerKind { cpu: 1.0, gpu: 1.0, acc: 1.15 };
+            p.bw_efficiency = PerKind {
+                cpu: 0.88,
+                gpu: 0.97,
+                acc: 0.82,
+            };
+            p.launch_overhead_us = PerKind {
+                cpu: 1.5,
+                gpu: 10.0,
+                acc: 12.0,
+            };
+            p.reduction_factor = PerKind {
+                cpu: 1.0,
+                gpu: 1.0,
+                acc: 1.15,
+            };
         }
         // §3.3/§4.2/§4.3: hierarchical parallelism removes the halo branch
         // but adds per-team dispatch; "to the detriment of the PPCG and
         // Chebyshev solver [on GPU], which experienced a more than 20 %
         // overhead"; on KNC it roughly halves CG/PPCG time.
         ModelId::KokkosHP => {
-            p.bw_efficiency = PerKind { cpu: 0.88, gpu: 0.79, acc: 0.80 };
-            p.launch_overhead_us = PerKind { cpu: 2.5, gpu: 14.0, acc: 16.0 };
-            p.reduction_factor = PerKind { cpu: 1.05, gpu: 1.0, acc: 1.15 };
+            p.bw_efficiency = PerKind {
+                cpu: 0.88,
+                gpu: 0.79,
+                acc: 0.80,
+            };
+            p.launch_overhead_us = PerKind {
+                cpu: 2.5,
+                gpu: 14.0,
+                acc: 16.0,
+            };
+            p.reduction_factor = PerKind {
+                cpu: 1.05,
+                gpu: 1.0,
+                acc: 1.15,
+            };
         }
         // §3.4/§4.1: pre-release RAJA; ListSegment indirection (a *kernel*
         // trait set by the port) precludes vectorization and adds index
         // traffic; base efficiency close to OpenMP.
         ModelId::Raja | ModelId::RajaSimd => {
-            p.bw_efficiency = PerKind { cpu: 0.89, gpu: 0.0, acc: 0.72 };
-            p.launch_overhead_us = PerKind { cpu: 1.0, gpu: 0.0, acc: 4.0 };
-            p.reduction_factor = PerKind { cpu: 1.05, gpu: 1.0, acc: 1.2 };
+            p.bw_efficiency = PerKind {
+                cpu: 0.89,
+                gpu: 0.0,
+                acc: 0.72,
+            };
+            p.launch_overhead_us = PerKind {
+                cpu: 1.0,
+                gpu: 0.0,
+                acc: 4.0,
+            };
+            p.reduction_factor = PerKind {
+                cpu: 1.05,
+                gpu: 1.0,
+                acc: 1.2,
+            };
         }
         // §3.6/§4.1/§4.2/§4.3: matches CUDA on the GPU; on the CPU the
         // Intel runtime schedules via TBB work stealing with large
@@ -83,9 +159,21 @@ pub fn model_profile(model: ModelId) -> ModelProfile {
         // collapses for CG (≈ 3×, "a performance problem … caused by an
         // issue with the architecture or software").
         ModelId::OpenCl => {
-            p.bw_efficiency = PerKind { cpu: 0.86, gpu: 0.97, acc: 0.78 };
-            p.launch_overhead_us = PerKind { cpu: 4.0, gpu: 9.0, acc: 22.0 };
-            p.reduction_factor = PerKind { cpu: 1.1, gpu: 1.0, acc: 3.2 };
+            p.bw_efficiency = PerKind {
+                cpu: 0.86,
+                gpu: 0.97,
+                acc: 0.78,
+            };
+            p.launch_overhead_us = PerKind {
+                cpu: 4.0,
+                gpu: 9.0,
+                acc: 22.0,
+            };
+            p.reduction_factor = PerKind {
+                cpu: 1.1,
+                gpu: 1.0,
+                acc: 3.2,
+            };
             p.scheduler = Scheduler::WorkStealing;
             p.offload_on_acc = true;
             p.run_jitter = 0.72;
@@ -94,8 +182,16 @@ pub fn model_profile(model: ModelId) -> ModelProfile {
         // §2.6/§4.2: "CUDA applications can provide a lower bound for
         // performance on supported devices".
         ModelId::Cuda => {
-            p.bw_efficiency = PerKind { cpu: 0.0, gpu: 0.98, acc: 0.0 };
-            p.launch_overhead_us = PerKind { cpu: 0.0, gpu: 7.0, acc: 0.0 };
+            p.bw_efficiency = PerKind {
+                cpu: 0.0,
+                gpu: 0.98,
+                acc: 0.0,
+            };
+            p.launch_overhead_us = PerKind {
+                cpu: 0.0,
+                gpu: 7.0,
+                acc: 0.0,
+            };
             p.scheduler = Scheduler::Device;
         }
     }
@@ -108,7 +204,11 @@ pub fn model_quirks(model: ModelId) -> Vec<Quirk> {
         // §4.1: "identical TeaLeaf code … compiled as C or C++, with Intel
         // compilers (15.0.3)" costs the Chebyshev solver ~15 %.
         ModelId::Omp3Cpp | ModelId::Serial => vec![Quirk {
-            model: if model == ModelId::Serial { "Serial" } else { "OpenMP C++" },
+            model: if model == ModelId::Serial {
+                "Serial"
+            } else {
+                "OpenMP C++"
+            },
             device: DeviceKind::Cpu,
             kernel_prefix: "cheby_",
             factor: 1.16,
@@ -169,20 +269,38 @@ mod tests {
         assert_eq!(cuda.bw_efficiency.get(DeviceKind::Cpu), 0.0);
         assert!(cuda.bw_efficiency.get(DeviceKind::Gpu) > 0.9);
         // RAJA has no GPU implementation (§3).
-        assert_eq!(model_profile(ModelId::Raja).bw_efficiency.get(DeviceKind::Gpu), 0.0);
+        assert_eq!(
+            model_profile(ModelId::Raja)
+                .bw_efficiency
+                .get(DeviceKind::Gpu),
+            0.0
+        );
     }
 
     #[test]
     fn tuned_models_have_no_reduction_penalty_on_their_device() {
-        assert_eq!(model_profile(ModelId::Cuda).reduction_factor.get(DeviceKind::Gpu), 1.0);
-        assert_eq!(model_profile(ModelId::Omp3F90).reduction_factor.get(DeviceKind::Cpu), 1.0);
+        assert_eq!(
+            model_profile(ModelId::Cuda)
+                .reduction_factor
+                .get(DeviceKind::Gpu),
+            1.0
+        );
+        assert_eq!(
+            model_profile(ModelId::Omp3F90)
+                .reduction_factor
+                .get(DeviceKind::Cpu),
+            1.0
+        );
     }
 
     #[test]
     fn offload_models_marked() {
         assert!(model_profile(ModelId::Omp4).offload_on_acc);
         assert!(model_profile(ModelId::OpenCl).offload_on_acc);
-        assert!(!model_profile(ModelId::Kokkos).offload_on_acc, "Kokkos compiles natively on KNC");
+        assert!(
+            !model_profile(ModelId::Kokkos).offload_on_acc,
+            "Kokkos compiles natively on KNC"
+        );
         assert!(!model_profile(ModelId::Raja).offload_on_acc);
     }
 
@@ -204,7 +322,10 @@ mod tests {
         for m in ModelId::ALL {
             let profile = model_profile(m);
             for q in model_quirks(m) {
-                assert_eq!(q.model, profile.name, "{m:?} quirk must match its profile name");
+                assert_eq!(
+                    q.model, profile.name,
+                    "{m:?} quirk must match its profile name"
+                );
                 assert!(q.factor > 1.0);
                 assert!(!q.note.is_empty());
             }

@@ -45,11 +45,19 @@ pub fn run_phase(
         port.halo_update(&[FieldId::P], 1);
         let pw = port.cg_calc_w();
         let alpha = rro / pw;
-        let rrn = port.cg_calc_ur(alpha, preconditioner);
-        let beta = rrn / rro;
+        // Ports that can merge the ur-update and p-update into one launch
+        // advertise it; the arithmetic (and thus the α/β history and every
+        // field) is bit-identical to the two-launch schedule.
+        let (rrn, beta) = if port.supports_fused_cg() {
+            port.cg_fused_ur_p(alpha, rro, preconditioner)
+        } else {
+            let rrn = port.cg_calc_ur(alpha, preconditioner);
+            let beta = rrn / rro;
+            port.cg_calc_p(beta, preconditioner);
+            (rrn, beta)
+        };
         history.alphas.push(alpha);
         history.betas.push(beta);
-        port.cg_calc_p(beta, preconditioner);
         rro = rrn;
         iterations += 1;
         if rrn.abs() <= eps * initial.abs() {

@@ -23,8 +23,7 @@ pub const CHECK_INTERVAL: usize = 10;
 pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
     let mut history = CgHistory::default();
     let presteps = config.tl_ch_cg_presteps.min(config.tl_max_iters);
-    let (pre_outcome, _rro) =
-        cg::run_phase(port, false, config.tl_eps, presteps, &mut history);
+    let (pre_outcome, _rro) = cg::run_phase(port, false, config.tl_eps, presteps, &mut history);
     if pre_outcome.converged {
         return pre_outcome;
     }
@@ -40,7 +39,10 @@ pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
             config.tl_max_iters.saturating_sub(presteps),
             &mut history,
         );
-        return SolveOutcome { iterations: outcome.iterations + pre_outcome.iterations, ..outcome };
+        return SolveOutcome {
+            iterations: outcome.iterations + pre_outcome.iterations,
+            ..outcome
+        };
     };
     let shift = ChebyShift::from_bounds(eigmin, eigmax);
     let mut coeffs = ChebyCoeffs::new(shift);
@@ -56,7 +58,9 @@ pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
     // the estimate (observed on fine meshes), so the residual check is
     // what actually terminates the loop.
     let est = estimated_iterations(shift, eps_ratio);
-    let budget = (4 * est + CHECK_INTERVAL).max(64).min(config.tl_max_iters.saturating_sub(presteps));
+    let budget = (4 * est + CHECK_INTERVAL)
+        .max(64)
+        .min(config.tl_max_iters.saturating_sub(presteps));
 
     port.halo_update(&[FieldId::U], 1);
     port.cheby_init(shift.theta);

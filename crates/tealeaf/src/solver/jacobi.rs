@@ -30,5 +30,11 @@ pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
             converged = true;
         }
     }
-    SolveOutcome { iterations, converged, final_rrn: err, initial, eigenvalues: None }
+    SolveOutcome {
+        iterations,
+        converged,
+        final_rrn: err,
+        initial,
+        eigenvalues: None,
+    }
 }

@@ -19,8 +19,7 @@ use crate::solver::SolveOutcome;
 pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
     let mut history = CgHistory::default();
     let presteps = config.tl_ch_cg_presteps.min(config.tl_max_iters);
-    let (pre_outcome, mut rro) =
-        cg::run_phase(port, false, config.tl_eps, presteps, &mut history);
+    let (pre_outcome, mut rro) = cg::run_phase(port, false, config.tl_eps, presteps, &mut history);
     if pre_outcome.converged {
         return pre_outcome;
     }
@@ -34,7 +33,10 @@ pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
             config.tl_max_iters.saturating_sub(presteps),
             &mut history,
         );
-        return SolveOutcome { iterations: outcome.iterations + pre_outcome.iterations, ..outcome };
+        return SolveOutcome {
+            iterations: outcome.iterations + pre_outcome.iterations,
+            ..outcome
+        };
     };
     let shift = ChebyShift::from_bounds(eigmin, eigmax);
     let inner = ChebyCoeffs::take_pairs(shift, config.tl_ppcg_inner_steps);

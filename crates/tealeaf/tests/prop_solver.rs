@@ -23,7 +23,16 @@ fn coefficients(mesh: &Mesh2d, density: &[f64], rx: f64, ry: f64) -> (Vec<f64>, 
         for j in mesh.i0()..=mesh.j1() {
             // SAFETY: single-threaded.
             unsafe {
-                common::row_init_coeffs(mesh, j, Coefficient::Conductivity, rx, ry, density, &kxs, &kys)
+                common::row_init_coeffs(
+                    mesh,
+                    j,
+                    Coefficient::Conductivity,
+                    rx,
+                    ry,
+                    density,
+                    &kxs,
+                    &kys,
+                )
             };
         }
     }

@@ -44,8 +44,12 @@ fn all_solvers_converge_serially() {
 #[test]
 fn preconditioned_cg_converges_in_fewer_iterations() {
     let device = devices::cpu_xeon_e5_2670_x2();
-    let plain = run_simulation(ModelId::Serial, &device, &config(SolverKind::ConjugateGradient))
-        .unwrap();
+    let plain = run_simulation(
+        ModelId::Serial,
+        &device,
+        &config(SolverKind::ConjugateGradient),
+    )
+    .unwrap();
     let mut pre_cfg = config(SolverKind::ConjugateGradient);
     pre_cfg.tl_preconditioner = true;
     let pre = run_simulation(ModelId::Serial, &device, &pre_cfg).unwrap();
@@ -61,8 +65,12 @@ fn preconditioned_cg_converges_in_fewer_iterations() {
 #[test]
 fn ppcg_uses_fewer_outer_iterations_than_cg() {
     let device = devices::cpu_xeon_e5_2670_x2();
-    let cg = run_simulation(ModelId::Serial, &device, &config(SolverKind::ConjugateGradient))
-        .unwrap();
+    let cg = run_simulation(
+        ModelId::Serial,
+        &device,
+        &config(SolverKind::ConjugateGradient),
+    )
+    .unwrap();
     let ppcg = run_simulation(ModelId::Serial, &device, &config(SolverKind::Ppcg)).unwrap();
     assert!(ppcg.converged && cg.converged);
     assert!(

@@ -20,7 +20,11 @@ fn main() {
     // A Knights-Landing-flavoured device: MCDRAM-class bandwidth,
     // out-of-order cores (mild branch penalty), self-hosted (no offload
     // latency), AVX-512.
-    let mut knl = devices::custom("Xeon Phi KNL (hypothetical)", DeviceKind::Accelerator, 420.0);
+    let mut knl = devices::custom(
+        "Xeon Phi KNL (hypothetical)",
+        DeviceKind::Accelerator,
+        420.0,
+    );
     knl.peak_bw_gbs = 490.0;
     knl.cores = 64;
     knl.simd_width = 8;
@@ -41,7 +45,13 @@ fn main() {
         "CG runtime: KNC (measured-device model) vs hypothetical KNL",
         &["model", "knc (s)", "knl (s)", "speedup"],
     );
-    for model in [ModelId::Omp3F90, ModelId::Omp4, ModelId::Kokkos, ModelId::KokkosHP, ModelId::Raja] {
+    for model in [
+        ModelId::Omp3F90,
+        ModelId::Omp4,
+        ModelId::Kokkos,
+        ModelId::KokkosHP,
+        ModelId::Raja,
+    ] {
         let on_knc = run_simulation(model, &knc, &cfg).unwrap();
         let on_knl = run_simulation(model, &knl, &cfg).unwrap();
         table.row(&[

@@ -47,8 +47,7 @@ fn run_with_reduction_factor(
     );
     let mut hypo = model_profile(ModelId::OpenCl);
     hypo.reduction_factor = factor;
-    let hypo_cost =
-        simdev::CostModel::new(device.clone(), hypo, model_quirks(ModelId::OpenCl), 0);
+    let hypo_cost = simdev::CostModel::new(device.clone(), hypo, model_quirks(ModelId::OpenCl), 0);
     let n = problem.mesh.interior_len() as u64;
     let mut total = 0.0;
     for (name, _count, seconds) in port.context().clock.kernel_profile() {
@@ -73,25 +72,39 @@ fn representative_profile(name: &str, n: u64) -> Option<simdev::KernelProfile> {
         "field_summary" => p::field_summary(n),
         "jacobi_solve" => p::jacobi_iterate(n),
         "reduce_final_pass" => return None, // absorbed into the single-pass launch
-        _ => return None, // non-reduction kernels are unchanged
+        _ => return None,                   // non-reduction kernels are unchanged
     })
 }
 
 fn main() {
     let mut table = Table::new(
         "§3.6 what-if: OpenCL with OpenCL 2.0 built-in work-group reductions",
-        &["device", "solver", "manual 2-pass (s)", "built-in (projected, s)", "speedup"],
+        &[
+            "device",
+            "solver",
+            "manual 2-pass (s)",
+            "built-in (projected, s)",
+            "speedup",
+        ],
     );
     // evaluate in the paper's convergence-mesh regime, as Figures 9/10 do
-    let scale = tea_bench::Scale { cells: 192, steps: 1, eps: 1.0e-12, sweep_max: 0 };
+    let scale = tea_bench::Scale {
+        cells: 192,
+        steps: 1,
+        eps: 1.0e-12,
+        sweep_max: 0,
+    };
     for device in [
         scale.regime_device(&devices::gpu_k20x()),
         scale.regime_device(&devices::knc_xeon_phi()),
     ] {
-        for solver in [SolverKind::ConjugateGradient, SolverKind::Chebyshev, SolverKind::Ppcg] {
+        for solver in [
+            SolverKind::ConjugateGradient,
+            SolverKind::Chebyshev,
+            SolverKind::Ppcg,
+        ] {
             let manual = run_with_reduction_factor(&device, solver, None);
-            let builtin =
-                run_with_reduction_factor(&device, solver, Some(PerKind::uniform(1.0)));
+            let builtin = run_with_reduction_factor(&device, solver, Some(PerKind::uniform(1.0)));
             table.row(&[
                 device.kind.name().to_string(),
                 solver.name().to_string(),

@@ -17,26 +17,34 @@ fn main() {
 
     // Pick a device (Table 2) and a programming model to port with.
     let device = devices::gpu_k20x();
-    let report = run_simulation(ModelId::Cuda, &device, &config)
-        .expect("CUDA supports the K20X (Table 1)");
+    let report =
+        run_simulation(ModelId::Cuda, &device, &config).expect("CUDA supports the K20X (Table 1)");
 
     println!("TeaLeaf {} on {}", report.model.label(), report.device);
-    println!("  mesh                 : {}x{}", report.x_cells, report.y_cells);
+    println!(
+        "  mesh                 : {}x{}",
+        report.x_cells, report.y_cells
+    );
     println!("  solver               : {}", report.solver);
     println!("  steps                : {}", report.steps);
     println!("  iterations           : {}", report.total_iterations);
     println!("  converged            : {}", report.converged);
     println!("  simulated runtime    : {:.4} s", report.sim_seconds());
     println!("  kernels launched     : {}", report.sim.kernels);
-    println!("  achieved bandwidth   : {:.1} GB/s", report.sim.achieved_bw_gbs());
+    println!(
+        "  achieved bandwidth   : {:.1} GB/s",
+        report.sim.achieved_bw_gbs()
+    );
     println!(
         "  fraction of STREAM   : {:.1} %",
         report.stream_fraction(&device) * 100.0
     );
     println!("  wall (functional)    : {:.3} s", report.wall_seconds);
     let s = report.summary;
-    println!("  field summary        : vol={:.1} mass={:.1} ie={:.4} temp={:.4}",
-        s.volume, s.mass, s.internal_energy, s.temperature);
+    println!(
+        "  field summary        : vol={:.1} mass={:.1} ie={:.4} temp={:.4}",
+        s.volume, s.mass, s.internal_energy, s.temperature
+    );
 
     // The same problem through a different model must produce the same
     // physics (bit-for-bit — the reproduction's consistency guarantee).

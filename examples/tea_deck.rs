@@ -62,18 +62,31 @@ fn main() {
             .unwrap_or_else(|e| panic!("cannot read deck '{path}': {e}")),
         None => BUILTIN_DECK.to_string(),
     };
-    let model = args.get(1).map(|s| parse_model(s)).unwrap_or(ModelId::Omp3F90);
-    let device = args.get(2).map(|s| parse_device(s)).unwrap_or_else(devices::cpu_xeon_e5_2670_x2);
+    let model = args
+        .get(1)
+        .map(|s| parse_model(s))
+        .unwrap_or(ModelId::Omp3F90);
+    let device = args
+        .get(2)
+        .map(|s| parse_device(s))
+        .unwrap_or_else(devices::cpu_xeon_e5_2670_x2);
 
     let config = TeaConfig::parse(&deck).expect("valid tea.in deck");
     println!(
         "Tea (reproduction): {}x{} mesh, solver {}, {} steps, {} on {}",
-        config.x_cells, config.y_cells, config.solver, config.end_step,
-        model.label(), device.name
+        config.x_cells,
+        config.y_cells,
+        config.solver,
+        config.end_step,
+        model.label(),
+        device.name
     );
     let report = run_simulation(model, &device, &config).expect("supported model/device pair");
     let s = report.summary;
-    println!("\n Time {:.6}", config.initial_timestep * config.end_step as f64);
+    println!(
+        "\n Time {:.6}",
+        config.initial_timestep * config.end_step as f64
+    );
     println!(
         "       Volume          Mass       Density        Energy            U\n {:13.5e} {:13.5e} {:13.5e} {:13.5e} {:13.5e}",
         s.volume,
@@ -102,7 +115,11 @@ fn main() {
         tealeaf_repro::core::vtk::write_vtk(
             std::path::Path::new(&path),
             &mesh,
-            &[("temperature", &u), ("density", &problem.density), ("energy", &problem.energy)],
+            &[
+                ("temperature", &u),
+                ("density", &problem.density),
+                ("energy", &problem.energy),
+            ],
         )
         .expect("write vtk");
         println!(" wrote {path}");

@@ -75,7 +75,11 @@ fn symmetric_problem_produces_symmetric_solution() {
         State {
             density: 0.5,
             energy: 10.0,
-            geometry: Geometry::Circle { cx: 5.0, cy: 5.0, radius: 2.0 },
+            geometry: Geometry::Circle {
+                cx: 5.0,
+                cy: 5.0,
+                radius: 2.0,
+            },
         },
     ];
     cfg.solver = SolverKind::ConjugateGradient;
@@ -155,7 +159,10 @@ fn analytic_cosine_mode_decay_is_exact() {
             max_err = max_err.max((u[mesh.idx(i, j)] - expect).abs());
         }
     }
-    assert!(max_err < 1.0e-9, "analytic mode decay violated: max err {max_err:e}");
+    assert!(
+        max_err < 1.0e-9,
+        "analytic mode decay violated: max err {max_err:e}"
+    );
 }
 
 #[test]

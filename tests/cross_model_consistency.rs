@@ -33,7 +33,11 @@ fn check_solver(solver: SolverKind) {
             }
             let report = run_simulation(model, &device, &cfg)
                 .unwrap_or_else(|e| panic!("{model:?} on {}: {e}", device.name));
-            assert!(report.converged, "{model:?}/{}/{solver} must converge", device.name);
+            assert!(
+                report.converged,
+                "{model:?}/{}/{solver} must converge",
+                device.name
+            );
             assert_eq!(
                 report.total_iterations, reference.total_iterations,
                 "{model:?}/{}/{solver}: iteration count drifted",
@@ -75,9 +79,18 @@ fn preconditioned_cg_identical_across_ports() {
     let mut cfg = config(SolverKind::ConjugateGradient, 48);
     cfg.tl_preconditioner = true;
     let reference = run_simulation(ModelId::Serial, &cpu, &cfg).unwrap();
-    for model in [ModelId::Omp3F90, ModelId::Kokkos, ModelId::Raja, ModelId::OpenCl] {
+    for model in [
+        ModelId::Omp3F90,
+        ModelId::Kokkos,
+        ModelId::Raja,
+        ModelId::OpenCl,
+    ] {
         let report = run_simulation(model, &cpu, &cfg).unwrap();
-        assert_eq!(report.summary.max_abs_diff(&reference.summary), 0.0, "{model:?}");
+        assert_eq!(
+            report.summary.max_abs_diff(&reference.summary),
+            0.0,
+            "{model:?}"
+        );
         assert_eq!(report.total_iterations, reference.total_iterations);
     }
 }
@@ -116,6 +129,9 @@ fn temperature_field_identical_bitwise() {
             .zip(&u_ref)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f64, f64::max);
-        assert_eq!(max_diff, 0.0, "{model:?} temperature field deviates by {max_diff:e}");
+        assert_eq!(
+            max_diff, 0.0,
+            "{model:?} temperature field deviates by {max_diff:e}"
+        );
     }
 }

@@ -28,7 +28,10 @@ fn bm2_chebyshev_deck_runs() {
     cfg.end_step = 1;
     let report = run_simulation(ModelId::Kokkos, &devices::gpu_k20x(), &cfg).unwrap();
     assert!(report.converged);
-    assert!(report.eigenvalues.is_some(), "Chebyshev must estimate eigenvalues");
+    assert!(
+        report.eigenvalues.is_some(),
+        "Chebyshev must estimate eigenvalues"
+    );
 }
 
 #[test]

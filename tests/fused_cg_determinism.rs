@@ -1,0 +1,170 @@
+//! Fused-CG determinism: ports that advertise
+//! [`supports_fused_cg`](tealeaf::kernels::TeaLeafPort::supports_fused_cg)
+//! must produce *bit-identical* state through their fused
+//! `cg_fused_ur_p` launch and the two-launch `cg_calc_ur` → `cg_calc_p`
+//! schedule — same α/β history, same residual, same temperature field.
+//!
+//! This pins the claim the solver relies on when it picks the fused path:
+//! fusion changes the launch schedule (one parallel region instead of
+//! two), never the arithmetic or the reduction order.
+
+use proptest::prelude::*;
+
+use simdev::devices;
+use tea_core::config::{SolverKind, TeaConfig};
+use tea_core::halo::FieldId;
+use tea_core::state::{Geometry, State};
+use tealeaf::kernels::NormField;
+use tealeaf::ports::make_port;
+use tealeaf::{ModelId, Problem};
+
+/// The per-iteration CG trace we compare across schedules, as raw bits.
+#[derive(Debug, PartialEq, Eq)]
+struct CgTrace {
+    rrn_beta_bits: Vec<(u64, u64)>,
+    r_norm_bits: u64,
+    u_bits: Vec<u64>,
+}
+
+/// Bring a freshly constructed port to the start of the CG loop (the same
+/// sequence `driver::drive` + `cg::run_phase` perform), then run `iters`
+/// iterations with either the fused or the split schedule.
+fn trace_cg(
+    model: ModelId,
+    device: &simdev::DeviceSpec,
+    cfg: &TeaConfig,
+    fused: bool,
+    iters: usize,
+) -> CgTrace {
+    let problem = Problem::from_config(cfg);
+    let mut port = make_port(model, device.clone(), &problem, 1).expect("port must build");
+    let (rx, ry) = problem.rx_ry();
+    port.halo_update(&[FieldId::Density, FieldId::Energy0], 2);
+    port.init_fields(cfg.coefficient, rx, ry);
+    port.halo_update(&[FieldId::U], 1);
+
+    let precond = cfg.tl_preconditioner;
+    let mut rro = port.cg_init(precond);
+    let mut rrn_beta_bits = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        port.halo_update(&[FieldId::P], 1);
+        let pw = port.cg_calc_w();
+        let alpha = rro / pw;
+        let (rrn, beta) = if fused {
+            assert!(
+                port.supports_fused_cg(),
+                "{model:?} lost its fusion capability"
+            );
+            port.cg_fused_ur_p(alpha, rro, precond)
+        } else {
+            let rrn = port.cg_calc_ur(alpha, precond);
+            let beta = rrn / rro;
+            port.cg_calc_p(beta, precond);
+            (rrn, beta)
+        };
+        rrn_beta_bits.push((rrn.to_bits(), beta.to_bits()));
+        rro = rrn;
+    }
+    CgTrace {
+        rrn_beta_bits,
+        r_norm_bits: port.calc_2norm(NormField::R).to_bits(),
+        u_bits: port.read_u().iter().map(|v| v.to_bits()).collect(),
+    }
+}
+
+/// Every (fused port, device) pairing the solver can select.
+fn fused_pairings() -> Vec<(ModelId, simdev::DeviceSpec)> {
+    let cpu = devices::cpu_xeon_e5_2670_x2();
+    let gpu = devices::gpu_k20x();
+    vec![
+        (ModelId::Omp3F90, cpu.clone()),
+        (ModelId::Omp3Cpp, cpu.clone()),
+        (ModelId::Kokkos, gpu.clone()),
+        (ModelId::KokkosHP, gpu.clone()),
+        (ModelId::Cuda, gpu.clone()),
+        (ModelId::OpenCl, gpu),
+        (ModelId::OpenCl, cpu), // steal-pool executor on the CPU runtime
+    ]
+}
+
+fn random_config(cells: usize, hot_energy: f64, precond: bool) -> TeaConfig {
+    let mut cfg = TeaConfig::paper_problem(cells);
+    cfg.states = vec![
+        State::background(2.0, 0.5),
+        State {
+            density: 0.3,
+            energy: hot_energy,
+            geometry: Geometry::Rectangle {
+                xmin: 1.0,
+                xmax: 6.0,
+                ymin: 2.0,
+                ymax: 7.0,
+            },
+        },
+    ];
+    cfg.solver = SolverKind::ConjugateGradient;
+    cfg.tl_preconditioner = precond;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn fused_and_split_cg_bit_identical_on_random_meshes(
+        cells in 12usize..40,
+        hot_energy in 1.0..40.0f64,
+        precond_pick in 0usize..2,
+        iters in 3usize..12,
+    ) {
+        let cfg = random_config(cells, hot_energy, precond_pick == 1);
+        for (model, device) in fused_pairings() {
+            let fused = trace_cg(model, &device, &cfg, true, iters);
+            let split = trace_cg(model, &device, &cfg, false, iters);
+            prop_assert_eq!(
+                &fused.rrn_beta_bits, &split.rrn_beta_bits,
+                "{:?}/{}: fused rrn/β drifted from the split schedule", model, device.name
+            );
+            prop_assert_eq!(
+                fused.r_norm_bits, split.r_norm_bits,
+                "{:?}/{}: residual norm differs bitwise", model, device.name
+            );
+            prop_assert_eq!(
+                fused.u_bits, split.u_bits,
+                "{:?}/{}: temperature field differs bitwise", model, device.name
+            );
+        }
+    }
+}
+
+#[test]
+fn fusion_capability_is_where_the_design_says() {
+    // The ports whose underlying runtimes can merge loop bodies advertise
+    // fusion; serial (the oracle) and the directive analogues stay split.
+    let cpu = devices::cpu_xeon_e5_2670_x2();
+    let problem = Problem::from_config(&random_config(16, 5.0, false));
+    for (model, expect) in [
+        (ModelId::Serial, false),
+        (ModelId::Omp3F90, true),
+        (ModelId::Omp3Cpp, true),
+        (ModelId::Omp4, false),
+        (ModelId::OpenAcc, false),
+        (ModelId::Raja, false),
+        (ModelId::RajaSimd, false),
+        (ModelId::Kokkos, true),
+        (ModelId::KokkosHP, true),
+        (ModelId::OpenCl, true),
+    ] {
+        let port = make_port(model, cpu.clone(), &problem, 1);
+        if let Ok(port) = port {
+            assert_eq!(
+                port.supports_fused_cg(),
+                expect,
+                "{model:?} fusion capability flag"
+            );
+        }
+    }
+    let gpu = devices::gpu_k20x();
+    let cuda = make_port(ModelId::Cuda, gpu, &problem, 1).unwrap();
+    assert!(cuda.supports_fused_cg(), "Cuda fusion capability flag");
+}

@@ -8,27 +8,37 @@
 //! scaling the benchmark harness uses (see `tea-bench`).
 
 use simdev::devices;
-use tea_core::config::SolverKind;
 use tea_bench::{figure_models, runtime_figure, Scale};
+use tea_core::config::SolverKind;
 use tealeaf::{run_simulation_seeded, ModelId};
 
 fn scale() -> Scale {
-    Scale { cells: 192, steps: 1, eps: 1.0e-12, sweep_max: 250 }
+    Scale {
+        cells: 192,
+        steps: 1,
+        eps: 1.0e-12,
+        sweep_max: 250,
+    }
 }
 
 /// sim seconds per solver for `model` in a completed figure run.
-fn times(
-    figure: &[(ModelId, Vec<tealeaf::RunReport>)],
-    model: ModelId,
-) -> [f64; 3] {
+fn times(figure: &[(ModelId, Vec<tealeaf::RunReport>)], model: ModelId) -> [f64; 3] {
     let (_, reports) = figure
         .iter()
         .find(|(m, _)| *m == model)
         .unwrap_or_else(|| panic!("{model:?} missing from figure"));
-    [reports[0].sim_seconds(), reports[1].sim_seconds(), reports[2].sim_seconds()]
+    [
+        reports[0].sim_seconds(),
+        reports[1].sim_seconds(),
+        reports[2].sim_seconds(),
+    ]
 }
 
-fn ratios(figure: &[(ModelId, Vec<tealeaf::RunReport>)], model: ModelId, baseline: ModelId) -> [f64; 3] {
+fn ratios(
+    figure: &[(ModelId, Vec<tealeaf::RunReport>)],
+    model: ModelId,
+    baseline: ModelId,
+) -> [f64; 3] {
     let m = times(figure, model);
     let b = times(figure, baseline);
     [m[0] / b[0], m[1] / b[1], m[2] / b[2]]
@@ -59,7 +69,10 @@ fn figure8_cpu_shape() {
     let [cg, cheby, ppcg] = ratios(&fig, ModelId::Omp3Cpp, ModelId::Omp3F90);
     assert!((cg - 1.0).abs() < 0.05, "C++ CG ratio {cg}");
     assert!((ppcg - 1.0).abs() < 0.05, "C++ PPCG ratio {ppcg}");
-    assert!(cheby > 1.05 && cheby < 1.25, "C++ Chebyshev ratio {cheby} (paper ≈ 1.15)");
+    assert!(
+        cheby > 1.05 && cheby < 1.25,
+        "C++ Chebyshev ratio {cheby} (paper ≈ 1.15)"
+    );
 
     // §4.1: Kokkos within ~10 % of the C++ implementation.
     let k = ratios(&fig, ModelId::Kokkos, ModelId::Omp3Cpp);
@@ -70,9 +83,18 @@ fn figure8_cpu_shape() {
     // §4.1: RAJA ≈ +20 % CG/PPCG but ~+40 % Chebyshev; the SIMD variant
     // brings Chebyshev back in line.
     let [r_cg, r_cheby, r_ppcg] = ratios(&fig, ModelId::Raja, ModelId::Omp3F90);
-    assert!(r_cg > 1.1 && r_cg < 1.45, "RAJA CG ratio {r_cg} (paper ≈ 1.2)");
-    assert!(r_ppcg > 1.1 && r_ppcg < 1.45, "RAJA PPCG ratio {r_ppcg} (paper ≈ 1.2)");
-    assert!(r_cheby > 1.25 && r_cheby < 1.6, "RAJA Chebyshev ratio {r_cheby} (paper ≈ 1.4)");
+    assert!(
+        r_cg > 1.1 && r_cg < 1.45,
+        "RAJA CG ratio {r_cg} (paper ≈ 1.2)"
+    );
+    assert!(
+        r_ppcg > 1.1 && r_ppcg < 1.45,
+        "RAJA PPCG ratio {r_ppcg} (paper ≈ 1.2)"
+    );
+    assert!(
+        r_cheby > 1.25 && r_cheby < 1.6,
+        "RAJA Chebyshev ratio {r_cheby} (paper ≈ 1.4)"
+    );
     assert!(r_cheby > r_cg, "Chebyshev must be RAJA's worst solver");
     let [_, simd_cheby, _] = ratios(&fig, ModelId::RajaSimd, ModelId::Omp3F90);
     assert!(
@@ -84,7 +106,10 @@ fn figure8_cpu_shape() {
     // choosing any of the performance portable options" — excepting the
     // noted RAJA/OpenCL issues.
     let kk = ratios(&fig, ModelId::Kokkos, ModelId::Omp3F90);
-    assert!(kk.iter().all(|r| *r < 1.25), "Kokkos CPU within ~20 %: {kk:?}");
+    assert!(
+        kk.iter().all(|r| *r < 1.25),
+        "Kokkos CPU within ~20 %: {kk:?}"
+    );
 }
 
 #[test]
@@ -101,8 +126,9 @@ fn figure8_opencl_cpu_variance() {
                 .sim_seconds()
         })
         .collect();
-    let (min, max) =
-        runs.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &t| (lo.min(t), hi.max(t)));
+    let (min, max) = runs.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &t| {
+        (lo.min(t), hi.max(t))
+    });
     let spread = max / min;
     assert!(
         spread > 1.3 && spread < 1.85,
@@ -117,9 +143,12 @@ fn figure8_opencl_cpu_variance() {
                 .sim_seconds()
         })
         .collect();
-    let gpu_spread = g.iter().cloned().fold(0.0f64, f64::max)
-        / g.iter().cloned().fold(f64::INFINITY, f64::min);
-    assert!(gpu_spread < 1.001, "GPU runs are hardware-scheduled: spread {gpu_spread}");
+    let gpu_spread =
+        g.iter().cloned().fold(0.0f64, f64::max) / g.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        gpu_spread < 1.001,
+        "GPU runs are hardware-scheduled: spread {gpu_spread}"
+    );
 }
 
 #[test]
@@ -145,8 +174,14 @@ fn figure9_gpu_shape() {
 
     // §4.2: OpenACC ≈ +30 % CG, ≈ +10 % for the other two solvers.
     let [acc_cg, acc_cheby, acc_ppcg] = ratios(&fig, ModelId::OpenAcc, ModelId::Cuda);
-    assert!(acc_cg > 1.15 && acc_cg < 1.5, "OpenACC CG ratio {acc_cg} (paper ≈ 1.3)");
-    assert!(acc_cheby < 1.25 && acc_ppcg < 1.3, "OpenACC others ≈ +10-20 %: {acc_cheby} {acc_ppcg}");
+    assert!(
+        acc_cg > 1.15 && acc_cg < 1.5,
+        "OpenACC CG ratio {acc_cg} (paper ≈ 1.3)"
+    );
+    assert!(
+        acc_cheby < 1.25 && acc_ppcg < 1.3,
+        "OpenACC others ≈ +10-20 %: {acc_cheby} {acc_ppcg}"
+    );
     assert!(acc_cg > acc_cheby, "OpenACC's CG must be its worst solver");
 
     // §4.2: Kokkos — "unexplained performance problem" on CG (~+50 %),
@@ -157,8 +192,14 @@ fn figure9_gpu_shape() {
     // and the *differential* (the anomaly is CG-specific) is the binding
     // assertion.
     let [k_cg, k_cheby, k_ppcg] = ratios(&fig, ModelId::Kokkos, ModelId::Cuda);
-    assert!(k_cg > 1.35 && k_cg < 1.65, "Kokkos GPU CG ratio {k_cg} (paper ≈ 1.5)");
-    assert!(k_cheby < 1.35 && k_ppcg < 1.40, "Kokkos GPU others: {k_cheby} {k_ppcg}");
+    assert!(
+        k_cg > 1.35 && k_cg < 1.65,
+        "Kokkos GPU CG ratio {k_cg} (paper ≈ 1.5)"
+    );
+    assert!(
+        k_cheby < 1.35 && k_ppcg < 1.40,
+        "Kokkos GPU others: {k_cheby} {k_ppcg}"
+    );
     assert!(
         k_cg > k_cheby + 0.15 && k_cg > k_ppcg + 0.1,
         "the Kokkos GPU problem must be CG-specific: cg {k_cg}, cheby {k_cheby}, ppcg {k_ppcg}"
@@ -168,8 +209,14 @@ fn figure9_gpu_shape() {
     // The cost side is checked at a larger mesh where the Chebyshev/PPCG
     // phases dominate the shared CG presteps (see the bleed note above).
     let [hp_cg, _, _] = ratios(&fig, ModelId::KokkosHP, ModelId::Kokkos);
-    assert!(hp_cg < 0.97, "HP must improve the CG solver (ratio {hp_cg})");
-    let big = Scale { cells: 384, ..scale() };
+    assert!(
+        hp_cg < 0.97,
+        "HP must improve the CG solver (ratio {hp_cg})"
+    );
+    let big = Scale {
+        cells: 384,
+        ..scale()
+    };
     let mut cheby_cfg = big.config(SolverKind::Chebyshev);
     cheby_cfg.tl_eps = 1.0e-10;
     let regime = big.regime_device(&devices::gpu_k20x());
@@ -194,25 +241,43 @@ fn figure10_knc_shape() {
         }
         let t = times(&fig, *model);
         for s in 0..3 {
-            assert!(t[s] > f90[s], "{model:?} cannot beat native F90 on KNC (solver {s})");
+            assert!(
+                t[s] > f90[s],
+                "{model:?} cannot beat native F90 on KNC (solver {s})"
+            );
         }
     }
 
     // §4.3: OpenMP 4.0 ≈ +45 % CG, within ~10-20 % for Chebyshev/PPCG.
     let [o4_cg, o4_cheby, o4_ppcg] = ratios(&fig, ModelId::Omp4, ModelId::Omp3F90);
-    assert!(o4_cg > 1.3 && o4_cg < 1.6, "OpenMP 4.0 KNC CG ratio {o4_cg} (paper ≈ 1.45)");
-    assert!(o4_cheby < 1.3 && o4_ppcg < 1.3, "OpenMP 4.0 others: {o4_cheby} {o4_ppcg}");
+    assert!(
+        o4_cg > 1.3 && o4_cg < 1.6,
+        "OpenMP 4.0 KNC CG ratio {o4_cg} (paper ≈ 1.45)"
+    );
+    assert!(
+        o4_cheby < 1.3 && o4_ppcg < 1.3,
+        "OpenMP 4.0 others: {o4_cheby} {o4_ppcg}"
+    );
 
     // §4.3: OpenCL CG ≈ 3× the best port; other solvers acceptable.
     let [cl_cg, cl_cheby, _] = ratios(&fig, ModelId::OpenCl, ModelId::Omp3F90);
-    assert!(cl_cg > 2.4 && cl_cg < 3.6, "OpenCL KNC CG ratio {cl_cg} (paper ≈ 3×)");
-    assert!(cl_cheby < 2.0, "OpenCL KNC Chebyshev acceptable: {cl_cheby}");
+    assert!(
+        cl_cg > 2.4 && cl_cg < 3.6,
+        "OpenCL KNC CG ratio {cl_cg} (paper ≈ 3×)"
+    );
+    assert!(
+        cl_cheby < 2.0,
+        "OpenCL KNC Chebyshev acceptable: {cl_cheby}"
+    );
     assert!(cl_cg / cl_cheby > 1.5, "the anomaly must be CG-specific");
 
     // §4.3: RAJA native — "substantially higher runtimes ... for all
     // solvers".
     let raja = ratios(&fig, ModelId::Raja, ModelId::Omp3F90);
-    assert!(raja.iter().all(|r| *r > 1.6), "RAJA KNC substantially slower: {raja:?}");
+    assert!(
+        raja.iter().all(|r| *r > 1.6),
+        "RAJA KNC substantially slower: {raja:?}"
+    );
 
     // §4.3: hierarchical parallelism "roughly halving the solve time for
     // the CG and PPCG solvers on the KNC".
@@ -220,8 +285,14 @@ fn figure10_knc_shape() {
     let [hp_cg, _, hp_ppcg] = times(&fig, ModelId::KokkosHP);
     let cg_gain = flat_cg / hp_cg;
     let ppcg_gain = flat_ppcg / hp_ppcg;
-    assert!(cg_gain > 1.7 && cg_gain < 2.4, "HP CG gain {cg_gain} (paper ≈ 2×)");
-    assert!(ppcg_gain > 1.7 && ppcg_gain < 2.4, "HP PPCG gain {ppcg_gain} (paper ≈ 2×)");
+    assert!(
+        cg_gain > 1.7 && cg_gain < 2.4,
+        "HP CG gain {cg_gain} (paper ≈ 2×)"
+    );
+    assert!(
+        ppcg_gain > 1.7 && ppcg_gain < 2.4,
+        "HP PPCG gain {ppcg_gain} (paper ≈ 2×)"
+    );
 }
 
 #[test]
@@ -229,8 +300,13 @@ fn figure11_growth_shape() {
     // §5: offload models have high intercepts (overheads dominate small
     // meshes) that are hidden as the mesh grows; GPU growth is linear.
     let cfg_of = |cells: usize| {
-        let mut cfg = Scale { cells, steps: 1, eps: 1.0e-10, sweep_max: 0 }
-            .config(SolverKind::ConjugateGradient);
+        let mut cfg = Scale {
+            cells,
+            steps: 1,
+            eps: 1.0e-10,
+            sweep_max: 0,
+        }
+        .config(SolverKind::ConjugateGradient);
         cfg.tl_max_iters = 20_000;
         cfg
     };
@@ -278,9 +354,8 @@ fn figure11_growth_shape() {
     // paper's 9·10⁵ knee) and past it (1250² ≈ 1.6·10⁶ cells)
     let small = run_simulation_seeded(ModelId::Omp3F90, &cpu, &cfg_of(750), 0).unwrap();
     let large = run_simulation_seeded(ModelId::Omp3F90, &cpu, &cfg_of(1250), 0).unwrap();
-    let unit = |r: &tealeaf::RunReport| {
-        r.sim_seconds() / (r.cells() as f64 * r.total_iterations as f64)
-    };
+    let unit =
+        |r: &tealeaf::RunReport| r.sim_seconds() / (r.cells() as f64 * r.total_iterations as f64);
     // the blend region of the cache model makes the decay gradual, as the
     // paper describes ("over time creating a memory latency and bandwidth
     // bottleneck")
@@ -308,7 +383,10 @@ fn figure12_bandwidth_shape() {
     assert!(f90 > 0.8 && f90 <= 1.0, "tuned CPU utilisation {f90}");
     for m in figure_models(simdev::DeviceKind::Cpu) {
         let f = frac(&fig_cpu, m, &cpu_regime);
-        assert!(f <= f90 + 1e-9, "{m:?} cannot beat the tuned baseline ({f} vs {f90})");
+        assert!(
+            f <= f90 + 1e-9,
+            "{m:?} cannot beat the tuned baseline ({f} vs {f90})"
+        );
         assert!(f > 0.4, "{m:?} achieves a plausible fraction ({f})");
     }
 
@@ -320,7 +398,10 @@ fn figure12_bandwidth_shape() {
     let cuda = frac(&fig_gpu, ModelId::Cuda, &gpu_regime);
     let kokkos_gpu = frac(&fig_gpu, ModelId::Kokkos, &gpu_regime);
     assert!(cuda > 0.85, "CUDA utilisation {cuda}");
-    assert!(kokkos_gpu > cuda * 0.72, "Kokkos GPU within ~25 % of CUDA ({kokkos_gpu} vs {cuda})");
+    assert!(
+        kokkos_gpu > cuda * 0.72,
+        "Kokkos GPU within ~25 % of CUDA ({kokkos_gpu} vs {cuda})"
+    );
 
     // §6: "The results on the KNC are poor" for the portable models, and
     // HP improves on flat Kokkos.
@@ -329,6 +410,12 @@ fn figure12_bandwidth_shape() {
     let fig_knc = runtime_figure(&knc, s);
     let flat = frac(&fig_knc, ModelId::Kokkos, &knc_regime);
     let hp = frac(&fig_knc, ModelId::KokkosHP, &knc_regime);
-    assert!(flat < 0.5, "flat Kokkos KNC utilisation must be poor ({flat})");
-    assert!(hp > flat * 1.5, "HP must substantially improve KNC utilisation ({hp} vs {flat})");
+    assert!(
+        flat < 0.5,
+        "flat Kokkos KNC utilisation must be poor ({flat})"
+    );
+    assert!(
+        hp > flat * 1.5,
+        "HP must substantially improve KNC utilisation ({hp} vs {flat})"
+    );
 }
