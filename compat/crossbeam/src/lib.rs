@@ -23,6 +23,15 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// Every sender has hung up.
+        Disconnected,
+    }
+
     /// The sending half of an unbounded channel.
     pub struct Sender<T> {
         inner: mpsc::Sender<T>,
@@ -59,6 +68,15 @@ pub mod channel {
         /// Receive without blocking, if a message is ready.
         pub fn try_recv(&self) -> Option<T> {
             self.inner.try_recv().ok()
+        }
+
+        /// Block until a message arrives, all senders disconnect, or
+        /// `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
         }
     }
 

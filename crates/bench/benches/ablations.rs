@@ -25,6 +25,7 @@ fn scale() -> Scale {
         steps: 1,
         eps: 1.0e-12,
         sweep_max: 0,
+        seed: tealeaf::driver::TEA_DEFAULT_SEED,
     }
 }
 

@@ -37,8 +37,8 @@ fn main() {
 
     let scale = Scale::from_env();
     println!(
-        "== TeaLeaf paper-figure harness ==\nscale: {}x{} mesh, {} steps, eps {:.0e} (set TEA_PAPER_SCALE=1 for the full 40962 runs)\n",
-        scale.cells, scale.cells, scale.steps, scale.eps
+        "== TeaLeaf paper-figure harness ==\nscale: {}x{} mesh, {} steps, eps {:.0e}, seed {:#x} (set TEA_PAPER_SCALE=1 for the full 40962 runs)\n",
+        scale.cells, scale.cells, scale.steps, scale.eps, scale.seed
     );
 
     if wanted("table1") {

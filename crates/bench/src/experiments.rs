@@ -3,7 +3,7 @@
 use simdev::{devices, DeviceKind, DeviceSpec};
 use tea_core::config::SolverKind;
 use tea_core::tablefmt::{fmt_pct, fmt_secs, Table};
-use tealeaf::{run_simulation, ModelId, RunReport};
+use tealeaf::{run_simulation_seeded, ModelId, RunReport};
 
 use crate::scale::Scale;
 
@@ -48,6 +48,10 @@ pub fn figure_models(kind: DeviceKind) -> Vec<ModelId> {
 }
 
 /// Run one figure's model set over the paper's three solvers.
+///
+/// Every run is seeded from `scale.seed` (default `TEA_DEFAULT_SEED`,
+/// override with `TEA_SEED`), so the figures — including the OpenCL CPU
+/// series, whose cost model draws enqueue jitter — reproduce exactly.
 pub fn runtime_figure(device: &DeviceSpec, scale: Scale) -> Vec<(ModelId, Vec<RunReport>)> {
     // Figures 8-10 report the mesh-convergence point (§4): on reduced
     // functional meshes the device is rescaled into that regime.
@@ -58,8 +62,9 @@ pub fn runtime_figure(device: &DeviceSpec, scale: Scale) -> Vec<(ModelId, Vec<Ru
             let reports = SolverKind::PAPER
                 .iter()
                 .map(|&solver| {
-                    let report = run_simulation(model, &regime, &scale.config(solver))
-                        .expect("figure models are supported on their figure's device");
+                    let report =
+                        run_simulation_seeded(model, &regime, &scale.config(solver), scale.seed)
+                            .expect("figure models are supported on their figure's device");
                     assert!(
                         report.converged,
                         "{} / {} / {} did not converge — a figure over diverged runs is meaningless",
@@ -197,7 +202,7 @@ pub fn fig11(scale: Scale) -> (Table, Vec<Fig11Point>) {
                 // runtime *growth*, not convergence depth
                 cfg.tl_eps = scale.eps.max(1.0e-10);
                 cfg.tl_max_iters = 20_000;
-                let report = run_simulation(model, &device, &cfg)
+                let report = run_simulation_seeded(model, &device, &cfg, scale.seed)
                     .expect("sweep models are supported on their device");
                 row.push(fmt_secs(report.sim_seconds()));
                 points.push(Fig11Point {

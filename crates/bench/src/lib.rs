@@ -19,6 +19,7 @@
 //! | `TEA_STEPS` | 2 | timesteps |
 //! | `TEA_EPS` | 1e-12 | solver tolerance |
 //! | `TEA_PAPER_SCALE` | unset | set to `1` for the full 4096²/10-step/1e-15 runs |
+//! | `TEA_SEED` | `0x7EA1EAF` | seed for stochastic cost terms (OpenCL CPU jitter) |
 //!
 //! Simulated device time is computed from the *actually executed* kernel
 //! stream, so the relative shapes (who wins, by what factor) are

@@ -1,6 +1,7 @@
 //! Experiment scale selection (environment-driven).
 
 use tea_core::config::{SolverKind, TeaConfig};
+use tealeaf::driver::TEA_DEFAULT_SEED;
 
 /// Mesh/step/tolerance scale for the experiments.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -10,6 +11,11 @@ pub struct Scale {
     pub eps: f64,
     /// Mesh edges for the Figure 11 even-step sweep.
     pub sweep_max: usize,
+    /// Seed for every stochastic cost term (the OpenCL CPU enqueue
+    /// jitter) in the figure runs. Fixed by default so committed numbers
+    /// reproduce bit-for-bit; override with `TEA_SEED` to check that a
+    /// conclusion is not an artefact of one jitter draw.
+    pub seed: u64,
 }
 
 impl Scale {
@@ -29,6 +35,10 @@ impl Scale {
             steps: get("TEA_STEPS", 2.0) as usize,
             eps: get("TEA_EPS", 1.0e-12),
             sweep_max: get("TEA_SWEEP_MAX", 625.0) as usize,
+            seed: std::env::var("TEA_SEED")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(TEA_DEFAULT_SEED),
         }
     }
 
@@ -39,6 +49,7 @@ impl Scale {
             steps: 10,
             eps: 1.0e-15,
             sweep_max: 1225,
+            seed: TEA_DEFAULT_SEED,
         }
     }
 
@@ -49,6 +60,7 @@ impl Scale {
             steps: 1,
             eps: 1.0e-10,
             sweep_max: 250,
+            seed: TEA_DEFAULT_SEED,
         }
     }
 
@@ -126,6 +138,7 @@ mod tests {
             steps: 0,
             eps: 1.0,
             sweep_max: 625,
+            seed: TEA_DEFAULT_SEED,
         };
         assert_eq!(s.sweep_sizes(), vec![125, 250, 375, 500, 625]);
         let p = Scale::paper();
@@ -156,6 +169,7 @@ mod regime_tests {
             steps: 2,
             eps: 1e-12,
             sweep_max: 0,
+            seed: TEA_DEFAULT_SEED,
         };
         let gpu = devices::gpu_k20x();
         let regime = s.regime_device(&gpu);
@@ -183,5 +197,6 @@ mod regime_tests {
         assert!(s.cells >= 64);
         assert!(s.steps >= 1);
         assert!(s.eps > 0.0);
+        assert_eq!(s.seed, TEA_DEFAULT_SEED, "unset TEA_SEED uses the default");
     }
 }

@@ -1,0 +1,157 @@
+//! `tea-diff` — run two ports in lock-step and bisect their first
+//! divergence to a kernel invocation.
+//!
+//! ```text
+//! cargo run -p tea-conformance --bin tea-diff -- \
+//!     --ref serial --cand cuda --deck crates/conformance/decks/conf_small.in
+//! ```
+//!
+//! `--deck` accepts a builtin deck name (`conf_small`, `conf_tiny`) or a
+//! `tea.in` file path. Exit status: 0 bit-identical, 1 divergence found,
+//! 2 usage or setup error.
+
+use std::process::ExitCode;
+
+use tea_conformance::{builtin_deck, diff_models, model_name, parse_model};
+use tea_core::config::{SolverKind, TeaConfig};
+use tealeaf::driver::TEA_DEFAULT_SEED;
+
+fn usage() -> String {
+    let ports: Vec<&str> = tealeaf::ModelId::ALL
+        .iter()
+        .map(|m| model_name(*m))
+        .collect();
+    format!(
+        "usage: tea-diff --ref <port> --cand <port> [--deck <name|path>] \
+         [--solver cg|chebyshev|ppcg|jacobi] [--cells N] [--steps N] [--seed N]\n\
+         ports: {}",
+        ports.join(", ")
+    )
+}
+
+struct Args {
+    reference: String,
+    candidate: String,
+    deck: Option<String>,
+    solver: Option<SolverKind>,
+    cells: Option<usize>,
+    steps: Option<usize>,
+    seed: u64,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        reference: String::new(),
+        candidate: String::new(),
+        deck: None,
+        solver: None,
+        cells: None,
+        steps: None,
+        seed: TEA_DEFAULT_SEED,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--ref" => args.reference = value()?,
+            "--cand" => args.candidate = value()?,
+            "--deck" => args.deck = Some(value()?),
+            "--solver" => {
+                args.solver = Some(match value()?.as_str() {
+                    "cg" => SolverKind::ConjugateGradient,
+                    "chebyshev" | "cheby" => SolverKind::Chebyshev,
+                    "ppcg" => SolverKind::Ppcg,
+                    "jacobi" => SolverKind::Jacobi,
+                    other => return Err(format!("unknown solver '{other}'")),
+                })
+            }
+            "--cells" => {
+                args.cells = Some(value()?.parse().map_err(|_| "bad --cells".to_string())?)
+            }
+            "--steps" => {
+                args.steps = Some(value()?.parse().map_err(|_| "bad --steps".to_string())?)
+            }
+            "--seed" => args.seed = value()?.parse().map_err(|_| "bad --seed".to_string())?,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag '{other}'\n{}", usage())),
+        }
+    }
+    if args.reference.is_empty() || args.candidate.is_empty() {
+        return Err(usage());
+    }
+    Ok(args)
+}
+
+fn load_config(args: &Args) -> Result<TeaConfig, String> {
+    let mut cfg = match &args.deck {
+        None => {
+            // A small, fast default: every solver converges here.
+            let mut cfg = TeaConfig::paper_problem(48);
+            cfg.end_step = 2;
+            cfg.tl_eps = 1.0e-12;
+            cfg.tl_ch_cg_presteps = 10;
+            cfg
+        }
+        Some(deck) => {
+            let text = match builtin_deck(deck) {
+                Some(text) => text.to_string(),
+                None => std::fs::read_to_string(deck)
+                    .map_err(|e| format!("cannot read deck {deck}: {e}"))?,
+            };
+            TeaConfig::parse(&text).map_err(|e| format!("deck {deck}: {e}"))?
+        }
+    };
+    if let Some(solver) = args.solver {
+        cfg.solver = solver;
+    }
+    if let Some(cells) = args.cells {
+        cfg.x_cells = cells;
+        cfg.y_cells = cells;
+    }
+    if let Some(steps) = args.steps {
+        cfg.end_step = steps;
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let (Some(reference), Some(candidate)) =
+        (parse_model(&args.reference), parse_model(&args.candidate))
+    else {
+        eprintln!("unknown port name\n{}", usage());
+        return ExitCode::from(2);
+    };
+    let cfg = match load_config(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match diff_models(reference, candidate, &cfg, args.seed) {
+        Err(e) => {
+            eprintln!("cannot build ports: {e}");
+            ExitCode::from(2)
+        }
+        Ok(outcome) => {
+            println!("{outcome}");
+            if outcome.divergence.is_some() {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+    }
+}

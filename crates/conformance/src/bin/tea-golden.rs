@@ -1,0 +1,88 @@
+//! `tea-golden` — verify or regenerate the committed golden-run
+//! registry.
+//!
+//! ```text
+//! cargo run -p tea-conformance --bin tea-golden -- --check
+//! cargo run -p tea-conformance --bin tea-golden -- --bless
+//! ```
+//!
+//! `--deck <name>` restricts either mode to one builtin deck. `--check`
+//! (the default) recomputes the full port × solver × rank matrix and
+//! byte-compares it against `crates/conformance/goldens/`; any drift is
+//! listed per run and exits 1. `--bless` rewrites the registry from the
+//! current build — review the diff before committing it.
+
+use std::process::ExitCode;
+
+use tea_conformance::golden::{compute_goldens, golden_path, goldens_dir, render_registry};
+use tea_conformance::{builtin_decks, check_deck};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut bless = false;
+    let mut only: Option<String> = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--bless" => bless = true,
+            "--check" => bless = false,
+            "--deck" => match it.next() {
+                Some(name) => only = Some(name.clone()),
+                None => {
+                    eprintln!("--deck needs a value");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "unknown flag '{other}'; usage: tea-golden [--check|--bless] [--deck <name>]"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let decks: Vec<(&str, &str)> = builtin_decks()
+        .into_iter()
+        .filter(|(name, _)| only.as_deref().is_none_or(|o| o == *name))
+        .collect();
+    if decks.is_empty() {
+        eprintln!("no such deck; builtin decks: conf_small, conf_tiny");
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+    for (name, text) in decks {
+        if bless {
+            let entries = compute_goldens(name, text);
+            let path = golden_path(name);
+            if let Err(e) = std::fs::create_dir_all(goldens_dir()) {
+                eprintln!("cannot create {}: {e}", goldens_dir().display());
+                return ExitCode::from(2);
+            }
+            match std::fs::write(&path, render_registry(name, &entries)) {
+                Ok(()) => println!("blessed {} ({} runs)", path.display(), entries.len()),
+                Err(e) => {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            match check_deck(name, text) {
+                Ok(n) => println!("deck {name}: {n} golden runs bit-identical"),
+                Err(problems) => {
+                    failed = true;
+                    eprintln!("deck {name}: {} problem(s)", problems.len());
+                    for p in &problems {
+                        eprintln!("  {p}");
+                    }
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

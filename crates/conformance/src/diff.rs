@@ -1,0 +1,647 @@
+//! The differential executor: two ports in lock-step, with kernel-level
+//! divergence bisection.
+//!
+//! [`LockstepPort`] implements [`TeaLeafPort`] over a *reference* and a
+//! *candidate* port. Every kernel invocation is forwarded to both (each
+//! wrapped in a [`RecordingPort`] so the call sequence is indexed), then
+//! the scalar results and the full solver field state are compared
+//! bit-for-bit. The first mismatch is frozen as a [`DivergenceReport`]
+//! naming the kernel, its invocation number, the solver iteration, the
+//! field and the first differing cell with its ULP distance — the
+//! bisection the paper's port-debugging workflow needed by hand.
+//!
+//! After a divergence the run *continues in lock-step*: the reference's
+//! scalars drive the solver on both ports, so the candidate sees exactly
+//! the reference's control flow and the report stays a pure function of
+//! the first fault rather than of error propagation.
+
+use std::fmt;
+
+use simdev::{DeviceSpec, SimContext};
+use tea_core::compare::{first_divergence, hex_bits, ulp_distance, Divergence};
+use tea_core::config::{Coefficient, SolverKind, TeaConfig};
+use tea_core::halo::FieldId;
+use tea_core::summary::Summary;
+use tealeaf::kernels::NormField;
+use tealeaf::ports::{make_port, PortError};
+use tealeaf::recorder::{KernelCall, RecordingPort};
+use tealeaf::{driver, ModelId, Problem, TeaLeafPort};
+
+use crate::matrix::natural_device;
+
+/// Canonical solver-field storage compared after every kernel call
+/// (`Energy1` aliases `Energy0` and `Mi` aliases `Z` in every port, so
+/// the aliases are skipped).
+pub const CHECKED_FIELDS: [FieldId; 11] = [
+    FieldId::Density,
+    FieldId::Energy0,
+    FieldId::U,
+    FieldId::U0,
+    FieldId::P,
+    FieldId::R,
+    FieldId::W,
+    FieldId::Z,
+    FieldId::Kx,
+    FieldId::Ky,
+    FieldId::Sd,
+];
+
+/// Kernels that mark the start of one solver iteration: `cg_calc_w`
+/// (CG, the Chebyshev/PPCG presteps and every PPCG outer iteration),
+/// `cheby_iterate` and `jacobi_iterate` — matching how
+/// [`tealeaf::solver::SolveOutcome`] counts iterations.
+const ITERATION_MARKS: [&str; 3] = ["cg_calc_w", "cheby_iterate", "jacobi_iterate"];
+
+/// What exactly differed on the diverging kernel call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mismatch {
+    /// A solver field differs; `divergence` holds the first differing
+    /// cell, both bit patterns and the ULP distance.
+    Field {
+        field: FieldId,
+        divergence: Divergence,
+    },
+    /// The kernel's scalar reduction differs (fields may still agree —
+    /// e.g. a broken reduction tree).
+    Scalar {
+        expected: f64,
+        actual: f64,
+        ulps: u64,
+    },
+    /// One component of the `field_summary` integrals differs.
+    Summary {
+        component: &'static str,
+        expected: f64,
+        actual: f64,
+        ulps: u64,
+    },
+}
+
+/// Where two lock-stepped ports first disagreed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivergenceReport {
+    /// Kernel name (stable, from [`KernelCall::kernel_name`]).
+    pub kernel: &'static str,
+    /// 0-based position in the full kernel call sequence.
+    pub call_index: usize,
+    /// 1-based count of calls *to this kernel* so far.
+    pub invocation: usize,
+    /// Solver iterations begun up to and including this call.
+    pub iteration: usize,
+    pub mismatch: Mismatch,
+}
+
+impl fmt::Display for DivergenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "first divergence at kernel `{}` (invocation {}, call {}, solver iteration {}): ",
+            self.kernel, self.invocation, self.call_index, self.iteration
+        )?;
+        match &self.mismatch {
+            Mismatch::Field { field, divergence } => write!(
+                f,
+                "field {:?} differs first at index {}: {} vs {} ({} ulps, {} cells differ)",
+                field,
+                divergence.index,
+                hex_bits(divergence.expected),
+                hex_bits(divergence.actual),
+                divergence.ulps,
+                divergence.count
+            ),
+            Mismatch::Scalar {
+                expected,
+                actual,
+                ulps,
+            } => write!(
+                f,
+                "scalar result differs: {} vs {} ({} ulps)",
+                hex_bits(*expected),
+                hex_bits(*actual),
+                ulps
+            ),
+            Mismatch::Summary {
+                component,
+                expected,
+                actual,
+                ulps,
+            } => write!(
+                f,
+                "summary component {component} differs: {} vs {} ({} ulps)",
+                hex_bits(*expected),
+                hex_bits(*actual),
+                ulps
+            ),
+        }
+    }
+}
+
+/// Two ports run in lock-step with per-kernel comparison.
+pub struct LockstepPort {
+    reference: RecordingPort,
+    candidate: RecordingPort,
+    divergence: Option<DivergenceReport>,
+}
+
+impl LockstepPort {
+    pub fn new(reference: Box<dyn TeaLeafPort>, candidate: Box<dyn TeaLeafPort>) -> Self {
+        LockstepPort {
+            reference: RecordingPort::new(reference),
+            candidate: RecordingPort::new(candidate),
+            divergence: None,
+        }
+    }
+
+    /// The frozen first divergence, if any.
+    pub fn divergence(&self) -> Option<&DivergenceReport> {
+        self.divergence.as_ref()
+    }
+
+    /// Total kernel calls executed so far.
+    pub fn calls(&self) -> usize {
+        self.reference.seq()
+    }
+
+    /// Compare scalars, summary components and all solver fields after
+    /// the call both recorders just logged; freeze the first mismatch.
+    fn check(&mut self) {
+        if self.divergence.is_some() {
+            return;
+        }
+        let log = self.reference.log();
+        let call = log.last().expect("check runs after a call").clone();
+        let cand_call = self
+            .candidate
+            .log()
+            .last()
+            .expect("candidate in lock-step")
+            .clone();
+
+        let mismatch = Self::compare_scalars(&call, &cand_call).or_else(|| self.compare_fields());
+        if let Some(mismatch) = mismatch {
+            let kernel = call.kernel_name();
+            let log = self.reference.log();
+            self.divergence = Some(DivergenceReport {
+                kernel,
+                call_index: log.len() - 1,
+                invocation: log.iter().filter(|c| c.kernel_name() == kernel).count(),
+                iteration: log
+                    .iter()
+                    .filter(|c| ITERATION_MARKS.contains(&c.kernel_name()))
+                    .count(),
+                mismatch,
+            });
+        }
+    }
+
+    fn compare_scalars(expected: &KernelCall, actual: &KernelCall) -> Option<Mismatch> {
+        if let (KernelCall::FieldSummary { summary: e }, KernelCall::FieldSummary { summary: a }) =
+            (expected, actual)
+        {
+            for (component, ev, av) in [
+                ("volume", e.volume, a.volume),
+                ("mass", e.mass, a.mass),
+                ("internal_energy", e.internal_energy, a.internal_energy),
+                ("temperature", e.temperature, a.temperature),
+            ] {
+                let ulps = ulp_distance(ev, av);
+                if ulps != 0 {
+                    return Some(Mismatch::Summary {
+                        component,
+                        expected: ev,
+                        actual: av,
+                        ulps,
+                    });
+                }
+            }
+            return None;
+        }
+        let (e, a) = (expected.scalar_result()?, actual.scalar_result()?);
+        let ulps = ulp_distance(e, a);
+        (ulps != 0).then_some(Mismatch::Scalar {
+            expected: e,
+            actual: a,
+            ulps,
+        })
+    }
+
+    fn compare_fields(&self) -> Option<Mismatch> {
+        for field in CHECKED_FIELDS {
+            let (Some(e), Some(a)) = (
+                self.reference.inspect_field(field),
+                self.candidate.inspect_field(field),
+            ) else {
+                continue;
+            };
+            assert_eq!(e.len(), a.len(), "ports solve different problems");
+            if let Some(divergence) = first_divergence(&e, &a) {
+                return Some(Mismatch::Field { field, divergence });
+            }
+        }
+        None
+    }
+}
+
+impl TeaLeafPort for LockstepPort {
+    fn model(&self) -> ModelId {
+        self.candidate.model()
+    }
+
+    fn context(&self) -> &SimContext {
+        self.reference.context()
+    }
+
+    fn init_fields(&mut self, coefficient: Coefficient, rx: f64, ry: f64) {
+        self.reference.init_fields(coefficient, rx, ry);
+        self.candidate.init_fields(coefficient, rx, ry);
+        self.check();
+    }
+
+    fn halo_update(&mut self, fields: &[FieldId], depth: usize) {
+        self.reference.halo_update(fields, depth);
+        self.candidate.halo_update(fields, depth);
+        self.check();
+    }
+
+    fn cg_init(&mut self, preconditioner: bool) -> f64 {
+        let rro = self.reference.cg_init(preconditioner);
+        let _ = self.candidate.cg_init(preconditioner);
+        self.check();
+        rro
+    }
+
+    fn cg_calc_w(&mut self) -> f64 {
+        let pw = self.reference.cg_calc_w();
+        let _ = self.candidate.cg_calc_w();
+        self.check();
+        pw
+    }
+
+    fn cg_calc_ur(&mut self, alpha: f64, preconditioner: bool) -> f64 {
+        let rrn = self.reference.cg_calc_ur(alpha, preconditioner);
+        let _ = self.candidate.cg_calc_ur(alpha, preconditioner);
+        self.check();
+        rrn
+    }
+
+    fn cg_calc_p(&mut self, beta: f64, preconditioner: bool) {
+        self.reference.cg_calc_p(beta, preconditioner);
+        self.candidate.cg_calc_p(beta, preconditioner);
+        self.check();
+    }
+
+    // Deliberately unfused: both ports then run `cg_calc_ur` and
+    // `cg_calc_p` as separate calls, giving two comparison points per CG
+    // tail instead of one. The fused and unfused schedules are
+    // bit-identical by the determinism contract, so this costs nothing
+    // but localization precision gained.
+    fn supports_fused_cg(&self) -> bool {
+        false
+    }
+
+    fn cheby_init(&mut self, theta: f64) {
+        self.reference.cheby_init(theta);
+        self.candidate.cheby_init(theta);
+        self.check();
+    }
+
+    fn cheby_iterate(&mut self, alpha: f64, beta: f64) {
+        self.reference.cheby_iterate(alpha, beta);
+        self.candidate.cheby_iterate(alpha, beta);
+        self.check();
+    }
+
+    fn ppcg_init_sd(&mut self, theta: f64) {
+        self.reference.ppcg_init_sd(theta);
+        self.candidate.ppcg_init_sd(theta);
+        self.check();
+    }
+
+    fn ppcg_inner(&mut self, alpha: f64, beta: f64) {
+        self.reference.ppcg_inner(alpha, beta);
+        self.candidate.ppcg_inner(alpha, beta);
+        self.check();
+    }
+
+    fn jacobi_iterate(&mut self) -> f64 {
+        let err = self.reference.jacobi_iterate();
+        let _ = self.candidate.jacobi_iterate();
+        self.check();
+        err
+    }
+
+    fn residual(&mut self) {
+        self.reference.residual();
+        self.candidate.residual();
+        self.check();
+    }
+
+    fn calc_2norm(&mut self, field: NormField) -> f64 {
+        let norm = self.reference.calc_2norm(field);
+        let _ = self.candidate.calc_2norm(field);
+        self.check();
+        norm
+    }
+
+    fn finalise(&mut self) {
+        self.reference.finalise();
+        self.candidate.finalise();
+        self.check();
+    }
+
+    fn field_summary(&mut self) -> Summary {
+        let summary = self.reference.field_summary();
+        let _ = self.candidate.field_summary();
+        self.check();
+        summary
+    }
+
+    fn read_u(&mut self) -> Vec<f64> {
+        let u = self.reference.read_u();
+        let cand = self.candidate.read_u();
+        if self.divergence.is_none() {
+            if let Some(divergence) = first_divergence(&u, &cand) {
+                let log = self.reference.log();
+                self.divergence = Some(DivergenceReport {
+                    kernel: "read_u",
+                    call_index: log.len() - 1,
+                    invocation: log.iter().filter(|c| c.kernel_name() == "read_u").count(),
+                    iteration: log
+                        .iter()
+                        .filter(|c| ITERATION_MARKS.contains(&c.kernel_name()))
+                        .count(),
+                    mismatch: Mismatch::Field {
+                        field: FieldId::U,
+                        divergence,
+                    },
+                });
+            }
+        }
+        u
+    }
+
+    fn inspect_field(&self, id: FieldId) -> Option<Vec<f64>> {
+        self.reference.inspect_field(id)
+    }
+
+    fn poke_field(&mut self, id: FieldId, k: usize, value: f64) {
+        self.reference.poke_field(id, k, value);
+        self.candidate.poke_field(id, k, value);
+    }
+}
+
+/// Result of one differential run.
+#[derive(Debug, Clone)]
+pub struct DiffOutcome {
+    pub reference: ModelId,
+    pub candidate: ModelId,
+    pub solver: SolverKind,
+    /// Total kernel calls both ports executed in lock-step.
+    pub calls: usize,
+    /// Solver iterations the (reference-driven) run took.
+    pub iterations: usize,
+    pub converged: bool,
+    /// The reference port's field summary.
+    pub summary: Summary,
+    pub divergence: Option<DivergenceReport>,
+}
+
+impl fmt::Display for DiffOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} vs {} ({}, {} kernel calls, {} iterations): ",
+            self.reference.label(),
+            self.candidate.label(),
+            self.solver,
+            self.calls,
+            self.iterations
+        )?;
+        match &self.divergence {
+            None => write!(f, "bit-identical"),
+            Some(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+/// Run two already-built ports in lock-step through the full driver.
+pub fn diff_ports(
+    reference: Box<dyn TeaLeafPort>,
+    candidate: Box<dyn TeaLeafPort>,
+    problem: &Problem,
+    device: &DeviceSpec,
+    config: &TeaConfig,
+) -> DiffOutcome {
+    let (ref_model, cand_model) = (reference.model(), candidate.model());
+    let mut lockstep = LockstepPort::new(reference, candidate);
+    let report = driver::drive(&mut lockstep, problem, device, config);
+    DiffOutcome {
+        reference: ref_model,
+        candidate: cand_model,
+        solver: config.solver,
+        calls: lockstep.calls(),
+        iterations: report.total_iterations,
+        converged: report.converged,
+        summary: report.summary,
+        divergence: lockstep.divergence,
+    }
+}
+
+/// Build `reference` and `candidate` on their natural devices and run
+/// them in lock-step on `config`.
+pub fn diff_models(
+    reference: ModelId,
+    candidate: ModelId,
+    config: &TeaConfig,
+    seed: u64,
+) -> Result<DiffOutcome, PortError> {
+    let problem = Problem::from_config(config);
+    let ref_device = natural_device(reference);
+    let ref_port = make_port(reference, ref_device.clone(), &problem, seed)?;
+    let cand_port = make_port(candidate, natural_device(candidate), &problem, seed)?;
+    Ok(diff_ports(
+        ref_port,
+        cand_port,
+        &problem,
+        &ref_device,
+        config,
+    ))
+}
+
+/// A fault to plant in an otherwise-correct port: after the
+/// `invocation`-th call (1-based) of `kernel`, flip the low mantissa bit
+/// of `field[index]`.
+#[derive(Debug, Clone, Copy)]
+pub struct SabotagePlan {
+    pub kernel: &'static str,
+    pub invocation: usize,
+    pub field: FieldId,
+    pub index: usize,
+}
+
+/// A port wrapper that executes a [`SabotagePlan`] — the known-answer
+/// fault the harness must localize exactly (kernel, invocation, field,
+/// index, 1 ulp).
+pub struct SabotagedPort {
+    inner: RecordingPort,
+    plan: SabotagePlan,
+    fired: bool,
+}
+
+impl SabotagedPort {
+    pub fn new(inner: Box<dyn TeaLeafPort>, plan: SabotagePlan) -> Self {
+        SabotagedPort {
+            inner: RecordingPort::new(inner),
+            plan,
+            fired: false,
+        }
+    }
+
+    /// Whether the planted fault has been injected yet.
+    pub fn fired(&self) -> bool {
+        self.fired
+    }
+
+    fn after_call(&mut self) {
+        if self.fired {
+            return;
+        }
+        let log = self.inner.log();
+        let Some(last) = log.last() else { return };
+        if last.kernel_name() != self.plan.kernel {
+            return;
+        }
+        let n = log
+            .iter()
+            .filter(|c| c.kernel_name() == self.plan.kernel)
+            .count();
+        if n != self.plan.invocation {
+            return;
+        }
+        let current = self
+            .inner
+            .inspect_field(self.plan.field)
+            .expect("sabotaged field must be inspectable")[self.plan.index];
+        self.inner.poke_field(
+            self.plan.field,
+            self.plan.index,
+            f64::from_bits(current.to_bits() ^ 1),
+        );
+        self.fired = true;
+    }
+}
+
+impl TeaLeafPort for SabotagedPort {
+    fn model(&self) -> ModelId {
+        self.inner.model()
+    }
+
+    fn context(&self) -> &SimContext {
+        self.inner.context()
+    }
+
+    fn init_fields(&mut self, coefficient: Coefficient, rx: f64, ry: f64) {
+        self.inner.init_fields(coefficient, rx, ry);
+        self.after_call();
+    }
+
+    fn halo_update(&mut self, fields: &[FieldId], depth: usize) {
+        self.inner.halo_update(fields, depth);
+        self.after_call();
+    }
+
+    fn cg_init(&mut self, preconditioner: bool) -> f64 {
+        let rro = self.inner.cg_init(preconditioner);
+        self.after_call();
+        rro
+    }
+
+    fn cg_calc_w(&mut self) -> f64 {
+        let pw = self.inner.cg_calc_w();
+        self.after_call();
+        pw
+    }
+
+    fn cg_calc_ur(&mut self, alpha: f64, preconditioner: bool) -> f64 {
+        let rrn = self.inner.cg_calc_ur(alpha, preconditioner);
+        self.after_call();
+        rrn
+    }
+
+    fn cg_calc_p(&mut self, beta: f64, preconditioner: bool) {
+        self.inner.cg_calc_p(beta, preconditioner);
+        self.after_call();
+    }
+
+    fn supports_fused_cg(&self) -> bool {
+        self.inner.supports_fused_cg()
+    }
+
+    fn cg_fused_ur_p(&mut self, alpha: f64, rro: f64, preconditioner: bool) -> (f64, f64) {
+        let out = self.inner.cg_fused_ur_p(alpha, rro, preconditioner);
+        self.after_call();
+        out
+    }
+
+    fn cheby_init(&mut self, theta: f64) {
+        self.inner.cheby_init(theta);
+        self.after_call();
+    }
+
+    fn cheby_iterate(&mut self, alpha: f64, beta: f64) {
+        self.inner.cheby_iterate(alpha, beta);
+        self.after_call();
+    }
+
+    fn ppcg_init_sd(&mut self, theta: f64) {
+        self.inner.ppcg_init_sd(theta);
+        self.after_call();
+    }
+
+    fn ppcg_inner(&mut self, alpha: f64, beta: f64) {
+        self.inner.ppcg_inner(alpha, beta);
+        self.after_call();
+    }
+
+    fn jacobi_iterate(&mut self) -> f64 {
+        let err = self.inner.jacobi_iterate();
+        self.after_call();
+        err
+    }
+
+    fn residual(&mut self) {
+        self.inner.residual();
+        self.after_call();
+    }
+
+    fn calc_2norm(&mut self, field: NormField) -> f64 {
+        let norm = self.inner.calc_2norm(field);
+        self.after_call();
+        norm
+    }
+
+    fn finalise(&mut self) {
+        self.inner.finalise();
+        self.after_call();
+    }
+
+    fn field_summary(&mut self) -> Summary {
+        let summary = self.inner.field_summary();
+        self.after_call();
+        summary
+    }
+
+    fn read_u(&mut self) -> Vec<f64> {
+        let u = self.inner.read_u();
+        self.after_call();
+        u
+    }
+
+    fn inspect_field(&self, id: FieldId) -> Option<Vec<f64>> {
+        self.inner.inspect_field(id)
+    }
+
+    fn poke_field(&mut self, id: FieldId, k: usize, value: f64) {
+        self.inner.poke_field(id, k, value);
+    }
+}

@@ -1,0 +1,99 @@
+//! The mpisim fault matrix: distributed CG over hostile networks.
+//!
+//! For each rank count the clean distributed run is the baseline; each
+//! seeded [`FaultSpec`] then injects drops, duplicates, reorders and
+//! delays into the halo and reduction traffic. The acceptance property
+//! is binary: the reliable transport either recovers and the run is
+//! **bit-identical** to the baseline, or the run aborts loudly with a
+//! [`FaultDiagnostic`] — a silently different answer is the one outcome
+//! that must never happen, and [`run_fault_matrix`] returns `Err` the
+//! moment it sees one.
+
+use std::time::Duration;
+
+use mpisim::FaultSpec;
+use tea_core::config::TeaConfig;
+use tealeaf::distributed::{run_distributed_cg, run_distributed_cg_faulty};
+
+/// Outcome tally of one fault matrix sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultMatrixReport {
+    /// Fault-injected runs executed.
+    pub runs: usize,
+    /// Runs the transport recovered, bit-identical to the baseline.
+    pub recovered: usize,
+    /// Runs that aborted loudly with a diagnostic (acceptable: the
+    /// network exceeded the recovery deadline).
+    pub aborted: usize,
+}
+
+/// The lossy spec the matrix uses for `seed`, with the quiet period
+/// shortened so NACK-driven recovery fits in test budgets.
+pub fn matrix_spec(seed: u64) -> FaultSpec {
+    FaultSpec {
+        quiet: Duration::from_millis(2),
+        ..FaultSpec::lossy(seed)
+    }
+}
+
+/// Sweep distributed CG over every `rank_count` × `seed`, checking the
+/// never-silently-wrong property against the clean baseline.
+pub fn run_fault_matrix(
+    config: &TeaConfig,
+    rank_counts: &[usize],
+    seeds: &[u64],
+) -> Result<FaultMatrixReport, String> {
+    let mut report = FaultMatrixReport {
+        runs: 0,
+        recovered: 0,
+        aborted: 0,
+    };
+    for &ranks in rank_counts {
+        let baseline = run_distributed_cg(ranks, config);
+        for &seed in seeds {
+            report.runs += 1;
+            match run_distributed_cg_faulty(ranks, config, matrix_spec(seed)) {
+                Ok(faulty) => {
+                    if faulty != baseline {
+                        return Err(format!(
+                            "SILENTLY WRONG: ranks={ranks} seed={seed:#x}: \
+                             recovered run differs from clean baseline \
+                             ({faulty:?} vs {baseline:?})"
+                        ));
+                    }
+                    report.recovered += 1;
+                }
+                Err(diagnostic) => {
+                    // A loud abort is an acceptable outcome; record it so
+                    // callers can flag matrices that never recover.
+                    let _ = diagnostic;
+                    report.aborted += 1;
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> TeaConfig {
+        let mut cfg = TeaConfig::paper_problem(16);
+        cfg.end_step = 1;
+        cfg.tl_eps = 1.0e-10;
+        cfg
+    }
+
+    #[test]
+    fn small_matrix_never_silently_wrong() {
+        let report = run_fault_matrix(&small_config(), &[1, 2], &[1, 2]).expect("property holds");
+        assert_eq!(report.runs, 4);
+        assert_eq!(report.recovered + report.aborted, report.runs);
+        assert!(
+            report.recovered >= report.runs / 2,
+            "lossy() at 2ms quiet should mostly recover: {report:?}"
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! The conformance matrix: which ports, which solvers, which decks.
+
+use simdev::{devices, DeviceSpec};
+use tea_core::config::{SolverKind, TeaConfig};
+use tealeaf::ModelId;
+
+/// The eight port implementations the golden registry covers — one entry
+/// per distinct kernel codebase (the tuning variants `Omp3Cpp`,
+/// `KokkosHP` and `RajaSimd` share their base port's kernels and are
+/// exercised by the tier-1 cross-port tests instead).
+pub const GOLDEN_PORTS: [ModelId; 8] = [
+    ModelId::Serial,
+    ModelId::Omp3F90,
+    ModelId::Omp4,
+    ModelId::OpenAcc,
+    ModelId::Kokkos,
+    ModelId::Raja,
+    ModelId::OpenCl,
+    ModelId::Cuda,
+];
+
+/// All four solvers, CG first (the distributed rows reuse its config).
+pub const GOLDEN_SOLVERS: [SolverKind; 4] = [
+    SolverKind::ConjugateGradient,
+    SolverKind::Chebyshev,
+    SolverKind::Ppcg,
+    SolverKind::Jacobi,
+];
+
+/// mpisim rank counts the distributed-CG golden rows cover.
+pub const GOLDEN_RANKS: [usize; 3] = [1, 2, 4];
+
+/// Stable command-line name of a port.
+pub fn model_name(model: ModelId) -> &'static str {
+    match model {
+        ModelId::Serial => "serial",
+        ModelId::Omp3F90 => "omp3-f90",
+        ModelId::Omp3Cpp => "omp3-cpp",
+        ModelId::Omp4 => "omp4",
+        ModelId::OpenAcc => "openacc",
+        ModelId::Kokkos => "kokkos",
+        ModelId::KokkosHP => "kokkos-hp",
+        ModelId::Raja => "raja",
+        ModelId::RajaSimd => "raja-simd",
+        ModelId::OpenCl => "opencl",
+        ModelId::Cuda => "cuda",
+    }
+}
+
+/// Parse a command-line port name (the inverse of [`model_name`]).
+pub fn parse_model(name: &str) -> Option<ModelId> {
+    ModelId::ALL
+        .into_iter()
+        .find(|m| model_name(*m) == name.to_ascii_lowercase())
+}
+
+/// The device a port naturally runs on for conformance purposes. The
+/// determinism contract makes field values device-independent, so any
+/// supported device gives the same bits; CUDA only runs on the GPU.
+pub fn natural_device(model: ModelId) -> DeviceSpec {
+    match model {
+        ModelId::Cuda => devices::gpu_k20x(),
+        _ => devices::cpu_xeon_e5_2670_x2(),
+    }
+}
+
+/// The committed conformance decks, by name.
+pub fn builtin_decks() -> [(&'static str, &'static str); 2] {
+    [
+        ("conf_small", include_str!("../decks/conf_small.in")),
+        ("conf_tiny", include_str!("../decks/conf_tiny.in")),
+    ]
+}
+
+/// Look up one builtin deck's text.
+pub fn builtin_deck(name: &str) -> Option<&'static str> {
+    builtin_decks()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, text)| text)
+}
+
+/// Parse a deck, panicking with a pointed message on failure (the decks
+/// are committed; a parse error is a bug, not user input).
+pub fn deck_config(name: &str, text: &str) -> TeaConfig {
+    TeaConfig::parse(text).unwrap_or_else(|e| panic!("deck {name} does not parse: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_names_round_trip() {
+        for model in ModelId::ALL {
+            assert_eq!(parse_model(model_name(model)), Some(model));
+        }
+        assert_eq!(parse_model("fortran"), None);
+    }
+
+    #[test]
+    fn builtin_decks_parse_and_every_port_supports_its_device() {
+        for (name, text) in builtin_decks() {
+            let cfg = deck_config(name, text);
+            assert!(cfg.x_cells >= 32, "{name} too small to be representative");
+        }
+        for model in GOLDEN_PORTS {
+            assert!(
+                model.supports(natural_device(model).kind).is_some(),
+                "{model:?} unsupported on its natural device"
+            );
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! End-to-end conformance harness tests.
+//!
+//! The quick tests here run on every `--workspace` test invocation; the
+//! `#[ignore]`d ones are the full matrices the CI `conformance` job runs
+//! with `-- --ignored` (they re-execute every golden run and a larger
+//! fault sweep, which is too slow for the tier-1 path).
+
+use tea_conformance::{
+    builtin_decks, diff_models, diff_ports, run_fault_matrix, run_schedule_fuzz, Mismatch,
+    SabotagePlan, SabotagedPort,
+};
+use tea_core::config::{SolverKind, TeaConfig};
+use tea_core::halo::FieldId;
+use tealeaf::ports::{common, make_port};
+use tealeaf::{ModelId, Problem};
+
+fn config(solver: SolverKind, cells: usize) -> TeaConfig {
+    let mut cfg = TeaConfig::paper_problem(cells);
+    cfg.solver = solver;
+    cfg.end_step = 1;
+    cfg.tl_eps = 1.0e-10;
+    cfg.tl_max_iters = 2000;
+    cfg.tl_ch_cg_presteps = 10;
+    cfg
+}
+
+/// The acceptance criterion for the differential harness: mutate one
+/// kernel of one port and the report must name that exact kernel,
+/// invocation, solver iteration, field and cell — at 1 ulp.
+#[test]
+fn planted_fault_is_localised_to_kernel_invocation_field_and_cell() {
+    let cfg = config(SolverKind::ConjugateGradient, 32);
+    let mesh = cfg.mesh();
+    let index = common::idx(mesh.width(), mesh.i0() + 7, mesh.i0() + 9);
+    let plan = SabotagePlan {
+        kernel: "cg_calc_w",
+        invocation: 3,
+        field: FieldId::W,
+        index,
+    };
+
+    let problem = Problem::from_config(&cfg);
+    let device = tea_conformance::natural_device(ModelId::Serial);
+    let reference = make_port(ModelId::Serial, device.clone(), &problem, 1).unwrap();
+    let victim = make_port(ModelId::Serial, device.clone(), &problem, 1).unwrap();
+    let candidate = Box::new(SabotagedPort::new(victim, plan));
+
+    let outcome = diff_ports(reference, candidate, &problem, &device, &cfg);
+    let report = outcome.divergence.expect("planted fault must be caught");
+    assert_eq!(report.kernel, "cg_calc_w");
+    assert_eq!(report.invocation, 3);
+    assert_eq!(report.iteration, 3, "3rd cg_calc_w == 3rd CG iteration");
+    let Mismatch::Field { field, divergence } = &report.mismatch else {
+        panic!("expected a field mismatch, got {:?}", report.mismatch)
+    };
+    assert_eq!(*field, FieldId::W);
+    assert_eq!(divergence.index, index);
+    assert_eq!(divergence.ulps, 1, "exactly the planted bit flip");
+    assert_eq!(divergence.count, 1, "exactly one poisoned cell");
+}
+
+#[test]
+fn planted_fault_in_chebyshev_names_the_iterate_kernel() {
+    let mut cfg = config(SolverKind::Chebyshev, 48);
+    // Hard enough that the CG presteps cannot finish the solve, so the
+    // Chebyshev iteration actually runs.
+    cfg.tl_eps = 1.0e-13;
+    cfg.tl_ch_cg_presteps = 8;
+    let mesh = cfg.mesh();
+    let index = common::idx(mesh.width(), mesh.i0() + 3, mesh.i0() + 2);
+    let plan = SabotagePlan {
+        kernel: "cheby_iterate",
+        invocation: 2,
+        field: FieldId::U,
+        index,
+    };
+    let problem = Problem::from_config(&cfg);
+    let device = tea_conformance::natural_device(ModelId::Serial);
+    let reference = make_port(ModelId::Serial, device.clone(), &problem, 1).unwrap();
+    let victim = make_port(ModelId::Serial, device.clone(), &problem, 1).unwrap();
+    let outcome = diff_ports(
+        reference,
+        Box::new(SabotagedPort::new(victim, plan)),
+        &problem,
+        &device,
+        &cfg,
+    );
+    let report = outcome.divergence.expect("planted fault must be caught");
+    assert_eq!(report.kernel, "cheby_iterate");
+    assert_eq!(report.invocation, 2);
+    assert_eq!(
+        report.iteration, 10,
+        "8 CG presteps + the 2nd Chebyshev iterate"
+    );
+    assert!(matches!(
+        report.mismatch,
+        Mismatch::Field {
+            field: FieldId::U,
+            ..
+        }
+    ));
+}
+
+/// After a divergence the reference's scalars keep driving the solve, so
+/// the run's control flow (and its iteration count) is untouched by the
+/// candidate's fault — localization is a pure function of the fault.
+#[test]
+fn control_flow_stays_reference_driven_after_divergence() {
+    let cfg = config(SolverKind::ConjugateGradient, 24);
+    let device = tea_conformance::natural_device(ModelId::Serial);
+    let plain = tealeaf::run_simulation(ModelId::Serial, &device, &cfg).unwrap();
+
+    let mesh = cfg.mesh();
+    let plan = SabotagePlan {
+        kernel: "cg_init",
+        invocation: 1,
+        field: FieldId::R,
+        index: common::idx(mesh.width(), mesh.i0() + 1, mesh.i0() + 1),
+    };
+    let problem = Problem::from_config(&cfg);
+    let reference = make_port(ModelId::Serial, device.clone(), &problem, 1).unwrap();
+    let victim = make_port(ModelId::Serial, device.clone(), &problem, 1).unwrap();
+    let outcome = diff_ports(
+        reference,
+        Box::new(SabotagedPort::new(victim, plan)),
+        &problem,
+        &device,
+        &cfg,
+    );
+    let report = outcome.divergence.expect("cg_init fault caught");
+    assert_eq!(report.kernel, "cg_init");
+    assert_eq!(report.iteration, 0, "before the first iteration");
+    assert_eq!(
+        outcome.iterations, plain.total_iterations,
+        "fault must not perturb the reference-driven control flow"
+    );
+    assert_eq!(outcome.summary, plain.summary, "reference summary returned");
+}
+
+#[test]
+fn clean_cross_port_pairs_show_no_divergence_on_any_solver() {
+    for solver in [
+        SolverKind::ConjugateGradient,
+        SolverKind::Chebyshev,
+        SolverKind::Ppcg,
+        SolverKind::Jacobi,
+    ] {
+        let cfg = config(solver, 24);
+        let outcome = diff_models(ModelId::Serial, ModelId::Cuda, &cfg, 1).unwrap();
+        assert!(
+            outcome.divergence.is_none(),
+            "serial vs cuda diverged on {solver}: {}",
+            outcome
+        );
+        assert!(outcome.converged, "{solver} must converge");
+    }
+    // One offload + one work-stealing host port on CG for wider coverage.
+    let cfg = config(SolverKind::ConjugateGradient, 24);
+    for candidate in [ModelId::OpenCl, ModelId::Kokkos] {
+        let outcome = diff_models(ModelId::Serial, candidate, &cfg, 1).unwrap();
+        assert!(outcome.divergence.is_none(), "{}", outcome);
+    }
+}
+
+/// Distributed CG must agree with the single-chunk serial port
+/// bit-for-bit: same iteration count, same summary bits, at every rank
+/// count — the property the golden registry's `mpisim-N` rows pin.
+#[test]
+fn distributed_cg_matches_the_serial_port_bitwise() {
+    let (name, text) = builtin_decks()[1]; // conf_tiny
+    let cfg = tea_conformance::matrix::deck_config(name, text);
+    let device = tea_conformance::natural_device(ModelId::Serial);
+    let serial = tealeaf::run_simulation(ModelId::Serial, &device, &cfg).unwrap();
+    for ranks in [1, 2, 4] {
+        let dist = tealeaf::distributed::run_distributed_cg(ranks, &cfg);
+        assert_eq!(
+            dist.total_iterations, serial.total_iterations,
+            "{ranks} ranks"
+        );
+        assert_eq!(dist.summary, serial.summary, "{ranks} ranks");
+        assert!(dist.converged);
+    }
+}
+
+#[test]
+fn short_schedule_fuzz_budget_is_clean() {
+    let report = run_schedule_fuzz(0x7EA1EAF, 2).expect("schedules must not change bits");
+    assert_eq!(report.rounds, 2);
+}
+
+#[test]
+fn small_fault_matrix_is_never_silently_wrong() {
+    let mut cfg = TeaConfig::paper_problem(16);
+    cfg.end_step = 1;
+    cfg.tl_eps = 1.0e-10;
+    let report = run_fault_matrix(&cfg, &[2], &[3, 4]).expect("never silently wrong");
+    assert_eq!(report.runs, 2);
+}
+
+// ---- full matrices: the CI `conformance` job runs these with --ignored ----
+
+#[test]
+#[ignore = "full golden matrix; run via the CI conformance job or locally with -- --ignored"]
+fn golden_registry_matches_committed_files() {
+    for (name, text) in builtin_decks() {
+        match tea_conformance::check_deck(name, text) {
+            Ok(n) => assert!(n >= 35, "deck {name}: expected full matrix, got {n} rows"),
+            Err(problems) => panic!(
+                "deck {name}: {} golden mismatches:\n  {}",
+                problems.len(),
+                problems.join("\n  ")
+            ),
+        }
+    }
+}
+
+#[test]
+#[ignore = "larger fault sweep; run via the CI conformance job or locally with -- --ignored"]
+fn full_fault_matrix_across_ranks_and_seeds() {
+    let mut cfg = TeaConfig::paper_problem(16);
+    cfg.end_step = 1;
+    cfg.tl_eps = 1.0e-10;
+    let seeds: Vec<u64> = (1..=8).collect();
+    let report = run_fault_matrix(&cfg, &[1, 2, 4], &seeds).expect("never silently wrong");
+    assert_eq!(report.runs, 24);
+    assert!(
+        report.recovered > 0,
+        "at least some lossy runs must recover: {report:?}"
+    );
+}
+
+#[test]
+#[ignore = "longer fuzz budget; run via the CI conformance job or locally with -- --ignored"]
+fn extended_schedule_fuzz_budget() {
+    let report = run_schedule_fuzz(0xF00D, 16).expect("schedules must not change bits");
+    assert_eq!(report.rounds, 16);
+}

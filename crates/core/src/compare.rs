@@ -1,0 +1,165 @@
+//! Bit-exact field comparison helpers for the conformance harness.
+//!
+//! The determinism contract promises *bit-identical* fields across ports,
+//! so the interesting comparison is not `|a − b| < ε` but "are these the
+//! same bits, and if not, where and by how many representable values do
+//! they differ?". ULP distance is the right metric for the divergence
+//! reports: a 1–2 ulp drift points at a reassociated reduction, a huge
+//! distance at a wrong kernel.
+
+/// Total-order mapping of an `f64` onto a monotonic `u64` lattice
+/// (negatives bit-flipped, positives offset past them), so ulp distance
+/// is plain subtraction.
+fn ordered_bits(x: f64) -> u64 {
+    let u = x.to_bits();
+    if u >> 63 == 1 {
+        !u
+    } else {
+        u | (1 << 63)
+    }
+}
+
+/// Number of representable `f64` values between `a` and `b`
+/// (0 ⇔ bit-identical; `u64::MAX` for any NaN operand, which never
+/// compares equal to anything — including another NaN with the same
+/// payload, because a NaN appearing on one side only is always a bug).
+pub fn ulp_distance(a: f64, b: f64) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        if a.to_bits() == b.to_bits() {
+            return 0; // identical bits are conformant even for NaN
+        }
+        return u64::MAX;
+    }
+    if a.to_bits() == b.to_bits() {
+        return 0; // covers +0.0 vs +0.0; leaves +0.0 vs −0.0 = 1 ulp
+    }
+    ordered_bits(a).abs_diff(ordered_bits(b))
+}
+
+/// One element-level mismatch between two field snapshots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Divergence {
+    /// Flat index of the first differing element.
+    pub index: usize,
+    /// Reference value at that index.
+    pub expected: f64,
+    /// Candidate value at that index.
+    pub actual: f64,
+    /// ULP distance between the two.
+    pub ulps: u64,
+    /// Total number of differing elements in the pair of slices.
+    pub count: usize,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "index {}: expected {:e} ({}), got {:e} ({}), {} ulps ({} cells differ)",
+            self.index,
+            self.expected,
+            hex_bits(self.expected),
+            self.actual,
+            hex_bits(self.actual),
+            self.ulps,
+            self.count,
+        )
+    }
+}
+
+/// First element-wise divergence between two equally-long slices, plus
+/// the total differing count. `None` means bit-identical. Panics on
+/// length mismatch — lengths are fixed by the mesh, so that is a harness
+/// bug, not a numerical divergence.
+pub fn first_divergence(expected: &[f64], actual: &[f64]) -> Option<Divergence> {
+    assert_eq!(
+        expected.len(),
+        actual.len(),
+        "field snapshots must be the same length"
+    );
+    let mut first: Option<(usize, f64, f64)> = None;
+    let mut count = 0usize;
+    for (k, (&e, &a)) in expected.iter().zip(actual).enumerate() {
+        if e.to_bits() != a.to_bits() {
+            count += 1;
+            if first.is_none() {
+                first = Some((k, e, a));
+            }
+        }
+    }
+    first.map(|(index, expected, actual)| Divergence {
+        index,
+        expected,
+        actual,
+        ulps: ulp_distance(expected, actual),
+        count,
+    })
+}
+
+/// Lossless hex rendering of an `f64`'s bits (`0x3FF0000000000000`) —
+/// the serialization the golden registry stores, immune to decimal
+/// round-tripping.
+pub fn hex_bits(x: f64) -> String {
+    format!("0x{:016X}", x.to_bits())
+}
+
+/// Parse a [`hex_bits`] rendering back into the exact `f64`.
+pub fn parse_hex_bits(s: &str) -> Option<f64> {
+    let hex = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X"))?;
+    u64::from_str_radix(hex, 16).ok().map(f64::from_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_identity_and_neighbours() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(1.0, f64::from_bits(1.0f64.to_bits() + 1)), 1);
+        assert_eq!(ulp_distance(1.0, f64::from_bits(1.0f64.to_bits() + 9)), 9);
+    }
+
+    #[test]
+    fn ulp_across_zero() {
+        // −0.0 and +0.0 are adjacent on the lattice, not equal.
+        assert_eq!(ulp_distance(0.0, -0.0), 1);
+        assert_eq!(ulp_distance(0.0, 0.0), 0);
+        assert_eq!(ulp_distance(-0.0, -0.0), 0);
+        // Smallest subnormals straddle zero symmetrically.
+        let tiny = f64::from_bits(1);
+        assert_eq!(ulp_distance(tiny, -tiny), 3);
+    }
+
+    #[test]
+    fn ulp_nan_never_matches_different_bits() {
+        assert_eq!(ulp_distance(f64::NAN, f64::NAN), 0); // same payload
+        assert_eq!(ulp_distance(f64::NAN, 1.0), u64::MAX);
+        assert_eq!(ulp_distance(1.0, f64::NAN), u64::MAX);
+    }
+
+    #[test]
+    fn first_divergence_reports_first_and_count() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let mut b = a;
+        assert_eq!(first_divergence(&a, &b), None);
+        b[1] = 2.5;
+        b[3] = -4.0;
+        let d = first_divergence(&a, &b).unwrap();
+        assert_eq!(d.index, 1);
+        assert_eq!(d.expected, 2.0);
+        assert_eq!(d.actual, 2.5);
+        assert_eq!(d.count, 2);
+    }
+
+    #[test]
+    fn hex_bits_round_trip() {
+        for x in [0.0, -0.0, 1.0, -1.5, f64::MIN_POSITIVE, 6.02e23, f64::NAN] {
+            let s = hex_bits(x);
+            let y = parse_hex_bits(&s).unwrap();
+            assert_eq!(x.to_bits(), y.to_bits(), "{s}");
+        }
+        assert_eq!(parse_hex_bits("garbage"), None);
+        assert_eq!(parse_hex_bits("0xNOTHEX"), None);
+    }
+}

@@ -497,4 +497,133 @@ tl_ppcg_inner_steps=12
         assert_eq!(mesh.y_cells, 256);
         assert_eq!(mesh.halo_depth, 2);
     }
+
+    // ---- edge cases ----
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let cfg = TeaConfig::parse("*TEA\nX_CELLS=32\nTL_USE_CHEBYSHEV\n*ENDTEA\n").unwrap();
+        assert_eq!(cfg.x_cells, 32);
+        assert_eq!(cfg.solver, SolverKind::Chebyshev);
+    }
+
+    #[test]
+    fn whitespace_around_equals_is_accepted() {
+        let cfg = TeaConfig::parse("x_cells = 48\n  tl_eps =  1.0e-9  \n").unwrap();
+        assert_eq!(cfg.x_cells, 48);
+        assert_eq!(cfg.tl_eps, 1.0e-9);
+    }
+
+    #[test]
+    fn content_outside_tea_block_is_ignored() {
+        // Upstream decks carry unrelated sections after *endtea; none of
+        // it may leak into (or fail) the parse.
+        let cfg = TeaConfig::parse(
+            "*tea\nx_cells=40\n*endtea\nsome_other_section=1\nutter nonsense here\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.x_cells, 40);
+    }
+
+    #[test]
+    fn unspecified_keys_keep_tealeaf_defaults() {
+        // A deck that only sets the mesh must leave every solver control
+        // at the upstream default.
+        let cfg = TeaConfig::parse("*tea\nx_cells=64\ny_cells=64\n*endtea\n").unwrap();
+        let default = TeaConfig::default();
+        assert_eq!(cfg.tl_eps, default.tl_eps);
+        assert_eq!(cfg.tl_max_iters, default.tl_max_iters);
+        assert_eq!(cfg.solver, default.solver);
+        assert_eq!(cfg.tl_ch_cg_presteps, default.tl_ch_cg_presteps);
+        assert_eq!(cfg.coefficient, default.coefficient);
+        assert_eq!(cfg.states, default.states);
+    }
+
+    #[test]
+    fn compatibility_keys_are_accepted_and_ignored() {
+        let cfg = TeaConfig::parse(
+            "end_time=10.0\nuse_c_kernels\nprofiler_on\nverbose_on\ntl_check_result\n",
+        )
+        .unwrap();
+        assert_eq!(cfg, TeaConfig::default());
+    }
+
+    #[test]
+    fn preconditioner_type_values() {
+        for (value, on) in [("jac_diag", true), ("jacobi", true), ("none", false)] {
+            let cfg = TeaConfig::parse(&format!("tl_preconditioner_type={value}\n")).unwrap();
+            assert_eq!(cfg.tl_preconditioner, on, "{value}");
+        }
+        assert!(
+            TeaConfig::parse("tl_preconditioner_on\n")
+                .unwrap()
+                .tl_preconditioner
+        );
+    }
+
+    #[test]
+    fn first_state_must_be_background() {
+        let err = TeaConfig::parse(
+            "state 1 density=1.0 energy=1.0 geometry=rectangle xmin=0.0 xmax=1.0 ymin=0.0 ymax=1.0\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::MissingBackgroundState));
+    }
+
+    #[test]
+    fn unknown_geometry_rejected_with_line() {
+        let err = TeaConfig::parse(
+            "state 1 density=1.0 energy=1.0\nstate 2 density=1.0 energy=1.0 geometry=hexagon\n",
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, ErrorKind::BadState(_)));
+    }
+
+    #[test]
+    fn state_number_must_be_an_integer() {
+        let err = TeaConfig::parse("state one density=1.0 energy=1.0\n").unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::BadState(_)));
+    }
+
+    #[test]
+    fn point_geometry_parses() {
+        let cfg = TeaConfig::parse(
+            "state 1 density=1.0 energy=1.0\nstate 2 density=2.0 energy=3.0 geometry=point xmin=4.5 ymin=7.25\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.states[1].geometry, Geometry::Point { x: 4.5, y: 7.25 });
+    }
+
+    #[test]
+    fn hash_comments_strip_mid_line() {
+        let cfg = TeaConfig::parse("y_cells=96 # the mesh\ntl_use_jacobi # solver\n").unwrap();
+        assert_eq!(cfg.y_cells, 96);
+        assert_eq!(cfg.solver, SolverKind::Jacobi);
+    }
+
+    #[test]
+    fn paper_scale_deck_overrides_every_default() {
+        // The §4 mesh-convergence deck: 4096² at eps 1e-15 over 10 steps.
+        let cfg = TeaConfig::parse(
+            "*tea\nstate 1 density=100.0 energy=0.0001\n\
+             state 2 density=0.1 energy=25.0 geometry=rectangle xmin=0.0 xmax=1.0 ymin=1.0 ymax=2.0\n\
+             x_cells=4096\ny_cells=4096\nend_step=10\ntl_max_iters=10000\n\
+             tl_use_cg\ntl_eps=1.0e-15\n*endtea\n",
+        )
+        .unwrap();
+        assert_eq!((cfg.x_cells, cfg.y_cells), (4096, 4096));
+        assert_eq!(cfg.end_step, 10);
+        assert_eq!(cfg.tl_eps, 1.0e-15);
+        assert_eq!(cfg.solver, SolverKind::ConjugateGradient);
+        assert_eq!(cfg.states.len(), 2);
+    }
+
+    #[test]
+    fn empty_deck_is_the_default_problem() {
+        let cfg = TeaConfig::parse("").unwrap();
+        assert_eq!(cfg, TeaConfig::default());
+        let cfg = TeaConfig::parse("\n\n   \n! only comments\n").unwrap();
+        assert_eq!(cfg, TeaConfig::default());
+    }
 }

@@ -11,6 +11,7 @@
 //! consume these types, which is how the reproduction keeps "core solver
 //! logic and parameters consistent between ports" (paper §3).
 
+pub mod compare;
 pub mod config;
 pub mod field;
 pub mod halo;

@@ -1,0 +1,183 @@
+//! Seeded fault injection for the message layer.
+//!
+//! A [`FaultSpec`] gives per-message probabilities of the four classic
+//! network faults — drop, duplicate, reorder, delay — drawn from a
+//! deterministic per-channel stream: channel (from → to) uses its own
+//! splitmix64 state seeded from (`seed`, from, to) and advances it once
+//! per data message, so the fault pattern depends only on the seed and
+//! each channel's message sequence, never on thread scheduling.
+//!
+//! Faults apply to *user* traffic only. Collective tags (the reserved
+//! band at the top of the tag space) and the control/retransmission
+//! traffic of the reliable transport in [`crate::world`] are exempt —
+//! the usual fault-model assumption that the recovery channel is
+//! eventually reliable. The transport guarantees that a faulty world
+//! either reproduces the fault-free answers bit-for-bit (duplicates
+//! deduplicated, reorders parked, drops NACK-retransmitted) or fails
+//! loudly with a [`FaultDiagnostic`](crate::world::FaultDiagnostic)
+//! when its recovery deadline expires — never a silently wrong answer.
+
+use std::time::Duration;
+
+/// What to do with one outbound data message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Action {
+    /// Deliver normally.
+    Deliver,
+    /// Never deliver (the receiver's NACK path must recover it).
+    Drop,
+    /// Deliver two copies (the receiver must deduplicate).
+    Duplicate,
+    /// Hold the message behind the next send on the same channel.
+    Reorder,
+    /// Hold the message behind the next two sends on the same channel.
+    Delay,
+}
+
+/// Seeded fault-injection parameters for one SPMD world.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Stream seed; equal seeds give identical fault patterns.
+    pub seed: u64,
+    /// Probability a data message is dropped.
+    pub drop: f64,
+    /// Probability a data message is delivered twice.
+    pub duplicate: f64,
+    /// Probability a data message is held behind the next one.
+    pub reorder: f64,
+    /// Probability a data message is held behind the next two.
+    pub delay: f64,
+    /// Quiet period a blocked receive waits before NACKing the sender
+    /// it is starving on.
+    pub quiet: Duration,
+    /// Total budget for one blocked receive; past it the rank aborts
+    /// with a structured [`crate::world::FaultDiagnostic`].
+    pub deadline: Duration,
+}
+
+impl FaultSpec {
+    /// No faults at all — the reliable transport running over a perfect
+    /// network (the baseline the fault matrix compares against).
+    pub fn clean(seed: u64) -> Self {
+        FaultSpec {
+            seed,
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            delay: 0.0,
+            quiet: Duration::from_millis(25),
+            deadline: Duration::from_secs(5),
+        }
+    }
+
+    /// A moderately hostile network: every fault class enabled.
+    pub fn lossy(seed: u64) -> Self {
+        FaultSpec {
+            drop: 0.05,
+            duplicate: 0.05,
+            reorder: 0.10,
+            delay: 0.05,
+            ..FaultSpec::clean(seed)
+        }
+    }
+
+    /// True when every fault probability is zero.
+    pub fn is_clean(&self) -> bool {
+        self.drop == 0.0 && self.duplicate == 0.0 && self.reorder == 0.0 && self.delay == 0.0
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// One channel's deterministic decision stream.
+#[derive(Debug, Clone)]
+pub(crate) struct ChannelRng {
+    state: u64,
+}
+
+impl ChannelRng {
+    pub(crate) fn new(seed: u64, from: usize, to: usize) -> Self {
+        let mut state = seed
+            ^ (from as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+            ^ (to as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB);
+        // One warm-up draw decorrelates nearby (from, to) seeds.
+        let _ = splitmix64(&mut state);
+        ChannelRng { state }
+    }
+
+    /// Decide the fate of the channel's next data message.
+    pub(crate) fn decide(&mut self, spec: &FaultSpec) -> Action {
+        let r = (splitmix64(&mut self.state) >> 11) as f64 / (1u64 << 53) as f64;
+        let mut edge = spec.drop;
+        if r < edge {
+            return Action::Drop;
+        }
+        edge += spec.duplicate;
+        if r < edge {
+            return Action::Duplicate;
+        }
+        edge += spec.reorder;
+        if r < edge {
+            return Action::Reorder;
+        }
+        edge += spec.delay;
+        if r < edge {
+            return Action::Delay;
+        }
+        Action::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_spec_always_delivers() {
+        let spec = FaultSpec::clean(7);
+        assert!(spec.is_clean());
+        let mut rng = ChannelRng::new(spec.seed, 0, 1);
+        for _ in 0..1000 {
+            assert_eq!(rng.decide(&spec), Action::Deliver);
+        }
+    }
+
+    #[test]
+    fn decision_stream_is_seed_deterministic() {
+        let spec = FaultSpec::lossy(99);
+        let stream = |seed: u64| {
+            let spec = FaultSpec { seed, ..spec };
+            let mut rng = ChannelRng::new(seed, 1, 0);
+            (0..256).map(|_| rng.decide(&spec)).collect::<Vec<_>>()
+        };
+        assert_eq!(stream(99), stream(99));
+        assert_ne!(stream(99), stream(100));
+    }
+
+    #[test]
+    fn lossy_spec_hits_every_fault_class() {
+        let spec = FaultSpec::lossy(3);
+        let mut rng = ChannelRng::new(spec.seed, 0, 1);
+        let decisions: Vec<Action> = (0..4000).map(|_| rng.decide(&spec)).collect();
+        for want in [
+            Action::Deliver,
+            Action::Drop,
+            Action::Duplicate,
+            Action::Reorder,
+            Action::Delay,
+        ] {
+            assert!(decisions.contains(&want), "{want:?} never drawn");
+        }
+        let delivered = decisions.iter().filter(|a| **a == Action::Deliver).count();
+        assert!(
+            delivered > 2400,
+            "deliver rate implausibly low: {delivered}"
+        );
+    }
+}

@@ -33,6 +33,8 @@
 //! assert_eq!(results, vec![6.0; 4]); // 0+1+2+3 on every rank
 //! ```
 
+pub mod fault;
 pub mod world;
 
-pub use world::{run_spmd, Rank, Tag};
+pub use fault::FaultSpec;
+pub use world::{run_spmd, run_spmd_faulty, FaultDiagnostic, Rank, Tag};

@@ -1,17 +1,112 @@
 //! The SPMD world: ranks, mailboxes, point-to-point messages and
-//! collectives.
+//! collectives — plus the reliable transport that recovers injected
+//! message faults (see [`crate::fault`]).
 
-use std::collections::VecDeque;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::fault::{Action, ChannelRng, FaultSpec};
 
 /// Message tag (as in MPI, distinguishes concurrent exchanges).
 pub type Tag = u32;
 
+/// First tag of the band reserved for collectives; fault injection
+/// never touches these.
+const RESERVED_TAG_FLOOR: Tag = u32::MAX - 7;
+
+#[derive(Clone)]
+enum MsgKind {
+    /// Ordinary payload, carrying its per-channel sequence number.
+    Data { seq: u64 },
+    /// Control: "my next expected sequence from you is `expected` —
+    /// retransmit from there". Bypasses injection and sequencing.
+    Nack { expected: u64 },
+}
+
+#[derive(Clone)]
 struct Message {
     from: usize,
     tag: Tag,
     payload: Vec<f64>,
+    kind: MsgKind,
+}
+
+/// Structured description of a fault-injected run that could not make
+/// progress: which rank gave up, what it was waiting for, and where the
+/// channel stream had stalled. The loud-failure half of the transport's
+/// "bit-identical or loud, never silently wrong" contract.
+#[derive(Debug, Clone)]
+pub struct FaultDiagnostic {
+    /// Rank that aborted.
+    pub rank: usize,
+    /// Peer the aborting receive was addressed to.
+    pub waiting_on: usize,
+    /// Tag the aborting receive was addressed to.
+    pub tag: Tag,
+    /// Next sequence number the rank still expected from that peer.
+    pub expected_seq: u64,
+    /// How long the receive waited before giving up.
+    pub waited: Duration,
+    /// Human-readable cause.
+    pub note: String,
+}
+
+impl std::fmt::Display for FaultDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rank {} gave up after {:?} waiting for (rank {}, tag {}) at seq {}: {}",
+            self.rank, self.waited, self.waiting_on, self.tag, self.expected_seq, self.note
+        )
+    }
+}
+
+impl std::error::Error for FaultDiagnostic {}
+
+/// Per-rank reliable-transport state (go-back-N over the faulty links).
+///
+/// Senders number every data message per destination channel and keep
+/// the full send history; receivers accept each channel strictly in
+/// sequence order, stashing early arrivals and discarding duplicates,
+/// so the accepted stream is exactly the sent stream — which is what
+/// makes a recovered faulty run bit-identical to a clean one. A receive
+/// that stays quiet too long NACKs the sender it is starving on
+/// (triggering a history retransmit) and, past the deadline, aborts
+/// with a [`FaultDiagnostic`].
+struct Transport {
+    spec: FaultSpec,
+    /// Next sequence number per destination.
+    next_seq: Vec<u64>,
+    /// Everything sent, per destination, for NACK retransmission.
+    history: Vec<Vec<(u64, Tag, Vec<f64>)>>,
+    /// Messages held back by reorder/delay faults, per destination,
+    /// with the number of subsequent sends they stay held behind.
+    held: Vec<Vec<(u32, Message)>>,
+    /// Per-destination fault decision stream.
+    rng: Vec<ChannelRng>,
+    /// Next sequence number to accept, per source.
+    expected: Vec<u64>,
+    /// Early (out-of-order) arrivals, per source, keyed by sequence.
+    stash: Vec<HashMap<u64, Message>>,
+}
+
+impl Transport {
+    fn new(spec: FaultSpec, id: usize, size: usize) -> Self {
+        Transport {
+            spec,
+            next_seq: vec![0; size],
+            history: vec![Vec::new(); size],
+            held: vec![Vec::new(); size],
+            rng: (0..size)
+                .map(|to| ChannelRng::new(spec.seed, id, to))
+                .collect(),
+            expected: vec![0; size],
+            stash: vec![HashMap::new(); size],
+        }
+    }
 }
 
 /// One rank's handle on the world: its identity, every peer's mailbox,
@@ -23,6 +118,8 @@ pub struct Rank {
     inbox: Receiver<Message>,
     /// Out-of-order messages parked until a matching `recv`.
     parked: std::cell::RefCell<VecDeque<Message>>,
+    /// Reliable-transport state; `None` in a fault-free world.
+    transport: Option<RefCell<Transport>>,
 }
 
 impl Rank {
@@ -37,22 +134,99 @@ impl Rank {
     }
 
     /// Blocking send of `payload` to rank `to` with `tag` (`MPI_Send`;
-    /// buffered, so it never deadlocks against a matching exchange).
+    /// buffered, so it never deadlocks against a matching exchange). In a
+    /// faulty world the message passes through the injector and the
+    /// reliable transport.
     pub fn send(&self, to: usize, tag: Tag, payload: Vec<f64>) {
         assert!(to < self.size, "rank {to} out of range");
-        self.senders[to]
-            .send(Message {
-                from: self.id,
-                tag,
-                payload,
-            })
-            .expect("receiving rank has hung up");
+        match &self.transport {
+            None => {
+                self.senders[to]
+                    .send(Message {
+                        from: self.id,
+                        tag,
+                        payload,
+                        kind: MsgKind::Data { seq: 0 },
+                    })
+                    .expect("receiving rank has hung up");
+            }
+            Some(cell) => {
+                let mut deliver_now: Vec<Message> = Vec::new();
+                let mut hold: Option<(u32, Message)> = None;
+                {
+                    let mut t = cell.borrow_mut();
+                    let seq = t.next_seq[to];
+                    t.next_seq[to] += 1;
+                    t.history[to].push((seq, tag, payload.clone()));
+                    let msg = Message {
+                        from: self.id,
+                        tag,
+                        payload,
+                        kind: MsgKind::Data { seq },
+                    };
+                    let action = if tag >= RESERVED_TAG_FLOOR || t.spec.is_clean() {
+                        Action::Deliver
+                    } else {
+                        let spec = t.spec;
+                        t.rng[to].decide(&spec)
+                    };
+                    match action {
+                        Action::Deliver => deliver_now.push(msg),
+                        Action::Drop => {} // the receiver's NACK recovers it
+                        Action::Duplicate => {
+                            deliver_now.push(msg.clone());
+                            deliver_now.push(msg);
+                        }
+                        Action::Reorder => hold = Some((1, msg)),
+                        Action::Delay => hold = Some((2, msg)),
+                    }
+                    // Age messages held behind earlier sends; the due ones
+                    // go out *after* this send's own message (that is the
+                    // reorder). New holds are registered after aging so a
+                    // reorder survives at least one subsequent send.
+                    let held = &mut t.held[to];
+                    for h in held.iter_mut() {
+                        h.0 -= 1;
+                    }
+                    let mut i = 0;
+                    while i < held.len() {
+                        if held[i].0 == 0 {
+                            deliver_now.push(held.remove(i).1);
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    if let Some(h) = hold {
+                        t.held[to].push(h);
+                    }
+                }
+                for m in deliver_now {
+                    self.deliver(to, m);
+                }
+            }
+        }
+    }
+
+    /// Physically hand a message to `to`'s inbox. In a faulty world the
+    /// peer may already have finished; such sends are quietly lost and
+    /// either recovered (NACK) or diagnosed (deadline) by the receiver.
+    fn deliver(&self, to: usize, msg: Message) {
+        if self.transport.is_some() {
+            let _ = self.senders[to].send(msg);
+        } else {
+            self.senders[to]
+                .send(msg)
+                .expect("receiving rank has hung up");
+        }
     }
 
     /// Blocking receive of the next message from `from` with `tag`
     /// (`MPI_Recv`). Messages from other (from, tag) pairs arriving in the
     /// meantime are parked, preserving per-sender ordering.
     pub fn recv(&self, from: usize, tag: Tag) -> Vec<f64> {
+        if self.transport.is_some() {
+            return self.recv_reliable(from, tag);
+        }
         // first scan parked messages
         {
             let mut parked = self.parked.borrow_mut();
@@ -66,6 +240,145 @@ impl Rank {
                 return msg.payload;
             }
             self.parked.borrow_mut().push_back(msg);
+        }
+    }
+
+    /// Fault-tolerant receive: accept each source channel strictly in
+    /// sequence order (stashing early arrivals, discarding duplicates),
+    /// answer NACKs from starving peers, NACK the peer *we* are starving
+    /// on after every quiet period, and abort with a [`FaultDiagnostic`]
+    /// once the deadline passes.
+    fn recv_reliable(&self, from: usize, tag: Tag) -> Vec<f64> {
+        let cell = self
+            .transport
+            .as_ref()
+            .expect("reliable recv needs transport");
+        let (quiet, deadline) = {
+            let t = cell.borrow();
+            (t.spec.quiet, t.spec.deadline)
+        };
+        let start = Instant::now();
+        loop {
+            // Anything already accepted and parked?
+            {
+                let mut parked = self.parked.borrow_mut();
+                if let Some(pos) = parked.iter().position(|m| m.from == from && m.tag == tag) {
+                    return parked.remove(pos).expect("position just found").payload;
+                }
+            }
+            match self.inbox.recv_timeout(quiet) {
+                Ok(msg) => match msg.kind {
+                    MsgKind::Nack { expected } => self.retransmit(msg.from, expected),
+                    MsgKind::Data { seq } => {
+                        // Accept in order; stash the future; drop the past.
+                        let src = msg.from;
+                        let mut accepted: Vec<Message> = Vec::new();
+                        {
+                            let mut t = cell.borrow_mut();
+                            if seq < t.expected[src] {
+                                continue; // duplicate of an accepted message
+                            }
+                            if seq > t.expected[src] {
+                                t.stash[src].insert(seq, msg);
+                                continue;
+                            }
+                            t.expected[src] += 1;
+                            accepted.push(msg);
+                            while let Some(next) = {
+                                let e = t.expected[src];
+                                t.stash[src].remove(&e)
+                            } {
+                                t.expected[src] += 1;
+                                accepted.push(next);
+                            }
+                        }
+                        let mut hit = None;
+                        {
+                            let mut parked = self.parked.borrow_mut();
+                            for m in accepted {
+                                if hit.is_none() && m.from == from && m.tag == tag {
+                                    hit = Some(m.payload);
+                                } else {
+                                    parked.push_back(m);
+                                }
+                            }
+                        }
+                        if let Some(payload) = hit {
+                            return payload;
+                        }
+                    }
+                },
+                Err(RecvTimeoutError::Timeout) => {
+                    let expected_seq = cell.borrow().expected[from];
+                    if start.elapsed() >= deadline {
+                        std::panic::panic_any(FaultDiagnostic {
+                            rank: self.id,
+                            waiting_on: from,
+                            tag,
+                            expected_seq,
+                            waited: start.elapsed(),
+                            note: "recovery deadline exceeded; channel too lossy or peer gone"
+                                .to_string(),
+                        });
+                    }
+                    // Ask the peer we are starving on to retransmit.
+                    self.deliver(
+                        from,
+                        Message {
+                            from: self.id,
+                            tag,
+                            payload: Vec::new(),
+                            kind: MsgKind::Nack {
+                                expected: expected_seq,
+                            },
+                        },
+                    );
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    let expected_seq = cell.borrow().expected[from];
+                    std::panic::panic_any(FaultDiagnostic {
+                        rank: self.id,
+                        waiting_on: from,
+                        tag,
+                        expected_seq,
+                        waited: start.elapsed(),
+                        note: "world torn down while receiving".to_string(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Resend everything `to` has not yet accepted (its `expected`
+    /// onwards), flushing any messages still held back by reorder/delay
+    /// faults — the peer is starving, so holding longer only stalls.
+    fn retransmit(&self, to: usize, expected: u64) {
+        let cell = self.transport.as_ref().expect("retransmit needs transport");
+        let resend: Vec<Message> = {
+            let mut t = cell.borrow_mut();
+            let held: Vec<Message> = t.held[to].drain(..).map(|(_, m)| m).collect();
+            let mut out: Vec<Message> = t.history[to]
+                .iter()
+                .filter(|(seq, _, _)| *seq >= expected)
+                .map(|(seq, tag, payload)| Message {
+                    from: self.id,
+                    tag: *tag,
+                    payload: payload.clone(),
+                    kind: MsgKind::Data { seq: *seq },
+                })
+                .collect();
+            // `held` entries are a subset of history ≥ expected, so the
+            // history pass already re-covers them; drain merely stops
+            // them from being delivered again later.
+            drop(held);
+            out.sort_by_key(|m| match m.kind {
+                MsgKind::Data { seq } => seq,
+                MsgKind::Nack { .. } => u64::MAX,
+            });
+            out
+        };
+        for m in resend {
+            self.deliver(to, m);
         }
     }
 
@@ -218,27 +531,8 @@ where
     F: Fn(&Rank) -> R + Sync,
 {
     assert!(size > 0, "world needs at least one rank");
-    let mut senders = Vec::with_capacity(size);
-    let mut inboxes = Vec::with_capacity(size);
-    for _ in 0..size {
-        let (tx, rx) = unbounded();
-        senders.push(tx);
-        inboxes.push(rx);
-    }
+    let mut ranks = build_ranks(size, None);
     let body = &body;
-    let mut ranks: Vec<Rank> = inboxes
-        .into_iter()
-        .enumerate()
-        .map(|(id, inbox)| Rank {
-            id,
-            size,
-            senders: senders.clone(),
-            inbox,
-            parked: std::cell::RefCell::new(VecDeque::new()),
-        })
-        .collect();
-    drop(senders);
-
     std::thread::scope(|scope| {
         let handles: Vec<_> = ranks
             .drain(..)
@@ -249,6 +543,82 @@ where
             .map(|h| h.join().expect("a rank panicked"))
             .collect()
     })
+}
+
+/// [`run_spmd`] over a fault-injected network: every point-to-point
+/// message passes through the seeded injector of `spec`, and the
+/// reliable transport either recovers the faults — yielding results
+/// bit-identical to the fault-free world — or some rank aborts with a
+/// [`FaultDiagnostic`], returned as `Err`. Never a silently wrong
+/// answer.
+pub fn run_spmd_faulty<R, F>(
+    size: usize,
+    spec: FaultSpec,
+    body: F,
+) -> Result<Vec<R>, FaultDiagnostic>
+where
+    R: Send,
+    F: Fn(&Rank) -> R + Sync,
+{
+    assert!(size > 0, "world needs at least one rank");
+    let mut ranks = build_ranks(size, Some(spec));
+    let body = &body;
+    let results: Vec<Result<R, FaultDiagnostic>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranks
+            .drain(..)
+            .map(|rank| {
+                let id = rank.id;
+                (id, scope.spawn(move || body(&rank)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|(id, h)| {
+                h.join()
+                    .map_err(|payload| match payload.downcast::<FaultDiagnostic>() {
+                        Ok(diag) => *diag,
+                        Err(other) => {
+                            let note = other
+                                .downcast_ref::<String>()
+                                .cloned()
+                                .or_else(|| other.downcast_ref::<&str>().map(|s| s.to_string()))
+                                .unwrap_or_else(|| "rank panicked".to_string());
+                            FaultDiagnostic {
+                                rank: id,
+                                waiting_on: id,
+                                tag: 0,
+                                expected_seq: 0,
+                                waited: Duration::ZERO,
+                                note,
+                            }
+                        }
+                    })
+            })
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
+fn build_ranks(size: usize, spec: Option<FaultSpec>) -> Vec<Rank> {
+    let mut senders = Vec::with_capacity(size);
+    let mut inboxes = Vec::with_capacity(size);
+    for _ in 0..size {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        inboxes.push(rx);
+    }
+    inboxes
+        .into_iter()
+        .enumerate()
+        .map(|(id, inbox)| Rank {
+            id,
+            size,
+            senders: senders.clone(),
+            inbox,
+            parked: std::cell::RefCell::new(VecDeque::new()),
+            transport: spec.map(|s| RefCell::new(Transport::new(s, id, size))),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -334,6 +704,122 @@ mod tests {
             rank.id()
         });
         assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+
+    /// A small message-heavy workload: ring passes with repeated tags,
+    /// a symmetric both-direction exchange (the halo pattern), and an
+    /// ordered reduction — every primitive the distributed driver uses.
+    fn workload(rank: &Rank) -> Vec<f64> {
+        let next = (rank.id() + 1) % rank.size();
+        let prev = (rank.id() + rank.size() - 1) % rank.size();
+        let mut got = Vec::new();
+        for round in 0..6 {
+            // Same tag every round: FIFO order per channel is load-bearing.
+            rank.send(next, 5, vec![rank.id() as f64 * 100.0 + round as f64]);
+            got.push(rank.recv(prev, 5)[0]);
+            // Halo-style exchange: send both ways, then receive both ways.
+            rank.send(next, 9, vec![round as f64 + rank.id() as f64]);
+            rank.send(prev, 11, vec![round as f64 - rank.id() as f64]);
+            got.push(rank.recv(prev, 9)[0]);
+            got.push(rank.recv(next, 11)[0]);
+            let parts: Vec<f64> = (0..3).map(|k| (rank.id() * 3 + k) as f64 * 0.1).collect();
+            got.push(rank.allreduce_ordered(&parts));
+        }
+        got
+    }
+
+    #[test]
+    fn clean_faulty_world_matches_plain_world() {
+        let plain = run_spmd(3, workload);
+        let faulty = run_spmd_faulty(3, FaultSpec::clean(1), workload).expect("clean world");
+        assert_eq!(plain, faulty);
+    }
+
+    #[test]
+    fn lossy_worlds_recover_bit_identically() {
+        let plain = run_spmd(4, workload);
+        let mut spec = FaultSpec::lossy(0);
+        spec.quiet = Duration::from_millis(5);
+        for seed in 0..8u64 {
+            spec.seed = seed;
+            let faulty = run_spmd_faulty(4, spec, workload)
+                .unwrap_or_else(|d| panic!("seed {seed} failed to recover: {d}"));
+            assert_eq!(plain, faulty, "seed {seed}: recovered run diverged");
+        }
+    }
+
+    #[test]
+    fn pure_drop_channel_recovers_via_nack() {
+        let mut spec = FaultSpec::clean(7);
+        spec.drop = 0.35;
+        spec.quiet = Duration::from_millis(5);
+        let plain = run_spmd(2, workload);
+        let faulty = run_spmd_faulty(2, spec, workload).expect("NACK retransmit must recover");
+        assert_eq!(plain, faulty);
+    }
+
+    #[test]
+    fn duplicate_storm_is_deduplicated() {
+        let mut spec = FaultSpec::clean(11);
+        spec.duplicate = 0.9;
+        let plain = run_spmd(3, workload);
+        let faulty = run_spmd_faulty(3, spec, workload).expect("dedup must absorb duplicates");
+        assert_eq!(plain, faulty);
+    }
+
+    #[test]
+    fn reorder_and_delay_preserve_fifo_semantics() {
+        let mut spec = FaultSpec::clean(13);
+        spec.reorder = 0.4;
+        spec.delay = 0.3;
+        spec.quiet = Duration::from_millis(5);
+        let plain = run_spmd(3, workload);
+        let faulty = run_spmd_faulty(3, spec, workload).expect("sequencing must restore order");
+        assert_eq!(plain, faulty);
+    }
+
+    #[test]
+    fn hopeless_network_fails_loudly_with_diagnostic() {
+        // Deadline shorter than the quiet period: the first starved
+        // receive must abort with a structured diagnostic instead of
+        // retrying forever (or inventing an answer).
+        let mut spec = FaultSpec::clean(3);
+        spec.drop = 1.0;
+        spec.quiet = Duration::from_millis(20);
+        spec.deadline = Duration::from_millis(10);
+        let err = run_spmd_faulty(2, spec, workload).expect_err("total loss cannot succeed");
+        assert!(err.rank < 2);
+        assert!(
+            err.note.contains("deadline"),
+            "unexpected note: {}",
+            err.note
+        );
+        let rendered = err.to_string();
+        assert!(rendered.contains("gave up"), "{rendered}");
+    }
+
+    #[test]
+    fn rank_panic_surfaces_as_diagnostic_not_hang() {
+        let mut spec = FaultSpec::clean(5);
+        spec.quiet = Duration::from_millis(5);
+        spec.deadline = Duration::from_millis(200);
+        let err = run_spmd_faulty(2, spec, |rank| {
+            if rank.id() == 1 {
+                panic!("rank 1 exploded");
+            }
+            // rank 0 waits on rank 1 forever; the deadline must free it
+            rank.recv(1, 4)[0]
+        })
+        .expect_err("must not hang");
+        assert!(
+            err.note.contains("exploded") || err.note.contains("deadline"),
+            "{err}"
+        );
     }
 }
 

@@ -34,19 +34,30 @@
 //! ```
 
 pub mod executor;
+pub mod permute;
 pub mod shared;
 pub mod static_pool;
 pub mod steal_pool;
 
 pub use executor::{run_sum_many, Executor, SerialExec};
+pub use permute::PermutedExec;
 pub use shared::UnsafeSlice;
 pub use static_pool::StaticPool;
 pub use steal_pool::StealPool;
 
 use std::sync::OnceLock;
 
-/// Default worker count: the machine's available parallelism.
+/// Default worker count: `PARPOOL_THREADS` when set (how the conformance
+/// golden matrix pins 1/2/4-thread runs — the analogue of
+/// `OMP_NUM_THREADS`), otherwise the machine's available parallelism.
 pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("PARPOOL_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)

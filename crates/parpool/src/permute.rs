@@ -1,0 +1,175 @@
+//! Adversarial schedule permutation — the conformance fuzzing hook.
+//!
+//! [`PermutedExec`] wraps any [`Executor`] and presents the same index
+//! space in a seeded pseudo-random order: region `c` (a per-wrapper call
+//! counter) of a wrapper seeded `s` executes `f(perm[j])` where `perm`
+//! is the Fisher–Yates shuffle of `0..n` drawn from splitmix64(s, c).
+//! Chunk assignment, steal order and inline fast paths of the wrapped
+//! pool all see the *permuted* stream, so a run under `PermutedExec` is
+//! an adversarial schedule the real pools could legally produce.
+//!
+//! The crate's determinism contract is exactly what makes this a useful
+//! fuzzer: reductions fold one partial **per original index** in index
+//! order, so any schedule — including these hostile ones — must yield
+//! bit-identical sums. `PermutedExec` therefore deliberately does *not*
+//! forward `run_sum`/`run_sum4` to the wrapped pool (whose inline
+//! shortcut folds in execution order — correct only because its
+//! execution order is the index order); it inherits the trait defaults,
+//! which rebuild the per-index partial buffer around the permuted `run`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::executor::Executor;
+
+/// splitmix64 — tiny, seedable, and good enough to shuffle with; keeps
+/// this crate free of an RNG dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// The Fisher–Yates permutation of `0..n` for (`seed`, `call`) — public
+/// so tests can predict and replay a schedule.
+pub fn permutation(seed: u64, call: u64, n: usize) -> Vec<usize> {
+    let mut state = seed ^ call.wrapping_mul(0xA076_1D64_78BD_642F);
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// Seeded schedule-permuting wrapper around any executor. See module
+/// docs.
+pub struct PermutedExec<'a> {
+    inner: &'a dyn Executor,
+    seed: u64,
+    calls: AtomicU64,
+}
+
+impl<'a> PermutedExec<'a> {
+    /// Wrap `inner`; every parallel region draws a fresh permutation
+    /// from `seed` and the region counter.
+    pub fn new(inner: &'a dyn Executor, seed: u64) -> Self {
+        PermutedExec {
+            inner,
+            seed,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of parallel regions dispatched so far.
+    pub fn regions(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+}
+
+impl Executor for PermutedExec<'_> {
+    fn threads(&self) -> usize {
+        self.inner.threads()
+    }
+
+    fn run(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        let call = self.calls.fetch_add(1, Ordering::Relaxed);
+        if n <= 1 {
+            self.inner.run(n, f);
+            return;
+        }
+        let perm = permutation(self.seed, call, n);
+        self.inner.run(n, &|j| f(perm[j]));
+    }
+
+    // run_sum / run_sum4 intentionally NOT overridden — the trait
+    // defaults allocate one partial per ORIGINAL index and fold in index
+    // order, which is the invariant under test.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SerialExec, StaticPool, StealPool};
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex;
+
+    #[test]
+    fn permutation_is_a_bijection_and_seed_sensitive() {
+        let p = permutation(42, 0, 257);
+        let mut seen = vec![false; 257];
+        for &i in &p {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(p, permutation(42, 0, 257), "same seed, same schedule");
+        assert_ne!(p, permutation(43, 0, 257), "different seed");
+        assert_ne!(p, permutation(42, 1, 257), "different region");
+    }
+
+    #[test]
+    fn permuted_serial_visits_out_of_order_but_completely() {
+        let exec = PermutedExec::new(&SerialExec, 7);
+        let order = Mutex::new(Vec::new());
+        exec.run(64, &|i| order.lock().unwrap().push(i));
+        let order = order.into_inner().unwrap();
+        assert_ne!(order, (0..64).collect::<Vec<_>>(), "schedule not permuted");
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+        assert_eq!(exec.regions(), 1);
+    }
+
+    #[test]
+    fn reductions_survive_hostile_schedules_bitwise() {
+        let f = |i: usize| ((i as f64) * 0.31).sin() / ((i % 7) as f64 + 0.25);
+        let expect = SerialExec.run_sum(10_000, &f);
+        let static_pool = StaticPool::new(5);
+        let steal_pool = StealPool::new(3);
+        let inners: [&dyn Executor; 3] = [&SerialExec, &static_pool, &steal_pool];
+        for (k, inner) in inners.iter().enumerate() {
+            for seed in [1u64, 99, 0xDEAD] {
+                let exec = PermutedExec::new(*inner, seed);
+                assert_eq!(
+                    exec.run_sum(10_000, &f),
+                    expect,
+                    "inner #{k} seed {seed}: permuted schedule changed the sum"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_n_inline_fast_path_under_permutation() {
+        // The static pool's inline shortcut (n < n_threads) folds in
+        // *execution* order. That is only bit-safe because its execution
+        // order is the index order — which a permuted schedule destroys.
+        // PermutedExec must therefore route reductions through the
+        // per-index-partial defaults; this pins that for every n that
+        // straddles the fast-path boundary, including run_sum4.
+        let pool = StaticPool::new(8);
+        let f = |i: usize| 1.0e16 * ((i as f64) + 0.1).recip() + i as f64;
+        for n in [2usize, 3, 7, 8, 9] {
+            let exec = PermutedExec::new(&pool, 0xF00D);
+            let expect = SerialExec.run_sum(n, &f);
+            assert_eq!(exec.run_sum(n, &f), expect, "n = {n} (run_sum)");
+            let f4 = |i: usize| [f(i), -f(i), f(i) * 0.5, 1.0];
+            let expect4 = SerialExec.run_sum4(n, &f4);
+            assert_eq!(exec.run_sum4(n, &f4), expect4, "n = {n} (run_sum4)");
+        }
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once_on_pools() {
+        let pool = StaticPool::new(4);
+        let exec = PermutedExec::new(&pool, 11);
+        let n = 1000;
+        let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        exec.run(n, &|i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+}

@@ -14,7 +14,7 @@
 //! so a distributed run is **bit-identical** to the serial reference for
 //! any rank count (asserted by the integration tests).
 
-use mpisim::{run_spmd, Rank, Tag};
+use mpisim::{run_spmd, run_spmd_faulty, FaultDiagnostic, FaultSpec, Rank, Tag};
 use tea_core::config::TeaConfig;
 use tea_core::field::Field2d;
 use tea_core::halo::update_halo;
@@ -134,6 +134,24 @@ pub fn run_distributed_cg(ranks: usize, config: &TeaConfig) -> DistributedReport
         assert_eq!(*r, first, "ranks must agree on the global result");
     }
     first
+}
+
+/// Same as [`run_distributed_cg`] but over a fault-injected message
+/// layer. The reliable transport must make the run **bit-identical** to
+/// the fault-free one, or abort with a [`FaultDiagnostic`] when its
+/// recovery deadline expires — never return a silently wrong answer
+/// (asserted by the conformance fault matrix).
+pub fn run_distributed_cg_faulty(
+    ranks: usize,
+    config: &TeaConfig,
+    spec: FaultSpec,
+) -> Result<DistributedReport, FaultDiagnostic> {
+    let reports = run_spmd_faulty(ranks, spec, |rank| spmd_body(rank, config))?;
+    let first = reports[0].clone();
+    for r in &reports {
+        assert_eq!(*r, first, "ranks must agree on the global result");
+    }
+    Ok(first)
 }
 
 fn spmd_body(rank: &Rank, config: &TeaConfig) -> DistributedReport {
@@ -309,6 +327,21 @@ mod tests {
         let report = run_distributed_cg(1, &cfg);
         assert!(report.converged);
         assert_eq!(report.ranks, 1);
+    }
+
+    #[test]
+    fn faulty_world_reproduces_plain_distributed_run() {
+        let mut cfg = TeaConfig::paper_problem(16);
+        cfg.end_step = 1;
+        cfg.tl_eps = 1.0e-10;
+        let plain = run_distributed_cg(2, &cfg);
+        let clean =
+            run_distributed_cg_faulty(2, &cfg, FaultSpec::clean(11)).expect("clean transport");
+        assert_eq!(clean, plain);
+        let mut spec = FaultSpec::lossy(11);
+        spec.quiet = std::time::Duration::from_millis(2);
+        let lossy = run_distributed_cg_faulty(2, &cfg, spec).expect("recoverable network");
+        assert_eq!(lossy, plain, "recovered run must be bit-identical");
     }
 
     #[test]

@@ -134,4 +134,22 @@ pub trait TeaLeafPort {
     /// Copy the temperature field back to the host (charged as a
     /// transfer on offload devices); padded row-major layout.
     fn read_u(&mut self) -> Vec<f64>;
+
+    // --- conformance observation hooks ---
+
+    /// Cost-free read-back of one solver field in padded row-major
+    /// layout — the observation hook of the conformance harness
+    /// (`tea-conformance`). Unlike [`read_u`](TeaLeafPort::read_u) this
+    /// charges **nothing** to the simulated device, so a lock-step
+    /// differential run observes exactly the same cost stream as a plain
+    /// run. Returns `None` for fields the port does not store
+    /// separately (e.g. `Mi` aliases `Z` on the host ports).
+    fn inspect_field(&self, id: FieldId) -> Option<Vec<f64>>;
+
+    /// Cost-free debug mutation of one cell of a solver field (padded
+    /// row-major flat index `k`). Exists so the conformance suite can
+    /// *plant* a fault in an otherwise-correct port and assert the
+    /// differential harness localizes it; never called on production
+    /// paths.
+    fn poke_field(&mut self, id: FieldId, k: usize, value: f64);
 }

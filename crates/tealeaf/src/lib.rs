@@ -28,6 +28,7 @@ pub mod model_id;
 pub mod ports;
 pub mod problem;
 pub mod profiles;
+pub mod recorder;
 pub mod report;
 pub mod solver;
 

@@ -904,6 +904,25 @@ impl PortFields {
         }
     }
 
+    /// Borrow the named field (shared) — the conformance read-back hook.
+    /// Aliases resolve exactly as in [`PortFields::field_mut`].
+    pub fn field(&self, id: tea_core::halo::FieldId) -> &[f64] {
+        use tea_core::halo::FieldId::*;
+        match id {
+            Density => &self.density,
+            Energy0 | Energy1 => &self.energy,
+            U => &self.u,
+            U0 => &self.u0,
+            P => &self.p,
+            R => &self.r,
+            W => &self.w,
+            Z | Mi => &self.z,
+            Kx => &self.kx,
+            Ky => &self.ky,
+            Sd => &self.sd,
+        }
+    }
+
     /// Borrow the named field mutably (for halo updates).
     pub fn field_mut(&mut self, id: tea_core::halo::FieldId) -> &mut Vec<f64> {
         use tea_core::halo::FieldId::*;

@@ -602,9 +602,51 @@ impl TeaLeafPort for CudaPort {
         memcpy_dtoh(&self.ctx, &mut out, &self.u);
         out
     }
+
+    fn inspect_field(&self, id: FieldId) -> Option<Vec<f64>> {
+        Some(self.buf_for(id).device().to_vec())
+    }
+
+    fn poke_field(&mut self, id: FieldId, k: usize, value: f64) {
+        self.buf_for_mut(id).device_mut()[k] = value;
+    }
 }
 
 impl CudaPort {
+    /// Resolve a field id to its device buffer — conformance hooks only;
+    /// aliases resolve as in the batched halo path.
+    fn buf_for(&self, id: FieldId) -> &DeviceBuffer<f64> {
+        match id {
+            FieldId::Density => &self.density,
+            FieldId::Energy0 | FieldId::Energy1 => &self.energy,
+            FieldId::U => &self.u,
+            FieldId::U0 => &self.u0,
+            FieldId::P => &self.p,
+            FieldId::R => &self.r,
+            FieldId::W => &self.w,
+            FieldId::Z | FieldId::Mi => &self.z,
+            FieldId::Kx => &self.kx,
+            FieldId::Ky => &self.ky,
+            FieldId::Sd => &self.sd,
+        }
+    }
+
+    fn buf_for_mut(&mut self, id: FieldId) -> &mut DeviceBuffer<f64> {
+        match id {
+            FieldId::Density => &mut self.density,
+            FieldId::Energy0 | FieldId::Energy1 => &mut self.energy,
+            FieldId::U => &mut self.u,
+            FieldId::U0 => &mut self.u0,
+            FieldId::P => &mut self.p,
+            FieldId::R => &mut self.r,
+            FieldId::W => &mut self.w,
+            FieldId::Z | FieldId::Mi => &mut self.z,
+            FieldId::Kx => &mut self.kx,
+            FieldId::Ky => &mut self.ky,
+            FieldId::Sd => &mut self.sd,
+        }
+    }
+
     fn cheby_step(&mut self, first: bool, theta: f64, alpha: f64, beta: f64) {
         let mesh = &self.mesh;
         let cfg = self.cfg();

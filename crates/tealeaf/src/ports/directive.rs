@@ -396,6 +396,14 @@ impl TeaLeafPort for DirectivePort {
         self.env_with(|env| env.exit_data(&[MapClause::new("u", bytes, MapDir::From)]));
         self.f.u.clone()
     }
+
+    fn inspect_field(&self, id: FieldId) -> Option<Vec<f64>> {
+        Some(self.f.field(id).to_vec())
+    }
+
+    fn poke_field(&mut self, id: FieldId, k: usize, value: f64) {
+        self.f.field_mut(id)[k] = value;
+    }
 }
 
 impl DirectivePort {

@@ -617,9 +617,51 @@ impl TeaLeafPort for KokkosPort {
         deep_copy(&self.ctx, &mut h, &self.u);
         h.raw().to_vec()
     }
+
+    fn inspect_field(&self, id: FieldId) -> Option<Vec<f64>> {
+        Some(self.view_for(id).raw().to_vec())
+    }
+
+    fn poke_field(&mut self, id: FieldId, k: usize, value: f64) {
+        self.view_for_mut(id).raw_mut()[k] = value;
+    }
 }
 
 impl KokkosPort {
+    /// Resolve a field id to its device view — conformance hooks only;
+    /// aliases resolve as in the batched halo path.
+    fn view_for(&self, id: FieldId) -> &View {
+        match id {
+            FieldId::Density => &self.density,
+            FieldId::Energy0 | FieldId::Energy1 => &self.energy,
+            FieldId::U => &self.u,
+            FieldId::U0 => &self.u0,
+            FieldId::P => &self.p,
+            FieldId::R => &self.r,
+            FieldId::W => &self.w,
+            FieldId::Z | FieldId::Mi => &self.z,
+            FieldId::Kx => &self.kx,
+            FieldId::Ky => &self.ky,
+            FieldId::Sd => &self.sd,
+        }
+    }
+
+    fn view_for_mut(&mut self, id: FieldId) -> &mut View {
+        match id {
+            FieldId::Density => &mut self.density,
+            FieldId::Energy0 | FieldId::Energy1 => &mut self.energy,
+            FieldId::U => &mut self.u,
+            FieldId::U0 => &mut self.u0,
+            FieldId::P => &mut self.p,
+            FieldId::R => &mut self.r,
+            FieldId::W => &mut self.w,
+            FieldId::Z | FieldId::Mi => &mut self.z,
+            FieldId::Kx => &mut self.kx,
+            FieldId::Ky => &mut self.ky,
+            FieldId::Sd => &mut self.sd,
+        }
+    }
+
     fn cheby_step(&mut self, first: bool, theta: f64, alpha: f64, beta: f64) {
         let mesh = &self.mesh;
         let hp = self.hp;

@@ -699,9 +699,51 @@ impl TeaLeafPort for OpenClPort {
         queue.enqueue_read_buffer(&self.u, &mut out);
         out
     }
+
+    fn inspect_field(&self, id: FieldId) -> Option<Vec<f64>> {
+        Some(self.buf_for(id).arg_view().to_vec())
+    }
+
+    fn poke_field(&mut self, id: FieldId, k: usize, value: f64) {
+        self.buf_for_mut(id).arg_view_mut()[k] = value;
+    }
 }
 
 impl OpenClPort {
+    /// Resolve a field id to its device buffer — conformance hooks only;
+    /// aliases resolve as in the batched halo path.
+    fn buf_for(&self, id: FieldId) -> &Buffer<f64> {
+        match id {
+            FieldId::Density => &self.density,
+            FieldId::Energy0 | FieldId::Energy1 => &self.energy,
+            FieldId::U => &self.u,
+            FieldId::U0 => &self.u0,
+            FieldId::P => &self.p,
+            FieldId::R => &self.r,
+            FieldId::W => &self.w,
+            FieldId::Z | FieldId::Mi => &self.z,
+            FieldId::Kx => &self.kx,
+            FieldId::Ky => &self.ky,
+            FieldId::Sd => &self.sd,
+        }
+    }
+
+    fn buf_for_mut(&mut self, id: FieldId) -> &mut Buffer<f64> {
+        match id {
+            FieldId::Density => &mut self.density,
+            FieldId::Energy0 | FieldId::Energy1 => &mut self.energy,
+            FieldId::U => &mut self.u,
+            FieldId::U0 => &mut self.u0,
+            FieldId::P => &mut self.p,
+            FieldId::R => &mut self.r,
+            FieldId::W => &mut self.w,
+            FieldId::Z | FieldId::Mi => &mut self.z,
+            FieldId::Kx => &mut self.kx,
+            FieldId::Ky => &mut self.ky,
+            FieldId::Sd => &mut self.sd,
+        }
+    }
+
     /// The Intel CPU runtime schedules with TBB work stealing; device
     /// targets use their own hardware scheduler (static pool stands in).
     fn exec_static_or_steal(&self) -> &'static dyn Executor {

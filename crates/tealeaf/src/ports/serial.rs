@@ -291,6 +291,14 @@ impl TeaLeafPort for SerialPort {
         self.ctx.transfer((self.f.u.len() * 8) as u64);
         self.f.u.clone()
     }
+
+    fn inspect_field(&self, id: FieldId) -> Option<Vec<f64>> {
+        Some(self.f.field(id).to_vec())
+    }
+
+    fn poke_field(&mut self, id: FieldId, k: usize, value: f64) {
+        self.f.field_mut(id)[k] = value;
+    }
 }
 
 impl SerialPort {

@@ -93,6 +93,7 @@ fn main() {
         steps: 1,
         eps: 1.0e-12,
         sweep_max: 0,
+        seed: tealeaf::driver::TEA_DEFAULT_SEED,
     };
     for device in [
         scale.regime_device(&devices::gpu_k20x()),

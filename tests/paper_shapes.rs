@@ -18,6 +18,7 @@ fn scale() -> Scale {
         steps: 1,
         eps: 1.0e-12,
         sweep_max: 250,
+        seed: tealeaf::driver::TEA_DEFAULT_SEED,
     }
 }
 
@@ -305,6 +306,7 @@ fn figure11_growth_shape() {
             steps: 1,
             eps: 1.0e-10,
             sweep_max: 0,
+            seed: tealeaf::driver::TEA_DEFAULT_SEED,
         }
         .config(SolverKind::ConjugateGradient);
         cfg.tl_max_iters = 20_000;

@@ -1,0 +1,276 @@
+//! Property tests for `tealeaf::eigen` and the Chebyshev setup built on
+//! it.
+//!
+//! TeaLeaf's Chebyshev/PPCG solvers stand on two claims:
+//!
+//! 1. `eigenvalue_estimate` turns recorded CG coefficients into an
+//!    interval that brackets the Lanczos Ritz values (and therefore, with
+//!    its safety margins, the part of the spectrum CG has explored), and
+//! 2. the Chebyshev semi-iteration converges whenever it is handed *any*
+//!    valid bounds on the operator's spectrum.
+//!
+//! Both are properties over all SPD systems, not over a handful of decks,
+//! so they are tested here on randomly generated 5-point operators of the
+//! TeaLeaf form `A = I + div(k grad)` with random positive conductivities
+//! — the same matrix family every port assembles from `kx`/`ky`.
+
+use proptest::prelude::*;
+use tealeaf::cheby::{estimated_iterations, ChebyCoeffs, ChebyShift};
+use tealeaf::eigen::{eigenvalue_estimate, tqli};
+
+/// A random SPD 5-point system on an `nx × ny` grid: the TeaLeaf matrix
+/// `(1 + Σk)·u(i,j) − Σ k·u(neighbour)` with zero coupling across the
+/// domain boundary. Symmetric by construction (each coupling is shared by
+/// its two cells) and strictly diagonally dominant with excess exactly 1,
+/// so by Gershgorin every eigenvalue lies in `[1, 1 + 2·max Σk]`.
+struct FivePoint {
+    nx: usize,
+    ny: usize,
+    /// `kx[j*(nx+1)+i]` couples `(i-1,j) ↔ (i,j)`; columns 0 and `nx` are
+    /// boundary couplings, forced to zero.
+    kx: Vec<f64>,
+    /// `ky[j*nx+i]` for `j in 0..=ny` couples `(i,j-1) ↔ (i,j)`; rows 0
+    /// and `ny` are boundary couplings, forced to zero.
+    ky: Vec<f64>,
+}
+
+impl FivePoint {
+    fn new(nx: usize, ny: usize, mut kx: Vec<f64>, mut ky: Vec<f64>) -> Self {
+        assert_eq!(kx.len(), (nx + 1) * ny);
+        assert_eq!(ky.len(), nx * (ny + 1));
+        for j in 0..ny {
+            kx[j * (nx + 1)] = 0.0;
+            kx[j * (nx + 1) + nx] = 0.0;
+        }
+        for i in 0..nx {
+            ky[i] = 0.0;
+            ky[ny * nx + i] = 0.0;
+        }
+        FivePoint { nx, ny, kx, ky }
+    }
+
+    fn n(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    fn couplings(&self, i: usize, j: usize) -> [f64; 4] {
+        [
+            self.kx[j * (self.nx + 1) + i],     // left
+            self.kx[j * (self.nx + 1) + i + 1], // right
+            self.ky[j * self.nx + i],           // down
+            self.ky[(j + 1) * self.nx + i],     // up
+        ]
+    }
+
+    fn apply(&self, u: &[f64], out: &mut [f64]) {
+        for j in 0..self.ny {
+            for i in 0..self.nx {
+                let c = j * self.nx + i;
+                let [l, r, d, up] = self.couplings(i, j);
+                let mut v = (1.0 + l + r + d + up) * u[c];
+                if i > 0 {
+                    v -= l * u[c - 1];
+                }
+                if i + 1 < self.nx {
+                    v -= r * u[c + 1];
+                }
+                if j > 0 {
+                    v -= d * u[c - self.nx];
+                }
+                if j + 1 < self.ny {
+                    v -= up * u[c + self.nx];
+                }
+                out[c] = v;
+            }
+        }
+    }
+
+    /// Gershgorin upper bound `max_cell (1 + 2·Σk)` — a certified
+    /// `λmax` bound; the matching lower bound is exactly 1.
+    fn gershgorin_max(&self) -> f64 {
+        let mut hi = 1.0f64;
+        for j in 0..self.ny {
+            for i in 0..self.nx {
+                let s: f64 = self.couplings(i, j).iter().sum();
+                hi = hi.max(1.0 + 2.0 * s);
+            }
+        }
+        hi
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Plain CG from a zero guess, recording the `(α, β)` coefficient
+/// sequence exactly as the solver ports hand it to
+/// [`eigenvalue_estimate`]. Stops early on (near-)exact convergence,
+/// truncating the Lanczos recurrence the way the real presteps do.
+fn cg_coefficients(a: &FivePoint, b: &[f64], max_iters: usize) -> (Vec<f64>, Vec<f64>) {
+    let n = b.len();
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let mut w = vec![0.0; n];
+    let mut rr_old = dot(&r, &r);
+    let (mut alphas, mut betas) = (Vec::new(), Vec::new());
+    for _ in 0..max_iters {
+        if rr_old <= 1e-28 {
+            break;
+        }
+        a.apply(&p, &mut w);
+        let alpha = rr_old / dot(&p, &w);
+        for i in 0..n {
+            r[i] -= alpha * w[i];
+        }
+        let rr_new = dot(&r, &r);
+        let beta = rr_new / rr_old;
+        alphas.push(alpha);
+        betas.push(beta);
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rr_old = rr_new;
+    }
+    (alphas, betas)
+}
+
+/// The Lanczos tridiagonal implied by the CG coefficients, in the layout
+/// `tqli` takes (`off[0]` unused) — the same construction
+/// `eigenvalue_estimate` performs internally.
+fn lanczos_ritz_values(alphas: &[f64], betas: &[f64]) -> Vec<f64> {
+    let k = alphas.len().min(betas.len());
+    let mut diag = vec![0.0; k];
+    let mut off = vec![0.0; k];
+    for i in 0..k {
+        diag[i] = 1.0 / alphas[i];
+        if i > 0 {
+            diag[i] += betas[i - 1] / alphas[i - 1];
+            off[i] = betas[i - 1].sqrt() / alphas[i - 1];
+        }
+    }
+    tqli(&diag, &off).expect("QL converges on well-formed Lanczos matrices")
+}
+
+fn grid_strategy() -> impl Strategy<Value = FivePoint> {
+    (3usize..7, 3usize..7).prop_flat_map(|(nx, ny)| {
+        (
+            Just(nx),
+            Just(ny),
+            proptest::collection::vec(0.1..3.0f64, (nx + 1) * ny),
+            proptest::collection::vec(0.1..3.0f64, nx * (ny + 1)),
+        )
+            .prop_map(|(nx, ny, kx, ky)| FivePoint::new(nx, ny, kx, ky))
+    })
+}
+
+fn rhs_strategy(max_cells: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0..1.0f64, max_cells)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The estimate must bracket the extremal Ritz values strictly (the
+    /// 0.95/1.05 safety margins) and stay positive, and the Ritz values
+    /// themselves must lie inside the operator's certified Gershgorin
+    /// interval `[1, 1 + 2·max Σk]` — i.e. the Lanczos process never
+    /// invents spectrum the operator does not have.
+    #[test]
+    fn bounds_bracket_ritz_values_on_random_spd_systems(
+        a in grid_strategy(),
+        rhs in rhs_strategy(6 * 6),
+    ) {
+        let b = &rhs[..a.n()];
+        prop_assume!(dot(b, b) > 1e-6);
+        let iters = a.n().min(8);
+        let (alphas, betas) = cg_coefficients(&a, b, iters);
+        prop_assume!(alphas.len() >= 2);
+
+        let ritz = lanczos_ritz_values(&alphas, &betas);
+        let (ritz_min, ritz_max) = (ritz[0], *ritz.last().unwrap());
+
+        // Ritz values live inside the operator's spectral interval.
+        let gersh = a.gershgorin_max();
+        for ev in &ritz {
+            prop_assert!(
+                (1.0 - 1e-8..=gersh * (1.0 + 1e-12)).contains(ev),
+                "Ritz value {ev} outside certified interval [1, {gersh}]"
+            );
+        }
+
+        let (lo, hi) = eigenvalue_estimate(&alphas, &betas)
+            .expect("estimate exists for >= 2 recorded iterations");
+        prop_assert!(lo > 0.0, "Chebyshev needs a positive lower bound, got {lo}");
+        prop_assert!(lo < hi);
+        prop_assert!(lo < ritz_min, "lower bound {lo} must undercut min Ritz {ritz_min}");
+        prop_assert!(hi > ritz_max, "upper bound {hi} must clear max Ritz {ritz_max}");
+        // And the margins are exactly TeaLeaf's 5% widening.
+        prop_assert!((lo - 0.95 * ritz_min).abs() <= 1e-12 * ritz_min.abs());
+        prop_assert!((hi - 1.05 * ritz_max).abs() <= 1e-12 * ritz_max.abs());
+    }
+
+    /// `tqli` preserves the trace: the eigenvalues of a random symmetric
+    /// tridiagonal must sum to its diagonal sum (similarity invariant).
+    #[test]
+    fn tqli_preserves_trace_on_random_tridiagonals(
+        diag in proptest::collection::vec(-10.0..10.0f64, 2..12),
+        off_raw in proptest::collection::vec(-5.0..5.0f64, 12),
+    ) {
+        let n = diag.len();
+        let mut off = off_raw[..n].to_vec();
+        off[0] = 0.0;
+        let eigs = tqli(&diag, &off).expect("QL converges");
+        prop_assert_eq!(eigs.len(), n);
+        let trace: f64 = diag.iter().sum();
+        let eig_sum: f64 = eigs.iter().sum();
+        let scale = 1.0 + trace.abs() + eig_sum.abs();
+        prop_assert!(
+            (trace - eig_sum).abs() <= 1e-9 * scale,
+            "trace {trace} vs eigenvalue sum {eig_sum}"
+        );
+    }
+
+    /// Handed *any* valid spectral bounds — here the certified Gershgorin
+    /// interval, not the Lanczos estimate — the Chebyshev semi-iteration
+    /// must contract the residual at (at least) its a-priori rate.
+    #[test]
+    fn chebyshev_converges_under_any_valid_bounds(
+        a in grid_strategy(),
+        rhs in rhs_strategy(6 * 6),
+    ) {
+        let b = &rhs[..a.n()];
+        prop_assume!(dot(b, b) > 1e-6);
+
+        let shift = ChebyShift::from_bounds(0.95, a.gershgorin_max());
+        let steps = estimated_iterations(shift, 1e-12);
+        prop_assert!(steps < 1000, "these systems are well conditioned");
+
+        // The TeaLeaf recurrence: p₀ = r/θ, then p ← α·p + β·r, u ← u + p.
+        let n = a.n();
+        let mut u = vec![0.0; n];
+        let mut r = b.to_vec();
+        let r0 = dot(&r, &r).sqrt();
+        let mut p: Vec<f64> = r.iter().map(|v| v / shift.theta).collect();
+        let mut w = vec![0.0; n];
+        let mut coeffs = ChebyCoeffs::new(shift);
+        for _ in 0..steps {
+            for i in 0..n {
+                u[i] += p[i];
+            }
+            a.apply(&u, &mut w);
+            for i in 0..n {
+                r[i] = b[i] - w[i];
+            }
+            let (alpha, beta) = coeffs.next_pair();
+            for i in 0..n {
+                p[i] = alpha * p[i] + beta * r[i];
+            }
+        }
+        let reduction = dot(&r, &r).sqrt() / r0;
+        prop_assert!(
+            reduction < 1e-4,
+            "residual only fell to {reduction:.3e} of its start in {steps} steps"
+        );
+    }
+}
