@@ -31,7 +31,7 @@ fn bench_solvers(c: &mut Criterion) {
     ] {
         let cfg = config(solver);
         let device = devices::cpu_xeon_e5_2670_x2();
-        let problem = Problem::from_config(&cfg);
+        let problem = Problem::from_config(&cfg).expect("valid config");
         group.bench_with_input(
             BenchmarkId::from_parameter(solver.name()),
             &cfg,
@@ -52,7 +52,7 @@ fn bench_port_abstraction_cost(c: &mut Criterion) {
     let mut group = c.benchmark_group("port_abstraction_cg_96");
     group.sample_size(10);
     let cfg = config(SolverKind::ConjugateGradient);
-    let problem = Problem::from_config(&cfg);
+    let problem = Problem::from_config(&cfg).expect("valid config");
     let pairs = [
         (ModelId::Serial, devices::cpu_xeon_e5_2670_x2()),
         (ModelId::Omp3F90, devices::cpu_xeon_e5_2670_x2()),

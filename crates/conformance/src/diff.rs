@@ -455,7 +455,7 @@ pub fn diff_models(
     config: &TeaConfig,
     seed: u64,
 ) -> Result<DiffOutcome, PortError> {
-    let problem = Problem::from_config(config);
+    let problem = Problem::from_config(config).expect("valid config");
     let ref_device = natural_device(reference);
     let ref_port = make_port(reference, ref_device.clone(), &problem, seed)?;
     let cand_port = make_port(candidate, natural_device(candidate), &problem, seed)?;
@@ -468,15 +468,32 @@ pub fn diff_models(
     ))
 }
 
+/// How a [`SabotagePlan`] corrupts the port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SabotageMode {
+    /// Flip the low mantissa bit of `field[index]` — the smallest
+    /// possible corruption, which the differential harness must still
+    /// localize exactly.
+    UlpFlip,
+    /// Overwrite `field[index]` with NaN — the poison the resilience
+    /// sentinels must catch as [`tealeaf::SolverHealth::NonFinite`]
+    /// within a bounded number of iterations.
+    PlantNan,
+    /// Negate the kernel's returned scalar reduction (`field`/`index`
+    /// are ignored) — models a sign-flipped α/β reaching the solver's
+    /// control flow, the fault class field comparison alone cannot see.
+    NegateScalar,
+}
+
 /// A fault to plant in an otherwise-correct port: after the
-/// `invocation`-th call (1-based) of `kernel`, flip the low mantissa bit
-/// of `field[index]`.
+/// `invocation`-th call (1-based) of `kernel`, apply `mode`.
 #[derive(Debug, Clone, Copy)]
 pub struct SabotagePlan {
     pub kernel: &'static str,
     pub invocation: usize,
     pub field: FieldId,
     pub index: usize,
+    pub mode: SabotageMode,
 }
 
 /// A port wrapper that executes a [`SabotagePlan`] — the known-answer
@@ -502,32 +519,53 @@ impl SabotagedPort {
         self.fired
     }
 
-    fn after_call(&mut self) {
+    /// True when the call the recorder just logged is the planned one.
+    fn plan_matches_last(&self) -> bool {
         if self.fired {
-            return;
+            return false;
         }
         let log = self.inner.log();
-        let Some(last) = log.last() else { return };
+        let Some(last) = log.last() else {
+            return false;
+        };
         if last.kernel_name() != self.plan.kernel {
-            return;
+            return false;
         }
-        let n = log
-            .iter()
+        log.iter()
             .filter(|c| c.kernel_name() == self.plan.kernel)
-            .count();
-        if n != self.plan.invocation {
+            .count()
+            == self.plan.invocation
+    }
+
+    fn after_call(&mut self) {
+        if !self.plan_matches_last() {
             return;
         }
-        let current = self
-            .inner
-            .inspect_field(self.plan.field)
-            .expect("sabotaged field must be inspectable")[self.plan.index];
-        self.inner.poke_field(
-            self.plan.field,
-            self.plan.index,
-            f64::from_bits(current.to_bits() ^ 1),
-        );
+        let poison = match self.plan.mode {
+            // Scalar sabotage happens on the return path, not in fields.
+            SabotageMode::NegateScalar => return,
+            SabotageMode::UlpFlip => {
+                let current = self
+                    .inner
+                    .inspect_field(self.plan.field)
+                    .expect("sabotaged field must be inspectable")[self.plan.index];
+                f64::from_bits(current.to_bits() ^ 1)
+            }
+            SabotageMode::PlantNan => f64::NAN,
+        };
+        self.inner
+            .poke_field(self.plan.field, self.plan.index, poison);
         self.fired = true;
+    }
+
+    /// Applied to every scalar a kernel returns: negates the planned
+    /// invocation's result under [`SabotageMode::NegateScalar`].
+    fn sabotage_scalar(&mut self, value: f64) -> f64 {
+        if self.plan.mode == SabotageMode::NegateScalar && self.plan_matches_last() {
+            self.fired = true;
+            return -value;
+        }
+        value
     }
 }
 
@@ -553,19 +591,19 @@ impl TeaLeafPort for SabotagedPort {
     fn cg_init(&mut self, preconditioner: bool) -> f64 {
         let rro = self.inner.cg_init(preconditioner);
         self.after_call();
-        rro
+        self.sabotage_scalar(rro)
     }
 
     fn cg_calc_w(&mut self) -> f64 {
         let pw = self.inner.cg_calc_w();
         self.after_call();
-        pw
+        self.sabotage_scalar(pw)
     }
 
     fn cg_calc_ur(&mut self, alpha: f64, preconditioner: bool) -> f64 {
         let rrn = self.inner.cg_calc_ur(alpha, preconditioner);
         self.after_call();
-        rrn
+        self.sabotage_scalar(rrn)
     }
 
     fn cg_calc_p(&mut self, beta: f64, preconditioner: bool) {
@@ -578,9 +616,9 @@ impl TeaLeafPort for SabotagedPort {
     }
 
     fn cg_fused_ur_p(&mut self, alpha: f64, rro: f64, preconditioner: bool) -> (f64, f64) {
-        let out = self.inner.cg_fused_ur_p(alpha, rro, preconditioner);
+        let (rrn, beta) = self.inner.cg_fused_ur_p(alpha, rro, preconditioner);
         self.after_call();
-        out
+        (self.sabotage_scalar(rrn), beta)
     }
 
     fn cheby_init(&mut self, theta: f64) {
@@ -606,7 +644,7 @@ impl TeaLeafPort for SabotagedPort {
     fn jacobi_iterate(&mut self) -> f64 {
         let err = self.inner.jacobi_iterate();
         self.after_call();
-        err
+        self.sabotage_scalar(err)
     }
 
     fn residual(&mut self) {
@@ -617,7 +655,7 @@ impl TeaLeafPort for SabotagedPort {
     fn calc_2norm(&mut self, field: NormField) -> f64 {
         let norm = self.inner.calc_2norm(field);
         self.after_call();
-        norm
+        self.sabotage_scalar(norm)
     }
 
     fn finalise(&mut self) {

@@ -11,9 +11,11 @@
 
 use std::time::Duration;
 
-use mpisim::FaultSpec;
+use mpisim::{FaultSpec, KillSpec};
 use tea_core::config::TeaConfig;
-use tealeaf::distributed::{run_distributed_cg, run_distributed_cg_faulty};
+use tealeaf::distributed::{
+    run_distributed_cg, run_distributed_cg_faulty, run_distributed_cg_resilient,
+};
 
 /// Outcome tally of one fault matrix sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +77,70 @@ pub fn run_fault_matrix(
     Ok(report)
 }
 
+/// Outcome tally of one *recovering* fault matrix sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryMatrixReport {
+    /// Fault-injected runs executed (lossy-network rows + kill rows).
+    pub runs: usize,
+    /// Checkpoint restarts the kill rows consumed in total.
+    pub restarts: usize,
+}
+
+/// The fault matrix with checkpoint-restart recovery enabled: the bar is
+/// *stricter* than [`run_fault_matrix`]. With recovery on, a loud abort
+/// is no longer acceptable — every row (lossy networks per `seed`, plus
+/// an injected rank loss per [`KillSpec`]) must finish, and must finish
+/// **bit-identical** to the clean baseline. Any abort or any bitwise
+/// divergence returns `Err`.
+pub fn run_fault_matrix_recovering(
+    config: &TeaConfig,
+    rank_counts: &[usize],
+    seeds: &[u64],
+    kills: &[KillSpec],
+) -> Result<RecoveryMatrixReport, String> {
+    const MAX_RESTARTS: usize = 4;
+    let mut report = RecoveryMatrixReport {
+        runs: 0,
+        restarts: 0,
+    };
+    for &ranks in rank_counts {
+        let baseline = run_distributed_cg(ranks, config);
+        let mut rows: Vec<FaultSpec> = seeds.iter().map(|&seed| matrix_spec(seed)).collect();
+        rows.extend(kills.iter().filter(|k| k.rank < ranks).map(|&kill| {
+            // A lost rank is detected by its peers' recovery deadlines;
+            // keep them short so the restart happens inside test budgets.
+            FaultSpec {
+                quiet: Duration::from_millis(2),
+                deadline: Duration::from_millis(250),
+                kill_rank: Some(kill),
+                ..FaultSpec::clean(kill.rank as u64 ^ kill.after_sends)
+            }
+        }));
+        for spec in rows {
+            report.runs += 1;
+            match run_distributed_cg_resilient(ranks, config, spec, MAX_RESTARTS) {
+                Ok((recovered, restarts)) => {
+                    if recovered != baseline {
+                        return Err(format!(
+                            "BITWISE DIVERGENCE: ranks={ranks} spec={spec:?}: \
+                             recovered run differs from clean baseline \
+                             ({recovered:?} vs {baseline:?})"
+                        ));
+                    }
+                    report.restarts += restarts;
+                }
+                Err(diagnostic) => {
+                    return Err(format!(
+                        "UNRECOVERED: ranks={ranks} spec={spec:?} still aborted \
+                         after {MAX_RESTARTS} restarts: {diagnostic}"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,6 +160,28 @@ mod tests {
         assert!(
             report.recovered >= report.runs / 2,
             "lossy() at 2ms quiet should mostly recover: {report:?}"
+        );
+    }
+
+    #[test]
+    fn recovering_matrix_survives_lossy_networks_and_a_rank_loss() {
+        let mut cfg = small_config();
+        // Long enough that the kill fires mid-solve, with checkpoints
+        // frequent enough that the restart resumes rather than redoing
+        // the whole run.
+        cfg.end_step = 2;
+        cfg.tl_eps = 1.0e-12;
+        cfg.tl_checkpoint_interval = 2;
+        let kills = [KillSpec {
+            rank: 1,
+            after_sends: 25,
+        }];
+        let report =
+            run_fault_matrix_recovering(&cfg, &[2], &[7], &kills).expect("every row must recover");
+        assert_eq!(report.runs, 2, "one lossy row + one kill row");
+        assert!(
+            report.restarts >= 1,
+            "the kill row must consume at least one restart: {report:?}"
         );
     }
 }

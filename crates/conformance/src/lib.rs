@@ -38,10 +38,12 @@ pub mod golden;
 pub mod matrix;
 
 pub use diff::{
-    diff_models, diff_ports, DiffOutcome, DivergenceReport, LockstepPort, Mismatch, SabotagePlan,
-    SabotagedPort,
+    diff_models, diff_ports, DiffOutcome, DivergenceReport, LockstepPort, Mismatch, SabotageMode,
+    SabotagePlan, SabotagedPort,
 };
-pub use faults::{run_fault_matrix, FaultMatrixReport};
+pub use faults::{
+    run_fault_matrix, run_fault_matrix_recovering, FaultMatrixReport, RecoveryMatrixReport,
+};
 pub use fuzz::{run_schedule_fuzz, FuzzReport};
 pub use golden::{check_deck, compute_goldens, GoldenEntry};
 pub use matrix::{

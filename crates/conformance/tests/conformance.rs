@@ -7,7 +7,7 @@
 
 use tea_conformance::{
     builtin_decks, diff_models, diff_ports, run_fault_matrix, run_schedule_fuzz, Mismatch,
-    SabotagePlan, SabotagedPort,
+    SabotageMode, SabotagePlan, SabotagedPort,
 };
 use tea_core::config::{SolverKind, TeaConfig};
 use tea_core::halo::FieldId;
@@ -37,9 +37,10 @@ fn planted_fault_is_localised_to_kernel_invocation_field_and_cell() {
         invocation: 3,
         field: FieldId::W,
         index,
+        mode: SabotageMode::UlpFlip,
     };
 
-    let problem = Problem::from_config(&cfg);
+    let problem = Problem::from_config(&cfg).expect("valid config");
     let device = tea_conformance::natural_device(ModelId::Serial);
     let reference = make_port(ModelId::Serial, device.clone(), &problem, 1).unwrap();
     let victim = make_port(ModelId::Serial, device.clone(), &problem, 1).unwrap();
@@ -73,8 +74,9 @@ fn planted_fault_in_chebyshev_names_the_iterate_kernel() {
         invocation: 2,
         field: FieldId::U,
         index,
+        mode: SabotageMode::UlpFlip,
     };
-    let problem = Problem::from_config(&cfg);
+    let problem = Problem::from_config(&cfg).expect("valid config");
     let device = tea_conformance::natural_device(ModelId::Serial);
     let reference = make_port(ModelId::Serial, device.clone(), &problem, 1).unwrap();
     let victim = make_port(ModelId::Serial, device.clone(), &problem, 1).unwrap();
@@ -116,8 +118,9 @@ fn control_flow_stays_reference_driven_after_divergence() {
         invocation: 1,
         field: FieldId::R,
         index: common::idx(mesh.width(), mesh.i0() + 1, mesh.i0() + 1),
+        mode: SabotageMode::UlpFlip,
     };
-    let problem = Problem::from_config(&cfg);
+    let problem = Problem::from_config(&cfg).expect("valid config");
     let reference = make_port(ModelId::Serial, device.clone(), &problem, 1).unwrap();
     let victim = make_port(ModelId::Serial, device.clone(), &problem, 1).unwrap();
     let outcome = diff_ports(
@@ -226,6 +229,41 @@ fn full_fault_matrix_across_ranks_and_seeds() {
     assert!(
         report.recovered > 0,
         "at least some lossy runs must recover: {report:?}"
+    );
+}
+
+/// The recovery-enabled fault matrix the CI conformance job runs: with
+/// checkpoint-restart on, every lossy-network row *and* every injected
+/// rank loss must finish bit-identical to the clean baseline — an abort
+/// or a bitwise divergence fails the matrix outright.
+#[test]
+#[ignore = "recovery fault matrix; run via the CI conformance job or locally with -- --ignored"]
+fn full_recovering_fault_matrix_is_bit_identical() {
+    let mut cfg = TeaConfig::paper_problem(16);
+    cfg.end_step = 2;
+    cfg.tl_eps = 1.0e-12;
+    cfg.tl_checkpoint_interval = 2;
+    let kills = [
+        mpisim::KillSpec {
+            rank: 0,
+            after_sends: 2,
+        },
+        mpisim::KillSpec {
+            rank: 1,
+            after_sends: 25,
+        },
+        mpisim::KillSpec {
+            rank: 3,
+            after_sends: 40,
+        },
+    ];
+    let report = tea_conformance::run_fault_matrix_recovering(&cfg, &[2, 4], &[3, 5, 11], &kills)
+        .expect("every row must recover bit-identically");
+    // 2 ranks: 3 lossy + 2 applicable kills; 4 ranks: 3 lossy + 3 kills.
+    assert_eq!(report.runs, 11);
+    assert!(
+        report.restarts >= 2,
+        "the kill rows must exercise checkpoint restarts: {report:?}"
     );
 }
 

@@ -97,6 +97,24 @@ pub struct TeaConfig {
     pub coefficient: Coefficient,
     pub halo_depth: usize,
     pub states: Vec<State>,
+    /// Enable the resilience layer (sentinels + checkpoint/rollback +
+    /// fallback chains). On healthy runs the layer is numerically inert,
+    /// so goldens are unchanged either way.
+    pub tl_resilience: bool,
+    /// Solver iterations between in-solve field checkpoints (0 disables
+    /// mid-solve rollback; the solve-start checkpoint always exists).
+    pub tl_checkpoint_interval: usize,
+    /// Divergence sentinel: trip when `|rrn| > factor · |rro₀|`.
+    pub tl_divergence_factor: f64,
+    /// Stagnation sentinel: trip after this many residual observations
+    /// without improving on the best residual seen so far.
+    pub tl_stagnation_window: usize,
+    /// Cap on recovery attempts (rollbacks or same-solver retries) per
+    /// solve before degrading along the fallback chain.
+    pub tl_max_recoveries: usize,
+    /// Explicit fallback chain; empty means the built-in degradation
+    /// (PPCG/Chebyshev → CG → Jacobi, CG → Jacobi).
+    pub tl_fallback_chain: Vec<SolverKind>,
 }
 
 impl Default for TeaConfig {
@@ -118,6 +136,12 @@ impl Default for TeaConfig {
             tl_ppcg_inner_steps: 10,
             coefficient: Coefficient::Conductivity,
             halo_depth: 2,
+            tl_resilience: true,
+            tl_checkpoint_interval: 50,
+            tl_divergence_factor: 1.0e12,
+            tl_stagnation_window: 400,
+            tl_max_recoveries: 3,
+            tl_fallback_chain: Vec::new(),
             states: vec![
                 State::background(100.0, 0.0001),
                 State {
@@ -209,6 +233,109 @@ impl TeaConfig {
         }
         Ok(cfg)
     }
+
+    /// Check the semantic invariants a deck can violate even when it
+    /// parses: mesh extent, tolerance, iteration budget, timestep and
+    /// domain must all be usable. Called by `Problem::from_config` so a
+    /// bad deck fails with a typed error instead of panicking deep in
+    /// mesh setup.
+    pub fn validate(&self) -> Result<(), InvalidConfig> {
+        // NaN-safe strict ordering: NaN on either side is a violation.
+        fn strictly_less(lo: f64, hi: f64) -> bool {
+            matches!(lo.partial_cmp(&hi), Some(core::cmp::Ordering::Less))
+        }
+        if self.x_cells == 0 || self.y_cells == 0 {
+            return Err(InvalidConfig::EmptyMesh {
+                x_cells: self.x_cells,
+                y_cells: self.y_cells,
+            });
+        }
+        if !strictly_less(0.0, self.tl_eps) || !self.tl_eps.is_finite() {
+            return Err(InvalidConfig::NonPositiveEps(self.tl_eps));
+        }
+        if self.tl_max_iters == 0 {
+            return Err(InvalidConfig::ZeroMaxIters);
+        }
+        if !strictly_less(0.0, self.initial_timestep) || !self.initial_timestep.is_finite() {
+            return Err(InvalidConfig::NonPositiveTimestep(self.initial_timestep));
+        }
+        if !strictly_less(self.xmin, self.xmax) || !strictly_less(self.ymin, self.ymax) {
+            return Err(InvalidConfig::EmptyDomain {
+                x: (self.xmin, self.xmax),
+                y: (self.ymin, self.ymax),
+            });
+        }
+        if self.halo_depth == 0 {
+            return Err(InvalidConfig::ZeroHaloDepth);
+        }
+        if !strictly_less(1.0, self.tl_divergence_factor) {
+            return Err(InvalidConfig::BadDivergenceFactor(
+                self.tl_divergence_factor,
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A semantically unusable [`TeaConfig`] (parsed fine, cannot run).
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvalidConfig {
+    /// `x_cells`/`y_cells` of zero describe no mesh.
+    EmptyMesh { x_cells: usize, y_cells: usize },
+    /// `tl_eps` must be a positive finite tolerance.
+    NonPositiveEps(f64),
+    /// `tl_max_iters == 0` gives every solver an empty iteration budget.
+    ZeroMaxIters,
+    /// `initial_timestep` must be positive and finite.
+    NonPositiveTimestep(f64),
+    /// The physical domain must have positive extent on both axes.
+    EmptyDomain { x: (f64, f64), y: (f64, f64) },
+    /// Zero halo depth leaves the stencils nothing to read.
+    ZeroHaloDepth,
+    /// The divergence sentinel factor must exceed 1.
+    BadDivergenceFactor(f64),
+}
+
+impl fmt::Display for InvalidConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidConfig::EmptyMesh { x_cells, y_cells } => {
+                write!(f, "mesh is empty: x_cells={x_cells}, y_cells={y_cells}")
+            }
+            InvalidConfig::NonPositiveEps(eps) => {
+                write!(f, "tl_eps must be positive and finite, got {eps}")
+            }
+            InvalidConfig::ZeroMaxIters => write!(f, "tl_max_iters must be at least 1"),
+            InvalidConfig::NonPositiveTimestep(dt) => {
+                write!(f, "initial_timestep must be positive and finite, got {dt}")
+            }
+            InvalidConfig::EmptyDomain { x, y } => write!(
+                f,
+                "domain has no area: x=({}, {}), y=({}, {})",
+                x.0, x.1, y.0, y.1
+            ),
+            InvalidConfig::ZeroHaloDepth => write!(f, "halo_depth must be at least 1"),
+            InvalidConfig::BadDivergenceFactor(v) => {
+                write!(f, "tl_divergence_factor must exceed 1, got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvalidConfig {}
+
+/// Parse a comma-separated solver list (`tl_fallback_chain=cg,jacobi`).
+fn parse_solver_list(value: &str) -> Option<Vec<SolverKind>> {
+    value
+        .split(',')
+        .map(|s| match s.trim() {
+            "jacobi" => Some(SolverKind::Jacobi),
+            "cg" => Some(SolverKind::ConjugateGradient),
+            "chebyshev" | "cheby" => Some(SolverKind::Chebyshev),
+            "ppcg" => Some(SolverKind::Ppcg),
+            _ => None,
+        })
+        .collect()
 }
 
 /// Error from [`TeaConfig::parse`], carrying the 1-based source line.
@@ -284,6 +411,14 @@ fn parse_line(cfg: &mut TeaConfig, line: &str) -> Result<(), ErrorKind> {
             cfg.tl_preconditioner = true;
             return Ok(());
         }
+        "tl_resilience_on" => {
+            cfg.tl_resilience = true;
+            return Ok(());
+        }
+        "tl_resilience_off" => {
+            cfg.tl_resilience = false;
+            return Ok(());
+        }
         "use_c_kernels" | "profiler_on" | "verbose_on" | "tl_check_result" => return Ok(()),
         _ => {}
     }
@@ -306,6 +441,29 @@ fn parse_line(cfg: &mut TeaConfig, line: &str) -> Result<(), ErrorKind> {
         "tl_ch_cg_presteps" => cfg.tl_ch_cg_presteps = parse_num(key, value)?,
         "tl_ppcg_inner_steps" => cfg.tl_ppcg_inner_steps = parse_num(key, value)?,
         "halo_depth" => cfg.halo_depth = parse_num(key, value)?,
+        "tl_checkpoint_interval" => cfg.tl_checkpoint_interval = parse_num(key, value)?,
+        "tl_divergence_factor" => cfg.tl_divergence_factor = parse_num(key, value)?,
+        "tl_stagnation_window" => cfg.tl_stagnation_window = parse_num(key, value)?,
+        "tl_max_recoveries" => cfg.tl_max_recoveries = parse_num(key, value)?,
+        "tl_resilience" => {
+            cfg.tl_resilience = match value {
+                "on" | "true" | "1" => true,
+                "off" | "false" | "0" => false,
+                _ => {
+                    return Err(ErrorKind::BadValue {
+                        key: key.to_string(),
+                        value: value.to_string(),
+                    })
+                }
+            };
+        }
+        "tl_fallback_chain" => {
+            cfg.tl_fallback_chain =
+                parse_solver_list(value).ok_or_else(|| ErrorKind::BadValue {
+                    key: key.to_string(),
+                    value: value.to_string(),
+                })?;
+        }
         "tl_preconditioner_type" => {
             cfg.tl_preconditioner = matches!(value, "jac_diag" | "jacobi" | "on");
         }
@@ -617,6 +775,104 @@ tl_ppcg_inner_steps=12
         assert_eq!(cfg.tl_eps, 1.0e-15);
         assert_eq!(cfg.solver, SolverKind::ConjugateGradient);
         assert_eq!(cfg.states.len(), 2);
+    }
+
+    #[test]
+    fn resilience_keys_parse() {
+        let cfg = TeaConfig::parse(
+            "tl_checkpoint_interval=25\ntl_divergence_factor=1.0e9\n\
+             tl_stagnation_window=120\ntl_max_recoveries=5\n\
+             tl_fallback_chain=cg,jacobi\ntl_resilience=off\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.tl_checkpoint_interval, 25);
+        assert_eq!(cfg.tl_divergence_factor, 1.0e9);
+        assert_eq!(cfg.tl_stagnation_window, 120);
+        assert_eq!(cfg.tl_max_recoveries, 5);
+        assert_eq!(
+            cfg.tl_fallback_chain,
+            vec![SolverKind::ConjugateGradient, SolverKind::Jacobi]
+        );
+        assert!(!cfg.tl_resilience);
+        assert!(
+            !TeaConfig::parse("tl_resilience_off\n")
+                .unwrap()
+                .tl_resilience
+        );
+        assert!(
+            TeaConfig::parse("tl_resilience_on\n")
+                .unwrap()
+                .tl_resilience
+        );
+        assert!(TeaConfig::parse("tl_fallback_chain=warp_drive\n").is_err());
+        assert!(TeaConfig::parse("tl_resilience=maybe\n").is_err());
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_rejects_degenerate_configs() {
+        fn with(mutate: impl FnOnce(&mut TeaConfig)) -> TeaConfig {
+            let mut cfg = TeaConfig::default();
+            mutate(&mut cfg);
+            cfg
+        }
+
+        assert_eq!(TeaConfig::default().validate(), Ok(()));
+
+        assert!(matches!(
+            with(|c| c.x_cells = 0).validate(),
+            Err(InvalidConfig::EmptyMesh { x_cells: 0, .. })
+        ));
+
+        for bad_eps in [0.0, -1.0e-10, f64::NAN] {
+            assert!(matches!(
+                with(|c| c.tl_eps = bad_eps).validate(),
+                Err(InvalidConfig::NonPositiveEps(_))
+            ));
+        }
+
+        assert_eq!(
+            with(|c| c.tl_max_iters = 0).validate(),
+            Err(InvalidConfig::ZeroMaxIters)
+        );
+
+        assert!(matches!(
+            with(|c| c.initial_timestep = -0.5).validate(),
+            Err(InvalidConfig::NonPositiveTimestep(_))
+        ));
+
+        assert!(matches!(
+            with(|c| c.xmax = c.xmin).validate(),
+            Err(InvalidConfig::EmptyDomain { .. })
+        ));
+
+        assert_eq!(
+            with(|c| c.halo_depth = 0).validate(),
+            Err(InvalidConfig::ZeroHaloDepth)
+        );
+
+        assert!(matches!(
+            with(|c| c.tl_divergence_factor = 1.0).validate(),
+            Err(InvalidConfig::BadDivergenceFactor(_))
+        ));
+
+        // every variant renders a message
+        for err in [
+            InvalidConfig::EmptyMesh {
+                x_cells: 0,
+                y_cells: 4,
+            },
+            InvalidConfig::NonPositiveEps(-1.0),
+            InvalidConfig::ZeroMaxIters,
+            InvalidConfig::NonPositiveTimestep(0.0),
+            InvalidConfig::EmptyDomain {
+                x: (0.0, 0.0),
+                y: (0.0, 1.0),
+            },
+            InvalidConfig::ZeroHaloDepth,
+            InvalidConfig::BadDivergenceFactor(0.5),
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
     }
 
     #[test]

@@ -34,6 +34,18 @@ pub(crate) enum Action {
     Delay,
 }
 
+/// Kill one rank mid-run: the rank panics with a structured
+/// [`crate::world::FaultDiagnostic`] the moment it has issued
+/// `after_sends` data sends — modelling a node loss at a deterministic
+/// point in the communication schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillSpec {
+    /// Rank to lose.
+    pub rank: usize,
+    /// Number of data sends the rank completes before dying.
+    pub after_sends: u64,
+}
+
 /// Seeded fault-injection parameters for one SPMD world.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultSpec {
@@ -47,12 +59,28 @@ pub struct FaultSpec {
     pub reorder: f64,
     /// Probability a data message is held behind the next two.
     pub delay: f64,
-    /// Quiet period a blocked receive waits before NACKing the sender
-    /// it is starving on.
+    /// Quiet period a blocked receive waits before its *first* NACK;
+    /// subsequent waits grow by `backoff` per retry (capped at
+    /// `backoff_cap`).
     pub quiet: Duration,
     /// Total budget for one blocked receive; past it the rank aborts
     /// with a structured [`crate::world::FaultDiagnostic`].
     pub deadline: Duration,
+    /// Maximum NACK retries one blocked receive may issue before it
+    /// aborts — the loud-failure cap that stops a dead channel from
+    /// being retried until the deadline on every receive.
+    pub max_retries: u32,
+    /// Multiplicative factor on the wait between retries (exponential
+    /// backoff; 1.0 restores the old fixed-interval behaviour).
+    pub backoff: f64,
+    /// Upper bound on a single backoff wait.
+    pub backoff_cap: Duration,
+    /// A receiver acknowledges each source channel after this many
+    /// accepted messages, letting the sender prune its retransmit
+    /// history. 0 disables acks (unbounded history, the old behaviour).
+    pub ack_interval: u64,
+    /// Optional injected rank loss.
+    pub kill_rank: Option<KillSpec>,
 }
 
 impl FaultSpec {
@@ -67,6 +95,11 @@ impl FaultSpec {
             delay: 0.0,
             quiet: Duration::from_millis(25),
             deadline: Duration::from_secs(5),
+            max_retries: 64,
+            backoff: 2.0,
+            backoff_cap: Duration::from_millis(200),
+            ack_interval: 16,
+            kill_rank: None,
         }
     }
 
@@ -81,9 +114,23 @@ impl FaultSpec {
         }
     }
 
-    /// True when every fault probability is zero.
+    /// True when every fault probability is zero and no rank is killed.
     pub fn is_clean(&self) -> bool {
-        self.drop == 0.0 && self.duplicate == 0.0 && self.reorder == 0.0 && self.delay == 0.0
+        self.drop == 0.0
+            && self.duplicate == 0.0
+            && self.reorder == 0.0
+            && self.delay == 0.0
+            && self.kill_rank.is_none()
+    }
+
+    /// The wait before retry number `attempt` (0-based) of a blocked
+    /// receive: `quiet · backoff^attempt`, capped at `backoff_cap`. A
+    /// pure function of the spec, so the schedule is deterministic —
+    /// equal specs always wait the same amounts in the same order.
+    pub fn backoff_schedule(&self, attempt: u32) -> Duration {
+        let factor = self.backoff.max(1.0).powi(attempt.min(63) as i32);
+        let scaled = self.quiet.as_secs_f64() * factor;
+        Duration::from_secs_f64(scaled.min(self.backoff_cap.as_secs_f64()).max(0.0))
     }
 }
 
@@ -158,6 +205,62 @@ mod tests {
         };
         assert_eq!(stream(99), stream(99));
         assert_ne!(stream(99), stream(100));
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_capped() {
+        let spec = FaultSpec {
+            quiet: Duration::from_millis(5),
+            backoff: 2.0,
+            backoff_cap: Duration::from_millis(40),
+            ..FaultSpec::lossy(42)
+        };
+        let schedule = |spec: &FaultSpec| -> Vec<Duration> {
+            (0..8).map(|a| spec.backoff_schedule(a)).collect()
+        };
+        // Pure function of the spec: same spec, same schedule, every time.
+        assert_eq!(schedule(&spec), schedule(&spec));
+        assert_eq!(schedule(&spec), schedule(&FaultSpec { ..spec }));
+        // Exponential up to the cap, then flat.
+        assert_eq!(
+            schedule(&spec),
+            vec![
+                Duration::from_millis(5),
+                Duration::from_millis(10),
+                Duration::from_millis(20),
+                Duration::from_millis(40),
+                Duration::from_millis(40),
+                Duration::from_millis(40),
+                Duration::from_millis(40),
+                Duration::from_millis(40),
+            ]
+        );
+        // Waits never shrink as attempts grow.
+        for w in schedule(&spec).windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn backoff_of_one_restores_fixed_interval() {
+        let spec = FaultSpec {
+            backoff: 1.0,
+            ..FaultSpec::clean(0)
+        };
+        for attempt in 0..10 {
+            assert_eq!(spec.backoff_schedule(attempt), spec.quiet);
+        }
+    }
+
+    #[test]
+    fn kill_spec_makes_a_spec_unclean() {
+        let mut spec = FaultSpec::clean(1);
+        assert!(spec.is_clean());
+        spec.kill_rank = Some(KillSpec {
+            rank: 1,
+            after_sends: 10,
+        });
+        assert!(!spec.is_clean());
     }
 
     #[test]

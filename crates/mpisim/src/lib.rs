@@ -36,5 +36,5 @@
 pub mod fault;
 pub mod world;
 
-pub use fault::FaultSpec;
+pub use fault::{FaultSpec, KillSpec};
 pub use world::{run_spmd, run_spmd_faulty, FaultDiagnostic, Rank, Tag};

@@ -24,6 +24,11 @@ enum MsgKind {
     /// Control: "my next expected sequence from you is `expected` —
     /// retransmit from there". Bypasses injection and sequencing.
     Nack { expected: u64 },
+    /// Control: cumulative acknowledgement — "I have accepted every
+    /// sequence below `upto` from you; prune your retransmit history".
+    /// Bypasses injection and sequencing, and is idempotent: duplicate
+    /// or stale acks are ignored.
+    Ack { upto: u64 },
 }
 
 #[derive(Clone)]
@@ -91,6 +96,13 @@ struct Transport {
     expected: Vec<u64>,
     /// Early (out-of-order) arrivals, per source, keyed by sequence.
     stash: Vec<HashMap<u64, Message>>,
+    /// Highest cumulative ack received per destination (history below
+    /// this is pruned and can never be re-requested).
+    acked_in: Vec<u64>,
+    /// Messages accepted per source since the last ack we sent it.
+    since_ack: Vec<u64>,
+    /// Total data sends this rank has issued (drives [`KillSpec`]).
+    sent_total: u64,
 }
 
 impl Transport {
@@ -105,7 +117,25 @@ impl Transport {
                 .collect(),
             expected: vec![0; size],
             stash: vec![HashMap::new(); size],
+            acked_in: vec![0; size],
+            since_ack: vec![0; size],
+            sent_total: 0,
         }
+    }
+
+    /// Apply a cumulative ack from `peer`: prune the retransmit history
+    /// below `upto`. Stale or duplicate acks (control traffic may race)
+    /// are no-ops, so ack application is idempotent. Safe against the
+    /// NACK path because a peer only acks what it has *accepted*, and
+    /// only ever NACKs from its `expected` — which is ≥ every acked
+    /// sequence, so pruned entries can never be re-requested.
+    fn handle_ack(&mut self, peer: usize, upto: u64) -> bool {
+        if upto <= self.acked_in[peer] {
+            return false;
+        }
+        self.acked_in[peer] = upto;
+        self.history[peer].retain(|(seq, _, _)| *seq >= upto);
+        true
     }
 }
 
@@ -155,6 +185,26 @@ impl Rank {
                 let mut hold: Option<(u32, Message)> = None;
                 {
                     let mut t = cell.borrow_mut();
+                    if let Some(kill) = t.spec.kill_rank {
+                        if kill.rank == self.id && t.sent_total >= kill.after_sends {
+                            // Injected node loss: this rank dies right
+                            // here, deterministically placed in its own
+                            // send schedule. Peers starve, time out, and
+                            // surface their own diagnostics.
+                            std::panic::panic_any(FaultDiagnostic {
+                                rank: self.id,
+                                waiting_on: to,
+                                tag,
+                                expected_seq: t.next_seq[to],
+                                waited: Duration::ZERO,
+                                note: format!(
+                                    "rank {} lost (injected kill after {} sends)",
+                                    self.id, kill.after_sends
+                                ),
+                            });
+                        }
+                    }
+                    t.sent_total += 1;
                     let seq = t.next_seq[to];
                     t.next_seq[to] += 1;
                     t.history[to].push((seq, tag, payload.clone()));
@@ -245,19 +295,18 @@ impl Rank {
 
     /// Fault-tolerant receive: accept each source channel strictly in
     /// sequence order (stashing early arrivals, discarding duplicates),
-    /// answer NACKs from starving peers, NACK the peer *we* are starving
-    /// on after every quiet period, and abort with a [`FaultDiagnostic`]
-    /// once the deadline passes.
+    /// answer NACKs from starving peers, apply and emit cumulative acks,
+    /// NACK the peer *we* are starving on after each (exponentially
+    /// backed-off) quiet period, and abort with a [`FaultDiagnostic`]
+    /// once the deadline passes or the retry cap is reached.
     fn recv_reliable(&self, from: usize, tag: Tag) -> Vec<f64> {
         let cell = self
             .transport
             .as_ref()
             .expect("reliable recv needs transport");
-        let (quiet, deadline) = {
-            let t = cell.borrow();
-            (t.spec.quiet, t.spec.deadline)
-        };
+        let spec = cell.borrow().spec;
         let start = Instant::now();
+        let mut attempt: u32 = 0;
         loop {
             // Anything already accepted and parked?
             {
@@ -266,13 +315,17 @@ impl Rank {
                     return parked.remove(pos).expect("position just found").payload;
                 }
             }
-            match self.inbox.recv_timeout(quiet) {
+            match self.inbox.recv_timeout(spec.backoff_schedule(attempt)) {
                 Ok(msg) => match msg.kind {
                     MsgKind::Nack { expected } => self.retransmit(msg.from, expected),
+                    MsgKind::Ack { upto } => {
+                        cell.borrow_mut().handle_ack(msg.from, upto);
+                    }
                     MsgKind::Data { seq } => {
                         // Accept in order; stash the future; drop the past.
                         let src = msg.from;
                         let mut accepted: Vec<Message> = Vec::new();
+                        let mut ack_due: Option<u64> = None;
                         {
                             let mut t = cell.borrow_mut();
                             if seq < t.expected[src] {
@@ -291,6 +344,26 @@ impl Rank {
                                 t.expected[src] += 1;
                                 accepted.push(next);
                             }
+                            // Cumulative ack every `ack_interval` accepted
+                            // messages, so the sender can prune history.
+                            if t.spec.ack_interval > 0 {
+                                t.since_ack[src] += accepted.len() as u64;
+                                if t.since_ack[src] >= t.spec.ack_interval {
+                                    t.since_ack[src] = 0;
+                                    ack_due = Some(t.expected[src]);
+                                }
+                            }
+                        }
+                        if let Some(upto) = ack_due {
+                            self.deliver(
+                                src,
+                                Message {
+                                    from: self.id,
+                                    tag: 0,
+                                    payload: Vec::new(),
+                                    kind: MsgKind::Ack { upto },
+                                },
+                            );
                         }
                         let mut hit = None;
                         {
@@ -310,7 +383,7 @@ impl Rank {
                 },
                 Err(RecvTimeoutError::Timeout) => {
                     let expected_seq = cell.borrow().expected[from];
-                    if start.elapsed() >= deadline {
+                    if start.elapsed() >= spec.deadline {
                         std::panic::panic_any(FaultDiagnostic {
                             rank: self.id,
                             waiting_on: from,
@@ -319,6 +392,19 @@ impl Rank {
                             waited: start.elapsed(),
                             note: "recovery deadline exceeded; channel too lossy or peer gone"
                                 .to_string(),
+                        });
+                    }
+                    if attempt >= spec.max_retries {
+                        std::panic::panic_any(FaultDiagnostic {
+                            rank: self.id,
+                            waiting_on: from,
+                            tag,
+                            expected_seq,
+                            waited: start.elapsed(),
+                            note: format!(
+                                "retry cap reached ({} NACKs unanswered)",
+                                spec.max_retries
+                            ),
                         });
                     }
                     // Ask the peer we are starving on to retransmit.
@@ -333,6 +419,7 @@ impl Rank {
                             },
                         },
                     );
+                    attempt += 1;
                 }
                 Err(RecvTimeoutError::Disconnected) => {
                     let expected_seq = cell.borrow().expected[from];
@@ -373,7 +460,7 @@ impl Rank {
             drop(held);
             out.sort_by_key(|m| match m.kind {
                 MsgKind::Data { seq } => seq,
-                MsgKind::Nack { .. } => u64::MAX,
+                MsgKind::Nack { .. } | MsgKind::Ack { .. } => u64::MAX,
             });
             out
         };
@@ -801,6 +888,83 @@ mod fault_tests {
         );
         let rendered = err.to_string();
         assert!(rendered.contains("gave up"), "{rendered}");
+    }
+
+    #[test]
+    fn duplicate_acks_are_idempotent() {
+        let mut t = Transport::new(FaultSpec::clean(0), 0, 2);
+        for seq in 0..6u64 {
+            t.history[1].push((seq, 7, vec![seq as f64]));
+        }
+        assert!(t.handle_ack(1, 3), "first ack prunes");
+        assert_eq!(t.history[1].len(), 3);
+        assert_eq!(t.acked_in[1], 3);
+        // The duplicate is a no-op: same state after as before.
+        assert!(!t.handle_ack(1, 3), "duplicate ack is a no-op");
+        assert_eq!(t.history[1].len(), 3);
+        assert_eq!(t.acked_in[1], 3);
+        // A stale (lower) ack arriving late is also a no-op.
+        assert!(!t.handle_ack(1, 2), "stale ack is a no-op");
+        assert_eq!(t.history[1].len(), 3);
+        assert_eq!(t.acked_in[1], 3);
+        // A newer ack advances normally.
+        assert!(t.handle_ack(1, 6));
+        assert!(t.history[1].is_empty());
+    }
+
+    #[test]
+    fn retries_are_capped_with_a_loud_diagnostic() {
+        // A peer that exits without sending never answers NACKs; with the
+        // deadline far away, the retry cap (not the deadline) must end
+        // the starved receive.
+        let mut spec = FaultSpec::clean(17);
+        spec.quiet = Duration::from_millis(2);
+        spec.deadline = Duration::from_secs(30);
+        spec.max_retries = 3;
+        let err = run_spmd_faulty(2, spec, |rank| {
+            if rank.id() == 0 {
+                rank.recv(1, 4)[0]
+            } else {
+                0.0 // exits immediately, sending nothing
+            }
+        })
+        .expect_err("a silent peer cannot satisfy the receive");
+        assert!(
+            err.note.contains("retry cap"),
+            "unexpected note: {}",
+            err.note
+        );
+        assert!(err.note.contains('3'), "cap value in note: {}", err.note);
+    }
+
+    #[test]
+    fn ack_pruning_preserves_bit_identical_recovery() {
+        // An aggressive ack cadence (prune after every 2 accepted
+        // messages) must not break NACK recovery on a lossy channel:
+        // acked history is by definition never re-requested.
+        let plain = run_spmd(3, workload);
+        let mut spec = FaultSpec::lossy(21);
+        spec.quiet = Duration::from_millis(5);
+        spec.ack_interval = 2;
+        let faulty = run_spmd_faulty(3, spec, workload).expect("must recover");
+        assert_eq!(plain, faulty);
+    }
+
+    #[test]
+    fn injected_rank_loss_surfaces_as_diagnostic() {
+        let mut spec = FaultSpec::clean(23);
+        spec.quiet = Duration::from_millis(5);
+        spec.deadline = Duration::from_millis(250);
+        spec.kill_rank = Some(crate::fault::KillSpec {
+            rank: 1,
+            after_sends: 4,
+        });
+        let err = run_spmd_faulty(3, spec, workload).expect_err("a dead rank cannot finish");
+        assert!(
+            err.note.contains("lost") || err.note.contains("deadline"),
+            "unexpected note: {}",
+            err.note
+        );
     }
 
     #[test]

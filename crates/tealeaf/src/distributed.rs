@@ -14,6 +14,9 @@
 //! so a distributed run is **bit-identical** to the serial reference for
 //! any rank count (asserted by the integration tests).
 
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
 use mpisim::{run_spmd, run_spmd_faulty, FaultDiagnostic, FaultSpec, Rank, Tag};
 use tea_core::config::TeaConfig;
 use tea_core::field::Field2d;
@@ -39,6 +42,7 @@ pub fn stripe_rows(y_cells: usize, rank: usize, size: usize) -> (usize, usize) {
 }
 
 /// One rank's stripe of the global problem.
+#[derive(Clone)]
 struct Stripe {
     mesh: Mesh2d,
     density: Vec<f64>,
@@ -154,76 +158,254 @@ pub fn run_distributed_cg_faulty(
     Ok(first)
 }
 
+/// How many checkpoints each rank's ring keeps. Ranks run in lockstep
+/// (every CG iteration has ordered allreduces), so any two ranks' latest
+/// checkpoints are at most one interval apart — a ring of a few entries
+/// always contains a key common to all ranks.
+const CHECKPOINT_KEEP: usize = 4;
+
+/// One rank's mid-solve snapshot: the complete stripe (halo cells
+/// included) plus the CG loop state needed to replay from here
+/// bit-exactly.
+struct StripeCheckpoint {
+    /// Timestep the snapshot belongs to (1-based).
+    step: usize,
+    /// CG iteration at snapshot time (top of loop, before the halo).
+    iteration: usize,
+    rro: f64,
+    initial: f64,
+    total_iterations: usize,
+    converged_all: bool,
+    stripe: Stripe,
+}
+
+/// Shared checkpoint registry for one resilient distributed run: one
+/// bounded ring of [`StripeCheckpoint`]s per rank, written by the rank
+/// threads mid-solve and read by the restart loop after a world dies.
+pub struct CheckpointStore {
+    slots: Vec<Mutex<VecDeque<StripeCheckpoint>>>,
+}
+
+impl CheckpointStore {
+    fn new(ranks: usize) -> Self {
+        CheckpointStore {
+            slots: (0..ranks).map(|_| Mutex::new(VecDeque::new())).collect(),
+        }
+    }
+
+    fn save(&self, rank: usize, ck: StripeCheckpoint) {
+        let mut ring = self.slots[rank].lock().expect("checkpoint lock");
+        // A restarted attempt re-saves the same keys with identical bits
+        // (the replay is deterministic); replace rather than duplicate.
+        ring.retain(|c| (c.step, c.iteration) != (ck.step, ck.iteration));
+        ring.push_back(ck);
+        while ring.len() > CHECKPOINT_KEEP {
+            ring.pop_front();
+        }
+    }
+
+    /// The most advanced `(step, iteration)` present in **every** rank's
+    /// ring — the consistent cut a restart resumes from. `None` means no
+    /// common checkpoint exists yet (restart from scratch).
+    fn latest_common(&self) -> Option<(usize, usize)> {
+        let mut common: Option<Vec<(usize, usize)>> = None;
+        for slot in &self.slots {
+            let keys: Vec<(usize, usize)> = slot
+                .lock()
+                .expect("checkpoint lock")
+                .iter()
+                .map(|c| (c.step, c.iteration))
+                .collect();
+            common = Some(match common {
+                None => keys,
+                Some(prev) => prev.into_iter().filter(|k| keys.contains(k)).collect(),
+            });
+        }
+        common.and_then(|keys| keys.into_iter().max())
+    }
+
+    /// Clone rank `rank`'s checkpoint for `key`, if present.
+    fn get(&self, rank: usize, key: (usize, usize)) -> Option<StripeCheckpoint> {
+        self.slots[rank]
+            .lock()
+            .expect("checkpoint lock")
+            .iter()
+            .find(|c| (c.step, c.iteration) == key)
+            .map(|c| StripeCheckpoint {
+                step: c.step,
+                iteration: c.iteration,
+                rro: c.rro,
+                initial: c.initial,
+                total_iterations: c.total_iterations,
+                converged_all: c.converged_all,
+                stripe: c.stripe.clone(),
+            })
+    }
+}
+
+/// Checkpoint-restarting distributed CG: run under the fault-injected
+/// transport, checkpointing every `tl_checkpoint_interval` CG iterations
+/// into a [`CheckpointStore`]; when the world dies (e.g. an injected
+/// [`mpisim::KillSpec`] rank loss), relaunch it up to `max_restarts`
+/// times, resuming every rank from the latest checkpoint present on
+/// *all* ranks. Later attempts drop the kill (a transient crash — the
+/// node comes back) and remix the fault seed deterministically; neither
+/// affects numerics, so the recovered report is **bit-identical** to the
+/// clean run's. Returns the report and the number of restarts used.
+pub fn run_distributed_cg_resilient(
+    ranks: usize,
+    config: &TeaConfig,
+    spec: FaultSpec,
+    max_restarts: usize,
+) -> Result<(DistributedReport, usize), FaultDiagnostic> {
+    let store = CheckpointStore::new(ranks);
+    let mut last_err: Option<FaultDiagnostic> = None;
+    for attempt in 0..=max_restarts {
+        let mut attempt_spec = spec;
+        if attempt > 0 {
+            attempt_spec.kill_rank = None;
+            attempt_spec.seed = spec.seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+        let resume_key = if attempt == 0 {
+            None
+        } else {
+            store.latest_common()
+        };
+        let resumes: Vec<Option<StripeCheckpoint>> = (0..ranks)
+            .map(|r| resume_key.and_then(|key| store.get(r, key)))
+            .collect();
+        let result = run_spmd_faulty(ranks, attempt_spec, |rank| {
+            body_with_recovery(rank, config, Some(&store), resumes[rank.id()].as_ref())
+        });
+        match result {
+            Ok(reports) => {
+                let first = reports[0].clone();
+                for r in &reports {
+                    assert_eq!(*r, first, "ranks must agree on the global result");
+                }
+                return Ok((first, attempt));
+            }
+            Err(diag) => last_err = Some(diag),
+        }
+    }
+    Err(last_err.expect("at least one attempt ran"))
+}
+
 fn spmd_body(rank: &Rank, config: &TeaConfig) -> DistributedReport {
+    body_with_recovery(rank, config, None, None)
+}
+
+fn body_with_recovery(
+    rank: &Rank,
+    config: &TeaConfig,
+    store: Option<&CheckpointStore>,
+    resume: Option<&StripeCheckpoint>,
+) -> DistributedReport {
     const TAG_DENSITY: Tag = 1;
     const TAG_ENERGY: Tag = 2;
     const TAG_U: Tag = 3;
     const TAG_P: Tag = 4;
 
-    let mut s = Stripe::build(config, rank.id(), rank.size());
+    // Resuming replays from the snapshot's exact bits: the stripe clone
+    // already holds the step's generated fields, coefficients and the
+    // CG vectors as they were at the checkpointed iteration, so the
+    // start-of-run exchanges and the dead step prefix are all skipped.
+    let mut s = match resume {
+        Some(ck) => ck.stripe.clone(),
+        None => Stripe::build(config, rank.id(), rank.size()),
+    };
     let mesh = s.mesh.clone();
     let (rx, ry) = mesh.rx_ry(config.initial_timestep);
     let rows = mesh.i0()..mesh.j1();
 
-    Stripe::halo_exchange(&mut s.density, &mesh, rank, TAG_DENSITY, config.halo_depth);
-    Stripe::halo_exchange(&mut s.energy, &mesh, rank, TAG_ENERGY, config.halo_depth);
+    if resume.is_none() {
+        Stripe::halo_exchange(&mut s.density, &mesh, rank, TAG_DENSITY, config.halo_depth);
+        Stripe::halo_exchange(&mut s.energy, &mesh, rank, TAG_ENERGY, config.halo_depth);
+    }
 
-    let mut total_iterations = 0;
-    let mut converged_all = true;
-    for _step in 1..=config.end_step {
-        // init fields
-        {
-            let (u0, u) = (Us::new(&mut s.u0), Us::new(&mut s.u));
-            for j in rows.clone() {
-                // SAFETY: single-threaded within the rank.
-                unsafe { common::row_init_u0(&mesh, j, &s.density, &s.energy, &u0, &u) };
+    let mut total_iterations = resume.map_or(0, |ck| ck.total_iterations);
+    let mut converged_all = resume.is_none_or(|ck| ck.converged_all);
+    let first_step = resume.map_or(1, |ck| ck.step);
+    for step in first_step..=config.end_step {
+        let resumed = matches!(resume, Some(ck) if ck.step == step);
+        if !resumed {
+            // init fields
+            {
+                let (u0, u) = (Us::new(&mut s.u0), Us::new(&mut s.u));
+                for j in rows.clone() {
+                    // SAFETY: single-threaded within the rank.
+                    unsafe { common::row_init_u0(&mesh, j, &s.density, &s.energy, &u0, &u) };
+                }
             }
-        }
-        {
-            let (kx, ky) = (Us::new(&mut s.kx), Us::new(&mut s.ky));
-            for j in mesh.i0()..=mesh.j1() {
-                // SAFETY: single-threaded within the rank.
-                unsafe {
-                    common::row_init_coeffs(
-                        &mesh,
-                        j,
-                        config.coefficient,
-                        rx,
-                        ry,
-                        &s.density,
-                        &kx,
-                        &ky,
-                    )
-                };
-            }
-        }
-        Stripe::halo_exchange(&mut s.u, &mesh, rank, TAG_U, 1);
-
-        // CG init (per-row partials; exactly-ordered global reduction)
-        let mut rro = {
-            let (w, r, p, z) = (
-                Us::new(&mut s.w),
-                Us::new(&mut s.r),
-                Us::new(&mut s.p),
-                Us::new(&mut s.z),
-            );
-            let partials: Vec<f64> = rows
-                .clone()
-                .map(|j| {
+            {
+                let (kx, ky) = (Us::new(&mut s.kx), Us::new(&mut s.ky));
+                for j in mesh.i0()..=mesh.j1() {
                     // SAFETY: single-threaded within the rank.
                     unsafe {
-                        common::row_cg_init(
-                            &mesh, j, false, &s.u, &s.u0, &s.kx, &s.ky, &w, &r, &p, &z,
+                        common::row_init_coeffs(
+                            &mesh,
+                            j,
+                            config.coefficient,
+                            rx,
+                            ry,
+                            &s.density,
+                            &kx,
+                            &ky,
                         )
-                    }
-                })
-                .collect();
-            rank.allreduce_ordered(&partials)
+                    };
+                }
+            }
+            Stripe::halo_exchange(&mut s.u, &mesh, rank, TAG_U, 1);
+        }
+
+        // CG init (per-row partials; exactly-ordered global reduction) —
+        // skipped on the resumed step, whose loop state comes from the
+        // checkpoint instead.
+        let (mut rro, initial, mut iterations) = if resumed {
+            let ck = resume.expect("resumed implies a checkpoint");
+            (ck.rro, ck.initial, ck.iteration)
+        } else {
+            let rro = {
+                let (w, r, p, z) = (
+                    Us::new(&mut s.w),
+                    Us::new(&mut s.r),
+                    Us::new(&mut s.p),
+                    Us::new(&mut s.z),
+                );
+                let partials: Vec<f64> = rows
+                    .clone()
+                    .map(|j| {
+                        // SAFETY: single-threaded within the rank.
+                        unsafe {
+                            common::row_cg_init(
+                                &mesh, j, false, &s.u, &s.u0, &s.kx, &s.ky, &w, &r, &p, &z,
+                            )
+                        }
+                    })
+                    .collect();
+                rank.allreduce_ordered(&partials)
+            };
+            (rro, rro, 0)
         };
-        let initial = rro;
-        let mut iterations = 0;
         let mut converged = initial.abs() <= f64::MIN_POSITIVE;
         while !converged && iterations < config.tl_max_iters {
+            if let Some(store) = store {
+                let interval = config.tl_checkpoint_interval;
+                if interval > 0 && iterations.is_multiple_of(interval) {
+                    store.save(
+                        rank.id(),
+                        StripeCheckpoint {
+                            step,
+                            iteration: iterations,
+                            rro,
+                            initial,
+                            total_iterations,
+                            converged_all,
+                            stripe: s.clone(),
+                        },
+                    );
+                }
+            }
             Stripe::halo_exchange(&mut s.p, &mesh, rank, TAG_P, 1);
             let pw = {
                 let w = Us::new(&mut s.w);
@@ -342,6 +524,71 @@ mod tests {
         spec.quiet = std::time::Duration::from_millis(2);
         let lossy = run_distributed_cg_faulty(2, &cfg, spec).expect("recoverable network");
         assert_eq!(lossy, plain, "recovered run must be bit-identical");
+    }
+
+    #[test]
+    fn resilient_run_without_faults_uses_no_restarts() {
+        let mut cfg = TeaConfig::paper_problem(16);
+        cfg.end_step = 1;
+        cfg.tl_eps = 1.0e-10;
+        cfg.tl_checkpoint_interval = 5;
+        let plain = run_distributed_cg(2, &cfg);
+        let (report, restarts) =
+            run_distributed_cg_resilient(2, &cfg, FaultSpec::clean(31), 2).expect("clean world");
+        assert_eq!(restarts, 0);
+        assert_eq!(report, plain, "checkpointing must be numerically inert");
+    }
+
+    #[test]
+    fn killed_rank_replays_from_checkpoint_bit_identically() {
+        let mut cfg = TeaConfig::paper_problem(16);
+        cfg.end_step = 2;
+        cfg.tl_eps = 1.0e-12;
+        cfg.tl_checkpoint_interval = 2;
+        let plain = run_distributed_cg(2, &cfg);
+
+        let mut spec = FaultSpec::clean(37);
+        spec.quiet = std::time::Duration::from_millis(2);
+        spec.deadline = std::time::Duration::from_millis(250);
+        // Kill rank 1 deep enough into its send schedule that both ranks
+        // are mid-CG with checkpoints behind them.
+        spec.kill_rank = Some(mpisim::KillSpec {
+            rank: 1,
+            after_sends: 25,
+        });
+        // Without restart, the world must die loudly...
+        run_distributed_cg_faulty(2, &cfg, spec).expect_err("a dead rank cannot finish");
+        // ...with restart, it must finish bit-identical to the clean run.
+        let (report, restarts) =
+            run_distributed_cg_resilient(2, &cfg, spec, 2).expect("restart must recover");
+        assert!(restarts >= 1, "the kill must have forced a restart");
+        assert_eq!(
+            report, plain,
+            "replay from checkpoint must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn kill_before_any_checkpoint_restarts_from_scratch() {
+        let mut cfg = TeaConfig::paper_problem(16);
+        cfg.end_step = 1;
+        cfg.tl_eps = 1.0e-10;
+        // Interval larger than the iteration count: only the iteration-0
+        // checkpoint exists, so the restart is effectively from scratch —
+        // still bit-identical.
+        cfg.tl_checkpoint_interval = 10_000;
+        let plain = run_distributed_cg(2, &cfg);
+        let mut spec = FaultSpec::clean(41);
+        spec.quiet = std::time::Duration::from_millis(2);
+        spec.deadline = std::time::Duration::from_millis(250);
+        spec.kill_rank = Some(mpisim::KillSpec {
+            rank: 0,
+            after_sends: 2,
+        });
+        let (report, restarts) =
+            run_distributed_cg_resilient(2, &cfg, spec, 2).expect("restart must recover");
+        assert!(restarts >= 1);
+        assert_eq!(report, plain);
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub fn run_simulation_seeded(
     config: &TeaConfig,
     seed: u64,
 ) -> Result<RunReport, PortError> {
-    let problem = Problem::from_config(config);
+    let problem = Problem::from_config(config)?;
     let mut port = make_port(model, device.clone(), &problem, seed)?;
     let report = drive(port.as_mut(), &problem, device, config);
     Ok(report)
@@ -56,7 +56,10 @@ pub fn drive(
     let mut total_iterations = 0;
     let mut converged = true;
     let mut eigenvalues = None;
-    for _step in 1..=config.end_step {
+    let mut recoveries = Vec::new();
+    let mut health = Vec::new();
+    let mut failed_step = None;
+    for step in 1..=config.end_step {
         port.init_fields(config.coefficient, rx, ry);
         port.halo_update(&[FieldId::U], 1);
         let outcome = solver::solve(port, config);
@@ -64,6 +67,22 @@ pub fn drive(
         converged &= outcome.converged;
         if outcome.eigenvalues.is_some() {
             eigenvalues = outcome.eigenvalues;
+        }
+        let fatal = outcome.health.iter().any(|h| h.is_fatal());
+        for mut event in outcome.recoveries {
+            event.step = step;
+            recoveries.push(event);
+        }
+        for event in outcome.health {
+            health.push((step, event));
+        }
+        if fatal {
+            // The recovery chain is exhausted: every later step would
+            // solve on garbage state and accumulate garbage iterations.
+            // Stop here and report the step the run died on.
+            failed_step = Some(step);
+            converged = false;
+            break;
         }
         port.finalise();
         port.halo_update(&[FieldId::Energy1], 1);
@@ -82,6 +101,9 @@ pub fn drive(
         sim: port.context().clock.snapshot(),
         wall_seconds: start.elapsed().as_secs_f64(),
         eigenvalues,
+        recoveries,
+        health,
+        failed_step,
     }
 }
 

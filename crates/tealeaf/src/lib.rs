@@ -18,6 +18,10 @@
 //!   named quirks, with the paper observation justifying every number.
 //! * [`driver`] — the timestep loop: [`run_simulation`] takes a model, a
 //!   device and a [`tea_core::TeaConfig`] and returns a [`RunReport`].
+//! * [`resilience`] — numerical-health sentinels on every solver's
+//!   residual stream, bit-exact checkpoint/rollback through the
+//!   cost-free observation hooks, and configurable fallback chains; a
+//!   recovered transient fault finishes bit-identical to a clean run.
 
 pub mod cheby;
 pub mod distributed;
@@ -30,6 +34,7 @@ pub mod problem;
 pub mod profiles;
 pub mod recorder;
 pub mod report;
+pub mod resilience;
 pub mod solver;
 
 pub use driver::{run_simulation, run_simulation_seeded, run_solve};
@@ -37,3 +42,4 @@ pub use kernels::{NormField, TeaLeafPort};
 pub use model_id::ModelId;
 pub use problem::Problem;
 pub use report::RunReport;
+pub use resilience::{RecoveryAction, RecoveryEvent, Sentinel, SolverHealth};

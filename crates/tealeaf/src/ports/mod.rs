@@ -23,13 +23,15 @@ use crate::model_id::ModelId;
 use crate::problem::Problem;
 
 /// Why a port could not be constructed.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PortError {
     /// Table 1: the model has no implementation for this device.
     Unsupported {
         model: ModelId,
         device: &'static str,
     },
+    /// The deck failed [`tea_core::config::TeaConfig::validate`].
+    InvalidConfig(tea_core::config::InvalidConfig),
 }
 
 impl fmt::Display for PortError {
@@ -43,11 +45,18 @@ impl fmt::Display for PortError {
                     device
                 )
             }
+            PortError::InvalidConfig(err) => write!(f, "invalid deck: {err}"),
         }
     }
 }
 
 impl std::error::Error for PortError {}
+
+impl From<tea_core::config::InvalidConfig> for PortError {
+    fn from(err: tea_core::config::InvalidConfig) -> Self {
+        PortError::InvalidConfig(err)
+    }
+}
 
 /// Construct the port for `model` on `device`, pre-loaded with
 /// `problem`'s initial fields. Fails for combinations Table 1 marks
@@ -91,7 +100,7 @@ mod tests {
 
     #[test]
     fn unsupported_combinations_fail() {
-        let problem = Problem::from_config(&TeaConfig::paper_problem(16));
+        let problem = Problem::from_config(&TeaConfig::paper_problem(16)).expect("valid config");
         let err = make_port(ModelId::Cuda, devices::cpu_xeon_e5_2670_x2(), &problem, 1);
         assert!(err.is_err());
         let err = make_port(ModelId::Raja, devices::gpu_k20x(), &problem, 1);
@@ -104,7 +113,7 @@ mod tests {
 
     #[test]
     fn every_supported_combination_constructs() {
-        let problem = Problem::from_config(&TeaConfig::paper_problem(8));
+        let problem = Problem::from_config(&TeaConfig::paper_problem(8)).expect("valid config");
         for device in devices::paper_devices() {
             for model in ModelId::ALL {
                 let result = make_port(model, device.clone(), &problem, 1);

@@ -1,6 +1,6 @@
 //! Problem assembly: mesh plus generated initial fields.
 
-use tea_core::config::TeaConfig;
+use tea_core::config::{InvalidConfig, TeaConfig};
 use tea_core::field::Field2d;
 use tea_core::mesh::Mesh2d;
 use tea_core::state::generate_chunk;
@@ -16,17 +16,21 @@ pub struct Problem {
 
 impl Problem {
     /// Generate the initial chunk for `config` (states applied in order).
-    pub fn from_config(config: &TeaConfig) -> Self {
+    /// Degenerate decks (zero-cell meshes, non-positive tolerances, a zero
+    /// iteration budget, ...) are rejected here with a typed error instead
+    /// of panicking deep inside mesh setup.
+    pub fn from_config(config: &TeaConfig) -> Result<Self, InvalidConfig> {
+        config.validate()?;
         let mesh = config.mesh();
         let mut density = Field2d::zeros(&mesh);
         let mut energy = Field2d::zeros(&mesh);
         generate_chunk(&mesh, &config.states, &mut density, &mut energy);
-        Problem {
+        Ok(Problem {
             mesh,
             density,
             energy,
             config: config.clone(),
-        }
+        })
     }
 
     /// `rx`/`ry` diffusion numbers for this problem's timestep.
@@ -42,7 +46,7 @@ mod tests {
     #[test]
     fn default_problem_generates_states() {
         let cfg = TeaConfig::paper_problem(32);
-        let p = Problem::from_config(&cfg);
+        let p = Problem::from_config(&cfg).expect("valid config");
         assert_eq!(p.mesh.x_cells, 32);
         // background density is 100, overlay rectangles 0.1
         let d = p.density.as_slice();
@@ -53,10 +57,36 @@ mod tests {
     #[test]
     fn rx_ry_consistent_with_mesh() {
         let cfg = TeaConfig::paper_problem(64);
-        let p = Problem::from_config(&cfg);
+        let p = Problem::from_config(&cfg).expect("valid config");
         let (rx, ry) = p.rx_ry();
         let d = 10.0 / 64.0;
         assert!((rx - cfg.initial_timestep / (d * d)).abs() < 1e-12);
         assert_eq!(rx, ry);
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected_with_typed_errors() {
+        use tea_core::config::InvalidConfig;
+        let mut cfg = TeaConfig::paper_problem(16);
+        cfg.x_cells = 0;
+        assert_eq!(
+            Problem::from_config(&cfg).unwrap_err(),
+            InvalidConfig::EmptyMesh {
+                x_cells: 0,
+                y_cells: 16
+            }
+        );
+        let mut cfg = TeaConfig::paper_problem(16);
+        cfg.tl_eps = -1.0;
+        assert_eq!(
+            Problem::from_config(&cfg).unwrap_err(),
+            InvalidConfig::NonPositiveEps(-1.0)
+        );
+        let mut cfg = TeaConfig::paper_problem(16);
+        cfg.tl_max_iters = 0;
+        assert_eq!(
+            Problem::from_config(&cfg).unwrap_err(),
+            InvalidConfig::ZeroMaxIters
+        );
     }
 }

@@ -272,7 +272,7 @@ mod tests {
     fn recording_is_transparent_and_logs_the_cg_schedule() {
         let cpu = devices::cpu_xeon_e5_2670_x2();
         let cfg = config(SolverKind::ConjugateGradient);
-        let problem = Problem::from_config(&cfg);
+        let problem = Problem::from_config(&cfg).expect("valid config");
 
         let mut bare = make_port(ModelId::Serial, cpu.clone(), &problem, 1).unwrap();
         let plain = crate::driver::drive(bare.as_mut(), &problem, &cpu, &cfg);
@@ -302,7 +302,7 @@ mod tests {
     fn fused_capability_forwards() {
         let cpu = devices::cpu_xeon_e5_2670_x2();
         let cfg = config(SolverKind::ConjugateGradient);
-        let problem = Problem::from_config(&cfg);
+        let problem = Problem::from_config(&cfg).expect("valid config");
         for model in [ModelId::Serial, ModelId::Cuda] {
             let device = if model == ModelId::Cuda {
                 devices::gpu_k20x()

@@ -5,6 +5,7 @@ use tea_core::config::SolverKind;
 use tea_core::summary::Summary;
 
 use crate::model_id::ModelId;
+use crate::resilience::{RecoveryEvent, SolverHealth};
 
 /// The result of one full simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +29,14 @@ pub struct RunReport {
     pub wall_seconds: f64,
     /// Eigenvalue estimate from the last step (Chebyshev/PPCG).
     pub eigenvalues: Option<(f64, f64)>,
+    /// Every recovery action the resilience layer took, stamped with the
+    /// timestep it happened in (empty on healthy runs).
+    pub recoveries: Vec<RecoveryEvent>,
+    /// Every sentinel trip, as `(step, event)` (empty on healthy runs).
+    pub health: Vec<(usize, SolverHealth)>,
+    /// The step an unrecoverable solve died on; `None` when the run
+    /// completed all `steps`.
+    pub failed_step: Option<usize>,
 }
 
 impl RunReport {
@@ -72,6 +81,9 @@ mod tests {
             },
             wall_seconds: 0.5,
             eigenvalues: None,
+            recoveries: Vec::new(),
+            health: Vec::new(),
+            failed_step: None,
         }
     }
 

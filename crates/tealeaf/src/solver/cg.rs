@@ -4,6 +4,7 @@ use tea_core::config::TeaConfig;
 use tea_core::halo::FieldId;
 
 use crate::kernels::TeaLeafPort;
+use crate::resilience::{PhaseGuard, PhaseVerdict};
 use crate::solver::SolveOutcome;
 
 /// The coefficient history a CG phase produces — the Lanczos data
@@ -17,31 +18,47 @@ pub struct CgHistory {
 /// Run plain CG to convergence.
 pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
     let mut history = CgHistory::default();
-    let (outcome, _) = run_phase(
+    let mut guard = PhaseGuard::new(config);
+    let (mut outcome, _) = run_phase(
         port,
         config.tl_preconditioner,
         config.tl_eps,
         config.tl_max_iters,
         &mut history,
+        &mut guard,
     );
+    outcome.health = guard.events;
+    outcome.recoveries = guard.recoveries;
     outcome
 }
 
 /// Run a CG phase for at most `max_iters` iterations, recording the α/β
 /// history. Returns the outcome and `rro` after the last iteration (the
 /// live residual measure, used when another solver continues from here).
+///
+/// The `guard` supplies the resilience hooks: it is armed with the
+/// phase's initial residual, observes every `rrn`, captures a bit-exact
+/// field checkpoint every `tl_checkpoint_interval` iterations, and on a
+/// transient sentinel trip (NaN/Inf or divergence) rolls the phase back
+/// to the last checkpoint — iteration counter, `rro` and the α/β history
+/// included, so a recovered phase is indistinguishable from one that
+/// never faulted. Sentinel trips that cannot be rolled back end the
+/// phase and land in `guard.events`.
 pub fn run_phase(
     port: &mut dyn TeaLeafPort,
     preconditioner: bool,
     eps: f64,
     max_iters: usize,
     history: &mut CgHistory,
+    guard: &mut PhaseGuard,
 ) -> (SolveOutcome, f64) {
     let mut rro = port.cg_init(preconditioner);
     let initial = rro;
+    guard.arm(initial);
     let mut iterations = 0;
     let mut converged = initial.abs() <= f64::MIN_POSITIVE; // trivially solved
     while !converged && iterations < max_iters {
+        guard.maybe_checkpoint(port, iterations, rro, history.alphas.len());
         port.halo_update(&[FieldId::P], 1);
         let pw = port.cg_calc_w();
         let alpha = rro / pw;
@@ -62,16 +79,25 @@ pub fn run_phase(
         iterations += 1;
         if rrn.abs() <= eps * initial.abs() {
             converged = true;
+        } else {
+            match guard.on_residual(port, iterations, rrn) {
+                PhaseVerdict::Continue => {}
+                PhaseVerdict::RolledBack {
+                    iteration,
+                    rro: ck_rro,
+                    history_len,
+                } => {
+                    iterations = iteration;
+                    rro = ck_rro;
+                    history.alphas.truncate(history_len);
+                    history.betas.truncate(history_len);
+                }
+                PhaseVerdict::Bail => break,
+            }
         }
     }
     (
-        SolveOutcome {
-            iterations,
-            converged,
-            final_rrn: rro,
-            initial,
-            eigenvalues: None,
-        },
+        SolveOutcome::clean(iterations, converged, rro, initial, None),
         rro,
     )
 }

@@ -13,6 +13,7 @@ use tea_core::halo::FieldId;
 use crate::cheby::{estimated_iterations, ChebyCoeffs, ChebyShift};
 use crate::eigen::eigenvalue_estimate;
 use crate::kernels::{NormField, TeaLeafPort};
+use crate::resilience::PhaseGuard;
 use crate::solver::cg::{self, CgHistory};
 use crate::solver::SolveOutcome;
 
@@ -22,10 +23,21 @@ pub const CHECK_INTERVAL: usize = 10;
 /// Run the Chebyshev solver (CG presteps + Chebyshev iteration).
 pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
     let mut history = CgHistory::default();
+    let mut guard = PhaseGuard::new(config);
     let presteps = config.tl_ch_cg_presteps.min(config.tl_max_iters);
-    let (pre_outcome, _rro) = cg::run_phase(port, false, config.tl_eps, presteps, &mut history);
-    if pre_outcome.converged {
-        return pre_outcome;
+    let (pre_outcome, _rro) = cg::run_phase(
+        port,
+        false,
+        config.tl_eps,
+        presteps,
+        &mut history,
+        &mut guard,
+    );
+    if pre_outcome.converged || !guard.events.is_empty() {
+        // Converged in the presteps, or the presteps tripped a sentinel
+        // they could not roll back — either way the Chebyshev iteration
+        // must not run on this state.
+        return annotate(pre_outcome, guard);
     }
     let initial = pre_outcome.initial;
 
@@ -38,11 +50,15 @@ pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
             config.tl_eps,
             config.tl_max_iters.saturating_sub(presteps),
             &mut history,
+            &mut guard,
         );
-        return SolveOutcome {
-            iterations: outcome.iterations + pre_outcome.iterations,
-            ..outcome
-        };
+        return annotate(
+            SolveOutcome {
+                iterations: outcome.iterations + pre_outcome.iterations,
+                ..outcome
+            },
+            guard,
+        );
     };
     let shift = ChebyShift::from_bounds(eigmin, eigmax);
     let mut coeffs = ChebyCoeffs::new(shift);
@@ -78,19 +94,34 @@ pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
             rrn = port.calc_2norm(NormField::R);
             if rrn.abs() <= config.tl_eps * initial.abs() {
                 converged = true;
+            } else if let Some(event) = guard.sentinel.observe(iterations, rrn) {
+                // The reduction-free iteration has no per-iteration state
+                // worth rolling back to (the fault is in the eigenvalue
+                // bounds, not a transient): bail to the fallback chain.
+                guard.events.push(event);
+                break;
             }
         }
     }
-    if !converged {
+    if !converged && guard.events.is_empty() {
         // final norm check at budget exhaustion
         rrn = port.calc_2norm(NormField::R);
         converged = rrn.abs() <= config.tl_eps * initial.abs();
+        if !converged {
+            if let Some(event) = guard.sentinel.observe(iterations, rrn) {
+                guard.events.push(event);
+            }
+        }
     }
-    SolveOutcome {
-        iterations,
-        converged,
-        final_rrn: rrn,
-        initial,
-        eigenvalues: Some((eigmin, eigmax)),
-    }
+    annotate(
+        SolveOutcome::clean(iterations, converged, rrn, initial, Some((eigmin, eigmax))),
+        guard,
+    )
+}
+
+/// Move the guard's accumulated events onto the outcome.
+fn annotate(mut outcome: SolveOutcome, guard: PhaseGuard) -> SolveOutcome {
+    outcome.health = guard.events;
+    outcome.recoveries = guard.recoveries;
+    outcome
 }

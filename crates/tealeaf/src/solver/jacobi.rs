@@ -8,11 +8,14 @@ use tea_core::config::TeaConfig;
 use tea_core::halo::FieldId;
 
 use crate::kernels::TeaLeafPort;
+use crate::resilience::Sentinel;
 use crate::solver::SolveOutcome;
 
 /// Run Jacobi sweeps until the iterate change `Σ|Δu|` drops below
 /// `tl_eps` relative to the first sweep's change.
 pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
+    let mut sentinel = Sentinel::new(config);
+    let mut health = Vec::new();
     let mut iterations = 0;
     let mut converged = false;
     let mut initial = 0.0;
@@ -23,18 +26,23 @@ pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
         iterations += 1;
         if iterations == 1 {
             initial = err;
+            sentinel.arm(initial);
             if initial == 0.0 {
                 converged = true; // already the exact solution
+            } else if !initial.is_finite() {
+                // A non-finite first sweep means the inputs are already
+                // poisoned; arm() cannot help, surface it directly.
+                health.push(crate::resilience::SolverHealth::NonFinite { iteration: 1 });
+                break;
             }
         } else if err <= config.tl_eps * initial {
             converged = true;
+        } else if let Some(event) = sentinel.observe(iterations, err) {
+            health.push(event);
+            break;
         }
     }
-    SolveOutcome {
-        iterations,
-        converged,
-        final_rrn: err,
-        initial,
-        eigenvalues: None,
-    }
+    let mut outcome = SolveOutcome::clean(iterations, converged, err, initial, None);
+    outcome.health = health;
+    outcome
 }

@@ -19,6 +19,7 @@ pub mod ppcg;
 use tea_core::config::{SolverKind, TeaConfig};
 
 use crate::kernels::TeaLeafPort;
+use crate::resilience::{self, RecoveryEvent, SolverHealth};
 
 /// Result of one solve (one timestep's implicit solve).
 #[derive(Debug, Clone, PartialEq)]
@@ -34,10 +35,50 @@ pub struct SolveOutcome {
     pub initial: f64,
     /// Eigenvalue bounds estimated during the solve (Chebyshev/PPCG).
     pub eigenvalues: Option<(f64, f64)>,
+    /// Sentinel trips observed during the solve (empty on healthy runs).
+    pub health: Vec<SolverHealth>,
+    /// Recovery actions taken during the solve (empty on healthy runs).
+    pub recoveries: Vec<RecoveryEvent>,
 }
 
-/// Dispatch to the configured solver.
+impl SolveOutcome {
+    /// An outcome with the numeric results and no health events — what
+    /// every solver constructs before the resilience layer annotates it.
+    pub(crate) fn clean(
+        iterations: usize,
+        converged: bool,
+        final_rrn: f64,
+        initial: f64,
+        eigenvalues: Option<(f64, f64)>,
+    ) -> Self {
+        SolveOutcome {
+            iterations,
+            converged,
+            final_rrn,
+            initial,
+            eigenvalues,
+            health: Vec::new(),
+            recoveries: Vec::new(),
+        }
+    }
+}
+
+/// Dispatch to the configured solver. With `tl_resilience` on (the
+/// default) the solve runs under the recovery harness: sentinel trips
+/// roll back to checkpoints and degrade along the fallback chain; on
+/// healthy runs the harness is numerically inert, so results are
+/// bit-identical to a plain dispatch.
 pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
+    if config.tl_resilience {
+        resilience::run_with_recovery(port, config)
+    } else {
+        solve_once(port, config)
+    }
+}
+
+/// Raw single-attempt dispatch: run the configured solver exactly once,
+/// with in-phase sentinels/rollback but no fallback chain.
+pub fn solve_once(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
     match config.solver {
         SolverKind::Jacobi => jacobi::solve(port, config),
         SolverKind::ConjugateGradient => cg::solve(port, config),

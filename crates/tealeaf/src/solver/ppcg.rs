@@ -12,16 +12,25 @@ use tea_core::halo::FieldId;
 use crate::cheby::{ChebyCoeffs, ChebyShift};
 use crate::eigen::eigenvalue_estimate;
 use crate::kernels::{NormField, TeaLeafPort};
+use crate::resilience::PhaseGuard;
 use crate::solver::cg::{self, CgHistory};
 use crate::solver::SolveOutcome;
 
 /// Run the PPCG solver.
 pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
     let mut history = CgHistory::default();
+    let mut guard = PhaseGuard::new(config);
     let presteps = config.tl_ch_cg_presteps.min(config.tl_max_iters);
-    let (pre_outcome, mut rro) = cg::run_phase(port, false, config.tl_eps, presteps, &mut history);
-    if pre_outcome.converged {
-        return pre_outcome;
+    let (pre_outcome, mut rro) = cg::run_phase(
+        port,
+        false,
+        config.tl_eps,
+        presteps,
+        &mut history,
+        &mut guard,
+    );
+    if pre_outcome.converged || !guard.events.is_empty() {
+        return annotate(pre_outcome, guard);
     }
     let initial = pre_outcome.initial;
 
@@ -32,11 +41,15 @@ pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
             config.tl_eps,
             config.tl_max_iters.saturating_sub(presteps),
             &mut history,
+            &mut guard,
         );
-        return SolveOutcome {
-            iterations: outcome.iterations + pre_outcome.iterations,
-            ..outcome
-        };
+        return annotate(
+            SolveOutcome {
+                iterations: outcome.iterations + pre_outcome.iterations,
+                ..outcome
+            },
+            guard,
+        );
     };
     let shift = ChebyShift::from_bounds(eigmin, eigmax);
     let inner = ChebyCoeffs::take_pairs(shift, config.tl_ppcg_inner_steps);
@@ -65,18 +78,26 @@ pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
         iterations += 1;
         if rrn.abs() <= config.tl_eps * initial.abs() {
             converged = true;
-        } else if !rrn.is_finite() || rrn.abs() > 1.0e12 * initial.abs() {
+        } else if let Some(event) = guard.sentinel.observe(iterations, rrn) {
             // Inner Chebyshev smoothing diverges when the eigenvalue
             // bounds miss the top of the spectrum (too few presteps);
-            // bail out instead of looping to tl_max_iters.
+            // with the default `tl_divergence_factor` of 1e12 this trips
+            // exactly where the old hard-coded bail did, but now surfaces
+            // a typed event the fallback chain reacts to (retry with a
+            // widened estimation window) instead of silently giving up.
+            guard.events.push(event);
             break;
         }
     }
-    SolveOutcome {
-        iterations,
-        converged,
-        final_rrn: rro,
-        initial,
-        eigenvalues: Some((eigmin, eigmax)),
-    }
+    annotate(
+        SolveOutcome::clean(iterations, converged, rro, initial, Some((eigmin, eigmax))),
+        guard,
+    )
+}
+
+/// Move the guard's accumulated events onto the outcome.
+fn annotate(mut outcome: SolveOutcome, guard: PhaseGuard) -> SolveOutcome {
+    outcome.health = guard.events;
+    outcome.recoveries = guard.recoveries;
+    outcome
 }

@@ -30,7 +30,7 @@ fn run_with_reduction_factor(
     cfg.solver = solver;
     cfg.end_step = 1;
     cfg.tl_eps = 1.0e-12;
-    let problem = Problem::from_config(&cfg);
+    let problem = Problem::from_config(&cfg).expect("valid config");
     let mut port = make_port(ModelId::OpenCl, device.clone(), &problem, 0).expect("supported");
     let report = driver::drive(port.as_mut(), &problem, device, &cfg);
     let Some(factor) = reduction_factor else {

@@ -106,7 +106,7 @@ fn main() {
     // optional visualisation dump, like the reference mini-app's .vtk files
     if let Ok(path) = std::env::var("TEA_VTK") {
         use tealeaf_repro::tealeaf::{driver, ports::make_port, Problem};
-        let problem = Problem::from_config(&config);
+        let problem = Problem::from_config(&config).expect("valid config");
         let mut port = make_port(model, device.clone(), &problem, 0).expect("supported pair");
         driver::drive(port.as_mut(), &problem, &device, &config);
         let u_flat = port.read_u();

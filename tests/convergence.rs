@@ -43,7 +43,7 @@ fn solution_equilibrates_toward_uniform_temperature() {
     let spread_after = |steps: usize| -> f64 {
         let mut cfg = hot_block(24);
         cfg.end_step = steps;
-        let problem = Problem::from_config(&cfg);
+        let problem = Problem::from_config(&cfg).expect("valid config");
         let mut port = make_port(ModelId::Serial, device.clone(), &problem, 0).unwrap();
         driver::drive(port.as_mut(), &problem, &device, &cfg);
         let u = port.read_u();
@@ -86,7 +86,7 @@ fn symmetric_problem_produces_symmetric_solution() {
     cfg.end_step = 3;
     cfg.tl_eps = 1.0e-14;
     cfg.tl_max_iters = 8_000;
-    let problem = Problem::from_config(&cfg);
+    let problem = Problem::from_config(&cfg).expect("valid config");
     let mut port = make_port(ModelId::Serial, device.clone(), &problem, 0).unwrap();
     driver::drive(port.as_mut(), &problem, &device, &cfg);
     let u = port.read_u();
@@ -125,7 +125,7 @@ fn analytic_cosine_mode_decay_is_exact() {
     cfg.states = vec![State::background(1.0, 1.0)];
 
     // hand-build the problem: density 1, energy = 1 + a·cos·cos
-    let mut problem = Problem::from_config(&cfg);
+    let mut problem = Problem::from_config(&cfg).expect("valid config");
     let mesh = problem.mesh.clone();
     let n = cells as f64;
     let amp = 0.25;

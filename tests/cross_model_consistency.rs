@@ -103,7 +103,7 @@ fn temperature_field_identical_bitwise() {
     let cfg = config(SolverKind::ConjugateGradient, 32);
 
     // Use ports directly to read the raw field back.
-    let problem = tealeaf::Problem::from_config(&cfg);
+    let problem = tealeaf::Problem::from_config(&cfg).expect("valid config");
     let mut reference =
         tealeaf::ports::make_port(ModelId::Serial, cpu.clone(), &problem, 1).unwrap();
     tealeaf::driver::drive(reference.as_mut(), &problem, &cpu, &cfg);

@@ -36,7 +36,7 @@ fn trace_cg(
     fused: bool,
     iters: usize,
 ) -> CgTrace {
-    let problem = Problem::from_config(cfg);
+    let problem = Problem::from_config(cfg).expect("valid config");
     let mut port = make_port(model, device.clone(), &problem, 1).expect("port must build");
     let (rx, ry) = problem.rx_ry();
     port.halo_update(&[FieldId::Density, FieldId::Energy0], 2);
@@ -142,7 +142,7 @@ fn fusion_capability_is_where_the_design_says() {
     // The ports whose underlying runtimes can merge loop bodies advertise
     // fusion; serial (the oracle) and the directive analogues stay split.
     let cpu = devices::cpu_xeon_e5_2670_x2();
-    let problem = Problem::from_config(&random_config(16, 5.0, false));
+    let problem = Problem::from_config(&random_config(16, 5.0, false)).expect("valid config");
     for (model, expect) in [
         (ModelId::Serial, false),
         (ModelId::Omp3F90, true),
