@@ -9,7 +9,7 @@
 use std::fs;
 use std::path::PathBuf;
 
-use tea_bench::{fig10, fig11, fig12, fig8, fig9, table1, table2, Scale};
+use tea_bench::{fig10, fig11, fig12, fig12_kernels, fig8, fig9, table1, table2, Scale};
 
 fn results_dir() -> PathBuf {
     let dir = std::env::var("TEA_RESULTS_DIR")
@@ -62,5 +62,11 @@ fn main() {
     }
     if wanted("fig12") {
         emit("fig12_stream_fraction", &fig12(scale));
+        // The kernel-granularity breakdown behind the averages: one CSV
+        // per device, CG solver.
+        for device in simdev::devices::paper_devices() {
+            let name = format!("fig12_kernels_{}", device.kind.name());
+            emit(&name, &fig12_kernels(&device, scale));
+        }
     }
 }

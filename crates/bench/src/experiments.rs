@@ -218,8 +218,25 @@ pub fn fig11(scale: Scale) -> (Table, Vec<Fig11Point>) {
     (table, points)
 }
 
+/// Fraction of the device's STREAM bandwidth achieved, rebuilt from the
+/// per-kernel profile instead of the aggregate counters. The cost model
+/// attributes every application byte to a named kernel
+/// (`charge_kernel_named`), so the decomposition is exhaustive: summing
+/// per-kernel traffic over total simulated time reproduces
+/// [`RunReport::stream_fraction`] to the bit (a unit test holds the two
+/// together).
+fn per_kernel_fraction(report: &RunReport, device: &DeviceSpec) -> f64 {
+    if report.sim.seconds <= 0.0 {
+        return 0.0;
+    }
+    let bytes: u64 = report.kernel_rows().iter().map(|(_, s)| s.bytes).sum();
+    bytes as f64 / report.sim.seconds / 1e9 / device.stream_bw_gbs
+}
+
 /// **Figure 12** — percentage of STREAM bandwidth achieved by each model,
-/// averaged over the three solvers, per device.
+/// averaged over the three solvers, per device. Computed from the
+/// per-kernel bandwidth metrics (see [`per_kernel_fraction`]); the
+/// kernel-level breakdown the average hides is [`fig12_kernels`].
 pub fn fig12(scale: Scale) -> Table {
     let mut table = Table::new(
         "Figure 12: percentage of STREAM bandwidth achieved, averaged over solvers (higher is better)",
@@ -236,7 +253,7 @@ pub fn fig12(scale: Scale) -> Table {
         for (model, reports) in runtime_figure(&device, scale) {
             let avg = reports
                 .iter()
-                .map(|r| r.stream_fraction(&regime))
+                .map(|r| per_kernel_fraction(r, &regime))
                 .sum::<f64>()
                 / reports.len() as f64;
             if let Some(entry) = rows.iter_mut().find(|(m, _)| *m == model) {
@@ -255,6 +272,66 @@ pub fn fig12(scale: Scale) -> Table {
             cell(fractions[1]),
             cell(fractions[2]),
         ]);
+    }
+    table
+}
+
+/// **Figure 12 at kernel granularity** — per-kernel percentage of STREAM
+/// bandwidth for one device's model set, CG solver, hottest kernel
+/// first. This is the breakdown the aggregate Figure 12 averages away:
+/// the streaming kernels run near the bandwidth ceiling on every model,
+/// while the reduction kernels fall far below it — and the per-model
+/// spread of those reduction rows is what separates the models (§6).
+pub fn fig12_kernels(device: &DeviceSpec, scale: Scale) -> Table {
+    let regime = scale.regime_device(device);
+    let runs: Vec<(ModelId, RunReport)> = figure_models(device.kind)
+        .into_iter()
+        .map(|model| {
+            let cfg = scale.config(SolverKind::ConjugateGradient);
+            let report = run_simulation_seeded(model, &regime, &cfg, scale.seed)
+                .expect("figure models are supported on their figure's device");
+            (model, report)
+        })
+        .collect();
+    // Order kernels by total simulated time across the model set (name
+    // tiebreak, so the ordering is total and deterministic).
+    let mut totals: Vec<(&str, f64)> = Vec::new();
+    for (_, report) in &runs {
+        for (name, stats) in report.kernel_rows() {
+            match totals.iter_mut().find(|(n, _)| *n == name) {
+                Some(entry) => entry.1 += stats.seconds,
+                None => totals.push((name, stats.seconds)),
+            }
+        }
+    }
+    totals.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite times")
+            .then_with(|| a.0.cmp(b.0))
+    });
+
+    let mut header: Vec<String> = vec!["kernel".into()];
+    header.extend(runs.iter().map(|(m, _)| m.label().to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        &format!(
+            "Figure 12 (kernel granularity): % of STREAM bandwidth per kernel, {}, CG",
+            device.name
+        ),
+        &header_refs,
+    );
+    for (kernel, _) in &totals {
+        let mut row = vec![kernel.to_string()];
+        for (_, report) in &runs {
+            let cell = report
+                .kernel_rows()
+                .iter()
+                .find(|(n, _)| n == kernel)
+                .map(|(_, s)| fmt_pct(s.bw_gbs() / regime.stream_bw_gbs))
+                .unwrap_or_default();
+            row.push(cell);
+        }
+        table.row(&row);
     }
     table
 }
@@ -300,5 +377,43 @@ mod tests {
     fn fig8_runs_at_small_scale() {
         let t = fig8(Scale::small());
         assert_eq!(t.len(), 6, "six CPU series as in the paper");
+    }
+
+    #[test]
+    fn per_kernel_fraction_decomposes_the_aggregate_exactly() {
+        // Every application byte is charged to a named kernel, so the
+        // per-kernel rebuild of Figure 12 must agree with the aggregate
+        // counters to the bit.
+        let scale = Scale::small();
+        for (model, device) in [
+            (ModelId::Cuda, devices::gpu_k20x()),
+            (ModelId::OpenCl, devices::cpu_xeon_e5_2670_x2()),
+            (ModelId::Kokkos, devices::knc_xeon_phi()),
+        ] {
+            let regime = scale.regime_device(&device);
+            let report = run_simulation_seeded(
+                model,
+                &regime,
+                &scale.config(SolverKind::ConjugateGradient),
+                scale.seed,
+            )
+            .expect("figure models run on their devices");
+            assert_eq!(
+                per_kernel_fraction(&report, &regime).to_bits(),
+                report.stream_fraction(&regime).to_bits(),
+                "{}: per-kernel profile does not account for all application traffic",
+                model.label()
+            );
+        }
+    }
+
+    #[test]
+    fn fig12_kernels_tables_every_gpu_model() {
+        let t = fig12_kernels(&devices::gpu_k20x(), Scale::small());
+        assert!(t.len() >= 5, "a CG run exercises at least five kernels");
+        let text = t.render();
+        for label in ["CUDA", "Kokkos", "cg_calc_w"] {
+            assert!(text.contains(label), "missing {label} in:\n{text}");
+        }
     }
 }

@@ -31,7 +31,7 @@ pub mod experiments;
 pub mod scale;
 
 pub use experiments::{
-    fig10, fig11, fig12, fig8, fig9, figure_models, runtime_figure, table1, table2, Fig11Point,
-    ModelOnDevice,
+    fig10, fig11, fig12, fig12_kernels, fig8, fig9, figure_models, runtime_figure, table1, table2,
+    Fig11Point, ModelOnDevice,
 };
 pub use scale::Scale;

@@ -1,0 +1,332 @@
+//! `tea-prof` — run one deck × port × solver with telemetry on and
+//! print the trace or the per-kernel profile.
+//!
+//! ```text
+//! cargo run -p tea-conformance --bin tea-prof -- --deck conf_tiny --model cuda
+//! cargo run -p tea-conformance --bin tea-prof -- --model serial --format chrome > trace.json
+//! cargo run -p tea-conformance --bin tea-prof -- --model cuda --diff kokkos --solver cg
+//! ```
+//!
+//! `--format table` (default) prints the per-kernel profile — time,
+//! bytes, achieved bandwidth and the fraction of the device's STREAM
+//! triad ceiling, i.e. the paper's Figure 12 at kernel granularity.
+//! `--format json` emits the span/event trace as JSONL; `--format
+//! chrome` emits Chrome trace-event JSON for `chrome://tracing` or
+//! Perfetto. `--top N` keeps the N hottest kernels. `--diff <model>`
+//! runs a second port on the same deck and tables the per-kernel
+//! simulated-seconds gap — on a CG run the reduction kernels dominate
+//! that gap, which is the paper's central observation about why the
+//! models diverge. `--validate` re-parses whatever was emitted and
+//! fails loudly if the trace is malformed (used by CI).
+
+use std::process::ExitCode;
+
+use tea_conformance::{builtin_deck, deck_config, model_name, natural_device, parse_model};
+use tea_core::config::SolverKind;
+use tea_core::tablefmt::{fmt_secs, Table};
+use tea_telemetry::export::{to_chrome, to_jsonl};
+use tea_telemetry::{json, Record};
+use tealeaf::driver::TEA_DEFAULT_SEED;
+use tealeaf::{run_simulation_traced, ModelId, RunReport, TelemetrySink};
+
+use simdev::{devices, DeviceSpec};
+
+struct Options {
+    deck: String,
+    model: ModelId,
+    solver: Option<SolverKind>,
+    format: Format,
+    top: usize,
+    diff: Option<ModelId>,
+    device: Option<DeviceSpec>,
+    validate: bool,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Table,
+    Json,
+    Chrome,
+}
+
+const USAGE: &str =
+    "usage: tea-prof [--deck <name>] [--model <port>] [--solver jacobi|cg|chebyshev|ppcg] \
+     [--format table|json|chrome] [--top N] [--diff <port>] [--device cpu|gpu|knc] [--validate]";
+
+fn parse_solver(name: &str) -> Option<SolverKind> {
+    match name {
+        "jacobi" => Some(SolverKind::Jacobi),
+        "cg" => Some(SolverKind::ConjugateGradient),
+        "chebyshev" => Some(SolverKind::Chebyshev),
+        "ppcg" => Some(SolverKind::Ppcg),
+        _ => None,
+    }
+}
+
+fn parse_device(name: &str) -> Option<DeviceSpec> {
+    match name {
+        "cpu" => Some(devices::cpu_xeon_e5_2670_x2()),
+        "gpu" => Some(devices::gpu_k20x()),
+        "knc" => Some(devices::knc_xeon_phi()),
+        _ => None,
+    }
+}
+
+fn parse_args(argv: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        deck: "conf_tiny".to_string(),
+        model: ModelId::Serial,
+        solver: None,
+        format: Format::Table,
+        top: 0,
+        diff: None,
+        device: None,
+        validate: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--deck" => opts.deck = value("--deck")?,
+            "--model" => {
+                let v = value("--model")?;
+                opts.model = parse_model(&v).ok_or_else(|| format!("unknown port '{v}'"))?;
+            }
+            "--solver" => {
+                let v = value("--solver")?;
+                opts.solver =
+                    Some(parse_solver(&v).ok_or_else(|| format!("unknown solver '{v}'"))?);
+            }
+            "--format" => {
+                opts.format = match value("--format")?.as_str() {
+                    "table" => Format::Table,
+                    "json" => Format::Json,
+                    "chrome" => Format::Chrome,
+                    v => return Err(format!("unknown format '{v}'")),
+                }
+            }
+            "--top" => {
+                let v = value("--top")?;
+                opts.top = v.parse().map_err(|_| format!("bad --top value '{v}'"))?;
+            }
+            "--diff" => {
+                let v = value("--diff")?;
+                opts.diff = Some(parse_model(&v).ok_or_else(|| format!("unknown port '{v}'"))?);
+            }
+            "--device" => {
+                let v = value("--device")?;
+                opts.device =
+                    Some(parse_device(&v).ok_or_else(|| format!("unknown device '{v}'"))?);
+            }
+            "--validate" => opts.validate = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Run one traced simulation, returning the report and its records.
+fn run_traced(
+    model: ModelId,
+    device: &DeviceSpec,
+    deck: &str,
+    solver: Option<SolverKind>,
+) -> Result<(RunReport, Vec<Record>), String> {
+    let text = builtin_deck(deck)
+        .ok_or_else(|| format!("no builtin deck '{deck}' (try conf_tiny or conf_small)"))?;
+    let mut cfg = deck_config(deck, text);
+    if let Some(s) = solver {
+        cfg.solver = s;
+    }
+    let (sink, collector) = TelemetrySink::collecting();
+    let report = run_simulation_traced(model, device, &cfg, TEA_DEFAULT_SEED, sink)
+        .map_err(|e| format!("{} cannot run on {}: {e}", model_name(model), device.name))?;
+    let records = collector.records();
+    Ok((report, records))
+}
+
+/// Check a JSONL trace: every line parses, every open span closes.
+fn validate_jsonl(text: &str) -> Result<usize, String> {
+    let mut open = std::collections::HashSet::new();
+    let mut n = 0;
+    for (lineno, line) in text.lines().enumerate() {
+        let doc = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let ev = doc
+            .get("ev")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("line {}: missing \"ev\"", lineno + 1))?;
+        match ev {
+            "open" => {
+                let id = doc.get("id").and_then(|v| v.as_f64()).unwrap_or(-1.0) as i64;
+                open.insert(id);
+            }
+            "close" => {
+                let id = doc.get("id").and_then(|v| v.as_f64()).unwrap_or(-1.0) as i64;
+                if !open.remove(&id) {
+                    return Err(format!("line {}: close without open (id {id})", lineno + 1));
+                }
+            }
+            "span" | "event" => {}
+            other => return Err(format!("line {}: unknown ev '{other}'", lineno + 1)),
+        }
+        n += 1;
+    }
+    if !open.is_empty() {
+        return Err(format!("{} span(s) never closed", open.len()));
+    }
+    Ok(n)
+}
+
+/// Check a Chrome trace: parses as one JSON document with a
+/// `traceEvents` array whose entries all carry `ph` and `name`.
+fn validate_chrome(text: &str) -> Result<usize, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .ok_or("missing traceEvents array")?;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev.get("ph").and_then(|v| v.as_str());
+        if !matches!(ph, Some("X") | Some("i")) {
+            return Err(format!("event {i}: bad ph {ph:?}"));
+        }
+        if ev.get("name").and_then(|v| v.as_str()).is_none() {
+            return Err(format!("event {i}: missing name"));
+        }
+    }
+    Ok(events.len())
+}
+
+/// Side-by-side per-kernel profile of two runs, widest simulated-time
+/// gap first — the kernels that explain why the two models differ.
+fn diff_table(a: &RunReport, b: &RunReport, top: usize) -> Table {
+    let name_a = a.model.label();
+    let name_b = b.model.label();
+    let rows_a = a.kernel_rows();
+    let rows_b = b.kernel_rows();
+    let mut names: Vec<&str> = rows_a.iter().map(|(n, _)| *n).collect();
+    for (n, _) in &rows_b {
+        if !names.contains(n) {
+            names.push(n);
+        }
+    }
+    let seconds = |rows: &[(&str, tea_telemetry::KernelStats)], name: &str| {
+        rows.iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| s.seconds)
+            .unwrap_or(0.0)
+    };
+    let mut gaps: Vec<(String, f64, f64)> = names
+        .iter()
+        .map(|n| (n.to_string(), seconds(&rows_a, n), seconds(&rows_b, n)))
+        .collect();
+    gaps.sort_by(|x, y| {
+        let gx = (x.1 - x.2).abs();
+        let gy = (y.1 - y.2).abs();
+        gy.partial_cmp(&gx)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| x.0.cmp(&y.0))
+    });
+    if top > 0 {
+        gaps.truncate(top);
+    }
+    let mut table = Table::new(
+        &format!(
+            "{name_a} vs {name_b} · {} · {}×{}",
+            a.solver.name(),
+            a.x_cells,
+            a.y_cells
+        ),
+        &["kernel", name_a, name_b, "gap", "ratio"],
+    );
+    for (name, sa, sb) in gaps {
+        let ratio = if sa > 0.0 { sb / sa } else { f64::INFINITY };
+        table.row(&[
+            name,
+            fmt_secs(sa),
+            fmt_secs(sb),
+            fmt_secs(sb - sa),
+            format!("{ratio:.2}×"),
+        ]);
+    }
+    table
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&argv) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let device = opts
+        .device
+        .clone()
+        .unwrap_or_else(|| natural_device(opts.model));
+    let (report, records) = match run_traced(opts.model, &device, &opts.deck, opts.solver) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(other) = opts.diff {
+        let other_device = opts.device.clone().unwrap_or_else(|| natural_device(other));
+        let (other_report, _) = match run_traced(other, &other_device, &opts.deck, opts.solver) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        };
+        println!("{}", diff_table(&report, &other_report, opts.top).render());
+        return ExitCode::SUCCESS;
+    }
+
+    match opts.format {
+        Format::Table => {
+            print!("{}", report.render_profile(&device, opts.top));
+            println!("recovery: {}", report.recovery_summary());
+            println!(
+                "trace: {} records, {:.6} simulated seconds",
+                records.len(),
+                report.sim.seconds
+            );
+        }
+        Format::Json => {
+            let text = to_jsonl(&records);
+            if opts.validate {
+                match validate_jsonl(&text) {
+                    Ok(n) => eprintln!("jsonl trace validates: {n} records"),
+                    Err(e) => {
+                        eprintln!("jsonl trace INVALID: {e}");
+                        return ExitCode::from(1);
+                    }
+                }
+            }
+            print!("{text}");
+        }
+        Format::Chrome => {
+            let text = to_chrome(&records);
+            if opts.validate {
+                match validate_chrome(&text) {
+                    Ok(n) => eprintln!("chrome trace validates: {n} events"),
+                    Err(e) => {
+                        eprintln!("chrome trace INVALID: {e}");
+                        return ExitCode::from(1);
+                    }
+                }
+            }
+            println!("{text}");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -251,6 +251,10 @@ impl TeaLeafPort for LockstepPort {
         self.reference.context()
     }
 
+    fn context_mut(&mut self) -> &mut SimContext {
+        self.reference.context_mut()
+    }
+
     fn init_fields(&mut self, coefficient: Coefficient, rx: f64, ry: f64) {
         self.reference.init_fields(coefficient, rx, ry);
         self.candidate.init_fields(coefficient, rx, ry);
@@ -576,6 +580,10 @@ impl TeaLeafPort for SabotagedPort {
 
     fn context(&self) -> &SimContext {
         self.inner.context()
+    }
+
+    fn context_mut(&mut self) -> &mut SimContext {
+        self.inner.context_mut()
     }
 
     fn init_fields(&mut self, coefficient: Coefficient, rx: f64, ry: f64) {

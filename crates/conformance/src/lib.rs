@@ -47,6 +47,6 @@ pub use faults::{
 pub use fuzz::{run_schedule_fuzz, FuzzReport};
 pub use golden::{check_deck, compute_goldens, GoldenEntry};
 pub use matrix::{
-    builtin_deck, builtin_decks, model_name, natural_device, parse_model, GOLDEN_PORTS,
-    GOLDEN_RANKS, GOLDEN_SOLVERS,
+    builtin_deck, builtin_decks, deck_config, model_name, natural_device, parse_model,
+    GOLDEN_PORTS, GOLDEN_RANKS, GOLDEN_SOLVERS,
 };

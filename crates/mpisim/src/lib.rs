@@ -34,7 +34,9 @@
 //! ```
 
 pub mod fault;
+pub mod metrics;
 pub mod world;
 
 pub use fault::{FaultSpec, KillSpec};
+pub use metrics::TransportMetrics;
 pub use world::{run_spmd, run_spmd_faulty, FaultDiagnostic, Rank, Tag};

@@ -1,0 +1,82 @@
+//! Per-rank transport counters.
+//!
+//! Every rank of a fault-injected world keeps a tally of what its
+//! reliable transport actually did — envelopes sent, faults injected on
+//! its outgoing channels, recovery traffic (NACKs, retransmissions,
+//! cumulative acks) and backoff waits — so a recovered run can show
+//! *how* it recovered. The counters are plain `u64`s living inside the
+//! rank's single-threaded `Transport` state; reading them costs nothing
+//! and changes nothing.
+
+/// Snapshot of one rank's transport activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransportMetrics {
+    /// Data envelopes this rank sent (first transmissions only).
+    pub sends: u64,
+    /// Envelopes resent from history in answer to a peer's NACK.
+    pub retransmits: u64,
+    /// NACKs this rank sent while starving on a peer.
+    pub nacks_sent: u64,
+    /// NACKs received from starving peers (each triggers a retransmit).
+    pub nacks_received: u64,
+    /// Cumulative acks this rank sent (history-pruning permits).
+    pub acks_sent: u64,
+    /// Cumulative acks received from peers.
+    pub acks_received: u64,
+    /// Receive timeouts waited through (the backoff schedule's ticks).
+    pub backoff_waits: u64,
+    /// Outgoing envelopes the injector dropped.
+    pub dropped: u64,
+    /// Outgoing envelopes the injector duplicated.
+    pub duplicated: u64,
+    /// Outgoing envelopes the injector reordered behind a later send.
+    pub reordered: u64,
+    /// Outgoing envelopes the injector delayed behind two later sends.
+    pub delayed: u64,
+    /// Incoming duplicates discarded by the sequence check.
+    pub dup_discards: u64,
+    /// Incoming early (out-of-order) envelopes stashed for later.
+    pub stashed: u64,
+}
+
+impl TransportMetrics {
+    /// Total recovery traffic beyond the first transmissions. Cumulative
+    /// acks are excluded: they are routine history pruning and flow on
+    /// clean channels too.
+    pub fn recovery_envelopes(&self) -> u64 {
+        self.retransmits + self.nacks_sent
+    }
+
+    /// True when the rank saw no injected faults and no recovery traffic.
+    pub fn is_quiet(&self) -> bool {
+        let faults = self.dropped + self.duplicated + self.reordered + self.delayed;
+        faults == 0 && self.recovery_envelopes() == 0 && self.backoff_waits == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_means_no_faults_and_no_recovery() {
+        let mut m = TransportMetrics {
+            sends: 40,
+            ..Default::default()
+        };
+        assert!(m.is_quiet());
+        m.dropped = 1;
+        assert!(!m.is_quiet());
+    }
+
+    #[test]
+    fn recovery_envelopes_sums_the_recovery_traffic() {
+        let m = TransportMetrics {
+            retransmits: 3,
+            nacks_sent: 2,
+            acks_sent: 1, // routine pruning, not recovery
+            ..Default::default()
+        };
+        assert_eq!(m.recovery_envelopes(), 5);
+    }
+}

@@ -9,6 +9,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use crate::fault::{Action, ChannelRng, FaultSpec};
+use crate::metrics::TransportMetrics;
 
 /// Message tag (as in MPI, distinguishes concurrent exchanges).
 pub type Tag = u32;
@@ -103,6 +104,8 @@ struct Transport {
     since_ack: Vec<u64>,
     /// Total data sends this rank has issued (drives [`KillSpec`]).
     sent_total: u64,
+    /// Running tally of sends, faults and recovery traffic.
+    metrics: TransportMetrics,
 }
 
 impl Transport {
@@ -120,6 +123,7 @@ impl Transport {
             acked_in: vec![0; size],
             since_ack: vec![0; size],
             sent_total: 0,
+            metrics: TransportMetrics::default(),
         }
     }
 
@@ -161,6 +165,12 @@ impl Rank {
     /// World size (`MPI_Comm_size`).
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// Snapshot of this rank's transport counters; `None` in a
+    /// fault-free world (no transport, nothing to count).
+    pub fn transport_metrics(&self) -> Option<TransportMetrics> {
+        self.transport.as_ref().map(|cell| cell.borrow().metrics)
     }
 
     /// Blocking send of `payload` to rank `to` with `tag` (`MPI_Send`;
@@ -205,6 +215,7 @@ impl Rank {
                         }
                     }
                     t.sent_total += 1;
+                    t.metrics.sends += 1;
                     let seq = t.next_seq[to];
                     t.next_seq[to] += 1;
                     t.history[to].push((seq, tag, payload.clone()));
@@ -222,13 +233,20 @@ impl Rank {
                     };
                     match action {
                         Action::Deliver => deliver_now.push(msg),
-                        Action::Drop => {} // the receiver's NACK recovers it
+                        Action::Drop => t.metrics.dropped += 1, // the receiver's NACK recovers it
                         Action::Duplicate => {
+                            t.metrics.duplicated += 1;
                             deliver_now.push(msg.clone());
                             deliver_now.push(msg);
                         }
-                        Action::Reorder => hold = Some((1, msg)),
-                        Action::Delay => hold = Some((2, msg)),
+                        Action::Reorder => {
+                            t.metrics.reordered += 1;
+                            hold = Some((1, msg));
+                        }
+                        Action::Delay => {
+                            t.metrics.delayed += 1;
+                            hold = Some((2, msg));
+                        }
                     }
                     // Age messages held behind earlier sends; the due ones
                     // go out *after* this send's own message (that is the
@@ -317,9 +335,14 @@ impl Rank {
             }
             match self.inbox.recv_timeout(spec.backoff_schedule(attempt)) {
                 Ok(msg) => match msg.kind {
-                    MsgKind::Nack { expected } => self.retransmit(msg.from, expected),
+                    MsgKind::Nack { expected } => {
+                        cell.borrow_mut().metrics.nacks_received += 1;
+                        self.retransmit(msg.from, expected);
+                    }
                     MsgKind::Ack { upto } => {
-                        cell.borrow_mut().handle_ack(msg.from, upto);
+                        let mut t = cell.borrow_mut();
+                        t.metrics.acks_received += 1;
+                        t.handle_ack(msg.from, upto);
                     }
                     MsgKind::Data { seq } => {
                         // Accept in order; stash the future; drop the past.
@@ -329,9 +352,11 @@ impl Rank {
                         {
                             let mut t = cell.borrow_mut();
                             if seq < t.expected[src] {
+                                t.metrics.dup_discards += 1;
                                 continue; // duplicate of an accepted message
                             }
                             if seq > t.expected[src] {
+                                t.metrics.stashed += 1;
                                 t.stash[src].insert(seq, msg);
                                 continue;
                             }
@@ -355,6 +380,7 @@ impl Rank {
                             }
                         }
                         if let Some(upto) = ack_due {
+                            cell.borrow_mut().metrics.acks_sent += 1;
                             self.deliver(
                                 src,
                                 Message {
@@ -382,7 +408,11 @@ impl Rank {
                     }
                 },
                 Err(RecvTimeoutError::Timeout) => {
-                    let expected_seq = cell.borrow().expected[from];
+                    let expected_seq = {
+                        let mut t = cell.borrow_mut();
+                        t.metrics.backoff_waits += 1;
+                        t.expected[from]
+                    };
                     if start.elapsed() >= spec.deadline {
                         std::panic::panic_any(FaultDiagnostic {
                             rank: self.id,
@@ -408,6 +438,7 @@ impl Rank {
                         });
                     }
                     // Ask the peer we are starving on to retransmit.
+                    cell.borrow_mut().metrics.nacks_sent += 1;
                     self.deliver(
                         from,
                         Message {
@@ -458,6 +489,7 @@ impl Rank {
             // history pass already re-covers them; drain merely stops
             // them from being delivered again later.
             drop(held);
+            t.metrics.retransmits += out.len() as u64;
             out.sort_by_key(|m| match m.kind {
                 MsgKind::Data { seq } => seq,
                 MsgKind::Nack { .. } | MsgKind::Ack { .. } => u64::MAX,
@@ -948,6 +980,52 @@ mod fault_tests {
         spec.ack_interval = 2;
         let faulty = run_spmd_faulty(3, spec, workload).expect("must recover");
         assert_eq!(plain, faulty);
+    }
+
+    #[test]
+    fn clean_transport_counts_sends_and_stays_quiet() {
+        let out = run_spmd_faulty(3, FaultSpec::clean(1), |rank| {
+            let m0 = rank
+                .transport_metrics()
+                .expect("faulty world has transport");
+            assert_eq!(m0, TransportMetrics::default());
+            workload(rank);
+            rank.transport_metrics().expect("still present")
+        })
+        .expect("clean world");
+        for m in out {
+            assert!(m.sends > 0, "workload sends data");
+            assert!(m.is_quiet(), "clean channels need no recovery: {m:?}");
+        }
+    }
+
+    #[test]
+    fn lossy_transport_accounts_for_drops_and_recovery() {
+        let mut spec = FaultSpec::lossy(5);
+        spec.quiet = Duration::from_millis(5);
+        let out = run_spmd_faulty(4, spec, |rank| {
+            workload(rank);
+            rank.transport_metrics()
+                .expect("faulty world has transport")
+        })
+        .expect("must recover");
+        let total: u64 = out.iter().map(|m| m.dropped).sum();
+        assert!(total > 0, "lossy spec must drop something across 4 ranks");
+        // Every drop starves some receiver into the NACK path eventually.
+        assert!(
+            out.iter().any(|m| m.nacks_sent > 0),
+            "drops without NACKs cannot have recovered: {out:?}"
+        );
+        assert!(
+            out.iter().any(|m| m.retransmits > 0),
+            "NACKs must trigger retransmissions: {out:?}"
+        );
+    }
+
+    #[test]
+    fn plain_world_has_no_transport_metrics() {
+        let out = run_spmd(2, |rank| rank.transport_metrics().is_none());
+        assert_eq!(out, vec![true, true]);
     }
 
     #[test]

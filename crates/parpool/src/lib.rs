@@ -34,12 +34,14 @@
 //! ```
 
 pub mod executor;
+pub mod metrics;
 pub mod permute;
 pub mod shared;
 pub mod static_pool;
 pub mod steal_pool;
 
 pub use executor::{run_sum_many, Executor, SerialExec};
+pub use metrics::PoolMetrics;
 pub use permute::PermutedExec;
 pub use shared::UnsafeSlice;
 pub use static_pool::StaticPool;

@@ -36,6 +36,7 @@ use std::thread::JoinHandle;
 use parking_lot::{Condvar, Mutex};
 
 use crate::executor::Executor;
+use crate::metrics::{Counters, PoolMetrics};
 use crate::shared::{CachePadded, UnsafeSlice};
 
 /// Type-erased pointer to the parallel-region body.
@@ -88,6 +89,8 @@ struct Barrier {
     /// Poster parking for long regions (taken only after the spin budget).
     done_lock: Mutex<()>,
     done_cv: Condvar,
+    /// Scheduler counters (regions, parks); always on, relaxed atomics.
+    metrics: Counters,
 }
 
 // SAFETY: `job` is written only by the poster before the Release bump of
@@ -130,6 +133,7 @@ impl StaticPool {
             idle_cv: Condvar::new(),
             done_lock: Mutex::new(()),
             done_cv: Condvar::new(),
+            metrics: Counters::new(n_threads),
         });
         let workers = (0..n_threads)
             .map(|w| {
@@ -161,6 +165,7 @@ impl StaticPool {
             ptr: unsafe { std::mem::transmute::<_, *const (dyn Fn(usize) + Sync)>(f) },
         };
         let b = &*self.barrier;
+        b.metrics.regions.fetch_add(1, Ordering::Relaxed);
         b.done.store(0, Ordering::Relaxed);
         // SAFETY: single poster; workers read `job` only after observing
         // the generation bump below, which orders this write before them.
@@ -183,6 +188,7 @@ impl StaticPool {
                 spins += 1;
                 std::hint::spin_loop();
             } else {
+                b.metrics.poster_parks.fetch_add(1, Ordering::Relaxed);
                 let mut guard = b.done_lock.lock();
                 while b.done.load(Ordering::Acquire) < self.n_threads {
                     b.done_cv.wait(&mut guard);
@@ -194,10 +200,15 @@ impl StaticPool {
             panic!("a parpool worker panicked while executing a parallel region");
         }
     }
+
+    /// Snapshot of the pool's scheduler counters since creation.
+    pub fn metrics(&self) -> PoolMetrics {
+        self.barrier.metrics.snapshot()
+    }
 }
 
 /// Wait until `generation` moves past `seen`; spin briefly, then park.
-fn wait_for_generation(b: &Barrier, seen: u64) -> u64 {
+fn wait_for_generation(b: &Barrier, worker: usize, seen: u64) -> u64 {
     let mut spins = 0u32;
     loop {
         let g = b.generation.load(Ordering::Acquire);
@@ -217,6 +228,7 @@ fn wait_for_generation(b: &Barrier, seen: u64) -> u64 {
             if g != seen {
                 return g;
             }
+            b.metrics.worker_parked(worker);
             *idle += 1;
             b.idle_cv.wait(&mut idle);
             *idle -= 1;
@@ -228,7 +240,7 @@ fn wait_for_generation(b: &Barrier, seen: u64) -> u64 {
 fn worker_loop(worker: usize, n_threads: usize, barrier: Arc<Barrier>) {
     let mut seen = 0u64;
     loop {
-        seen = wait_for_generation(&barrier, seen);
+        seen = wait_for_generation(&barrier, worker, seen);
         if barrier.shutdown.load(Ordering::Acquire) {
             return;
         }
@@ -273,6 +285,10 @@ impl Executor for StaticPool {
         // thread in index order (which also keeps reductions built on
         // `run` bit-identical — see `run_sum`).
         if n < self.n_threads || self.n_threads == 1 {
+            self.barrier
+                .metrics
+                .inline_runs
+                .fetch_add(1, Ordering::Relaxed);
             for i in 0..n {
                 f(i);
             }
@@ -290,6 +306,10 @@ impl Executor for StaticPool {
             // Left fold from 0.0 in index order — exactly the fold the
             // partial-buffer path below performs, so the inline shortcut
             // cannot change the result.
+            self.barrier
+                .metrics
+                .inline_runs
+                .fetch_add(1, Ordering::Relaxed);
             let mut acc = 0.0f64;
             for i in 0..n {
                 acc += f(i);
@@ -313,6 +333,10 @@ impl Executor for StaticPool {
             return [0.0; 4];
         }
         if n < self.n_threads || self.n_threads == 1 {
+            self.barrier
+                .metrics
+                .inline_runs
+                .fetch_add(1, Ordering::Relaxed);
             let mut acc = [0.0f64; 4];
             for i in 0..n {
                 let v = f(i);
@@ -490,6 +514,30 @@ mod tests {
         // pool must still be usable afterwards
         let s = pool.run_sum(10, &|i| i as f64);
         assert_eq!(s, 45.0);
+    }
+
+    #[test]
+    fn metrics_count_regions_inline_runs_and_parks() {
+        let pool = StaticPool::new(4);
+        for _ in 0..10 {
+            pool.run(256, &|_| {});
+        }
+        pool.run(2, &|_| {}); // below n_threads → inline
+        let m = pool.metrics();
+        assert_eq!(m.regions, 10);
+        assert_eq!(m.inline_runs, 1);
+        assert_eq!(m.steals, 0, "static schedule has nothing to steal");
+        assert_eq!(m.worker_parks.len(), 4);
+        // Let every worker blow its spin budget and park, then verify the
+        // next region still works and the park was counted.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        pool.run(256, &|_| {});
+        let m = pool.metrics();
+        assert!(
+            m.total_worker_parks() >= 1,
+            "idle gap should park at least one worker"
+        );
+        assert_eq!(m.since(&pool.metrics()).regions, 0);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! index-ordered); only the *schedule* is non-deterministic, as with TBB.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -21,6 +21,7 @@ use crossbeam_deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::{Condvar, Mutex};
 
 use crate::executor::Executor;
+use crate::metrics::{Counters, PoolMetrics};
 
 /// Index block granularity: how many consecutive indices one stolen task
 /// covers. TBB similarly auto-partitions ranges into grains.
@@ -58,8 +59,9 @@ struct Shared {
     /// Items remaining in the current region; completion is signalled when
     /// this reaches zero.
     remaining: AtomicUsize,
-    steals: AtomicU64,
     panicked: AtomicBool,
+    /// Scheduler counters (regions, steals, parks); always on.
+    metrics: Counters,
 }
 
 /// Persistent work-stealing thread pool. See module docs.
@@ -85,8 +87,8 @@ impl StealPool {
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             remaining: AtomicUsize::new(0),
-            steals: AtomicU64::new(0),
             panicked: AtomicBool::new(false),
+            metrics: Counters::new(n_threads),
         });
         let locals: Vec<Worker<Task>> = (0..n_threads).map(|_| Worker::new_lifo()).collect();
         let stealers: Vec<Stealer<Task>> = locals.iter().map(|w| w.stealer()).collect();
@@ -112,7 +114,12 @@ impl StealPool {
 
     /// Steals recorded since pool creation — a visible imbalance signal.
     pub fn steal_count(&self) -> u64 {
-        self.shared.steals.load(Ordering::Relaxed)
+        self.shared.metrics.steals.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the pool's scheduler counters since creation.
+    pub fn metrics(&self) -> PoolMetrics {
+        self.shared.metrics.snapshot()
     }
 }
 
@@ -138,6 +145,7 @@ fn worker_loop(
                         break job;
                     }
                 }
+                shared.metrics.worker_parked(worker);
                 shared.work_cv.wait(&mut slot);
             }
         };
@@ -196,7 +204,7 @@ fn find_task(
         loop {
             match victims[v].steal() {
                 Steal::Success(t) => {
-                    shared.steals.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.steals.fetch_add(1, Ordering::Relaxed);
                     return Some(t);
                 }
                 Steal::Empty => break,
@@ -217,6 +225,10 @@ impl Executor for StealPool {
             return;
         }
         if n <= GRAIN || self.n_threads == 1 {
+            self.shared
+                .metrics
+                .inline_runs
+                .fetch_add(1, Ordering::Relaxed);
             for i in 0..n {
                 f(i);
             }
@@ -237,10 +249,19 @@ impl Executor for StealPool {
             ptr: unsafe { std::mem::transmute::<_, *const (dyn Fn(usize) + Sync)>(f) },
         };
         let mut slot = self.shared.slot.lock();
+        self.shared.metrics.regions.fetch_add(1, Ordering::Relaxed);
         slot.generation += 1;
         slot.job = Some(job);
         self.shared.work_cv.notify_all();
+        let mut parked = false;
         while self.shared.remaining.load(Ordering::Acquire) > 0 || slot.active > 0 {
+            if !parked {
+                parked = true;
+                self.shared
+                    .metrics
+                    .poster_parks
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             self.shared.done_cv.wait(&mut slot);
         }
         slot.job = None;
@@ -328,6 +349,20 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), GRAIN);
+    }
+
+    #[test]
+    fn metrics_count_regions_and_steals() {
+        let pool = StealPool::new(4);
+        for _ in 0..20 {
+            pool.run(512, &|_| {});
+        }
+        pool.run(GRAIN, &|_| {}); // at the grain → inline
+        let m = pool.metrics();
+        assert_eq!(m.regions, 20);
+        assert_eq!(m.inline_runs, 1);
+        assert_eq!(m.steals, pool.steal_count());
+        assert_eq!(m.worker_parks.len(), 4);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 
+use tea_telemetry::KernelStats;
+
 /// Accumulated simulated time and traffic for one port instance.
 ///
 /// Interior-mutable (`Cell`) because the orchestrating solver holds shared
@@ -17,9 +19,9 @@ use std::collections::HashMap;
 pub struct SimClock {
     seconds: Cell<f64>,
     kernels: Cell<u64>,
-    /// Per-kernel-name (count, seconds) profile, like the mini-app's
-    /// built-in profiler.
-    by_kernel: RefCell<HashMap<&'static str, (u64, f64)>>,
+    /// Per-kernel-name count/seconds/bytes/flops profile, like the
+    /// mini-app's built-in profiler but with traffic attribution.
+    by_kernel: RefCell<HashMap<&'static str, KernelStats>>,
     /// Application bytes moved by kernels (model overheads excluded) —
     /// the numerator of Figure 12's achieved bandwidth.
     app_bytes: Cell<u64>,
@@ -29,7 +31,7 @@ pub struct SimClock {
 }
 
 /// A copy of the clock's state at one instant.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ClockSnapshot {
     pub seconds: f64,
     pub kernels: u64,
@@ -37,6 +39,9 @@ pub struct ClockSnapshot {
     pub transfers: u64,
     pub transfer_bytes: u64,
     pub flops: u64,
+    /// Per-kernel profile rows, sorted by kernel name so snapshots of
+    /// identical runs compare (and serialize) identically.
+    pub kernel_profile: Vec<(&'static str, KernelStats)>,
 }
 
 impl ClockSnapshot {
@@ -48,8 +53,24 @@ impl ClockSnapshot {
         self.app_bytes as f64 / self.seconds / 1e9
     }
 
-    /// Difference `self - earlier`, for measuring a sub-interval.
+    /// Difference `self - earlier`, for measuring a sub-interval. The
+    /// per-kernel rows are differenced by name; kernels that did not run
+    /// inside the interval are dropped.
     pub fn since(&self, earlier: &ClockSnapshot) -> ClockSnapshot {
+        let kernel_profile = self
+            .kernel_profile
+            .iter()
+            .filter_map(|(name, stats)| {
+                let prior = earlier
+                    .kernel_profile
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, s)| *s)
+                    .unwrap_or_default();
+                let delta = stats.since(&prior);
+                (delta.count > 0).then_some((*name, delta))
+            })
+            .collect();
         ClockSnapshot {
             seconds: self.seconds - earlier.seconds,
             kernels: self.kernels - earlier.kernels,
@@ -57,6 +78,7 @@ impl ClockSnapshot {
             transfers: self.transfers - earlier.transfers,
             transfer_bytes: self.transfer_bytes - earlier.transfer_bytes,
             flops: self.flops - earlier.flops,
+            kernel_profile,
         }
     }
 }
@@ -67,7 +89,8 @@ impl SimClock {
         SimClock::default()
     }
 
-    /// Record one kernel execution.
+    /// Record one kernel execution, attributing time, bytes and flops
+    /// to the kernel's per-name profile row.
     pub fn charge_kernel_named(
         &self,
         name: &'static str,
@@ -75,23 +98,29 @@ impl SimClock {
         app_bytes: u64,
         flops: u64,
     ) {
-        let mut map = self.by_kernel.borrow_mut();
-        let entry = map.entry(name).or_insert((0, 0.0));
-        entry.0 += 1;
-        entry.1 += seconds;
-        drop(map);
+        self.by_kernel
+            .borrow_mut()
+            .entry(name)
+            .or_default()
+            .charge(seconds, app_bytes, flops);
         self.charge_kernel(seconds, app_bytes, flops);
     }
 
-    /// Per-kernel profile, sorted by descending time.
-    pub fn kernel_profile(&self) -> Vec<(&'static str, u64, f64)> {
-        let mut rows: Vec<(&'static str, u64, f64)> = self
+    /// Per-kernel profile, sorted by descending time (name tiebreak, so
+    /// the ordering is total and deterministic).
+    pub fn kernel_profile(&self) -> Vec<(&'static str, KernelStats)> {
+        let mut rows: Vec<(&'static str, KernelStats)> = self
             .by_kernel
             .borrow()
             .iter()
-            .map(|(k, (c, t))| (*k, *c, *t))
+            .map(|(k, s)| (*k, *s))
             .collect();
-        rows.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite times"));
+        rows.sort_by(|a, b| {
+            b.1.seconds
+                .partial_cmp(&a.1.seconds)
+                .expect("finite times")
+                .then_with(|| a.0.cmp(b.0))
+        });
         rows
     }
 
@@ -123,8 +152,15 @@ impl SimClock {
         self.seconds.get()
     }
 
-    /// Copy out all counters.
+    /// Copy out all counters, the per-kernel profile included.
     pub fn snapshot(&self) -> ClockSnapshot {
+        let mut kernel_profile: Vec<(&'static str, KernelStats)> = self
+            .by_kernel
+            .borrow()
+            .iter()
+            .map(|(k, s)| (*k, *s))
+            .collect();
+        kernel_profile.sort_by(|a, b| a.0.cmp(b.0));
         ClockSnapshot {
             seconds: self.seconds.get(),
             kernels: self.kernels.get(),
@@ -132,6 +168,7 @@ impl SimClock {
             transfers: self.transfers.get(),
             transfer_bytes: self.transfer_bytes.get(),
             flops: self.flops.get(),
+            kernel_profile,
         }
     }
 
@@ -189,6 +226,42 @@ mod tests {
         assert!((d.seconds - 0.5).abs() < 1e-12);
         assert_eq!(d.kernels, 1);
         assert_eq!(d.app_bytes, 50);
+    }
+
+    #[test]
+    fn named_charges_build_a_full_profile() {
+        let c = SimClock::new();
+        c.charge_kernel_named("cg_calc_w", 0.2, 600, 10);
+        c.charge_kernel_named("halo", 0.1, 100, 0);
+        c.charge_kernel_named("cg_calc_w", 0.2, 600, 10);
+        // live profile: time-ordered, cg_calc_w first
+        let live = c.kernel_profile();
+        assert_eq!(live[0].0, "cg_calc_w");
+        assert_eq!(live[0].1.count, 2);
+        assert_eq!(live[0].1.bytes, 1200);
+        assert_eq!(live[0].1.flops, 20);
+        // snapshot profile: name-ordered, carried on the snapshot
+        let snap = c.snapshot();
+        let names: Vec<&str> = snap.kernel_profile.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["cg_calc_w", "halo"]);
+        assert!((snap.kernel_profile[0].1.seconds - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_profile_diffs_per_kernel() {
+        let c = SimClock::new();
+        c.charge_kernel_named("a", 1.0, 100, 1);
+        c.charge_kernel_named("b", 1.0, 100, 1);
+        let t0 = c.snapshot();
+        c.charge_kernel_named("b", 0.5, 50, 2);
+        c.charge_kernel_named("c", 0.25, 25, 3);
+        let d = c.snapshot().since(&t0);
+        // `a` did not run in the interval and is dropped
+        let names: Vec<&str> = d.kernel_profile.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["b", "c"]);
+        assert_eq!(d.kernel_profile[0].1.count, 1);
+        assert_eq!(d.kernel_profile[0].1.bytes, 50);
+        assert_eq!(d.kernel_profile[1].1.flops, 3);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The cost model: kernel and transfer times from device + model + kernel.
 
 use rand::{Rng, SeedableRng};
+use tea_telemetry::TelemetrySink;
 
 use crate::clock::SimClock;
 use crate::device::{DeviceKind, DeviceSpec};
@@ -121,29 +122,51 @@ impl CostModel {
 pub struct SimContext {
     pub cost: CostModel,
     pub clock: SimClock,
+    /// Trace sink every launch/transfer reports to. Disabled by default;
+    /// when disabled the charge paths pay one `Option` check and nothing
+    /// else, and the simulated cost stream is identical either way.
+    telemetry: TelemetrySink,
 }
 
 impl SimContext {
-    /// Create a context for one run.
+    /// Create a context for one run (telemetry disabled).
     pub fn new(device: DeviceSpec, model: ModelProfile, quirks: Vec<Quirk>, seed: u64) -> Self {
         SimContext {
             cost: CostModel::new(device, model, quirks, seed),
             clock: SimClock::new(),
+            telemetry: TelemetrySink::disabled(),
         }
+    }
+
+    /// Install a trace sink; kernel launches and transfers emit complete
+    /// spans stamped with simulated time from here on.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
+    }
+
+    /// The context's trace sink (disabled unless installed).
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
     }
 
     /// Charge one kernel launch and return its simulated duration.
     pub fn launch(&self, profile: &KernelProfile) -> f64 {
+        let t0 = self.clock.seconds();
         let t = self.cost.kernel_seconds(profile);
         self.clock
             .charge_kernel_named(profile.name, t, profile.bytes(), profile.flops);
+        self.telemetry
+            .complete_span("kernel", format_args!("{}", profile.name), t0, t0 + t);
         t
     }
 
     /// Charge one host↔device transfer and return its simulated duration.
     pub fn transfer(&self, bytes: u64) -> f64 {
+        let t0 = self.clock.seconds();
         let t = self.cost.transfer_seconds(bytes);
         self.clock.charge_transfer(t, bytes);
+        self.telemetry
+            .complete_span("transfer", format_args!("transfer {bytes}B"), t0, t0 + t);
         t
     }
 
@@ -300,6 +323,43 @@ mod tests {
         assert!((snap.seconds - t).abs() < 1e-15);
         let tt = ctx.transfer(4096);
         assert!(ctx.clock.snapshot().seconds > t + tt - 1e-15);
+    }
+
+    #[test]
+    fn launches_emit_kernel_spans_in_sim_time() {
+        let mut ctx = gpu_ctx(ModelProfile::ideal("CUDA"));
+        let (sink, collector) = TelemetrySink::collecting();
+        ctx.set_telemetry(sink);
+        let p = KernelProfile::streaming("axpy", 1000, 1, 1, 1);
+        let t = ctx.launch(&p);
+        ctx.transfer(4096);
+        let records = collector.records();
+        assert_eq!(records.len(), 2);
+        let tea_telemetry::Record::Complete {
+            cat, name, t0, t1, ..
+        } = &records[0]
+        else {
+            panic!("expected a complete kernel span, got {:?}", records[0]);
+        };
+        assert_eq!(*cat, "kernel");
+        assert_eq!(name, "axpy");
+        assert_eq!(*t0, 0.0);
+        assert!((t1 - t).abs() < 1e-18);
+        assert_eq!(records[1].cat(), "transfer");
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_the_cost_stream() {
+        let plain = gpu_ctx(ModelProfile::ideal("CUDA"));
+        let mut traced = gpu_ctx(ModelProfile::ideal("CUDA"));
+        let (sink, _collector) = TelemetrySink::collecting();
+        traced.set_telemetry(sink);
+        let p = KernelProfile::streaming("axpy", 123_456, 2, 1, 2);
+        for _ in 0..3 {
+            plain.launch(&p);
+            traced.launch(&p);
+        }
+        assert_eq!(plain.clock.snapshot(), traced.clock.snapshot());
     }
 
     #[test]

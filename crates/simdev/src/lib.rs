@@ -52,3 +52,4 @@ pub use device::{devices, DeviceKind, DeviceSpec};
 pub use kernel::{KernelProfile, KernelTraits};
 pub use model::{ModelProfile, PerKind, Scheduler};
 pub use quirk::Quirk;
+pub use tea_telemetry::{KernelStats, TelemetrySink};

@@ -2,11 +2,11 @@
 
 use std::time::Instant;
 
-use simdev::DeviceSpec;
+use simdev::{DeviceSpec, TelemetrySink};
 use tea_core::config::TeaConfig;
 use tea_core::halo::FieldId;
 
-use crate::kernels::TeaLeafPort;
+use crate::kernels::{traced_halo, TeaLeafPort};
 use crate::model_id::ModelId;
 use crate::ports::{make_port, PortError};
 use crate::problem::Problem;
@@ -39,6 +39,24 @@ pub fn run_simulation(
     run_simulation_seeded(model, device, config, TEA_DEFAULT_SEED)
 }
 
+/// [`run_simulation_seeded`] with a telemetry sink installed on the
+/// port before the first kernel: the whole run — step spans, solve
+/// attempts, iterations, kernels, halos, recovery events — lands in the
+/// sink's collector, stamped with simulated time. The instrumentation
+/// is numerically inert: the report is bit-identical to an untraced run.
+pub fn run_simulation_traced(
+    model: ModelId,
+    device: &DeviceSpec,
+    config: &TeaConfig,
+    seed: u64,
+    sink: TelemetrySink,
+) -> Result<RunReport, PortError> {
+    let problem = Problem::from_config(config)?;
+    let mut port = make_port(model, device.clone(), &problem, seed)?;
+    port.context_mut().set_telemetry(sink);
+    Ok(drive(port.as_mut(), &problem, device, config))
+}
+
 /// Run one already-constructed port through the timestep loop. Exposed so
 /// benchmarks can reuse a port or inspect it mid-run.
 pub fn drive(
@@ -49,9 +67,10 @@ pub fn drive(
 ) -> RunReport {
     let start = Instant::now();
     let (rx, ry) = problem.rx_ry();
+    let tel = port.context().telemetry().clone();
     // Initial halo fill for the generated fields (depth 2, as TeaLeaf's
     // start-of-run `update_halo`).
-    port.halo_update(&[FieldId::Density, FieldId::Energy0], 2);
+    traced_halo(port, &[FieldId::Density, FieldId::Energy0], 2);
 
     let mut total_iterations = 0;
     let mut converged = true;
@@ -60,8 +79,13 @@ pub fn drive(
     let mut health = Vec::new();
     let mut failed_step = None;
     for step in 1..=config.end_step {
+        let step_span = tel.open_span(
+            "step",
+            format_args!("step {step}"),
+            port.context().clock.seconds(),
+        );
         port.init_fields(config.coefficient, rx, ry);
-        port.halo_update(&[FieldId::U], 1);
+        traced_halo(port, &[FieldId::U], 1);
         let outcome = solver::solve(port, config);
         total_iterations += outcome.iterations;
         converged &= outcome.converged;
@@ -82,10 +106,12 @@ pub fn drive(
             // Stop here and report the step the run died on.
             failed_step = Some(step);
             converged = false;
+            tel.close_span(step_span, port.context().clock.seconds());
             break;
         }
         port.finalise();
-        port.halo_update(&[FieldId::Energy1], 1);
+        traced_halo(port, &[FieldId::Energy1], 1);
+        tel.close_span(step_span, port.context().clock.seconds());
     }
     let summary = port.field_summary();
     RunReport {

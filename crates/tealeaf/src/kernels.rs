@@ -41,6 +41,12 @@ pub trait TeaLeafPort {
     /// The simulated-device context the port charges.
     fn context(&self) -> &SimContext;
 
+    /// Mutable access to the same context — how the driver installs a
+    /// [`simdev::TelemetrySink`] on an already-constructed port. Wrapper
+    /// ports (recorder, lock-step differ) delegate to their inner port so
+    /// the sink lands on the context that actually charges.
+    fn context_mut(&mut self) -> &mut SimContext;
+
     /// Set `u0 = energy·density`, `u = u0`, and build the scaled face
     /// coefficients `Kx`, `Ky` from the density field
     /// (`tea_leaf_common_init`).
@@ -152,4 +158,26 @@ pub trait TeaLeafPort {
     /// differential harness localizes it; never called on production
     /// paths.
     fn poke_field(&mut self, id: FieldId, k: usize, value: f64);
+}
+
+/// Run a halo update wrapped in a `halo` telemetry span covering the
+/// exchange's simulated interval. With the sink disabled this is exactly
+/// [`TeaLeafPort::halo_update`] — no formatting, no allocation — which is
+/// how the driver and solvers call every halo on the hot path.
+pub fn traced_halo(port: &mut dyn TeaLeafPort, fields: &[FieldId], depth: usize) {
+    if !port.context().telemetry().enabled() {
+        port.halo_update(fields, depth);
+        return;
+    }
+    let ctx = port.context();
+    let tel = ctx.telemetry().clone();
+    let t0 = ctx.clock.seconds();
+    port.halo_update(fields, depth);
+    let names: Vec<&str> = fields.iter().map(|f| f.name()).collect();
+    tel.complete_span(
+        "halo",
+        format_args!("halo {} depth={depth}", names.join("+")),
+        t0,
+        port.context().clock.seconds(),
+    );
 }

@@ -37,9 +37,10 @@ pub mod report;
 pub mod resilience;
 pub mod solver;
 
-pub use driver::{run_simulation, run_simulation_seeded, run_solve};
-pub use kernels::{NormField, TeaLeafPort};
+pub use driver::{run_simulation, run_simulation_seeded, run_simulation_traced, run_solve};
+pub use kernels::{traced_halo, NormField, TeaLeafPort};
 pub use model_id::ModelId;
 pub use problem::Problem;
 pub use report::RunReport;
 pub use resilience::{RecoveryAction, RecoveryEvent, Sentinel, SolverHealth};
+pub use simdev::TelemetrySink;

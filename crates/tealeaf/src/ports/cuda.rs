@@ -175,6 +175,10 @@ impl TeaLeafPort for CudaPort {
         &self.ctx
     }
 
+    fn context_mut(&mut self) -> &mut SimContext {
+        &mut self.ctx
+    }
+
     fn init_fields(&mut self, coefficient: Coefficient, rx: f64, ry: f64) {
         let mesh = &self.mesh;
         let cfg = self.cfg();

@@ -90,6 +90,10 @@ impl TeaLeafPort for DirectivePort {
         &self.ctx
     }
 
+    fn context_mut(&mut self) -> &mut SimContext {
+        &mut self.ctx
+    }
+
     fn init_fields(&mut self, coefficient: Coefficient, rx: f64, ry: f64) {
         let mesh = &self.f.mesh;
         let j0 = mesh.i0();

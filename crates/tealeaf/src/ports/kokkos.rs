@@ -272,6 +272,10 @@ impl TeaLeafPort for KokkosPort {
         &self.ctx
     }
 
+    fn context_mut(&mut self) -> &mut SimContext {
+        &mut self.ctx
+    }
+
     fn init_fields(&mut self, coefficient: Coefficient, rx: f64, ry: f64) {
         let mesh = &self.mesh;
         let hp = self.hp;

@@ -237,6 +237,10 @@ impl TeaLeafPort for OpenClPort {
         &self.ctx
     }
 
+    fn context_mut(&mut self) -> &mut SimContext {
+        &mut self.ctx
+    }
+
     fn init_fields(&mut self, coefficient: Coefficient, rx: f64, ry: f64) {
         let mesh = &self.mesh;
         let exec = self.exec_static_or_steal();

@@ -50,6 +50,10 @@ impl TeaLeafPort for SerialPort {
         &self.ctx
     }
 
+    fn context_mut(&mut self) -> &mut SimContext {
+        &mut self.ctx
+    }
+
     fn init_fields(&mut self, coefficient: Coefficient, rx: f64, ry: f64) {
         let mesh = &self.f.mesh;
         self.ctx.launch(&profiles::init_u0(self.n()));

@@ -140,6 +140,10 @@ impl TeaLeafPort for RecordingPort {
         self.inner.context()
     }
 
+    fn context_mut(&mut self) -> &mut SimContext {
+        self.inner.context_mut()
+    }
+
     fn init_fields(&mut self, coefficient: Coefficient, rx: f64, ry: f64) {
         self.inner.init_fields(coefficient, rx, ry);
         self.log.push(KernelCall::InitFields { rx, ry });

@@ -1,11 +1,12 @@
 //! Run reports: what one (model, device, solver, mesh) execution produced.
 
-use simdev::{ClockSnapshot, DeviceSpec};
+use simdev::{ClockSnapshot, DeviceSpec, KernelStats};
 use tea_core::config::SolverKind;
 use tea_core::summary::Summary;
+use tea_telemetry::export::profile_table;
 
 use crate::model_id::ModelId;
-use crate::resilience::{RecoveryEvent, SolverHealth};
+use crate::resilience::{RecoveryAction, RecoveryEvent, SolverHealth};
 
 /// The result of one full simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +55,70 @@ impl RunReport {
     pub fn cells(&self) -> usize {
         self.x_cells * self.y_cells
     }
+
+    /// Per-kernel profile rows (name-sorted, as carried on the snapshot).
+    pub fn kernel_rows(&self) -> Vec<(&str, KernelStats)> {
+        self.sim
+            .kernel_profile
+            .iter()
+            .map(|(name, stats)| (*name, *stats))
+            .collect()
+    }
+
+    /// Per-kernel achieved-bandwidth fraction of the device's STREAM
+    /// bandwidth — Figure 12 at kernel granularity. Rows are name-sorted.
+    pub fn kernel_stream_fractions(&self, device: &DeviceSpec) -> Vec<(&str, f64)> {
+        self.sim
+            .kernel_profile
+            .iter()
+            .map(|(name, stats)| (*name, stats.bw_gbs() / device.stream_bw_gbs))
+            .collect()
+    }
+
+    /// Render the per-kernel profile as an aligned table, time-ordered
+    /// and truncated to the `top` hottest kernels (0 = all).
+    pub fn render_profile(&self, device: &DeviceSpec, top: usize) -> String {
+        let rows = self.kernel_rows();
+        let title = format!(
+            "{} · {} · {} · {}×{}",
+            self.model.label(),
+            self.device,
+            self.solver.name(),
+            self.x_cells,
+            self.y_cells
+        );
+        profile_table(&title, &rows, Some(device.stream_bw_gbs), top).render()
+    }
+
+    /// One human-readable line summarising the run's resilience history:
+    /// `"healthy"` on clean runs, otherwise trip and action counts with
+    /// the first event spelled out.
+    pub fn recovery_summary(&self) -> String {
+        if self.health.is_empty() && self.recoveries.is_empty() {
+            return "healthy".to_string();
+        }
+        let count_action = |pred: fn(&RecoveryAction) -> bool| {
+            self.recoveries.iter().filter(|e| pred(&e.action)).count()
+        };
+        let rollbacks = count_action(|a| matches!(a, RecoveryAction::Rollback { .. }));
+        let retries = count_action(|a| matches!(a, RecoveryAction::Retry { .. }));
+        let fallbacks = count_action(|a| matches!(a, RecoveryAction::Fallback { .. }));
+        let aborts = count_action(|a| matches!(a, RecoveryAction::Abort));
+        let mut line = format!(
+            "{} sentinel trip(s): {} rollback(s), {} retr(y/ies), {} fallback(s), {} abort(s)",
+            self.health.len(),
+            rollbacks,
+            retries,
+            fallbacks,
+            aborts
+        );
+        if let Some(first) = self.recoveries.first() {
+            line.push_str(&format!("; first: {first}"));
+        } else if let Some((step, event)) = self.health.first() {
+            line.push_str(&format!("; first: step {step}: {event}"));
+        }
+        line
+    }
 }
 
 #[cfg(test)]
@@ -78,6 +143,26 @@ mod tests {
                 transfers: 4,
                 transfer_bytes: 1 << 20,
                 flops: 1 << 30,
+                kernel_profile: vec![
+                    (
+                        "cg_calc_w",
+                        KernelStats {
+                            count: 300,
+                            seconds: 1.5,
+                            bytes: 270_000_000_000,
+                            flops: 1 << 29,
+                        },
+                    ),
+                    (
+                        "halo",
+                        KernelStats {
+                            count: 100,
+                            seconds: 0.5,
+                            bytes: 30_000_000_000,
+                            flops: 0,
+                        },
+                    ),
+                ],
             },
             wall_seconds: 0.5,
             eigenvalues: None,
@@ -96,5 +181,64 @@ mod tests {
         assert!((f - 150.0 / 180.1).abs() < 1e-9);
         assert_eq!(r.cells(), 128 * 128);
         assert_eq!(r.sim_seconds(), 2.0);
+    }
+
+    #[test]
+    fn per_kernel_stream_fractions_decompose_figure_12() {
+        let r = report();
+        let device = simdev::devices::gpu_k20x();
+        let fractions = r.kernel_stream_fractions(&device);
+        assert_eq!(fractions.len(), 2);
+        // cg_calc_w: 270 GB over 1.5 s = 180 GB/s
+        let (name, frac) = fractions[0];
+        assert_eq!(name, "cg_calc_w");
+        assert!((frac - 180.0 / 180.1).abs() < 1e-9);
+        // halo: 30 GB over 0.5 s = 60 GB/s
+        let (name, frac) = fractions[1];
+        assert_eq!(name, "halo");
+        assert!((frac - 60.0 / 180.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_table_renders_hot_kernels_first() {
+        let r = report();
+        let device = simdev::devices::gpu_k20x();
+        let text = r.render_profile(&device, 0);
+        let w = text.find("cg_calc_w").expect("cg_calc_w row");
+        let h = text.find("halo").expect("halo row");
+        assert!(w < h, "hotter kernel listed first:\n{text}");
+        assert!(text.contains("STREAM%"), "{text}");
+        // top=1 drops the cooler kernel
+        let short = r.render_profile(&device, 1);
+        assert!(!short.contains("halo"), "{short}");
+    }
+
+    #[test]
+    fn recovery_summary_reads_cleanly() {
+        let mut r = report();
+        assert_eq!(r.recovery_summary(), "healthy");
+        r.health.push((
+            1,
+            SolverHealth::Diverging {
+                iteration: 7,
+                ratio: 12.5,
+            },
+        ));
+        r.recoveries.push(RecoveryEvent {
+            step: 1,
+            trigger: SolverHealth::Diverging {
+                iteration: 7,
+                ratio: 12.5,
+            },
+            action: RecoveryAction::Fallback {
+                from: SolverKind::ConjugateGradient,
+                to: SolverKind::Jacobi,
+            },
+        });
+        let line = r.recovery_summary();
+        assert!(line.contains("1 sentinel trip(s)"), "{line}");
+        assert!(line.contains("1 fallback(s)"), "{line}");
+        assert!(line.contains("step 1"), "{line}");
+        assert!(line.contains("diverging"), "{line}");
     }
 }

@@ -28,6 +28,8 @@
 //! actions replay the same arithmetic — so a *recovered* run of a
 //! transient fault finishes bit-identical to the clean run.
 
+use std::fmt;
+
 use tea_core::config::{SolverKind, TeaConfig};
 use tea_core::halo::FieldId;
 
@@ -64,6 +66,56 @@ impl SolverHealth {
     /// True for [`SolverHealth::Fatal`].
     pub fn is_fatal(&self) -> bool {
         matches!(self, SolverHealth::Fatal { .. })
+    }
+}
+
+impl fmt::Display for SolverHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverHealth::NonFinite { iteration } => {
+                write!(f, "non-finite residual at iteration {iteration}")
+            }
+            SolverHealth::Diverging { iteration, ratio } => {
+                write!(
+                    f,
+                    "diverging at iteration {iteration} ({ratio:.3e}× initial)"
+                )
+            }
+            SolverHealth::Stagnating { iteration, window } => write!(
+                f,
+                "stagnating at iteration {iteration} (no improvement in {window} observations)"
+            ),
+            SolverHealth::Fatal { solver } => {
+                write!(
+                    f,
+                    "unrecoverable: {} recovery chain exhausted",
+                    solver.name()
+                )
+            }
+        }
+    }
+}
+
+impl fmt::Display for RecoveryAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryAction::Rollback { to_iteration } => {
+                write!(f, "rolled back to iteration {to_iteration}")
+            }
+            RecoveryAction::Retry { solver, presteps } => {
+                write!(f, "retried {} with {presteps} presteps", solver.name())
+            }
+            RecoveryAction::Fallback { from, to } => {
+                write!(f, "fell back {} → {}", from.name(), to.name())
+            }
+            RecoveryAction::Abort => write!(f, "aborted (chain exhausted)"),
+        }
+    }
+}
+
+impl fmt::Display for RecoveryEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "step {}: {} — {}", self.step, self.trigger, self.action)
     }
 }
 
@@ -285,6 +337,12 @@ impl PhaseGuard {
             sentinel: self.sentinel.clone(),
             fields: FieldCheckpoint::capture(port, &SOLVE_FIELDS),
         });
+        let ctx = port.context();
+        ctx.telemetry().event(
+            "checkpoint",
+            format_args!("checkpoint @ iteration {iteration}"),
+            ctx.clock.seconds(),
+        );
     }
 
     /// Feed one residual observation; on a NaN/Inf or divergence trip
@@ -301,6 +359,11 @@ impl PhaseGuard {
         let Some(event) = self.sentinel.observe(iteration, rrn) else {
             return PhaseVerdict::Continue;
         };
+        {
+            let ctx = port.context();
+            ctx.telemetry()
+                .event("sentinel", format_args!("{event}"), ctx.clock.seconds());
+        }
         let transient = matches!(
             event,
             SolverHealth::NonFinite { .. } | SolverHealth::Diverging { .. }
@@ -317,6 +380,12 @@ impl PhaseGuard {
                         to_iteration: ck.iteration,
                     },
                 });
+                let ctx = port.context();
+                ctx.telemetry().event(
+                    "recovery",
+                    format_args!("rolled back to iteration {}", ck.iteration),
+                    ctx.clock.seconds(),
+                );
                 let verdict = PhaseVerdict::RolledBack {
                     iteration: ck.iteration,
                     rro: ck.rro,
@@ -428,6 +497,12 @@ pub fn run_with_recovery(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> Solv
                     to: attempt.solver,
                 }
             };
+            let ctx = port.context();
+            ctx.telemetry().event(
+                "recovery",
+                format_args!("{trigger} — {action}"),
+                ctx.clock.seconds(),
+            );
             recoveries.push(RecoveryEvent {
                 step: 0,
                 trigger,
@@ -460,6 +535,14 @@ pub fn run_with_recovery(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> Solv
     health.push(SolverHealth::Fatal {
         solver: config.solver,
     });
+    {
+        let ctx = port.context();
+        ctx.telemetry().event(
+            "recovery",
+            format_args!("aborted: {} recovery chain exhausted", config.solver.name()),
+            ctx.clock.seconds(),
+        );
+    }
     let mut outcome = last.expect("plan always has at least one attempt");
     outcome.converged = false;
     outcome.health = health;

@@ -3,7 +3,7 @@
 use tea_core::config::TeaConfig;
 use tea_core::halo::FieldId;
 
-use crate::kernels::TeaLeafPort;
+use crate::kernels::{traced_halo, TeaLeafPort};
 use crate::resilience::{PhaseGuard, PhaseVerdict};
 use crate::solver::SolveOutcome;
 
@@ -52,14 +52,20 @@ pub fn run_phase(
     history: &mut CgHistory,
     guard: &mut PhaseGuard,
 ) -> (SolveOutcome, f64) {
+    let tel = port.context().telemetry().clone();
     let mut rro = port.cg_init(preconditioner);
     let initial = rro;
     guard.arm(initial);
     let mut iterations = 0;
     let mut converged = initial.abs() <= f64::MIN_POSITIVE; // trivially solved
     while !converged && iterations < max_iters {
+        let iter_span = tel.open_span(
+            "iteration",
+            format_args!("cg iteration {}", iterations + 1),
+            port.context().clock.seconds(),
+        );
         guard.maybe_checkpoint(port, iterations, rro, history.alphas.len());
-        port.halo_update(&[FieldId::P], 1);
+        traced_halo(port, &[FieldId::P], 1);
         let pw = port.cg_calc_w();
         let alpha = rro / pw;
         // Ports that can merge the ur-update and p-update into one launch
@@ -77,6 +83,7 @@ pub fn run_phase(
         history.betas.push(beta);
         rro = rrn;
         iterations += 1;
+        let mut bail = false;
         if rrn.abs() <= eps * initial.abs() {
             converged = true;
         } else {
@@ -92,8 +99,12 @@ pub fn run_phase(
                     history.alphas.truncate(history_len);
                     history.betas.truncate(history_len);
                 }
-                PhaseVerdict::Bail => break,
+                PhaseVerdict::Bail => bail = true,
             }
+        }
+        tel.close_span(iter_span, port.context().clock.seconds());
+        if bail {
+            break;
         }
     }
     (

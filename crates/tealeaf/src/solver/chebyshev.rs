@@ -12,7 +12,7 @@ use tea_core::halo::FieldId;
 
 use crate::cheby::{estimated_iterations, ChebyCoeffs, ChebyShift};
 use crate::eigen::eigenvalue_estimate;
-use crate::kernels::{NormField, TeaLeafPort};
+use crate::kernels::{traced_halo, NormField, TeaLeafPort};
 use crate::resilience::PhaseGuard;
 use crate::solver::cg::{self, CgHistory};
 use crate::solver::SolveOutcome;
@@ -78,18 +78,25 @@ pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
         .max(64)
         .min(config.tl_max_iters.saturating_sub(presteps));
 
-    port.halo_update(&[FieldId::U], 1);
+    let tel = port.context().telemetry().clone();
+    traced_halo(port, &[FieldId::U], 1);
     port.cheby_init(shift.theta);
     let mut iterations = pre_outcome.iterations + 1;
     let mut converged = false;
     let mut rrn = pre_outcome.final_rrn;
     let mut done = 1usize; // cheby_init counts as the first Chebyshev step
     while !converged && done < budget {
-        port.halo_update(&[FieldId::U], 1);
+        let iter_span = tel.open_span(
+            "iteration",
+            format_args!("cheby iteration {}", done + 1),
+            port.context().clock.seconds(),
+        );
+        traced_halo(port, &[FieldId::U], 1);
         let (alpha, beta) = coeffs.next_pair();
         port.cheby_iterate(alpha, beta);
         done += 1;
         iterations += 1;
+        let mut bail = false;
         if done.is_multiple_of(CHECK_INTERVAL) {
             rrn = port.calc_2norm(NormField::R);
             if rrn.abs() <= config.tl_eps * initial.abs() {
@@ -98,9 +105,18 @@ pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
                 // The reduction-free iteration has no per-iteration state
                 // worth rolling back to (the fault is in the eigenvalue
                 // bounds, not a transient): bail to the fallback chain.
+                tel.event(
+                    "sentinel",
+                    format_args!("{event}"),
+                    port.context().clock.seconds(),
+                );
                 guard.events.push(event);
-                break;
+                bail = true;
             }
+        }
+        tel.close_span(iter_span, port.context().clock.seconds());
+        if bail {
+            break;
         }
     }
     if !converged && guard.events.is_empty() {
@@ -109,6 +125,11 @@ pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
         converged = rrn.abs() <= config.tl_eps * initial.abs();
         if !converged {
             if let Some(event) = guard.sentinel.observe(iterations, rrn) {
+                tel.event(
+                    "sentinel",
+                    format_args!("{event}"),
+                    port.context().clock.seconds(),
+                );
                 guard.events.push(event);
             }
         }

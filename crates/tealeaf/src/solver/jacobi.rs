@@ -7,13 +7,14 @@
 use tea_core::config::TeaConfig;
 use tea_core::halo::FieldId;
 
-use crate::kernels::TeaLeafPort;
+use crate::kernels::{traced_halo, TeaLeafPort};
 use crate::resilience::Sentinel;
 use crate::solver::SolveOutcome;
 
 /// Run Jacobi sweeps until the iterate change `Σ|Δu|` drops below
 /// `tl_eps` relative to the first sweep's change.
 pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
+    let tel = port.context().telemetry().clone();
     let mut sentinel = Sentinel::new(config);
     let mut health = Vec::new();
     let mut iterations = 0;
@@ -21,9 +22,15 @@ pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
     let mut initial = 0.0;
     let mut err = f64::INFINITY;
     while !converged && iterations < config.tl_max_iters {
-        port.halo_update(&[FieldId::U], 1);
+        let iter_span = tel.open_span(
+            "iteration",
+            format_args!("jacobi iteration {}", iterations + 1),
+            port.context().clock.seconds(),
+        );
+        traced_halo(port, &[FieldId::U], 1);
         err = port.jacobi_iterate();
         iterations += 1;
+        let mut bail = false;
         if iterations == 1 {
             initial = err;
             sentinel.arm(initial);
@@ -32,13 +39,28 @@ pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
             } else if !initial.is_finite() {
                 // A non-finite first sweep means the inputs are already
                 // poisoned; arm() cannot help, surface it directly.
-                health.push(crate::resilience::SolverHealth::NonFinite { iteration: 1 });
-                break;
+                let event = crate::resilience::SolverHealth::NonFinite { iteration: 1 };
+                tel.event(
+                    "sentinel",
+                    format_args!("{event}"),
+                    port.context().clock.seconds(),
+                );
+                health.push(event);
+                bail = true;
             }
         } else if err <= config.tl_eps * initial {
             converged = true;
         } else if let Some(event) = sentinel.observe(iterations, err) {
+            tel.event(
+                "sentinel",
+                format_args!("{event}"),
+                port.context().clock.seconds(),
+            );
             health.push(event);
+            bail = true;
+        }
+        tel.close_span(iter_span, port.context().clock.seconds());
+        if bail {
             break;
         }
     }

@@ -77,12 +77,23 @@ pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
 }
 
 /// Raw single-attempt dispatch: run the configured solver exactly once,
-/// with in-phase sentinels/rollback but no fallback chain.
+/// with in-phase sentinels/rollback but no fallback chain. Each attempt
+/// is one `solve` telemetry span, so retries and fallbacks show up as
+/// sibling spans under the step.
 pub fn solve_once(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
-    match config.solver {
+    let ctx = port.context();
+    let tel = ctx.telemetry().clone();
+    let span = tel.open_span(
+        "solve",
+        format_args!("{}", config.solver.name()),
+        ctx.clock.seconds(),
+    );
+    let outcome = match config.solver {
         SolverKind::Jacobi => jacobi::solve(port, config),
         SolverKind::ConjugateGradient => cg::solve(port, config),
         SolverKind::Chebyshev => chebyshev::solve(port, config),
         SolverKind::Ppcg => ppcg::solve(port, config),
-    }
+    };
+    tel.close_span(span, port.context().clock.seconds());
+    outcome
 }

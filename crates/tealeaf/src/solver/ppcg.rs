@@ -11,7 +11,7 @@ use tea_core::halo::FieldId;
 
 use crate::cheby::{ChebyCoeffs, ChebyShift};
 use crate::eigen::eigenvalue_estimate;
-use crate::kernels::{NormField, TeaLeafPort};
+use crate::kernels::{traced_halo, NormField, TeaLeafPort};
 use crate::resilience::PhaseGuard;
 use crate::solver::cg::{self, CgHistory};
 use crate::solver::SolveOutcome;
@@ -54,12 +54,18 @@ pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
     let shift = ChebyShift::from_bounds(eigmin, eigmax);
     let inner = ChebyCoeffs::take_pairs(shift, config.tl_ppcg_inner_steps);
 
+    let tel = port.context().telemetry().clone();
     let mut iterations = pre_outcome.iterations;
     let mut converged = false;
     let max_outer = config.tl_max_iters.saturating_sub(presteps);
     let mut outer = 0;
     while !converged && outer < max_outer {
-        port.halo_update(&[FieldId::P], 1);
+        let iter_span = tel.open_span(
+            "iteration",
+            format_args!("ppcg outer {}", outer + 1),
+            port.context().clock.seconds(),
+        );
+        traced_halo(port, &[FieldId::P], 1);
         let pw = port.cg_calc_w();
         let alpha = rro / pw;
         let _ = port.cg_calc_ur(alpha, false);
@@ -67,7 +73,7 @@ pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
         // w = A·sd; r -= w; u += sd; sd = αₖ·sd + βₖ·r.
         port.ppcg_init_sd(shift.theta);
         for &(a, b) in &inner {
-            port.halo_update(&[FieldId::Sd], 1);
+            traced_halo(port, &[FieldId::Sd], 1);
             port.ppcg_inner(a, b);
         }
         let rrn = port.calc_2norm(NormField::R);
@@ -76,6 +82,7 @@ pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
         rro = rrn;
         outer += 1;
         iterations += 1;
+        let mut bail = false;
         if rrn.abs() <= config.tl_eps * initial.abs() {
             converged = true;
         } else if let Some(event) = guard.sentinel.observe(iterations, rrn) {
@@ -85,7 +92,16 @@ pub fn solve(port: &mut dyn TeaLeafPort, config: &TeaConfig) -> SolveOutcome {
             // exactly where the old hard-coded bail did, but now surfaces
             // a typed event the fallback chain reacts to (retry with a
             // widened estimation window) instead of silently giving up.
+            tel.event(
+                "sentinel",
+                format_args!("{event}"),
+                port.context().clock.seconds(),
+            );
             guard.events.push(event);
+            bail = true;
+        }
+        tel.close_span(iter_span, port.context().clock.seconds());
+        if bail {
             break;
         }
     }

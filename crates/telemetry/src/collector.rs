@@ -1,0 +1,304 @@
+//! The span/event collector and the cheap handle instrumented code holds.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Identifier of an open span. `SpanId::NONE` (id 0) is what disabled
+/// sinks hand out; closing it is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The null span: returned by disabled sinks, parent of root spans.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// True for ids minted by an enabled collector.
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// One trace record. All timestamps are simulated seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A span opened (step / solve / iteration).
+    Open {
+        id: u64,
+        parent: u64,
+        cat: &'static str,
+        name: String,
+        t: f64,
+    },
+    /// A previously opened span closed.
+    Close { id: u64, t: f64 },
+    /// A complete span known in full at record time (kernel launches,
+    /// transfers, halo exchanges — anything with a computed duration).
+    Complete {
+        id: u64,
+        parent: u64,
+        cat: &'static str,
+        name: String,
+        t0: f64,
+        t1: f64,
+    },
+    /// An instantaneous event (checkpoint, rollback, sentinel trip…).
+    Instant {
+        parent: u64,
+        cat: &'static str,
+        name: String,
+        t: f64,
+    },
+}
+
+impl Record {
+    /// The record's category.
+    pub fn cat(&self) -> &'static str {
+        match self {
+            Record::Open { cat, .. }
+            | Record::Complete { cat, .. }
+            | Record::Instant { cat, .. } => cat,
+            Record::Close { .. } => "",
+        }
+    }
+
+    /// The record's name (empty for closes).
+    pub fn name(&self) -> &str {
+        match self {
+            Record::Open { name, .. }
+            | Record::Complete { name, .. }
+            | Record::Instant { name, .. } => name,
+            Record::Close { .. } => "",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    records: Vec<Record>,
+    /// Stack of currently open span ids; the top is the parent for any
+    /// new record. Instrumentation runs on the orchestrator thread, so a
+    /// single stack captures the nesting.
+    stack: Vec<u64>,
+    next_id: u64,
+}
+
+/// Thread-safe trace collector. Instrumented code never touches this
+/// directly — it holds a [`TelemetrySink`] — and readers drain it after
+/// the run.
+#[derive(Debug, Default)]
+pub struct Collector {
+    inner: Mutex<Inner>,
+}
+
+impl Collector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Collector::default()
+    }
+
+    fn open(&self, cat: &'static str, name: String, t: f64) -> SpanId {
+        let mut inner = self.inner.lock().expect("collector poisoned");
+        inner.next_id += 1;
+        let id = inner.next_id;
+        let parent = inner.stack.last().copied().unwrap_or(0);
+        inner.records.push(Record::Open {
+            id,
+            parent,
+            cat,
+            name,
+            t,
+        });
+        inner.stack.push(id);
+        SpanId(id)
+    }
+
+    fn close(&self, id: SpanId, t: f64) {
+        if !id.is_some() {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("collector poisoned");
+        // Spans close LIFO; tolerate a missed close below us by popping
+        // down to the span being closed.
+        while let Some(top) = inner.stack.pop() {
+            if top == id.0 {
+                break;
+            }
+        }
+        inner.records.push(Record::Close { id: id.0, t });
+    }
+
+    fn complete(&self, cat: &'static str, name: String, t0: f64, t1: f64) {
+        let mut inner = self.inner.lock().expect("collector poisoned");
+        inner.next_id += 1;
+        let id = inner.next_id;
+        let parent = inner.stack.last().copied().unwrap_or(0);
+        inner.records.push(Record::Complete {
+            id,
+            parent,
+            cat,
+            name,
+            t0,
+            t1,
+        });
+    }
+
+    fn instant(&self, cat: &'static str, name: String, t: f64) {
+        let mut inner = self.inner.lock().expect("collector poisoned");
+        let parent = inner.stack.last().copied().unwrap_or(0);
+        inner.records.push(Record::Instant {
+            parent,
+            cat,
+            name,
+            t,
+        });
+    }
+
+    /// Copy out every record collected so far.
+    pub fn records(&self) -> Vec<Record> {
+        self.inner
+            .lock()
+            .expect("collector poisoned")
+            .records
+            .clone()
+    }
+
+    /// Number of spans currently open (0 after a well-formed run).
+    pub fn open_spans(&self) -> usize {
+        self.inner.lock().expect("collector poisoned").stack.len()
+    }
+
+    /// Total records collected.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("collector poisoned").records.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The handle instrumented code holds: either disabled (the default —
+/// one `Option` check, no allocation, no formatting) or a shared
+/// reference to a [`Collector`].
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySink(Option<Arc<Collector>>);
+
+impl TelemetrySink {
+    /// The no-op sink every context starts with.
+    pub fn disabled() -> Self {
+        TelemetrySink(None)
+    }
+
+    /// A sink feeding a fresh collector; returns both ends.
+    pub fn collecting() -> (Self, Arc<Collector>) {
+        let collector = Arc::new(Collector::new());
+        (TelemetrySink(Some(collector.clone())), collector)
+    }
+
+    /// Wrap an existing collector.
+    pub fn into_sink(collector: Arc<Collector>) -> Self {
+        TelemetrySink(Some(collector))
+    }
+
+    /// Is anyone listening? Instrumentation with a non-trivial label
+    /// should guard on this before formatting.
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Open a span; `name` is only rendered when the sink is enabled.
+    pub fn open_span(&self, cat: &'static str, name: fmt::Arguments<'_>, t: f64) -> SpanId {
+        match &self.0 {
+            Some(c) => c.open(cat, fmt::format(name), t),
+            None => SpanId::NONE,
+        }
+    }
+
+    /// Close a span opened by [`open_span`](Self::open_span).
+    pub fn close_span(&self, id: SpanId, t: f64) {
+        if let Some(c) = &self.0 {
+            c.close(id, t);
+        }
+    }
+
+    /// Record a complete span over `[t0, t1]`.
+    pub fn complete_span(&self, cat: &'static str, name: fmt::Arguments<'_>, t0: f64, t1: f64) {
+        if let Some(c) = &self.0 {
+            c.complete(cat, fmt::format(name), t0, t1);
+        }
+    }
+
+    /// Record an instantaneous event.
+    pub fn event(&self, cat: &'static str, name: fmt::Arguments<'_>, t: f64) {
+        if let Some(c) = &self.0 {
+            c.instant(cat, fmt::format(name), t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = TelemetrySink::disabled();
+        assert!(!sink.enabled());
+        let id = sink.open_span("step", format_args!("step 1"), 0.0);
+        assert_eq!(id, SpanId::NONE);
+        sink.event("halo", format_args!("x"), 0.0);
+        sink.close_span(id, 1.0);
+    }
+
+    #[test]
+    fn spans_nest_and_parent() {
+        let (sink, collector) = TelemetrySink::collecting();
+        let outer = sink.open_span("step", format_args!("step 1"), 0.0);
+        let inner = sink.open_span("solve", format_args!("cg"), 0.1);
+        sink.complete_span("kernel", format_args!("cg_calc_w"), 0.2, 0.3);
+        sink.event("halo", format_args!("p d1"), 0.35);
+        sink.close_span(inner, 0.4);
+        sink.close_span(outer, 0.5);
+        assert_eq!(collector.open_spans(), 0);
+        let records = collector.records();
+        assert_eq!(records.len(), 6);
+        let Record::Open {
+            id: outer_id,
+            parent,
+            ..
+        } = records[0]
+        else {
+            panic!("expected open");
+        };
+        assert_eq!(parent, 0);
+        let Record::Open {
+            id: inner_id,
+            parent,
+            ..
+        } = records[1]
+        else {
+            panic!("expected open");
+        };
+        assert_eq!(parent, outer_id);
+        let Record::Complete { parent, cat, .. } = records[2] else {
+            panic!("expected complete");
+        };
+        assert_eq!(parent, inner_id);
+        assert_eq!(cat, "kernel");
+        let Record::Instant { parent, .. } = records[3] else {
+            panic!("expected instant");
+        };
+        assert_eq!(parent, inner_id);
+    }
+
+    #[test]
+    fn close_is_lifo_tolerant() {
+        let (sink, collector) = TelemetrySink::collecting();
+        let a = sink.open_span("a", format_args!("a"), 0.0);
+        let _b = sink.open_span("b", format_args!("b"), 0.1);
+        // closing `a` with `b` still open pops both
+        sink.close_span(a, 0.2);
+        assert_eq!(collector.open_spans(), 0);
+    }
+}

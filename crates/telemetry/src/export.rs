@@ -1,0 +1,305 @@
+//! Trace and profile exporters: JSONL, Chrome trace-event JSON, tables.
+//!
+//! All three render from in-memory records with deterministic ordering
+//! and Rust's shortest-roundtrip float formatting, so identical runs
+//! produce byte-identical artefacts.
+
+use std::fmt::Write as _;
+
+use tea_core::tablefmt::{fmt_pct, fmt_secs, Table};
+
+use crate::collector::Record;
+use crate::metrics::KernelStats;
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render records as JSONL: one JSON object per line, in collection
+/// order. Timestamps are simulated seconds.
+pub fn to_jsonl(records: &[Record]) -> String {
+    let mut out = String::new();
+    for r in records {
+        match r {
+            Record::Open {
+                id,
+                parent,
+                cat,
+                name,
+                t,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"ev\":\"open\",\"id\":{id},\"parent\":{parent},\"cat\":\"{}\",\"name\":\"{}\",\"t\":{t}}}",
+                    escape_json(cat),
+                    escape_json(name),
+                );
+            }
+            Record::Close { id, t } => {
+                let _ = writeln!(out, "{{\"ev\":\"close\",\"id\":{id},\"t\":{t}}}");
+            }
+            Record::Complete {
+                id,
+                parent,
+                cat,
+                name,
+                t0,
+                t1,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"ev\":\"span\",\"id\":{id},\"parent\":{parent},\"cat\":\"{}\",\"name\":\"{}\",\"t0\":{t0},\"t1\":{t1}}}",
+                    escape_json(cat),
+                    escape_json(name),
+                );
+            }
+            Record::Instant {
+                parent,
+                cat,
+                name,
+                t,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"ev\":\"event\",\"parent\":{parent},\"cat\":\"{}\",\"name\":\"{}\",\"t\":{t}}}",
+                    escape_json(cat),
+                    escape_json(name),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Render records as Chrome trace-event JSON (`chrome://tracing` /
+/// Perfetto "JSON array format", wrapped in a `traceEvents` object).
+///
+/// Open/close pairs become `"ph":"X"` complete events (duration known
+/// once closed); instants become `"ph":"i"`. Timestamps are simulated
+/// **microseconds**, which is what the trace viewer expects.
+pub fn to_chrome(records: &[Record]) -> String {
+    // Resolve open/close pairs to (open-record-index, t1).
+    let mut closes: Vec<(u64, f64)> = Vec::new();
+    for r in records {
+        if let Record::Close { id, t } = r {
+            closes.push((*id, *t));
+        }
+    }
+    let close_time =
+        |id: u64| -> Option<f64> { closes.iter().find(|(cid, _)| *cid == id).map(|(_, t)| *t) };
+    let mut events: Vec<String> = Vec::new();
+    for r in records {
+        match r {
+            Record::Open {
+                id, cat, name, t, ..
+            } => {
+                // An unclosed span (crashed run) renders as zero-length.
+                let t1 = close_time(*id).unwrap_or(*t);
+                events.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":0}}",
+                    escape_json(name),
+                    escape_json(cat),
+                    t * 1e6,
+                    (t1 - t) * 1e6,
+                ));
+            }
+            Record::Complete {
+                cat, name, t0, t1, ..
+            } => {
+                events.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":0}}",
+                    escape_json(name),
+                    escape_json(cat),
+                    t0 * 1e6,
+                    (t1 - t0) * 1e6,
+                ));
+            }
+            Record::Instant { cat, name, t, .. } => {
+                events.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"ts\":{},\"s\":\"t\",\"pid\":0,\"tid\":0}}",
+                    escape_json(name),
+                    escape_json(cat),
+                    t * 1e6,
+                ));
+            }
+            Record::Close { .. } => {}
+        }
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}\n",
+        events.join(",")
+    )
+}
+
+/// Order profile rows by descending time (name as the tiebreak so the
+/// ordering is total and deterministic) and truncate to `top` (0 = all).
+pub fn top_kernels<'a>(rows: &[(&'a str, KernelStats)], top: usize) -> Vec<(&'a str, KernelStats)> {
+    let mut sorted: Vec<(&str, KernelStats)> = rows.to_vec();
+    sorted.sort_by(|a, b| {
+        b.1.seconds
+            .partial_cmp(&a.1.seconds)
+            .expect("finite kernel times")
+            .then_with(|| a.0.cmp(b.0))
+    });
+    if top > 0 {
+        sorted.truncate(top);
+    }
+    sorted
+}
+
+/// Render a per-kernel profile table: calls, seconds, share of total
+/// kernel time, traffic, achieved bandwidth — and, when the device's
+/// STREAM bandwidth is supplied, the per-kernel Figure 12 fraction.
+pub fn profile_table(
+    title: &str,
+    rows: &[(&str, KernelStats)],
+    stream_bw_gbs: Option<f64>,
+    top: usize,
+) -> Table {
+    let total: f64 = rows.iter().map(|(_, s)| s.seconds).sum();
+    let mut header = vec!["kernel", "calls", "seconds", "time%", "GB", "GB/s"];
+    if stream_bw_gbs.is_some() {
+        header.push("STREAM%");
+    }
+    let mut table = Table::new(title, &header);
+    for (name, stats) in top_kernels(rows, top) {
+        let mut cells = vec![
+            name.to_string(),
+            stats.count.to_string(),
+            fmt_secs(stats.seconds),
+            fmt_pct(if total > 0.0 {
+                stats.seconds / total
+            } else {
+                0.0
+            }),
+            format!("{:.3}", stats.bytes as f64 / 1e9),
+            format!("{:.1}", stats.bw_gbs()),
+        ];
+        if let Some(bw) = stream_bw_gbs {
+            cells.push(fmt_pct(stats.bw_gbs() / bw));
+        }
+        table.row(&cells);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::TelemetrySink;
+    use crate::json;
+
+    fn sample_records() -> Vec<Record> {
+        let (sink, collector) = TelemetrySink::collecting();
+        let step = sink.open_span("step", format_args!("step 1"), 0.0);
+        sink.complete_span("kernel", format_args!("cg_calc_w \"q\""), 0.001, 0.002);
+        sink.event("halo", format_args!("p d1"), 0.003);
+        sink.close_span(step, 0.004);
+        collector.records()
+    }
+
+    #[test]
+    fn jsonl_is_one_valid_object_per_line() {
+        let text = to_jsonl(&sample_records());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            let value = json::parse(line).expect("valid JSON line");
+            let obj = value.as_object().expect("object");
+            assert!(obj.iter().any(|(k, _)| k == "ev"));
+        }
+        assert!(lines[0].contains("\"ev\":\"open\""));
+        assert!(
+            lines[1].contains("\\\"q\\\""),
+            "quotes escaped: {}",
+            lines[1]
+        );
+        assert!(lines[3].contains("\"ev\":\"close\""));
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_has_expected_phases() {
+        let text = to_chrome(&sample_records());
+        let value = json::parse(&text).expect("valid chrome trace");
+        let events = value
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 3, "open/close collapse to one X event");
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").and_then(|p| p.as_str()).expect("ph"))
+            .collect();
+        assert_eq!(phases, vec!["X", "X", "i"]);
+        // the step span's duration covers the whole run, in microseconds
+        let dur = events[0].get("dur").and_then(|d| d.as_f64()).expect("dur");
+        assert!((dur - 4000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exporters_are_deterministic() {
+        let a = sample_records();
+        let b = sample_records();
+        assert_eq!(to_jsonl(&a), to_jsonl(&b));
+        assert_eq!(to_chrome(&a), to_chrome(&b));
+    }
+
+    #[test]
+    fn profile_table_sorts_and_truncates() {
+        let rows = vec![
+            (
+                "small",
+                KernelStats {
+                    count: 1,
+                    seconds: 0.1,
+                    bytes: 1_000_000_000,
+                    flops: 0,
+                },
+            ),
+            (
+                "big",
+                KernelStats {
+                    count: 2,
+                    seconds: 0.9,
+                    bytes: 90_000_000_000,
+                    flops: 0,
+                },
+            ),
+        ];
+        let table = profile_table("profile", &rows, Some(200.0), 1);
+        let text = table.render();
+        assert!(text.contains("big"));
+        assert!(!text.contains("small"), "truncated to top 1:\n{text}");
+        assert!(text.contains("90.0%"), "time share:\n{text}");
+        assert!(text.contains("50.0%"), "STREAM fraction 100/200:\n{text}");
+    }
+
+    #[test]
+    fn top_kernels_ties_break_by_name() {
+        let s = KernelStats {
+            count: 1,
+            seconds: 1.0,
+            bytes: 0,
+            flops: 0,
+        };
+        let rows = vec![("b", s), ("a", s)];
+        let sorted = top_kernels(&rows, 0);
+        assert_eq!(sorted[0].0, "a");
+        assert_eq!(sorted[1].0, "b");
+    }
+}

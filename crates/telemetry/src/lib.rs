@@ -1,0 +1,38 @@
+//! # tea-telemetry
+//!
+//! Span tracing and per-kernel metrics for the TeaLeaf reproduction.
+//!
+//! The paper's entire evaluation is measurement — per-kernel runtimes
+//! (Figure 8), runtime growth with mesh size (Figures 9–11), fraction of
+//! STREAM bandwidth achieved (Figure 12) — so the reproduction carries a
+//! first-class observability layer:
+//!
+//! * [`Collector`] / [`TelemetrySink`] — a lightweight span/event API.
+//!   Spans nest `step → solve → iteration → kernel`; events mark halo
+//!   exchanges, checkpoints, rollbacks, fallbacks and sentinel trips.
+//!   Every record is stamped with **simulated** device time, never wall
+//!   clock, so two runs of the same (deck, model, solver, seed, threads)
+//!   emit byte-identical traces.
+//! * [`KernelStats`] — the per-kernel count/seconds/bytes/flops
+//!   accumulator `simdev`'s clock aggregates and `RunReport` exposes;
+//!   [`export::profile_table`] turns it into Figure 12 at kernel
+//!   granularity.
+//! * [`export`] — JSONL trace dump, Chrome `chrome://tracing`
+//!   trace-event JSON, and aligned profile tables via
+//!   [`tea_core::tablefmt`].
+//! * [`json`] — a minimal JSON parser used by the schema tests and
+//!   `tea-prof --validate` (the workspace has no serde).
+//!
+//! The sink is **off by default** ([`TelemetrySink::disabled`]) and the
+//! disabled path is a single `Option` check with no formatting or
+//! allocation, so instrumented code is numerically inert and nearly
+//! free when nobody is listening.
+
+pub mod export;
+pub mod json;
+
+mod collector;
+mod metrics;
+
+pub use collector::{Collector, Record, SpanId, TelemetrySink};
+pub use metrics::KernelStats;

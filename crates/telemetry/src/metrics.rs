@@ -1,0 +1,76 @@
+//! Per-kernel metric accumulation: the unit Figure 12 decomposes to.
+
+/// Accumulated cost of one named kernel: launch count, simulated
+/// seconds, application bytes moved and floating-point operations.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct KernelStats {
+    pub count: u64,
+    pub seconds: f64,
+    pub bytes: u64,
+    pub flops: u64,
+}
+
+impl KernelStats {
+    /// Fold one launch in.
+    pub fn charge(&mut self, seconds: f64, bytes: u64, flops: u64) {
+        self.count += 1;
+        self.seconds += seconds;
+        self.bytes += bytes;
+        self.flops += flops;
+    }
+
+    /// Achieved application bandwidth in GB/s over this kernel's
+    /// accumulated time — the per-kernel numerator of Figure 12.
+    pub fn bw_gbs(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            return 0.0;
+        }
+        self.bytes as f64 / self.seconds / 1e9
+    }
+
+    /// Difference `self - earlier` (counters are monotone, so the
+    /// earlier stats of the same kernel are always component-wise ≤).
+    pub fn since(&self, earlier: &KernelStats) -> KernelStats {
+        KernelStats {
+            count: self.count - earlier.count,
+            seconds: self.seconds - earlier.seconds,
+            bytes: self.bytes - earlier.bytes,
+            flops: self.flops - earlier.flops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates_all_four_counters() {
+        let mut s = KernelStats::default();
+        s.charge(0.5, 1_000_000_000, 10);
+        s.charge(1.5, 29_000_000_000, 20);
+        assert_eq!(s.count, 2);
+        assert!((s.seconds - 2.0).abs() < 1e-12);
+        assert_eq!(s.bytes, 30_000_000_000);
+        assert_eq!(s.flops, 30);
+        assert!((s.bw_gbs() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let mut s = KernelStats::default();
+        s.charge(1.0, 100, 1);
+        let t0 = s;
+        s.charge(0.5, 50, 2);
+        let d = s.since(&t0);
+        assert_eq!(d.count, 1);
+        assert_eq!(d.bytes, 50);
+        assert_eq!(d.flops, 2);
+        assert!((d.seconds - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_kernel_has_zero_bandwidth() {
+        assert_eq!(KernelStats::default().bw_gbs(), 0.0);
+    }
+}

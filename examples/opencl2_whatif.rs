@@ -50,12 +50,12 @@ fn run_with_reduction_factor(
     let hypo_cost = simdev::CostModel::new(device.clone(), hypo, model_quirks(ModelId::OpenCl), 0);
     let n = problem.mesh.interior_len() as u64;
     let mut total = 0.0;
-    for (name, _count, seconds) in port.context().clock.kernel_profile() {
+    for (name, stats) in port.context().clock.kernel_profile() {
         let ratio = match representative_profile(name, n) {
             Some(p) => hypo_cost.kernel_seconds(&p) / base_cost.kernel_seconds(&p),
             None => 1.0, // non-reduction kernels unchanged
         };
-        total += seconds * ratio;
+        total += stats.seconds * ratio;
     }
     total
 }
