@@ -1,0 +1,53 @@
+//! Weak/strong scaling sweeps over the 2-D tiled distributed solvers
+//! (run via `cargo bench -p tea-bench --bench scaling`).
+//!
+//! Writes `scaling_weak.csv` and `scaling_strong.csv` under `results/`
+//! at the workspace root. The default scale is the committed smoke
+//! sweep; `TEA_SCALING_FULL=1` selects the paper-shaped sweep (weak to
+//! 16384² — see EXPERIMENTS.md before running it), and
+//! `TEA_SCALING_BASE`/`TEA_SCALING_STRONG` override individual edges.
+//! Every number is a deterministic logical cost counter, so the CSVs
+//! regenerate byte-identical on any host.
+
+use std::fs;
+use std::path::PathBuf;
+
+use tea_bench::{strong_scaling, strong_table, weak_scaling, weak_table, SweepScale};
+
+fn results_dir() -> PathBuf {
+    let dir = std::env::var("TEA_RESULTS_DIR")
+        .unwrap_or_else(|_| format!("{}/../../results", env!("CARGO_MANIFEST_DIR")));
+    let path = PathBuf::from(dir);
+    fs::create_dir_all(&path).expect("create results dir");
+    path
+}
+
+fn emit(name: &str, table: &tea_core::tablefmt::Table) {
+    println!("{}", table.render());
+    let path = results_dir().join(format!("{name}.csv"));
+    fs::write(&path, table.to_csv()).expect("write csv");
+    println!("  -> {}\n", path.display());
+}
+
+fn main() {
+    // `cargo bench` passes harness flags like `--test`; accept an
+    // optional section filter (`-- weak` / `-- strong`) alongside them.
+    let filter: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let wanted = |name: &str| filter.is_empty() || filter.iter().any(|f| name.contains(f.as_str()));
+
+    let scale = SweepScale::from_env();
+    println!(
+        "== TeaLeaf distributed scaling sweeps ==\nweak base {0}x{0} per rank, strong mesh {1}x{1}, eps {2:.0e} (TEA_SCALING_FULL=1 for the paper-shaped sweep)\n",
+        scale.base, scale.strong, scale.eps
+    );
+
+    if wanted("weak") {
+        emit("scaling_weak", &weak_table(&weak_scaling(scale)));
+    }
+    if wanted("strong") {
+        emit("scaling_strong", &strong_table(&strong_scaling(scale)));
+    }
+}

@@ -29,9 +29,13 @@
 pub mod baseline;
 pub mod experiments;
 pub mod scale;
+pub mod scaling;
 
 pub use experiments::{
     fig10, fig11, fig12, fig12_kernels, fig8, fig9, figure_models, runtime_figure, table1, table2,
     Fig11Point, ModelOnDevice,
 };
 pub use scale::Scale;
+pub use scaling::{
+    strong_scaling, strong_table, weak_scaling, weak_table, ScalingPoint, SweepScale,
+};

@@ -26,6 +26,7 @@ use tea_core::config::SolverKind;
 use tea_core::tablefmt::{fmt_secs, Table};
 use tea_telemetry::export::{to_chrome, to_jsonl};
 use tea_telemetry::{json, Record};
+use tealeaf::distributed::run_distributed_solver_traced;
 use tealeaf::driver::TEA_DEFAULT_SEED;
 use tealeaf::{run_simulation_traced, ModelId, RunReport, TelemetrySink};
 
@@ -40,6 +41,7 @@ struct Options {
     diff: Option<ModelId>,
     device: Option<DeviceSpec>,
     validate: bool,
+    overlap: Option<(usize, usize)>,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -51,7 +53,8 @@ enum Format {
 
 const USAGE: &str =
     "usage: tea-prof [--deck <name>] [--model <port>] [--solver jacobi|cg|chebyshev|ppcg] \
-     [--format table|json|chrome] [--top N] [--diff <port>] [--device cpu|gpu|knc] [--validate]";
+     [--format table|json|chrome] [--top N] [--diff <port>] [--device cpu|gpu|knc] [--validate] \
+     [--overlap GXxGY]";
 
 fn parse_solver(name: &str) -> Option<SolverKind> {
     match name {
@@ -82,6 +85,7 @@ fn parse_args(argv: &[String]) -> Result<Options, String> {
         diff: None,
         device: None,
         validate: false,
+        overlap: None,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -123,6 +127,15 @@ fn parse_args(argv: &[String]) -> Result<Options, String> {
                     Some(parse_device(&v).ok_or_else(|| format!("unknown device '{v}'"))?);
             }
             "--validate" => opts.validate = true,
+            "--overlap" => {
+                let v = value("--overlap")?;
+                let grid = v
+                    .split_once('x')
+                    .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+                    .filter(|&(gx, gy)| gx >= 1 && gy >= 1)
+                    .ok_or_else(|| format!("bad --overlap grid '{v}' (expected e.g. 2x2)"))?;
+                opts.overlap = Some(grid);
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -201,6 +214,88 @@ fn validate_chrome(text: &str) -> Result<usize, String> {
     Ok(events.len())
 }
 
+/// The `--overlap` mode: run each solver distributed on a tile grid and
+/// table the overlap accounting — how much halo traffic the interior
+/// passes hid — alongside rank-0's phase-span tallies from the logical
+/// clock. Returns `Err` if a multi-rank grid records zero overlap for
+/// any solver: the windows exist precisely to hide traffic, so an
+/// all-zero column means the instrumentation (or the split) broke.
+fn overlap_table(
+    deck: &str,
+    gx: usize,
+    gy: usize,
+    solver: Option<SolverKind>,
+) -> Result<Table, String> {
+    let text = builtin_deck(deck)
+        .ok_or_else(|| format!("no builtin deck '{deck}' (try conf_tiny or conf_small)"))?;
+    let solvers: Vec<SolverKind> = match solver {
+        Some(s) => vec![s],
+        None => vec![
+            SolverKind::ConjugateGradient,
+            SolverKind::Chebyshev,
+            SolverKind::Ppcg,
+            SolverKind::Jacobi,
+        ],
+    };
+    let mut table = Table::new(
+        &format!("Halo/compute overlap · deck {deck} · {gx}x{gy} tiles"),
+        &[
+            "solver",
+            "iters",
+            "windows",
+            "interior",
+            "boundary",
+            "exchanged",
+            "hidden",
+            "overlap",
+            "spans e/i/b",
+        ],
+    );
+    for s in solvers {
+        let mut cfg = deck_config(deck, text);
+        cfg.solver = s;
+        let (report, stats, _metrics, records) = run_distributed_solver_traced(gx, gy, &cfg);
+        // rank 0's phase spans, tallied by category off the logical clock
+        let (mut ne, mut ni, mut nb) = (0u64, 0u64, 0u64);
+        for r in &records {
+            if let Record::Complete { cat, .. } = r {
+                match *cat {
+                    "exchange" => ne += 1,
+                    "interior" => ni += 1,
+                    "boundary" => nb += 1,
+                    _ => {}
+                }
+            }
+        }
+        if gx * gy > 1 {
+            if stats.hidden_elements == 0 {
+                return Err(format!(
+                    "{}: {gx}x{gy} run hid no traffic — overlap accounting broke",
+                    s.name()
+                ));
+            }
+            if ni == 0 || ne == 0 {
+                return Err(format!(
+                    "{}: {gx}x{gy} run traced no interior/exchange spans",
+                    s.name()
+                ));
+            }
+        }
+        table.row(&[
+            s.name().to_string(),
+            report.total_iterations.to_string(),
+            stats.windows.to_string(),
+            stats.interior_cells.to_string(),
+            stats.boundary_cells.to_string(),
+            stats.exchanged_elements.to_string(),
+            stats.hidden_elements.to_string(),
+            format!("{:.1}%", 100.0 * stats.overlap_efficiency()),
+            format!("{ne}/{ni}/{nb}"),
+        ]);
+    }
+    Ok(table)
+}
+
 /// Side-by-side per-kernel profile of two runs, widest simulated-time
 /// gap first — the kernels that explain why the two models differ.
 fn diff_table(a: &RunReport, b: &RunReport, top: usize) -> Table {
@@ -265,6 +360,19 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if let Some((gx, gy)) = opts.overlap {
+        return match overlap_table(&opts.deck, gx, gy, opts.solver) {
+            Ok(table) => {
+                println!("{}", table.render());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::from(1)
+            }
+        };
+    }
 
     let device = opts
         .device

@@ -12,9 +12,10 @@
 use std::time::Duration;
 
 use mpisim::{FaultSpec, KillSpec};
-use tea_core::config::TeaConfig;
+use tea_core::config::{SolverKind, TeaConfig};
 use tealeaf::distributed::{
     run_distributed_cg, run_distributed_cg_faulty, run_distributed_cg_resilient,
+    run_distributed_solver, run_distributed_solver_faulty,
 };
 
 /// Outcome tally of one fault matrix sweep.
@@ -70,6 +71,56 @@ pub fn run_fault_matrix(
                     // callers can flag matrices that never recover.
                     let _ = diagnostic;
                     report.aborted += 1;
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// The 2-D fault matrix: every solver × every tile grid × every seed,
+/// over the same lossy transport as [`run_fault_matrix`].
+///
+/// Grids with both dimensions above one put the depth×depth *corner*
+/// messages on the faulty channels alongside the edge strips, and every
+/// solver exercises its own exchange pattern (CG's p-window, Chebyshev's
+/// u-window, PPCG's sd-window, Jacobi's raw-scratch double window) plus
+/// the west→east reduction-carry pipeline. The acceptance property is
+/// the same binary one: recover bit-identical to the clean baseline, or
+/// abort loudly — `Err` on the first silently-different answer.
+pub fn run_fault_matrix_2d(
+    config: &TeaConfig,
+    grids: &[(usize, usize)],
+    solvers: &[SolverKind],
+    seeds: &[u64],
+) -> Result<FaultMatrixReport, String> {
+    let mut report = FaultMatrixReport {
+        runs: 0,
+        recovered: 0,
+        aborted: 0,
+    };
+    for &solver in solvers {
+        let mut cfg = config.clone();
+        cfg.solver = solver;
+        for &(gx, gy) in grids {
+            let baseline = run_distributed_solver(gx, gy, &cfg);
+            for &seed in seeds {
+                report.runs += 1;
+                match run_distributed_solver_faulty(gx, gy, &cfg, matrix_spec(seed)) {
+                    Ok(faulty) => {
+                        if faulty != baseline {
+                            return Err(format!(
+                                "SILENTLY WRONG: solver={solver:?} grid={gx}x{gy} \
+                                 seed={seed:#x}: recovered run differs from clean \
+                                 baseline ({faulty:?} vs {baseline:?})"
+                            ));
+                        }
+                        report.recovered += 1;
+                    }
+                    Err(diagnostic) => {
+                        let _ = diagnostic;
+                        report.aborted += 1;
+                    }
                 }
             }
         }
@@ -161,6 +212,23 @@ mod tests {
             report.recovered >= report.runs / 2,
             "lossy() at 2ms quiet should mostly recover: {report:?}"
         );
+    }
+
+    #[test]
+    fn small_2d_matrix_crosses_corners_and_stays_honest() {
+        // A 2×2 grid puts corner messages on the lossy channels; one
+        // pointwise-window solver (CG) and one double-window solver
+        // (Jacobi, whose scratch travels unreflected) cover the two
+        // exchange shapes.
+        let report = run_fault_matrix_2d(
+            &small_config(),
+            &[(2, 2)],
+            &[SolverKind::ConjugateGradient, SolverKind::Jacobi],
+            &[3],
+        )
+        .expect("property holds");
+        assert_eq!(report.runs, 2);
+        assert_eq!(report.recovered + report.aborted, report.runs);
     }
 
     #[test]

@@ -20,11 +20,12 @@ use std::path::PathBuf;
 use tea_core::compare::hex_bits;
 use tea_core::config::SolverKind;
 use tea_core::summary::Summary;
-use tealeaf::distributed::run_distributed_cg;
+use tealeaf::distributed::{run_distributed_cg, run_distributed_solver};
 use tealeaf::run_simulation;
 
 use crate::matrix::{
-    deck_config, model_name, natural_device, GOLDEN_PORTS, GOLDEN_RANKS, GOLDEN_SOLVERS,
+    deck_config, model_name, natural_device, GOLDEN_GRIDS, GOLDEN_PORTS, GOLDEN_RANKS,
+    GOLDEN_SOLVERS,
 };
 
 /// One golden row: a (solver, port) run's bit-exact outcome.
@@ -78,7 +79,8 @@ impl GoldenEntry {
 }
 
 /// Run the full matrix for one deck and return its golden rows:
-/// every port × every solver, then distributed CG at 1/2/4 ranks.
+/// every port × every solver, distributed CG at 1/2/4 ranks (strips),
+/// then every solver on the 2-D tile grids with overlapped exchange.
 pub fn compute_goldens(deck_name: &str, deck_text: &str) -> Vec<GoldenEntry> {
     let base = deck_config(deck_name, deck_text);
     let mut entries = Vec::new();
@@ -108,6 +110,20 @@ pub fn compute_goldens(deck_name: &str, deck_text: &str) -> Vec<GoldenEntry> {
             report.converged,
             report.summary,
         ));
+    }
+    for solver in GOLDEN_SOLVERS {
+        let mut cfg = base.clone();
+        cfg.solver = solver;
+        for (gx, gy) in GOLDEN_GRIDS {
+            let report = run_distributed_solver(gx, gy, &cfg);
+            entries.push(GoldenEntry::from_run(
+                solver,
+                format!("mpisim-{gx}x{gy}"),
+                report.total_iterations,
+                report.converged,
+                report.summary,
+            ));
+        }
     }
     entries
 }

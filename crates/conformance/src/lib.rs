@@ -42,7 +42,8 @@ pub use diff::{
     SabotagePlan, SabotagedPort,
 };
 pub use faults::{
-    run_fault_matrix, run_fault_matrix_recovering, FaultMatrixReport, RecoveryMatrixReport,
+    run_fault_matrix, run_fault_matrix_2d, run_fault_matrix_recovering, FaultMatrixReport,
+    RecoveryMatrixReport,
 };
 pub use fuzz::{run_schedule_fuzz, FuzzReport};
 pub use golden::{check_deck, compute_goldens, GoldenEntry};

@@ -30,6 +30,13 @@ pub const GOLDEN_SOLVERS: [SolverKind; 4] = [
 /// mpisim rank counts the distributed-CG golden rows cover.
 pub const GOLDEN_RANKS: [usize; 3] = [1, 2, 4];
 
+/// 2-D tile grids the distributed rows cover, for **every** solver: the
+/// degenerate single tile, a column split (E/W exchange + carry
+/// pipeline), a row split (N/S exchange, the legacy strip) and a full
+/// 2×2 (corner exchange). Every row must be bit-identical to the
+/// 1-rank/serial row for the same solver.
+pub const GOLDEN_GRIDS: [(usize, usize); 4] = [(1, 1), (2, 1), (2, 2), (4, 1)];
+
 /// Stable command-line name of a port.
 pub fn model_name(model: ModelId) -> &'static str {
     match model {

@@ -185,6 +185,39 @@ fn distributed_cg_matches_the_serial_port_bitwise() {
     }
 }
 
+/// The committed registries must encode the tentpole invariant directly:
+/// every 2-D tile-grid row (`mpisim-{gx}x{gy}`) carries exactly the same
+/// bits, iteration count and convergence flag as the serial row for the
+/// same solver. This parses the committed files only — no runs — so it
+/// guards the *registry contents* cheaply on every tier-1 invocation;
+/// the `--ignored` golden matrix re-executes the runs themselves.
+#[test]
+fn committed_2d_grid_rows_bit_equal_their_serial_rows() {
+    use tea_conformance::golden::{golden_path, parse_registry};
+    for (name, _) in builtin_decks() {
+        let text = std::fs::read_to_string(golden_path(name)).expect("committed registry");
+        let entries = parse_registry(&text).expect("registry parses");
+        let grid_rows: Vec<_> = entries
+            .iter()
+            .filter(|e| e.port.starts_with("mpisim-") && e.port.contains('x'))
+            .collect();
+        assert_eq!(grid_rows.len(), 16, "{name}: 4 solvers x 4 grids");
+        for row in grid_rows {
+            let serial = entries
+                .iter()
+                .find(|e| e.solver == row.solver && e.port == "serial")
+                .unwrap_or_else(|| panic!("{name}: no serial row for {}", row.solver));
+            assert_eq!(
+                row.bits, serial.bits,
+                "{name}: {}:{} drifted from serial",
+                row.solver, row.port
+            );
+            assert_eq!(row.iterations, serial.iterations, "{name}: {}", row.port);
+            assert_eq!(row.converged, serial.converged);
+        }
+    }
+}
+
 #[test]
 fn short_schedule_fuzz_budget_is_clean() {
     let report = run_schedule_fuzz(0x7EA1EAF, 2).expect("schedules must not change bits");
@@ -207,7 +240,7 @@ fn small_fault_matrix_is_never_silently_wrong() {
 fn golden_registry_matches_committed_files() {
     for (name, text) in builtin_decks() {
         match tea_conformance::check_deck(name, text) {
-            Ok(n) => assert!(n >= 35, "deck {name}: expected full matrix, got {n} rows"),
+            Ok(n) => assert!(n >= 51, "deck {name}: expected full matrix, got {n} rows"),
             Err(problems) => panic!(
                 "deck {name}: {} golden mismatches:\n  {}",
                 problems.len(),
@@ -229,6 +262,29 @@ fn full_fault_matrix_across_ranks_and_seeds() {
     assert!(
         report.recovered > 0,
         "at least some lossy runs must recover: {report:?}"
+    );
+}
+
+#[test]
+#[ignore = "full 2-D fault matrix; run via the CI conformance job or locally with -- --ignored"]
+fn full_2d_fault_matrix_every_solver_every_grid() {
+    let mut cfg = TeaConfig::paper_problem(16);
+    cfg.end_step = 1;
+    cfg.tl_eps = 1.0e-10;
+    let solvers = [
+        SolverKind::ConjugateGradient,
+        SolverKind::Chebyshev,
+        SolverKind::Ppcg,
+        SolverKind::Jacobi,
+    ];
+    let grids = [(2, 1), (1, 2), (2, 2)];
+    let seeds: Vec<u64> = (1..=4).collect();
+    let report = tea_conformance::run_fault_matrix_2d(&cfg, &grids, &solvers, &seeds)
+        .expect("never silently wrong");
+    assert_eq!(report.runs, 48, "4 solvers x 3 grids x 4 seeds");
+    assert!(
+        report.recovered > 0,
+        "at least some lossy 2-D runs must recover: {report:?}"
     );
 }
 

@@ -35,8 +35,10 @@
 
 pub mod fault;
 pub mod metrics;
+pub mod topology;
 pub mod world;
 
 pub use fault::{FaultSpec, KillSpec};
-pub use metrics::TransportMetrics;
+pub use metrics::{ExchangeMetrics, TransportMetrics};
+pub use topology::{dir_tag, Dir, Grid2d};
 pub use world::{run_spmd, run_spmd_faulty, FaultDiagnostic, Rank, Tag};

@@ -8,6 +8,8 @@
 //! rank's single-threaded `Transport` state; reading them costs nothing
 //! and changes nothing.
 
+use crate::topology::Dir;
+
 /// Snapshot of one rank's transport activity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TransportMetrics {
@@ -54,6 +56,49 @@ impl TransportMetrics {
     }
 }
 
+/// Per-direction halo-exchange counters for a 2-D tiled decomposition:
+/// how many messages, and how many `f64` elements, one rank sent in each
+/// of the eight [`Dir`]ections. Indexed by [`Dir::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExchangeMetrics {
+    pub messages: [u64; 8],
+    pub elements: [u64; 8],
+}
+
+impl ExchangeMetrics {
+    /// Record one message of `elements` payload elements towards `dir`.
+    pub fn record(&mut self, dir: Dir, elements: usize) {
+        self.messages[dir.index()] += 1;
+        self.elements[dir.index()] += elements as u64;
+    }
+
+    pub fn total_messages(&self) -> u64 {
+        self.messages.iter().sum()
+    }
+
+    pub fn total_elements(&self) -> u64 {
+        self.elements.iter().sum()
+    }
+
+    /// Elements sent across the four edges (N/S/E/W).
+    pub fn edge_elements(&self) -> u64 {
+        Dir::EDGES.iter().map(|d| self.elements[d.index()]).sum()
+    }
+
+    /// Elements sent across the four corners (diagonals).
+    pub fn corner_elements(&self) -> u64 {
+        Dir::CORNERS.iter().map(|d| self.elements[d.index()]).sum()
+    }
+
+    /// Fold another rank's counters into this one.
+    pub fn merge(&mut self, other: &ExchangeMetrics) {
+        for q in 0..8 {
+            self.messages[q] += other.messages[q];
+            self.elements[q] += other.elements[q];
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,5 +123,22 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(m.recovery_envelopes(), 5);
+    }
+
+    #[test]
+    fn exchange_metrics_split_edges_from_corners() {
+        let mut m = ExchangeMetrics::default();
+        m.record(Dir::N, 10);
+        m.record(Dir::E, 7);
+        m.record(Dir::NE, 4);
+        assert_eq!(m.total_messages(), 3);
+        assert_eq!(m.total_elements(), 21);
+        assert_eq!(m.edge_elements(), 17);
+        assert_eq!(m.corner_elements(), 4);
+        let mut other = ExchangeMetrics::default();
+        other.record(Dir::N, 5);
+        m.merge(&other);
+        assert_eq!(m.elements[Dir::N.index()], 15);
+        assert_eq!(m.messages[Dir::N.index()], 2);
     }
 }

@@ -1,0 +1,249 @@
+//! 2-D rank topology for tiled domain decomposition.
+//!
+//! A distributed mesh solver decomposes its domain over a Cartesian grid
+//! of ranks. This module provides the pure geometry: the eight exchange
+//! directions of a 5-point-stencil halo (four edges plus four corners,
+//! the corners needed once the exchange depth exceeds one or a kernel
+//! reads a diagonal ghost), a row-major rank ⇄ coordinate mapping, and a
+//! per-direction tag scheme so one field exchange can keep all eight
+//! in-flight messages on distinct channels.
+//!
+//! Row-major numbering (`rank = ty·tiles_x + tx`) is load-bearing for
+//! bit-exact reductions: ranks in the same tile-row are consecutive, and
+//! tile-rows appear bottom-to-top, so a rank-ordered fold of per-row
+//! partials visits global mesh rows in exactly the serial order.
+
+use crate::world::Tag;
+
+/// One of the eight halo-exchange directions. `N` is towards larger `y`
+/// (larger tile row index `ty`), `E` towards larger `x`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    N,
+    S,
+    E,
+    W,
+    NE,
+    NW,
+    SE,
+    SW,
+}
+
+impl Dir {
+    /// Every direction, edges first — the order receivers should drain
+    /// an exchange in when corner messages must win over edge payloads.
+    pub const ALL: [Dir; 8] = [
+        Dir::N,
+        Dir::S,
+        Dir::E,
+        Dir::W,
+        Dir::NE,
+        Dir::NW,
+        Dir::SE,
+        Dir::SW,
+    ];
+    /// The four edge (face) directions.
+    pub const EDGES: [Dir; 4] = [Dir::N, Dir::S, Dir::E, Dir::W];
+    /// The four corner (diagonal) directions.
+    pub const CORNERS: [Dir; 4] = [Dir::NE, Dir::NW, Dir::SE, Dir::SW];
+
+    /// `(dx, dy)` step in tile coordinates.
+    pub fn offset(self) -> (i64, i64) {
+        match self {
+            Dir::N => (0, 1),
+            Dir::S => (0, -1),
+            Dir::E => (1, 0),
+            Dir::W => (-1, 0),
+            Dir::NE => (1, 1),
+            Dir::NW => (-1, 1),
+            Dir::SE => (1, -1),
+            Dir::SW => (-1, -1),
+        }
+    }
+
+    /// The direction a message sent this way arrives *from*.
+    pub fn opposite(self) -> Dir {
+        match self {
+            Dir::N => Dir::S,
+            Dir::S => Dir::N,
+            Dir::E => Dir::W,
+            Dir::W => Dir::E,
+            Dir::NE => Dir::SW,
+            Dir::NW => Dir::SE,
+            Dir::SE => Dir::NW,
+            Dir::SW => Dir::NE,
+        }
+    }
+
+    /// True for the four diagonal directions.
+    pub fn is_corner(self) -> bool {
+        matches!(self, Dir::NE | Dir::NW | Dir::SE | Dir::SW)
+    }
+
+    /// Stable index 0..8 (the position in [`Dir::ALL`]).
+    pub fn index(self) -> usize {
+        match self {
+            Dir::N => 0,
+            Dir::S => 1,
+            Dir::E => 2,
+            Dir::W => 3,
+            Dir::NE => 4,
+            Dir::NW => 5,
+            Dir::SE => 6,
+            Dir::SW => 7,
+        }
+    }
+
+    /// Human-readable name for diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dir::N => "N",
+            Dir::S => "S",
+            Dir::E => "E",
+            Dir::W => "W",
+            Dir::NE => "NE",
+            Dir::NW => "NW",
+            Dir::SE => "SE",
+            Dir::SW => "SW",
+        }
+    }
+}
+
+/// Per-direction message tag: each base tag (one per field/purpose)
+/// fans out into eight channel tags, one per direction of travel. Base
+/// tags are small integers, so the result stays far below the world's
+/// reserved collective-tag range.
+pub fn dir_tag(base: Tag, dir: Dir) -> Tag {
+    base * 16 + dir.index() as Tag
+}
+
+/// A row-major Cartesian grid of ranks: `rank = ty·tiles_x + tx`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid2d {
+    tiles_x: usize,
+    tiles_y: usize,
+}
+
+impl Grid2d {
+    pub fn new(tiles_x: usize, tiles_y: usize) -> Grid2d {
+        assert!(tiles_x > 0 && tiles_y > 0, "tile grid must be non-empty");
+        Grid2d { tiles_x, tiles_y }
+    }
+
+    /// The degenerate 1-D strip decomposition: one tile column, `ranks`
+    /// tile rows.
+    pub fn column_strip(ranks: usize) -> Grid2d {
+        Grid2d::new(1, ranks)
+    }
+
+    pub fn tiles_x(&self) -> usize {
+        self.tiles_x
+    }
+
+    pub fn tiles_y(&self) -> usize {
+        self.tiles_y
+    }
+
+    /// Total rank count.
+    pub fn ranks(&self) -> usize {
+        self.tiles_x * self.tiles_y
+    }
+
+    /// Tile coordinates `(tx, ty)` of `rank`.
+    pub fn coords(&self, rank: usize) -> (usize, usize) {
+        assert!(rank < self.ranks(), "rank {rank} outside {self:?}");
+        (rank % self.tiles_x, rank / self.tiles_x)
+    }
+
+    /// Rank at tile coordinates `(tx, ty)`.
+    pub fn rank_at(&self, tx: usize, ty: usize) -> usize {
+        assert!(tx < self.tiles_x && ty < self.tiles_y);
+        ty * self.tiles_x + tx
+    }
+
+    /// The rank adjacent to `rank` in direction `dir`, or `None` at a
+    /// physical boundary. On a rectangular grid a diagonal neighbour
+    /// exists exactly when both adjacent edge neighbours do.
+    pub fn neighbor(&self, rank: usize, dir: Dir) -> Option<usize> {
+        let (tx, ty) = self.coords(rank);
+        let (dx, dy) = dir.offset();
+        let nx = tx as i64 + dx;
+        let ny = ty as i64 + dy;
+        if nx < 0 || ny < 0 || nx >= self.tiles_x as i64 || ny >= self.tiles_y as i64 {
+            return None;
+        }
+        Some(self.rank_at(nx as usize, ny as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_is_an_involution_and_flips_the_offset() {
+        for dir in Dir::ALL {
+            assert_eq!(dir.opposite().opposite(), dir);
+            let (dx, dy) = dir.offset();
+            assert_eq!(dir.opposite().offset(), (-dx, -dy));
+        }
+    }
+
+    #[test]
+    fn dir_indices_are_distinct_and_match_all_order() {
+        for (want, dir) in Dir::ALL.iter().enumerate() {
+            assert_eq!(dir.index(), want);
+        }
+    }
+
+    #[test]
+    fn dir_tags_never_collide_across_bases_or_directions() {
+        let mut seen = std::collections::HashSet::new();
+        for base in 1..=8 {
+            for dir in Dir::ALL {
+                assert!(seen.insert(dir_tag(base, dir)), "tag collision");
+            }
+        }
+    }
+
+    #[test]
+    fn row_major_coords_round_trip() {
+        let g = Grid2d::new(3, 2);
+        assert_eq!(g.ranks(), 6);
+        for rank in 0..g.ranks() {
+            let (tx, ty) = g.coords(rank);
+            assert_eq!(g.rank_at(tx, ty), rank);
+        }
+        assert_eq!(g.coords(4), (1, 1));
+    }
+
+    #[test]
+    fn neighbors_respect_the_boundary() {
+        let g = Grid2d::new(2, 2);
+        // rank 0 = (0,0): has N, E, NE; nothing south or west.
+        assert_eq!(g.neighbor(0, Dir::N), Some(2));
+        assert_eq!(g.neighbor(0, Dir::E), Some(1));
+        assert_eq!(g.neighbor(0, Dir::NE), Some(3));
+        for dir in [Dir::S, Dir::W, Dir::SW, Dir::SE, Dir::NW] {
+            assert_eq!(g.neighbor(0, dir), None, "{}", dir.name());
+        }
+        // rank 3 = (1,1): the mirror image.
+        assert_eq!(g.neighbor(3, Dir::S), Some(1));
+        assert_eq!(g.neighbor(3, Dir::W), Some(2));
+        assert_eq!(g.neighbor(3, Dir::SW), Some(0));
+    }
+
+    #[test]
+    fn column_strip_matches_the_1d_decomposition() {
+        let g = Grid2d::column_strip(4);
+        assert_eq!((g.tiles_x(), g.tiles_y()), (1, 4));
+        for rank in 0..4 {
+            assert_eq!(g.coords(rank), (0, rank));
+            assert_eq!(g.neighbor(rank, Dir::N), (rank + 1 < 4).then_some(rank + 1));
+            assert_eq!(g.neighbor(rank, Dir::S), rank.checked_sub(1));
+            for dir in [Dir::E, Dir::W, Dir::NE, Dir::NW, Dir::SE, Dir::SW] {
+                assert_eq!(g.neighbor(rank, dir), None);
+            }
+        }
+    }
+}

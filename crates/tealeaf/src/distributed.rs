@@ -1,31 +1,55 @@
-//! Distributed (multi-chunk) TeaLeaf over the MPI-like layer.
+//! Distributed (multi-tile) TeaLeaf over the MPI-like layer.
 //!
 //! The paper's models are node-level; "inter-node communications … is
 //! handled with MPI in TeaLeaf" (§3). This module supplies that layer for
-//! the reproduction: the global mesh is decomposed into horizontal
-//! row-stripes, one per [`mpisim`] rank; each rank solves its stripe with
-//! the shared row kernels, exchanging boundary rows with its neighbours
-//! every iteration and combining dot products with deterministic
-//! rank-ordered allreduces.
+//! the reproduction: the global mesh is decomposed over a 2-D Cartesian
+//! [`Grid2d`] of [`mpisim`] ranks, one rectangular [`Tile`] each. Every
+//! solver the serial reference implements — Jacobi, CG, Chebyshev and
+//! PPCG — runs distributed, exchanging halos with up to eight neighbours
+//! (four edges, four corners) per stencil pass and combining reductions
+//! with the exactly-ordered carry pipeline in [`crate::tile`].
 //!
-//! Because ranks own *contiguous* row stripes and the allreduce combines
-//! partials in rank order, every reduction has exactly the same
-//! floating-point association as the single-chunk row-ordered reduction —
-//! so a distributed run is **bit-identical** to the serial reference for
-//! any rank count (asserted by the integration tests).
+//! ## Communication/computation overlap
+//!
+//! Each stencil pass opens a halo window ([`tile::post_halo`]), updates
+//! the interior cells — whose 5-point stencil reads no ghost cell — while
+//! the exchange is in flight, completes the window, then updates the
+//! boundary ring. Because no TeaLeaf kernel writes a field its stencil
+//! reads, the split is **bit-identical** to the blocking schedule by
+//! construction; [`run_distributed_solver_blocking`] exists so tests can
+//! assert exactly that, and [`OverlapStats`] reports what each window hid
+//! in deterministic logical units.
+//!
+//! ## Bit-identity
+//!
+//! Ranks own contiguous rectangles, reductions are carry-pipelined west
+//! to east and folded in rank order (= global row order, thanks to the
+//! row-major rank numbering), and ghost cells hold exactly the serial
+//! padded-mesh values after every exchange — so a distributed run on any
+//! `tiles_x × tiles_y` grid is bit-identical to the serial reference
+//! (asserted by the integration tests and the conformance goldens).
+//!
+//! The one caveat: the distributed drivers replicate the serial solvers'
+//! *healthy* control flow and skip the resilience sentinels, which are
+//! numerically inert unless they trip. A deck whose serial solve trips a
+//! sentinel would diverge — loudly, via the golden/equivalence checks.
 
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
-use mpisim::{run_spmd, run_spmd_faulty, FaultDiagnostic, FaultSpec, Rank, Tag};
-use tea_core::config::TeaConfig;
-use tea_core::field::Field2d;
-use tea_core::halo::update_halo;
-use tea_core::mesh::Mesh2d;
-use tea_core::state::generate_chunk;
+use mpisim::{
+    run_spmd, run_spmd_faulty, ExchangeMetrics, FaultDiagnostic, FaultSpec, Grid2d, Rank, Tag,
+};
+use tea_core::config::{Coefficient, SolverKind, TeaConfig};
 use tea_core::summary::Summary;
+use tea_telemetry::{Record, TelemetrySink};
 
+use crate::cheby::{estimated_iterations, ChebyCoeffs, ChebyShift};
+use crate::eigen::eigenvalue_estimate;
 use crate::ports::common::{self, Us};
+use crate::solver::cg::CgHistory;
+use crate::solver::chebyshev::CHECK_INTERVAL;
+use crate::tile::{self, OverlapStats, Span, Tile, TileGeom};
 
 /// Result of a distributed run.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,108 +60,967 @@ pub struct DistributedReport {
     pub summary: Summary,
 }
 
-/// Row range (global interior rows) owned by `rank` of `size`.
+/// Row range (global interior rows) owned by `rank` of `size` in the
+/// 1-D strip decomposition — the y-axis slice of [`tile::tile_span`].
 pub fn stripe_rows(y_cells: usize, rank: usize, size: usize) -> (usize, usize) {
-    (rank * y_cells / size, (rank + 1) * y_cells / size)
+    tile::tile_span(y_cells, rank, size)
 }
 
-/// One rank's stripe of the global problem.
-#[derive(Clone)]
-struct Stripe {
-    mesh: Mesh2d,
-    density: Vec<f64>,
-    energy: Vec<f64>,
-    u: Vec<f64>,
-    u0: Vec<f64>,
-    p: Vec<f64>,
-    r: Vec<f64>,
-    w: Vec<f64>,
-    z: Vec<f64>,
-    kx: Vec<f64>,
-    ky: Vec<f64>,
+// ---------------------------------------------------------------------------
+// per-rank worker
+// ---------------------------------------------------------------------------
+
+/// The fields a halo exchange can move, with their base tags and
+/// boundary semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ex {
+    Density,
+    Energy,
+    U,
+    P,
+    Sd,
+    /// Jacobi's previous-iterate scratch (stored in `r`).
+    RScratch,
 }
 
-impl Stripe {
-    fn build(config: &TeaConfig, rank: usize, size: usize) -> Stripe {
-        let (r0, r1) = stripe_rows(config.y_cells, rank, size);
-        let rows = r1 - r0;
-        assert!(
-            rows >= config.halo_depth,
-            "stripe of {rows} rows cannot carry a depth-{} halo; use fewer ranks",
-            config.halo_depth
-        );
-        let dy = (config.ymax - config.ymin) / config.y_cells as f64;
-        let mesh = Mesh2d::new(
-            config.x_cells,
-            rows,
-            config.halo_depth,
-            (config.xmin, config.xmax),
-            (config.ymin + dy * r0 as f64, config.ymin + dy * r1 as f64),
-        );
-        let mut density = Field2d::zeros(&mesh);
-        let mut energy = Field2d::zeros(&mesh);
-        generate_chunk(&mesh, &config.states, &mut density, &mut energy);
-        let len = mesh.len();
-        Stripe {
-            mesh,
-            density: density.into_vec(),
-            energy: energy.into_vec(),
-            u: vec![0.0; len],
-            u0: vec![0.0; len],
-            p: vec![0.0; len],
-            r: vec![0.0; len],
-            w: vec![0.0; len],
-            z: vec![0.0; len],
-            kx: vec![0.0; len],
-            ky: vec![0.0; len],
+impl Ex {
+    fn base(self) -> Tag {
+        match self {
+            Ex::Density => 1,
+            Ex::Energy => 2,
+            Ex::U => 3,
+            Ex::P => 4,
+            Ex::Sd => 5,
+            Ex::RScratch => 6,
         }
     }
 
-    /// Reflective update plus neighbour exchange of `depth` ghost rows.
-    ///
-    /// The local reflective pass fills the x-edges and whichever y-edges
-    /// are physical boundaries; the exchange then overwrites the interior
-    /// (inter-rank) ghost rows with the neighbour's boundary rows.
-    fn halo_exchange(field: &mut [f64], mesh: &Mesh2d, rank: &Rank, tag: Tag, depth: usize) {
-        update_halo(mesh, field, depth);
-        let width = mesh.width();
-        let row = |j: usize| j * width..(j + 1) * width;
-        // downward neighbour (owns smaller y)
-        if rank.id() > 0 {
-            let mut payload = Vec::with_capacity(depth * width);
-            for k in 0..depth {
-                payload.extend_from_slice(&field[row(mesh.i0() + k)]);
-            }
-            let incoming = rank.sendrecv(rank.id() - 1, tag, payload);
-            // ghost row i0-1-k mirrors the neighbour's top interior row k
-            for k in 0..depth {
-                field[row(mesh.i0() - 1 - k)]
-                    .clone_from_slice(&incoming[k * width..(k + 1) * width]);
-            }
-        }
-        // upward neighbour (owns larger y)
-        if rank.id() + 1 < rank.size() {
-            let mut payload = Vec::with_capacity(depth * width);
-            for k in 0..depth {
-                payload.extend_from_slice(&field[row(mesh.j1() - 1 - k)]);
-            }
-            let incoming = rank.sendrecv(rank.id() + 1, tag, payload);
-            for k in 0..depth {
-                field[row(mesh.j1() + k)].clone_from_slice(&incoming[k * width..(k + 1) * width]);
-            }
+    /// Whether the exchange refreshes the local reflective halo first.
+    /// Jacobi's scratch is exchanged raw: the serial sweep reads 0.0 in
+    /// its physical ghosts (the copy never writes them), so a reflective
+    /// update there would change the answer.
+    fn reflect(self) -> bool {
+        !matches!(self, Ex::RScratch)
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Ex::Density => "density",
+            Ex::Energy => "energy",
+            Ex::U => "u",
+            Ex::P => "p",
+            Ex::Sd => "sd",
+            Ex::RScratch => "r-scratch",
         }
     }
 }
 
-/// Solve the configured problem with CG across `ranks` stripes; returns
-/// the global report (identical on every rank).
-pub fn run_distributed_cg(ranks: usize, config: &TeaConfig) -> DistributedReport {
-    let reports = run_spmd(ranks, |rank| spmd_body(rank, config));
-    let first = reports[0].clone();
-    for r in &reports {
+/// Borrow the geometry and the field an [`Ex`] names, disjointly.
+fn slot(t: &mut Tile, f: Ex) -> (&TileGeom, &mut Vec<f64>) {
+    match f {
+        Ex::Density => (&t.geom, &mut t.density),
+        Ex::Energy => (&t.geom, &mut t.energy),
+        Ex::U => (&t.geom, &mut t.u),
+        Ex::P => (&t.geom, &mut t.p),
+        Ex::Sd => (&t.geom, &mut t.sd),
+        Ex::RScratch => (&t.geom, &mut t.r),
+    }
+}
+
+/// One rank's solve state: its tile plus the exchange/overlap
+/// instrumentation. The `clock` is logical — cell updates and exchanged
+/// elements each cost one unit — so telemetry spans are bit-reproducible.
+struct Worker<'a> {
+    rank: &'a Rank,
+    config: &'a TeaConfig,
+    t: Tile,
+    overlap: bool,
+    stats: OverlapStats,
+    metrics: ExchangeMetrics,
+    tel: TelemetrySink,
+    clock: f64,
+}
+
+impl Worker<'_> {
+    /// Blocking exchange of one field's halo (no compute to overlap).
+    fn exchange(&mut self, f: Ex, depth: usize) {
+        let t0 = self.clock;
+        let (geom, field) = slot(&mut self.t, f);
+        let got = tile::exchange_halo(
+            self.rank,
+            geom,
+            field,
+            f.base(),
+            depth,
+            f.reflect(),
+            &mut self.metrics,
+        );
+        self.clock = t0 + got as f64;
+        self.tel.complete_span(
+            "exchange",
+            format_args!("{} halo", f.name()),
+            t0,
+            self.clock,
+        );
+    }
+
+    /// One stencil pass around one halo window. Overlapped mode posts
+    /// the sends, runs the interior while the exchange is in flight,
+    /// completes it, then runs the boundary ring; blocking mode finishes
+    /// the exchange first and runs one monolithic pass. Both schedules
+    /// write identical bits: no kernel writes a field its stencil reads,
+    /// and the ring never runs before its ghosts are in.
+    fn overlapped_pass(
+        &mut self,
+        f: Ex,
+        depth: usize,
+        label: &str,
+        run: &mut dyn FnMut(&mut Tile, Span),
+    ) {
+        let t0 = self.clock;
+        if self.overlap {
+            {
+                let (geom, field) = slot(&mut self.t, f);
+                tile::post_halo(
+                    self.rank,
+                    geom,
+                    field,
+                    f.base(),
+                    depth,
+                    f.reflect(),
+                    &mut self.metrics,
+                );
+            }
+            let interior = tile::span_cells(&self.t.geom.mesh, Span::Inner);
+            run(&mut self.t, Span::Inner);
+            let got = {
+                let (geom, field) = slot(&mut self.t, f);
+                tile::complete_halo(self.rank, geom, field, f.base(), depth)
+            };
+            // Logical timeline: the exchange and the interior pass share
+            // the window's start; the window closes when both are done.
+            let t_interior = t0 + interior as f64;
+            let t_exchange = t0 + got as f64;
+            self.tel.complete_span(
+                "exchange",
+                format_args!("{} halo", f.name()),
+                t0,
+                t_exchange,
+            );
+            self.tel
+                .complete_span("interior", format_args!("{label} interior"), t0, t_interior);
+            self.clock = t_interior.max(t_exchange);
+            let ring = tile::span_cells(&self.t.geom.mesh, Span::Ring);
+            let tb = self.clock;
+            run(&mut self.t, Span::Ring);
+            self.clock = tb + ring as f64;
+            self.tel
+                .complete_span("boundary", format_args!("{label} ring"), tb, self.clock);
+            self.stats.absorb_window(interior, ring, got);
+        } else {
+            let got = {
+                let (geom, field) = slot(&mut self.t, f);
+                tile::exchange_halo(
+                    self.rank,
+                    geom,
+                    field,
+                    f.base(),
+                    depth,
+                    f.reflect(),
+                    &mut self.metrics,
+                )
+            };
+            self.clock = t0 + got as f64;
+            self.tel.complete_span(
+                "exchange",
+                format_args!("{} halo", f.name()),
+                t0,
+                self.clock,
+            );
+            let all = tile::span_cells(&self.t.geom.mesh, Span::All);
+            let ta = self.clock;
+            run(&mut self.t, Span::All);
+            self.clock = ta + all as f64;
+            self.tel
+                .complete_span("boundary", format_args!("{label}"), ta, self.clock);
+            self.stats.absorb_window(0, all, got);
+        }
+    }
+
+    /// A full (unsplit) kernel pass run inside a halo window it does not
+    /// read from — e.g. the coefficient build riding the `u` exchange.
+    fn overlapped_full(
+        &mut self,
+        f: Ex,
+        depth: usize,
+        label: &str,
+        cells: u64,
+        run: impl FnOnce(&mut Tile),
+    ) {
+        let t0 = self.clock;
+        if self.overlap {
+            {
+                let (geom, field) = slot(&mut self.t, f);
+                tile::post_halo(
+                    self.rank,
+                    geom,
+                    field,
+                    f.base(),
+                    depth,
+                    f.reflect(),
+                    &mut self.metrics,
+                );
+            }
+            run(&mut self.t);
+            let got = {
+                let (geom, field) = slot(&mut self.t, f);
+                tile::complete_halo(self.rank, geom, field, f.base(), depth)
+            };
+            let t_run = t0 + cells as f64;
+            let t_exchange = t0 + got as f64;
+            self.tel.complete_span(
+                "exchange",
+                format_args!("{} halo", f.name()),
+                t0,
+                t_exchange,
+            );
+            self.tel
+                .complete_span("interior", format_args!("{label}"), t0, t_run);
+            self.clock = t_run.max(t_exchange);
+            self.stats.absorb_window(cells, 0, got);
+        } else {
+            let got = {
+                let (geom, field) = slot(&mut self.t, f);
+                tile::exchange_halo(
+                    self.rank,
+                    geom,
+                    field,
+                    f.base(),
+                    depth,
+                    f.reflect(),
+                    &mut self.metrics,
+                )
+            };
+            self.clock = t0 + got as f64;
+            self.tel.complete_span(
+                "exchange",
+                format_args!("{} halo", f.name()),
+                t0,
+                self.clock,
+            );
+            let ta = self.clock;
+            run(&mut self.t);
+            self.clock = ta + cells as f64;
+            self.tel
+                .complete_span("boundary", format_args!("{label}"), ta, self.clock);
+            self.stats.absorb_window(0, cells, got);
+        }
+    }
+
+    /// Exactly-ordered global reduction of a per-cell contribution.
+    fn reduce(&self, contribution: impl Fn(&Tile, usize) -> f64) -> f64 {
+        tile::ordered_reduce(self.rank, &self.t.geom, |k| contribution(&self.t, k))
+    }
+
+    /// Four-component analogue (the field summary).
+    fn reduce4(&self, contribution: impl Fn(&Tile, usize) -> [f64; 4]) -> [f64; 4] {
+        tile::ordered_reduce4(self.rank, &self.t.geom, |k| contribution(&self.t, k))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// kernel passes
+// ---------------------------------------------------------------------------
+//
+// Each pass destructures the tile so written fields get `Us` wrappers
+// while read fields stay shared slices, exactly like the serial ports.
+// SAFETY throughout: single-threaded within the rank, each cell written
+// by exactly one call per pass.
+
+fn k_init_u0(t: &mut Tile) {
+    let Tile {
+        geom,
+        density,
+        energy,
+        u0,
+        u,
+        ..
+    } = t;
+    let mesh = &geom.mesh;
+    let (u0, u) = (Us::new(u0), Us::new(u));
+    for j in mesh.i0()..mesh.j1() {
+        unsafe { common::row_init_u0(mesh, j, density, energy, &u0, &u) };
+    }
+}
+
+fn k_init_coeffs(t: &mut Tile, coefficient: Coefficient, rx: f64, ry: f64) {
+    let Tile {
+        geom,
+        density,
+        kx,
+        ky,
+        ..
+    } = t;
+    let mesh = &geom.mesh;
+    let (kx, ky) = (Us::new(kx), Us::new(ky));
+    for j in mesh.i0()..=mesh.j1() {
+        unsafe { common::row_init_coeffs(mesh, j, coefficient, rx, ry, density, &kx, &ky) };
+    }
+}
+
+fn k_cg_init(t: &mut Tile) {
+    let Tile {
+        geom,
+        u,
+        u0,
+        kx,
+        ky,
+        w,
+        r,
+        p,
+        z,
+        ..
+    } = t;
+    let mesh = &geom.mesh;
+    let width = mesh.width();
+    let (w, r, p, z) = (Us::new(w), Us::new(r), Us::new(p), Us::new(z));
+    tile::for_cells(mesh, Span::All, |k| {
+        let _ = unsafe { common::cell_cg_init(width, k, false, u, u0, kx, ky, &w, &r, &p, &z) };
+    });
+}
+
+fn k_cg_calc_w(t: &mut Tile, span: Span) {
+    let Tile {
+        geom, p, kx, ky, w, ..
+    } = t;
+    let mesh = &geom.mesh;
+    let width = mesh.width();
+    let w = Us::new(w);
+    tile::for_cells(mesh, span, |k| {
+        let _ = unsafe { common::cell_cg_calc_w(width, k, p, kx, ky, &w) };
+    });
+}
+
+fn k_cg_calc_ur(t: &mut Tile, alpha: f64) {
+    let Tile {
+        geom,
+        p,
+        w,
+        kx,
+        ky,
+        u,
+        r,
+        z,
+        ..
+    } = t;
+    let mesh = &geom.mesh;
+    let width = mesh.width();
+    let (u, r, z) = (Us::new(u), Us::new(r), Us::new(z));
+    tile::for_cells(mesh, Span::All, |k| {
+        let _ =
+            unsafe { common::cell_cg_calc_ur(width, k, alpha, false, p, w, kx, ky, &u, &r, &z) };
+    });
+}
+
+fn k_cg_calc_p(t: &mut Tile, beta: f64) {
+    let Tile { geom, r, z, p, .. } = t;
+    let p = Us::new(p);
+    tile::for_cells(&geom.mesh, Span::All, |k| unsafe {
+        common::cell_cg_calc_p(k, beta, false, r, z, &p)
+    });
+}
+
+fn k_cheby_calc_p(t: &mut Tile, span: Span, first: bool, theta: f64, alpha: f64, beta: f64) {
+    let Tile {
+        geom,
+        u,
+        u0,
+        kx,
+        ky,
+        w,
+        r,
+        p,
+        ..
+    } = t;
+    let mesh = &geom.mesh;
+    let width = mesh.width();
+    let (w, r, p) = (Us::new(w), Us::new(r), Us::new(p));
+    tile::for_cells(mesh, span, |k| unsafe {
+        common::cell_cheby_calc_p(
+            width, k, first, theta, alpha, beta, u, u0, kx, ky, &w, &r, &p,
+        )
+    });
+}
+
+fn k_add_p_to_u(t: &mut Tile) {
+    let Tile { geom, p, u, .. } = t;
+    let u = Us::new(u);
+    tile::for_cells(&geom.mesh, Span::All, |k| unsafe {
+        common::cell_add_p_to_u(k, p, &u)
+    });
+}
+
+fn k_sd_init(t: &mut Tile, theta: f64) {
+    let Tile { geom, r, sd, .. } = t;
+    let sd = Us::new(sd);
+    tile::for_cells(&geom.mesh, Span::All, |k| unsafe {
+        common::cell_sd_init(k, theta, r, &sd)
+    });
+}
+
+fn k_ppcg_w(t: &mut Tile, span: Span) {
+    let Tile {
+        geom,
+        sd,
+        kx,
+        ky,
+        w,
+        ..
+    } = t;
+    let mesh = &geom.mesh;
+    let width = mesh.width();
+    let w = Us::new(w);
+    tile::for_cells(mesh, span, |k| unsafe {
+        common::cell_ppcg_w(width, k, sd, kx, ky, &w)
+    });
+}
+
+fn k_ppcg_update(t: &mut Tile, alpha: f64, beta: f64) {
+    let Tile {
+        geom, w, u, r, sd, ..
+    } = t;
+    let (u, r, sd) = (Us::new(u), Us::new(r), Us::new(sd));
+    tile::for_cells(&geom.mesh, Span::All, |k| unsafe {
+        common::cell_ppcg_update(k, alpha, beta, w, &u, &r, &sd)
+    });
+}
+
+/// `r ← u` over the span (the serial `row_jacobi_copy`). The scratch's
+/// ghost cells are deliberately untouched: the raw exchange fills the
+/// inter-tile ones, the physical ones stay 0.0 as in serial.
+fn k_jacobi_copy(t: &mut Tile, span: Span) {
+    let Tile { geom, u, r, .. } = t;
+    tile::for_cells(&geom.mesh, span, |k| r[k] = u[k]);
+}
+
+fn k_jacobi_sweep(t: &mut Tile, span: Span) {
+    let Tile {
+        geom,
+        u0,
+        r,
+        kx,
+        ky,
+        u,
+        ..
+    } = t;
+    let mesh = &geom.mesh;
+    let width = mesh.width();
+    let u = Us::new(u);
+    tile::for_cells(mesh, span, |k| {
+        let _ = unsafe { common::cell_jacobi_iterate(width, k, u0, r, kx, ky, &u) };
+    });
+}
+
+fn k_finalise(t: &mut Tile) {
+    let Tile {
+        geom,
+        u,
+        density,
+        energy,
+        ..
+    } = t;
+    let energy = Us::new(energy);
+    tile::for_cells(&geom.mesh, Span::All, |k| unsafe {
+        common::cell_finalise(k, u, density, &energy)
+    });
+}
+
+// ---------------------------------------------------------------------------
+// solver drivers (exact replicas of the serial control flow)
+// ---------------------------------------------------------------------------
+
+/// Outcome of one CG phase, mirroring `solver::cg::run_phase`.
+struct CgPhase {
+    iterations: usize,
+    converged: bool,
+    /// `rro` after the last iteration — the serial phase's `final_rrn`.
+    rro: f64,
+    initial: f64,
+}
+
+/// The checkpointing context a resilient plain-CG solve threads through
+/// its phase (captured at the top of the step, like the serial loop
+/// variables at that point).
+struct CkptCtx<'s> {
+    store: &'s CheckpointStore,
+    step: usize,
+    total_iterations: usize,
+    converged_all: bool,
+}
+
+/// One CG phase of at most `max_iters` iterations: `run_phase` with the
+/// reductions recomputed from the written fields (bit-equal to the
+/// serial fused-kernel partials) and the stencil pass overlapped on the
+/// `p` exchange. `start` resumes mid-phase from a checkpoint.
+fn cg_phase(
+    wkr: &mut Worker,
+    max_iters: usize,
+    mut history: Option<&mut CgHistory>,
+    ckpt: Option<&CkptCtx>,
+    start: Option<(f64, f64, usize)>,
+) -> CgPhase {
+    let (mut rro, initial, mut iterations) = match start {
+        Some(s) => s,
+        None => {
+            k_cg_init(&mut wkr.t);
+            let rro = wkr.reduce(|t, k| t.r[k] * t.p[k]);
+            (rro, rro, 0)
+        }
+    };
+    let mut converged = initial.abs() <= f64::MIN_POSITIVE; // trivially solved
+    while !converged && iterations < max_iters {
+        if let Some(ck) = ckpt {
+            let interval = wkr.config.tl_checkpoint_interval;
+            if interval > 0 && iterations.is_multiple_of(interval) {
+                ck.store.save(
+                    wkr.rank.id(),
+                    TileCheckpoint {
+                        step: ck.step,
+                        iteration: iterations,
+                        rro,
+                        initial,
+                        total_iterations: ck.total_iterations,
+                        converged_all: ck.converged_all,
+                        tile: wkr.t.clone(),
+                    },
+                );
+            }
+        }
+        wkr.overlapped_pass(Ex::P, 1, "cg_calc_w", &mut |t, span| k_cg_calc_w(t, span));
+        let pw = wkr.reduce(|t, k| t.p[k] * t.w[k]);
+        let alpha = rro / pw;
+        k_cg_calc_ur(&mut wkr.t, alpha);
+        let rrn = wkr.reduce(|t, k| common::cell_norm(k, &t.r));
+        let beta = rrn / rro;
+        k_cg_calc_p(&mut wkr.t, beta);
+        if let Some(h) = history.as_deref_mut() {
+            h.alphas.push(alpha);
+            h.betas.push(beta);
+        }
+        rro = rrn;
+        iterations += 1;
+        if rrn.abs() <= wkr.config.tl_eps * initial.abs() {
+            converged = true;
+        }
+    }
+    CgPhase {
+        iterations,
+        converged,
+        rro,
+        initial,
+    }
+}
+
+/// One Chebyshev step: the p-update overlapped on the `u` exchange, then
+/// the local `u += p` pass — the same two full sweeps `cheby_init` /
+/// `cheby_iterate` run serially.
+fn cheby_step(wkr: &mut Worker, first: bool, theta: f64, alpha: f64, beta: f64) {
+    wkr.overlapped_pass(Ex::U, 1, "cheby_calc_p", &mut |t, span| {
+        k_cheby_calc_p(t, span, first, theta, alpha, beta)
+    });
+    k_add_p_to_u(&mut wkr.t);
+}
+
+fn solve_chebyshev(wkr: &mut Worker) -> (usize, bool) {
+    let cfg = wkr.config;
+    let presteps = cfg.tl_ch_cg_presteps.min(cfg.tl_max_iters);
+    let mut history = CgHistory::default();
+    let pre = cg_phase(wkr, presteps, Some(&mut history), None, None);
+    if pre.converged {
+        return (pre.iterations, true);
+    }
+    let initial = pre.initial;
+    let Some((eigmin, eigmax)) = eigenvalue_estimate(&history.alphas, &history.betas) else {
+        // Degenerate spectrum: finish with CG, like the serial fallback.
+        let cont = cg_phase(
+            wkr,
+            cfg.tl_max_iters.saturating_sub(presteps),
+            Some(&mut history),
+            None,
+            None,
+        );
+        return (pre.iterations + cont.iterations, cont.converged);
+    };
+    let shift = ChebyShift::from_bounds(eigmin, eigmax);
+    let mut coeffs = ChebyCoeffs::new(shift);
+    let eps_ratio = (cfg.tl_eps * initial.abs() / pre.rro.abs().max(f64::MIN_POSITIVE))
+        .clamp(1e-300, 0.999_999);
+    let est = estimated_iterations(shift, eps_ratio);
+    let budget = (4 * est + CHECK_INTERVAL)
+        .max(64)
+        .min(cfg.tl_max_iters.saturating_sub(presteps));
+    cheby_step(wkr, true, shift.theta, 0.0, 0.0);
+    let mut iterations = pre.iterations + 1;
+    let mut converged = false;
+    let mut done = 1usize; // cheby_init counts as the first Chebyshev step
+    while !converged && done < budget {
+        let (alpha, beta) = coeffs.next_pair();
+        cheby_step(wkr, false, shift.theta, alpha, beta);
+        done += 1;
+        iterations += 1;
+        if done.is_multiple_of(CHECK_INTERVAL) {
+            let rrn = wkr.reduce(|t, k| common::cell_norm(k, &t.r));
+            if rrn.abs() <= cfg.tl_eps * initial.abs() {
+                converged = true;
+            }
+        }
+    }
+    if !converged {
+        // final norm check at budget exhaustion
+        let rrn = wkr.reduce(|t, k| common::cell_norm(k, &t.r));
+        converged = rrn.abs() <= cfg.tl_eps * initial.abs();
+    }
+    (iterations, converged)
+}
+
+fn solve_ppcg(wkr: &mut Worker) -> (usize, bool) {
+    let cfg = wkr.config;
+    let presteps = cfg.tl_ch_cg_presteps.min(cfg.tl_max_iters);
+    let mut history = CgHistory::default();
+    let pre = cg_phase(wkr, presteps, Some(&mut history), None, None);
+    if pre.converged {
+        return (pre.iterations, true);
+    }
+    let initial = pre.initial;
+    let mut rro = pre.rro;
+    let Some((eigmin, eigmax)) = eigenvalue_estimate(&history.alphas, &history.betas) else {
+        let cont = cg_phase(
+            wkr,
+            cfg.tl_max_iters.saturating_sub(presteps),
+            Some(&mut history),
+            None,
+            None,
+        );
+        return (pre.iterations + cont.iterations, cont.converged);
+    };
+    let shift = ChebyShift::from_bounds(eigmin, eigmax);
+    let inner = ChebyCoeffs::take_pairs(shift, cfg.tl_ppcg_inner_steps);
+    let mut iterations = pre.iterations;
+    let mut converged = false;
+    let max_outer = cfg.tl_max_iters.saturating_sub(presteps);
+    let mut outer = 0;
+    while !converged && outer < max_outer {
+        wkr.overlapped_pass(Ex::P, 1, "cg_calc_w", &mut |t, span| k_cg_calc_w(t, span));
+        let pw = wkr.reduce(|t, k| t.p[k] * t.w[k]);
+        let alpha = rro / pw;
+        // The serial outer loop discards this kernel's reduction — only
+        // the u/r updates matter, so no allreduce here.
+        k_cg_calc_ur(&mut wkr.t, alpha);
+        k_sd_init(&mut wkr.t, shift.theta);
+        for &(a, b) in &inner {
+            wkr.overlapped_pass(Ex::Sd, 1, "ppcg_w", &mut |t, span| k_ppcg_w(t, span));
+            k_ppcg_update(&mut wkr.t, a, b);
+        }
+        let rrn = wkr.reduce(|t, k| common::cell_norm(k, &t.r));
+        let beta = rrn / rro;
+        k_cg_calc_p(&mut wkr.t, beta);
+        rro = rrn;
+        outer += 1;
+        iterations += 1;
+        if rrn.abs() <= cfg.tl_eps * initial.abs() {
+            converged = true;
+        }
+    }
+    (iterations, converged)
+}
+
+fn solve_jacobi(wkr: &mut Worker) -> (usize, bool) {
+    let cfg = wkr.config;
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut initial = 0.0;
+    while !converged && iterations < cfg.tl_max_iters {
+        // Double overlap: the u→scratch copy rides the reflective `u`
+        // exchange (it reads no ghosts), then the interior sweep rides
+        // the raw scratch exchange.
+        wkr.overlapped_pass(Ex::U, 1, "jacobi_copy", &mut |t, span| {
+            k_jacobi_copy(t, span)
+        });
+        wkr.overlapped_pass(Ex::RScratch, 1, "jacobi_sweep", &mut |t, span| {
+            k_jacobi_sweep(t, span)
+        });
+        let err = wkr.reduce(|t, k| (t.u[k] - t.r[k]).abs());
+        iterations += 1;
+        if iterations == 1 {
+            initial = err;
+            if initial == 0.0 {
+                converged = true; // already the exact solution
+            } else if !initial.is_finite() {
+                break; // poisoned inputs; the serial driver bails here too
+            }
+        } else if err <= cfg.tl_eps * initial {
+            converged = true;
+        }
+    }
+    (iterations, converged)
+}
+
+// ---------------------------------------------------------------------------
+// the SPMD body
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn body(
+    rank: &Rank,
+    grid: Grid2d,
+    config: &TeaConfig,
+    solver: SolverKind,
+    overlap: bool,
+    tel: TelemetrySink,
+    store: Option<&CheckpointStore>,
+    resume: Option<&TileCheckpoint>,
+) -> (DistributedReport, OverlapStats, ExchangeMetrics) {
+    // Resuming replays from the snapshot's exact bits: the tile clone
+    // already holds the step's generated fields, coefficients and the CG
+    // vectors as they were at the checkpointed iteration, so the
+    // start-of-run exchanges and the dead step prefix are all skipped.
+    debug_assert!(
+        resume.is_none() || matches!(solver, SolverKind::ConjugateGradient),
+        "checkpoint resume is only defined for plain CG"
+    );
+    let t = match resume {
+        Some(ck) => ck.tile.clone(),
+        None => Tile::build(config, grid, rank.id()),
+    };
+    let mut wkr = Worker {
+        rank,
+        config,
+        t,
+        overlap,
+        stats: OverlapStats::default(),
+        metrics: ExchangeMetrics::default(),
+        tel,
+        clock: 0.0,
+    };
+    let (rx, ry) = wkr.t.geom.mesh.rx_ry(config.initial_timestep);
+
+    if resume.is_none() {
+        wkr.exchange(Ex::Density, config.halo_depth);
+        wkr.exchange(Ex::Energy, config.halo_depth);
+    }
+
+    let mut total_iterations = resume.map_or(0, |ck| ck.total_iterations);
+    let mut converged_all = resume.is_none_or(|ck| ck.converged_all);
+    let first_step = resume.map_or(1, |ck| ck.step);
+    for step in first_step..=config.end_step {
+        let resumed = matches!(resume, Some(ck) if ck.step == step);
+        if !resumed {
+            k_init_u0(&mut wkr.t);
+            // The coefficient build reads only density (exchanged at
+            // start-of-run depth) and writes kx/ky — it can ride the
+            // whole `u` exchange window.
+            let mesh = &wkr.t.geom.mesh;
+            let coeff_cells = ((mesh.x_cells + 1) * (mesh.y_cells + 1)) as u64;
+            wkr.overlapped_full(Ex::U, 1, "init_coeffs", coeff_cells, |t| {
+                k_init_coeffs(t, config.coefficient, rx, ry)
+            });
+        }
+        let (iters, converged) = match solver {
+            SolverKind::ConjugateGradient => {
+                let start = if resumed {
+                    let ck = resume.expect("resumed implies a checkpoint");
+                    Some((ck.rro, ck.initial, ck.iteration))
+                } else {
+                    None
+                };
+                let ctx = store.map(|s| CkptCtx {
+                    store: s,
+                    step,
+                    total_iterations,
+                    converged_all,
+                });
+                let ph = cg_phase(&mut wkr, config.tl_max_iters, None, ctx.as_ref(), start);
+                (ph.iterations, ph.converged)
+            }
+            SolverKind::Chebyshev => solve_chebyshev(&mut wkr),
+            SolverKind::Ppcg => solve_ppcg(&mut wkr),
+            SolverKind::Jacobi => solve_jacobi(&mut wkr),
+        };
+        total_iterations += iters;
+        converged_all &= converged;
+
+        k_finalise(&mut wkr.t);
+        wkr.exchange(Ex::Energy, 1);
+    }
+
+    // global field summary (carry-pipelined; exactly-ordered)
+    let vol = wkr.t.geom.mesh.cell_volume();
+    let global = wkr.reduce4(|t, k| common::cell_summary(k, &t.density, &t.energy, &t.u, vol));
+    let report = DistributedReport {
+        ranks: rank.size(),
+        total_iterations,
+        converged: converged_all,
+        summary: Summary {
+            volume: global[0],
+            mass: global[1],
+            internal_energy: global[2],
+            temperature: global[3],
+        },
+    };
+    (report, wkr.stats, wkr.metrics)
+}
+
+// ---------------------------------------------------------------------------
+// entry points
+// ---------------------------------------------------------------------------
+
+/// Every rank must report the same global result; merge the per-rank
+/// instrumentation.
+fn agree(
+    results: Vec<(DistributedReport, OverlapStats, ExchangeMetrics)>,
+) -> (DistributedReport, OverlapStats, ExchangeMetrics) {
+    let first = results[0].0.clone();
+    let mut stats = OverlapStats::default();
+    let mut metrics = ExchangeMetrics::default();
+    for (r, s, m) in &results {
         assert_eq!(*r, first, "ranks must agree on the global result");
+        stats.merge(s);
+        metrics.merge(m);
     }
-    first
+    (first, stats, metrics)
+}
+
+/// Resolve the deck's tile grid for `ranks` ranks (an unset deck means a
+/// 1-D column strip), panicking with the typed config error on mismatch.
+fn grid_for(ranks: usize, config: &TeaConfig) -> Grid2d {
+    let (gx, gy) = config
+        .tile_grid(ranks)
+        .unwrap_or_else(|e| panic!("invalid tile grid: {e}"));
+    Grid2d::new(gx, gy)
+}
+
+/// Solve the configured problem with the deck's solver on a
+/// `tiles_x × tiles_y` rank grid, overlapping communication with
+/// interior compute. Returns the global report (identical on every
+/// rank, and bit-identical to the serial reference).
+pub fn run_distributed_solver(
+    tiles_x: usize,
+    tiles_y: usize,
+    config: &TeaConfig,
+) -> DistributedReport {
+    run_distributed_solver_instrumented(tiles_x, tiles_y, config, true).0
+}
+
+/// Non-overlapped variant: every exchange completes before its stencil
+/// pass. Bit-identical to [`run_distributed_solver`] by construction;
+/// exists so tests and benchmarks can assert and measure exactly that.
+pub fn run_distributed_solver_blocking(
+    tiles_x: usize,
+    tiles_y: usize,
+    config: &TeaConfig,
+) -> DistributedReport {
+    run_distributed_solver_instrumented(tiles_x, tiles_y, config, false).0
+}
+
+/// [`run_distributed_solver`] returning the merged overlap accounting
+/// and per-direction exchange counters alongside the report.
+pub fn run_distributed_solver_instrumented(
+    tiles_x: usize,
+    tiles_y: usize,
+    config: &TeaConfig,
+    overlap: bool,
+) -> (DistributedReport, OverlapStats, ExchangeMetrics) {
+    let grid = Grid2d::new(tiles_x, tiles_y);
+    let solver = config.solver;
+    let results = run_spmd(grid.ranks(), |rank| {
+        body(
+            rank,
+            grid,
+            config,
+            solver,
+            overlap,
+            TelemetrySink::disabled(),
+            None,
+            None,
+        )
+    });
+    agree(results)
+}
+
+/// [`run_distributed_solver`] over a fault-injected message layer: the
+/// reliable transport must make the run bit-identical to the fault-free
+/// one or abort with a [`FaultDiagnostic`] — never a silently wrong
+/// answer (asserted by the conformance fault matrix, edge and corner
+/// channels alike).
+pub fn run_distributed_solver_faulty(
+    tiles_x: usize,
+    tiles_y: usize,
+    config: &TeaConfig,
+    spec: FaultSpec,
+) -> Result<DistributedReport, FaultDiagnostic> {
+    let grid = Grid2d::new(tiles_x, tiles_y);
+    let solver = config.solver;
+    let results = run_spmd_faulty(grid.ranks(), spec, |rank| {
+        body(
+            rank,
+            grid,
+            config,
+            solver,
+            true,
+            TelemetrySink::disabled(),
+            None,
+            None,
+        )
+    })?;
+    Ok(agree(results).0)
+}
+
+/// [`run_distributed_solver`] with rank 0 emitting telemetry spans on a
+/// logical clock: `exchange`, `interior` and `boundary` spans per halo
+/// window, so `tea-prof` can table how much traffic each solver hides.
+pub fn run_distributed_solver_traced(
+    tiles_x: usize,
+    tiles_y: usize,
+    config: &TeaConfig,
+) -> (
+    DistributedReport,
+    OverlapStats,
+    ExchangeMetrics,
+    Vec<Record>,
+) {
+    let grid = Grid2d::new(tiles_x, tiles_y);
+    let solver = config.solver;
+    let (sink, collector) = TelemetrySink::collecting();
+    let results = run_spmd(grid.ranks(), |rank| {
+        let tel = if rank.id() == 0 {
+            sink.clone()
+        } else {
+            TelemetrySink::disabled()
+        };
+        body(rank, grid, config, solver, true, tel, None, None)
+    });
+    let (report, stats, metrics) = agree(results);
+    (report, stats, metrics, collector.records())
+}
+
+/// Solve the configured problem with CG across `ranks` tiles (the
+/// deck's `tl_tiles_x`/`tl_tiles_y` grid, or a 1-D strip when unset);
+/// returns the global report (identical on every rank).
+pub fn run_distributed_cg(ranks: usize, config: &TeaConfig) -> DistributedReport {
+    let grid = grid_for(ranks, config);
+    let results = run_spmd(ranks, |rank| {
+        body(
+            rank,
+            grid,
+            config,
+            SolverKind::ConjugateGradient,
+            true,
+            TelemetrySink::disabled(),
+            None,
+            None,
+        )
+    });
+    agree(results).0
 }
 
 /// Same as [`run_distributed_cg`] but over a fault-injected message
@@ -150,13 +1033,25 @@ pub fn run_distributed_cg_faulty(
     config: &TeaConfig,
     spec: FaultSpec,
 ) -> Result<DistributedReport, FaultDiagnostic> {
-    let reports = run_spmd_faulty(ranks, spec, |rank| spmd_body(rank, config))?;
-    let first = reports[0].clone();
-    for r in &reports {
-        assert_eq!(*r, first, "ranks must agree on the global result");
-    }
-    Ok(first)
+    let grid = grid_for(ranks, config);
+    let results = run_spmd_faulty(ranks, spec, |rank| {
+        body(
+            rank,
+            grid,
+            config,
+            SolverKind::ConjugateGradient,
+            true,
+            TelemetrySink::disabled(),
+            None,
+            None,
+        )
+    })?;
+    Ok(agree(results).0)
 }
+
+// ---------------------------------------------------------------------------
+// checkpoint/restart
+// ---------------------------------------------------------------------------
 
 /// How many checkpoints each rank's ring keeps. Ranks run in lockstep
 /// (every CG iteration has ordered allreduces), so any two ranks' latest
@@ -164,10 +1059,11 @@ pub fn run_distributed_cg_faulty(
 /// always contains a key common to all ranks.
 const CHECKPOINT_KEEP: usize = 4;
 
-/// One rank's mid-solve snapshot: the complete stripe (halo cells
+/// One rank's mid-solve snapshot: the complete tile (halo cells
 /// included) plus the CG loop state needed to replay from here
 /// bit-exactly.
-struct StripeCheckpoint {
+#[derive(Clone)]
+struct TileCheckpoint {
     /// Timestep the snapshot belongs to (1-based).
     step: usize,
     /// CG iteration at snapshot time (top of loop, before the halo).
@@ -176,14 +1072,14 @@ struct StripeCheckpoint {
     initial: f64,
     total_iterations: usize,
     converged_all: bool,
-    stripe: Stripe,
+    tile: Tile,
 }
 
 /// Shared checkpoint registry for one resilient distributed run: one
-/// bounded ring of [`StripeCheckpoint`]s per rank, written by the rank
+/// bounded ring of [`TileCheckpoint`]s per rank, written by the rank
 /// threads mid-solve and read by the restart loop after a world dies.
 pub struct CheckpointStore {
-    slots: Vec<Mutex<VecDeque<StripeCheckpoint>>>,
+    slots: Vec<Mutex<VecDeque<TileCheckpoint>>>,
 }
 
 impl CheckpointStore {
@@ -193,7 +1089,7 @@ impl CheckpointStore {
         }
     }
 
-    fn save(&self, rank: usize, ck: StripeCheckpoint) {
+    fn save(&self, rank: usize, ck: TileCheckpoint) {
         let mut ring = self.slots[rank].lock().expect("checkpoint lock");
         // A restarted attempt re-saves the same keys with identical bits
         // (the replay is deterministic); replace rather than duplicate.
@@ -225,21 +1121,13 @@ impl CheckpointStore {
     }
 
     /// Clone rank `rank`'s checkpoint for `key`, if present.
-    fn get(&self, rank: usize, key: (usize, usize)) -> Option<StripeCheckpoint> {
+    fn get(&self, rank: usize, key: (usize, usize)) -> Option<TileCheckpoint> {
         self.slots[rank]
             .lock()
             .expect("checkpoint lock")
             .iter()
             .find(|c| (c.step, c.iteration) == key)
-            .map(|c| StripeCheckpoint {
-                step: c.step,
-                iteration: c.iteration,
-                rro: c.rro,
-                initial: c.initial,
-                total_iterations: c.total_iterations,
-                converged_all: c.converged_all,
-                stripe: c.stripe.clone(),
-            })
+            .cloned()
     }
 }
 
@@ -258,6 +1146,7 @@ pub fn run_distributed_cg_resilient(
     spec: FaultSpec,
     max_restarts: usize,
 ) -> Result<(DistributedReport, usize), FaultDiagnostic> {
+    let grid = grid_for(ranks, config);
     let store = CheckpointStore::new(ranks);
     let mut last_err: Option<FaultDiagnostic> = None;
     for attempt in 0..=max_restarts {
@@ -271,212 +1160,27 @@ pub fn run_distributed_cg_resilient(
         } else {
             store.latest_common()
         };
-        let resumes: Vec<Option<StripeCheckpoint>> = (0..ranks)
+        let resumes: Vec<Option<TileCheckpoint>> = (0..ranks)
             .map(|r| resume_key.and_then(|key| store.get(r, key)))
             .collect();
         let result = run_spmd_faulty(ranks, attempt_spec, |rank| {
-            body_with_recovery(rank, config, Some(&store), resumes[rank.id()].as_ref())
+            body(
+                rank,
+                grid,
+                config,
+                SolverKind::ConjugateGradient,
+                true,
+                TelemetrySink::disabled(),
+                Some(&store),
+                resumes[rank.id()].as_ref(),
+            )
         });
         match result {
-            Ok(reports) => {
-                let first = reports[0].clone();
-                for r in &reports {
-                    assert_eq!(*r, first, "ranks must agree on the global result");
-                }
-                return Ok((first, attempt));
-            }
+            Ok(results) => return Ok((agree(results).0, attempt)),
             Err(diag) => last_err = Some(diag),
         }
     }
     Err(last_err.expect("at least one attempt ran"))
-}
-
-fn spmd_body(rank: &Rank, config: &TeaConfig) -> DistributedReport {
-    body_with_recovery(rank, config, None, None)
-}
-
-fn body_with_recovery(
-    rank: &Rank,
-    config: &TeaConfig,
-    store: Option<&CheckpointStore>,
-    resume: Option<&StripeCheckpoint>,
-) -> DistributedReport {
-    const TAG_DENSITY: Tag = 1;
-    const TAG_ENERGY: Tag = 2;
-    const TAG_U: Tag = 3;
-    const TAG_P: Tag = 4;
-
-    // Resuming replays from the snapshot's exact bits: the stripe clone
-    // already holds the step's generated fields, coefficients and the
-    // CG vectors as they were at the checkpointed iteration, so the
-    // start-of-run exchanges and the dead step prefix are all skipped.
-    let mut s = match resume {
-        Some(ck) => ck.stripe.clone(),
-        None => Stripe::build(config, rank.id(), rank.size()),
-    };
-    let mesh = s.mesh.clone();
-    let (rx, ry) = mesh.rx_ry(config.initial_timestep);
-    let rows = mesh.i0()..mesh.j1();
-
-    if resume.is_none() {
-        Stripe::halo_exchange(&mut s.density, &mesh, rank, TAG_DENSITY, config.halo_depth);
-        Stripe::halo_exchange(&mut s.energy, &mesh, rank, TAG_ENERGY, config.halo_depth);
-    }
-
-    let mut total_iterations = resume.map_or(0, |ck| ck.total_iterations);
-    let mut converged_all = resume.is_none_or(|ck| ck.converged_all);
-    let first_step = resume.map_or(1, |ck| ck.step);
-    for step in first_step..=config.end_step {
-        let resumed = matches!(resume, Some(ck) if ck.step == step);
-        if !resumed {
-            // init fields
-            {
-                let (u0, u) = (Us::new(&mut s.u0), Us::new(&mut s.u));
-                for j in rows.clone() {
-                    // SAFETY: single-threaded within the rank.
-                    unsafe { common::row_init_u0(&mesh, j, &s.density, &s.energy, &u0, &u) };
-                }
-            }
-            {
-                let (kx, ky) = (Us::new(&mut s.kx), Us::new(&mut s.ky));
-                for j in mesh.i0()..=mesh.j1() {
-                    // SAFETY: single-threaded within the rank.
-                    unsafe {
-                        common::row_init_coeffs(
-                            &mesh,
-                            j,
-                            config.coefficient,
-                            rx,
-                            ry,
-                            &s.density,
-                            &kx,
-                            &ky,
-                        )
-                    };
-                }
-            }
-            Stripe::halo_exchange(&mut s.u, &mesh, rank, TAG_U, 1);
-        }
-
-        // CG init (per-row partials; exactly-ordered global reduction) —
-        // skipped on the resumed step, whose loop state comes from the
-        // checkpoint instead.
-        let (mut rro, initial, mut iterations) = if resumed {
-            let ck = resume.expect("resumed implies a checkpoint");
-            (ck.rro, ck.initial, ck.iteration)
-        } else {
-            let rro = {
-                let (w, r, p, z) = (
-                    Us::new(&mut s.w),
-                    Us::new(&mut s.r),
-                    Us::new(&mut s.p),
-                    Us::new(&mut s.z),
-                );
-                let partials: Vec<f64> = rows
-                    .clone()
-                    .map(|j| {
-                        // SAFETY: single-threaded within the rank.
-                        unsafe {
-                            common::row_cg_init(
-                                &mesh, j, false, &s.u, &s.u0, &s.kx, &s.ky, &w, &r, &p, &z,
-                            )
-                        }
-                    })
-                    .collect();
-                rank.allreduce_ordered(&partials)
-            };
-            (rro, rro, 0)
-        };
-        let mut converged = initial.abs() <= f64::MIN_POSITIVE;
-        while !converged && iterations < config.tl_max_iters {
-            if let Some(store) = store {
-                let interval = config.tl_checkpoint_interval;
-                if interval > 0 && iterations.is_multiple_of(interval) {
-                    store.save(
-                        rank.id(),
-                        StripeCheckpoint {
-                            step,
-                            iteration: iterations,
-                            rro,
-                            initial,
-                            total_iterations,
-                            converged_all,
-                            stripe: s.clone(),
-                        },
-                    );
-                }
-            }
-            Stripe::halo_exchange(&mut s.p, &mesh, rank, TAG_P, 1);
-            let pw = {
-                let w = Us::new(&mut s.w);
-                let partials: Vec<f64> = rows
-                    .clone()
-                    // SAFETY: single-threaded within the rank.
-                    .map(|j| unsafe { common::row_cg_calc_w(&mesh, j, &s.p, &s.kx, &s.ky, &w) })
-                    .collect();
-                rank.allreduce_ordered(&partials)
-            };
-            let alpha = rro / pw;
-            let rrn = {
-                let (u, r, z) = (Us::new(&mut s.u), Us::new(&mut s.r), Us::new(&mut s.z));
-                let partials: Vec<f64> = rows
-                    .clone()
-                    .map(|j| {
-                        // SAFETY: single-threaded within the rank.
-                        unsafe {
-                            common::row_cg_calc_ur(
-                                &mesh, j, alpha, false, &s.p, &s.w, &s.kx, &s.ky, &u, &r, &z,
-                            )
-                        }
-                    })
-                    .collect();
-                rank.allreduce_ordered(&partials)
-            };
-            let beta = rrn / rro;
-            {
-                let p = Us::new(&mut s.p);
-                for j in rows.clone() {
-                    // SAFETY: single-threaded within the rank.
-                    unsafe { common::row_cg_calc_p(&mesh, j, beta, false, &s.r, &s.z, &p) };
-                }
-            }
-            rro = rrn;
-            iterations += 1;
-            if rrn.abs() <= config.tl_eps * initial.abs() {
-                converged = true;
-            }
-        }
-        total_iterations += iterations;
-        converged_all &= converged;
-
-        // finalise
-        {
-            let energy = Us::new(&mut s.energy);
-            for j in rows.clone() {
-                // SAFETY: single-threaded within the rank.
-                unsafe { common::row_finalise(&mesh, j, &s.u, &s.density, &energy) };
-            }
-        }
-        Stripe::halo_exchange(&mut s.energy, &mesh, rank, TAG_ENERGY, 1);
-    }
-
-    // global field summary (per-row partials; exactly-ordered)
-    let vol = mesh.cell_volume();
-    let partials: Vec<[f64; 4]> = rows
-        .map(|j| common::row_summary(&mesh, j, &s.density, &s.energy, &s.u, vol))
-        .collect();
-    let global = rank.allreduce_ordered_components(&partials);
-    DistributedReport {
-        ranks: rank.size(),
-        total_iterations,
-        converged: converged_all,
-        summary: Summary {
-            volume: global[0],
-            mass: global[1],
-            internal_energy: global[2],
-            temperature: global[3],
-        },
-    }
 }
 
 #[cfg(test)]
@@ -509,6 +1213,90 @@ mod tests {
         let report = run_distributed_cg(1, &cfg);
         assert!(report.converged);
         assert_eq!(report.ranks, 1);
+    }
+
+    #[test]
+    fn all_solvers_agree_across_grids_and_overlap_modes() {
+        let mut cfg = TeaConfig::paper_problem(16);
+        cfg.end_step = 1;
+        cfg.tl_eps = 1.0e-10;
+        for solver in [
+            SolverKind::ConjugateGradient,
+            SolverKind::Chebyshev,
+            SolverKind::Ppcg,
+            SolverKind::Jacobi,
+        ] {
+            cfg.solver = solver;
+            let reference = run_distributed_solver(1, 1, &cfg);
+            assert!(reference.converged, "{solver:?} must converge");
+            for (gx, gy) in [(1usize, 2usize), (2, 1), (2, 2)] {
+                let overlapped = run_distributed_solver(gx, gy, &cfg);
+                let blocking = run_distributed_solver_blocking(gx, gy, &cfg);
+                assert_eq!(
+                    overlapped.summary, reference.summary,
+                    "{solver:?} on {gx}x{gy} must be bit-identical to 1 rank"
+                );
+                assert_eq!(overlapped.total_iterations, reference.total_iterations);
+                assert_eq!(overlapped.converged, reference.converged);
+                assert_eq!(
+                    blocking.summary, overlapped.summary,
+                    "{solver:?} on {gx}x{gy}: overlap must not change bits"
+                );
+                assert_eq!(blocking.total_iterations, overlapped.total_iterations);
+            }
+        }
+    }
+
+    #[test]
+    fn overlapped_windows_hide_traffic_and_cross_corners() {
+        let mut cfg = TeaConfig::paper_problem(16);
+        cfg.end_step = 1;
+        cfg.tl_eps = 1.0e-10;
+        let (_, stats, metrics) = run_distributed_solver_instrumented(2, 2, &cfg, true);
+        assert!(stats.windows > 0);
+        assert!(stats.hidden_elements > 0, "overlap must hide some traffic");
+        assert!(stats.overlap_efficiency() > 0.0);
+        assert!(
+            metrics.corner_elements() > 0,
+            "a 2x2 grid must exchange corner blocks"
+        );
+        assert!(metrics.edge_elements() > metrics.corner_elements());
+        let (_, blocking_stats, _) = run_distributed_solver_instrumented(2, 2, &cfg, false);
+        assert_eq!(blocking_stats.hidden_elements, 0);
+        assert_eq!(blocking_stats.overlap_efficiency(), 0.0);
+    }
+
+    #[test]
+    fn deck_tile_keys_steer_the_legacy_entry_point() {
+        let mut cfg = TeaConfig::paper_problem(16);
+        cfg.end_step = 1;
+        cfg.tl_eps = 1.0e-10;
+        let strips = run_distributed_cg(2, &cfg);
+        // Splitting columns instead of rows exercises the E/W exchange
+        // and the carry pipeline — the bits must not move.
+        cfg.tl_tiles_x = 2;
+        cfg.tl_tiles_y = 1;
+        let columns = run_distributed_cg(2, &cfg);
+        assert_eq!(columns, strips);
+    }
+
+    #[test]
+    fn traced_run_emits_phase_spans() {
+        let mut cfg = TeaConfig::paper_problem(16);
+        cfg.end_step = 1;
+        cfg.tl_eps = 1.0e-10;
+        let (report, stats, _, records) = run_distributed_solver_traced(2, 1, &cfg);
+        assert!(report.converged);
+        assert!(stats.windows > 0);
+        let cat_count = |want: &str| {
+            records
+                .iter()
+                .filter(|r| matches!(r, Record::Complete { cat, .. } if *cat == want))
+                .count()
+        };
+        assert!(cat_count("exchange") > 0);
+        assert!(cat_count("interior") > 0);
+        assert!(cat_count("boundary") > 0);
     }
 
     #[test]

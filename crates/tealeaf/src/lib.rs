@@ -36,6 +36,7 @@ pub mod recorder;
 pub mod report;
 pub mod resilience;
 pub mod solver;
+pub mod tile;
 
 pub use driver::{run_simulation, run_simulation_seeded, run_simulation_traced, run_solve};
 pub use kernels::{traced_halo, NormField, TeaLeafPort};

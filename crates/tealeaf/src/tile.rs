@@ -1,0 +1,564 @@
+//! 2-D tile geometry, overlapped halo exchange and exactly-ordered
+//! reductions for the distributed solvers.
+//!
+//! [`distributed`](crate::distributed) decomposes the global mesh over a
+//! [`Grid2d`] of ranks, one rectangular tile each. This module owns the
+//! pure mechanics that make a tiled run **bit-identical** to the serial
+//! reference:
+//!
+//! * **Exchange** ([`post_halo`]/[`complete_halo`]): every tile sends its
+//!   boundary strips to up to eight neighbours (four edges, four
+//!   corners), posts all sends up-front, and drains edges before corners
+//!   so the depth×depth corner blocks — the only messages carrying true
+//!   diagonal-neighbour data — overwrite whatever the full-extent edge
+//!   payloads put in the ghost corners. After completion, every ghost
+//!   cell a kernel reads holds exactly the value the serial padded mesh
+//!   holds at the same global coordinate.
+//! * **Interior/boundary split** ([`Span`]): a stencil pass is run as an
+//!   interior pass (cells whose 5-point stencil reads no ghost cell)
+//!   while the exchange is in flight, then a boundary ring pass after it
+//!   completes. No TeaLeaf kernel writes a field its stencil reads, so
+//!   cell update order is irrelevant and the split is bit-identical to
+//!   the monolithic sweep by construction (property-tested in
+//!   `tests/prop_tile_split.rs`).
+//! * **Reductions** ([`ordered_reduce`]): the serial reference folds each
+//!   interior row left-to-right from 0.0, then folds the per-row partials
+//!   in global row order. Splitting a mesh row across tiles breaks the
+//!   in-row fold (f64 addition is not associative), so the row fold is
+//!   *pipelined*: each tile receives the running sums for its rows from
+//!   its west neighbour in one batched message, continues the fold cell
+//!   by cell, and forwards east. East-most tiles hold exact serial row
+//!   partials and are the only ranks contributing to the rank-ordered
+//!   allreduce; row-major rank numbering makes their rank order the
+//!   global row order, so the global fold bit-equals the serial one.
+
+use mpisim::topology::{dir_tag, Dir, Grid2d};
+use mpisim::{ExchangeMetrics, Rank, Tag};
+use tea_core::config::TeaConfig;
+use tea_core::field::Field2d;
+use tea_core::halo::update_halo;
+use tea_core::mesh::Mesh2d;
+use tea_core::state::generate_chunk;
+
+/// Base tag of the reduction carry pipeline (flows west→east only).
+pub const TAG_CARRY: Tag = 15;
+
+/// Interior cell span (global cells) owned by tile `index` of `count`
+/// along one axis — the same floor split the 1-D stripes used.
+pub fn tile_span(cells: usize, index: usize, count: usize) -> (usize, usize) {
+    (index * cells / count, (index + 1) * cells / count)
+}
+
+/// Placement of one rank's tile: its grid coordinates and local mesh.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileGeom {
+    pub grid: Grid2d,
+    pub tx: usize,
+    pub ty: usize,
+    pub mesh: Mesh2d,
+}
+
+impl TileGeom {
+    /// Build the geometry of `rank`'s tile on `grid`.
+    ///
+    /// The local extents reuse the stripe formula on both axes
+    /// (`min + d·span_start`), so a `1×ranks` grid reproduces the 1-D
+    /// stripe meshes bit-for-bit; bit-identity of the derived `dx`/`dy`
+    /// against the global mesh is pinned by the conformance goldens.
+    pub fn build(config: &TeaConfig, grid: Grid2d, rank: usize) -> TileGeom {
+        let (tx, ty) = grid.coords(rank);
+        let (c0, c1) = tile_span(config.x_cells, tx, grid.tiles_x());
+        let (r0, r1) = tile_span(config.y_cells, ty, grid.tiles_y());
+        let (cols, rows) = (c1 - c0, r1 - r0);
+        assert!(
+            cols >= config.halo_depth && rows >= config.halo_depth,
+            "tile of {cols}x{rows} cells cannot carry a depth-{} halo; use a coarser tile grid",
+            config.halo_depth
+        );
+        let dx = (config.xmax - config.xmin) / config.x_cells as f64;
+        let dy = (config.ymax - config.ymin) / config.y_cells as f64;
+        let x = if grid.tiles_x() == 1 {
+            (config.xmin, config.xmax)
+        } else {
+            (config.xmin + dx * c0 as f64, config.xmin + dx * c1 as f64)
+        };
+        let y = if grid.tiles_y() == 1 {
+            (config.ymin, config.ymax)
+        } else {
+            (config.ymin + dy * r0 as f64, config.ymin + dy * r1 as f64)
+        };
+        TileGeom {
+            grid,
+            tx,
+            ty,
+            mesh: Mesh2d::new(cols, rows, config.halo_depth, x, y),
+        }
+    }
+
+    /// This tile's rank in row-major numbering.
+    pub fn rank(&self) -> usize {
+        self.grid.rank_at(self.tx, self.ty)
+    }
+
+    /// The rank neighbouring this tile in `dir`, if any.
+    pub fn neighbor(&self, dir: Dir) -> Option<usize> {
+        self.grid.neighbor(self.rank(), dir)
+    }
+}
+
+/// One rank's tile of the global problem: geometry plus every solver
+/// field, halo cells included.
+#[derive(Clone)]
+pub struct Tile {
+    pub geom: TileGeom,
+    pub density: Vec<f64>,
+    pub energy: Vec<f64>,
+    pub u: Vec<f64>,
+    pub u0: Vec<f64>,
+    pub p: Vec<f64>,
+    pub r: Vec<f64>,
+    pub w: Vec<f64>,
+    pub z: Vec<f64>,
+    pub sd: Vec<f64>,
+    pub kx: Vec<f64>,
+    pub ky: Vec<f64>,
+}
+
+impl Tile {
+    pub fn build(config: &TeaConfig, grid: Grid2d, rank: usize) -> Tile {
+        let geom = TileGeom::build(config, grid, rank);
+        let mut density = Field2d::zeros(&geom.mesh);
+        let mut energy = Field2d::zeros(&geom.mesh);
+        generate_chunk(&geom.mesh, &config.states, &mut density, &mut energy);
+        let len = geom.mesh.len();
+        Tile {
+            geom,
+            density: density.into_vec(),
+            energy: energy.into_vec(),
+            u: vec![0.0; len],
+            u0: vec![0.0; len],
+            p: vec![0.0; len],
+            r: vec![0.0; len],
+            w: vec![0.0; len],
+            z: vec![0.0; len],
+            sd: vec![0.0; len],
+            kx: vec![0.0; len],
+            ky: vec![0.0; len],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// interior/boundary split
+// ---------------------------------------------------------------------------
+
+/// Which cells of the tile interior a kernel pass covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Span {
+    /// Cells whose 5-point stencil reads only interior cells — safe to
+    /// update while a depth-1 halo exchange is still in flight.
+    Inner,
+    /// The one-cell perimeter ring; its stencil reads ghost cells, so it
+    /// runs after the exchange completes.
+    Ring,
+    /// The whole interior in one monolithic pass.
+    All,
+}
+
+/// Run `f` over every interior flat index the span covers, row-major.
+pub fn for_cells(mesh: &Mesh2d, span: Span, mut f: impl FnMut(usize)) {
+    let (i0, i1, w, j1) = (mesh.i0(), mesh.i1(), mesh.width(), mesh.j1());
+    let inner_j = (i0 + 1)..j1.saturating_sub(1);
+    let inner_i = (i0 + 1)..i1.saturating_sub(1);
+    match span {
+        Span::All => {
+            for j in i0..j1 {
+                for i in i0..i1 {
+                    f(j * w + i);
+                }
+            }
+        }
+        Span::Inner => {
+            for j in inner_j {
+                for i in inner_i.clone() {
+                    f(j * w + i);
+                }
+            }
+        }
+        Span::Ring => {
+            for j in i0..j1 {
+                if inner_j.contains(&j) {
+                    for i in i0..i1 {
+                        if !inner_i.contains(&i) {
+                            f(j * w + i);
+                        }
+                    }
+                } else {
+                    for i in i0..i1 {
+                        f(j * w + i);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Number of cells [`for_cells`] visits for this span.
+pub fn span_cells(mesh: &Mesh2d, span: Span) -> u64 {
+    let nx = mesh.x_cells as u64;
+    let ny = mesh.y_cells as u64;
+    let inner = nx.saturating_sub(2) * ny.saturating_sub(2);
+    match span {
+        Span::All => nx * ny,
+        Span::Inner => inner,
+        Span::Ring => nx * ny - inner,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// halo exchange
+// ---------------------------------------------------------------------------
+
+/// Pack the depth-`depth` strip adjacent to the `dir` edge/corner of the
+/// tile, ordered inward from the edge. Edge payloads span the full
+/// padded extent along the edge; corner payloads are `depth × depth`
+/// interior blocks.
+fn gather(mesh: &Mesh2d, field: &[f64], dir: Dir, depth: usize) -> Vec<f64> {
+    let w = mesh.width();
+    let h = mesh.height();
+    let (i0, i1, j1) = (mesh.i0(), mesh.i1(), mesh.j1());
+    let row = |j: usize| j * w..(j + 1) * w;
+    match dir {
+        Dir::N | Dir::S => {
+            let mut p = Vec::with_capacity(depth * w);
+            for k in 0..depth {
+                let j = if dir == Dir::N { j1 - 1 - k } else { i0 + k };
+                p.extend_from_slice(&field[row(j)]);
+            }
+            p
+        }
+        Dir::E | Dir::W => {
+            let mut p = Vec::with_capacity(depth * h);
+            for k in 0..depth {
+                let i = if dir == Dir::E { i1 - 1 - k } else { i0 + k };
+                for j in 0..h {
+                    p.push(field[j * w + i]);
+                }
+            }
+            p
+        }
+        _ => {
+            let (dx, dy) = dir.offset();
+            let mut p = Vec::with_capacity(depth * depth);
+            for kj in 0..depth {
+                let j = if dy > 0 { j1 - 1 - kj } else { i0 + kj };
+                for ki in 0..depth {
+                    let i = if dx > 0 { i1 - 1 - ki } else { i0 + ki };
+                    p.push(field[j * w + i]);
+                }
+            }
+            p
+        }
+    }
+}
+
+/// Unpack a neighbour's payload into this tile's ghost cells on the
+/// `dir` side (`dir` = where the neighbour sits; `data` = the
+/// neighbour's [`gather`] towards us).
+fn scatter(mesh: &Mesh2d, field: &mut [f64], dir: Dir, depth: usize, data: &[f64]) {
+    let w = mesh.width();
+    let h = mesh.height();
+    let (i0, i1, j1) = (mesh.i0(), mesh.i1(), mesh.j1());
+    match dir {
+        Dir::N | Dir::S => {
+            for k in 0..depth {
+                let j = if dir == Dir::N { j1 + k } else { i0 - 1 - k };
+                field[j * w..(j + 1) * w].clone_from_slice(&data[k * w..(k + 1) * w]);
+            }
+        }
+        Dir::E | Dir::W => {
+            for k in 0..depth {
+                let i = if dir == Dir::E { i1 + k } else { i0 - 1 - k };
+                for j in 0..h {
+                    field[j * w + i] = data[k * h + j];
+                }
+            }
+        }
+        _ => {
+            let (dx, dy) = dir.offset();
+            for kj in 0..depth {
+                let j = if dy > 0 { j1 + kj } else { i0 - 1 - kj };
+                for ki in 0..depth {
+                    let i = if dx > 0 { i1 + ki } else { i0 - 1 - ki };
+                    field[j * w + i] = data[kj * depth + ki];
+                }
+            }
+        }
+    }
+}
+
+/// Open one halo-exchange window: refresh the local reflective halo
+/// (unless `reflect` is false — Jacobi's previous-iterate scratch keeps
+/// its physical ghosts at the serial value 0.0), then post one buffered
+/// send per existing neighbour. Compute may proceed on interior cells
+/// until [`complete_halo`] drains the matching receives.
+pub fn post_halo(
+    rank: &Rank,
+    geom: &TileGeom,
+    field: &mut [f64],
+    base: Tag,
+    depth: usize,
+    reflect: bool,
+    metrics: &mut ExchangeMetrics,
+) {
+    if reflect {
+        update_halo(&geom.mesh, field, depth);
+    }
+    for dir in Dir::ALL {
+        let Some(peer) = geom.neighbor(dir) else {
+            continue;
+        };
+        let payload = gather(&geom.mesh, field, dir, depth);
+        metrics.record(dir, payload.len());
+        rank.send(peer, dir_tag(base, dir), payload);
+    }
+}
+
+/// Drain the receives of the window [`post_halo`] opened — edges first,
+/// corners last, so corner blocks are authoritative in the ghost
+/// corners. Returns the number of elements received.
+pub fn complete_halo(
+    rank: &Rank,
+    geom: &TileGeom,
+    field: &mut [f64],
+    base: Tag,
+    depth: usize,
+) -> u64 {
+    let mut received = 0;
+    for dir in Dir::ALL {
+        let Some(peer) = geom.neighbor(dir) else {
+            continue;
+        };
+        // The neighbour sent towards us, i.e. with the travel direction
+        // opposite to where it sits from our point of view.
+        let data = rank.recv(peer, dir_tag(base, dir.opposite()));
+        received += data.len() as u64;
+        scatter(&geom.mesh, field, dir, depth, &data);
+    }
+    received
+}
+
+/// A blocking exchange: post, then immediately complete.
+pub fn exchange_halo(
+    rank: &Rank,
+    geom: &TileGeom,
+    field: &mut [f64],
+    base: Tag,
+    depth: usize,
+    reflect: bool,
+    metrics: &mut ExchangeMetrics,
+) -> u64 {
+    post_halo(rank, geom, field, base, depth, reflect, metrics);
+    complete_halo(rank, geom, field, base, depth)
+}
+
+// ---------------------------------------------------------------------------
+// exactly-ordered reductions
+// ---------------------------------------------------------------------------
+
+/// Exactly-ordered global reduction of a per-cell contribution: the
+/// carry-pipelined row fold described in the module docs. Bit-equal to
+/// the serial row-ordered reduction for any tile grid.
+pub fn ordered_reduce(rank: &Rank, geom: &TileGeom, contribution: impl Fn(usize) -> f64) -> f64 {
+    let m = &geom.mesh;
+    let (i0, i1, w, j1) = (m.i0(), m.i1(), m.width(), m.j1());
+    let rows = j1 - i0;
+    let mut carries = match geom.neighbor(Dir::W) {
+        Some(west) => rank.recv(west, dir_tag(TAG_CARRY, Dir::E)),
+        None => vec![0.0; rows],
+    };
+    debug_assert_eq!(carries.len(), rows);
+    for (slot, j) in (i0..j1).enumerate() {
+        let mut acc = carries[slot];
+        for i in i0..i1 {
+            acc += contribution(j * w + i);
+        }
+        carries[slot] = acc;
+    }
+    match geom.neighbor(Dir::E) {
+        Some(east) => {
+            rank.send(east, dir_tag(TAG_CARRY, Dir::E), carries);
+            // Non-last-column ranks hold incomplete row folds; they
+            // contribute nothing to the global fold.
+            rank.allreduce_ordered(&[])
+        }
+        None => rank.allreduce_ordered(&carries),
+    }
+}
+
+/// Four-component analogue of [`ordered_reduce`] (the field summary).
+pub fn ordered_reduce4(
+    rank: &Rank,
+    geom: &TileGeom,
+    contribution: impl Fn(usize) -> [f64; 4],
+) -> [f64; 4] {
+    let m = &geom.mesh;
+    let (i0, i1, w, j1) = (m.i0(), m.i1(), m.width(), m.j1());
+    let rows = j1 - i0;
+    let mut carries = match geom.neighbor(Dir::W) {
+        Some(west) => rank.recv(west, dir_tag(TAG_CARRY, Dir::E)),
+        None => vec![0.0; rows * 4],
+    };
+    debug_assert_eq!(carries.len(), rows * 4);
+    for (slot, j) in (i0..j1).enumerate() {
+        let mut acc = [
+            carries[slot * 4],
+            carries[slot * 4 + 1],
+            carries[slot * 4 + 2],
+            carries[slot * 4 + 3],
+        ];
+        for i in i0..i1 {
+            let c = contribution(j * w + i);
+            for q in 0..4 {
+                acc[q] += c[q];
+            }
+        }
+        carries[slot * 4..slot * 4 + 4].clone_from_slice(&acc);
+    }
+    match geom.neighbor(Dir::E) {
+        Some(east) => {
+            rank.send(east, dir_tag(TAG_CARRY, Dir::E), carries);
+            rank.allreduce_ordered_components::<4>(&[])
+        }
+        None => {
+            let parts: Vec<[f64; 4]> = carries
+                .chunks_exact(4)
+                .map(|c| [c[0], c[1], c[2], c[3]])
+                .collect();
+            rank.allreduce_ordered_components(&parts)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// overlap accounting
+// ---------------------------------------------------------------------------
+
+/// What a rank's overlapped exchange windows hid, in deterministic
+/// logical units: cell updates and exchanged elements (never wall
+/// time, so reports are reproducible bit-for-bit).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverlapStats {
+    /// Exchange windows opened (one per overlapped stencil pass).
+    pub windows: u64,
+    /// Cell updates run while an exchange window was open.
+    pub interior_cells: u64,
+    /// Cell updates run after the window completed (the boundary ring).
+    pub boundary_cells: u64,
+    /// Elements received through overlapped windows.
+    pub exchanged_elements: u64,
+    /// Exchanged elements hidden behind interior compute:
+    /// `min(interior cell updates, exchanged elements)` per window.
+    pub hidden_elements: u64,
+}
+
+impl OverlapStats {
+    /// Account one exchange window.
+    pub fn absorb_window(&mut self, interior: u64, boundary: u64, exchanged: u64) {
+        self.windows += 1;
+        self.interior_cells += interior;
+        self.boundary_cells += boundary;
+        self.exchanged_elements += exchanged;
+        self.hidden_elements += interior.min(exchanged);
+    }
+
+    /// Fold another rank's stats into this one.
+    pub fn merge(&mut self, other: &OverlapStats) {
+        self.windows += other.windows;
+        self.interior_cells += other.interior_cells;
+        self.boundary_cells += other.boundary_cells;
+        self.exchanged_elements += other.exchanged_elements;
+        self.hidden_elements += other.hidden_elements;
+    }
+
+    /// Fraction of exchanged elements hidden behind interior compute.
+    pub fn overlap_efficiency(&self) -> f64 {
+        if self.exchanged_elements == 0 {
+            0.0
+        } else {
+            self.hidden_elements as f64 / self.exchanged_elements as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_span_partitions_both_axes() {
+        for cells in [7usize, 16, 33, 50] {
+            for count in 1..=5 {
+                let mut covered = 0;
+                for index in 0..count {
+                    let (c0, c1) = tile_span(cells, index, count);
+                    assert!(c0 <= c1);
+                    covered += c1 - c0;
+                    if index > 0 {
+                        assert_eq!(c0, tile_span(cells, index - 1, count).1);
+                    }
+                }
+                assert_eq!(covered, cells);
+            }
+        }
+    }
+
+    #[test]
+    fn inner_and_ring_partition_the_interior() {
+        for (nx, ny) in [(6usize, 5usize), (1, 4), (4, 1), (1, 1), (2, 2), (3, 8)] {
+            for halo in [1usize, 2] {
+                let mesh = Mesh2d::new(nx, ny, halo, (0.0, 1.0), (0.0, 1.0));
+                let collect = |span| {
+                    let mut v = Vec::new();
+                    for_cells(&mesh, span, |k| v.push(k));
+                    v
+                };
+                let all = collect(Span::All);
+                let inner = collect(Span::Inner);
+                let ring = collect(Span::Ring);
+                assert_eq!(all.len() as u64, span_cells(&mesh, Span::All));
+                assert_eq!(inner.len() as u64, span_cells(&mesh, Span::Inner));
+                assert_eq!(ring.len() as u64, span_cells(&mesh, Span::Ring));
+                let mut merged: Vec<usize> = inner.iter().chain(ring.iter()).copied().collect();
+                merged.sort_unstable();
+                assert_eq!(merged, all, "{nx}x{ny} halo {halo}");
+                assert!(inner.iter().all(|k| !ring.contains(k)));
+            }
+        }
+    }
+
+    #[test]
+    fn strip_grid_geometry_matches_the_legacy_stripes() {
+        let cfg = TeaConfig::paper_problem(16);
+        let grid = Grid2d::column_strip(4);
+        for rank in 0..4 {
+            let geom = TileGeom::build(&cfg, grid, rank);
+            let (r0, r1) = tile_span(cfg.y_cells, rank, 4);
+            assert_eq!(geom.mesh.x_cells, cfg.x_cells);
+            assert_eq!(geom.mesh.y_cells, r1 - r0);
+            assert_eq!((geom.mesh.xmin, geom.mesh.xmax), (cfg.xmin, cfg.xmax));
+            assert_eq!((geom.tx, geom.ty), (0, rank));
+        }
+    }
+
+    #[test]
+    fn overlap_stats_cap_hidden_at_the_exchange_size() {
+        let mut s = OverlapStats::default();
+        s.absorb_window(100, 36, 40); // plenty of interior: all hidden
+        s.absorb_window(10, 36, 40); // interior too small: partial
+        assert_eq!(s.windows, 2);
+        assert_eq!(s.hidden_elements, 50);
+        assert_eq!(s.exchanged_elements, 80);
+        assert!((s.overlap_efficiency() - 50.0 / 80.0).abs() < 1e-15);
+    }
+}

@@ -5,7 +5,9 @@
 
 use simdev::devices;
 use tea_core::config::{SolverKind, TeaConfig};
-use tealeaf::distributed::run_distributed_cg;
+use tealeaf::distributed::{
+    run_distributed_cg, run_distributed_solver, run_distributed_solver_blocking,
+};
 use tealeaf::{run_simulation, ModelId};
 
 fn config(cells: usize) -> TeaConfig {
@@ -42,6 +44,42 @@ fn uneven_stripes_still_exact() {
     let dist = run_distributed_cg(3, &cfg);
     assert_eq!(dist.summary.max_abs_diff(&serial.summary), 0.0);
     assert_eq!(dist.total_iterations, serial.total_iterations);
+}
+
+#[test]
+fn all_solvers_on_2d_grids_bit_identical_to_serial() {
+    let mut cfg = TeaConfig::paper_problem(16);
+    cfg.end_step = 2;
+    cfg.tl_eps = 1.0e-10;
+    for solver in [
+        SolverKind::Jacobi,
+        SolverKind::ConjugateGradient,
+        SolverKind::Chebyshev,
+        SolverKind::Ppcg,
+    ] {
+        cfg.solver = solver;
+        let serial =
+            run_simulation(ModelId::Serial, &devices::cpu_xeon_e5_2670_x2(), &cfg).unwrap();
+        for (gx, gy) in [(2usize, 2usize), (3, 1), (1, 3)] {
+            let overlapped = run_distributed_solver(gx, gy, &cfg);
+            let blocking = run_distributed_solver_blocking(gx, gy, &cfg);
+            assert_eq!(
+                overlapped.total_iterations, serial.total_iterations,
+                "{solver:?} on {gx}x{gy}: iteration count drifted"
+            );
+            assert_eq!(
+                overlapped.summary.max_abs_diff(&serial.summary),
+                0.0,
+                "{solver:?} on {gx}x{gy}: summary drifted"
+            );
+            assert_eq!(overlapped.converged, serial.converged);
+            assert_eq!(
+                blocking.summary, overlapped.summary,
+                "{solver:?} on {gx}x{gy}: overlap must not change bits"
+            );
+            assert_eq!(blocking.total_iterations, overlapped.total_iterations);
+        }
+    }
 }
 
 #[test]
