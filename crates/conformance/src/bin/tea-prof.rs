@@ -21,12 +21,17 @@
 
 use std::process::ExitCode;
 
-use tea_conformance::{builtin_deck, deck_config, model_name, natural_device, parse_model};
+use mpisim::KillSpec;
+use tea_conformance::{
+    builtin_deck, deck_config, fault_spec_for, model_name, natural_device, parse_model,
+};
 use tea_core::config::SolverKind;
 use tea_core::tablefmt::{fmt_secs, Table};
 use tea_telemetry::export::{to_chrome, to_jsonl};
 use tea_telemetry::{json, Record};
-use tealeaf::distributed::run_distributed_solver_traced;
+use tealeaf::distributed::{
+    run_distributed_solver_resilient_traced, run_distributed_solver_traced,
+};
 use tealeaf::driver::TEA_DEFAULT_SEED;
 use tealeaf::{run_simulation_traced, ModelId, RunReport, TelemetrySink};
 
@@ -42,6 +47,7 @@ struct Options {
     device: Option<DeviceSpec>,
     validate: bool,
     overlap: Option<(usize, usize)>,
+    recovery: Option<(usize, usize)>,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -54,7 +60,7 @@ enum Format {
 const USAGE: &str =
     "usage: tea-prof [--deck <name>] [--model <port>] [--solver jacobi|cg|chebyshev|ppcg] \
      [--format table|json|chrome] [--top N] [--diff <port>] [--device cpu|gpu|knc] [--validate] \
-     [--overlap GXxGY]";
+     [--overlap GXxGY] [--recovery GXxGY]";
 
 fn parse_solver(name: &str) -> Option<SolverKind> {
     match name {
@@ -86,6 +92,7 @@ fn parse_args(argv: &[String]) -> Result<Options, String> {
         device: None,
         validate: false,
         overlap: None,
+        recovery: None,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -135,6 +142,15 @@ fn parse_args(argv: &[String]) -> Result<Options, String> {
                     .filter(|&(gx, gy)| gx >= 1 && gy >= 1)
                     .ok_or_else(|| format!("bad --overlap grid '{v}' (expected e.g. 2x2)"))?;
                 opts.overlap = Some(grid);
+            }
+            "--recovery" => {
+                let v = value("--recovery")?;
+                let grid = v
+                    .split_once('x')
+                    .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+                    .filter(|&(gx, gy)| gx >= 1 && gy >= 1)
+                    .ok_or_else(|| format!("bad --recovery grid '{v}' (expected e.g. 2x2)"))?;
+                opts.recovery = Some(grid);
             }
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -296,6 +312,121 @@ fn overlap_table(
     Ok(table)
 }
 
+/// The `--recovery` mode: run the deck's solver on a tile grid through
+/// the self-healing distributed driver under a deterministic chaos row
+/// (the deck's `tl_chaos_seed` drives the lossy schedule; multi-rank
+/// grids also lose their highest rank once, transiently), then render
+/// the recovery timeline — checkpoints taken, worlds lost, restarts and
+/// re-tilings — from the telemetry stream, plus the counter summary.
+/// `--format json` emits the same timeline as one JSON document.
+fn recovery_report(
+    deck: &str,
+    gx: usize,
+    gy: usize,
+    solver: Option<SolverKind>,
+    format: Format,
+) -> Result<String, String> {
+    let text = builtin_deck(deck)
+        .ok_or_else(|| format!("no builtin deck '{deck}' (try conf_tiny or conf_small)"))?;
+    let mut cfg = deck_config(deck, text);
+    if let Some(s) = solver {
+        cfg.solver = s;
+    }
+    let ranks = gx * gy;
+    let mut spec = fault_spec_for(&cfg, 0);
+    if ranks > 1 {
+        spec.kill_rank = Some(KillSpec::transient(ranks - 1, 20 + cfg.tl_chaos_seed % 13));
+    }
+    let (report, log, records) = run_distributed_solver_resilient_traced(gx, gy, &cfg, spec)
+        .map_err(|d| format!("unrecovered chaos run: {d}"))?;
+    if log.checkpoints_taken == 0 {
+        return Err(format!(
+            "{gx}x{gy} run took no checkpoints — the rings never filled \
+             (tl_checkpoint_interval {})",
+            cfg.tl_checkpoint_interval
+        ));
+    }
+    let timeline: Vec<(f64, &str)> = records
+        .iter()
+        .filter_map(|r| match r {
+            Record::Instant { cat, name, t, .. } if *cat == "resilience" => {
+                Some((*t, name.as_str()))
+            }
+            _ => None,
+        })
+        .collect();
+    let summary = format!(
+        "checkpoints {} · worlds lost {} · restarts {} · regrids {} · \
+         replayed {} bytes · final grid {}x{} · {} iterations, converged {}",
+        log.checkpoints_taken,
+        log.ranks_lost,
+        log.restarts,
+        log.regrids,
+        log.replayed_bytes,
+        log.final_grid.0,
+        log.final_grid.1,
+        report.total_iterations,
+        report.converged
+    );
+    match format {
+        Format::Table => {
+            let mut table = Table::new(
+                &format!(
+                    "Recovery timeline · deck {deck} · {gx}x{gy} tiles · {}",
+                    cfg.solver.name()
+                ),
+                &["t", "event"],
+            );
+            for (t, name) in &timeline {
+                table.row(&[format!("{t:.0}"), name.to_string()]);
+            }
+            for e in &log.events {
+                table.row(&["·".to_string(), format!("driver: {e}")]);
+            }
+            Ok(format!("{}\n{summary}", table.render()))
+        }
+        Format::Json | Format::Chrome => {
+            // One JSON document; chrome output makes no sense for a
+            // timeline of instants, so both spellings emit JSON.
+            let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+            let mut out = String::new();
+            out.push_str(&format!(
+                "{{\"deck\":\"{}\",\"grid\":\"{gx}x{gy}\",\"solver\":\"{}\",\
+                 \"checkpoints\":{},\"ranks_lost\":{},\"restarts\":{},\"regrids\":{},\
+                 \"replayed_bytes\":{},\"final_grid\":\"{}x{}\",\"timeline\":[",
+                esc(deck),
+                cfg.solver.name(),
+                log.checkpoints_taken,
+                log.ranks_lost,
+                log.restarts,
+                log.regrids,
+                log.replayed_bytes,
+                log.final_grid.0,
+                log.final_grid.1,
+            ));
+            for (i, (t, name)) in timeline.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{{\"t\":{t},\"event\":\"{}\"}}", esc(name)));
+            }
+            out.push_str("],\"events\":[");
+            for (i, e) in log.events.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"step\":{},\"event\":\"{}\"}}",
+                    e.step,
+                    esc(&e.to_string())
+                ));
+            }
+            out.push_str("]}");
+            Ok(out)
+        }
+    }
+}
+
 /// Side-by-side per-kernel profile of two runs, widest simulated-time
 /// gap first — the kernels that explain why the two models differ.
 fn diff_table(a: &RunReport, b: &RunReport, top: usize) -> Table {
@@ -360,6 +491,26 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if let Some((gx, gy)) = opts.recovery {
+        return match recovery_report(&opts.deck, gx, gy, opts.solver, opts.format) {
+            Ok(out) => {
+                println!("{out}");
+                if opts.validate && opts.format != Format::Table {
+                    if let Err(e) = json::parse(&out) {
+                        eprintln!("recovery json INVALID: {e}");
+                        return ExitCode::from(1);
+                    }
+                    eprintln!("recovery json validates");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::from(1)
+            }
+        };
+    }
 
     if let Some((gx, gy)) = opts.overlap {
         return match overlap_table(&opts.deck, gx, gy, opts.solver) {

@@ -11,11 +11,12 @@
 
 use std::time::Duration;
 
-use mpisim::{FaultSpec, KillSpec};
+use mpisim::{FaultSpec, KillSpec, PartitionSpec};
 use tea_core::config::{SolverKind, TeaConfig};
 use tealeaf::distributed::{
     run_distributed_cg, run_distributed_cg_faulty, run_distributed_cg_resilient,
-    run_distributed_solver, run_distributed_solver_faulty,
+    run_distributed_solver, run_distributed_solver_faulty, run_distributed_solver_resilient,
+    DistributedReport, RecoveryLog,
 };
 
 /// Outcome tally of one fault matrix sweep.
@@ -192,6 +193,235 @@ pub fn run_fault_matrix_recovering(
     Ok(report)
 }
 
+/// The chaos-harness [`FaultSpec`] for `config` and matrix `seed`: the
+/// lossy profile with the deck's deadline budget (`tl_exchange_deadline`)
+/// and its chaos seed (`tl_chaos_seed`) mixed into the fault stream, so
+/// one deck key re-rolls every fault schedule reproducibly.
+pub fn fault_spec_for(config: &TeaConfig, seed: u64) -> FaultSpec {
+    FaultSpec {
+        quiet: Duration::from_millis(2),
+        deadline: Duration::from_secs_f64(config.tl_exchange_deadline),
+        ..FaultSpec::lossy(config.tl_chaos_seed ^ seed)
+    }
+}
+
+/// Compare a resilient run against the clean baseline. Without a regrid
+/// the whole report must be bit-identical; after an elastic regrid the
+/// rank count legitimately shrinks with the world, and every numeric
+/// field must still match bit-for-bit.
+fn check_bit_identical(
+    baseline: &DistributedReport,
+    recovered: &DistributedReport,
+    log: &RecoveryLog,
+) -> bool {
+    if log.regrids == 0 {
+        recovered == baseline
+    } else {
+        recovered.ranks == log.final_grid.0 * log.final_grid.1
+            && recovered.total_iterations == baseline.total_iterations
+            && recovered.converged == baseline.converged
+            && recovered.summary == baseline.summary
+    }
+}
+
+/// The 2-D fault matrix with checkpoint-restart recovery enabled: the
+/// 2-D analogue of [`run_fault_matrix_recovering`], closing the gap that
+/// [`run_fault_matrix_2d`] never exercised an actual recovery. Every row
+/// — lossy networks per `seed` plus an injected rank loss per
+/// [`KillSpec`] — runs every solver on every tile grid through the
+/// self-healing driver and must finish **bit-identical** to the clean
+/// baseline. Any abort or any bitwise divergence returns `Err`.
+pub fn run_fault_matrix_2d_recovering(
+    config: &TeaConfig,
+    grids: &[(usize, usize)],
+    solvers: &[SolverKind],
+    seeds: &[u64],
+    kills: &[KillSpec],
+) -> Result<RecoveryMatrixReport, String> {
+    let mut report = RecoveryMatrixReport {
+        runs: 0,
+        restarts: 0,
+    };
+    for &solver in solvers {
+        let mut cfg = config.clone();
+        cfg.solver = solver;
+        for &(gx, gy) in grids {
+            let baseline = run_distributed_solver(gx, gy, &cfg);
+            let mut rows: Vec<FaultSpec> = seeds
+                .iter()
+                .map(|&seed| fault_spec_for(&cfg, seed))
+                .collect();
+            rows.extend(
+                kills
+                    .iter()
+                    .filter(|k| k.rank < gx * gy)
+                    .map(|&kill| FaultSpec {
+                        quiet: Duration::from_millis(2),
+                        deadline: Duration::from_secs_f64(cfg.tl_exchange_deadline),
+                        kill_rank: Some(kill),
+                        ..FaultSpec::clean(kill.rank as u64 ^ kill.after_sends)
+                    }),
+            );
+            for spec in rows {
+                report.runs += 1;
+                match run_distributed_solver_resilient(gx, gy, &cfg, spec) {
+                    Ok((recovered, log)) => {
+                        if !check_bit_identical(&baseline, &recovered, &log) {
+                            return Err(format!(
+                                "BITWISE DIVERGENCE: solver={solver:?} grid={gx}x{gy} \
+                                 spec={spec:?}: recovered run differs from clean \
+                                 baseline ({recovered:?} vs {baseline:?}, log {log:?})"
+                            ));
+                        }
+                        report.restarts += log.restarts;
+                    }
+                    Err(diagnostic) => {
+                        return Err(format!(
+                            "UNRECOVERED: solver={solver:?} grid={gx}x{gy} spec={spec:?} \
+                             aborted: {diagnostic}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Outcome tally of one chaos matrix sweep, by recovery depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosMatrixReport {
+    /// Chaos rows executed.
+    pub runs: usize,
+    /// Rows the transport absorbed without a world restart.
+    pub recovered: usize,
+    /// Rows that needed at least one checkpoint restart.
+    pub restarted: usize,
+    /// Rows that degraded onto a smaller tile grid.
+    pub regridded: usize,
+    /// Rows that aborted loudly with a diagnostic.
+    pub aborted: usize,
+}
+
+/// The seeded chaos matrix: for every solver × tile grid × seed, run the
+/// self-healing distributed driver under each chaos family — rank kill,
+/// payload corruption, reorder/delay storms, and a transient network
+/// partition. The invariant is the tentpole's: every row either recovers
+/// **bit-identical** to the clean baseline, degrades with explicit
+/// [`tealeaf::resilience::RecoveryEvent`]s on its log, or aborts loudly —
+/// `Err` the moment any row is silently wrong or silently degraded.
+pub fn run_chaos_matrix_2d(
+    config: &TeaConfig,
+    grids: &[(usize, usize)],
+    solvers: &[SolverKind],
+    seeds: &[u64],
+) -> Result<ChaosMatrixReport, String> {
+    let mut report = ChaosMatrixReport::default();
+    for &solver in solvers {
+        let mut cfg = config.clone();
+        cfg.solver = solver;
+        for &(gx, gy) in grids {
+            let ranks = gx * gy;
+            let baseline = run_distributed_solver(gx, gy, &cfg);
+            for &seed in seeds {
+                let base = fault_spec_for(&cfg, seed);
+                let mut rows: Vec<(&str, FaultSpec)> = vec![
+                    (
+                        "corrupt",
+                        FaultSpec {
+                            quiet: base.quiet,
+                            deadline: base.deadline,
+                            ..FaultSpec::corrupting(cfg.tl_chaos_seed ^ seed)
+                        },
+                    ),
+                    (
+                        "delay",
+                        FaultSpec {
+                            reorder: 0.15,
+                            delay: 0.15,
+                            drop: 0.0,
+                            duplicate: 0.0,
+                            ..base
+                        },
+                    ),
+                ];
+                if ranks > 1 {
+                    // Kill the highest rank a deterministic distance into
+                    // its send schedule; the partition isolates it for a
+                    // window of everyone's schedule instead.
+                    rows.push((
+                        "kill",
+                        FaultSpec {
+                            kill_rank: Some(KillSpec::transient(ranks - 1, 20 + seed % 13)),
+                            ..FaultSpec {
+                                drop: 0.0,
+                                duplicate: 0.0,
+                                reorder: 0.0,
+                                delay: 0.0,
+                                ..base
+                            }
+                        },
+                    ));
+                    rows.push((
+                        "partition",
+                        FaultSpec {
+                            partition: Some(PartitionSpec {
+                                rank: ranks - 1,
+                                from_send: 5 + seed % 7,
+                                until_send: 20 + seed % 7,
+                            }),
+                            ..FaultSpec {
+                                drop: 0.0,
+                                duplicate: 0.0,
+                                reorder: 0.0,
+                                delay: 0.0,
+                                ..base
+                            }
+                        },
+                    ));
+                }
+                for (family, spec) in rows {
+                    report.runs += 1;
+                    match run_distributed_solver_resilient(gx, gy, &cfg, spec) {
+                        Ok((recovered, log)) => {
+                            if !check_bit_identical(&baseline, &recovered, &log) {
+                                return Err(format!(
+                                    "SILENTLY WRONG: family={family} solver={solver:?} \
+                                     grid={gx}x{gy} seed={seed:#x}: recovered run \
+                                     differs from clean baseline \
+                                     ({recovered:?} vs {baseline:?}, log {log:?})"
+                                ));
+                            }
+                            if log.restarts > log.events.len() || log.regrids > log.events.len() {
+                                return Err(format!(
+                                    "SILENT DEGRADE: family={family} solver={solver:?} \
+                                     grid={gx}x{gy} seed={seed:#x}: recovery happened \
+                                     off the event timeline: {log:?}"
+                                ));
+                            }
+                            if log.regrids > 0 {
+                                report.regridded += 1;
+                            } else if log.restarts > 0 {
+                                report.restarted += 1;
+                            } else {
+                                report.recovered += 1;
+                            }
+                        }
+                        Err(diagnostic) => {
+                            // A loud abort is an acceptable chaos outcome;
+                            // tally it so callers can flag rows that never
+                            // recover.
+                            let _ = diagnostic;
+                            report.aborted += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,16 +470,60 @@ mod tests {
         cfg.end_step = 2;
         cfg.tl_eps = 1.0e-12;
         cfg.tl_checkpoint_interval = 2;
-        let kills = [KillSpec {
-            rank: 1,
-            after_sends: 25,
-        }];
+        let kills = [KillSpec::transient(1, 25)];
         let report =
             run_fault_matrix_recovering(&cfg, &[2], &[7], &kills).expect("every row must recover");
         assert_eq!(report.runs, 2, "one lossy row + one kill row");
         assert!(
             report.restarts >= 1,
             "the kill row must consume at least one restart: {report:?}"
+        );
+    }
+
+    #[test]
+    fn recovering_2d_matrix_replays_kills_on_tile_grids() {
+        let mut cfg = small_config();
+        cfg.end_step = 2;
+        cfg.tl_eps = 1.0e-12;
+        cfg.tl_checkpoint_interval = 2;
+        let kills = [KillSpec::transient(1, 25)];
+        let report = run_fault_matrix_2d_recovering(
+            &cfg,
+            &[(2, 1), (2, 2)],
+            &[SolverKind::ConjugateGradient, SolverKind::Jacobi],
+            &[9],
+            &kills,
+        )
+        .expect("every row must recover bit-identically");
+        assert_eq!(report.runs, 8, "2 solvers × 2 grids × (1 lossy + 1 kill)");
+        assert!(
+            report.restarts >= 1,
+            "kill rows must consume restarts: {report:?}"
+        );
+    }
+
+    #[test]
+    fn chaos_matrix_never_silently_wrong_or_silently_degraded() {
+        let mut cfg = small_config();
+        cfg.end_step = 2;
+        cfg.tl_eps = 1.0e-12;
+        cfg.tl_checkpoint_interval = 2;
+        cfg.tl_max_recoveries = 2;
+        let report =
+            run_chaos_matrix_2d(&cfg, &[(2, 2)], &[SolverKind::ConjugateGradient], &[0x5eed])
+                .expect("chaos invariant must hold");
+        assert_eq!(report.runs, 4, "corrupt + delay + kill + partition");
+        assert_eq!(
+            report.recovered + report.restarted + report.regridded + report.aborted,
+            report.runs
+        );
+        assert!(
+            report.restarted >= 1,
+            "the kill row must restart the world: {report:?}"
+        );
+        assert!(
+            report.recovered >= 2,
+            "corrupt/delay/partition rows should be absorbed in-transport: {report:?}"
         );
     }
 }

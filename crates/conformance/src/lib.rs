@@ -42,8 +42,9 @@ pub use diff::{
     SabotagePlan, SabotagedPort,
 };
 pub use faults::{
-    run_fault_matrix, run_fault_matrix_2d, run_fault_matrix_recovering, FaultMatrixReport,
-    RecoveryMatrixReport,
+    fault_spec_for, run_chaos_matrix_2d, run_fault_matrix, run_fault_matrix_2d,
+    run_fault_matrix_2d_recovering, run_fault_matrix_recovering, ChaosMatrixReport,
+    FaultMatrixReport, RecoveryMatrixReport,
 };
 pub use fuzz::{run_schedule_fuzz, FuzzReport};
 pub use golden::{check_deck, compute_goldens, GoldenEntry};

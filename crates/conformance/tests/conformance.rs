@@ -300,18 +300,9 @@ fn full_recovering_fault_matrix_is_bit_identical() {
     cfg.tl_eps = 1.0e-12;
     cfg.tl_checkpoint_interval = 2;
     let kills = [
-        mpisim::KillSpec {
-            rank: 0,
-            after_sends: 2,
-        },
-        mpisim::KillSpec {
-            rank: 1,
-            after_sends: 25,
-        },
-        mpisim::KillSpec {
-            rank: 3,
-            after_sends: 40,
-        },
+        mpisim::KillSpec::transient(0, 2),
+        mpisim::KillSpec::transient(1, 25),
+        mpisim::KillSpec::transient(3, 40),
     ];
     let report = tea_conformance::run_fault_matrix_recovering(&cfg, &[2, 4], &[3, 5, 11], &kills)
         .expect("every row must recover bit-identically");
@@ -320,6 +311,79 @@ fn full_recovering_fault_matrix_is_bit_identical() {
     assert!(
         report.restarts >= 2,
         "the kill rows must exercise checkpoint restarts: {report:?}"
+    );
+}
+
+/// The 2-D recovery matrix the CI chaos job runs: every solver on every
+/// tile grid must replay injected rank losses bit-identically through
+/// the self-healing driver — aborts and divergences both fail.
+#[test]
+#[ignore = "2-D recovery matrix; run via the CI chaos job or locally with -- --ignored"]
+fn full_2d_recovering_matrix_is_bit_identical() {
+    let mut cfg = TeaConfig::paper_problem(16);
+    cfg.end_step = 2;
+    cfg.tl_eps = 1.0e-12;
+    cfg.tl_checkpoint_interval = 2;
+    let solvers = [
+        SolverKind::ConjugateGradient,
+        SolverKind::Chebyshev,
+        SolverKind::Ppcg,
+        SolverKind::Jacobi,
+    ];
+    let grids = [(2, 1), (1, 2), (2, 2)];
+    let kills = [
+        mpisim::KillSpec::transient(1, 25),
+        mpisim::KillSpec::transient(3, 40),
+    ];
+    let report =
+        tea_conformance::run_fault_matrix_2d_recovering(&cfg, &grids, &solvers, &[13], &kills)
+            .expect("every row must recover bit-identically");
+    // Per solver: 2-rank grids take 1 lossy + 1 kill, the 2x2 grid 1 + 2.
+    assert_eq!(report.runs, 28);
+    assert!(
+        report.restarts >= 4,
+        "the kill rows must exercise checkpoint restarts: {report:?}"
+    );
+}
+
+/// The seeded chaos matrix the CI chaos job runs: kill × corrupt ×
+/// delay × partition over every solver and the ISSUE's tile grids.
+/// Every row must recover bit-identical, degrade with explicit events,
+/// or abort loudly — a silent divergence fails immediately.
+#[test]
+#[ignore = "seeded chaos matrix; run via the CI chaos job or locally with -- --ignored"]
+fn full_chaos_matrix_never_silently_wrong() {
+    let mut cfg = TeaConfig::paper_problem(16);
+    cfg.end_step = 2;
+    cfg.tl_eps = 1.0e-12;
+    cfg.tl_checkpoint_interval = 2;
+    cfg.tl_max_recoveries = 2;
+    let solvers = [
+        SolverKind::ConjugateGradient,
+        SolverKind::Chebyshev,
+        SolverKind::Ppcg,
+        SolverKind::Jacobi,
+    ];
+    let grids = [(2, 1), (1, 2), (2, 2), (4, 1)];
+    let seeds = [0x5eed, 0xc4a0];
+    let report = tea_conformance::run_chaos_matrix_2d(&cfg, &grids, &solvers, &seeds)
+        .expect("chaos invariant must hold");
+    // Every grid is multi-rank, so all four families run per row.
+    assert_eq!(
+        report.runs, 128,
+        "4 solvers x 4 grids x 2 seeds x 4 families"
+    );
+    assert_eq!(
+        report.recovered + report.restarted + report.regridded + report.aborted,
+        report.runs
+    );
+    assert!(
+        report.restarted >= 8,
+        "kill rows must restart worlds: {report:?}"
+    );
+    assert!(
+        report.recovered >= report.runs / 2,
+        "most corruption/delay/partition rows should be absorbed in-transport: {report:?}"
     );
 }
 

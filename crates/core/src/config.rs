@@ -121,6 +121,18 @@ pub struct TeaConfig {
     /// Explicit fallback chain; empty means the built-in degradation
     /// (PPCG/Chebyshev → CG → Jacobi, CG → Jacobi).
     pub tl_fallback_chain: Vec<SolverKind>,
+    /// Base seed for the deterministic chaos harness (fault injection in
+    /// the distributed transport). The same deck + seed replays the same
+    /// fault schedule bit-for-bit; 0 is an ordinary seed, not "off".
+    pub tl_chaos_seed: u64,
+    /// Per-receive recovery deadline (seconds) for the distributed
+    /// transport: how long a rank starves on a channel — through NACKs,
+    /// backoff and straggler flushes — before declaring the peer dead.
+    pub tl_exchange_deadline: f64,
+    /// Allow the resilient distributed driver to re-decompose onto a
+    /// smaller tile grid when a rank stays dead past the
+    /// `tl_max_recoveries` restart budget. Off means such a loss aborts.
+    pub tl_elastic_regrid: bool,
 }
 
 impl Default for TeaConfig {
@@ -150,6 +162,9 @@ impl Default for TeaConfig {
             tl_stagnation_window: 400,
             tl_max_recoveries: 3,
             tl_fallback_chain: Vec::new(),
+            tl_chaos_seed: 0,
+            tl_exchange_deadline: 0.25,
+            tl_elastic_regrid: true,
             states: vec![
                 State::background(100.0, 0.0001),
                 State {
@@ -302,6 +317,12 @@ impl TeaConfig {
                 halo_depth: self.halo_depth,
             });
         }
+        if !strictly_less(0.0, self.tl_exchange_deadline) || !self.tl_exchange_deadline.is_finite()
+        {
+            return Err(InvalidConfig::NonPositiveExchangeDeadline(
+                self.tl_exchange_deadline,
+            ));
+        }
         Ok(())
     }
 
@@ -359,6 +380,8 @@ pub enum InvalidConfig {
         tiles_y: usize,
         ranks: usize,
     },
+    /// `tl_exchange_deadline` must be a positive finite duration.
+    NonPositiveExchangeDeadline(f64),
 }
 
 impl fmt::Display for InvalidConfig {
@@ -407,6 +430,12 @@ impl fmt::Display for InvalidConfig {
                 "tile grid {tiles_x}x{tiles_y} needs {} ranks, run has {ranks}",
                 tiles_x * tiles_y
             ),
+            InvalidConfig::NonPositiveExchangeDeadline(v) => {
+                write!(
+                    f,
+                    "tl_exchange_deadline must be positive and finite, got {v}"
+                )
+            }
         }
     }
 }
@@ -536,6 +565,20 @@ fn parse_line(cfg: &mut TeaConfig, line: &str) -> Result<(), ErrorKind> {
         "tl_divergence_factor" => cfg.tl_divergence_factor = parse_num(key, value)?,
         "tl_stagnation_window" => cfg.tl_stagnation_window = parse_num(key, value)?,
         "tl_max_recoveries" => cfg.tl_max_recoveries = parse_num(key, value)?,
+        "tl_chaos_seed" => cfg.tl_chaos_seed = parse_num(key, value)?,
+        "tl_exchange_deadline" => cfg.tl_exchange_deadline = parse_num(key, value)?,
+        "tl_elastic_regrid" => {
+            cfg.tl_elastic_regrid = match value {
+                "on" | "true" | "1" => true,
+                "off" | "false" | "0" => false,
+                _ => {
+                    return Err(ErrorKind::BadValue {
+                        key: key.to_string(),
+                        value: value.to_string(),
+                    })
+                }
+            };
+        }
         "tl_resilience" => {
             cfg.tl_resilience = match value {
                 "on" | "true" | "1" => true,
@@ -900,6 +943,72 @@ tl_ppcg_inner_steps=12
     }
 
     #[test]
+    fn chaos_keys_parse_validate_and_reject_junk() {
+        let cfg = TeaConfig::parse(
+            "tl_chaos_seed=18446744073709551615\ntl_exchange_deadline=0.05\n\
+             tl_elastic_regrid=off\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.tl_chaos_seed, u64::MAX);
+        assert_eq!(cfg.tl_exchange_deadline, 0.05);
+        assert!(!cfg.tl_elastic_regrid);
+        assert!(cfg.validate().is_ok());
+
+        // defaults: seed 0, a quarter-second deadline, regrid allowed
+        let d = TeaConfig::default();
+        assert_eq!(d.tl_chaos_seed, 0);
+        assert_eq!(d.tl_exchange_deadline, 0.25);
+        assert!(d.tl_elastic_regrid);
+
+        // every truthy/falsy spelling of the regrid switch
+        for (value, want) in [("on", true), ("true", true), ("1", true)] {
+            let cfg = TeaConfig::parse(&format!("tl_elastic_regrid={value}\n")).unwrap();
+            assert_eq!(cfg.tl_elastic_regrid, want);
+        }
+        for value in ["false", "0"] {
+            let cfg = TeaConfig::parse(&format!("tl_elastic_regrid={value}\n")).unwrap();
+            assert!(!cfg.tl_elastic_regrid);
+        }
+
+        // parser edge cases: junk values are typed BadValue errors
+        for deck in [
+            "tl_chaos_seed=-1\n",
+            "tl_chaos_seed=0x2a\n",
+            "tl_chaos_seed=\n",
+            "tl_exchange_deadline=soon\n",
+            "tl_elastic_regrid=maybe\n",
+            "tl_elastic_regrid=\n",
+        ] {
+            let err = TeaConfig::parse(deck).expect_err(deck);
+            assert!(
+                matches!(err.kind, ErrorKind::BadValue { .. }),
+                "{deck} must be a typed BadValue, got {err:?}"
+            );
+        }
+
+        // validation: the deadline must be a positive finite duration
+        for bad in [0.0, -0.1, f64::NAN, f64::INFINITY] {
+            let cfg = TeaConfig {
+                tl_exchange_deadline: bad,
+                ..TeaConfig::default()
+            };
+            assert!(
+                matches!(
+                    cfg.validate(),
+                    Err(InvalidConfig::NonPositiveExchangeDeadline(_))
+                ),
+                "deadline {bad} must be rejected"
+            );
+        }
+        // the parser accepts a negative deadline; validate() is the gate
+        let parsed = TeaConfig::parse("tl_exchange_deadline=-2.0\n").unwrap();
+        assert!(matches!(
+            parsed.validate(),
+            Err(InvalidConfig::NonPositiveExchangeDeadline(_))
+        ));
+    }
+
+    #[test]
     fn validate_accepts_defaults_and_rejects_degenerate_configs() {
         fn with(mutate: impl FnOnce(&mut TeaConfig)) -> TeaConfig {
             let mut cfg = TeaConfig::default();
@@ -977,6 +1086,7 @@ tl_ppcg_inner_steps=12
                 tiles_y: 2,
                 ranks: 3,
             },
+            InvalidConfig::NonPositiveExchangeDeadline(0.0),
         ] {
             assert!(!err.to_string().is_empty());
         }

@@ -32,6 +32,10 @@ pub(crate) enum Action {
     Reorder,
     /// Hold the message behind the next two sends on the same channel.
     Delay,
+    /// Deliver a copy with one payload bit flipped in flight; the
+    /// receiver's checksum must reject it (the sender's history keeps
+    /// the clean copy for NACK retransmission).
+    Corrupt,
 }
 
 /// Kill one rank mid-run: the rank panics with a structured
@@ -44,6 +48,60 @@ pub struct KillSpec {
     pub rank: usize,
     /// Number of data sends the rank completes before dying.
     pub after_sends: u64,
+    /// A transient loss (`false`) models a node that reboots: a
+    /// restarted attempt runs without the kill. A permanent loss
+    /// (`true`) re-arms on every restart — the node never comes back,
+    /// and only elastic re-decomposition onto the surviving ranks can
+    /// make progress.
+    pub permanent: bool,
+}
+
+impl KillSpec {
+    /// A transient (recoverable-by-restart) rank loss.
+    pub fn transient(rank: usize, after_sends: u64) -> KillSpec {
+        KillSpec {
+            rank,
+            after_sends,
+            permanent: false,
+        }
+    }
+
+    /// An unrecoverable rank loss: the node stays dead across restarts.
+    pub fn permanent(rank: usize, after_sends: u64) -> KillSpec {
+        KillSpec {
+            rank,
+            after_sends,
+            permanent: true,
+        }
+    }
+}
+
+/// A transient network partition isolating one rank: while a sender's
+/// own data-send counter lies in `[from_send, until_send)`, every
+/// *first transmission* between that sender and `rank` is dropped on
+/// the floor. Control traffic and NACK-triggered retransmissions still
+/// pass (the usual eventually-reliable-recovery-channel assumption), so
+/// a partition window heals the same way a drop burst does — by
+/// receiver-driven retransmission — and the recovered run stays
+/// bit-identical. The window is measured on each sender's deterministic
+/// send schedule, so the fault pattern is seed/schedule-reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionSpec {
+    /// The isolated rank.
+    pub rank: usize,
+    /// First data send (per sender, 0-based) inside the partition.
+    pub from_send: u64,
+    /// First data send past the partition (exclusive upper bound).
+    pub until_send: u64,
+}
+
+impl PartitionSpec {
+    /// True when a sender currently at `sent` data sends is inside the
+    /// partition window for traffic between `sender` and the isolated
+    /// rank.
+    pub fn blocks(&self, sender: usize, to: usize, sent: u64) -> bool {
+        (sender == self.rank || to == self.rank) && sent >= self.from_send && sent < self.until_send
+    }
 }
 
 /// Seeded fault-injection parameters for one SPMD world.
@@ -59,6 +117,12 @@ pub struct FaultSpec {
     pub reorder: f64,
     /// Probability a data message is held behind the next two.
     pub delay: f64,
+    /// Probability a data message is delivered with one bit flipped
+    /// (checksum-rejected by the receiver, recovered via NACK).
+    pub corrupt: f64,
+    /// Optional transient partition isolating one rank for a window of
+    /// the send schedule.
+    pub partition: Option<PartitionSpec>,
     /// Quiet period a blocked receive waits before its *first* NACK;
     /// subsequent waits grow by `backoff` per retry (capped at
     /// `backoff_cap`).
@@ -93,6 +157,8 @@ impl FaultSpec {
             duplicate: 0.0,
             reorder: 0.0,
             delay: 0.0,
+            corrupt: 0.0,
+            partition: None,
             quiet: Duration::from_millis(25),
             deadline: Duration::from_secs(5),
             max_retries: 64,
@@ -114,12 +180,24 @@ impl FaultSpec {
         }
     }
 
-    /// True when every fault probability is zero and no rank is killed.
+    /// A lossy network that also corrupts payloads in flight — the
+    /// checksum-verification stress profile of the chaos matrix.
+    pub fn corrupting(seed: u64) -> Self {
+        FaultSpec {
+            corrupt: 0.08,
+            ..FaultSpec::lossy(seed)
+        }
+    }
+
+    /// True when every fault probability is zero, no rank is killed and
+    /// no partition is armed.
     pub fn is_clean(&self) -> bool {
         self.drop == 0.0
             && self.duplicate == 0.0
             && self.reorder == 0.0
             && self.delay == 0.0
+            && self.corrupt == 0.0
+            && self.partition.is_none()
             && self.kill_rank.is_none()
     }
 
@@ -177,7 +255,18 @@ impl ChannelRng {
         if r < edge {
             return Action::Delay;
         }
+        edge += spec.corrupt;
+        if r < edge {
+            return Action::Corrupt;
+        }
         Action::Deliver
+    }
+
+    /// One raw draw from the channel stream — used to pick *which* bit
+    /// a [`Action::Corrupt`] flips, so the corruption pattern is as
+    /// deterministic as the fault decisions themselves.
+    pub(crate) fn draw(&mut self) -> u64 {
+        splitmix64(&mut self.state)
     }
 }
 
@@ -256,11 +345,60 @@ mod tests {
     fn kill_spec_makes_a_spec_unclean() {
         let mut spec = FaultSpec::clean(1);
         assert!(spec.is_clean());
-        spec.kill_rank = Some(KillSpec {
-            rank: 1,
-            after_sends: 10,
+        spec.kill_rank = Some(KillSpec::transient(1, 10));
+        assert!(!spec.is_clean());
+    }
+
+    #[test]
+    fn partition_or_corruption_makes_a_spec_unclean() {
+        let mut spec = FaultSpec::clean(2);
+        spec.partition = Some(PartitionSpec {
+            rank: 0,
+            from_send: 5,
+            until_send: 20,
         });
         assert!(!spec.is_clean());
+        let mut spec = FaultSpec::clean(2);
+        spec.corrupt = 0.1;
+        assert!(!spec.is_clean());
+        assert!(!FaultSpec::corrupting(2).is_clean());
+    }
+
+    #[test]
+    fn partition_window_blocks_only_traffic_touching_the_isolated_rank() {
+        let p = PartitionSpec {
+            rank: 2,
+            from_send: 10,
+            until_send: 20,
+        };
+        // Inside the window, both directions involving rank 2 block.
+        assert!(p.blocks(0, 2, 10));
+        assert!(p.blocks(2, 1, 15));
+        assert!(p.blocks(0, 2, 19));
+        // Traffic between healthy ranks never blocks.
+        assert!(!p.blocks(0, 1, 15));
+        // Outside the window the link is healed.
+        assert!(!p.blocks(0, 2, 9));
+        assert!(!p.blocks(0, 2, 20));
+    }
+
+    #[test]
+    fn kill_spec_constructors_set_permanence() {
+        assert!(!KillSpec::transient(1, 4).permanent);
+        assert!(KillSpec::permanent(1, 4).permanent);
+        assert_eq!(KillSpec::permanent(3, 9).rank, 3);
+        assert_eq!(KillSpec::permanent(3, 9).after_sends, 9);
+    }
+
+    #[test]
+    fn corrupting_spec_draws_corrupt_actions() {
+        let spec = FaultSpec::corrupting(29);
+        let mut rng = ChannelRng::new(spec.seed, 0, 1);
+        let decisions: Vec<Action> = (0..4000).map(|_| rng.decide(&spec)).collect();
+        assert!(
+            decisions.contains(&Action::Corrupt),
+            "corrupt probability 0.08 never drawn in 4000 trials"
+        );
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod metrics;
 pub mod topology;
 pub mod world;
 
-pub use fault::{FaultSpec, KillSpec};
+pub use fault::{FaultSpec, KillSpec, PartitionSpec};
 pub use metrics::{ExchangeMetrics, TransportMetrics};
 pub use topology::{dir_tag, Dir, Grid2d};
-pub use world::{run_spmd, run_spmd_faulty, FaultDiagnostic, Rank, Tag};
+pub use world::{run_spmd, run_spmd_faulty, DataFault, FaultDiagnostic, Rank, Tag};

@@ -39,6 +39,20 @@ pub struct TransportMetrics {
     pub dup_discards: u64,
     /// Incoming early (out-of-order) envelopes stashed for later.
     pub stashed: u64,
+    /// Outgoing envelopes the injector delivered with a flipped bit.
+    pub corrupted: u64,
+    /// Incoming envelopes rejected because their payload checksum did
+    /// not match (each starves the channel until a NACK re-fetches the
+    /// clean copy from the sender's history).
+    pub checksum_rejects: u64,
+    /// Outgoing first transmissions swallowed by a partition window.
+    pub partition_drops: u64,
+    /// Held (reordered/delayed) envelopes this rank re-posted while it
+    /// was itself starving — the straggler self-repair path.
+    pub straggler_flushes: u64,
+    /// Payload elements re-sent from history (the "bytes replayed"
+    /// ledger: multiply by 8 for bytes).
+    pub retransmit_elements: u64,
 }
 
 impl TransportMetrics {
@@ -49,10 +63,46 @@ impl TransportMetrics {
         self.retransmits + self.nacks_sent
     }
 
+    /// Payload bytes re-sent from history while recovering.
+    pub fn replayed_bytes(&self) -> u64 {
+        self.retransmit_elements * std::mem::size_of::<f64>() as u64
+    }
+
     /// True when the rank saw no injected faults and no recovery traffic.
     pub fn is_quiet(&self) -> bool {
-        let faults = self.dropped + self.duplicated + self.reordered + self.delayed;
-        faults == 0 && self.recovery_envelopes() == 0 && self.backoff_waits == 0
+        let faults = self.dropped
+            + self.duplicated
+            + self.reordered
+            + self.delayed
+            + self.corrupted
+            + self.partition_drops;
+        faults == 0
+            && self.recovery_envelopes() == 0
+            && self.backoff_waits == 0
+            && self.checksum_rejects == 0
+            && self.straggler_flushes == 0
+    }
+
+    /// Fold another rank's counters into this one.
+    pub fn merge(&mut self, other: &TransportMetrics) {
+        self.sends += other.sends;
+        self.retransmits += other.retransmits;
+        self.nacks_sent += other.nacks_sent;
+        self.nacks_received += other.nacks_received;
+        self.acks_sent += other.acks_sent;
+        self.acks_received += other.acks_received;
+        self.backoff_waits += other.backoff_waits;
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.reordered += other.reordered;
+        self.delayed += other.delayed;
+        self.dup_discards += other.dup_discards;
+        self.stashed += other.stashed;
+        self.corrupted += other.corrupted;
+        self.checksum_rejects += other.checksum_rejects;
+        self.partition_drops += other.partition_drops;
+        self.straggler_flushes += other.straggler_flushes;
+        self.retransmit_elements += other.retransmit_elements;
     }
 }
 
@@ -112,6 +162,44 @@ mod tests {
         assert!(m.is_quiet());
         m.dropped = 1;
         assert!(!m.is_quiet());
+        m.dropped = 0;
+        m.checksum_rejects = 1;
+        assert!(!m.is_quiet(), "a rejected envelope is not a quiet run");
+        m.checksum_rejects = 0;
+        m.partition_drops = 1;
+        assert!(!m.is_quiet(), "a partition drop is not a quiet run");
+    }
+
+    #[test]
+    fn replayed_bytes_scales_elements_by_f64_width() {
+        let m = TransportMetrics {
+            retransmit_elements: 12,
+            ..Default::default()
+        };
+        assert_eq!(m.replayed_bytes(), 96);
+    }
+
+    #[test]
+    fn transport_merge_sums_every_counter() {
+        let mut a = TransportMetrics {
+            sends: 1,
+            retransmits: 2,
+            corrupted: 3,
+            checksum_rejects: 4,
+            partition_drops: 5,
+            straggler_flushes: 6,
+            retransmit_elements: 7,
+            ..Default::default()
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.sends, 2);
+        assert_eq!(a.retransmits, 4);
+        assert_eq!(a.corrupted, 6);
+        assert_eq!(a.checksum_rejects, 8);
+        assert_eq!(a.partition_drops, 10);
+        assert_eq!(a.straggler_flushes, 12);
+        assert_eq!(a.retransmit_elements, 14);
     }
 
     #[test]

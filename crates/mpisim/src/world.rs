@@ -20,8 +20,9 @@ const RESERVED_TAG_FLOOR: Tag = u32::MAX - 7;
 
 #[derive(Clone)]
 enum MsgKind {
-    /// Ordinary payload, carrying its per-channel sequence number.
-    Data { seq: u64 },
+    /// Ordinary payload, carrying its per-channel sequence number and
+    /// an end-to-end payload checksum stamped at send time.
+    Data { seq: u64, sum: u64 },
     /// Control: "my next expected sequence from you is `expected` —
     /// retransmit from there". Bypasses injection and sequencing.
     Nack { expected: u64 },
@@ -30,6 +31,53 @@ enum MsgKind {
     /// Bypasses injection and sequencing, and is idempotent: duplicate
     /// or stale acks are ignored.
     Ack { upto: u64 },
+}
+
+/// FNV-1a over the payload's `f64` bit patterns: the per-message
+/// checksum every data envelope carries. Stamped once at send time
+/// (the retransmit history keeps the clean payload, so a re-sent copy
+/// carries the original sum) and verified before sequencing on
+/// receive.
+fn checksum(payload: &[f64]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for v in payload {
+        h ^= v.to_bits();
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Why an arriving data envelope was rejected before it reached the
+/// in-order acceptance path — the typed corruption/sequencing errors
+/// that feed the NACK/retry machinery instead of surfacing a wrong
+/// payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataFault {
+    /// The payload checksum did not match the envelope's stamp: the
+    /// message was corrupted in flight. Rejected without advancing the
+    /// channel, so the receiver starves and NACKs the clean copy back
+    /// out of the sender's history.
+    ChecksumMismatch { expected: u64, got: u64 },
+    /// A duplicate of an already-accepted sequence number.
+    Stale { seq: u64 },
+    /// An early (out-of-order) arrival, stashed until its turn.
+    Early { seq: u64 },
+}
+
+/// Classify one arriving data envelope against the channel's expected
+/// sequence. `Ok(())` means "accept now".
+fn classify_data(payload: &[f64], seq: u64, sum: u64, expected: u64) -> Result<(), DataFault> {
+    let got = checksum(payload);
+    if got != sum {
+        return Err(DataFault::ChecksumMismatch { expected: sum, got });
+    }
+    if seq < expected {
+        return Err(DataFault::Stale { seq });
+    }
+    if seq > expected {
+        return Err(DataFault::Early { seq });
+    }
+    Ok(())
 }
 
 #[derive(Clone)]
@@ -181,12 +229,13 @@ impl Rank {
         assert!(to < self.size, "rank {to} out of range");
         match &self.transport {
             None => {
+                let sum = checksum(&payload);
                 self.senders[to]
                     .send(Message {
                         from: self.id,
                         tag,
                         payload,
-                        kind: MsgKind::Data { seq: 0 },
+                        kind: MsgKind::Data { seq: 0, sum },
                     })
                     .expect("receiving rank has hung up");
             }
@@ -214,38 +263,66 @@ impl Rank {
                             });
                         }
                     }
+                    let sent_before = t.sent_total;
                     t.sent_total += 1;
                     t.metrics.sends += 1;
                     let seq = t.next_seq[to];
                     t.next_seq[to] += 1;
                     t.history[to].push((seq, tag, payload.clone()));
+                    let sum = checksum(&payload);
                     let msg = Message {
                         from: self.id,
                         tag,
                         payload,
-                        kind: MsgKind::Data { seq },
+                        kind: MsgKind::Data { seq, sum },
                     };
-                    let action = if tag >= RESERVED_TAG_FLOOR || t.spec.is_clean() {
-                        Action::Deliver
+                    let partitioned = tag < RESERVED_TAG_FLOOR
+                        && t.spec
+                            .partition
+                            .is_some_and(|p| p.blocks(self.id, to, sent_before));
+                    if partitioned {
+                        // The link to/from the isolated rank is down for
+                        // this window: swallow the first transmission.
+                        // The receiver's NACK path re-fetches it from
+                        // history once the window closes.
+                        t.metrics.partition_drops += 1;
                     } else {
-                        let spec = t.spec;
-                        t.rng[to].decide(&spec)
-                    };
-                    match action {
-                        Action::Deliver => deliver_now.push(msg),
-                        Action::Drop => t.metrics.dropped += 1, // the receiver's NACK recovers it
-                        Action::Duplicate => {
-                            t.metrics.duplicated += 1;
-                            deliver_now.push(msg.clone());
-                            deliver_now.push(msg);
-                        }
-                        Action::Reorder => {
-                            t.metrics.reordered += 1;
-                            hold = Some((1, msg));
-                        }
-                        Action::Delay => {
-                            t.metrics.delayed += 1;
-                            hold = Some((2, msg));
+                        let action = if tag >= RESERVED_TAG_FLOOR || t.spec.is_clean() {
+                            Action::Deliver
+                        } else {
+                            let spec = t.spec;
+                            t.rng[to].decide(&spec)
+                        };
+                        match action {
+                            Action::Deliver => deliver_now.push(msg),
+                            Action::Drop => t.metrics.dropped += 1, // the receiver's NACK recovers it
+                            Action::Duplicate => {
+                                t.metrics.duplicated += 1;
+                                deliver_now.push(msg.clone());
+                                deliver_now.push(msg);
+                            }
+                            Action::Reorder => {
+                                t.metrics.reordered += 1;
+                                hold = Some((1, msg));
+                            }
+                            Action::Delay => {
+                                t.metrics.delayed += 1;
+                                hold = Some((2, msg));
+                            }
+                            Action::Corrupt => {
+                                let mut bad = msg;
+                                if bad.payload.is_empty() {
+                                    deliver_now.push(bad); // nothing to flip
+                                } else {
+                                    let draw = t.rng[to].draw();
+                                    let elem = (draw as usize) % bad.payload.len();
+                                    let bit = (draw >> 32) % 64;
+                                    bad.payload[elem] =
+                                        f64::from_bits(bad.payload[elem].to_bits() ^ (1u64 << bit));
+                                    t.metrics.corrupted += 1;
+                                    deliver_now.push(bad);
+                                }
+                            }
                         }
                     }
                     // Age messages held behind earlier sends; the due ones
@@ -344,21 +421,34 @@ impl Rank {
                         t.metrics.acks_received += 1;
                         t.handle_ack(msg.from, upto);
                     }
-                    MsgKind::Data { seq } => {
-                        // Accept in order; stash the future; drop the past.
+                    MsgKind::Data { seq, sum } => {
+                        // Verify, then accept in order; stash the
+                        // future; drop the past; reject the corrupt.
                         let src = msg.from;
                         let mut accepted: Vec<Message> = Vec::new();
                         let mut ack_due: Option<u64> = None;
                         {
                             let mut t = cell.borrow_mut();
-                            if seq < t.expected[src] {
-                                t.metrics.dup_discards += 1;
-                                continue; // duplicate of an accepted message
-                            }
-                            if seq > t.expected[src] {
-                                t.metrics.stashed += 1;
-                                t.stash[src].insert(seq, msg);
-                                continue;
+                            match classify_data(&msg.payload, seq, sum, t.expected[src]) {
+                                Err(DataFault::ChecksumMismatch { .. }) => {
+                                    // Corrupted in flight: never let it
+                                    // near the solver. The channel does
+                                    // not advance, so the starved
+                                    // receive NACKs the clean copy back
+                                    // out of the sender's history.
+                                    t.metrics.checksum_rejects += 1;
+                                    continue;
+                                }
+                                Err(DataFault::Stale { .. }) => {
+                                    t.metrics.dup_discards += 1;
+                                    continue; // duplicate of an accepted message
+                                }
+                                Err(DataFault::Early { .. }) => {
+                                    t.metrics.stashed += 1;
+                                    t.stash[src].insert(seq, msg);
+                                    continue;
+                                }
+                                Ok(()) => {}
                             }
                             t.expected[src] += 1;
                             accepted.push(msg);
@@ -413,6 +503,27 @@ impl Rank {
                         t.metrics.backoff_waits += 1;
                         t.expected[from]
                     };
+                    // Straggler self-repair: while this rank starves,
+                    // any sends it is still holding back (reorder/delay
+                    // injection) are overdue for its peers too — re-post
+                    // them now, before a starving peer burns through its
+                    // own deadline and declares this rank dead. Receiver
+                    // sequencing restores order, so flushing early never
+                    // perturbs the accepted stream.
+                    let overdue: Vec<(usize, Message)> = {
+                        let mut t = cell.borrow_mut();
+                        let mut out = Vec::new();
+                        for to in 0..self.size {
+                            for (_, m) in t.held[to].drain(..) {
+                                out.push((to, m));
+                            }
+                        }
+                        t.metrics.straggler_flushes += out.len() as u64;
+                        out
+                    };
+                    for (to, m) in overdue {
+                        self.deliver(to, m);
+                    }
                     if start.elapsed() >= spec.deadline {
                         std::panic::panic_any(FaultDiagnostic {
                             rank: self.id,
@@ -482,7 +593,10 @@ impl Rank {
                     from: self.id,
                     tag: *tag,
                     payload: payload.clone(),
-                    kind: MsgKind::Data { seq: *seq },
+                    kind: MsgKind::Data {
+                        seq: *seq,
+                        sum: checksum(payload),
+                    },
                 })
                 .collect();
             // `held` entries are a subset of history ≥ expected, so the
@@ -490,8 +604,10 @@ impl Rank {
             // them from being delivered again later.
             drop(held);
             t.metrics.retransmits += out.len() as u64;
+            t.metrics.retransmit_elements +=
+                out.iter().map(|m| m.payload.len() as u64).sum::<u64>();
             out.sort_by_key(|m| match m.kind {
-                MsgKind::Data { seq } => seq,
+                MsgKind::Data { seq, .. } => seq,
                 MsgKind::Nack { .. } | MsgKind::Ack { .. } => u64::MAX,
             });
             out
@@ -1033,16 +1149,115 @@ mod fault_tests {
         let mut spec = FaultSpec::clean(23);
         spec.quiet = Duration::from_millis(5);
         spec.deadline = Duration::from_millis(250);
-        spec.kill_rank = Some(crate::fault::KillSpec {
-            rank: 1,
-            after_sends: 4,
-        });
+        spec.kill_rank = Some(crate::fault::KillSpec::transient(1, 4));
         let err = run_spmd_faulty(3, spec, workload).expect_err("a dead rank cannot finish");
         assert!(
             err.note.contains("lost") || err.note.contains("deadline"),
             "unexpected note: {}",
             err.note
         );
+    }
+
+    #[test]
+    fn corrupted_payloads_are_rejected_and_recovered_bit_identically() {
+        let plain = run_spmd(3, workload);
+        let mut spec = FaultSpec::clean(31);
+        spec.corrupt = 0.25;
+        spec.quiet = Duration::from_millis(5);
+        let out = run_spmd_faulty(3, spec, |rank| {
+            let got = workload(rank);
+            (got, rank.transport_metrics().expect("transport present"))
+        })
+        .expect("checksum rejection must feed the NACK path, not abort");
+        let (values, metrics): (Vec<_>, Vec<_>) = out.into_iter().unzip();
+        assert_eq!(plain, values, "a flipped bit leaked into the answer");
+        let corrupted: u64 = metrics.iter().map(|m| m.corrupted).sum();
+        let rejected: u64 = metrics.iter().map(|m| m.checksum_rejects).sum();
+        assert!(corrupted > 0, "corrupt=0.25 must flip something");
+        assert!(
+            rejected >= corrupted,
+            "every injected corruption must be caught by a checksum \
+             (corrupted {corrupted}, rejected {rejected})"
+        );
+        assert!(
+            metrics.iter().any(|m| m.retransmit_elements > 0),
+            "recovery must have replayed payload elements"
+        );
+    }
+
+    #[test]
+    fn checksum_classifier_types_the_rejection() {
+        let payload = vec![1.0, -2.5, 3.25];
+        let sum = checksum(&payload);
+        assert_eq!(classify_data(&payload, 4, sum, 4), Ok(()));
+        assert_eq!(
+            classify_data(&payload, 3, sum, 4),
+            Err(DataFault::Stale { seq: 3 })
+        );
+        assert_eq!(
+            classify_data(&payload, 9, sum, 4),
+            Err(DataFault::Early { seq: 9 })
+        );
+        let mut bad = payload.clone();
+        bad[1] = f64::from_bits(bad[1].to_bits() ^ (1 << 17));
+        let got = checksum(&bad);
+        assert_eq!(
+            classify_data(&bad, 4, sum, 4),
+            Err(DataFault::ChecksumMismatch { expected: sum, got })
+        );
+        // Corruption outranks sequencing: a corrupt duplicate is a
+        // corruption, never a silent dup-discard of garbage.
+        assert_eq!(
+            classify_data(&bad, 3, sum, 4),
+            Err(DataFault::ChecksumMismatch { expected: sum, got })
+        );
+    }
+
+    #[test]
+    fn transient_partition_heals_via_retransmission() {
+        use crate::fault::PartitionSpec;
+        let plain = run_spmd(3, workload);
+        let mut spec = FaultSpec::clean(37);
+        spec.quiet = Duration::from_millis(5);
+        spec.partition = Some(PartitionSpec {
+            rank: 1,
+            from_send: 6,
+            until_send: 14,
+        });
+        let out = run_spmd_faulty(3, spec, |rank| {
+            let got = workload(rank);
+            (got, rank.transport_metrics().expect("transport present"))
+        })
+        .expect("a transient partition must heal through the NACK path");
+        let (values, metrics): (Vec<_>, Vec<_>) = out.into_iter().unzip();
+        assert_eq!(plain, values, "partition recovery diverged");
+        let swallowed: u64 = metrics.iter().map(|m| m.partition_drops).sum();
+        assert!(swallowed > 0, "the window must have swallowed traffic");
+        assert!(
+            metrics.iter().any(|m| m.retransmits > 0),
+            "healing a partition requires retransmission: {metrics:?}"
+        );
+    }
+
+    #[test]
+    fn starving_rank_flushes_its_own_stragglers() {
+        // A delay-heavy channel makes every rank hold sends back; the
+        // first starved receive must flush this rank's own overdue
+        // messages (counted) rather than sit on them while peers starve.
+        let plain = run_spmd(3, workload);
+        let mut spec = FaultSpec::clean(41);
+        spec.delay = 0.5;
+        spec.reorder = 0.2;
+        spec.quiet = Duration::from_millis(5);
+        let out = run_spmd_faulty(3, spec, |rank| {
+            let got = workload(rank);
+            (got, rank.transport_metrics().expect("transport present"))
+        })
+        .expect("delays must be survivable");
+        let (values, metrics): (Vec<_>, Vec<_>) = out.into_iter().unzip();
+        assert_eq!(plain, values, "straggler flush perturbed the answer");
+        let held: u64 = metrics.iter().map(|m| m.delayed + m.reordered).sum();
+        assert!(held > 0, "delay=0.5 must hold something back");
     }
 
     #[test]

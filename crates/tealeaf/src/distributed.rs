@@ -35,6 +35,7 @@
 //! sentinel would diverge — loudly, via the golden/equivalence checks.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use mpisim::{
@@ -47,6 +48,7 @@ use tea_telemetry::{Record, TelemetrySink};
 use crate::cheby::{estimated_iterations, ChebyCoeffs, ChebyShift};
 use crate::eigen::eigenvalue_estimate;
 use crate::ports::common::{self, Us};
+use crate::resilience::{RecoveryAction, RecoveryEvent, SolverHealth};
 use crate::solver::cg::CgHistory;
 use crate::solver::chebyshev::CHECK_INTERVAL;
 use crate::tile::{self, OverlapStats, Span, Tile, TileGeom};
@@ -548,14 +550,48 @@ struct CgPhase {
     initial: f64,
 }
 
-/// The checkpointing context a resilient plain-CG solve threads through
-/// its phase (captured at the top of the step, like the serial loop
-/// variables at that point).
+/// The checkpointing context a resilient distributed solve threads
+/// through its solver driver (captured at the top of the step, like the
+/// serial loop variables at that point).
 struct CkptCtx<'s> {
     store: &'s CheckpointStore,
     step: usize,
     total_iterations: usize,
     converged_all: bool,
+}
+
+impl CkptCtx<'_> {
+    /// Snapshot the worker at `(step, phase, iteration)` if the deck's
+    /// checkpoint interval divides `iteration` (iteration 0 included —
+    /// the step-start cut every restart can fall back to). Every rank
+    /// calls this at the same loop tops, between the same exactly-ordered
+    /// reductions, so the set of keys each rank saves is identical: any
+    /// key common to all rings is a **consistent cut** of the exchange
+    /// graph by construction — no in-flight halo message spans it.
+    fn save(&self, wkr: &Worker, phase: u8, iteration: usize, state: LoopState) {
+        let interval = wkr.config.tl_checkpoint_interval;
+        if interval == 0 || !iteration.is_multiple_of(interval) {
+            return;
+        }
+        wkr.tel.event(
+            "resilience",
+            format_args!(
+                "checkpoint step {} phase {phase} iteration {iteration}",
+                self.step
+            ),
+            wkr.clock,
+        );
+        self.store.save(
+            wkr.rank.id(),
+            TileCheckpoint {
+                key: (self.step, phase, iteration),
+                total_iterations: self.total_iterations,
+                converged_all: self.converged_all,
+                state,
+                tile: wkr.t.clone(),
+            },
+        );
+    }
 }
 
 /// One CG phase of at most `max_iters` iterations: `run_phase` with the
@@ -580,21 +616,22 @@ fn cg_phase(
     let mut converged = initial.abs() <= f64::MIN_POSITIVE; // trivially solved
     while !converged && iterations < max_iters {
         if let Some(ck) = ckpt {
-            let interval = wkr.config.tl_checkpoint_interval;
-            if interval > 0 && iterations.is_multiple_of(interval) {
-                ck.store.save(
-                    wkr.rank.id(),
-                    TileCheckpoint {
-                        step: ck.step,
-                        iteration: iterations,
-                        rro,
-                        initial,
-                        total_iterations: ck.total_iterations,
-                        converged_all: ck.converged_all,
-                        tile: wkr.t.clone(),
-                    },
-                );
-            }
+            ck.save(
+                wkr,
+                PHASE_PRIMARY,
+                iterations,
+                LoopState::Cg {
+                    iteration: iterations,
+                    rro,
+                    initial,
+                    alphas: history
+                        .as_deref()
+                        .map_or_else(Vec::new, |h| h.alphas.clone()),
+                    betas: history
+                        .as_deref()
+                        .map_or_else(Vec::new, |h| h.betas.clone()),
+                },
+            );
         }
         wkr.overlapped_pass(Ex::P, 1, "cg_calc_w", &mut |t, span| k_cg_calc_w(t, span));
         let pw = wkr.reduce(|t, k| t.p[k] * t.w[k]);
@@ -631,39 +668,79 @@ fn cheby_step(wkr: &mut Worker, first: bool, theta: f64, alpha: f64, beta: f64) 
     k_add_p_to_u(&mut wkr.t);
 }
 
-fn solve_chebyshev(wkr: &mut Worker) -> (usize, bool) {
+/// The eigenvalue-estimating CG presteps Chebyshev and PPCG share, with
+/// the mid-presteps resume path: a phase-0 [`LoopState::Cg`] checkpoint
+/// restores the history accumulated so far, so the estimate sees exactly
+/// the alphas/betas a clean run would have.
+fn presteps_phase(
+    wkr: &mut Worker,
+    history: &mut CgHistory,
+    ckpt: Option<&CkptCtx>,
+    resume: Option<&LoopState>,
+) -> CgPhase {
     let cfg = wkr.config;
     let presteps = cfg.tl_ch_cg_presteps.min(cfg.tl_max_iters);
-    let mut history = CgHistory::default();
-    let pre = cg_phase(wkr, presteps, Some(&mut history), None, None);
-    if pre.converged {
-        return (pre.iterations, true);
+    match resume {
+        Some(LoopState::Cg {
+            iteration,
+            rro,
+            initial,
+            alphas,
+            betas,
+        }) => {
+            history.alphas = alphas.clone();
+            history.betas = betas.clone();
+            cg_phase(
+                wkr,
+                presteps,
+                Some(history),
+                ckpt,
+                Some((*rro, *initial, *iteration)),
+            )
+        }
+        _ => cg_phase(wkr, presteps, Some(history), ckpt, None),
     }
-    let initial = pre.initial;
-    let Some((eigmin, eigmax)) = eigenvalue_estimate(&history.alphas, &history.betas) else {
-        // Degenerate spectrum: finish with CG, like the serial fallback.
-        let cont = cg_phase(
-            wkr,
-            cfg.tl_max_iters.saturating_sub(presteps),
-            Some(&mut history),
-            None,
-            None,
-        );
-        return (pre.iterations + cont.iterations, cont.converged);
-    };
-    let shift = ChebyShift::from_bounds(eigmin, eigmax);
+}
+
+/// The Chebyshev main loop, entered fresh (after the presteps and the
+/// `cheby_init` step, `start_done == 1`) or from a phase-1 checkpoint.
+/// The iteration coefficients are replayed, not stored: `ChebyShift` and
+/// `ChebyCoeffs` are pure functions of the eigenvalue bounds, so calling
+/// `next_pair` `start_done - 1` times reproduces the resumed position's
+/// coefficient stream bit-for-bit.
+#[allow(clippy::too_many_arguments)]
+fn cheby_main(
+    wkr: &mut Worker,
+    ckpt: Option<&CkptCtx>,
+    mut iterations: usize,
+    start_done: usize,
+    initial: f64,
+    eig: (f64, f64),
+    budget: usize,
+) -> (usize, bool) {
+    let cfg = wkr.config;
+    let shift = ChebyShift::from_bounds(eig.0, eig.1);
     let mut coeffs = ChebyCoeffs::new(shift);
-    let eps_ratio = (cfg.tl_eps * initial.abs() / pre.rro.abs().max(f64::MIN_POSITIVE))
-        .clamp(1e-300, 0.999_999);
-    let est = estimated_iterations(shift, eps_ratio);
-    let budget = (4 * est + CHECK_INTERVAL)
-        .max(64)
-        .min(cfg.tl_max_iters.saturating_sub(presteps));
-    cheby_step(wkr, true, shift.theta, 0.0, 0.0);
-    let mut iterations = pre.iterations + 1;
+    for _ in 1..start_done {
+        coeffs.next_pair();
+    }
+    let mut done = start_done;
     let mut converged = false;
-    let mut done = 1usize; // cheby_init counts as the first Chebyshev step
     while !converged && done < budget {
+        if let Some(ck) = ckpt {
+            ck.save(
+                wkr,
+                PHASE_MAIN,
+                done,
+                LoopState::ChebyMain {
+                    iterations,
+                    done,
+                    initial,
+                    eig,
+                    budget,
+                },
+            );
+        }
         let (alpha, beta) = coeffs.next_pair();
         cheby_step(wkr, false, shift.theta, alpha, beta);
         done += 1;
@@ -683,17 +760,33 @@ fn solve_chebyshev(wkr: &mut Worker) -> (usize, bool) {
     (iterations, converged)
 }
 
-fn solve_ppcg(wkr: &mut Worker) -> (usize, bool) {
+fn solve_chebyshev(
+    wkr: &mut Worker,
+    ckpt: Option<&CkptCtx>,
+    resume: Option<&LoopState>,
+) -> (usize, bool) {
     let cfg = wkr.config;
     let presteps = cfg.tl_ch_cg_presteps.min(cfg.tl_max_iters);
+    if let Some(LoopState::ChebyMain {
+        iterations,
+        done,
+        initial,
+        eig,
+        budget,
+    }) = resume
+    {
+        return cheby_main(wkr, ckpt, *iterations, *done, *initial, *eig, *budget);
+    }
     let mut history = CgHistory::default();
-    let pre = cg_phase(wkr, presteps, Some(&mut history), None, None);
+    let pre = presteps_phase(wkr, &mut history, ckpt, resume);
     if pre.converged {
         return (pre.iterations, true);
     }
     let initial = pre.initial;
-    let mut rro = pre.rro;
     let Some((eigmin, eigmax)) = eigenvalue_estimate(&history.alphas, &history.betas) else {
+        // Degenerate spectrum: finish with CG, like the serial fallback.
+        // Uncheckpointed — its keys would collide with the presteps' —
+        // so a crash here replays from the last presteps cut.
         let cont = cg_phase(
             wkr,
             cfg.tl_max_iters.saturating_sub(presteps),
@@ -704,12 +797,59 @@ fn solve_ppcg(wkr: &mut Worker) -> (usize, bool) {
         return (pre.iterations + cont.iterations, cont.converged);
     };
     let shift = ChebyShift::from_bounds(eigmin, eigmax);
+    let eps_ratio = (cfg.tl_eps * initial.abs() / pre.rro.abs().max(f64::MIN_POSITIVE))
+        .clamp(1e-300, 0.999_999);
+    let est = estimated_iterations(shift, eps_ratio);
+    let budget = (4 * est + CHECK_INTERVAL)
+        .max(64)
+        .min(cfg.tl_max_iters.saturating_sub(presteps));
+    cheby_step(wkr, true, shift.theta, 0.0, 0.0);
+    // cheby_init counts as the first Chebyshev step
+    cheby_main(
+        wkr,
+        ckpt,
+        pre.iterations + 1,
+        1,
+        initial,
+        (eigmin, eigmax),
+        budget,
+    )
+}
+
+/// The PPCG outer loop, entered fresh (`start_outer == 0`) or from a
+/// phase-1 checkpoint. The inner smoothing coefficients are replayed
+/// from the eigenvalue bounds like the Chebyshev stream.
+fn ppcg_outer(
+    wkr: &mut Worker,
+    ckpt: Option<&CkptCtx>,
+    mut iterations: usize,
+    start_outer: usize,
+    mut rro: f64,
+    initial: f64,
+    eig: (f64, f64),
+) -> (usize, bool) {
+    let cfg = wkr.config;
+    let presteps = cfg.tl_ch_cg_presteps.min(cfg.tl_max_iters);
+    let shift = ChebyShift::from_bounds(eig.0, eig.1);
     let inner = ChebyCoeffs::take_pairs(shift, cfg.tl_ppcg_inner_steps);
-    let mut iterations = pre.iterations;
-    let mut converged = false;
     let max_outer = cfg.tl_max_iters.saturating_sub(presteps);
-    let mut outer = 0;
+    let mut outer = start_outer;
+    let mut converged = false;
     while !converged && outer < max_outer {
+        if let Some(ck) = ckpt {
+            ck.save(
+                wkr,
+                PHASE_MAIN,
+                outer,
+                LoopState::PpcgOuter {
+                    iterations,
+                    outer,
+                    rro,
+                    initial,
+                    eig,
+                },
+            );
+        }
         wkr.overlapped_pass(Ex::P, 1, "cg_calc_w", &mut |t, span| k_cg_calc_w(t, span));
         let pw = wkr.reduce(|t, k| t.p[k] * t.w[k]);
         let alpha = rro / pw;
@@ -734,12 +874,70 @@ fn solve_ppcg(wkr: &mut Worker) -> (usize, bool) {
     (iterations, converged)
 }
 
-fn solve_jacobi(wkr: &mut Worker) -> (usize, bool) {
+fn solve_ppcg(
+    wkr: &mut Worker,
+    ckpt: Option<&CkptCtx>,
+    resume: Option<&LoopState>,
+) -> (usize, bool) {
     let cfg = wkr.config;
-    let mut iterations = 0;
+    let presteps = cfg.tl_ch_cg_presteps.min(cfg.tl_max_iters);
+    if let Some(LoopState::PpcgOuter {
+        iterations,
+        outer,
+        rro,
+        initial,
+        eig,
+    }) = resume
+    {
+        return ppcg_outer(wkr, ckpt, *iterations, *outer, *rro, *initial, *eig);
+    }
+    let mut history = CgHistory::default();
+    let pre = presteps_phase(wkr, &mut history, ckpt, resume);
+    if pre.converged {
+        return (pre.iterations, true);
+    }
+    let initial = pre.initial;
+    let rro = pre.rro;
+    let Some((eigmin, eigmax)) = eigenvalue_estimate(&history.alphas, &history.betas) else {
+        // Degenerate spectrum: uncheckpointed CG finish, as in Chebyshev.
+        let cont = cg_phase(
+            wkr,
+            cfg.tl_max_iters.saturating_sub(presteps),
+            Some(&mut history),
+            None,
+            None,
+        );
+        return (pre.iterations + cont.iterations, cont.converged);
+    };
+    ppcg_outer(wkr, ckpt, pre.iterations, 0, rro, initial, (eigmin, eigmax))
+}
+
+fn solve_jacobi(
+    wkr: &mut Worker,
+    ckpt: Option<&CkptCtx>,
+    resume: Option<&LoopState>,
+) -> (usize, bool) {
+    let cfg = wkr.config;
+    let (mut iterations, mut initial) = match resume {
+        Some(LoopState::Jacobi {
+            iterations,
+            initial,
+        }) => (*iterations, *initial),
+        _ => (0, 0.0),
+    };
     let mut converged = false;
-    let mut initial = 0.0;
     while !converged && iterations < cfg.tl_max_iters {
+        if let Some(ck) = ckpt {
+            ck.save(
+                wkr,
+                PHASE_PRIMARY,
+                iterations,
+                LoopState::Jacobi {
+                    iterations,
+                    initial,
+                },
+            );
+        }
         // Double overlap: the u→scratch copy rides the reflective `u`
         // exchange (it reads no ghosts), then the interior sweep rides
         // the raw scratch exchange.
@@ -781,13 +979,9 @@ fn body(
     resume: Option<&TileCheckpoint>,
 ) -> (DistributedReport, OverlapStats, ExchangeMetrics) {
     // Resuming replays from the snapshot's exact bits: the tile clone
-    // already holds the step's generated fields, coefficients and the CG
-    // vectors as they were at the checkpointed iteration, so the
+    // already holds the step's generated fields, coefficients and the
+    // solver vectors as they were at the checkpointed iteration, so the
     // start-of-run exchanges and the dead step prefix are all skipped.
-    debug_assert!(
-        resume.is_none() || matches!(solver, SolverKind::ConjugateGradient),
-        "checkpoint resume is only defined for plain CG"
-    );
     let t = match resume {
         Some(ck) => ck.tile.clone(),
         None => Tile::build(config, grid, rank.id()),
@@ -811,9 +1005,9 @@ fn body(
 
     let mut total_iterations = resume.map_or(0, |ck| ck.total_iterations);
     let mut converged_all = resume.is_none_or(|ck| ck.converged_all);
-    let first_step = resume.map_or(1, |ck| ck.step);
+    let first_step = resume.map_or(1, |ck| ck.key.0);
     for step in first_step..=config.end_step {
-        let resumed = matches!(resume, Some(ck) if ck.step == step);
+        let resumed = matches!(resume, Some(ck) if ck.key.0 == step);
         if !resumed {
             k_init_u0(&mut wkr.t);
             // The coefficient build reads only density (exchanged at
@@ -825,26 +1019,34 @@ fn body(
                 k_init_coeffs(t, config.coefficient, rx, ry)
             });
         }
+        let state = if resumed {
+            resume.map(|ck| &ck.state)
+        } else {
+            None
+        };
+        let ctx = store.map(|s| CkptCtx {
+            store: s,
+            step,
+            total_iterations,
+            converged_all,
+        });
         let (iters, converged) = match solver {
             SolverKind::ConjugateGradient => {
-                let start = if resumed {
-                    let ck = resume.expect("resumed implies a checkpoint");
-                    Some((ck.rro, ck.initial, ck.iteration))
-                } else {
-                    None
+                let start = match state {
+                    Some(LoopState::Cg {
+                        iteration,
+                        rro,
+                        initial,
+                        ..
+                    }) => Some((*rro, *initial, *iteration)),
+                    _ => None,
                 };
-                let ctx = store.map(|s| CkptCtx {
-                    store: s,
-                    step,
-                    total_iterations,
-                    converged_all,
-                });
                 let ph = cg_phase(&mut wkr, config.tl_max_iters, None, ctx.as_ref(), start);
                 (ph.iterations, ph.converged)
             }
-            SolverKind::Chebyshev => solve_chebyshev(&mut wkr),
-            SolverKind::Ppcg => solve_ppcg(&mut wkr),
-            SolverKind::Jacobi => solve_jacobi(&mut wkr),
+            SolverKind::Chebyshev => solve_chebyshev(&mut wkr, ctx.as_ref(), state),
+            SolverKind::Ppcg => solve_ppcg(&mut wkr, ctx.as_ref(), state),
+            SolverKind::Jacobi => solve_jacobi(&mut wkr, ctx.as_ref(), state),
         };
         total_iterations += iters;
         converged_all &= converged;
@@ -1050,29 +1252,108 @@ pub fn run_distributed_cg_faulty(
 }
 
 // ---------------------------------------------------------------------------
-// checkpoint/restart
+// checkpoint/restart and elastic re-decomposition
 // ---------------------------------------------------------------------------
 
 /// How many checkpoints each rank's ring keeps. Ranks run in lockstep
-/// (every CG iteration has ordered allreduces), so any two ranks' latest
-/// checkpoints are at most one interval apart — a ring of a few entries
-/// always contains a key common to all ranks.
+/// (every solver iteration has ordered allreduces), so any two ranks'
+/// latest checkpoints are at most one interval apart — a ring of a few
+/// entries always contains a key common to all ranks.
 const CHECKPOINT_KEEP: usize = 4;
 
+/// Checkpoint phase of the primary loop: plain CG, the CG presteps of
+/// Chebyshev/PPCG, and the Jacobi sweep loop.
+const PHASE_PRIMARY: u8 = 0;
+/// Checkpoint phase of the post-presteps main loop: the Chebyshev
+/// iteration and the PPCG outer loop.
+const PHASE_MAIN: u8 = 1;
+
+/// Checkpoint key: `(step, phase, iteration)`, ordered lexicographically
+/// so "latest" means furthest through the run. Phases within a step run
+/// in order, and iterations within a phase count up, so tuple order is
+/// execution order.
+pub type CkptKey = (usize, u8, usize);
+
+/// The solver-loop scalars a checkpoint needs alongside the tile to
+/// replay bit-exactly from its key. Everything here comes from global
+/// exactly-ordered reductions (or deck constants), so every rank stores
+/// identical values — which is what lets an elastic re-decomposition
+/// seed a *different* number of ranks from one rank's loop state.
+#[derive(Debug, Clone, PartialEq)]
+enum LoopState {
+    /// Plain CG or the CG presteps of Chebyshev/PPCG. `alphas`/`betas`
+    /// carry the eigenvalue-estimation history accumulated so far (empty
+    /// for plain CG, which keeps none).
+    Cg {
+        iteration: usize,
+        rro: f64,
+        initial: f64,
+        alphas: Vec<f64>,
+        betas: Vec<f64>,
+    },
+    /// Chebyshev main loop at `done` completed Chebyshev steps; the
+    /// coefficient stream is replayed from the eigenvalue bounds.
+    ChebyMain {
+        iterations: usize,
+        done: usize,
+        initial: f64,
+        eig: (f64, f64),
+        budget: usize,
+    },
+    /// PPCG outer loop at `outer` completed outer iterations.
+    PpcgOuter {
+        iterations: usize,
+        outer: usize,
+        rro: f64,
+        initial: f64,
+        eig: (f64, f64),
+    },
+    /// Jacobi at `iterations` completed sweeps.
+    Jacobi { iterations: usize, initial: f64 },
+}
+
 /// One rank's mid-solve snapshot: the complete tile (halo cells
-/// included) plus the CG loop state needed to replay from here
-/// bit-exactly.
+/// included) plus the loop state needed to replay from here bit-exactly.
 #[derive(Clone)]
 struct TileCheckpoint {
-    /// Timestep the snapshot belongs to (1-based).
-    step: usize,
-    /// CG iteration at snapshot time (top of loop, before the halo).
-    iteration: usize,
-    rro: f64,
-    initial: f64,
+    key: CkptKey,
     total_iterations: usize,
     converged_all: bool,
+    state: LoopState,
     tile: Tile,
+}
+
+/// The eleven solver fields a tile snapshot carries, in one fixed order
+/// (shared by the reassembly reader and writer).
+fn tile_fields(t: &Tile) -> [&Vec<f64>; 11] {
+    [
+        &t.density, &t.energy, &t.u, &t.u0, &t.p, &t.r, &t.w, &t.z, &t.sd, &t.kx, &t.ky,
+    ]
+}
+
+fn tile_fields_mut(t: &mut Tile) -> [&mut Vec<f64>; 11] {
+    [
+        &mut t.density,
+        &mut t.energy,
+        &mut t.u,
+        &mut t.u0,
+        &mut t.p,
+        &mut t.r,
+        &mut t.w,
+        &mut t.z,
+        &mut t.sd,
+        &mut t.kx,
+        &mut t.ky,
+    ]
+}
+
+impl TileCheckpoint {
+    /// Field bytes this snapshot restores into a restarted rank — the
+    /// unit of the recovery log's "bytes replayed" ledger.
+    fn payload_bytes(&self) -> u64 {
+        let elements: usize = tile_fields(&self.tile).iter().map(|f| f.len()).sum();
+        (elements * std::mem::size_of::<f64>()) as u64
+    }
 }
 
 /// Shared checkpoint registry for one resilient distributed run: one
@@ -1080,55 +1361,411 @@ struct TileCheckpoint {
 /// threads mid-solve and read by the restart loop after a world dies.
 pub struct CheckpointStore {
     slots: Vec<Mutex<VecDeque<TileCheckpoint>>>,
+    saves: AtomicU64,
 }
 
 impl CheckpointStore {
     fn new(ranks: usize) -> Self {
         CheckpointStore {
             slots: (0..ranks).map(|_| Mutex::new(VecDeque::new())).collect(),
+            saves: AtomicU64::new(0),
         }
     }
 
     fn save(&self, rank: usize, ck: TileCheckpoint) {
+        self.saves.fetch_add(1, Ordering::Relaxed);
         let mut ring = self.slots[rank].lock().expect("checkpoint lock");
         // A restarted attempt re-saves the same keys with identical bits
         // (the replay is deterministic); replace rather than duplicate.
-        ring.retain(|c| (c.step, c.iteration) != (ck.step, ck.iteration));
+        ring.retain(|c| c.key != ck.key);
         ring.push_back(ck);
         while ring.len() > CHECKPOINT_KEEP {
             ring.pop_front();
         }
     }
 
-    /// The most advanced `(step, iteration)` present in **every** rank's
-    /// ring — the consistent cut a restart resumes from. `None` means no
-    /// common checkpoint exists yet (restart from scratch).
-    fn latest_common(&self) -> Option<(usize, usize)> {
-        let mut common: Option<Vec<(usize, usize)>> = None;
-        for slot in &self.slots {
-            let keys: Vec<(usize, usize)> = slot
-                .lock()
-                .expect("checkpoint lock")
-                .iter()
-                .map(|c| (c.step, c.iteration))
-                .collect();
-            common = Some(match common {
-                None => keys,
-                Some(prev) => prev.into_iter().filter(|k| keys.contains(k)).collect(),
-            });
-        }
-        common.and_then(|keys| keys.into_iter().max())
+    /// Checkpoints written so far (re-saves of a replayed key included).
+    fn saves(&self) -> u64 {
+        self.saves.load(Ordering::Relaxed)
+    }
+
+    /// Every rank's ring keys, oldest first.
+    fn keys(&self) -> Vec<Vec<CkptKey>> {
+        self.slots
+            .iter()
+            .map(|slot| {
+                slot.lock()
+                    .expect("checkpoint lock")
+                    .iter()
+                    .map(|c| c.key)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The consistent cut a restart resumes from. `None` means no common
+    /// checkpoint exists yet (restart from scratch).
+    fn latest_common(&self) -> Option<CkptKey> {
+        latest_common_key(&self.keys())
     }
 
     /// Clone rank `rank`'s checkpoint for `key`, if present.
-    fn get(&self, rank: usize, key: (usize, usize)) -> Option<TileCheckpoint> {
+    fn get(&self, rank: usize, key: CkptKey) -> Option<TileCheckpoint> {
         self.slots[rank]
             .lock()
             .expect("checkpoint lock")
             .iter()
-            .find(|c| (c.step, c.iteration) == key)
+            .find(|c| c.key == key)
             .cloned()
     }
+}
+
+/// The most advanced [`CkptKey`] present in **every** ring — the latest
+/// consistent cut of the checkpoint rings. Pure so the property tests
+/// can fuzz it directly: the result is always a member of every ring,
+/// and no strictly greater key is.
+pub fn latest_common_key(rings: &[Vec<CkptKey>]) -> Option<CkptKey> {
+    let (first, rest) = rings.split_first()?;
+    first
+        .iter()
+        .copied()
+        .filter(|k| rest.iter().all(|ring| ring.contains(k)))
+        .max()
+}
+
+// ---------------------------------------------------------------------------
+// elastic re-decomposition
+// ---------------------------------------------------------------------------
+
+/// Copy `tile`'s cells into the global padded canvas at their global
+/// coordinates. A tile's local padded cell `(li, lj)` sits at global
+/// padded `(c0 + li, r0 + lj)` where `(c0, r0)` are its interior span
+/// starts — the halo offsets cancel.
+fn blit_into_global(config: &TeaConfig, global: &mut Tile, tile: &Tile, interior_only: bool) {
+    let g = &tile.geom;
+    let (c0, _) = tile::tile_span(config.x_cells, g.tx, g.grid.tiles_x());
+    let (r0, _) = tile::tile_span(config.y_cells, g.ty, g.grid.tiles_y());
+    let (lw, lh) = (g.mesh.width(), g.mesh.height());
+    let (li0, li1, lj1) = (g.mesh.i0(), g.mesh.i1(), g.mesh.j1());
+    let gw = global.geom.mesh.width();
+    let (is, js) = if interior_only {
+        (li0..li1, li0..lj1)
+    } else {
+        (0..lw, 0..lh)
+    };
+    let src = tile_fields(tile);
+    for (dst, src) in tile_fields_mut(global).into_iter().zip(src) {
+        for lj in js.clone() {
+            for li in is.clone() {
+                dst[(r0 + lj) * gw + (c0 + li)] = src[lj * lw + li];
+            }
+        }
+    }
+}
+
+/// Reassemble the global padded fields from every surviving tile at one
+/// consistent cut. Full padded blocks land first (they are the only
+/// cover of the global boundary ring, where the reflective halo values
+/// live), then interiors in rank order — interiors are authoritative
+/// where blocks overlap. Every cell a resumed solve reads before its
+/// next halo refresh ends up holding exactly the serial padded-mesh
+/// value, because the exchange invariant (ghosts = serial values at the
+/// same global coordinate) held when the cut was taken.
+fn reassemble_global(config: &TeaConfig, tiles: &[&Tile]) -> Tile {
+    let mut global = Tile::build(config, Grid2d::new(1, 1), 0);
+    for t in tiles {
+        blit_into_global(config, &mut global, t, false);
+    }
+    for t in tiles {
+        blit_into_global(config, &mut global, t, true);
+    }
+    global
+}
+
+/// Carve rank `rank`'s tile of `grid` out of the global canvas — the
+/// inverse of [`blit_into_global`], ghost cells included.
+fn carve_tile(config: &TeaConfig, global: &Tile, grid: Grid2d, rank: usize) -> Tile {
+    let mut t = Tile::build(config, grid, rank);
+    let (c0, _) = tile::tile_span(config.x_cells, t.geom.tx, grid.tiles_x());
+    let (r0, _) = tile::tile_span(config.y_cells, t.geom.ty, grid.tiles_y());
+    let (lw, lh) = (t.geom.mesh.width(), t.geom.mesh.height());
+    let gw = global.geom.mesh.width();
+    let src = tile_fields(global);
+    for (dst, src) in tile_fields_mut(&mut t).into_iter().zip(src) {
+        for lj in 0..lh {
+            for li in 0..lw {
+                dst[lj * lw + li] = src[(r0 + lj) * gw + (c0 + li)];
+            }
+        }
+    }
+    t
+}
+
+/// Re-tile one consistent cut's checkpoints onto a smaller grid: gather
+/// the surviving tile state into the global canvas, carve one fresh tile
+/// per new rank, and stamp each with the cut's loop state (identical on
+/// every old rank — it is all global-reduction output).
+fn regrid_checkpoints(
+    config: &TeaConfig,
+    old: &[TileCheckpoint],
+    to: Grid2d,
+) -> Vec<TileCheckpoint> {
+    let tiles: Vec<&Tile> = old.iter().map(|c| &c.tile).collect();
+    let global = reassemble_global(config, &tiles);
+    let meta = &old[0];
+    (0..to.ranks())
+        .map(|r| TileCheckpoint {
+            key: meta.key,
+            total_iterations: meta.total_iterations,
+            converged_all: meta.converged_all,
+            state: meta.state.clone(),
+            tile: carve_tile(config, &global, to, r),
+        })
+        .collect()
+}
+
+/// One rung down the elastic ladder: halve the taller tile axis with
+/// ceiling division, so `2x2 → 2x1 → 1x1` and `4x1 → 2x1 → 1x1`.
+fn degrade(grid: Grid2d) -> Grid2d {
+    let (gx, gy) = (grid.tiles_x(), grid.tiles_y());
+    if gy >= gx && gy > 1 {
+        Grid2d::new(gx, gy.div_ceil(2))
+    } else {
+        Grid2d::new(gx.div_ceil(2), gy)
+    }
+}
+
+/// What one resilient distributed run did to stay alive: the recovery
+/// timeline plus the counters `tea-prof --recovery` tables.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RecoveryLog {
+    /// Every restart and regrid, in order, stamped with the timestep of
+    /// the cut it resumed from (0 = restarted from scratch).
+    pub events: Vec<RecoveryEvent>,
+    /// World relaunches on the same tile grid.
+    pub restarts: usize,
+    /// Elastic re-decompositions onto a smaller grid.
+    pub regrids: usize,
+    /// Checkpoints written across all attempts and grid levels.
+    pub checkpoints_taken: u64,
+    /// Worlds lost to a transport fault (one per failed attempt).
+    pub ranks_lost: usize,
+    /// Checkpoint field bytes loaded into restarted worlds.
+    pub replayed_bytes: u64,
+    /// The tile grid the run finished on.
+    pub final_grid: (usize, usize),
+}
+
+/// The self-healing driver behind every resilient entry point: restart
+/// the world from the latest consistent cut up to `restart_budget` times
+/// per grid level; when a level's budget is exhausted (a rank that stays
+/// dead — e.g. a permanent [`mpisim::KillSpec`]), optionally gather the
+/// surviving tile state and re-tile onto a smaller grid. Transient kills
+/// are dropped after they fire (the node comes back); permanent kills
+/// re-arm on every same-grid restart and only go away when a regrid
+/// removes the dead rank from the world. Fault seeds are remixed
+/// deterministically per attempt; none of this affects numerics, so any
+/// recovered report is **bit-identical** to the clean run's.
+#[allow(clippy::too_many_arguments)]
+fn resilient_core(
+    tiles_x: usize,
+    tiles_y: usize,
+    config: &TeaConfig,
+    solver: SolverKind,
+    spec: FaultSpec,
+    restart_budget: usize,
+    allow_regrid: bool,
+    tel: &TelemetrySink,
+) -> Result<(DistributedReport, RecoveryLog), FaultDiagnostic> {
+    let mut grid = Grid2d::new(tiles_x, tiles_y);
+    let mut carried: Option<Vec<TileCheckpoint>> = None;
+    let mut armed_kill = spec.kill_rank;
+    let mut log = RecoveryLog {
+        final_grid: (tiles_x, tiles_y),
+        ..RecoveryLog::default()
+    };
+    let mut attempt = 0u64; // across grid levels, for seed remixing
+    let mut tick = 0.0; // driver-side event clock
+    loop {
+        let store = CheckpointStore::new(grid.ranks());
+        let mut level_restarts = 0usize;
+        let outcome = loop {
+            let mut attempt_spec = spec;
+            attempt_spec.kill_rank = armed_kill.filter(|k| k.rank < grid.ranks());
+            if attempt > 0 {
+                // Deterministic remix: a restarted transport draws a
+                // fresh but reproducible fault schedule.
+                attempt_spec.seed = spec.seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            }
+            let resumes: Vec<Option<TileCheckpoint>> = match store.latest_common() {
+                Some(key) => (0..grid.ranks()).map(|r| store.get(r, key)).collect(),
+                None => match &carried {
+                    Some(seeds) => seeds.iter().cloned().map(Some).collect(),
+                    None => (0..grid.ranks()).map(|_| None).collect(),
+                },
+            };
+            log.replayed_bytes += resumes
+                .iter()
+                .flatten()
+                .map(TileCheckpoint::payload_bytes)
+                .sum::<u64>();
+            let result = run_spmd_faulty(grid.ranks(), attempt_spec, |rank| {
+                let sink = if rank.id() == 0 {
+                    tel.clone()
+                } else {
+                    TelemetrySink::disabled()
+                };
+                body(
+                    rank,
+                    grid,
+                    config,
+                    solver,
+                    true,
+                    sink,
+                    Some(&store),
+                    resumes[rank.id()].as_ref(),
+                )
+            });
+            attempt += 1;
+            match result {
+                Ok(results) => break Ok(agree(results).0),
+                Err(diag) => {
+                    log.ranks_lost += 1;
+                    tel.event("resilience", format_args!("world died: {diag}"), tick);
+                    tick += 1.0;
+                    if let Some(k) = armed_kill {
+                        if !k.permanent {
+                            armed_kill = None; // transient crash: the node comes back
+                        }
+                    }
+                    if level_restarts >= restart_budget {
+                        break Err(diag);
+                    }
+                    level_restarts += 1;
+                    log.restarts += 1;
+                    let cut = store
+                        .latest_common()
+                        .or_else(|| carried.as_ref().map(|s| s[0].key));
+                    let (estep, eiter) = cut.map_or((0, 0), |k| (k.0, k.2));
+                    log.events.push(RecoveryEvent {
+                        step: estep,
+                        trigger: SolverHealth::DistributedFault { rank: diag.rank },
+                        action: RecoveryAction::Restart {
+                            step: estep,
+                            iteration: eiter,
+                        },
+                    });
+                    tel.event(
+                        "resilience",
+                        format_args!(
+                            "restart from (step {estep}, iteration {eiter}) on {}x{} tiles",
+                            grid.tiles_x(),
+                            grid.tiles_y()
+                        ),
+                        tick,
+                    );
+                    tick += 1.0;
+                }
+            }
+        };
+        log.checkpoints_taken += store.saves();
+        match outcome {
+            Ok(report) => {
+                log.final_grid = (grid.tiles_x(), grid.tiles_y());
+                return Ok((report, log));
+            }
+            Err(diag) => {
+                if !(allow_regrid && grid.ranks() > 1) {
+                    return Err(diag);
+                }
+                let to = degrade(grid);
+                let source: Option<Vec<TileCheckpoint>> = match store.latest_common() {
+                    Some(key) => Some(
+                        (0..grid.ranks())
+                            .map(|r| store.get(r, key).expect("common key present on every rank"))
+                            .collect(),
+                    ),
+                    None => carried.take(),
+                };
+                let estep = source.as_ref().map_or(0, |s| s[0].key.0);
+                log.events.push(RecoveryEvent {
+                    step: estep,
+                    trigger: SolverHealth::DistributedFault { rank: diag.rank },
+                    action: RecoveryAction::Regrid {
+                        from: (grid.tiles_x(), grid.tiles_y()),
+                        to: (to.tiles_x(), to.tiles_y()),
+                    },
+                });
+                tel.event(
+                    "resilience",
+                    format_args!(
+                        "regrid {}x{} -> {}x{} on surviving state",
+                        grid.tiles_x(),
+                        grid.tiles_y(),
+                        to.tiles_x(),
+                        to.tiles_y()
+                    ),
+                    tick,
+                );
+                tick += 1.0;
+                log.regrids += 1;
+                carried = source.map(|old| regrid_checkpoints(config, &old, to));
+                grid = to;
+                // The dead node is not part of the smaller world.
+                armed_kill = None;
+            }
+        }
+    }
+}
+
+/// Self-healing distributed solve of the deck's solver on a
+/// `tiles_x × tiles_y` grid over the fault-injected transport:
+/// checkpoint rings every `tl_checkpoint_interval` iterations, world
+/// restarts from the latest consistent cut (`tl_max_recoveries` per grid
+/// level), and — when `tl_elastic_regrid` allows — re-decomposition onto
+/// a smaller grid when a rank stays dead. Either the returned report is
+/// bit-identical to the clean run's, or the run aborts loudly with a
+/// [`FaultDiagnostic`] — never a silently wrong answer.
+pub fn run_distributed_solver_resilient(
+    tiles_x: usize,
+    tiles_y: usize,
+    config: &TeaConfig,
+    spec: FaultSpec,
+) -> Result<(DistributedReport, RecoveryLog), FaultDiagnostic> {
+    resilient_core(
+        tiles_x,
+        tiles_y,
+        config,
+        config.solver,
+        spec,
+        config.tl_max_recoveries,
+        config.tl_elastic_regrid,
+        &TelemetrySink::disabled(),
+    )
+}
+
+/// [`run_distributed_solver_resilient`] with the resilience timeline
+/// traced: rank 0 emits checkpoint events on the logical clock and the
+/// driver emits restart/regrid events, so `tea-prof --recovery` can
+/// table the recovery story.
+pub fn run_distributed_solver_resilient_traced(
+    tiles_x: usize,
+    tiles_y: usize,
+    config: &TeaConfig,
+    spec: FaultSpec,
+) -> Result<(DistributedReport, RecoveryLog, Vec<Record>), FaultDiagnostic> {
+    let (sink, collector) = TelemetrySink::collecting();
+    let (report, log) = resilient_core(
+        tiles_x,
+        tiles_y,
+        config,
+        config.solver,
+        spec,
+        config.tl_max_recoveries,
+        config.tl_elastic_regrid,
+        &sink,
+    )?;
+    Ok((report, log, collector.records()))
 }
 
 /// Checkpoint-restarting distributed CG: run under the fault-injected
@@ -1136,10 +1773,8 @@ impl CheckpointStore {
 /// into a [`CheckpointStore`]; when the world dies (e.g. an injected
 /// [`mpisim::KillSpec`] rank loss), relaunch it up to `max_restarts`
 /// times, resuming every rank from the latest checkpoint present on
-/// *all* ranks. Later attempts drop the kill (a transient crash — the
-/// node comes back) and remix the fault seed deterministically; neither
-/// affects numerics, so the recovered report is **bit-identical** to the
-/// clean run's. Returns the report and the number of restarts used.
+/// *all* ranks. Returns the report and the number of restarts used.
+/// (The legacy fixed-grid entry point: no elastic re-decomposition.)
 pub fn run_distributed_cg_resilient(
     ranks: usize,
     config: &TeaConfig,
@@ -1147,40 +1782,17 @@ pub fn run_distributed_cg_resilient(
     max_restarts: usize,
 ) -> Result<(DistributedReport, usize), FaultDiagnostic> {
     let grid = grid_for(ranks, config);
-    let store = CheckpointStore::new(ranks);
-    let mut last_err: Option<FaultDiagnostic> = None;
-    for attempt in 0..=max_restarts {
-        let mut attempt_spec = spec;
-        if attempt > 0 {
-            attempt_spec.kill_rank = None;
-            attempt_spec.seed = spec.seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        }
-        let resume_key = if attempt == 0 {
-            None
-        } else {
-            store.latest_common()
-        };
-        let resumes: Vec<Option<TileCheckpoint>> = (0..ranks)
-            .map(|r| resume_key.and_then(|key| store.get(r, key)))
-            .collect();
-        let result = run_spmd_faulty(ranks, attempt_spec, |rank| {
-            body(
-                rank,
-                grid,
-                config,
-                SolverKind::ConjugateGradient,
-                true,
-                TelemetrySink::disabled(),
-                Some(&store),
-                resumes[rank.id()].as_ref(),
-            )
-        });
-        match result {
-            Ok(results) => return Ok((agree(results).0, attempt)),
-            Err(diag) => last_err = Some(diag),
-        }
-    }
-    Err(last_err.expect("at least one attempt ran"))
+    let (report, log) = resilient_core(
+        grid.tiles_x(),
+        grid.tiles_y(),
+        config,
+        SolverKind::ConjugateGradient,
+        spec,
+        max_restarts,
+        false,
+        &TelemetrySink::disabled(),
+    )?;
+    Ok((report, log.restarts))
 }
 
 #[cfg(test)]
@@ -1340,10 +1952,7 @@ mod tests {
         spec.deadline = std::time::Duration::from_millis(250);
         // Kill rank 1 deep enough into its send schedule that both ranks
         // are mid-CG with checkpoints behind them.
-        spec.kill_rank = Some(mpisim::KillSpec {
-            rank: 1,
-            after_sends: 25,
-        });
+        spec.kill_rank = Some(mpisim::KillSpec::transient(1, 25));
         // Without restart, the world must die loudly...
         run_distributed_cg_faulty(2, &cfg, spec).expect_err("a dead rank cannot finish");
         // ...with restart, it must finish bit-identical to the clean run.
@@ -1369,14 +1978,142 @@ mod tests {
         let mut spec = FaultSpec::clean(41);
         spec.quiet = std::time::Duration::from_millis(2);
         spec.deadline = std::time::Duration::from_millis(250);
-        spec.kill_rank = Some(mpisim::KillSpec {
-            rank: 0,
-            after_sends: 2,
-        });
+        spec.kill_rank = Some(mpisim::KillSpec::transient(0, 2));
         let (report, restarts) =
             run_distributed_cg_resilient(2, &cfg, spec, 2).expect("restart must recover");
         assert!(restarts >= 1);
         assert_eq!(report, plain);
+    }
+
+    #[test]
+    fn all_solvers_replay_transient_kill_bit_identically() {
+        let mut cfg = TeaConfig::paper_problem(16);
+        cfg.end_step = 1;
+        cfg.tl_eps = 1.0e-10;
+        cfg.tl_checkpoint_interval = 2;
+        for solver in [
+            SolverKind::ConjugateGradient,
+            SolverKind::Chebyshev,
+            SolverKind::Ppcg,
+            SolverKind::Jacobi,
+        ] {
+            cfg.solver = solver;
+            let plain = run_distributed_solver(2, 2, &cfg);
+            let mut spec = FaultSpec::clean(43);
+            spec.quiet = std::time::Duration::from_millis(2);
+            spec.deadline = std::time::Duration::from_millis(250);
+            spec.kill_rank = Some(mpisim::KillSpec::transient(1, 25));
+            let (report, log) = run_distributed_solver_resilient(2, 2, &cfg, spec)
+                .unwrap_or_else(|d| panic!("{solver:?} must recover, got {d}"));
+            assert!(log.restarts >= 1, "{solver:?}: kill must force a restart");
+            assert_eq!(log.regrids, 0, "{solver:?}: a transient kill never regrids");
+            assert_eq!(log.final_grid, (2, 2));
+            assert!(
+                log.events
+                    .iter()
+                    .any(|e| matches!(e.action, RecoveryAction::Restart { .. })),
+                "{solver:?}: restart must be on the timeline: {:?}",
+                log.events
+            );
+            assert_eq!(
+                report, plain,
+                "{solver:?}: replay from checkpoint must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn permanent_kill_regrids_onto_survivors_bit_identically() {
+        let mut cfg = TeaConfig::paper_problem(16);
+        // Two tighter steps: long enough that the re-armed kill fires
+        // again in every same-grid restart (a resumed world replays only
+        // the tail, so a short deck would finish under the kill's send
+        // count and never exhaust the budget).
+        cfg.end_step = 2;
+        cfg.tl_eps = 1.0e-12;
+        cfg.tl_checkpoint_interval = 2;
+        cfg.tl_max_recoveries = 1;
+        let plain = run_distributed_solver(2, 2, &cfg);
+        let mut spec = FaultSpec::clean(47);
+        spec.quiet = std::time::Duration::from_millis(2);
+        spec.deadline = std::time::Duration::from_millis(250);
+        // Rank 3 never comes back: same-grid restarts keep dying until
+        // the budget forces an elastic re-decomposition.
+        spec.kill_rank = Some(mpisim::KillSpec::permanent(3, 25));
+        let (report, log) =
+            run_distributed_solver_resilient(2, 2, &cfg, spec).expect("regrid must recover");
+        assert!(log.regrids >= 1, "budget exhaustion must regrid: {log:?}");
+        assert!(log.restarts >= 1);
+        assert!(log.ranks_lost >= 2, "initial attempt plus restart died");
+        assert!(
+            log.events.iter().any(|e| matches!(
+                e.action,
+                RecoveryAction::Regrid {
+                    from: (2, 2),
+                    to: (2, 1)
+                }
+            )),
+            "2x2 must degrade to 2x1 first: {:?}",
+            log.events
+        );
+        assert!(log.final_grid.0 * log.final_grid.1 < 4);
+        // The report's rank count legitimately shrinks with the world;
+        // every numeric field must stay bit-identical to the clean run.
+        assert_eq!(report.ranks, log.final_grid.0 * log.final_grid.1);
+        assert_eq!(report.total_iterations, plain.total_iterations);
+        assert_eq!(report.converged, plain.converged);
+        assert_eq!(
+            report.summary, plain.summary,
+            "re-decomposed continuation must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn permanent_kill_without_elastic_regrid_aborts_loudly() {
+        let mut cfg = TeaConfig::paper_problem(16);
+        cfg.end_step = 2;
+        cfg.tl_eps = 1.0e-12;
+        cfg.tl_checkpoint_interval = 2;
+        cfg.tl_max_recoveries = 1;
+        cfg.tl_elastic_regrid = false;
+        let mut spec = FaultSpec::clean(47);
+        spec.quiet = std::time::Duration::from_millis(2);
+        spec.deadline = std::time::Duration::from_millis(250);
+        spec.kill_rank = Some(mpisim::KillSpec::permanent(3, 25));
+        let diag = run_distributed_solver_resilient(2, 2, &cfg, spec)
+            .expect_err("a permanently dead rank with regrid off cannot finish");
+        // The surfaced diagnostic is the first rank's in rank order:
+        // either the kill itself or a survivor's starved deadline.
+        assert!(diag.rank < 4);
+    }
+
+    #[test]
+    fn resilient_solver_clean_run_has_inert_log() {
+        let mut cfg = TeaConfig::paper_problem(16);
+        cfg.end_step = 1;
+        cfg.tl_eps = 1.0e-10;
+        cfg.tl_checkpoint_interval = 3;
+        cfg.solver = SolverKind::Ppcg;
+        let plain = run_distributed_solver(2, 1, &cfg);
+        let (report, log) = run_distributed_solver_resilient(2, 1, &cfg, FaultSpec::clean(53))
+            .expect("clean world");
+        assert_eq!(report, plain, "checkpointing must be numerically inert");
+        assert_eq!(log.restarts, 0);
+        assert_eq!(log.regrids, 0);
+        assert_eq!(log.ranks_lost, 0);
+        assert_eq!(log.replayed_bytes, 0);
+        assert!(log.events.is_empty());
+        assert_eq!(log.final_grid, (2, 1));
+        assert!(log.checkpoints_taken > 0, "the rings must actually fill");
+    }
+
+    #[test]
+    fn latest_common_key_is_max_of_intersection() {
+        let a = vec![(1, 0, 0), (1, 0, 2), (1, 1, 1)];
+        let b = vec![(1, 0, 2), (1, 1, 1), (1, 1, 3)];
+        assert_eq!(latest_common_key(&[a.clone(), b.clone()]), Some((1, 1, 1)));
+        assert_eq!(latest_common_key(&[a, vec![]]), None);
+        assert_eq!(latest_common_key(&[]), None);
     }
 
     #[test]

@@ -50,6 +50,11 @@ pub enum SolverHealth {
     /// The recovery chain is exhausted; the solve is unrecoverable and
     /// the driver must stop stepping.
     Fatal { solver: SolverKind },
+    /// A distributed world died: `rank` aborted with a transport
+    /// diagnostic (injected kill, hopeless channel, exhausted deadline).
+    /// The distributed resilience driver answers with a
+    /// [`RecoveryAction::Restart`] or [`RecoveryAction::Regrid`].
+    DistributedFault { rank: usize },
 }
 
 impl SolverHealth {
@@ -59,7 +64,7 @@ impl SolverHealth {
             SolverHealth::NonFinite { iteration }
             | SolverHealth::Diverging { iteration, .. }
             | SolverHealth::Stagnating { iteration, .. } => *iteration,
-            SolverHealth::Fatal { .. } => 0,
+            SolverHealth::Fatal { .. } | SolverHealth::DistributedFault { .. } => 0,
         }
     }
 
@@ -92,6 +97,9 @@ impl fmt::Display for SolverHealth {
                     solver.name()
                 )
             }
+            SolverHealth::DistributedFault { rank } => {
+                write!(f, "rank {rank} lost (transport fault)")
+            }
         }
     }
 }
@@ -109,6 +117,19 @@ impl fmt::Display for RecoveryAction {
                 write!(f, "fell back {} → {}", from.name(), to.name())
             }
             RecoveryAction::Abort => write!(f, "aborted (chain exhausted)"),
+            RecoveryAction::Restart { step, iteration } => {
+                write!(
+                    f,
+                    "restarted world from checkpoint (step {step}, iteration {iteration})"
+                )
+            }
+            RecoveryAction::Regrid { from, to } => {
+                write!(
+                    f,
+                    "re-decomposed {}x{} → {}x{} on surviving ranks",
+                    from.0, from.1, to.0, to.1
+                )
+            }
         }
     }
 }
@@ -131,6 +152,15 @@ pub enum RecoveryAction {
     Fallback { from: SolverKind, to: SolverKind },
     /// Chain exhausted; the outcome is the last attempt's, unrecovered.
     Abort,
+    /// Rebuilt the distributed world on the same tile grid and resumed
+    /// every rank from the latest consistent checkpoint cut.
+    Restart { step: usize, iteration: usize },
+    /// Gathered the surviving tile state and re-tiled the mesh onto a
+    /// smaller grid (`from` → `to`, as `(gx, gy)` tile counts).
+    Regrid {
+        from: (usize, usize),
+        to: (usize, usize),
+    },
 }
 
 /// One recovery action with its trigger, stamped by the driver with the
