@@ -9,7 +9,9 @@
 use std::fs;
 use std::path::PathBuf;
 
-use tea_bench::{fig10, fig11, fig12, fig12_kernels, fig8, fig9, table1, table2, Scale};
+use tea_bench::{
+    fig10, fig11, fig12, fig12_energy, fig12_kernels, fig8, fig9, table1, table2, Scale,
+};
 
 fn results_dir() -> PathBuf {
     let dir = std::env::var("TEA_RESULTS_DIR")
@@ -67,6 +69,12 @@ fn main() {
         for device in simdev::devices::paper_devices() {
             let name = format!("fig12_kernels_{}", device.kind.name());
             emit(&name, &fig12_kernels(&device, scale));
+        }
+        // Energy to solution beside the bandwidth figure: one CSV per
+        // device from the same runs the runtime figures make.
+        for device in simdev::devices::paper_devices() {
+            let name = format!("fig12_energy_{}", device.kind.name());
+            emit(&name, &fig12_energy(&device, scale));
         }
     }
 }

@@ -174,23 +174,34 @@ pub struct Fig11Point {
     pub device: String,
     pub cells_edge: usize,
     pub sim_seconds: f64,
+    /// Simulated energy-to-solution of the same run, joules.
+    pub joules: f64,
+}
+
+/// Joules cell formatting shared by the energy figures.
+fn fmt_joules(j: f64) -> String {
+    format!("{j:.4}")
 }
 
 /// **Figure 11** — runtime versus mesh size in even steps, every
-/// model/device series of Figures 8–10, CG solver, one timestep.
+/// model/device series of Figures 8–10, CG solver, one timestep. Each
+/// mesh size gets a seconds column and, beside the sweep, an
+/// energy-to-solution column from the same runs.
 pub fn fig11(scale: Scale) -> (Table, Vec<Fig11Point>) {
     let sizes = scale.sweep_sizes();
     let mut points = Vec::new();
     let mut header: Vec<String> = vec!["series".into()];
-    header.extend(sizes.iter().map(|s| format!("{s}x{s}")));
+    header.extend(sizes.iter().map(|s| format!("{s}x{s} (s)")));
+    header.extend(sizes.iter().map(|s| format!("{s}x{s} (J)")));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut table = Table::new(
-        "Figure 11: runtime vs mesh size, even-step increments (CG, simulated seconds)",
+        "Figure 11: runtime vs mesh size, even-step increments (CG, simulated seconds and joules)",
         &header_refs,
     );
     for device in devices::paper_devices() {
         for model in figure_models(device.kind) {
             let mut row = vec![format!("{} / {}", model.label(), device.kind.name())];
+            let mut joules_cells = Vec::with_capacity(sizes.len());
             for &edge in &sizes {
                 let mut cfg = Scale {
                     cells: edge,
@@ -205,13 +216,16 @@ pub fn fig11(scale: Scale) -> (Table, Vec<Fig11Point>) {
                 let report = run_simulation_seeded(model, &device, &cfg, scale.seed)
                     .expect("sweep models are supported on their device");
                 row.push(fmt_secs(report.sim_seconds()));
+                joules_cells.push(fmt_joules(report.joules_per_solve()));
                 points.push(Fig11Point {
                     model,
                     device: device.name.clone(),
                     cells_edge: edge,
                     sim_seconds: report.sim_seconds(),
+                    joules: report.joules_per_solve(),
                 });
             }
+            row.extend(joules_cells);
             table.row(&row);
         }
     }
@@ -272,6 +286,41 @@ pub fn fig12(scale: Scale) -> Table {
             cell(fractions[1]),
             cell(fractions[2]),
         ]);
+    }
+    table
+}
+
+/// **Energy-to-solution beside Figure 12** — simulated joules per solve
+/// for one device's model set over the paper's three solvers, plus the
+/// run-averaged board power and energy-delay product. TeaLeaf is
+/// bandwidth-bound, so on a fixed device energy ordering largely tracks
+/// the runtime ordering of Figures 8–10 — *except* where a model holds
+/// the board at high draw while stalled (offload reductions), which is
+/// exactly what the EDP column surfaces.
+pub fn fig12_energy(device: &DeviceSpec, scale: Scale) -> Table {
+    let mut table = Table::new(
+        &format!(
+            "Energy to solution: simulated joules per solve, {} (lower is better)",
+            device.name
+        ),
+        &[
+            "model",
+            "cg (J)",
+            "chebyshev (J)",
+            "ppcg (J)",
+            "mean W",
+            "mean EDP (J·s)",
+        ],
+    );
+    for (model, reports) in runtime_figure(device, scale) {
+        let mut row = vec![model.label().to_string()];
+        row.extend(reports.iter().map(|r| fmt_joules(r.joules_per_solve())));
+        let mean = |f: &dyn Fn(&RunReport) -> f64| {
+            reports.iter().map(f).sum::<f64>() / reports.len() as f64
+        };
+        row.push(format!("{:.1}", mean(&RunReport::avg_watts)));
+        row.push(fmt_joules(mean(&RunReport::energy_delay_product)));
+        table.row(&row);
     }
     table
 }
@@ -405,6 +454,41 @@ mod tests {
                 model.label()
             );
         }
+    }
+
+    #[test]
+    fn fig11_points_carry_energy_beside_seconds() {
+        // a single 125-edge sweep point keeps the full-series test fast
+        let (table, points) = fig11(Scale {
+            sweep_max: 125,
+            ..Scale::small()
+        });
+        assert!(!points.is_empty());
+        for p in &points {
+            assert!(p.sim_seconds > 0.0);
+            assert!(
+                p.joules > 0.0,
+                "{} on {} reported no energy",
+                p.model.label(),
+                p.device
+            );
+        }
+        let text = table.render();
+        assert!(text.contains("(s)"), "{text}");
+        assert!(text.contains("(J)"), "{text}");
+    }
+
+    #[test]
+    fn fig12_energy_tables_every_gpu_model_with_positive_joules() {
+        // runtime_figure applies the regime rescale internally
+        let t = fig12_energy(&devices::gpu_k20x(), Scale::small());
+        assert_eq!(t.len(), 5, "five GPU series as in Figure 9");
+        let text = t.render();
+        for label in ["CUDA", "Kokkos", "cg (J)", "mean W", "EDP"] {
+            assert!(text.contains(label), "missing {label} in:\n{text}");
+        }
+        // no zero-energy cells: the power model is on by default
+        assert!(!text.contains(" 0.0000 "), "zero joules cell in:\n{text}");
     }
 
     #[test]

@@ -32,8 +32,8 @@ pub mod scale;
 pub mod scaling;
 
 pub use experiments::{
-    fig10, fig11, fig12, fig12_kernels, fig8, fig9, figure_models, runtime_figure, table1, table2,
-    Fig11Point, ModelOnDevice,
+    fig10, fig11, fig12, fig12_energy, fig12_kernels, fig8, fig9, figure_models, runtime_figure,
+    table1, table2, Fig11Point, ModelOnDevice,
 };
 pub use scale::Scale;
 pub use scaling::{

@@ -18,6 +18,15 @@
 //! that gap, which is the paper's central observation about why the
 //! models diverge. `--validate` re-parses whatever was emitted and
 //! fails loudly if the trace is malformed (used by CI).
+//!
+//! `--energy` switches every view to the simulated power model: the
+//! table becomes the per-kernel energy budget (joules, share of the
+//! total, average watts) with transfer/idle energy and joules-per-solve
+//! as footer rows; `--diff` tables the per-kernel joules gap between two
+//! ports; `--format json`/`chrome` emit the energy rows as JSONL records
+//! and Chrome counter events. With `--validate` the per-kernel joules
+//! are re-folded and checked **bit-exactly** against the report's
+//! joules-per-solve — the accounting identity CI enforces.
 
 use std::process::ExitCode;
 
@@ -27,7 +36,7 @@ use tea_conformance::{
 };
 use tea_core::config::SolverKind;
 use tea_core::tablefmt::{fmt_secs, Table};
-use tea_telemetry::export::{to_chrome, to_jsonl};
+use tea_telemetry::export::{energy_to_chrome_events, energy_to_jsonl, to_chrome, to_jsonl};
 use tea_telemetry::{json, Record};
 use tealeaf::distributed::{
     run_distributed_solver_resilient_traced, run_distributed_solver_traced,
@@ -48,6 +57,7 @@ struct Options {
     validate: bool,
     overlap: Option<(usize, usize)>,
     recovery: Option<(usize, usize)>,
+    energy: bool,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -60,7 +70,7 @@ enum Format {
 const USAGE: &str =
     "usage: tea-prof [--deck <name>] [--model <port>] [--solver jacobi|cg|chebyshev|ppcg] \
      [--format table|json|chrome] [--top N] [--diff <port>] [--device cpu|gpu|knc] [--validate] \
-     [--overlap GXxGY] [--recovery GXxGY]";
+     [--overlap GXxGY] [--recovery GXxGY] [--energy]";
 
 fn parse_solver(name: &str) -> Option<SolverKind> {
     match name {
@@ -93,6 +103,7 @@ fn parse_args(argv: &[String]) -> Result<Options, String> {
         validate: false,
         overlap: None,
         recovery: None,
+        energy: false,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -134,6 +145,7 @@ fn parse_args(argv: &[String]) -> Result<Options, String> {
                     Some(parse_device(&v).ok_or_else(|| format!("unknown device '{v}'"))?);
             }
             "--validate" => opts.validate = true,
+            "--energy" => opts.energy = true,
             "--overlap" => {
                 let v = value("--overlap")?;
                 let grid = v
@@ -200,6 +212,18 @@ fn validate_jsonl(text: &str) -> Result<usize, String> {
                 }
             }
             "span" | "event" => {}
+            "energy" => {
+                for field in ["kernel", "joules"] {
+                    if doc.get(field).is_none() {
+                        return Err(format!("line {}: energy row missing {field}", lineno + 1));
+                    }
+                }
+            }
+            "energy_total" => {
+                if doc.get("total_joules").and_then(|v| v.as_f64()).is_none() {
+                    return Err(format!("line {}: energy_total missing total", lineno + 1));
+                }
+            }
             other => return Err(format!("line {}: unknown ev '{other}'", lineno + 1)),
         }
         n += 1;
@@ -220,7 +244,7 @@ fn validate_chrome(text: &str) -> Result<usize, String> {
         .ok_or("missing traceEvents array")?;
     for (i, ev) in events.iter().enumerate() {
         let ph = ev.get("ph").and_then(|v| v.as_str());
-        if !matches!(ph, Some("X") | Some("i")) {
+        if !matches!(ph, Some("X") | Some("i") | Some("C")) {
             return Err(format!("event {i}: bad ph {ph:?}"));
         }
         if ev.get("name").and_then(|v| v.as_str()).is_none() {
@@ -482,6 +506,132 @@ fn diff_table(a: &RunReport, b: &RunReport, top: usize) -> Table {
     table
 }
 
+/// The accounting identity `--energy --validate` enforces: re-folding
+/// the name-sorted per-kernel joules rows left to right, then adding
+/// transfer and idle energy, must reproduce the report's joules-per-solve
+/// **bit-exactly** — the same canonical fold, computed twice.
+fn validate_energy_identity(report: &RunReport) -> Result<(), String> {
+    let fold: f64 = report.kernel_joules().iter().map(|(_, j)| j).sum();
+    let total = fold + report.sim.energy.transfer_joules + report.sim.energy.idle_joules;
+    let headline = report.joules_per_solve();
+    if total.to_bits() != headline.to_bits() {
+        return Err(format!(
+            "per-kernel joules fold ({total:e}, bits {:#x}) != joules-per-solve \
+             ({headline:e}, bits {:#x})",
+            total.to_bits(),
+            headline.to_bits()
+        ));
+    }
+    Ok(())
+}
+
+/// Side-by-side per-kernel energy budget of two runs, widest joules gap
+/// first, with the run totals as a footer row.
+fn energy_diff_table(a: &RunReport, b: &RunReport, top: usize) -> Table {
+    let name_a = a.model.label();
+    let name_b = b.model.label();
+    let rows_a = a.kernel_joules();
+    let rows_b = b.kernel_joules();
+    let mut names: Vec<&str> = rows_a.iter().map(|(n, _)| *n).collect();
+    for (n, _) in &rows_b {
+        if !names.contains(n) {
+            names.push(n);
+        }
+    }
+    let joules = |rows: &[(&str, f64)], name: &str| {
+        rows.iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, j)| *j)
+            .unwrap_or(0.0)
+    };
+    let mut gaps: Vec<(String, f64, f64)> = names
+        .iter()
+        .map(|n| (n.to_string(), joules(&rows_a, n), joules(&rows_b, n)))
+        .collect();
+    gaps.sort_by(|x, y| {
+        let gx = (x.1 - x.2).abs();
+        let gy = (y.1 - y.2).abs();
+        gy.partial_cmp(&gx)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| x.0.cmp(&y.0))
+    });
+    if top > 0 {
+        gaps.truncate(top);
+    }
+    let mut table = Table::new(
+        &format!(
+            "{name_a} vs {name_b} · {} · {}×{} · energy",
+            a.solver.name(),
+            a.x_cells,
+            a.y_cells
+        ),
+        &["kernel", name_a, name_b, "gap J", "ratio"],
+    );
+    let fmt_j = |j: f64| format!("{j:.6}");
+    for (name, ja, jb) in gaps {
+        let ratio = if ja > 0.0 { jb / ja } else { f64::INFINITY };
+        table.row(&[
+            name,
+            fmt_j(ja),
+            fmt_j(jb),
+            fmt_j(jb - ja),
+            format!("{ratio:.2}×"),
+        ]);
+    }
+    table.row(&[
+        "total".to_string(),
+        fmt_j(a.joules_per_solve()),
+        fmt_j(b.joules_per_solve()),
+        fmt_j(b.joules_per_solve() - a.joules_per_solve()),
+        format!(
+            "{:.2}×",
+            if a.joules_per_solve() > 0.0 {
+                b.joules_per_solve() / a.joules_per_solve()
+            } else {
+                f64::INFINITY
+            }
+        ),
+    ]);
+    table
+}
+
+/// Render the `--energy` view of one report in the requested format.
+fn energy_output(report: &RunReport, format: Format, top: usize) -> String {
+    let rows = report.kernel_rows();
+    let e = &report.sim.energy;
+    match format {
+        Format::Table => {
+            let mut out = report.render_energy(top);
+            out.push_str(&format!(
+                "joules-per-solve: {:.6} J · avg {:.1} W · EDP {:.6} J·s\n\
+                 wall partition: {:.6}s active, {:.6}s transfer, {:.6}s idle\n",
+                report.joules_per_solve(),
+                report.avg_watts(),
+                report.energy_delay_product(),
+                e.active_seconds,
+                e.transfer_seconds,
+                e.idle_seconds,
+            ));
+            out
+        }
+        Format::Json => energy_to_jsonl(
+            &rows,
+            e.transfer_joules,
+            e.idle_joules,
+            report.joules_per_solve(),
+        ),
+        Format::Chrome => {
+            let events = energy_to_chrome_events(
+                &rows,
+                e.transfer_joules,
+                e.idle_joules,
+                report.joules_per_solve(),
+            );
+            format!("{{\"traceEvents\":[{}]}}\n", events.join(","))
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&argv) {
@@ -537,6 +687,19 @@ fn main() -> ExitCode {
         }
     };
 
+    if opts.energy && opts.validate {
+        match validate_energy_identity(&report) {
+            Ok(()) => eprintln!(
+                "energy identity validates: per-kernel joules fold to {:.6} J bit-exactly",
+                report.joules_per_solve()
+            ),
+            Err(e) => {
+                eprintln!("energy accounting INVALID: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+
     if let Some(other) = opts.diff {
         let other_device = opts.device.clone().unwrap_or_else(|| natural_device(other));
         let (other_report, _) = match run_traced(other, &other_device, &opts.deck, opts.solver) {
@@ -546,7 +709,45 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        println!("{}", diff_table(&report, &other_report, opts.top).render());
+        if opts.energy {
+            if opts.validate {
+                if let Err(e) = validate_energy_identity(&other_report) {
+                    eprintln!("energy accounting INVALID for diff target: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+            println!(
+                "{}",
+                energy_diff_table(&report, &other_report, opts.top).render()
+            );
+        } else {
+            println!("{}", diff_table(&report, &other_report, opts.top).render());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if opts.energy {
+        let out = energy_output(&report, opts.format, opts.top);
+        if opts.validate {
+            match opts.format {
+                Format::Table => {}
+                Format::Json => match validate_jsonl(&out) {
+                    Ok(n) => eprintln!("energy jsonl validates: {n} records"),
+                    Err(e) => {
+                        eprintln!("energy jsonl INVALID: {e}");
+                        return ExitCode::from(1);
+                    }
+                },
+                Format::Chrome => match validate_chrome(&out) {
+                    Ok(n) => eprintln!("energy chrome trace validates: {n} events"),
+                    Err(e) => {
+                        eprintln!("energy chrome trace INVALID: {e}");
+                        return ExitCode::from(1);
+                    }
+                },
+            }
+        }
+        print!("{out}");
         return ExitCode::SUCCESS;
     }
 

@@ -133,6 +133,14 @@ pub struct TeaConfig {
     /// smaller tile grid when a rank stays dead past the
     /// `tl_max_recoveries` restart budget. Off means such a loss aborts.
     pub tl_elastic_regrid: bool,
+    /// Enable the simulated power model. Off means every run reports
+    /// exactly 0 J; energy never feeds back into kernel times, so the
+    /// numerics and simulated seconds are bit-identical either way.
+    pub tl_power_model: bool,
+    /// Override the device's calibrated idle board power, watts.
+    pub tl_idle_watts: Option<f64>,
+    /// Override the device's calibrated active board power, watts.
+    pub tl_active_watts: Option<f64>,
 }
 
 impl Default for TeaConfig {
@@ -165,6 +173,9 @@ impl Default for TeaConfig {
             tl_chaos_seed: 0,
             tl_exchange_deadline: 0.25,
             tl_elastic_regrid: true,
+            tl_power_model: true,
+            tl_idle_watts: None,
+            tl_active_watts: None,
             states: vec![
                 State::background(100.0, 0.0001),
                 State {
@@ -323,6 +334,21 @@ impl TeaConfig {
                 self.tl_exchange_deadline,
             ));
         }
+        for (key, watts) in [
+            ("tl_idle_watts", self.tl_idle_watts),
+            ("tl_active_watts", self.tl_active_watts),
+        ] {
+            if let Some(w) = watts {
+                if !strictly_less(0.0, w) || !w.is_finite() {
+                    return Err(InvalidConfig::NonPositiveWatts { key, watts: w });
+                }
+            }
+        }
+        if let (Some(idle), Some(active)) = (self.tl_idle_watts, self.tl_active_watts) {
+            if !strictly_less(idle, active) && idle != active {
+                return Err(InvalidConfig::IdleExceedsActiveWatts { idle, active });
+            }
+        }
         Ok(())
     }
 
@@ -382,6 +408,11 @@ pub enum InvalidConfig {
     },
     /// `tl_exchange_deadline` must be a positive finite duration.
     NonPositiveExchangeDeadline(f64),
+    /// Watt overrides must be positive and finite.
+    NonPositiveWatts { key: &'static str, watts: f64 },
+    /// When both watt overrides are set, idle must not exceed active
+    /// (the dynamic power `active − idle` would go negative).
+    IdleExceedsActiveWatts { idle: f64, active: f64 },
 }
 
 impl fmt::Display for InvalidConfig {
@@ -434,6 +465,15 @@ impl fmt::Display for InvalidConfig {
                 write!(
                     f,
                     "tl_exchange_deadline must be positive and finite, got {v}"
+                )
+            }
+            InvalidConfig::NonPositiveWatts { key, watts } => {
+                write!(f, "{key} must be positive and finite, got {watts}")
+            }
+            InvalidConfig::IdleExceedsActiveWatts { idle, active } => {
+                write!(
+                    f,
+                    "tl_idle_watts ({idle}) must not exceed tl_active_watts ({active})"
                 )
             }
         }
@@ -569,6 +609,20 @@ fn parse_line(cfg: &mut TeaConfig, line: &str) -> Result<(), ErrorKind> {
         "tl_exchange_deadline" => cfg.tl_exchange_deadline = parse_num(key, value)?,
         "tl_elastic_regrid" => {
             cfg.tl_elastic_regrid = match value {
+                "on" | "true" | "1" => true,
+                "off" | "false" | "0" => false,
+                _ => {
+                    return Err(ErrorKind::BadValue {
+                        key: key.to_string(),
+                        value: value.to_string(),
+                    })
+                }
+            };
+        }
+        "tl_idle_watts" => cfg.tl_idle_watts = Some(parse_num(key, value)?),
+        "tl_active_watts" => cfg.tl_active_watts = Some(parse_num(key, value)?),
+        "tl_power_model" => {
+            cfg.tl_power_model = match value {
                 "on" | "true" | "1" => true,
                 "off" | "false" | "0" => false,
                 _ => {
@@ -1087,9 +1141,106 @@ tl_ppcg_inner_steps=12
                 ranks: 3,
             },
             InvalidConfig::NonPositiveExchangeDeadline(0.0),
+            InvalidConfig::NonPositiveWatts {
+                key: "tl_idle_watts",
+                watts: -5.0,
+            },
+            InvalidConfig::IdleExceedsActiveWatts {
+                idle: 300.0,
+                active: 200.0,
+            },
         ] {
             assert!(!err.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn power_keys_parse_validate_and_reject_junk() {
+        let cfg =
+            TeaConfig::parse("tl_power_model=off\ntl_idle_watts=42.5\ntl_active_watts=180.0\n")
+                .unwrap();
+        assert!(!cfg.tl_power_model);
+        assert_eq!(cfg.tl_idle_watts, Some(42.5));
+        assert_eq!(cfg.tl_active_watts, Some(180.0));
+        assert!(cfg.validate().is_ok());
+
+        // defaults: power model on, no watt overrides
+        let d = TeaConfig::default();
+        assert!(d.tl_power_model);
+        assert_eq!(d.tl_idle_watts, None);
+        assert_eq!(d.tl_active_watts, None);
+
+        // every truthy/falsy spelling of the switch
+        for (value, want) in [
+            ("on", true),
+            ("true", true),
+            ("1", true),
+            ("off", false),
+            ("false", false),
+            ("0", false),
+        ] {
+            let cfg = TeaConfig::parse(&format!("tl_power_model={value}\n")).unwrap();
+            assert_eq!(cfg.tl_power_model, want, "{value}");
+        }
+
+        // parser edge cases: junk values are typed BadValue errors
+        for deck in [
+            "tl_power_model=maybe\n",
+            "tl_power_model=\n",
+            "tl_idle_watts=warm\n",
+            "tl_idle_watts=\n",
+            "tl_active_watts=12W\n",
+        ] {
+            let err = TeaConfig::parse(deck).expect_err(deck);
+            assert!(
+                matches!(err.kind, ErrorKind::BadValue { .. }),
+                "{deck} must be a typed BadValue, got {err:?}"
+            );
+        }
+
+        // validation: watt overrides must be positive and finite…
+        for bad in [0.0, -70.0, f64::NAN, f64::INFINITY] {
+            let cfg = TeaConfig {
+                tl_idle_watts: Some(bad),
+                ..TeaConfig::default()
+            };
+            assert!(
+                matches!(cfg.validate(), Err(InvalidConfig::NonPositiveWatts { .. })),
+                "idle watts {bad} must be rejected"
+            );
+            let cfg = TeaConfig {
+                tl_active_watts: Some(bad),
+                ..TeaConfig::default()
+            };
+            assert!(
+                matches!(cfg.validate(), Err(InvalidConfig::NonPositiveWatts { .. })),
+                "active watts {bad} must be rejected"
+            );
+        }
+        // …and idle must not exceed active when both are set
+        let inverted = TeaConfig {
+            tl_idle_watts: Some(250.0),
+            tl_active_watts: Some(100.0),
+            ..TeaConfig::default()
+        };
+        assert!(matches!(
+            inverted.validate(),
+            Err(InvalidConfig::IdleExceedsActiveWatts { .. })
+        ));
+        // equal idle and active (a constant-power board) is allowed
+        let flat = TeaConfig {
+            tl_idle_watts: Some(150.0),
+            tl_active_watts: Some(150.0),
+            ..TeaConfig::default()
+        };
+        assert!(flat.validate().is_ok());
+
+        // the parser accepts a negative override; validate() is the gate
+        let parsed = TeaConfig::parse("tl_active_watts=-1.0\n").unwrap();
+        assert!(matches!(
+            parsed.validate(),
+            Err(InvalidConfig::NonPositiveWatts { .. })
+        ));
     }
 
     #[test]

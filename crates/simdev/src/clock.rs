@@ -2,8 +2,9 @@
 //!
 //! Each port owns one [`SimClock`]. Kernel launches, transfers and halo
 //! exchanges add seconds and bump counters; the benchmark harness reads a
-//! [`ClockSnapshot`] per run to derive runtimes (Figures 8–11) and achieved
-//! bandwidth (Figure 12).
+//! [`ClockSnapshot`] per run to derive runtimes (Figures 8–11), achieved
+//! bandwidth (Figure 12) and — through the accompanying
+//! [`EnergySnapshot`] — simulated energy-to-solution.
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -19,7 +20,7 @@ use tea_telemetry::KernelStats;
 pub struct SimClock {
     seconds: Cell<f64>,
     kernels: Cell<u64>,
-    /// Per-kernel-name count/seconds/bytes/flops profile, like the
+    /// Per-kernel-name count/seconds/bytes/flops/joules profile, like the
     /// mini-app's built-in profiler but with traffic attribution.
     by_kernel: RefCell<HashMap<&'static str, KernelStats>>,
     /// Application bytes moved by kernels (model overheads excluded) —
@@ -28,6 +29,47 @@ pub struct SimClock {
     transfers: Cell<u64>,
     transfer_bytes: Cell<u64>,
     flops: Cell<u64>,
+    /// Energy drawn by host↔device transfers (idle board draw over the
+    /// transfer window plus link energy per byte).
+    transfer_joules: Cell<f64>,
+    /// Energy drawn across host-side gaps (idle board draw).
+    idle_joules: Cell<f64>,
+    /// Partition of the simulated wall clock: kernel execution...
+    active_seconds: Cell<f64>,
+    /// ...transfer windows...
+    transfer_seconds: Cell<f64>,
+    /// ...and host-side gaps. The three sum to `seconds`.
+    idle_seconds: Cell<f64>,
+}
+
+/// Energy counters carried beside the kernel profile on every snapshot.
+///
+/// Per-kernel *active* joules live on the profile's [`KernelStats`] rows;
+/// this struct holds everything not attributable to a named kernel, plus
+/// the active/transfer/idle partition of the simulated wall clock. All
+/// counters are monotone, so [`EnergySnapshot::since`] composes exactly:
+/// the accumulators only ever grow by addition and a later snapshot minus
+/// an earlier one recovers precisely what was charged in between.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergySnapshot {
+    pub transfer_joules: f64,
+    pub idle_joules: f64,
+    pub active_seconds: f64,
+    pub transfer_seconds: f64,
+    pub idle_seconds: f64,
+}
+
+impl EnergySnapshot {
+    /// Difference `self - earlier`, component-wise.
+    pub fn since(&self, earlier: &EnergySnapshot) -> EnergySnapshot {
+        EnergySnapshot {
+            transfer_joules: self.transfer_joules - earlier.transfer_joules,
+            idle_joules: self.idle_joules - earlier.idle_joules,
+            active_seconds: self.active_seconds - earlier.active_seconds,
+            transfer_seconds: self.transfer_seconds - earlier.transfer_seconds,
+            idle_seconds: self.idle_seconds - earlier.idle_seconds,
+        }
+    }
 }
 
 /// A copy of the clock's state at one instant.
@@ -42,6 +84,8 @@ pub struct ClockSnapshot {
     /// Per-kernel profile rows, sorted by kernel name so snapshots of
     /// identical runs compare (and serialize) identically.
     pub kernel_profile: Vec<(&'static str, KernelStats)>,
+    /// Energy counters over the same interval.
+    pub energy: EnergySnapshot,
 }
 
 impl ClockSnapshot {
@@ -51,6 +95,21 @@ impl ClockSnapshot {
             return 0.0;
         }
         self.app_bytes as f64 / self.seconds / 1e9
+    }
+
+    /// Joules drawn by named kernels: the left-to-right fold over the
+    /// name-sorted profile rows. This fold order is **canonical** — every
+    /// consumer (reports, the profiler's `--validate`, the figures)
+    /// recomputes the same fold, so "per-kernel joules sum to the total"
+    /// holds bit-exactly by construction rather than up to rounding.
+    pub fn kernel_joules(&self) -> f64 {
+        self.kernel_profile.iter().map(|(_, s)| s.joules).sum()
+    }
+
+    /// Total energy over the interval: the canonical kernel fold plus
+    /// transfer and idle energy, in that fixed order.
+    pub fn total_joules(&self) -> f64 {
+        self.kernel_joules() + self.energy.transfer_joules + self.energy.idle_joules
     }
 
     /// Difference `self - earlier`, for measuring a sub-interval. The
@@ -79,6 +138,7 @@ impl ClockSnapshot {
             transfer_bytes: self.transfer_bytes - earlier.transfer_bytes,
             flops: self.flops - earlier.flops,
             kernel_profile,
+            energy: self.energy.since(&earlier.energy),
         }
     }
 }
@@ -89,20 +149,22 @@ impl SimClock {
         SimClock::default()
     }
 
-    /// Record one kernel execution, attributing time, bytes and flops
-    /// to the kernel's per-name profile row.
+    /// Record one kernel execution, attributing time, bytes, flops and
+    /// joules to the kernel's per-name profile row.
     pub fn charge_kernel_named(
         &self,
         name: &'static str,
         seconds: f64,
         app_bytes: u64,
         flops: u64,
+        joules: f64,
     ) {
+        debug_assert!(joules >= 0.0 && joules.is_finite());
         self.by_kernel
             .borrow_mut()
             .entry(name)
             .or_default()
-            .charge(seconds, app_bytes, flops);
+            .charge(seconds, app_bytes, flops, joules);
         self.charge_kernel(seconds, app_bytes, flops);
     }
 
@@ -124,27 +186,38 @@ impl SimClock {
         rows
     }
 
-    /// Record one kernel execution (unnamed).
+    /// Record one kernel execution (unnamed: time only, no energy row —
+    /// the energy-attributing path is [`SimClock::charge_kernel_named`]).
     pub fn charge_kernel(&self, seconds: f64, app_bytes: u64, flops: u64) {
         debug_assert!(seconds >= 0.0 && seconds.is_finite());
         self.seconds.set(self.seconds.get() + seconds);
+        self.active_seconds.set(self.active_seconds.get() + seconds);
         self.kernels.set(self.kernels.get() + 1);
         self.app_bytes.set(self.app_bytes.get() + app_bytes);
         self.flops.set(self.flops.get() + flops);
     }
 
     /// Record one host↔device transfer.
-    pub fn charge_transfer(&self, seconds: f64, bytes: u64) {
+    pub fn charge_transfer(&self, seconds: f64, bytes: u64, joules: f64) {
         debug_assert!(seconds >= 0.0 && seconds.is_finite());
+        debug_assert!(joules >= 0.0 && joules.is_finite());
         self.seconds.set(self.seconds.get() + seconds);
+        self.transfer_seconds
+            .set(self.transfer_seconds.get() + seconds);
         self.transfers.set(self.transfers.get() + 1);
         self.transfer_bytes.set(self.transfer_bytes.get() + bytes);
+        self.transfer_joules
+            .set(self.transfer_joules.get() + joules);
     }
 
-    /// Add raw seconds (solver-side bookkeeping such as host maths).
-    pub fn charge_host(&self, seconds: f64) {
+    /// Add raw seconds (solver-side bookkeeping such as host maths) and
+    /// the idle energy the device burned across the gap.
+    pub fn charge_host(&self, seconds: f64, joules: f64) {
         debug_assert!(seconds >= 0.0 && seconds.is_finite());
+        debug_assert!(joules >= 0.0 && joules.is_finite());
         self.seconds.set(self.seconds.get() + seconds);
+        self.idle_seconds.set(self.idle_seconds.get() + seconds);
+        self.idle_joules.set(self.idle_joules.get() + joules);
     }
 
     /// Simulated seconds elapsed.
@@ -169,6 +242,13 @@ impl SimClock {
             transfer_bytes: self.transfer_bytes.get(),
             flops: self.flops.get(),
             kernel_profile,
+            energy: EnergySnapshot {
+                transfer_joules: self.transfer_joules.get(),
+                idle_joules: self.idle_joules.get(),
+                active_seconds: self.active_seconds.get(),
+                transfer_seconds: self.transfer_seconds.get(),
+                idle_seconds: self.idle_seconds.get(),
+            },
         }
     }
 
@@ -181,6 +261,11 @@ impl SimClock {
         self.transfers.set(0);
         self.transfer_bytes.set(0);
         self.flops.set(0);
+        self.transfer_joules.set(0.0);
+        self.idle_joules.set(0.0);
+        self.active_seconds.set(0.0);
+        self.transfer_seconds.set(0.0);
+        self.idle_seconds.set(0.0);
     }
 }
 
@@ -193,8 +278,8 @@ mod tests {
         let c = SimClock::new();
         c.charge_kernel(0.5, 1000, 10);
         c.charge_kernel(0.25, 500, 5);
-        c.charge_transfer(0.1, 64);
-        c.charge_host(0.05);
+        c.charge_transfer(0.1, 64, 2.0);
+        c.charge_host(0.05, 1.0);
         let s = c.snapshot();
         assert!((s.seconds - 0.9).abs() < 1e-12);
         assert_eq!(s.kernels, 2);
@@ -202,6 +287,8 @@ mod tests {
         assert_eq!(s.transfers, 1);
         assert_eq!(s.transfer_bytes, 64);
         assert_eq!(s.flops, 15);
+        assert!((s.energy.transfer_joules - 2.0).abs() < 1e-12);
+        assert!((s.energy.idle_joules - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -214,6 +301,7 @@ mod tests {
     #[test]
     fn empty_clock_bandwidth_is_zero() {
         assert_eq!(ClockSnapshot::default().achieved_bw_gbs(), 0.0);
+        assert_eq!(ClockSnapshot::default().total_joules(), 0.0);
     }
 
     #[test]
@@ -231,15 +319,16 @@ mod tests {
     #[test]
     fn named_charges_build_a_full_profile() {
         let c = SimClock::new();
-        c.charge_kernel_named("cg_calc_w", 0.2, 600, 10);
-        c.charge_kernel_named("halo", 0.1, 100, 0);
-        c.charge_kernel_named("cg_calc_w", 0.2, 600, 10);
+        c.charge_kernel_named("cg_calc_w", 0.2, 600, 10, 40.0);
+        c.charge_kernel_named("halo", 0.1, 100, 0, 20.0);
+        c.charge_kernel_named("cg_calc_w", 0.2, 600, 10, 40.0);
         // live profile: time-ordered, cg_calc_w first
         let live = c.kernel_profile();
         assert_eq!(live[0].0, "cg_calc_w");
         assert_eq!(live[0].1.count, 2);
         assert_eq!(live[0].1.bytes, 1200);
         assert_eq!(live[0].1.flops, 20);
+        assert!((live[0].1.joules - 80.0).abs() < 1e-12);
         // snapshot profile: name-ordered, carried on the snapshot
         let snap = c.snapshot();
         let names: Vec<&str> = snap.kernel_profile.iter().map(|(n, _)| *n).collect();
@@ -250,11 +339,11 @@ mod tests {
     #[test]
     fn interval_profile_diffs_per_kernel() {
         let c = SimClock::new();
-        c.charge_kernel_named("a", 1.0, 100, 1);
-        c.charge_kernel_named("b", 1.0, 100, 1);
+        c.charge_kernel_named("a", 1.0, 100, 1, 1.0);
+        c.charge_kernel_named("b", 1.0, 100, 1, 1.0);
         let t0 = c.snapshot();
-        c.charge_kernel_named("b", 0.5, 50, 2);
-        c.charge_kernel_named("c", 0.25, 25, 3);
+        c.charge_kernel_named("b", 0.5, 50, 2, 2.0);
+        c.charge_kernel_named("c", 0.25, 25, 3, 3.0);
         let d = c.snapshot().since(&t0);
         // `a` did not run in the interval and is dropped
         let names: Vec<&str> = d.kernel_profile.iter().map(|(n, _)| *n).collect();
@@ -262,13 +351,117 @@ mod tests {
         assert_eq!(d.kernel_profile[0].1.count, 1);
         assert_eq!(d.kernel_profile[0].1.bytes, 50);
         assert_eq!(d.kernel_profile[1].1.flops, 3);
+        assert_eq!(d.kernel_profile[0].1.joules.to_bits(), 2.0f64.to_bits());
     }
 
     #[test]
     fn reset_zeroes() {
         let c = SimClock::new();
-        c.charge_kernel(1.0, 1, 1);
+        c.charge_kernel_named("k", 1.0, 1, 1, 5.0);
+        c.charge_transfer(0.5, 8, 2.0);
+        c.charge_host(0.25, 1.0);
         c.reset();
         assert_eq!(c.snapshot(), ClockSnapshot::default());
+    }
+
+    // ---- energy-accounting identities ----
+
+    #[test]
+    fn per_kernel_joules_sum_to_the_total_bit_exactly() {
+        // total_joules is *defined* as the canonical name-sorted fold
+        // plus transfer and idle energy, so the identity is structural:
+        // recomputing the same fold from the rows reproduces it to the
+        // bit, including over awkward magnitudes.
+        let c = SimClock::new();
+        c.charge_kernel_named("a", 0.1, 10, 1, 0.1 + 1e-13);
+        c.charge_kernel_named("b", 0.2, 20, 2, 3.7e8);
+        c.charge_kernel_named("c", 0.3, 30, 3, 2.9e-7);
+        c.charge_transfer(0.05, 64, 0.123456789);
+        c.charge_host(0.01, 0.987654321);
+        let snap = c.snapshot();
+        let fold: f64 = snap.kernel_profile.iter().map(|(_, s)| s.joules).sum();
+        let manual = fold + snap.energy.transfer_joules + snap.energy.idle_joules;
+        assert_eq!(manual.to_bits(), snap.total_joules().to_bits());
+        assert_eq!(fold.to_bits(), snap.kernel_joules().to_bits());
+    }
+
+    #[test]
+    fn energy_since_deltas_are_exact() {
+        // Dyadic charges accumulate without rounding, so the interval
+        // delta must recover exactly what was charged inside it and
+        // adjacent intervals must compose back to the whole.
+        let c = SimClock::new();
+        c.charge_kernel_named("k", 0.25, 10, 1, 4.0);
+        c.charge_transfer(0.125, 8, 2.0);
+        let t0 = c.snapshot();
+        c.charge_kernel_named("k", 0.5, 20, 2, 8.0);
+        c.charge_host(0.0625, 1.0);
+        let t1 = c.snapshot();
+        c.charge_transfer(0.25, 16, 16.0);
+        let t2 = c.snapshot();
+
+        let d10 = t1.since(&t0);
+        assert_eq!(d10.energy.idle_joules.to_bits(), 1.0f64.to_bits());
+        assert_eq!(d10.energy.transfer_joules.to_bits(), 0.0f64.to_bits());
+        assert_eq!(d10.kernel_joules().to_bits(), 8.0f64.to_bits());
+        let d21 = t2.since(&t1);
+        assert_eq!(d21.energy.transfer_joules.to_bits(), 16.0f64.to_bits());
+        // composition: (t1−t0) + (t2−t1) covers exactly t2−t0
+        let d20 = t2.since(&t0);
+        assert_eq!(
+            (d10.total_joules() + d21.total_joules()).to_bits(),
+            d20.total_joules().to_bits()
+        );
+        assert_eq!(
+            (d10.energy.active_seconds + d21.energy.active_seconds).to_bits(),
+            d20.energy.active_seconds.to_bits()
+        );
+    }
+
+    #[test]
+    fn zero_joule_charges_yield_zero_energy() {
+        // A zero-watt power model charges 0 J everywhere; the snapshot
+        // must report exactly zero, not an accumulation of roundoff.
+        let c = SimClock::new();
+        for _ in 0..1000 {
+            c.charge_kernel_named("k", 0.001, 100, 1, 0.0);
+            c.charge_transfer(0.0005, 8, 0.0);
+            c.charge_host(0.0001, 0.0);
+        }
+        let snap = c.snapshot();
+        assert_eq!(snap.total_joules(), 0.0);
+        assert_eq!(snap.kernel_joules(), 0.0);
+        assert_eq!(snap.energy.transfer_joules, 0.0);
+        assert_eq!(snap.energy.idle_joules, 0.0);
+        assert!(snap.seconds > 0.0, "time still advanced");
+    }
+
+    #[test]
+    fn active_transfer_and_idle_partition_the_wall_clock() {
+        // Dyadic durations: the partition holds bit-exactly...
+        let c = SimClock::new();
+        c.charge_kernel_named("k", 0.5, 10, 1, 1.0);
+        c.charge_kernel(0.25, 5, 0);
+        c.charge_transfer(0.125, 8, 1.0);
+        c.charge_host(0.0625, 1.0);
+        let e = c.snapshot().energy;
+        assert_eq!(e.active_seconds.to_bits(), 0.75f64.to_bits());
+        assert_eq!(e.transfer_seconds.to_bits(), 0.125f64.to_bits());
+        assert_eq!(e.idle_seconds.to_bits(), 0.0625f64.to_bits());
+        assert_eq!(
+            (e.active_seconds + e.transfer_seconds + e.idle_seconds).to_bits(),
+            c.snapshot().seconds.to_bits()
+        );
+        // ...and on arbitrary durations the buckets cover the clock to
+        // within accumulation roundoff.
+        let c = SimClock::new();
+        for i in 1..=100u64 {
+            c.charge_kernel(1e-3 / i as f64, 1, 0);
+            c.charge_transfer(1e-4 / i as f64, 1, 0.0);
+            c.charge_host(1e-5 / i as f64, 0.0);
+        }
+        let s = c.snapshot();
+        let covered = s.energy.active_seconds + s.energy.transfer_seconds + s.energy.idle_seconds;
+        assert!((covered - s.seconds).abs() < 1e-12 * s.seconds.max(1.0));
     }
 }

@@ -115,6 +115,41 @@ impl CostModel {
         let bw = self.device.pcie_bw_gbs * 1e9 * self.model.transfer_efficiency;
         self.device.offload_latency_us * self.device.overhead_scale * 1e-6 + bytes as f64 / bw
     }
+
+    /// Average board power in watts while `p` runs:
+    ///
+    /// ```text
+    /// W(kernel) = idle + (active − idle) · utilisation(traits) · energy_factor(model, device)
+    /// ```
+    ///
+    /// Utilisation is 1.0 for streaming/stencil kernels (the memory system
+    /// saturates, which is what the active figure is calibrated to) and
+    /// reduced for reduction kernels, whose tree/readback phases stall the
+    /// memory pipes. Energy is *derived from* the time stream and never
+    /// feeds back into [`CostModel::kernel_seconds`].
+    pub fn kernel_watts(&self, p: &KernelProfile) -> f64 {
+        let utilisation = if p.traits.reduction { 0.8 } else { 1.0 };
+        let dynamic = (self.device.active_watts - self.device.idle_watts)
+            * utilisation
+            * self.model.energy_factor.get(self.device.kind);
+        self.device.idle_watts + dynamic
+    }
+
+    /// Joules drawn while `p` runs for `seconds`.
+    pub fn kernel_joules(&self, p: &KernelProfile, seconds: f64) -> f64 {
+        self.kernel_watts(p) * seconds
+    }
+
+    /// Joules drawn by one host↔device transfer: board idle draw over the
+    /// transfer window plus link energy per byte moved.
+    pub fn transfer_joules(&self, bytes: u64, seconds: f64) -> f64 {
+        self.device.idle_watts * seconds + bytes as f64 * self.device.transfer_pj_per_byte * 1e-12
+    }
+
+    /// Joules drawn across a host-side gap of `seconds` (idle board draw).
+    pub fn idle_joules(&self, seconds: f64) -> f64 {
+        self.device.idle_watts * seconds
+    }
 }
 
 /// A cost model bound to a clock: the object every port charges through.
@@ -153,8 +188,9 @@ impl SimContext {
     pub fn launch(&self, profile: &KernelProfile) -> f64 {
         let t0 = self.clock.seconds();
         let t = self.cost.kernel_seconds(profile);
+        let joules = self.cost.kernel_joules(profile, t);
         self.clock
-            .charge_kernel_named(profile.name, t, profile.bytes(), profile.flops);
+            .charge_kernel_named(profile.name, t, profile.bytes(), profile.flops, joules);
         self.telemetry
             .complete_span("kernel", format_args!("{}", profile.name), t0, t0 + t);
         t
@@ -164,10 +200,18 @@ impl SimContext {
     pub fn transfer(&self, bytes: u64) -> f64 {
         let t0 = self.clock.seconds();
         let t = self.cost.transfer_seconds(bytes);
-        self.clock.charge_transfer(t, bytes);
+        let joules = self.cost.transfer_joules(bytes, t);
+        self.clock.charge_transfer(t, bytes, joules);
         self.telemetry
             .complete_span("transfer", format_args!("transfer {bytes}B"), t0, t0 + t);
         t
+    }
+
+    /// Charge host-side seconds (solver bookkeeping between launches) and
+    /// the idle energy the device burns across the gap.
+    pub fn host(&self, seconds: f64) {
+        self.clock
+            .charge_host(seconds, self.cost.idle_joules(seconds));
     }
 
     /// Device kind shortcut.
@@ -360,6 +404,86 @@ mod tests {
             traced.launch(&p);
         }
         assert_eq!(plain.clock.snapshot(), traced.clock.snapshot());
+    }
+
+    #[test]
+    fn kernel_watts_lands_between_idle_and_active() {
+        let ctx = gpu_ctx(ModelProfile::ideal("CUDA"));
+        let streaming = KernelProfile::streaming("k", 1_000_000, 2, 1, 2);
+        let w = ctx.cost.kernel_watts(&streaming);
+        // utilisation 1, energy_factor 1 ⇒ exactly the active figure
+        assert_eq!(w, ctx.cost.device.active_watts);
+        assert!(w > ctx.cost.device.idle_watts);
+    }
+
+    #[test]
+    fn reductions_draw_less_power_than_streaming() {
+        // Reduction trees stall the memory pipes, so the board draws less
+        // than when a streaming kernel saturates them.
+        let ctx = gpu_ctx(ModelProfile::ideal("CUDA"));
+        let streaming = KernelProfile::streaming("a", 1_000_000, 2, 0, 2);
+        let red = KernelProfile::reduction("dot", 1_000_000, 2, 2);
+        assert!(ctx.cost.kernel_watts(&red) < ctx.cost.kernel_watts(&streaming));
+        assert!(ctx.cost.kernel_watts(&red) > ctx.cost.device.idle_watts);
+    }
+
+    #[test]
+    fn energy_factor_scales_dynamic_power_only() {
+        let mut profile = ModelProfile::ideal("OpenCL");
+        profile.energy_factor = crate::model::PerKind::uniform(1.05);
+        let busy = CostModel::new(devices::cpu_xeon_e5_2670_x2(), profile, vec![], 1);
+        let base = CostModel::new(
+            devices::cpu_xeon_e5_2670_x2(),
+            ModelProfile::ideal("x"),
+            vec![],
+            1,
+        );
+        let p = KernelProfile::streaming("k", 1_000_000, 2, 1, 2);
+        let idle = busy.device.idle_watts;
+        let expect = idle + (busy.device.active_watts - idle) * 1.05;
+        assert!((busy.kernel_watts(&p) - expect).abs() < 1e-12);
+        assert!(busy.kernel_watts(&p) > base.kernel_watts(&p));
+    }
+
+    #[test]
+    fn zero_watt_device_draws_zero_joules() {
+        let device = devices::unpowered(devices::gpu_k20x());
+        let ctx = SimContext::new(device, ModelProfile::ideal("CUDA"), vec![], 1);
+        let p = KernelProfile::streaming("k", 1_000_000, 2, 1, 2);
+        ctx.launch(&p);
+        ctx.transfer(1 << 20);
+        ctx.host(0.5);
+        let snap = ctx.clock.snapshot();
+        assert!(snap.seconds > 0.0, "time is unaffected by the power model");
+        assert_eq!(snap.total_joules(), 0.0);
+    }
+
+    #[test]
+    fn launches_charge_energy_consistent_with_the_power_model() {
+        let ctx = gpu_ctx(ModelProfile::ideal("CUDA"));
+        let p = KernelProfile::streaming("k", 1_000_000, 2, 1, 2);
+        let t = ctx.launch(&p);
+        let tt = ctx.transfer(1 << 20);
+        ctx.host(0.25);
+        let snap = ctx.clock.snapshot();
+        let kernel_j = ctx.cost.kernel_watts(&p) * t;
+        assert_eq!(snap.kernel_joules().to_bits(), kernel_j.to_bits());
+        let transfer_j = ctx.cost.transfer_joules(1 << 20, tt);
+        assert_eq!(snap.energy.transfer_joules.to_bits(), transfer_j.to_bits());
+        let idle_j = ctx.cost.idle_joules(0.25);
+        assert_eq!(snap.energy.idle_joules.to_bits(), idle_j.to_bits());
+        assert!(snap.total_joules() > 0.0);
+    }
+
+    #[test]
+    fn transfer_energy_includes_link_energy_per_byte() {
+        let ctx = gpu_ctx(ModelProfile::ideal("CUDA"));
+        let bytes = 1u64 << 30;
+        let t = ctx.cost.transfer_seconds(bytes);
+        let j = ctx.cost.transfer_joules(bytes, t);
+        let link = bytes as f64 * ctx.cost.device.transfer_pj_per_byte * 1e-12;
+        assert!((j - (ctx.cost.device.idle_watts * t + link)).abs() < 1e-9);
+        assert!(link > 0.0, "offload devices pay link energy");
     }
 
     #[test]

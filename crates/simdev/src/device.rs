@@ -69,6 +69,19 @@ pub struct DeviceSpec {
     /// meshes to emulate the paper's convergence-mesh regime, where those
     /// overheads are amortised (§5).
     pub overhead_scale: f64,
+    /// Board power at rest, watts: what the device draws while the host
+    /// does bookkeeping or a transfer is in flight. Energy accounting is
+    /// derived from the simulated time stream and never feeds back into
+    /// kernel times, so these figures are numerically inert (see
+    /// EXPERIMENTS.md for the calibration sources).
+    pub idle_watts: f64,
+    /// Board power under a bandwidth-bound kernel, watts. The per-kernel
+    /// energy rule charges `idle + (active − idle) · utilisation(kind) ·
+    /// energy_factor(model)` watts over the kernel's simulated seconds.
+    pub active_watts: f64,
+    /// Link energy per byte moved over the host↔device interconnect,
+    /// picojoules (zero for the CPU: no explicit transfers).
+    pub transfer_pj_per_byte: f64,
 }
 
 impl DeviceSpec {
@@ -123,6 +136,9 @@ pub mod devices {
             branch_penalty: 1.05,
             novec_penalty: 1.2, // AVX vs scalar on streaming loops
             overhead_scale: 1.0,
+            idle_watts: 70.0,    // 2 sockets at ~35 W package idle
+            active_watts: 230.0, // 2 × 115 W TDP held near the DRAM wall
+            transfer_pj_per_byte: 0.0,
         }
     }
 
@@ -145,6 +161,9 @@ pub mod devices {
             branch_penalty: 1.03,    // a uniform halo guard barely diverges
             novec_penalty: 1.0,      // SIMT: no scalar fallback cliff
             overhead_scale: 1.0,
+            idle_watts: 25.0,            // K20-class board idle
+            active_watts: 200.0,         // bandwidth-bound draw under the 235 W TDP
+            transfer_pj_per_byte: 150.0, // PCIe gen2 link energy
         }
     }
 
@@ -167,6 +186,9 @@ pub mod devices {
             branch_penalty: 2.1,     // in-order, masked-vector conditionals
             novec_penalty: 2.4,      // scalar code wastes 8-wide vectors
             overhead_scale: 1.0,
+            idle_watts: 105.0,   // KNC idles hot: 60 ring-stop cores + GDDR5
+            active_watts: 215.0, // near the 225 W TDP when streaming
+            transfer_pj_per_byte: 150.0, // PCIe gen2 link energy
         }
     }
 
@@ -202,7 +224,28 @@ pub mod devices {
             branch_penalty: 1.1,
             novec_penalty: 1.2,
             overhead_scale: 1.0,
+            idle_watts: if matches!(kind, DeviceKind::Cpu) {
+                60.0
+            } else {
+                30.0
+            },
+            active_watts: 200.0,
+            transfer_pj_per_byte: if matches!(kind, DeviceKind::Cpu) {
+                0.0
+            } else {
+                150.0
+            },
         }
+    }
+
+    /// `device` with every power-model parameter zeroed: kernels, transfers
+    /// and host gaps all charge zero joules, which the energy-inertness
+    /// suite uses to prove the accounting never feeds back into time.
+    pub fn unpowered(mut device: DeviceSpec) -> DeviceSpec {
+        device.idle_watts = 0.0;
+        device.active_watts = 0.0;
+        device.transfer_pj_per_byte = 0.0;
+        device
     }
 }
 
@@ -260,5 +303,43 @@ mod tests {
         let d = devices::custom("hbm-thing", DeviceKind::Accelerator, 400.0);
         assert_eq!(d.stream_bw_gbs, 400.0);
         assert!(d.is_offload());
+        assert!(d.transfer_pj_per_byte > 0.0, "offload links cost energy");
+        assert_eq!(
+            devices::custom("host", DeviceKind::Cpu, 100.0).transfer_pj_per_byte,
+            0.0
+        );
+    }
+
+    #[test]
+    fn power_figures_are_plausible() {
+        for d in devices::paper_devices() {
+            assert!(
+                d.idle_watts > 0.0 && d.idle_watts < d.active_watts,
+                "{}: idle must sit strictly below active draw",
+                d.name
+            );
+            assert_eq!(
+                d.transfer_pj_per_byte > 0.0,
+                d.is_offload(),
+                "{}: only offload devices pay link energy",
+                d.name
+            );
+        }
+        // the calibration anchors recorded in EXPERIMENTS.md
+        assert_eq!(devices::cpu_xeon_e5_2670_x2().active_watts, 230.0);
+        assert_eq!(devices::gpu_k20x().active_watts, 200.0);
+        assert_eq!(devices::knc_xeon_phi().active_watts, 215.0);
+        assert_eq!(devices::knc_xeon_phi().idle_watts, 105.0);
+    }
+
+    #[test]
+    fn unpowered_zeroes_every_power_parameter() {
+        let d = devices::unpowered(devices::gpu_k20x());
+        assert_eq!(d.idle_watts, 0.0);
+        assert_eq!(d.active_watts, 0.0);
+        assert_eq!(d.transfer_pj_per_byte, 0.0);
+        // nothing else moved
+        assert_eq!(d.stream_bw_gbs, 180.1);
+        assert_eq!(d.launch_overhead_us, 7.0);
     }
 }

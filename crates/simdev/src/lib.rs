@@ -26,6 +26,19 @@
 //! measurements; the *mechanism* generalises to new devices and models
 //! (see `examples/custom_device.rs`).
 //!
+//! A deterministic **power model** rides on top of the time stream:
+//!
+//! ```text
+//! W(kernel)   = idle + (active − idle) · utilisation(traits) · energy_factor(model, device)
+//! J(kernel)   = W(kernel) · t(kernel)
+//! J(transfer) = idle · t(transfer) + bytes · pJ/B · 1e-12
+//! J(idle gap) = idle · t(gap)
+//! ```
+//!
+//! Energy is *derived from* the simulated times and bytes and never feeds
+//! back into them, so enabling or disabling the power model leaves every
+//! kernel time — and therefore every numerical result — bit-identical.
+//!
 //! ## Example
 //!
 //! ```
@@ -46,7 +59,7 @@ pub mod kernel;
 pub mod model;
 pub mod quirk;
 
-pub use clock::{ClockSnapshot, SimClock};
+pub use clock::{ClockSnapshot, EnergySnapshot, SimClock};
 pub use cost::{CostModel, SimContext};
 pub use device::{devices, DeviceKind, DeviceSpec};
 pub use kernel::{KernelProfile, KernelTraits};

@@ -82,6 +82,12 @@ pub struct ModelProfile {
     /// meaningful with [`Scheduler::WorkStealing`]; reproduces the OpenCL
     /// CPU variance of §4.1.
     pub run_jitter: f64,
+    /// Scale on the *dynamic* power (active − idle watts) the model's
+    /// generated code draws while a kernel runs. 1.0 for code that keeps
+    /// the memory system as busy as the tuned baseline; > 1 for runtimes
+    /// that burn host cycles alongside the kernel (busy-wait polling,
+    /// offload daemons). Energy only — never feeds back into time.
+    pub energy_factor: PerKind,
 }
 
 impl ModelProfile {
@@ -98,6 +104,7 @@ impl ModelProfile {
             scheduler: Scheduler::Static,
             offload_on_acc: false,
             run_jitter: 0.0,
+            energy_factor: PerKind::uniform(1.0),
         }
     }
 }
@@ -126,5 +133,6 @@ mod tests {
         assert_eq!(p.launch_overhead_us.get(DeviceKind::Gpu), 0.0);
         assert!(p.vectorizes);
         assert_eq!(p.run_jitter, 0.0);
+        assert_eq!(p.energy_factor.get(DeviceKind::Accelerator), 1.0);
     }
 }

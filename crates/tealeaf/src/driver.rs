@@ -22,9 +22,28 @@ pub fn run_simulation_seeded(
     seed: u64,
 ) -> Result<RunReport, PortError> {
     let problem = Problem::from_config(config)?;
+    let device = powered_device(device, config);
     let mut port = make_port(model, device.clone(), &problem, seed)?;
-    let report = drive(port.as_mut(), &problem, device, config);
+    let report = drive(port.as_mut(), &problem, &device, config);
     Ok(report)
+}
+
+/// Apply the deck's power-model settings to `device`: `tl_power_model off`
+/// zeroes every power parameter (energy reads exactly 0 J; times are
+/// untouched either way), and `tl_idle_watts` / `tl_active_watts` override
+/// the calibrated board figures.
+pub fn powered_device(device: &DeviceSpec, config: &TeaConfig) -> DeviceSpec {
+    if !config.tl_power_model {
+        return simdev::devices::unpowered(device.clone());
+    }
+    let mut device = device.clone();
+    if let Some(idle) = config.tl_idle_watts {
+        device.idle_watts = idle;
+    }
+    if let Some(active) = config.tl_active_watts {
+        device.active_watts = active;
+    }
+    device
 }
 
 /// Default seed for reproducible runs.
@@ -52,9 +71,10 @@ pub fn run_simulation_traced(
     sink: TelemetrySink,
 ) -> Result<RunReport, PortError> {
     let problem = Problem::from_config(config)?;
+    let device = powered_device(device, config);
     let mut port = make_port(model, device.clone(), &problem, seed)?;
     port.context_mut().set_telemetry(sink);
-    Ok(drive(port.as_mut(), &problem, device, config))
+    Ok(drive(port.as_mut(), &problem, &device, config))
 }
 
 /// Run one already-constructed port through the timestep loop. Exposed so
@@ -198,6 +218,50 @@ mod tests {
             "different seed, different jitter"
         );
         assert_eq!(a.summary, c.summary, "numerics independent of jitter");
+    }
+
+    #[test]
+    fn runs_report_positive_energy_by_default() {
+        let device = devices::gpu_k20x();
+        let report = run_simulation(ModelId::Cuda, &device, &config()).unwrap();
+        assert!(report.joules_per_solve() > 0.0);
+        assert!(report.avg_watts() > device.idle_watts);
+        assert!(report.avg_watts() <= device.active_watts + 1e-9);
+        // the canonical fold reproduces the headline number to the bit
+        let fold: f64 = report.kernel_joules().iter().map(|(_, j)| j).sum();
+        let total = fold + report.sim.energy.transfer_joules + report.sim.energy.idle_joules;
+        assert_eq!(total.to_bits(), report.joules_per_solve().to_bits());
+    }
+
+    #[test]
+    fn power_model_off_zeroes_energy_and_nothing_else() {
+        let device = devices::gpu_k20x();
+        let on = run_simulation(ModelId::Cuda, &device, &config()).unwrap();
+        let mut cfg = config();
+        cfg.tl_power_model = false;
+        let off = run_simulation(ModelId::Cuda, &device, &cfg).unwrap();
+        assert_eq!(off.joules_per_solve(), 0.0);
+        assert!(on.joules_per_solve() > 0.0);
+        // energy is inert: identical times, iterations and numerics
+        assert_eq!(on.sim.seconds.to_bits(), off.sim.seconds.to_bits());
+        assert_eq!(on.total_iterations, off.total_iterations);
+        assert_eq!(on.summary, off.summary);
+    }
+
+    #[test]
+    fn watt_overrides_rescale_reported_energy() {
+        let device = devices::cpu_xeon_e5_2670_x2();
+        let mut cfg = config();
+        cfg.tl_idle_watts = Some(10.0);
+        cfg.tl_active_watts = Some(20.0);
+        let low = run_simulation(ModelId::Serial, &device, &cfg).unwrap();
+        cfg.tl_idle_watts = Some(100.0);
+        cfg.tl_active_watts = Some(200.0);
+        let high = run_simulation(ModelId::Serial, &device, &cfg).unwrap();
+        // watts scaled ×10 on identical runs ⇒ joules scale ×10
+        let ratio = high.joules_per_solve() / low.joules_per_solve();
+        assert!((ratio - 10.0).abs() < 1e-9, "ratio={ratio}");
+        assert_eq!(low.sim.seconds.to_bits(), high.sim.seconds.to_bits());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use simdev::{ClockSnapshot, DeviceSpec, KernelStats};
 use tea_core::config::SolverKind;
 use tea_core::summary::Summary;
-use tea_telemetry::export::profile_table;
+use tea_telemetry::export::{energy_table, profile_table};
 
 use crate::model_id::ModelId;
 use crate::resilience::{RecoveryAction, RecoveryEvent, SolverHealth};
@@ -73,6 +73,61 @@ impl RunReport {
             .iter()
             .map(|(name, stats)| (*name, stats.bw_gbs() / device.stream_bw_gbs))
             .collect()
+    }
+
+    /// Total simulated energy-to-solution in joules — the canonical fold:
+    /// name-sorted per-kernel joules summed left to right, plus transfer
+    /// and idle energy. Every consumer that claims "per-kernel joules sum
+    /// to the total" recomputes this same fold, so the identity holds
+    /// bit-exactly.
+    pub fn joules_per_solve(&self) -> f64 {
+        self.sim.total_joules()
+    }
+
+    /// Average simulated board power over the run, in watts.
+    pub fn avg_watts(&self) -> f64 {
+        if self.sim.seconds <= 0.0 {
+            return 0.0;
+        }
+        self.joules_per_solve() / self.sim.seconds
+    }
+
+    /// Energy-delay product in J·s — the figure of merit that punishes
+    /// trading a little energy for a lot of runtime (and vice versa).
+    pub fn energy_delay_product(&self) -> f64 {
+        self.joules_per_solve() * self.sim.seconds
+    }
+
+    /// Per-kernel joules rows (name-sorted, as carried on the snapshot).
+    pub fn kernel_joules(&self) -> Vec<(&str, f64)> {
+        self.sim
+            .kernel_profile
+            .iter()
+            .map(|(name, stats)| (*name, stats.joules))
+            .collect()
+    }
+
+    /// Render the per-kernel energy budget as an aligned table, sorted by
+    /// joules and truncated to the `top` hottest kernels (0 = all), with
+    /// transfer/idle energy and the total as footer rows.
+    pub fn render_energy(&self, top: usize) -> String {
+        let rows = self.kernel_rows();
+        let title = format!(
+            "{} · {} · {} · {}×{} · energy",
+            self.model.label(),
+            self.device,
+            self.solver.name(),
+            self.x_cells,
+            self.y_cells
+        );
+        energy_table(
+            &title,
+            &rows,
+            self.sim.energy.transfer_joules,
+            self.sim.energy.idle_joules,
+            top,
+        )
+        .render()
     }
 
     /// Render the per-kernel profile as an aligned table, time-ordered
@@ -151,6 +206,7 @@ mod tests {
                             seconds: 1.5,
                             bytes: 270_000_000_000,
                             flops: 1 << 29,
+                            joules: 300.0,
                         },
                     ),
                     (
@@ -160,9 +216,17 @@ mod tests {
                             seconds: 0.5,
                             bytes: 30_000_000_000,
                             flops: 0,
+                            joules: 100.0,
                         },
                     ),
                 ],
+                energy: simdev::EnergySnapshot {
+                    transfer_joules: 8.0,
+                    idle_joules: 2.0,
+                    active_seconds: 2.0,
+                    transfer_seconds: 0.0,
+                    idle_seconds: 0.0,
+                },
             },
             wall_seconds: 0.5,
             eigenvalues: None,
@@ -211,6 +275,38 @@ mod tests {
         // top=1 drops the cooler kernel
         let short = r.render_profile(&device, 1);
         assert!(!short.contains("halo"), "{short}");
+    }
+
+    #[test]
+    fn energy_metrics_derive_from_the_snapshot() {
+        let r = report();
+        // canonical fold: 300 + 100 kernel J, + 8 transfer + 2 idle
+        assert_eq!(r.joules_per_solve().to_bits(), 410.0f64.to_bits());
+        assert!((r.avg_watts() - 205.0).abs() < 1e-12);
+        assert!((r.energy_delay_product() - 820.0).abs() < 1e-9);
+        let rows = r.kernel_joules();
+        assert_eq!(rows, vec![("cg_calc_w", 300.0), ("halo", 100.0)]);
+        // the identity the profiler's --validate asserts: recomputing the
+        // fold from the rows reproduces the headline number to the bit
+        let fold: f64 = rows.iter().map(|(_, j)| j).sum();
+        let total = fold + r.sim.energy.transfer_joules + r.sim.energy.idle_joules;
+        assert_eq!(total.to_bits(), r.joules_per_solve().to_bits());
+    }
+
+    #[test]
+    fn energy_table_renders_budget_rows() {
+        let r = report();
+        let text = r.render_energy(0);
+        let w = text.find("cg_calc_w").expect("cg_calc_w row");
+        let h = text.find("halo").expect("halo row");
+        assert!(w < h, "hotter kernel first:\n{text}");
+        assert!(text.contains("(transfers)"), "{text}");
+        assert!(text.contains("(idle)"), "{text}");
+        assert!(text.contains("total"), "{text}");
+        // top=1 drops the cooler kernel but keeps the budget footer
+        let short = r.render_energy(1);
+        assert!(!short.contains("halo"), "{short}");
+        assert!(short.contains("total"), "{short}");
     }
 
     #[test]

@@ -198,6 +198,129 @@ pub fn profile_table(
     table
 }
 
+/// Render a per-kernel energy table: calls, seconds, joules, share of
+/// total energy and average power draw, hottest (most joules) kernel
+/// first. `transfer_joules` and `idle_joules` append as footer rows so
+/// the table accounts for the whole budget; the final `total` row is
+/// the same left-to-right fold the `--validate` check recomputes.
+pub fn energy_table(
+    title: &str,
+    rows: &[(&str, KernelStats)],
+    transfer_joules: f64,
+    idle_joules: f64,
+    top: usize,
+) -> Table {
+    let kernel_total: f64 = rows.iter().map(|(_, s)| s.joules).sum();
+    let total = kernel_total + transfer_joules + idle_joules;
+    let mut sorted: Vec<(&str, KernelStats)> = rows.to_vec();
+    sorted.sort_by(|a, b| {
+        b.1.joules
+            .partial_cmp(&a.1.joules)
+            .expect("finite kernel energies")
+            .then_with(|| a.0.cmp(b.0))
+    });
+    if top > 0 {
+        sorted.truncate(top);
+    }
+    let mut table = Table::new(title, &["kernel", "calls", "seconds", "J", "J%", "avg W"]);
+    let share = |j: f64| fmt_pct(if total > 0.0 { j / total } else { 0.0 });
+    for (name, stats) in sorted {
+        table.row(&[
+            name.to_string(),
+            stats.count.to_string(),
+            fmt_secs(stats.seconds),
+            format!("{:.6}", stats.joules),
+            share(stats.joules),
+            format!("{:.1}", stats.avg_watts()),
+        ]);
+    }
+    table.row(&[
+        "(transfers)".to_string(),
+        String::new(),
+        String::new(),
+        format!("{transfer_joules:.6}"),
+        share(transfer_joules),
+        String::new(),
+    ]);
+    table.row(&[
+        "(idle)".to_string(),
+        String::new(),
+        String::new(),
+        format!("{idle_joules:.6}"),
+        share(idle_joules),
+        String::new(),
+    ]);
+    table.row(&[
+        "total".to_string(),
+        String::new(),
+        String::new(),
+        format!("{total:.6}"),
+        fmt_pct(if total > 0.0 { 1.0 } else { 0.0 }),
+        String::new(),
+    ]);
+    table
+}
+
+/// Render per-kernel energy rows as JSONL `"ev":"energy"` records, in
+/// name order, closing with one `"ev":"energy_total"` summary record.
+/// Appended after the span stream so an energy-annotated trace stays
+/// line-parseable by the same validator.
+pub fn energy_to_jsonl(
+    rows: &[(&str, KernelStats)],
+    transfer_joules: f64,
+    idle_joules: f64,
+    total_joules: f64,
+) -> String {
+    let mut sorted: Vec<(&str, KernelStats)> = rows.to_vec();
+    sorted.sort_by(|a, b| a.0.cmp(b.0));
+    let mut out = String::new();
+    for (name, stats) in sorted {
+        let _ = writeln!(
+            out,
+            "{{\"ev\":\"energy\",\"kernel\":\"{}\",\"calls\":{},\"seconds\":{},\"joules\":{}}}",
+            escape_json(name),
+            stats.count,
+            stats.seconds,
+            stats.joules,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{{\"ev\":\"energy_total\",\"transfer_joules\":{transfer_joules},\
+         \"idle_joules\":{idle_joules},\"total_joules\":{total_joules}}}"
+    );
+    out
+}
+
+/// Render per-kernel energy rows as Chrome trace counter events
+/// (`"ph":"C"`), one per kernel in name order plus transfer/idle/total
+/// counters, all at ts 0 (they summarise the whole run). Returns the
+/// bare event list for splicing into a `traceEvents` array.
+pub fn energy_to_chrome_events(
+    rows: &[(&str, KernelStats)],
+    transfer_joules: f64,
+    idle_joules: f64,
+    total_joules: f64,
+) -> Vec<String> {
+    let mut sorted: Vec<(&str, KernelStats)> = rows.to_vec();
+    sorted.sort_by(|a, b| a.0.cmp(b.0));
+    let counter = |name: &str, joules: f64| {
+        format!(
+            "{{\"name\":\"energy:{}\",\"cat\":\"energy\",\"ph\":\"C\",\"ts\":0,\
+             \"pid\":0,\"tid\":0,\"args\":{{\"joules\":{joules}}}}}",
+            escape_json(name),
+        )
+    };
+    let mut events: Vec<String> = sorted
+        .iter()
+        .map(|(name, stats)| counter(name, stats.joules))
+        .collect();
+    events.push(counter("(transfers)", transfer_joules));
+    events.push(counter("(idle)", idle_joules));
+    events.push(counter("total", total_joules));
+    events
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,6 +392,7 @@ mod tests {
                     seconds: 0.1,
                     bytes: 1_000_000_000,
                     flops: 0,
+                    joules: 10.0,
                 },
             ),
             (
@@ -278,6 +402,7 @@ mod tests {
                     seconds: 0.9,
                     bytes: 90_000_000_000,
                     flops: 0,
+                    joules: 90.0,
                 },
             ),
         ];
@@ -296,10 +421,78 @@ mod tests {
             seconds: 1.0,
             bytes: 0,
             flops: 0,
+            joules: 0.0,
         };
         let rows = vec![("b", s), ("a", s)];
         let sorted = top_kernels(&rows, 0);
         assert_eq!(sorted[0].0, "a");
         assert_eq!(sorted[1].0, "b");
+    }
+
+    fn energy_rows() -> Vec<(&'static str, KernelStats)> {
+        let mut hot = KernelStats::default();
+        hot.charge(0.5, 1_000_000, 10, 120.0);
+        let mut cool = KernelStats::default();
+        cool.charge(0.25, 500_000, 5, 30.0);
+        vec![("cool_kernel", cool), ("hot_kernel", hot)]
+    }
+
+    #[test]
+    fn energy_table_sorts_by_joules_and_accounts_for_the_budget() {
+        let table = energy_table("energy", &energy_rows(), 40.0, 10.0, 0);
+        let text = table.render();
+        let hot = text.find("hot_kernel").expect("hot row");
+        let cool = text.find("cool_kernel").expect("cool row");
+        assert!(hot < cool, "most joules first:\n{text}");
+        // 120 of a 200 J budget
+        assert!(text.contains("60.0%"), "energy share:\n{text}");
+        assert!(text.contains("(transfers)"), "{text}");
+        assert!(text.contains("(idle)"), "{text}");
+        assert!(text.contains("200.000000"), "total row:\n{text}");
+        // 120 J over 0.5 s = 240 W
+        assert!(text.contains("240.0"), "average watts:\n{text}");
+    }
+
+    #[test]
+    fn energy_jsonl_parses_and_ends_with_the_total() {
+        let text = energy_to_jsonl(&energy_rows(), 40.0, 10.0, 200.0);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            json::parse(line).expect("valid JSON line");
+        }
+        assert!(lines[0].contains("\"ev\":\"energy\""));
+        assert!(lines[0].contains("cool_kernel"), "name order: {}", lines[0]);
+        assert!(lines[2].contains("\"ev\":\"energy_total\""));
+        assert!(lines[2].contains("\"total_joules\":200"));
+    }
+
+    #[test]
+    fn energy_chrome_counters_parse_with_ph_c() {
+        let events = energy_to_chrome_events(&energy_rows(), 40.0, 10.0, 200.0);
+        assert_eq!(events.len(), 5, "2 kernels + transfers + idle + total");
+        let doc = format!("{{\"traceEvents\":[{}]}}", events.join(","));
+        let value = json::parse(&doc).expect("valid chrome fragment");
+        let events = value
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("array");
+        for ev in events {
+            assert_eq!(ev.get("ph").and_then(|p| p.as_str()), Some("C"));
+            assert!(ev.get("args").is_some());
+        }
+    }
+
+    #[test]
+    fn energy_exporters_are_deterministic() {
+        let rows = energy_rows();
+        assert_eq!(
+            energy_to_jsonl(&rows, 1.0, 2.0, 3.0),
+            energy_to_jsonl(&rows, 1.0, 2.0, 3.0)
+        );
+        assert_eq!(
+            energy_to_chrome_events(&rows, 1.0, 2.0, 3.0),
+            energy_to_chrome_events(&rows, 1.0, 2.0, 3.0)
+        );
     }
 }

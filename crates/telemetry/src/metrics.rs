@@ -1,22 +1,25 @@
 //! Per-kernel metric accumulation: the unit Figure 12 decomposes to.
 
 /// Accumulated cost of one named kernel: launch count, simulated
-/// seconds, application bytes moved and floating-point operations.
+/// seconds, application bytes moved, floating-point operations and
+/// simulated joules drawn (zero until a power model charges energy).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct KernelStats {
     pub count: u64,
     pub seconds: f64,
     pub bytes: u64,
     pub flops: u64,
+    pub joules: f64,
 }
 
 impl KernelStats {
     /// Fold one launch in.
-    pub fn charge(&mut self, seconds: f64, bytes: u64, flops: u64) {
+    pub fn charge(&mut self, seconds: f64, bytes: u64, flops: u64, joules: f64) {
         self.count += 1;
         self.seconds += seconds;
         self.bytes += bytes;
         self.flops += flops;
+        self.joules += joules;
     }
 
     /// Achieved application bandwidth in GB/s over this kernel's
@@ -28,6 +31,14 @@ impl KernelStats {
         self.bytes as f64 / self.seconds / 1e9
     }
 
+    /// Average power draw in watts over this kernel's accumulated time.
+    pub fn avg_watts(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            return 0.0;
+        }
+        self.joules / self.seconds
+    }
+
     /// Difference `self - earlier` (counters are monotone, so the
     /// earlier stats of the same kernel are always component-wise ≤).
     pub fn since(&self, earlier: &KernelStats) -> KernelStats {
@@ -36,6 +47,7 @@ impl KernelStats {
             seconds: self.seconds - earlier.seconds,
             bytes: self.bytes - earlier.bytes,
             flops: self.flops - earlier.flops,
+            joules: self.joules - earlier.joules,
         }
     }
 }
@@ -45,32 +57,58 @@ mod tests {
     use super::*;
 
     #[test]
-    fn charge_accumulates_all_four_counters() {
+    fn charge_accumulates_all_five_counters() {
         let mut s = KernelStats::default();
-        s.charge(0.5, 1_000_000_000, 10);
-        s.charge(1.5, 29_000_000_000, 20);
+        s.charge(0.5, 1_000_000_000, 10, 100.0);
+        s.charge(1.5, 29_000_000_000, 20, 300.0);
         assert_eq!(s.count, 2);
         assert!((s.seconds - 2.0).abs() < 1e-12);
         assert_eq!(s.bytes, 30_000_000_000);
         assert_eq!(s.flops, 30);
+        assert!((s.joules - 400.0).abs() < 1e-12);
         assert!((s.bw_gbs() - 15.0).abs() < 1e-9);
+        assert!((s.avg_watts() - 200.0).abs() < 1e-9);
     }
 
     #[test]
     fn since_subtracts() {
         let mut s = KernelStats::default();
-        s.charge(1.0, 100, 1);
+        s.charge(1.0, 100, 1, 25.0);
         let t0 = s;
-        s.charge(0.5, 50, 2);
+        s.charge(0.5, 50, 2, 12.5);
         let d = s.since(&t0);
         assert_eq!(d.count, 1);
         assert_eq!(d.bytes, 50);
         assert_eq!(d.flops, 2);
         assert!((d.seconds - 0.5).abs() < 1e-12);
+        assert!((d.joules - 12.5).abs() < 1e-12);
     }
 
     #[test]
-    fn idle_kernel_has_zero_bandwidth() {
+    fn since_is_bit_exact_on_dyadic_charges() {
+        // Dyadic values add and subtract without rounding, so interval
+        // deltas must compose exactly at the bit level.
+        let mut s = KernelStats::default();
+        s.charge(0.25, 100, 1, 4.0);
+        let t0 = s;
+        s.charge(0.5, 50, 2, 8.0);
+        let d = s.since(&t0);
+        assert_eq!(d.seconds.to_bits(), 0.5f64.to_bits());
+        assert_eq!(d.joules.to_bits(), 8.0f64.to_bits());
+    }
+
+    #[test]
+    fn idle_kernel_has_zero_bandwidth_and_power() {
         assert_eq!(KernelStats::default().bw_gbs(), 0.0);
+        assert_eq!(KernelStats::default().avg_watts(), 0.0);
+    }
+
+    #[test]
+    fn zero_joule_charges_keep_energy_at_zero() {
+        let mut s = KernelStats::default();
+        s.charge(1.0, 100, 1, 0.0);
+        s.charge(2.0, 200, 2, 0.0);
+        assert_eq!(s.joules, 0.0);
+        assert_eq!(s.avg_watts(), 0.0);
     }
 }
