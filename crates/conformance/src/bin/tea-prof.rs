@@ -19,6 +19,15 @@
 //! models diverge. `--validate` re-parses whatever was emitted and
 //! fails loudly if the trace is malformed (used by CI).
 //!
+//! `--tuned` compares the committed autotuned launch configurations
+//! against the generic per-device defaults: the deck runs twice — once
+//! with `tl_autotune=off` (every kernel charged the default
+//! work-group/team/tile/SIMD shape and its configuration-efficiency
+//! penalty) and once with the tuning registry on — and the table/JSON
+//! diffs per-kernel simulated seconds and joules. Exits 1 if the tuned
+//! configuration regresses any kernel, which is the CI gate on the
+//! registry's claim that tuned ≥ default everywhere.
+//!
 //! `--energy` switches every view to the simulated power model: the
 //! table becomes the per-kernel energy budget (joules, share of the
 //! total, average watts) with transfer/idle energy and joules-per-solve
@@ -58,6 +67,7 @@ struct Options {
     overlap: Option<(usize, usize)>,
     recovery: Option<(usize, usize)>,
     energy: bool,
+    tuned: bool,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -70,7 +80,7 @@ enum Format {
 const USAGE: &str =
     "usage: tea-prof [--deck <name>] [--model <port>] [--solver jacobi|cg|chebyshev|ppcg] \
      [--format table|json|chrome] [--top N] [--diff <port>] [--device cpu|gpu|knc] [--validate] \
-     [--overlap GXxGY] [--recovery GXxGY] [--energy]";
+     [--overlap GXxGY] [--recovery GXxGY] [--energy] [--tuned]";
 
 fn parse_solver(name: &str) -> Option<SolverKind> {
     match name {
@@ -104,6 +114,7 @@ fn parse_args(argv: &[String]) -> Result<Options, String> {
         overlap: None,
         recovery: None,
         energy: false,
+        tuned: false,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -146,6 +157,7 @@ fn parse_args(argv: &[String]) -> Result<Options, String> {
             }
             "--validate" => opts.validate = true,
             "--energy" => opts.energy = true,
+            "--tuned" => opts.tuned = true,
             "--overlap" => {
                 let v = value("--overlap")?;
                 let grid = v
@@ -188,6 +200,134 @@ fn run_traced(
         .map_err(|e| format!("{} cannot run on {}: {e}", model_name(model), device.name))?;
     let records = collector.records();
     Ok((report, records))
+}
+
+/// Run the deck with the tuning registry forced on or off.
+fn run_with_autotune(
+    model: ModelId,
+    device: &DeviceSpec,
+    deck: &str,
+    solver: Option<SolverKind>,
+    autotune: bool,
+) -> Result<RunReport, String> {
+    let text = builtin_deck(deck)
+        .ok_or_else(|| format!("no builtin deck '{deck}' (try conf_tiny or conf_small)"))?;
+    let mut cfg = deck_config(deck, text);
+    if let Some(s) = solver {
+        cfg.solver = s;
+    }
+    cfg.tl_autotune = autotune;
+    let (sink, _collector) = TelemetrySink::collecting();
+    run_simulation_traced(model, device, &cfg, TEA_DEFAULT_SEED, sink)
+        .map_err(|e| format!("{} cannot run on {}: {e}", model_name(model), device.name))
+}
+
+/// The `--tuned` mode: per-kernel untuned-vs-tuned diff of simulated
+/// seconds and joules. Returns the rendered output and whether any
+/// kernel regressed under the tuned configuration (tuned strictly slower
+/// than untuned — the registry's invariant is tuned ≥ default
+/// everywhere, so a regression means the committed registry is wrong).
+fn tuned_report(opts: &Options, device: &DeviceSpec) -> Result<(String, bool), String> {
+    let untuned = run_with_autotune(opts.model, device, &opts.deck, opts.solver, false)?;
+    let tuned = run_with_autotune(opts.model, device, &opts.deck, opts.solver, true)?;
+    let rows_u = untuned.kernel_rows();
+    let rows_t = tuned.kernel_rows();
+    let joules_u = untuned.kernel_joules();
+    let joules_t = tuned.kernel_joules();
+    let mut names: Vec<&str> = rows_u.iter().map(|(n, _)| *n).collect();
+    for (n, _) in &rows_t {
+        if !names.contains(n) {
+            names.push(n);
+        }
+    }
+    names.sort_unstable();
+    let secs = |rows: &[(&str, tea_telemetry::KernelStats)], name: &str| {
+        rows.iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| s.seconds)
+            .unwrap_or(0.0)
+    };
+    let jl = |rows: &[(&str, f64)], name: &str| {
+        rows.iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, j)| *j)
+            .unwrap_or(0.0)
+    };
+    let mut regressed = false;
+    let mut rows: Vec<(String, f64, f64, f64, f64)> = Vec::new();
+    for name in &names {
+        let (su, st) = (secs(&rows_u, name), secs(&rows_t, name));
+        let (ju, jt) = (jl(&joules_u, name), jl(&joules_t, name));
+        // Strictly-slower with headroom for the run-jitter-free charge
+        // path's last-bit wobble.
+        if st > su * (1.0 + 1e-12) {
+            regressed = true;
+        }
+        rows.push((name.to_string(), su, st, ju, jt));
+    }
+    let speedup = |u: f64, t: f64| if t > 0.0 { u / t } else { f64::INFINITY };
+    let out = match opts.format {
+        Format::Json | Format::Chrome => {
+            let mut out = String::new();
+            for (name, su, st, ju, jt) in &rows {
+                out.push_str(&format!(
+                    "{{\"kernel\":\"{name}\",\"untuned_s\":{su:e},\"tuned_s\":{st:e},\
+                     \"untuned_j\":{ju:e},\"tuned_j\":{jt:e},\"speedup\":{:.4}}}\n",
+                    speedup(*su, *st)
+                ));
+            }
+            out.push_str(&format!(
+                "{{\"kernel\":\"TOTAL\",\"untuned_s\":{:e},\"tuned_s\":{:e},\
+                 \"untuned_j\":{:e},\"tuned_j\":{:e},\"speedup\":{:.4}}}\n",
+                untuned.sim.seconds,
+                tuned.sim.seconds,
+                untuned.joules_per_solve(),
+                tuned.joules_per_solve(),
+                speedup(untuned.sim.seconds, tuned.sim.seconds)
+            ));
+            out
+        }
+        Format::Table => {
+            let mut table = Table::new(
+                &format!(
+                    "untuned vs tuned · {} · {} · {} · {}×{}",
+                    untuned.model.label(),
+                    device.name,
+                    untuned.solver.name(),
+                    untuned.x_cells,
+                    untuned.y_cells
+                ),
+                &[
+                    "kernel",
+                    "untuned",
+                    "tuned",
+                    "speedup",
+                    "untuned J",
+                    "tuned J",
+                ],
+            );
+            for (name, su, st, ju, jt) in &rows {
+                table.row(&[
+                    name.clone(),
+                    fmt_secs(*su),
+                    fmt_secs(*st),
+                    format!("{:.3}×", speedup(*su, *st)),
+                    format!("{ju:.6}"),
+                    format!("{jt:.6}"),
+                ]);
+            }
+            table.row(&[
+                "TOTAL".to_string(),
+                fmt_secs(untuned.sim.seconds),
+                fmt_secs(tuned.sim.seconds),
+                format!("{:.3}×", speedup(untuned.sim.seconds, tuned.sim.seconds)),
+                format!("{:.6}", untuned.joules_per_solve()),
+                format!("{:.6}", tuned.joules_per_solve()),
+            ]);
+            table.render()
+        }
+    };
+    Ok((out, regressed))
 }
 
 /// Check a JSONL trace: every line parses, every open span closes.
@@ -679,6 +819,25 @@ fn main() -> ExitCode {
         .device
         .clone()
         .unwrap_or_else(|| natural_device(opts.model));
+
+    if opts.tuned {
+        return match tuned_report(&opts, &device) {
+            Ok((out, regressed)) => {
+                print!("{out}");
+                if regressed {
+                    eprintln!("tuned configuration REGRESSES at least one kernel");
+                    ExitCode::from(1)
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
     let (report, records) = match run_traced(opts.model, &device, &opts.deck, opts.solver) {
         Ok(r) => r,
         Err(e) => {

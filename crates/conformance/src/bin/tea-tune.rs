@@ -1,0 +1,74 @@
+//! tea-tune — regenerate, inspect or drift-check the tuning registry.
+//!
+//! The registry (`crates/tealeaf/src/tuning_registry.txt`) holds the
+//! deterministic autotuner's best launch configuration per paper device
+//! per IR kernel (see DESIGN.md §14). Because the search is seeded and
+//! wall-clock-free, regeneration is byte-stable; CI runs `--check` so a
+//! tuner or device-table change cannot silently strand a stale registry.
+//!
+//! ```text
+//! tea-tune            print the registry that the current tuner produces
+//! tea-tune --bless    write it to the committed registry file
+//! tea-tune --check    exit 1 if the committed registry differs
+//! ```
+
+use std::process::ExitCode;
+
+use tealeaf::tune;
+
+const REGISTRY_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../tealeaf/src/tuning_registry.txt"
+);
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fresh = tune::registry_text();
+    match args.first().map(String::as_str) {
+        None => {
+            print!("{fresh}");
+            ExitCode::SUCCESS
+        }
+        Some("--bless") => {
+            if let Err(e) = std::fs::write(REGISTRY_PATH, &fresh) {
+                eprintln!("tea-tune: cannot write {REGISTRY_PATH}: {e}");
+                return ExitCode::FAILURE;
+            }
+            let rows = fresh.lines().filter(|l| !l.starts_with('#')).count();
+            println!("blessed {rows} rows -> {REGISTRY_PATH}");
+            ExitCode::SUCCESS
+        }
+        Some("--check") => {
+            let committed = match std::fs::read_to_string(REGISTRY_PATH) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("tea-tune: cannot read {REGISTRY_PATH}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if committed == fresh {
+                let rows = fresh.lines().filter(|l| !l.starts_with('#')).count();
+                println!("tuning registry up to date ({rows} rows)");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("tuning registry drifted from the deterministic search;");
+                eprintln!(
+                    "rerun: cargo run --release -p tea-conformance --bin tea-tune -- --bless"
+                );
+                for (line, (a, b)) in committed.lines().zip(fresh.lines()).enumerate() {
+                    if a != b {
+                        eprintln!("first difference at line {}:", line + 1);
+                        eprintln!("  committed: {a}");
+                        eprintln!("  fresh:     {b}");
+                        break;
+                    }
+                }
+                ExitCode::FAILURE
+            }
+        }
+        Some(other) => {
+            eprintln!("tea-tune: unknown argument {other:?} (try --bless or --check)");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -294,13 +294,13 @@ impl TeaLeafPort for LockstepPort {
         self.check();
     }
 
-    // Deliberately unfused: both ports then run `cg_calc_ur` and
-    // `cg_calc_p` as separate calls, giving two comparison points per CG
-    // tail instead of one. The fused and unfused schedules are
-    // bit-identical by the determinism contract, so this costs nothing
-    // but localization precision gained.
-    fn supports_fused_cg(&self) -> bool {
-        false
+    // Deliberately default caps (no fused launches): both ports then run
+    // `cg_calc_ur` and `cg_calc_p` as separate calls, giving two
+    // comparison points per CG tail instead of one. The fused and unfused
+    // schedules are bit-identical by the determinism contract, so this
+    // costs nothing but localization precision gained.
+    fn lowering_caps(&self) -> tealeaf::ir::LoweringCaps {
+        tealeaf::ir::LoweringCaps::default()
     }
 
     fn cheby_init(&mut self, theta: f64) {
@@ -619,8 +619,8 @@ impl TeaLeafPort for SabotagedPort {
         self.after_call();
     }
 
-    fn supports_fused_cg(&self) -> bool {
-        self.inner.supports_fused_cg()
+    fn lowering_caps(&self) -> tealeaf::ir::LoweringCaps {
+        self.inner.lowering_caps()
     }
 
     fn cg_fused_ur_p(&mut self, alpha: f64, rro: f64, preconditioner: bool) -> (f64, f64) {

@@ -1,0 +1,86 @@
+//! Pins the fusion capability of every port's lowering — the table that
+//! replaced the old per-port `supports_fused_cg` flag.
+//!
+//! Fusibility now has two independent inputs: the IR says which kernel
+//! pairs are *legal* to fuse (data-flow, identical for every port), and
+//! each port's [`LoweringCaps`] says whether its programming model can
+//! *express* a fused launch (§5 of the paper: launch overhead dominates
+//! exactly where fused launches pay). This test pins both, so a port
+//! silently changing its fusion decision — the one thing the goldens
+//! cannot see, because fusion is numerics-inert — fails conformance.
+
+use tealeaf::ir::{fusion_active, FusionKind, LoweringCaps};
+use tealeaf::ports::make_port;
+use tealeaf::{ModelId, Problem};
+
+/// Every model's pinned capability: can its lowering express a fused
+/// (tail-rides-head) kernel launch?
+const PINNED: [(ModelId, bool); 11] = [
+    (ModelId::Serial, false),
+    (ModelId::Omp3F90, true),
+    (ModelId::Omp3Cpp, true),
+    (ModelId::Omp4, false),
+    (ModelId::OpenAcc, false),
+    (ModelId::Kokkos, true),
+    (ModelId::KokkosHP, true),
+    (ModelId::Raja, false),
+    (ModelId::RajaSimd, false),
+    (ModelId::OpenCl, true),
+    (ModelId::Cuda, true),
+];
+
+#[test]
+fn every_port_reports_its_pinned_fusion_capability() {
+    let cfg = tea_core::TeaConfig::paper_problem(16);
+    let problem = Problem::from_config(&cfg).expect("valid config");
+    for (model, fused) in PINNED {
+        let device = tea_conformance::natural_device(model);
+        let port = make_port(model, device, &problem, 0).expect("natural device is supported");
+        assert_eq!(
+            port.lowering_caps(),
+            LoweringCaps {
+                fused_launch: fused
+            },
+            "{model:?}: fusion capability drifted from the pinned table"
+        );
+    }
+}
+
+#[test]
+fn fusion_decisions_follow_caps_uniformly_across_kinds() {
+    // The decision is the same single function for every fusion kind:
+    // caps gate, IR legality gates, nothing per-port remains. A capable
+    // port fuses all three shipped kinds; an incapable one fuses none.
+    let cfg = tea_core::TeaConfig::paper_problem(16);
+    let problem = Problem::from_config(&cfg).expect("valid config");
+    for (model, fused) in PINNED {
+        let device = tea_conformance::natural_device(model);
+        let port = make_port(model, device, &problem, 0).expect("natural device is supported");
+        for kind in FusionKind::ALL {
+            assert_eq!(
+                fusion_active(port.lowering_caps(), kind),
+                fused,
+                "{model:?}/{kind:?}: fusion decision must be caps × legality only"
+            );
+        }
+    }
+}
+
+#[test]
+fn capability_table_matches_the_retired_flag() {
+    // The retired `supports_fused_cg` returned true for exactly the
+    // OpenMP 3.0, Kokkos, CUDA and OpenCL lowerings. The IR refactor
+    // must not have changed the set.
+    let fused: Vec<ModelId> = PINNED.iter().filter(|(_, f)| *f).map(|(m, _)| *m).collect();
+    assert_eq!(
+        fused,
+        vec![
+            ModelId::Omp3F90,
+            ModelId::Omp3Cpp,
+            ModelId::Kokkos,
+            ModelId::KokkosHP,
+            ModelId::OpenCl,
+            ModelId::Cuda,
+        ]
+    );
+}

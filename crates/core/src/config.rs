@@ -137,6 +137,14 @@ pub struct TeaConfig {
     /// exactly 0 J; energy never feeds back into kernel times, so the
     /// numerics and simulated seconds are bit-identical either way.
     pub tl_power_model: bool,
+    /// Use the committed autotuned launch configurations (the tuning
+    /// registry). The calibrated device profiles already describe the
+    /// paper's hand-tuned codes, so the tuned configuration is the
+    /// no-penalty baseline; turning this *off* charges the generic
+    /// per-device default launch shape instead, slowing the data term of
+    /// every kernel by the tuner-measured configuration-efficiency
+    /// ratio. Numerics are bit-identical either way.
+    pub tl_autotune: bool,
     /// Override the device's calibrated idle board power, watts.
     pub tl_idle_watts: Option<f64>,
     /// Override the device's calibrated active board power, watts.
@@ -174,6 +182,7 @@ impl Default for TeaConfig {
             tl_exchange_deadline: 0.25,
             tl_elastic_regrid: true,
             tl_power_model: true,
+            tl_autotune: true,
             tl_idle_watts: None,
             tl_active_watts: None,
             states: vec![
@@ -609,6 +618,18 @@ fn parse_line(cfg: &mut TeaConfig, line: &str) -> Result<(), ErrorKind> {
         "tl_exchange_deadline" => cfg.tl_exchange_deadline = parse_num(key, value)?,
         "tl_elastic_regrid" => {
             cfg.tl_elastic_regrid = match value {
+                "on" | "true" | "1" => true,
+                "off" | "false" | "0" => false,
+                _ => {
+                    return Err(ErrorKind::BadValue {
+                        key: key.to_string(),
+                        value: value.to_string(),
+                    })
+                }
+            };
+        }
+        "tl_autotune" => {
+            cfg.tl_autotune = match value {
                 "on" | "true" | "1" => true,
                 "off" | "false" | "0" => false,
                 _ => {

@@ -39,6 +39,7 @@ pub mod permute;
 pub mod shared;
 pub mod static_pool;
 pub mod steal_pool;
+pub mod tiled;
 
 pub use executor::{run_sum_many, Executor, SerialExec};
 pub use metrics::PoolMetrics;
@@ -46,6 +47,7 @@ pub use permute::PermutedExec;
 pub use shared::UnsafeSlice;
 pub use static_pool::StaticPool;
 pub use steal_pool::StealPool;
+pub use tiled::TiledExec;
 
 use std::sync::OnceLock;
 

@@ -1,0 +1,160 @@
+//! Tiled/teamed index-space re-blocking — the launch-shape hook.
+//!
+//! [`TiledExec`] wraps any [`Executor`] and presents the index space in
+//! the order a tiled, teamed launch configuration would visit it: the
+//! `0..n` range is cut into contiguous tiles of `tile` indices, tiles
+//! are dealt round-robin onto `team` teams, and the schedule runs team 0's
+//! tiles first, then team 1's, and so on — exactly how a work-group/team
+//! decomposition walks a flattened iteration space. The autotuner's
+//! per-kernel `tile`/`team` parameters plumb straight in here.
+//!
+//! Like [`crate::PermutedExec`], this is a *schedule*, not new work: the
+//! traversal is a bijection of `0..n`, and the wrapper deliberately does
+//! **not** forward `run_sum`/`run_sum4` to the wrapped pool — it inherits
+//! the trait defaults, which fold one partial per **original index** in
+//! index order. A tiled schedule therefore yields bit-identical
+//! reductions to the serial reference, which is what lets tuned launch
+//! shapes vary per device without perturbing a single result bit.
+
+use crate::executor::Executor;
+
+/// The tiled-teamed traversal order of `0..n` — public so tests (and the
+/// IR-lowering equivalence suite) can predict a schedule.
+///
+/// Tiles are `tile` consecutive indices (the last one ragged); tile `t`
+/// belongs to team `t % team`; teams run in order, each visiting its own
+/// tiles in ascending tile order.
+pub fn tiling(tile: usize, team: usize, n: usize) -> Vec<usize> {
+    let tile = tile.max(1);
+    let team = team.max(1);
+    let tiles = n.div_ceil(tile);
+    let mut order = Vec::with_capacity(n);
+    for g in 0..team.min(tiles.max(1)) {
+        let mut t = g;
+        while t < tiles {
+            let lo = t * tile;
+            let hi = (lo + tile).min(n);
+            order.extend(lo..hi);
+            t += team;
+        }
+    }
+    order
+}
+
+/// Deterministic tiled/teamed schedule wrapper around any executor. See
+/// module docs.
+pub struct TiledExec<'a> {
+    inner: &'a dyn Executor,
+    tile: usize,
+    team: usize,
+}
+
+impl<'a> TiledExec<'a> {
+    /// Wrap `inner`; every parallel region is traversed in
+    /// [`tiling`]`(tile, team, n)` order.
+    pub fn new(inner: &'a dyn Executor, tile: usize, team: usize) -> Self {
+        TiledExec {
+            inner,
+            tile: tile.max(1),
+            team: team.max(1),
+        }
+    }
+}
+
+impl Executor for TiledExec<'_> {
+    fn threads(&self) -> usize {
+        self.inner.threads()
+    }
+
+    fn run(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        if n <= 1 || (self.team == 1 && self.tile >= n) {
+            // One tile on one team is the identity schedule.
+            self.inner.run(n, f);
+            return;
+        }
+        let order = tiling(self.tile, self.team, n);
+        self.inner.run(n, &|j| f(order[j]));
+    }
+
+    // run_sum / run_sum4 intentionally NOT overridden — the trait
+    // defaults allocate one partial per ORIGINAL index and fold in index
+    // order, keeping reductions bit-identical under any tile/team shape.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SerialExec, StaticPool};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn tiling_is_a_bijection_for_ragged_shapes() {
+        for (tile, team, n) in [
+            (4, 3, 257),
+            (8, 2, 64),
+            (16, 5, 10),
+            (1, 1, 7),
+            (100, 4, 30),
+        ] {
+            let order = tiling(tile, team, n);
+            assert_eq!(order.len(), n, "tile={tile} team={team} n={n}");
+            let mut seen = vec![false; n];
+            for &i in &order {
+                assert!(!seen[i], "tile={tile} team={team} n={n}: {i} twice");
+                seen[i] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn teams_visit_their_round_robin_tiles_in_order() {
+        // 3 tiles of 2 on 2 teams over n=6: team 0 gets tiles 0 and 2,
+        // team 1 gets tile 1.
+        assert_eq!(tiling(2, 2, 6), vec![0, 1, 4, 5, 2, 3]);
+        // tile >= n on one team is the identity.
+        assert_eq!(tiling(8, 1, 5), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn tiled_traversal_reorders_but_covers() {
+        let exec = TiledExec::new(&SerialExec, 4, 3);
+        let order = Mutex::new(Vec::new());
+        exec.run(64, &|i| order.lock().unwrap().push(i));
+        let order = order.into_inner().unwrap();
+        assert_ne!(order, (0..64).collect::<Vec<_>>(), "schedule not tiled");
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reductions_are_bitwise_stable_under_any_shape() {
+        let f = |i: usize| ((i as f64) * 0.31).sin() / ((i % 7) as f64 + 0.25);
+        let expect = SerialExec.run_sum(10_000, &f);
+        let pool = StaticPool::new(6);
+        let inners: [&dyn Executor; 2] = [&SerialExec, &pool];
+        for inner in inners {
+            for (tile, team) in [(1, 1), (32, 4), (128, 2), (7, 5), (4096, 1)] {
+                let exec = TiledExec::new(inner, tile, team);
+                assert_eq!(
+                    exec.run_sum(10_000, &f),
+                    expect,
+                    "tile={tile} team={team}: tiled schedule changed the sum"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once_on_pools() {
+        let pool = StaticPool::new(4);
+        let exec = TiledExec::new(&pool, 16, 3);
+        let n = 1000;
+        let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        exec.run(n, &|i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+}

@@ -8,6 +8,7 @@ use crate::device::{DeviceKind, DeviceSpec};
 use crate::kernel::KernelProfile;
 use crate::model::ModelProfile;
 use crate::quirk::{combined_factor, Quirk};
+use crate::tune::TuningTable;
 
 /// Pure cost arithmetic for one (device, model) pairing.
 #[derive(Debug, Clone)]
@@ -19,6 +20,11 @@ pub struct CostModel {
     /// from the model's `run_jitter` range — the work-stealing variance
     /// term of §4.1.
     pub run_factor: f64,
+    /// Per-kernel launch-configuration slowdowns (see [`crate::tune`]).
+    /// Empty by default — the calibrated profiles already represent the
+    /// paper's hand-tuned configurations, so a tuned run charges exactly
+    /// the table-less times.
+    pub tuning: TuningTable,
 }
 
 impl CostModel {
@@ -39,6 +45,7 @@ impl CostModel {
             model,
             quirks,
             run_factor,
+            tuning: TuningTable::default(),
         }
     }
 
@@ -91,6 +98,13 @@ impl CostModel {
             bw /= self.model.reduction_factor.get(kind);
         }
         let mut t = bytes / bw;
+        if let Some(s) = self.tuning.data_slowdown(p.name) {
+            // Launch-configuration penalty on the data term only (an
+            // untuned work-group/tile shape wastes bandwidth, not
+            // dispatch): tuned registries resolve to no entry here and
+            // charge bit-identical, table-less times.
+            t *= s;
+        }
         if !p.traits.fused_tail {
             let mut overhead_us =
                 self.device.launch_overhead_us + self.model.launch_overhead_us.get(kind);

@@ -58,6 +58,7 @@ pub mod device;
 pub mod kernel;
 pub mod model;
 pub mod quirk;
+pub mod tune;
 
 pub use clock::{ClockSnapshot, EnergySnapshot, SimClock};
 pub use cost::{CostModel, SimContext};
@@ -66,3 +67,4 @@ pub use kernel::{KernelProfile, KernelTraits};
 pub use model::{ModelProfile, PerKind, Scheduler};
 pub use quirk::Quirk;
 pub use tea_telemetry::{KernelStats, TelemetrySink};
+pub use tune::{config_efficiency, TuneParams, TuningTable};

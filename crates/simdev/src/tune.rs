@@ -1,0 +1,278 @@
+//! Tuning parameters and their cost-model hook.
+//!
+//! Memeti et al. (PAPERS.md) show that launch-configuration parameters —
+//! work-group sizes, team counts, tile shapes — dominate the performance
+//! spread between the model families this repo reproduces. The paper's
+//! own measurements were taken from *hand-tuned* codes, and the
+//! calibrated profiles in this crate reproduce those tuned numbers. This
+//! module makes the tuning explicit:
+//!
+//! * [`TuneParams`] — the per-kernel launch configuration a port would
+//!   pick: work-group size, team count, 2-D tile shape, SIMD width.
+//! * [`TuneParams::device_default`] — the generic portable configuration
+//!   an untuned single-source port ships with.
+//! * [`config_efficiency`] — a deterministic analytic model mapping a
+//!   configuration to a data-path efficiency in `(0, 1]`, peaking at the
+//!   device's sweet spot (occupancy ≈ 2 waves of SIMD lanes per core,
+//!   cache-friendly tile volume, stencil-friendly aspect ratios, native
+//!   SIMD width).
+//! * [`TuningTable`] — per-kernel data-term slowdowns the
+//!   [`CostModel`](crate::cost::CostModel) consults. The *tuned*
+//!   configuration (the committed registry, found by the deterministic
+//!   search in `tealeaf::tune`) normalises to a slowdown of exactly 1.0
+//!   — i.e. the calibrated, paper-tuned times — while the generic
+//!   defaults pay `eff(best)/eff(default) ≥ 1` on their data term.
+//!
+//! Everything here is pure `f64` arithmetic on explicit inputs: no
+//! wall-clock, no global state, bit-reproducible everywhere.
+
+use crate::device::{DeviceKind, DeviceSpec};
+use crate::kernel::KernelTraits;
+
+/// One launch configuration: the tunables Memeti et al. identify, in the
+/// vocabulary each model family uses for them (OpenCL work-groups, OpenMP
+/// teams, tiled loop nests, SIMD/vector width).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TuneParams {
+    /// Work-group / thread-block / gang size.
+    pub workgroup: u32,
+    /// Teams (OpenMP 4.0 `num_teams`, Kokkos league) per dispatch.
+    pub team: u32,
+    /// Tile width in cells (x).
+    pub tile_x: u32,
+    /// Tile height in cells (y).
+    pub tile_y: u32,
+    /// Vector/SIMD width the kernel is compiled for.
+    pub simd: u32,
+}
+
+impl TuneParams {
+    /// The generic portable configuration an untuned port ships with —
+    /// deliberately conservative on every axis, the way single-source
+    /// codes pick "safe" sizes that run everywhere.
+    pub fn device_default(d: &DeviceSpec) -> TuneParams {
+        match d.kind {
+            DeviceKind::Cpu => TuneParams {
+                workgroup: 16,
+                team: 1,
+                tile_x: 128,
+                tile_y: 1,
+                simd: 2,
+            },
+            DeviceKind::Gpu => TuneParams {
+                workgroup: 128,
+                team: 1,
+                tile_x: 32,
+                tile_y: 4,
+                simd: 32,
+            },
+            DeviceKind::Accelerator => TuneParams {
+                workgroup: 64,
+                team: 2,
+                tile_x: 64,
+                tile_y: 1,
+                simd: 4,
+            },
+        }
+    }
+
+    /// Registry line encoding: `wg=16 team=1 tile=128x1 simd=2`.
+    pub fn encode(&self) -> String {
+        format!(
+            "wg={} team={} tile={}x{} simd={}",
+            self.workgroup, self.team, self.tile_x, self.tile_y, self.simd
+        )
+    }
+
+    /// Parse [`TuneParams::encode`]'s format.
+    pub fn decode(s: &str) -> Option<TuneParams> {
+        let mut wg = None;
+        let mut team = None;
+        let mut tile = None;
+        let mut simd = None;
+        for part in s.split_whitespace() {
+            let (key, val) = part.split_once('=')?;
+            match key {
+                "wg" => wg = val.parse().ok(),
+                "team" => team = val.parse().ok(),
+                "tile" => {
+                    let (x, y) = val.split_once('x')?;
+                    tile = Some((x.parse().ok()?, y.parse().ok()?));
+                }
+                "simd" => simd = val.parse().ok(),
+                _ => return None,
+            }
+        }
+        let (tile_x, tile_y) = tile?;
+        Some(TuneParams {
+            workgroup: wg?,
+            team: team?,
+            tile_x,
+            tile_y,
+            simd: simd?,
+        })
+    }
+}
+
+/// A smooth log-space bell: 1.0 at `x == opt`, falling off as
+/// `1 / (1 + w·log2(x/opt)²)`. Symmetric in ratio, never zero, and its
+/// maximum over any candidate grid is well defined.
+fn bell(x: f64, opt: f64, w: f64) -> f64 {
+    let l = (x / opt).log2();
+    1.0 / (1.0 + w * l * l)
+}
+
+/// Data-path efficiency of one configuration on one device for a kernel
+/// with the given traits, in `(0, 1]`. The model is deliberately simple
+/// — four multiplicative bells around mechanistic sweet spots:
+///
+/// * **occupancy** — `workgroup·team` concurrent items vs. two waves of
+///   SIMD lanes per core (enough to cover memory latency without
+///   thrashing the cache);
+/// * **tile volume** — cells per tile vs. a cache-friendly block
+///   (smaller for stencils, whose halos eat capacity);
+/// * **tile aspect** — wide-and-shallow favours streaming prefetch,
+///   squarer tiles favour stencil halo reuse;
+/// * **SIMD width** — the device's native vector width; reductions are
+///   additionally happiest below full occupancy (tree pressure).
+pub fn config_efficiency(p: &TuneParams, d: &DeviceSpec, traits: &KernelTraits) -> f64 {
+    let conc = (p.workgroup * p.team) as f64;
+    let opt_conc = (d.cores as f64) * (d.simd_width as f64) * 2.0;
+    let tile = (p.tile_x * p.tile_y) as f64;
+    let opt_tile = if traits.stencil { 512.0 } else { 1024.0 };
+    let aspect = p.tile_x as f64 / p.tile_y as f64;
+    let opt_aspect = if traits.stencil { 4.0 } else { 32.0 };
+    let mut eff = bell(conc, opt_conc, 0.03)
+        * bell(tile, opt_tile, 0.015)
+        * bell(aspect, opt_aspect, 0.01)
+        * bell(p.simd as f64, d.simd_width as f64, 0.05);
+    if traits.reduction {
+        // Reduction trees want headroom: half the streaming occupancy.
+        eff *= bell(conc, opt_conc / 2.0, 0.01);
+    }
+    eff
+}
+
+/// Per-kernel data-term slowdowns, consulted by
+/// [`CostModel::kernel_seconds`](crate::cost::CostModel::kernel_seconds).
+/// An empty table — or an entry of exactly 1.0 — leaves the charged time
+/// bit-identical to a table-less model.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TuningTable {
+    entries: Vec<(String, f64)>,
+}
+
+impl TuningTable {
+    /// Record `kernel`'s data-term slowdown (≥ 1.0; 1.0 is a no-op).
+    pub fn insert(&mut self, kernel: impl Into<String>, slowdown: f64) {
+        let kernel = kernel.into();
+        debug_assert!(slowdown >= 1.0, "{kernel}: slowdown {slowdown} < 1");
+        match self.entries.iter_mut().find(|(k, _)| *k == kernel) {
+            Some((_, s)) => *s = slowdown,
+            None => self.entries.push((kernel, slowdown)),
+        }
+    }
+
+    /// The slowdown to apply to `kernel`'s data term, if any. Entries of
+    /// exactly 1.0 are reported as `None` so the charge path skips the
+    /// multiply and stays bit-identical to the untabled model.
+    pub fn data_slowdown(&self, kernel: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == kernel)
+            .map(|(_, s)| *s)
+            .filter(|s| *s != 1.0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::devices;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for d in devices::paper_devices() {
+            let p = TuneParams::device_default(&d);
+            assert_eq!(TuneParams::decode(&p.encode()), Some(p));
+        }
+        assert_eq!(TuneParams::decode("wg=8 team=2"), None);
+        assert_eq!(TuneParams::decode("bogus"), None);
+    }
+
+    #[test]
+    fn efficiency_is_bounded_and_peaks_at_the_sweet_spot() {
+        let d = devices::gpu_k20x();
+        let traits = KernelTraits {
+            streaming: true,
+            ..KernelTraits::default()
+        };
+        let default = config_efficiency(&TuneParams::device_default(&d), &d, &traits);
+        assert!(default > 0.0 && default <= 1.0);
+        // A configuration at every sweet spot beats the generic default.
+        let sweet = TuneParams {
+            workgroup: 896,
+            team: 1,
+            tile_x: 179,
+            tile_y: 6, // ~1024 cells at ~32:1
+            simd: 32,
+        };
+        let tuned = config_efficiency(&sweet, &d, &traits);
+        assert!(tuned > default, "tuned {tuned} <= default {default}");
+    }
+
+    #[test]
+    fn stencil_and_streaming_prefer_different_tiles() {
+        let d = devices::cpu_xeon_e5_2670_x2();
+        let stencil = KernelTraits {
+            stencil: true,
+            ..KernelTraits::default()
+        };
+        let streaming = KernelTraits {
+            streaming: true,
+            ..KernelTraits::default()
+        };
+        let square = TuneParams {
+            workgroup: 64,
+            team: 2,
+            tile_x: 45,
+            tile_y: 11,
+            simd: 4,
+        };
+        let wide = TuneParams {
+            workgroup: 64,
+            team: 2,
+            tile_x: 181,
+            tile_y: 6,
+            simd: 4,
+        };
+        assert!(
+            config_efficiency(&square, &d, &stencil) > config_efficiency(&wide, &d, &stencil),
+            "stencils favour squarer tiles"
+        );
+        assert!(
+            config_efficiency(&wide, &d, &streaming) > config_efficiency(&square, &d, &streaming),
+            "streaming favours wide tiles"
+        );
+    }
+
+    #[test]
+    fn table_skips_unit_entries() {
+        let mut t = TuningTable::default();
+        assert!(t.is_empty());
+        t.insert("cg_calc_w", 1.0);
+        assert_eq!(t.data_slowdown("cg_calc_w"), None, "1.0 entries are no-ops");
+        t.insert("cg_calc_w", 1.25);
+        assert_eq!(t.data_slowdown("cg_calc_w"), Some(1.25));
+        assert_eq!(t.data_slowdown("absent"), None);
+        assert_eq!(t.len(), 1, "insert overwrites, never duplicates");
+    }
+}

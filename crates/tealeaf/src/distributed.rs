@@ -47,6 +47,7 @@ use tea_telemetry::{Record, TelemetrySink};
 
 use crate::cheby::{estimated_iterations, ChebyCoeffs, ChebyShift};
 use crate::eigen::eigenvalue_estimate;
+use crate::ir;
 use crate::ports::common::{self, Us};
 use crate::resilience::{RecoveryAction, RecoveryEvent, SolverHealth};
 use crate::solver::cg::CgHistory;
@@ -166,14 +167,66 @@ impl Worker<'_> {
         );
     }
 
+    /// Batched exchange of two independent fields' halos: both windows'
+    /// sends are posted before either is drained, so the wires run
+    /// concurrently and the pair is charged the slower exchange rather
+    /// than the sum. The fields' tags keep the messages apart and the
+    /// buffers are disjoint, so the received bits are identical to two
+    /// back-to-back exchanges — which is what blocking mode still runs.
+    fn exchange_pair(&mut self, a: Ex, b: Ex, depth: usize) {
+        if !self.overlap {
+            self.exchange(a, depth);
+            self.exchange(b, depth);
+            return;
+        }
+        let t0 = self.clock;
+        for f in [a, b] {
+            let (geom, field) = slot(&mut self.t, f);
+            tile::post_halo(
+                self.rank,
+                geom,
+                field,
+                f.base(),
+                depth,
+                f.reflect(),
+                &mut self.metrics,
+            );
+        }
+        let mut slowest = 0u64;
+        for f in [a, b] {
+            let got = {
+                let (geom, field) = slot(&mut self.t, f);
+                tile::complete_halo(self.rank, geom, field, f.base(), depth)
+            };
+            self.tel.complete_span(
+                "exchange",
+                format_args!("{} halo", f.name()),
+                t0,
+                t0 + got as f64,
+            );
+            slowest = slowest.max(got);
+        }
+        self.clock = t0 + slowest as f64;
+    }
+
     /// One stencil pass around one halo window. Overlapped mode posts
     /// the sends, runs the interior while the exchange is in flight,
     /// completes it, then runs the boundary ring; blocking mode finishes
     /// the exchange first and runs one monolithic pass. Both schedules
     /// write identical bits: no kernel writes a field its stencil reads,
     /// and the ring never runs before its ghosts are in.
+    ///
+    /// When the IR proves the kernel safe to ring-batch
+    /// ([`ir::concurrent_ring`]: its ring stencil reads nothing its
+    /// interior sweep writes), the boundary ring is enqueued directly
+    /// behind the halo drain — second-stream style — and runs while the
+    /// interior tail is still in flight, so the window closes at
+    /// `max(interior, exchange + ring)` instead of
+    /// `max(interior, exchange) + ring`. The execution order (interior,
+    /// complete, ring) is unchanged; only the charged schedule tightens.
     fn overlapped_pass(
         &mut self,
+        kernel: ir::KernelId,
         f: Ex,
         depth: usize,
         label: &str,
@@ -211,13 +264,23 @@ impl Worker<'_> {
             );
             self.tel
                 .complete_span("interior", format_args!("{label} interior"), t0, t_interior);
-            self.clock = t_interior.max(t_exchange);
             let ring = tile::span_cells(&self.t.geom.mesh, Span::Ring);
-            let tb = self.clock;
+            let tb = if ir::concurrent_ring(kernel.desc()) {
+                // Batched: the ring rides the drain's stream and overlaps
+                // the interior tail.
+                t_exchange
+            } else {
+                // A self-clobbering kernel would have to wait for both.
+                t_interior.max(t_exchange)
+            };
             run(&mut self.t, Span::Ring);
-            self.clock = tb + ring as f64;
-            self.tel
-                .complete_span("boundary", format_args!("{label} ring"), tb, self.clock);
+            self.clock = t_interior.max(tb + ring as f64);
+            self.tel.complete_span(
+                "boundary",
+                format_args!("{label} ring"),
+                tb,
+                tb + ring as f64,
+            );
             self.stats.absorb_window(interior, ring, got);
         } else {
             let got = {
@@ -633,7 +696,13 @@ fn cg_phase(
                 },
             );
         }
-        wkr.overlapped_pass(Ex::P, 1, "cg_calc_w", &mut |t, span| k_cg_calc_w(t, span));
+        wkr.overlapped_pass(
+            ir::KernelId::CgCalcW,
+            Ex::P,
+            1,
+            "cg_calc_w",
+            &mut |t, span| k_cg_calc_w(t, span),
+        );
         let pw = wkr.reduce(|t, k| t.p[k] * t.w[k]);
         let alpha = rro / pw;
         k_cg_calc_ur(&mut wkr.t, alpha);
@@ -662,9 +731,13 @@ fn cg_phase(
 /// the local `u += p` pass — the same two full sweeps `cheby_init` /
 /// `cheby_iterate` run serially.
 fn cheby_step(wkr: &mut Worker, first: bool, theta: f64, alpha: f64, beta: f64) {
-    wkr.overlapped_pass(Ex::U, 1, "cheby_calc_p", &mut |t, span| {
-        k_cheby_calc_p(t, span, first, theta, alpha, beta)
-    });
+    wkr.overlapped_pass(
+        ir::KernelId::ChebyCalcP,
+        Ex::U,
+        1,
+        "cheby_calc_p",
+        &mut |t, span| k_cheby_calc_p(t, span, first, theta, alpha, beta),
+    );
     k_add_p_to_u(&mut wkr.t);
 }
 
@@ -850,7 +923,13 @@ fn ppcg_outer(
                 },
             );
         }
-        wkr.overlapped_pass(Ex::P, 1, "cg_calc_w", &mut |t, span| k_cg_calc_w(t, span));
+        wkr.overlapped_pass(
+            ir::KernelId::CgCalcW,
+            Ex::P,
+            1,
+            "cg_calc_w",
+            &mut |t, span| k_cg_calc_w(t, span),
+        );
         let pw = wkr.reduce(|t, k| t.p[k] * t.w[k]);
         let alpha = rro / pw;
         // The serial outer loop discards this kernel's reduction — only
@@ -858,7 +937,13 @@ fn ppcg_outer(
         k_cg_calc_ur(&mut wkr.t, alpha);
         k_sd_init(&mut wkr.t, shift.theta);
         for &(a, b) in &inner {
-            wkr.overlapped_pass(Ex::Sd, 1, "ppcg_w", &mut |t, span| k_ppcg_w(t, span));
+            wkr.overlapped_pass(
+                ir::KernelId::PpcgCalcW,
+                Ex::Sd,
+                1,
+                "ppcg_w",
+                &mut |t, span| k_ppcg_w(t, span),
+            );
             k_ppcg_update(&mut wkr.t, a, b);
         }
         let rrn = wkr.reduce(|t, k| common::cell_norm(k, &t.r));
@@ -941,12 +1026,20 @@ fn solve_jacobi(
         // Double overlap: the u→scratch copy rides the reflective `u`
         // exchange (it reads no ghosts), then the interior sweep rides
         // the raw scratch exchange.
-        wkr.overlapped_pass(Ex::U, 1, "jacobi_copy", &mut |t, span| {
-            k_jacobi_copy(t, span)
-        });
-        wkr.overlapped_pass(Ex::RScratch, 1, "jacobi_sweep", &mut |t, span| {
-            k_jacobi_sweep(t, span)
-        });
+        wkr.overlapped_pass(
+            ir::KernelId::JacobiCopy,
+            Ex::U,
+            1,
+            "jacobi_copy",
+            &mut |t, span| k_jacobi_copy(t, span),
+        );
+        wkr.overlapped_pass(
+            ir::KernelId::JacobiSolve,
+            Ex::RScratch,
+            1,
+            "jacobi_sweep",
+            &mut |t, span| k_jacobi_sweep(t, span),
+        );
         let err = wkr.reduce(|t, k| (t.u[k] - t.r[k]).abs());
         iterations += 1;
         if iterations == 1 {
@@ -999,8 +1092,7 @@ fn body(
     let (rx, ry) = wkr.t.geom.mesh.rx_ry(config.initial_timestep);
 
     if resume.is_none() {
-        wkr.exchange(Ex::Density, config.halo_depth);
-        wkr.exchange(Ex::Energy, config.halo_depth);
+        wkr.exchange_pair(Ex::Density, Ex::Energy, config.halo_depth);
     }
 
     let mut total_iterations = resume.map_or(0, |ck| ck.total_iterations);

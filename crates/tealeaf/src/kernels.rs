@@ -72,12 +72,16 @@ pub trait TeaLeafPort {
     /// `p = (z|r) + β·p`.
     fn cg_calc_p(&mut self, beta: f64, preconditioner: bool);
 
-    /// True when the port implements
-    /// [`cg_fused_ur_p`](TeaLeafPort::cg_fused_ur_p) as a genuinely fused
-    /// launch. The CG driver consults this flag; ports that leave it
-    /// `false` keep the two-launch schedule (and its two cost charges).
-    fn supports_fused_cg(&self) -> bool {
-        false
+    /// How this port lowers the shared kernel IR ([`crate::ir`]): which
+    /// structural idioms its programming model can express. The solver
+    /// drivers never ask "does port X fuse kernel Y" — they ask the IR
+    /// whether a fusion is *legal* ([`crate::ir::legal_pair`]) and the
+    /// port whether the idiom is *expressible*; the product of the two
+    /// ([`crate::ir::fusion_active`]) decides the schedule. Ports that
+    /// keep the default (no fused launches) retain the unfused schedule
+    /// and its per-kernel cost charges.
+    fn lowering_caps(&self) -> crate::ir::LoweringCaps {
+        crate::ir::LoweringCaps::default()
     }
 
     /// Fused CG tail: `cg_calc_ur` (yielding `rrn`), then `β = rrn/rro`,

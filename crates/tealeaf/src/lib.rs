@@ -27,6 +27,7 @@ pub mod cheby;
 pub mod distributed;
 pub mod driver;
 pub mod eigen;
+pub mod ir;
 pub mod kernels;
 pub mod model_id;
 pub mod ports;
@@ -37,6 +38,7 @@ pub mod report;
 pub mod resilience;
 pub mod solver;
 pub mod tile;
+pub mod tune;
 
 pub use driver::{run_simulation, run_simulation_seeded, run_simulation_traced, run_solve};
 pub use kernels::{traced_halo, NormField, TeaLeafPort};

@@ -22,6 +22,27 @@ use tea_core::physics;
 /// Shorthand for the shared-write slice of `f64`.
 pub type Us<'a> = UnsafeSlice<'a, f64>;
 
+/// Build a port's [`simdev::SimContext`] — calibrated profile, quirks
+/// and the launch-configuration tuning table — in one place.
+///
+/// The committed tuning registry (`crate::tune`) describes the autotuned
+/// launch shape per device per kernel. With `tl_autotune` on (the
+/// default) the tuned table is charge-inert: the calibrated profiles
+/// already model the paper's hand-tuned codes. Turning it off charges
+/// the generic per-device default configuration instead, slowing each
+/// kernel's data term by the tuner-measured efficiency ratio.
+pub fn make_context(
+    model: crate::ModelId,
+    device: simdev::DeviceSpec,
+    problem: &crate::Problem,
+    seed: u64,
+) -> simdev::SimContext {
+    use crate::profiles::{model_profile, model_quirks};
+    let mut ctx = simdev::SimContext::new(device, model_profile(model), model_quirks(model), seed);
+    ctx.cost.tuning = crate::tune::tuning_table(&ctx.cost.device, problem.config.tl_autotune);
+    ctx
+}
+
 /// Flat index into a padded row-major field.
 #[inline(always)]
 pub fn idx(width: usize, i: usize, j: usize) -> usize {
@@ -727,61 +748,48 @@ pub unsafe fn row_finalise(mesh: &Mesh2d, j: usize, u: &[f64], density: &[f64], 
 // ---------------------------------------------------------------------------
 
 /// Launch profiles for every TeaLeaf kernel, parameterised by interior
-/// cell count. Array counts follow the kernel bodies above.
+/// cell count. Since the shared kernel IR ([`crate::ir`]) every profile
+/// is *derived* from its [`crate::ir::KernelDesc`] — the per-kernel
+/// array counts live in one table and `ir::tests` pins them against the
+/// original hand-written values.
 pub mod profiles {
     use super::*;
+    use crate::ir::{self, FusionKind, KernelId, LoweringCaps};
 
     /// Interior cell count as `u64`.
     pub fn cells(mesh: &Mesh2d) -> u64 {
         mesh.interior_len() as u64
     }
 
-    /// The solver's resident working set: all 11 TeaLeaf arrays. Kernels
-    /// are charged against this (not just their own arrays) because the
-    /// arrays round-robin through the cache between kernels — this is
-    /// what positions the Figure 11 CPU knee near the paper's 9·10⁵
-    /// cells.
-    fn ws(n: u64) -> u64 {
-        n * 8 * 11
-    }
-
     /// `init_u0`: read density, energy; write u0, u.
     pub fn init_u0(n: u64) -> KernelProfile {
-        KernelProfile::streaming("init_u0", n, 2, 2, 1).with_working_set(ws(n))
+        KernelId::InitU0.desc().profile(n, false)
     }
 
     /// `init_coeffs`: read density (stencil); write kx, ky.
     pub fn init_coeffs(n: u64) -> KernelProfile {
-        KernelProfile::stencil("init_coeffs", n, 1, 2, 10).with_working_set(ws(n))
+        KernelId::InitCoeffs.desc().profile(n, false)
     }
 
     /// `cg_init`: stencil on u + u0, kx, ky; write w, r, p (+z); reduce.
     pub fn cg_init(n: u64, precond: bool) -> KernelProfile {
-        let (r, w) = if precond { (4, 4) } else { (4, 3) };
-        let mut p = KernelProfile::stencil("cg_init", n, r, w, 15).with_working_set(ws(n));
-        p.traits.reduction = true;
-        p
+        KernelId::CgInit.desc().profile(n, precond)
     }
 
     /// `cg_calc_w`: stencil on p with kx, ky; write w; reduce `p·w`.
     pub fn cg_calc_w(n: u64) -> KernelProfile {
-        let mut p = KernelProfile::stencil("cg_calc_w", n, 3, 1, 12).with_working_set(ws(n));
-        p.traits.reduction = true;
-        p
+        KernelId::CgCalcW.desc().profile(n, false)
     }
 
     /// `cg_calc_ur`: read p, w, u, r (+kx, ky for M⁻¹); write u, r (+z);
     /// reduce `r·r`.
     pub fn cg_calc_ur(n: u64, precond: bool) -> KernelProfile {
-        let (r, w) = if precond { (6, 3) } else { (4, 2) };
-        let mut p = KernelProfile::streaming("cg_calc_ur", n, r, w, 8).with_working_set(ws(n));
-        p.traits.reduction = true;
-        p
+        KernelId::CgCalcUr.desc().profile(n, precond)
     }
 
     /// `cg_calc_p`: read r|z, p; write p.
     pub fn cg_calc_p(n: u64) -> KernelProfile {
-        KernelProfile::streaming("cg_calc_p", n, 2, 1, 2).with_working_set(ws(n))
+        KernelId::CgCalcP.desc().profile(n, false)
     }
 
     /// The β·p sweep when it rides the fused ur launch: the same data
@@ -791,74 +799,107 @@ pub mod profiles {
     /// launch overhead per CG iteration, without leaking the model's
     /// reduction penalty onto the streaming p-update's bytes.
     pub fn cg_fused_p_tail(n: u64) -> KernelProfile {
-        let mut p = cg_calc_p(n).with_fused_tail();
-        p.name = "cg_fused_p_tail";
-        p
+        fused_tail(FusionKind::CgTail, n)
     }
 
     /// `cheby_calc_p` (both first and iterate forms): stencil on u; read
     /// u0, kx, ky, p; write w, r, p.
     pub fn cheby_calc_p(n: u64) -> KernelProfile {
-        KernelProfile::stencil("cheby_calc_p", n, 5, 3, 14).with_working_set(ws(n))
+        KernelId::ChebyCalcP.desc().profile(n, false)
     }
 
     /// `cheby_calc_u` / PPCG's `u += sd`: read p|sd, u; write u.
     pub fn add_to_u(n: u64) -> KernelProfile {
-        KernelProfile::streaming("cheby_calc_u", n, 2, 1, 1).with_working_set(ws(n))
+        KernelId::ChebyCalcU.desc().profile(n, false)
     }
 
     /// `ppcg_init_sd`: read r; write sd.
     pub fn ppcg_init_sd(n: u64) -> KernelProfile {
-        KernelProfile::streaming("ppcg_init_sd", n, 1, 1, 1).with_working_set(ws(n))
+        KernelId::PpcgInitSd.desc().profile(n, false)
     }
 
     /// `ppcg_calc_w`: stencil on sd with kx, ky; write w.
     pub fn ppcg_calc_w(n: u64) -> KernelProfile {
-        KernelProfile::stencil("ppcg_calc_w", n, 3, 1, 10).with_working_set(ws(n))
+        KernelId::PpcgCalcW.desc().profile(n, false)
     }
 
     /// `ppcg_update`: read w, sd, r, u; write r, u, sd.
     pub fn ppcg_update(n: u64) -> KernelProfile {
-        KernelProfile::streaming("ppcg_update", n, 4, 3, 6).with_working_set(ws(n))
+        KernelId::PpcgUpdate.desc().profile(n, false)
     }
 
     /// `jacobi_copy_u`: read u; write r.
     pub fn jacobi_copy(n: u64) -> KernelProfile {
-        KernelProfile::streaming("jacobi_copy_u", n, 1, 1, 0).with_working_set(ws(n))
+        KernelId::JacobiCopy.desc().profile(n, false)
     }
 
     /// `jacobi_solve`: stencil on old u (r) with u0, kx, ky; write u;
     /// reduce `Σ|Δu|`.
     pub fn jacobi_iterate(n: u64) -> KernelProfile {
-        let mut p = KernelProfile::stencil("jacobi_solve", n, 4, 1, 13).with_working_set(ws(n));
-        p.traits.reduction = true;
-        p
+        KernelId::JacobiSolve.desc().profile(n, false)
     }
 
     /// `calc_residual`: stencil on u with u0, kx, ky; write r.
     pub fn residual(n: u64) -> KernelProfile {
-        KernelProfile::stencil("calc_residual", n, 4, 1, 11).with_working_set(ws(n))
+        KernelId::Residual.desc().profile(n, false)
     }
 
     /// `calc_2norm`: read one field; reduce.
     pub fn norm(n: u64) -> KernelProfile {
-        KernelProfile::reduction("calc_2norm", n, 1, 2).with_working_set(ws(n))
+        KernelId::Calc2Norm.desc().profile(n, false)
     }
 
     /// `finalise`: read u, density; write energy.
     pub fn finalise(n: u64) -> KernelProfile {
-        KernelProfile::streaming("finalise", n, 2, 1, 1).with_working_set(ws(n))
+        KernelId::Finalise.desc().profile(n, false)
     }
 
     /// `field_summary`: read density, energy, u; 4-component reduce.
     pub fn field_summary(n: u64) -> KernelProfile {
-        KernelProfile::reduction("field_summary", n, 3, 7).with_working_set(ws(n))
+        KernelId::FieldSummary.desc().profile(n, false)
     }
 
     /// One halo-exchange kernel for a single field at `depth`.
     pub fn halo(mesh: &Mesh2d, depth: usize) -> KernelProfile {
         let elems = tea_core::halo::halo_elements(mesh, depth);
-        KernelProfile::streaming("halo_update", elems, 1, 1, 0).with_working_set(ws(cells(mesh)))
+        let d = KernelId::HaloUpdate.desc();
+        KernelProfile::streaming(
+            d.name,
+            elems,
+            d.reads_per_cell as u64,
+            d.writes_per_cell as u64,
+            d.flops_per_cell as u64,
+        )
+        .with_working_set(ir::working_set(cells(mesh)))
+    }
+
+    /// The tail sweep of a fusion site when it rides the head's launch:
+    /// same data traffic, no dispatch of its own, renamed so quirk rules
+    /// still match its solver prefix.
+    fn fused_tail(kind: FusionKind, n: u64) -> KernelProfile {
+        let mut p = kind.tail().desc().profile(n, false).with_fused_tail();
+        p.name = kind.fused_tail_name();
+        p
+    }
+
+    /// The head/tail launch-profile pair for one fusion site, written
+    /// once for all eight ports. When the port's [`LoweringCaps`] admit a
+    /// fused launch (and the IR says the pairing is legal), the tail is
+    /// charged as a dispatch-free [`fused_tail`]; otherwise both kernels
+    /// carry their own launch, exactly as the hand-written ports did.
+    pub fn fused_pair(
+        kind: FusionKind,
+        n: u64,
+        precond: bool,
+        caps: LoweringCaps,
+    ) -> (KernelProfile, KernelProfile) {
+        let head = kind.head().desc().profile(n, precond);
+        let tail = if ir::fusion_active(caps, kind) {
+            fused_tail(kind, n)
+        } else {
+            kind.tail().desc().profile(n, false)
+        };
+        (head, tail)
     }
 }
 

@@ -22,7 +22,6 @@ use crate::kernels::{NormField, TeaLeafPort};
 use crate::model_id::ModelId;
 use crate::ports::common::{self, profiles, Us};
 use crate::problem::Problem;
-use crate::profiles::{model_profile, model_quirks};
 
 /// Threads per block, as a typical K20X-tuned TeaLeaf port would pick.
 const BLOCK: usize = 256;
@@ -58,12 +57,7 @@ fn guard(mesh: &Mesh2d, tid: usize) -> bool {
 impl CudaPort {
     /// Build the port: `cudaMalloc` all fields and `memcpy` the inputs.
     pub fn new(device: DeviceSpec, problem: &Problem, seed: u64) -> Self {
-        let ctx = SimContext::new(
-            device,
-            model_profile(ModelId::Cuda),
-            model_quirks(ModelId::Cuda),
-            seed,
-        );
+        let ctx = common::make_context(ModelId::Cuda, device, problem, seed);
         let mesh = problem.mesh.clone();
         let len = mesh.len();
         let mut port = CudaPort {
@@ -349,8 +343,8 @@ impl TeaLeafPort for CudaPort {
         });
     }
 
-    fn supports_fused_cg(&self) -> bool {
-        true
+    fn lowering_caps(&self) -> crate::ir::LoweringCaps {
+        crate::ir::LoweringCaps { fused_launch: true }
     }
 
     fn cg_fused_ur_p(&mut self, alpha: f64, rro: f64, preconditioner: bool) -> (f64, f64) {
@@ -361,9 +355,14 @@ impl TeaLeafPort for CudaPort {
         // that rides behind it as a zero-overhead tail; per-block row
         // partials are folded in block order, exactly as `launch_reduce`
         // does, so the result is bit-identical to the unfused pair.
-        self.ctx
-            .launch(&profiles::cg_calc_ur(self.n(), preconditioner));
-        self.ctx.launch(&profiles::cg_fused_p_tail(self.n()));
+        let (p_ur, p_tail) = profiles::fused_pair(
+            crate::ir::FusionKind::CgTail,
+            self.n(),
+            preconditioner,
+            self.lowering_caps(),
+        );
+        self.ctx.launch(&p_ur);
+        self.ctx.launch(&p_tail);
         let width = mesh.width();
         let (i0, i1) = (mesh.i0(), mesh.i1());
         let rrn = {
@@ -443,8 +442,16 @@ impl TeaLeafPort for CudaPort {
         let cfg = self.cfg();
         let width = mesh.width();
         let pool = self.pool();
+        // The u/r/sd update rides the w-stencil's launch as a fused tail
+        // (one kernel, head-then-tail per thread).
+        let (p_head, p_tail) = profiles::fused_pair(
+            crate::ir::FusionKind::PpcgInner,
+            self.n(),
+            false,
+            self.lowering_caps(),
+        );
         {
-            let profile = profiles::ppcg_calc_w(self.n());
+            let profile = p_head;
             let stream = CudaStream::new(&self.ctx, pool);
             let (sd, kx, ky) = (self.sd.device(), self.kx.device(), self.ky.device());
             let w = Us::new(self.w.device_mut());
@@ -455,7 +462,7 @@ impl TeaLeafPort for CudaPort {
                 }
             });
         }
-        let profile = profiles::ppcg_update(self.n());
+        let profile = p_tail;
         let stream = CudaStream::new(&self.ctx, pool);
         let w = self.w.device();
         let u = Us::new(self.u.device_mut());
@@ -656,8 +663,15 @@ impl CudaPort {
         let cfg = self.cfg();
         let width = mesh.width();
         let pool = self.pool();
+        // `u += p` rides the p-stencil's launch as a fused tail.
+        let (p_head, p_tail) = profiles::fused_pair(
+            crate::ir::FusionKind::ChebyStep,
+            self.n(),
+            false,
+            self.lowering_caps(),
+        );
         {
-            let profile = profiles::cheby_calc_p(self.n());
+            let profile = p_head;
             let stream = CudaStream::new(&self.ctx, pool);
             let (u, u0, kx, ky) = (
                 self.u.device(),
@@ -679,7 +693,7 @@ impl CudaPort {
                 }
             });
         }
-        let profile = profiles::add_to_u(self.n());
+        let profile = p_tail;
         let stream = CudaStream::new(&self.ctx, pool);
         let p = self.p.device();
         let u = Us::new(self.u.device_mut());

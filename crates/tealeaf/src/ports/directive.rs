@@ -24,7 +24,6 @@ use crate::kernels::{NormField, TeaLeafPort};
 use crate::model_id::ModelId;
 use crate::ports::common::{self, profiles, PortFields, Us};
 use crate::problem::Problem;
-use crate::profiles::{model_profile, model_quirks};
 
 /// OpenMP 4.0 / OpenACC TeaLeaf.
 pub struct DirectivePort {
@@ -42,7 +41,7 @@ impl DirectivePort {
             ModelId::OpenAcc => Flavor::OpenAcc,
             other => panic!("DirectivePort cannot implement {other:?}"),
         };
-        let ctx = SimContext::new(device, model_profile(model), model_quirks(model), seed);
+        let ctx = common::make_context(model, device, problem, seed);
         let f = PortFields::new(&problem.mesh, &problem.density, &problem.energy);
         let port = DirectivePort {
             model,
@@ -267,18 +266,20 @@ impl TeaLeafPort for DirectivePort {
         let mesh = &self.f.mesh;
         let j0 = mesh.i0();
         let pool = self.pool();
+        let (p_w, p_upd) = profiles::fused_pair(
+            crate::ir::FusionKind::PpcgInner,
+            profiles::cells(mesh),
+            false,
+            self.lowering_caps(),
+        );
         {
             let env = DeviceEnv::new(&self.ctx, pool, self.flavor);
             let (sd, kx, ky) = (&self.f.sd, &self.f.kx, &self.f.ky);
             let w = Us::new(&mut self.f.w);
-            env.target_parallel_for(
-                &profiles::ppcg_calc_w(profiles::cells(mesh)),
-                mesh.y_cells,
-                &|jj| {
-                    // SAFETY: rows disjoint.
-                    unsafe { common::row_ppcg_w(mesh, j0 + jj, sd, kx, ky, &w) };
-                },
-            );
+            env.target_parallel_for(&p_w, mesh.y_cells, &|jj| {
+                // SAFETY: rows disjoint.
+                unsafe { common::row_ppcg_w(mesh, j0 + jj, sd, kx, ky, &w) };
+            });
         }
         let env = DeviceEnv::new(&self.ctx, pool, self.flavor);
         let w = &self.f.w;
@@ -287,14 +288,10 @@ impl TeaLeafPort for DirectivePort {
             Us::new(&mut self.f.r),
             Us::new(&mut self.f.sd),
         );
-        env.target_parallel_for(
-            &profiles::ppcg_update(profiles::cells(mesh)),
-            mesh.y_cells,
-            &|jj| {
-                // SAFETY: rows disjoint.
-                unsafe { common::row_ppcg_update(mesh, j0 + jj, alpha, beta, w, &u, &r, &sd) };
-            },
-        );
+        env.target_parallel_for(&p_upd, mesh.y_cells, &|jj| {
+            // SAFETY: rows disjoint.
+            unsafe { common::row_ppcg_update(mesh, j0 + jj, alpha, beta, w, &u, &r, &sd) };
+        });
     }
 
     fn jacobi_iterate(&mut self) -> f64 {
@@ -415,6 +412,12 @@ impl DirectivePort {
         let mesh = &self.f.mesh;
         let j0 = mesh.i0();
         let pool = self.pool();
+        let (p_p, p_u) = profiles::fused_pair(
+            crate::ir::FusionKind::ChebyStep,
+            profiles::cells(mesh),
+            false,
+            self.lowering_caps(),
+        );
         {
             let env = DeviceEnv::new(&self.ctx, pool, self.flavor);
             let (u, u0, kx, ky) = (&self.f.u, &self.f.u0, &self.f.kx, &self.f.ky);
@@ -423,41 +426,33 @@ impl DirectivePort {
                 Us::new(&mut self.f.r),
                 Us::new(&mut self.f.p),
             );
-            env.target_parallel_for(
-                &profiles::cheby_calc_p(profiles::cells(mesh)),
-                mesh.y_cells,
-                &|jj| {
-                    // SAFETY: rows disjoint.
-                    unsafe {
-                        common::row_cheby_calc_p(
-                            mesh,
-                            j0 + jj,
-                            first,
-                            theta,
-                            alpha,
-                            beta,
-                            u,
-                            u0,
-                            kx,
-                            ky,
-                            &w,
-                            &r,
-                            &p,
-                        )
-                    };
-                },
-            );
+            env.target_parallel_for(&p_p, mesh.y_cells, &|jj| {
+                // SAFETY: rows disjoint.
+                unsafe {
+                    common::row_cheby_calc_p(
+                        mesh,
+                        j0 + jj,
+                        first,
+                        theta,
+                        alpha,
+                        beta,
+                        u,
+                        u0,
+                        kx,
+                        ky,
+                        &w,
+                        &r,
+                        &p,
+                    )
+                };
+            });
         }
         let env = DeviceEnv::new(&self.ctx, pool, self.flavor);
         let p = &self.f.p;
         let u = Us::new(&mut self.f.u);
-        env.target_parallel_for(
-            &profiles::add_to_u(profiles::cells(mesh)),
-            mesh.y_cells,
-            &|jj| {
-                // SAFETY: rows disjoint.
-                unsafe { common::row_add_p_to_u(mesh, j0 + jj, p, &u) };
-            },
-        );
+        env.target_parallel_for(&p_u, mesh.y_cells, &|jj| {
+            // SAFETY: rows disjoint.
+            unsafe { common::row_add_p_to_u(mesh, j0 + jj, p, &u) };
+        });
     }
 }

@@ -27,7 +27,6 @@ use crate::kernels::{NormField, TeaLeafPort};
 use crate::model_id::ModelId;
 use crate::ports::common::{self, profiles, Us};
 use crate::problem::Problem;
-use crate::profiles::{model_profile, model_quirks};
 
 /// Kokkos TeaLeaf (flat or hierarchical-parallelism).
 pub struct KokkosPort {
@@ -158,7 +157,7 @@ impl KokkosPort {
             ModelId::KokkosHP => true,
             other => panic!("KokkosPort cannot implement {other:?}"),
         };
-        let ctx = SimContext::new(device, model_profile(model), model_quirks(model), seed);
+        let ctx = common::make_context(model, device, problem, seed);
         let mesh = problem.mesh.clone();
         let len = mesh.len();
         let dev = |label: &str| View::device(label, len, 1);
@@ -399,14 +398,20 @@ impl TeaLeafPort for KokkosPort {
         });
     }
 
-    fn supports_fused_cg(&self) -> bool {
-        true
+    fn lowering_caps(&self) -> crate::ir::LoweringCaps {
+        crate::ir::LoweringCaps { fused_launch: true }
     }
 
     fn cg_fused_ur_p(&mut self, alpha: f64, rro: f64, preconditioner: bool) -> (f64, f64) {
         let mesh = &self.mesh;
-        let p_ur = self.grid_profile(profiles::cg_calc_ur(self.n(), preconditioner));
-        let p_tail = self.grid_profile(profiles::cg_fused_p_tail(self.n()));
+        let (h, t) = profiles::fused_pair(
+            crate::ir::FusionKind::CgTail,
+            self.n(),
+            preconditioner,
+            self.lowering_caps(),
+        );
+        let p_ur = self.grid_profile(h);
+        let p_tail = self.grid_profile(t);
         let pool = self.pool();
         // One launch covers both sweeps (the p-update is a zero-overhead
         // tail); they run directly on the execution space's pool with the
@@ -485,8 +490,14 @@ impl TeaLeafPort for KokkosPort {
     fn ppcg_inner(&mut self, alpha: f64, beta: f64) {
         let mesh = &self.mesh;
         let hp = self.hp;
-        let p_w = self.grid_profile(profiles::ppcg_calc_w(self.n()));
-        let p_up = self.grid_profile(profiles::ppcg_update(self.n()));
+        let (h, t) = profiles::fused_pair(
+            crate::ir::FusionKind::PpcgInner,
+            self.n(),
+            false,
+            self.lowering_caps(),
+        );
+        let p_w = self.grid_profile(h);
+        let p_up = self.grid_profile(t);
         let pool = self.pool();
         let width = mesh.width();
         {
@@ -669,8 +680,14 @@ impl KokkosPort {
     fn cheby_step(&mut self, first: bool, theta: f64, alpha: f64, beta: f64) {
         let mesh = &self.mesh;
         let hp = self.hp;
-        let p_p = self.grid_profile(profiles::cheby_calc_p(self.n()));
-        let p_u = self.grid_profile(profiles::add_to_u(self.n()));
+        let (h, t) = profiles::fused_pair(
+            crate::ir::FusionKind::ChebyStep,
+            self.n(),
+            false,
+            self.lowering_caps(),
+        );
+        let p_p = self.grid_profile(h);
+        let p_u = self.grid_profile(t);
         let pool = self.pool();
         let width = mesh.width();
         {

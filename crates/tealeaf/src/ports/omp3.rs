@@ -22,7 +22,6 @@ use crate::kernels::{NormField, TeaLeafPort};
 use crate::model_id::ModelId;
 use crate::ports::common::{self, profiles, PortFields, Us};
 use crate::problem::Problem;
-use crate::profiles::{model_profile, model_quirks};
 
 /// OpenMP 3.0 TeaLeaf (F90 or C++ flavour).
 pub struct Omp3Port {
@@ -35,7 +34,7 @@ impl Omp3Port {
     /// Build the port; `model` must be one of the two OpenMP 3.0 ids.
     pub fn new(model: ModelId, device: DeviceSpec, problem: &Problem, seed: u64) -> Self {
         assert!(matches!(model, ModelId::Omp3F90 | ModelId::Omp3Cpp));
-        let ctx = SimContext::new(device, model_profile(model), model_quirks(model), seed);
+        let ctx = common::make_context(model, device, problem, seed);
         let f = PortFields::new(&problem.mesh, &problem.density, &problem.energy);
         Omp3Port { model, ctx, f }
     }
@@ -184,8 +183,8 @@ impl TeaLeafPort for Omp3Port {
         });
     }
 
-    fn supports_fused_cg(&self) -> bool {
-        true
+    fn lowering_caps(&self) -> crate::ir::LoweringCaps {
+        crate::ir::LoweringCaps { fused_launch: true }
     }
 
     fn cg_fused_ur_p(&mut self, alpha: f64, rro: f64, preconditioner: bool) -> (f64, f64) {
@@ -197,9 +196,14 @@ impl TeaLeafPort for Omp3Port {
         // charged as usual, the p-update rides the same region (no second
         // dispatch). The arithmetic and the row-ordered reduction are
         // exactly the unfused kernels'.
-        self.ctx
-            .launch(&profiles::cg_calc_ur(self.n(), preconditioner));
-        self.ctx.launch(&profiles::cg_fused_p_tail(self.n()));
+        let (p_ur, p_tail) = profiles::fused_pair(
+            crate::ir::FusionKind::CgTail,
+            self.n(),
+            preconditioner,
+            self.lowering_caps(),
+        );
+        self.ctx.launch(&p_ur);
+        self.ctx.launch(&p_tail);
         let rrn = {
             let (p, w, kx, ky) = (&self.f.p, &self.f.w, &self.f.kx, &self.f.ky);
             let (u, r, z) = (
@@ -263,7 +267,15 @@ impl TeaLeafPort for Omp3Port {
         let pool = self.pool();
         let rows = mesh.y_cells;
         let j0 = mesh.i0();
-        self.ctx.launch(&profiles::ppcg_calc_w(self.n()));
+        // The u/r/sd update rides the w-stencil's parallel region — the
+        // same fused-launch idiom as the CG tail, derived from the IR.
+        let (p_w, p_upd) = profiles::fused_pair(
+            crate::ir::FusionKind::PpcgInner,
+            self.n(),
+            false,
+            self.lowering_caps(),
+        );
+        self.ctx.launch(&p_w);
         {
             let (sd, kx, ky) = (&self.f.sd, &self.f.kx, &self.f.ky);
             let w = Us::new(&mut self.f.w);
@@ -272,7 +284,7 @@ impl TeaLeafPort for Omp3Port {
                 unsafe { common::row_ppcg_w(mesh, j0 + jj, sd, kx, ky, &w) };
             });
         }
-        self.ctx.launch(&profiles::ppcg_update(self.n()));
+        self.ctx.launch(&p_upd);
         let w = &self.f.w;
         let (u, r, sd) = (
             Us::new(&mut self.f.u),
@@ -390,7 +402,14 @@ impl Omp3Port {
         let pool = self.pool();
         let rows = mesh.y_cells;
         let j0 = mesh.i0();
-        self.ctx.launch(&profiles::cheby_calc_p(self.n()));
+        // `u += p` rides the p-polynomial stencil's parallel region.
+        let (p_p, p_u) = profiles::fused_pair(
+            crate::ir::FusionKind::ChebyStep,
+            self.n(),
+            false,
+            self.lowering_caps(),
+        );
+        self.ctx.launch(&p_p);
         {
             let (u, u0, kx, ky) = (&self.f.u, &self.f.u0, &self.f.kx, &self.f.ky);
             let (w, r, p) = (
@@ -419,7 +438,7 @@ impl Omp3Port {
                 };
             });
         }
-        self.ctx.launch(&profiles::add_to_u(self.n()));
+        self.ctx.launch(&p_u);
         let p = &self.f.p;
         let u = Us::new(&mut self.f.u);
         pool.run(rows, &|jj| {

@@ -25,7 +25,6 @@ use crate::kernels::{NormField, TeaLeafPort};
 use crate::model_id::ModelId;
 use crate::ports::common::{self, profiles, Us};
 use crate::problem::Problem;
-use crate::profiles::{model_profile, model_quirks};
 
 /// Work-group size for the flat launches.
 const WG: usize = 128;
@@ -106,12 +105,7 @@ impl OpenClPort {
     /// Build the port: enumerate the platform, pick the device, create
     /// the context, queue, buffers and kernels, and write the inputs.
     pub fn new(device: DeviceSpec, problem: &Problem, seed: u64) -> Self {
-        let ctx = SimContext::new(
-            device.clone(),
-            model_profile(ModelId::OpenCl),
-            model_quirks(ModelId::OpenCl),
-            seed,
-        );
+        let ctx = common::make_context(ModelId::OpenCl, device.clone(), problem, seed);
         // clGetPlatformIDs / clGetDeviceIDs / clCreateContext
         let platform = Platform::list().remove(0);
         let cl_device: ClDevice = platform
@@ -425,8 +419,8 @@ impl TeaLeafPort for OpenClPort {
         });
     }
 
-    fn supports_fused_cg(&self) -> bool {
-        true
+    fn lowering_caps(&self) -> crate::ir::LoweringCaps {
+        crate::ir::LoweringCaps { fused_launch: true }
     }
 
     fn cg_fused_ur_p(&mut self, alpha: f64, rro: f64, preconditioner: bool) -> (f64, f64) {
@@ -439,9 +433,14 @@ impl TeaLeafPort for OpenClPort {
         // partials fold in row order on the same scheduler
         // `enqueue_reduce` uses, so the result is bit-identical to the
         // unfused pair.
-        self.ctx
-            .launch(&profiles::cg_calc_ur(self.n(), preconditioner));
-        self.ctx.launch(&profiles::cg_fused_p_tail(self.n()));
+        let (p_ur, p_tail) = profiles::fused_pair(
+            crate::ir::FusionKind::CgTail,
+            self.n(),
+            preconditioner,
+            self.lowering_caps(),
+        );
+        self.ctx.launch(&p_ur);
+        self.ctx.launch(&p_tail);
         let rrn = {
             let (p, w, kx, ky) = (
                 self.p.arg_view(),
@@ -520,8 +519,16 @@ impl TeaLeafPort for OpenClPort {
         let exec = self.exec_static_or_steal();
         let range = self.nd_range();
         let width = mesh.width();
+        // The u/r/sd update is chained behind the w-stencil's enqueue as
+        // a zero-overhead tail (one clEnqueueNDRangeKernel, fused body).
+        let (p_head, p_tail) = profiles::fused_pair(
+            crate::ir::FusionKind::PpcgInner,
+            self.n(),
+            false,
+            self.lowering_caps(),
+        );
         {
-            let profile = profiles::ppcg_calc_w(self.n());
+            let profile = p_head;
             let (sd, kx, ky) = (self.sd.arg_view(), self.kx.arg_view(), self.ky.arg_view());
             let w = Us::new(self.w.arg_view_mut());
             let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);
@@ -532,7 +539,7 @@ impl TeaLeafPort for OpenClPort {
                 }
             });
         }
-        let profile = profiles::ppcg_update(self.n());
+        let profile = p_tail;
         let w = self.w.arg_view();
         let u = Us::new(self.u.arg_view_mut());
         let r = Us::new(self.r.arg_view_mut());
@@ -762,8 +769,15 @@ impl OpenClPort {
         let exec = self.exec_static_or_steal();
         let range = self.nd_range();
         let width = mesh.width();
+        // `u += p` rides the p-stencil's enqueue as a fused tail.
+        let (p_head, p_tail) = profiles::fused_pair(
+            crate::ir::FusionKind::ChebyStep,
+            self.n(),
+            false,
+            self.lowering_caps(),
+        );
         {
-            let profile = profiles::cheby_calc_p(self.n());
+            let profile = p_head;
             let (u, u0, kx, ky) = (
                 self.u.arg_view(),
                 self.u0.arg_view(),
@@ -785,7 +799,7 @@ impl OpenClPort {
                 }
             });
         }
-        let profile = profiles::add_to_u(self.n());
+        let profile = p_tail;
         let p = self.p.arg_view();
         let u = Us::new(self.u.arg_view_mut());
         let queue = CommandQueue::new(&self.cl_context, &self.ctx, exec);

@@ -32,7 +32,6 @@ use crate::kernels::{NormField, TeaLeafPort};
 use crate::model_id::ModelId;
 use crate::ports::common::{self, profiles, PortFields, Us};
 use crate::problem::Problem;
-use crate::profiles::{model_profile, model_quirks};
 
 /// RAJA TeaLeaf (list-segment or SIMD row-range flavour).
 pub struct RajaPort {
@@ -54,7 +53,7 @@ impl RajaPort {
             ModelId::RajaSimd => true,
             other => panic!("RajaPort cannot implement {other:?}"),
         };
-        let ctx = SimContext::new(device, model_profile(model), model_quirks(model), seed);
+        let ctx = common::make_context(model, device, problem, seed);
         let f = PortFields::new(&problem.mesh, &problem.density, &problem.energy);
         let mesh = &problem.mesh;
         let interior = Segment::List(ListSegment::interior_2d(
@@ -297,8 +296,14 @@ impl TeaLeafPort for RajaPort {
         let mesh = &self.f.mesh;
         let simd = self.simd;
         let width = mesh.width();
-        let p_w = self.row_profile(profiles::ppcg_calc_w(self.n()));
-        let p_up = self.row_profile(profiles::ppcg_update(self.n()));
+        let (h, t) = profiles::fused_pair(
+            crate::ir::FusionKind::PpcgInner,
+            self.n(),
+            false,
+            self.lowering_caps(),
+        );
+        let p_w = self.row_profile(h);
+        let p_up = self.row_profile(t);
         let pool = self.pool();
         {
             let rt = RajaRuntime::new(&self.ctx, pool);
@@ -468,8 +473,14 @@ impl RajaPort {
         let mesh = &self.f.mesh;
         let simd = self.simd;
         let width = mesh.width();
-        let p_p = self.row_profile(profiles::cheby_calc_p(self.n()));
-        let p_u = self.row_profile(profiles::add_to_u(self.n()));
+        let (h, t) = profiles::fused_pair(
+            crate::ir::FusionKind::ChebyStep,
+            self.n(),
+            false,
+            self.lowering_caps(),
+        );
+        let p_p = self.row_profile(h);
+        let p_u = self.row_profile(t);
         let pool = self.pool();
         {
             let rt = RajaRuntime::new(&self.ctx, pool);

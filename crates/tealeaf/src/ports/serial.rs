@@ -15,7 +15,6 @@ use crate::kernels::{NormField, TeaLeafPort};
 use crate::model_id::ModelId;
 use crate::ports::common::{self, profiles, PortFields, Us};
 use crate::problem::Problem;
-use crate::profiles::{model_profile, model_quirks};
 
 /// Serial reference implementation of every TeaLeaf kernel.
 pub struct SerialPort {
@@ -26,12 +25,7 @@ pub struct SerialPort {
 impl SerialPort {
     /// Build the port and install the problem's initial fields.
     pub fn new(device: DeviceSpec, problem: &Problem, seed: u64) -> Self {
-        let ctx = SimContext::new(
-            device,
-            model_profile(ModelId::Serial),
-            model_quirks(ModelId::Serial),
-            seed,
-        );
+        let ctx = common::make_context(ModelId::Serial, device, problem, seed);
         let f = PortFields::new(&problem.mesh, &problem.density, &problem.energy);
         SerialPort { ctx, f }
     }
@@ -192,7 +186,13 @@ impl TeaLeafPort for SerialPort {
 
     fn ppcg_inner(&mut self, alpha: f64, beta: f64) {
         let mesh = &self.f.mesh;
-        self.ctx.launch(&profiles::ppcg_calc_w(self.n()));
+        let (p_w, p_upd) = profiles::fused_pair(
+            crate::ir::FusionKind::PpcgInner,
+            self.n(),
+            false,
+            self.lowering_caps(),
+        );
+        self.ctx.launch(&p_w);
         {
             let w = Us::new(&mut self.f.w);
             for j in mesh.i0()..mesh.j1() {
@@ -200,7 +200,7 @@ impl TeaLeafPort for SerialPort {
                 unsafe { common::row_ppcg_w(mesh, j, &self.f.sd, &self.f.kx, &self.f.ky, &w) };
             }
         }
-        self.ctx.launch(&profiles::ppcg_update(self.n()));
+        self.ctx.launch(&p_upd);
         let (u, r, sd) = (
             Us::new(&mut self.f.u),
             Us::new(&mut self.f.r),
@@ -308,7 +308,13 @@ impl TeaLeafPort for SerialPort {
 impl SerialPort {
     fn cheby_step(&mut self, first: bool, theta: f64, alpha: f64, beta: f64) {
         let mesh = &self.f.mesh;
-        self.ctx.launch(&profiles::cheby_calc_p(self.n()));
+        let (p_p, p_u) = profiles::fused_pair(
+            crate::ir::FusionKind::ChebyStep,
+            self.n(),
+            false,
+            self.lowering_caps(),
+        );
+        self.ctx.launch(&p_p);
         {
             let (w, r, p) = (
                 Us::new(&mut self.f.w),
@@ -325,7 +331,7 @@ impl SerialPort {
                 };
             }
         }
-        self.ctx.launch(&profiles::add_to_u(self.n()));
+        self.ctx.launch(&p_u);
         let u = Us::new(&mut self.f.u);
         for j in mesh.i0()..mesh.j1() {
             // SAFETY: single-threaded.

@@ -183,8 +183,8 @@ impl TeaLeafPort for RecordingPort {
         self.log.push(KernelCall::CgCalcP { beta });
     }
 
-    fn supports_fused_cg(&self) -> bool {
-        self.inner.supports_fused_cg()
+    fn lowering_caps(&self) -> crate::ir::LoweringCaps {
+        self.inner.lowering_caps()
     }
 
     fn cg_fused_ur_p(&mut self, alpha: f64, rro: f64, preconditioner: bool) -> (f64, f64) {
@@ -314,9 +314,9 @@ mod tests {
                 cpu.clone()
             };
             let inner = make_port(model, device, &problem, 1).unwrap();
-            let fused = inner.supports_fused_cg();
+            let caps = inner.lowering_caps();
             let rec = RecordingPort::new(inner);
-            assert_eq!(rec.supports_fused_cg(), fused, "{model:?}");
+            assert_eq!(rec.lowering_caps(), caps, "{model:?}");
         }
     }
 }

@@ -68,17 +68,19 @@ pub fn run_phase(
         traced_halo(port, &[FieldId::P], 1);
         let pw = port.cg_calc_w();
         let alpha = rro / pw;
-        // Ports that can merge the ur-update and p-update into one launch
-        // advertise it; the arithmetic (and thus the α/β history and every
-        // field) is bit-identical to the two-launch schedule.
-        let (rrn, beta) = if port.supports_fused_cg() {
-            port.cg_fused_ur_p(alpha, rro, preconditioner)
-        } else {
-            let rrn = port.cg_calc_ur(alpha, preconditioner);
-            let beta = rrn / rro;
-            port.cg_calc_p(beta, preconditioner);
-            (rrn, beta)
-        };
+        // The IR says whether fusing the ur-update and p-update is legal;
+        // the port's lowering caps say whether its model can express one
+        // launch covering both. The arithmetic (and thus the α/β history
+        // and every field) is bit-identical to the two-launch schedule.
+        let (rrn, beta) =
+            if crate::ir::fusion_active(port.lowering_caps(), crate::ir::FusionKind::CgTail) {
+                port.cg_fused_ur_p(alpha, rro, preconditioner)
+            } else {
+                let rrn = port.cg_calc_ur(alpha, preconditioner);
+                let beta = rrn / rro;
+                port.cg_calc_p(beta, preconditioner);
+                (rrn, beta)
+            };
         history.alphas.push(alpha);
         history.betas.push(beta);
         rro = rrn;

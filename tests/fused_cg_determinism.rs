@@ -1,6 +1,6 @@
-//! Fused-CG determinism: ports that advertise
-//! [`supports_fused_cg`](tealeaf::kernels::TeaLeafPort::supports_fused_cg)
-//! must produce *bit-identical* state through their fused
+//! Fused-CG determinism: ports whose IR lowering capability
+//! ([`lowering_caps`](tealeaf::kernels::TeaLeafPort::lowering_caps))
+//! can express a fused launch must produce *bit-identical* state through their fused
 //! `cg_fused_ur_p` launch and the two-launch `cg_calc_ur` → `cg_calc_p`
 //! schedule — same α/β history, same residual, same temperature field.
 //!
@@ -52,7 +52,7 @@ fn trace_cg(
         let alpha = rro / pw;
         let (rrn, beta) = if fused {
             assert!(
-                port.supports_fused_cg(),
+                tealeaf::ir::fusion_active(port.lowering_caps(), tealeaf::ir::FusionKind::CgTail),
                 "{model:?} lost its fusion capability"
             );
             port.cg_fused_ur_p(alpha, rro, precond)
@@ -158,7 +158,7 @@ fn fusion_capability_is_where_the_design_says() {
         let port = make_port(model, cpu.clone(), &problem, 1);
         if let Ok(port) = port {
             assert_eq!(
-                port.supports_fused_cg(),
+                port.lowering_caps().fused_launch,
                 expect,
                 "{model:?} fusion capability flag"
             );
@@ -166,5 +166,8 @@ fn fusion_capability_is_where_the_design_says() {
     }
     let gpu = devices::gpu_k20x();
     let cuda = make_port(ModelId::Cuda, gpu, &problem, 1).unwrap();
-    assert!(cuda.supports_fused_cg(), "Cuda fusion capability flag");
+    assert!(
+        cuda.lowering_caps().fused_launch,
+        "Cuda fusion capability flag"
+    );
 }
